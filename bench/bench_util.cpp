@@ -1,0 +1,147 @@
+#include "bench_util.hpp"
+
+#include <cstdlib>
+
+#include "common/bytes.hpp"
+
+namespace mcmpi::bench {
+
+BenchOptions BenchOptions::parse(int argc, char** argv,
+                                 const std::string& description) {
+  Flags flags(argc, argv);
+  BenchOptions options;
+  options.reps = static_cast<int>(
+      flags.get_int("reps", options.reps, "repetitions per point (paper: 20-30)"));
+  options.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(options.seed),
+                    "simulation seed"));
+  options.csv = flags.get_bool("csv", false, "emit CSV instead of ASCII");
+  options.spread =
+      flags.get_bool("spread", false, "add min/max scatter columns");
+  if (flags.help_requested()) {
+    std::cout << flags.usage(description);
+    std::exit(0);
+  }
+  flags.check_unknown();
+  return options;
+}
+
+namespace {
+cluster::ClusterConfig cluster_config(cluster::NetworkType network, int procs,
+                                      std::uint64_t seed) {
+  cluster::ClusterConfig config;
+  config.network = network;
+  config.num_procs = procs;
+  config.seed = seed;
+  return config;
+}
+
+Point to_point(const Sample& sample) {
+  return Point{sample.median(), sample.min(), sample.max()};
+}
+}  // namespace
+
+std::vector<Point> measure_bcast_series(const BcastSeries& series,
+                                        const std::vector<int>& sizes,
+                                        const BenchOptions& options) {
+  std::vector<Point> points;
+  points.reserve(sizes.size());
+  for (int size : sizes) {
+    // A fresh cluster per point, same seed: every point and series starts
+    // from the identical deterministic state (fair comparisons).
+    cluster::Cluster cluster(
+        cluster_config(series.network, series.procs, options.seed));
+    cluster::ExperimentConfig exp;
+    exp.reps = options.reps;
+    const auto result = cluster::measure_collective(
+        cluster, exp, [&series, size](mpi::Proc& p, int) {
+          Buffer data;
+          if (p.rank() == 0) {
+            data = pattern_payload(0xB0CA57, static_cast<std::size_t>(size));
+          }
+          coll::bcast(p, p.comm_world(), data, 0, series.algo);
+        });
+    points.push_back(to_point(result.latencies_us));
+  }
+  return points;
+}
+
+std::vector<Point> measure_barrier_series(cluster::NetworkType network,
+                                          coll::BarrierAlgo algo,
+                                          const std::vector<int>& proc_counts,
+                                          const BenchOptions& options) {
+  std::vector<Point> points;
+  points.reserve(proc_counts.size());
+  for (int procs : proc_counts) {
+    cluster::Cluster cluster(cluster_config(network, procs, options.seed));
+    cluster::ExperimentConfig exp;
+    exp.reps = options.reps;
+    const auto result = cluster::measure_collective(
+        cluster, exp,
+        [algo](mpi::Proc& p, int) { coll::barrier(p, p.comm_world(), algo); });
+    points.push_back(to_point(result.latencies_us));
+  }
+  return points;
+}
+
+Table make_figure_table(const std::string& x_name, const std::vector<int>& xs,
+                        const std::vector<BcastSeries>& series,
+                        const std::vector<std::vector<Point>>& points,
+                        bool spread) {
+  std::vector<std::string> columns{x_name};
+  for (const BcastSeries& s : series) {
+    columns.push_back(s.label + " us");
+    if (spread) {
+      columns.push_back(s.label + " min");
+      columns.push_back(s.label + " max");
+    }
+  }
+  Table table(columns);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{std::to_string(xs[i])};
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      row.push_back(Table::num(points[s][i].median_us));
+      if (spread) {
+        row.push_back(Table::num(points[s][i].min_us));
+        row.push_back(Table::num(points[s][i].max_us));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void print_table(const std::string& title, const Table& table,
+                 const BenchOptions& options) {
+  if (options.csv) {
+    table.print_csv(std::cout);
+    return;
+  }
+  std::cout << "== " << title << " ==\n";
+  table.print_ascii(std::cout);
+}
+
+void shape_check(bool ok, const std::string& text) {
+  std::cout << "SHAPE CHECK " << (ok ? "ok  " : "FAIL") << " — " << text
+            << '\n';
+}
+
+std::vector<int> paper_sizes(int step) {
+  std::vector<int> sizes;
+  for (int s = 0; s <= 5000; s += step) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+int crossover_size(const std::vector<int>& sizes, const std::vector<Point>& a,
+                   const std::vector<Point>& b) {
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (a[i].median_us < b[i].median_us) {
+      return sizes[i];
+    }
+  }
+  return -1;
+}
+
+}  // namespace mcmpi::bench

@@ -1,0 +1,86 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared machinery for the figure-reproduction binaries.
+///
+/// Every binary reproduces one table or figure from the paper: it sweeps
+/// message size (or process count), measures each configured series with
+/// the paper's methodology (cluster/experiment.hpp), prints the series as
+/// an aligned table (median of 20-30 reps per point, like the paper's
+/// median lines), and finishes with SHAPE CHECK lines — the qualitative
+/// claims the figure makes, evaluated against the fresh numbers.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "coll/coll.hpp"
+#include "common/flags.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace mcmpi::bench {
+
+/// One plotted line: an algorithm on a network with a process count.
+struct BcastSeries {
+  std::string label;
+  cluster::NetworkType network;
+  int procs;
+  coll::BcastAlgo algo;
+};
+
+/// Common CLI for every figure binary (--reps, --seed, --csv, --spread).
+struct BenchOptions {
+  int reps = 25;
+  std::uint64_t seed = 2000;
+  bool csv = false;
+  bool spread = false;  // add min/max columns per series
+
+  /// Parses the shared flags; exits(0) on --help.
+  static BenchOptions parse(int argc, char** argv,
+                            const std::string& description);
+};
+
+/// Measured median (and extremes) for one point of one series.
+struct Point {
+  double median_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+};
+
+/// Measures one broadcast series over the given payload sizes.
+std::vector<Point> measure_bcast_series(const BcastSeries& series,
+                                        const std::vector<int>& sizes,
+                                        const BenchOptions& options);
+
+/// Measures a barrier algorithm across process counts.
+std::vector<Point> measure_barrier_series(cluster::NetworkType network,
+                                          coll::BarrierAlgo algo,
+                                          const std::vector<int>& proc_counts,
+                                          const BenchOptions& options);
+
+/// Builds the standard figure table: first column = x value, then one
+/// column per series ("<label> us", plus min/max when spread is on).
+Table make_figure_table(const std::string& x_name,
+                        const std::vector<int>& xs,
+                        const std::vector<BcastSeries>& series,
+                        const std::vector<std::vector<Point>>& points,
+                        bool spread);
+
+/// Prints the table (ASCII or CSV per options) with a title banner.
+void print_table(const std::string& title, const Table& table,
+                 const BenchOptions& options);
+
+/// Emits one qualitative-claim verdict line: "SHAPE CHECK <ok|FAIL> — text".
+void shape_check(bool ok, const std::string& text);
+
+/// Payload sizes the paper sweeps: 0..5000 in steps of 250.
+std::vector<int> paper_sizes(int step = 250);
+
+/// First size at which `a` becomes cheaper than `b` (both indexed by the
+/// same size vector); -1 if never.
+int crossover_size(const std::vector<int>& sizes, const std::vector<Point>& a,
+                   const std::vector<Point>& b);
+
+}  // namespace mcmpi::bench

@@ -1,0 +1,105 @@
+// google-benchmark wall-clock cost of simulating each collective algorithm
+// (how expensive reproduction experiments are to run, per algorithm).
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "coll/allreduce.hpp"
+#include "coll/coll.hpp"
+#include "coll/mpich.hpp"
+#include "common/bytes.hpp"
+
+namespace {
+
+using namespace mcmpi;
+
+void run_bcast_batch(coll::BcastAlgo algo, int procs, int payload,
+                     int iterations) {
+  cluster::ClusterConfig config;
+  config.num_procs = procs;
+  config.network = cluster::NetworkType::kSwitch;
+  cluster::Cluster cluster(config);
+  cluster.world().run([&](mpi::Proc& p) {
+    for (int i = 0; i < iterations; ++i) {
+      Buffer data;
+      if (p.rank() == 0) {
+        data = pattern_payload(static_cast<std::uint64_t>(i),
+                               static_cast<std::size_t>(payload));
+      }
+      coll::bcast(p, p.comm_world(), data, 0, algo);
+    }
+  });
+}
+
+void BM_BcastAlgorithm(benchmark::State& state) {
+  const auto algo = static_cast<coll::BcastAlgo>(state.range(0));
+  const int procs = static_cast<int>(state.range(1));
+  constexpr int kBatch = 20;
+  for (auto _ : state) {
+    run_bcast_batch(algo, procs, 2000, kBatch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+  state.SetLabel(coll::to_string(algo) + "/" + std::to_string(procs) + "p");
+}
+BENCHMARK(BM_BcastAlgorithm)
+    ->Args({static_cast<long>(coll::BcastAlgo::kMpichBinomial), 4})
+    ->Args({static_cast<long>(coll::BcastAlgo::kMcastBinary), 4})
+    ->Args({static_cast<long>(coll::BcastAlgo::kMcastLinear), 4})
+    ->Args({static_cast<long>(coll::BcastAlgo::kAckMcast), 4})
+    ->Args({static_cast<long>(coll::BcastAlgo::kSequencer), 4})
+    ->Args({static_cast<long>(coll::BcastAlgo::kMpichBinomial), 9})
+    ->Args({static_cast<long>(coll::BcastAlgo::kMcastBinary), 9})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BarrierAlgorithm(benchmark::State& state) {
+  const auto algo = static_cast<coll::BarrierAlgo>(state.range(0));
+  const int procs = static_cast<int>(state.range(1));
+  constexpr int kBatch = 20;
+  for (auto _ : state) {
+    cluster::ClusterConfig config;
+    config.num_procs = procs;
+    config.network = cluster::NetworkType::kHub;
+    cluster::Cluster cluster(config);
+    cluster.world().run([&](mpi::Proc& p) {
+      for (int i = 0; i < kBatch; ++i) {
+        coll::barrier(p, p.comm_world(), algo);
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+  state.SetLabel(coll::to_string(algo) + "/" + std::to_string(procs) + "p");
+}
+BENCHMARK(BM_BarrierAlgorithm)
+    ->Args({static_cast<long>(coll::BarrierAlgo::kMpich), 9})
+    ->Args({static_cast<long>(coll::BarrierAlgo::kMcast), 9})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllreduceStack(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  constexpr int kBatch = 10;
+  for (auto _ : state) {
+    cluster::ClusterConfig config;
+    config.num_procs = procs;
+    config.network = cluster::NetworkType::kSwitch;
+    cluster::Cluster cluster(config);
+    cluster.world().run([&](mpi::Proc& p) {
+      std::vector<double> values(64, 1.0 * p.rank());
+      Buffer bytes(values.size() * sizeof(double));
+      std::memcpy(bytes.data(), values.data(), bytes.size());
+      for (int i = 0; i < kBatch; ++i) {
+        benchmark::DoNotOptimize(
+            coll::allreduce(p, p.comm_world(), bytes, mpi::Op::kSum,
+                            mpi::Datatype::kDouble,
+                            coll::BcastAlgo::kMcastBinary));
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_AllreduceStack)->Arg(4)->Arg(9)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

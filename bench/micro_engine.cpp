@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks for the simulation kernel itself:
+// event-queue throughput, process context-switch cost, and whole-stack
+// simulated-collective throughput.  These guard the harness's own
+// performance (a slow simulator caps experiment sizes), not the paper's
+// results.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "coll/coll.hpp"
+#include "common/bytes.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/wait.hpp"
+
+namespace {
+
+using namespace mcmpi;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      queue.schedule(SimTime{static_cast<std::int64_t>(i * 97 % 1000)},
+                     [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().time);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(1000)->Arg(10000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(queue.schedule(SimTime{i}, [] {}));
+    }
+    for (int i = 0; i < 1000; i += 2) {
+      queue.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().time);
+    }
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_ProcessContextSwitch(benchmark::State& state) {
+  // Two processes ping-pong through a predicate-guarded wait queue;
+  // measures the full scheduler handoff (two semaphore hops per switch).
+  constexpr int kTurns = 200;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    sim::WaitQueue queue;
+    int turn = 0;
+    sim.spawn("ping", [&](sim::SimProcess& self) {
+      for (int i = 0; i < kTurns; ++i) {
+        sim::wait_for(self, queue, [&] { return turn % 2 == 0; });
+        ++turn;
+        queue.notify_all();
+      }
+    });
+    sim.spawn("pong", [&](sim::SimProcess& self) {
+      for (int i = 0; i < kTurns; ++i) {
+        sim::wait_for(self, queue, [&] { return turn % 2 == 1; });
+        ++turn;
+        queue.notify_all();
+      }
+    });
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kTurns);
+}
+BENCHMARK(BM_ProcessContextSwitch);
+
+void BM_SimulatedBcast(benchmark::State& state) {
+  // Wall-clock cost of simulating one multicast broadcast end to end
+  // (cluster construction amortized across reps inside one run()).
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    cluster::ClusterConfig config;
+    config.num_procs = procs;
+    config.network = cluster::NetworkType::kSwitch;
+    cluster::Cluster cluster(config);
+    cluster::ExperimentConfig exp;
+    exp.reps = 20;
+    exp.warmup_reps = 1;
+    state.ResumeTiming();
+    const auto result = cluster::measure_collective(
+        cluster, exp, [](mpi::Proc& p, int) {
+          Buffer data;
+          if (p.rank() == 0) {
+            data = pattern_payload(1, 2000);
+          }
+          coll::bcast(p, p.comm_world(), data, 0,
+                      coll::BcastAlgo::kMcastBinary);
+        });
+    benchmark::DoNotOptimize(result.latencies_us.median());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20);
+}
+BENCHMARK(BM_SimulatedBcast)->Arg(4)->Arg(9)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Quickstart: build a simulated 4-node Fast Ethernet cluster, broadcast a
+// message with the paper's binary scout algorithm, synchronize with the
+// multicast barrier, and print what happened — including the frame counts
+// that make IP multicast worthwhile.
+//
+//   $ ./quickstart
+//
+// The public API in four steps:
+//   1. cluster::Cluster      — the simulated testbed (hub or switch)
+//   2. Cluster::world().run  — SPMD launch: the lambda is rank code
+//   3. coll::bcast/barrier   — collective ops with selectable algorithms
+//   4. Network counters      — what actually crossed the wire
+#include <cstring>
+#include <iostream>
+
+#include "cluster/cluster.hpp"
+#include "coll/coll.hpp"
+#include "common/bytes.hpp"
+
+int main() {
+  using namespace mcmpi;
+
+  // 1. A 4-node cluster on a shared Fast Ethernet hub (the paper's Fig. 7
+  //    testbed).  NetworkType::kSwitch gives the HP-ProCurve-style switch.
+  cluster::ClusterConfig config;
+  config.num_procs = 4;
+  config.network = cluster::NetworkType::kHub;
+  cluster::Cluster cluster(config);
+
+  const char kMessage[] = "hello from rank 0 via IP multicast";
+
+  // 2. SPMD: this lambda runs once per rank, as in MPI.
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+
+    // 3a. Broadcast: rank 0 provides the payload, everyone receives it.
+    Buffer data;
+    if (p.rank() == 0) {
+      data.assign(kMessage, kMessage + sizeof kMessage);
+    }
+    coll::bcast(p, comm, data, /*root=*/0, coll::BcastAlgo::kMcastBinary);
+
+    std::cout << "rank " << p.rank() << " @ " << to_microseconds(p.self().now())
+              << " us: received \""
+              << std::string(data.begin(), data.end() - 1) << "\"\n";
+
+    // 3b. Barrier: scout reduction + one multicast release.
+    coll::barrier(p, comm, coll::BarrierAlgo::kMcast);
+  });
+
+  // 4. The whole point, in numbers: one data frame crossed the shared wire
+  //    for the broadcast (plus 3 zero-data scouts), where MPICH would have
+  //    sent the payload 3 times.
+  const net::NetCounters& counters = cluster.network().counters();
+  std::cout << "\nframes on the wire: " << counters.host_tx_frames
+            << " (data " << counters.host_tx_data_frames << ", control "
+            << counters.host_tx_control_frames << ", transport acks "
+            << counters.host_tx_ack_frames << ")\n"
+            << "collisions on the hub: " << counters.collisions << "\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Example: the paper's mechanism on REAL sockets — four rank threads on
+// loopback, point-to-point UDP scouts, and a genuine IP multicast
+// (IP_ADD_MEMBERSHIP / class-D destination) carrying the broadcast payload.
+// This is the code path the paper's implementation used, minus the
+// machine room.
+//
+// Exits cleanly with a note if the sandbox forbids loopback multicast.
+//
+//   $ ./real_multicast_demo [--ranks=4] [--rounds=3] [--bytes=2000]
+#include <chrono>
+#include <iostream>
+#include <mutex>
+
+#include "common/bytes.hpp"
+#include "common/flags.hpp"
+#include "posix/real_cluster.hpp"
+#include "posix/socket.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcmpi;
+  Flags flags(argc, argv);
+  const auto ranks = static_cast<int>(flags.get_int("ranks", 4, "rank threads"));
+  const auto rounds = static_cast<int>(flags.get_int("rounds", 3, "broadcast rounds"));
+  const auto bytes = static_cast<int>(flags.get_int("bytes", 2000, "payload size"));
+  if (flags.help_requested()) {
+    std::cout << flags.usage("real loopback IP multicast demo");
+    return 0;
+  }
+  flags.check_unknown();
+
+  if (!posix::RealUdpSocket::loopback_multicast_available()) {
+    std::cout << "loopback multicast is not available in this environment; "
+                 "nothing to demo (the simulated backend covers the "
+                 "experiments).\n";
+    return 0;
+  }
+
+  posix::RealClusterConfig config;
+  config.num_ranks = ranks;
+  posix::RealCluster cluster(config);
+  std::mutex print_mutex;
+
+  cluster.run([&](posix::RealRank& r) {
+    using Clock = std::chrono::steady_clock;
+    for (int round = 0; round < rounds; ++round) {
+      const int root = round % r.size();
+      std::vector<std::uint8_t> data;
+      if (r.rank() == root) {
+        data = pattern_payload(static_cast<std::uint64_t>(round),
+                               static_cast<std::size_t>(bytes));
+      }
+      const auto start = Clock::now();
+      // Alternate the paper's two synchronization schemes.
+      if (round % 2 == 0) {
+        r.bcast_binary(data, root);
+      } else {
+        r.bcast_linear(data, root);
+      }
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - start)
+                          .count();
+      const bool ok =
+          check_pattern(static_cast<std::uint64_t>(round), data) &&
+          data.size() == static_cast<std::size_t>(bytes);
+      {
+        std::scoped_lock lock(print_mutex);
+        std::cout << "round " << round << " ("
+                  << (round % 2 == 0 ? "binary" : "linear") << ", root "
+                  << root << "): rank " << r.rank() << " "
+                  << (ok ? "ok" : "CORRUPT") << " in " << us << " us\n";
+      }
+      r.barrier();
+    }
+  });
+
+  std::cout << "real multicast demo complete: " << ranks << " ranks, "
+            << rounds << " rounds of " << bytes << "-byte broadcasts over "
+            << "239.1.1.254 on loopback\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace mcmpi::cluster {
+
+std::string to_string(NetworkType type) {
+  return type == NetworkType::kHub ? "hub" : "switch";
+}
+
+NetworkType parse_network(const std::string& name) {
+  if (name == "hub") {
+    return NetworkType::kHub;
+  }
+  if (name == "switch") {
+    return NetworkType::kSwitch;
+  }
+  throw std::invalid_argument("unknown network type: " + name);
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  MC_EXPECTS_MSG(config_.num_procs >= 1, "need at least one process");
+  if (config_.hosts.empty()) {
+    config_.hosts.assign(kEagleHosts, kEagleHosts + kMaxEagleHosts);
+  }
+  MC_EXPECTS_MSG(
+      config_.num_procs <= static_cast<int>(config_.hosts.size()),
+      "more processes than hosts (one process per machine, as in the paper)");
+
+  sim_ = std::make_unique<sim::Simulator>(config_.seed);
+
+  if (config_.network == NetworkType::kHub) {
+    network_ = std::make_unique<net::Hub>(*sim_, config_.hub);
+  } else {
+    network_ = std::make_unique<net::Switch>(*sim_, config_.switch_params);
+  }
+
+  Rng host_seeds(config_.seed ^ 0xC1A55D00DULL);
+  std::vector<mpi::World::RankResources> resources;
+  for (int i = 0; i < config_.num_procs; ++i) {
+    const HostSpec& spec = config_.hosts[static_cast<std::size_t>(i)];
+    auto host = std::make_unique<Host>();
+    const inet::IpAddr addr = inet::IpAddr::host(static_cast<std::uint32_t>(i));
+    const net::MacAddr mac = net::MacAddr::host(static_cast<std::uint32_t>(i));
+    arp_.add(addr, mac);
+    host->nic = std::make_unique<net::Nic>(*sim_, mac,
+                                           "eagle" + std::to_string(i + 1));
+    host->nic->attach_to(*network_);
+    host->ip = std::make_unique<inet::IpStack>(*sim_, *host->nic, addr, arp_);
+    host->udp = std::make_unique<inet::UdpStack>(*host->ip);
+    host->rdp = std::make_unique<inet::RdpEndpoint>(*host->udp);
+    host->costs = std::make_unique<CalibratedCosts>(
+        config_.costs, spec.cpu_mhz, host_seeds.fork(static_cast<std::uint64_t>(i)));
+    resources.push_back(mpi::World::RankResources{
+        host->udp.get(), host->rdp.get(), host->costs.get(), addr});
+    hosts_.push_back(std::move(host));
+  }
+
+  world_ = std::make_unique<mpi::World>(*sim_, resources);
+  for (int i = 0; i < config_.num_procs; ++i) {
+    world_->proc(i).engine().set_eager_threshold(config_.eager_threshold);
+    world_->proc(i).set_mcast_recv_buffer(config_.mcast_rcvbuf_bytes);
+  }
+}
+
+}  // namespace mcmpi::cluster

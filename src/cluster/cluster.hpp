@@ -1,0 +1,80 @@
+#pragma once
+/// \file cluster.hpp
+/// One-call construction of a simulated testbed: N hosts on a hub or a
+/// switch, full protocol stacks, and an MPI world on top.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/calibration.hpp"
+#include "inet/rdp.hpp"
+#include "inet/udp.hpp"
+#include "mpi/world.hpp"
+#include "net/hub.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::cluster {
+
+enum class NetworkType { kHub, kSwitch };
+
+std::string to_string(NetworkType type);
+NetworkType parse_network(const std::string& name);
+
+struct ClusterConfig {
+  int num_procs = 4;
+  NetworkType network = NetworkType::kHub;
+  std::uint64_t seed = 1;
+  CostParams costs;
+  net::Hub::Params hub;
+  net::Switch::Params switch_params;
+  std::int64_t eager_threshold = 64 * 1024;
+  /// Multicast-channel receive buffer per rank (SO_RCVBUF analogue).
+  std::size_t mcast_rcvbuf_bytes = 256 * 1024;
+  /// Host table; defaults to the paper's eagle cluster mix.
+  std::vector<HostSpec> hosts;
+};
+
+/// A complete simulated cluster.  Builds (bottom-up): simulator, network,
+/// per-host NIC + IP + UDP + RDP + cost model, then the MPI world.
+///
+/// Member declaration order is load-bearing: the simulator is declared
+/// last so it is destroyed FIRST — tearing it down unwinds any still-parked
+/// rank processes while the sockets and stacks their stacks reference are
+/// still alive.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return *sim_; }
+  net::Network& network() { return *network_; }
+  mpi::World& world() { return *world_; }
+  int num_procs() const { return config_.num_procs; }
+
+  /// Host stack access for tests.
+  inet::UdpStack& udp(int rank) { return *hosts_.at(static_cast<std::size_t>(rank))->udp; }
+  inet::IpStack& ip(int rank) { return *hosts_.at(static_cast<std::size_t>(rank))->ip; }
+  net::Nic& nic(int rank) { return *hosts_.at(static_cast<std::size_t>(rank))->nic; }
+
+ private:
+  struct Host {
+    std::unique_ptr<net::Nic> nic;
+    std::unique_ptr<inet::IpStack> ip;
+    std::unique_ptr<inet::UdpStack> udp;
+    std::unique_ptr<inet::RdpEndpoint> rdp;
+    std::unique_ptr<CalibratedCosts> costs;
+  };
+
+  ClusterConfig config_;
+  inet::ArpTable arp_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<mpi::World> world_;
+  std::unique_ptr<sim::Simulator> sim_;  // destroyed first — see class doc
+};
+
+}  // namespace mcmpi::cluster

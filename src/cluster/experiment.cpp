@@ -1,0 +1,69 @@
+#include "cluster/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mcmpi::cluster {
+
+ExperimentResult measure_collective(
+    Cluster& cluster, const ExperimentConfig& config,
+    const std::function<void(mpi::Proc&, int rep)>& op) {
+  MC_EXPECTS(config.reps >= 1);
+  const int n = cluster.num_procs();
+  const int total_reps = config.warmup_reps + config.reps;
+
+  sim::Simulator& sim = cluster.simulator();
+  const SimTime base = sim.now() + config.rep_interval;
+  std::vector<SimTime> starts(static_cast<std::size_t>(total_reps));
+  for (int r = 0; r < total_reps; ++r) {
+    starts[static_cast<std::size_t>(r)] = base + config.rep_interval * r;
+  }
+
+  std::vector<std::vector<SimTime>> ends(
+      static_cast<std::size_t>(total_reps),
+      std::vector<SimTime>(static_cast<std::size_t>(n), kTimeZero));
+
+  // Counter snapshot just before the first measured repetition begins.
+  net::NetCounters before{};
+  const SimTime snapshot_at =
+      starts[static_cast<std::size_t>(config.warmup_reps)] - microseconds(1);
+  sim.schedule_at(snapshot_at,
+                  [&before, &cluster] { before = cluster.network().counters(); });
+
+  cluster.world().run([&](mpi::Proc& p) {
+    for (int r = 0; r < total_reps; ++r) {
+      p.self().delay_until(starts[static_cast<std::size_t>(r)]);
+      // Loosely synchronized entry: per-rank, per-rep random skew.
+      const auto skew_ns = static_cast<std::int64_t>(p.self().rng().below(
+          static_cast<std::uint64_t>(config.max_skew.count()) + 1));
+      p.self().delay(SimTime{skew_ns});
+      op(p, r);
+      ends[static_cast<std::size_t>(r)][static_cast<std::size_t>(p.rank())] =
+          p.self().now();
+    }
+  });
+
+  ExperimentResult result;
+  result.net_delta = cluster.network().counters().since(before);
+  for (int r = config.warmup_reps; r < total_reps; ++r) {
+    const auto& row = ends[static_cast<std::size_t>(r)];
+    const SimTime latest = *std::max_element(row.begin(), row.end());
+    result.latencies_us.add(
+        to_microseconds(latest - starts[static_cast<std::size_t>(r)]));
+  }
+  return result;
+}
+
+net::NetCounters count_frames(Cluster& cluster,
+                              const std::function<void(mpi::Proc&)>& warmup,
+                              const std::function<void(mpi::Proc&)>& op) {
+  cluster.world().run([&](mpi::Proc& p) { warmup(p); });
+  // run() drains every event (delayed transport ACKs included), so the
+  // counter delta below contains exactly the measured operation.
+  cluster.network().reset_counters();
+  cluster.world().run([&](mpi::Proc& p) { op(p); });
+  return cluster.network().counters();
+}
+
+}  // namespace mcmpi::cluster

@@ -1,0 +1,50 @@
+#pragma once
+/// \file experiment.hpp
+/// The paper's measurement methodology, §4:
+///
+///   "The performance of the MPI collective operations is measured as the
+///    longest completion time of the collective operation among all
+///    processes.  For each message size, 20 to 30 different experiments
+///    were run.  The graphs show the measured time for all experiments
+///    with a line through the median of the times."
+///
+/// Each repetition starts at a pre-agreed virtual instant; every rank then
+/// adds its own random skew (loosely synchronized SPMD processes) before
+/// entering the operation.  The repetition's latency is the latest finish
+/// time minus the common start.  Results are returned as a full Sample so
+/// callers can report median and scatter exactly as the paper plots them.
+
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "common/stats.hpp"
+#include "net/counters.hpp"
+
+namespace mcmpi::cluster {
+
+struct ExperimentConfig {
+  int reps = 25;          // the paper ran 20-30 per point
+  int warmup_reps = 2;    // excluded: ARP-free but FDB/channel warm-up
+  SimTime rep_interval = milliseconds(50);
+  SimTime max_skew = microseconds(20);
+};
+
+struct ExperimentResult {
+  Sample latencies_us;          // one entry per measured repetition
+  net::NetCounters net_delta;   // counters over the measured reps only
+};
+
+/// Runs `op` (a collective call, e.g. a bcast with fixed algorithm/root)
+/// `config.reps` times on all ranks of `cluster` and measures it.
+/// `op` receives the rank's Proc and the repetition index.
+ExperimentResult measure_collective(
+    Cluster& cluster, const ExperimentConfig& config,
+    const std::function<void(mpi::Proc&, int rep)>& op);
+
+/// Runs `op` exactly once (no skew, after one warmup) and returns the
+/// frame-counter delta — used by the analytic frame-count reproduction.
+net::NetCounters count_frames(
+    Cluster& cluster, const std::function<void(mpi::Proc&)>& warmup,
+    const std::function<void(mpi::Proc&)>& op);
+
+}  // namespace mcmpi::cluster

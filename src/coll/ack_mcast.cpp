@@ -1,0 +1,79 @@
+#include "coll/ack_mcast.hpp"
+
+#include "coll/mcast.hpp"
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+namespace {
+struct AckState {
+  AckMcastStats stats;
+};
+}  // namespace
+
+void bcast_ack_mcast(Proc& p, const Comm& comm, Buffer& buffer, int root,
+                     const AckMcastParams& params) {
+  MC_EXPECTS(root >= 0 && root < comm.size());
+  if (comm.size() == 1) {
+    return;
+  }
+  mpi::McastChannel& ch = p.mcast_channel(comm);
+  AckState& state = p.coll_state<AckState>(comm);
+
+  if (comm.rank() != root) {
+    // Receive (first transmission or a retransmission — framed receive
+    // drops stale duplicates), then acknowledge over the raw path.
+    const std::uint64_t seq = ch.expected_seq();
+    buffer = mcast_recv_framed(p, comm, root);
+    Buffer ack;
+    ByteWriter w(ack);
+    w.u64(seq);
+    p.send(comm, root, mpi::kTagAckMcast, ack, net::FrameKind::kControl,
+           mpi::CostTier::kRaw);
+    return;
+  }
+
+  // Root: blast first, ask questions later.
+  const std::uint64_t seq = ch.expected_seq();
+  mcast_send_framed(p, comm, buffer, root, net::FrameKind::kData);
+
+  int pending = comm.size() - 1;
+  auto request = p.irecv(comm, mpi::kAnySource, mpi::kTagAckMcast);
+  SimTime deadline = p.self().now() + params.retransmit_timeout;
+  while (pending > 0) {
+    const auto ack =
+        p.wait_until(request, deadline, nullptr, mpi::CostTier::kRaw);
+    if (ack.has_value()) {
+      ByteReader r(*ack);
+      MC_ASSERT_MSG(r.u64() == seq, "ACK for a different broadcast");
+      --pending;
+      if (pending > 0) {
+        request = p.irecv(comm, mpi::kAnySource, mpi::kTagAckMcast);
+      }
+      continue;
+    }
+    // Timeout: somebody was not ready — re-multicast the whole payload.
+    // The channel sequence already advanced, so rebuild the frame with the
+    // original sequence number by sending through the socket directly.
+    ++state.stats.retransmissions;
+    Buffer framed;
+    ByteWriter w(framed);
+    w.u32(comm.context());
+    w.i32(comm.world_rank_of(root));
+    w.u64(seq);
+    w.bytes(buffer);
+    p.self().delay(p.costs().send_overhead(
+        static_cast<std::int64_t>(buffer.size()), mpi::CostTier::kMcastData));
+    ch.send(std::move(framed), net::FrameKind::kData);
+    deadline = p.self().now() + params.retransmit_timeout;
+  }
+}
+
+const AckMcastStats& ack_mcast_stats(Proc& p, const Comm& comm) {
+  return p.coll_state<AckState>(comm).stats;
+}
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,43 @@
+#pragma once
+/// \file ack_mcast.hpp
+/// Sender-initiated reliable multicast (ORNL PVM style) — the cited
+/// negative baseline.
+///
+/// Paper §2: "In research done at Oak Ridge National Laboratory, parallel
+/// collective operations in PVM were implemented over IP multicast.  In
+/// that work, reliability was ensured by the sender repeatedly sending the
+/// same message until ack's were received from all receivers.  This
+/// approach did not produce improvement in performance."
+///
+/// The root multicasts the payload immediately (no readiness handshake),
+/// then blocks until every receiver has acknowledged, re-multicasting the
+/// full payload whenever the ACK timer expires.  Receivers that were not
+/// ready for the first transmission pick up a retransmission.  The ablation
+/// bench (abl_ack_mcast) shows why this loses to scouts: ACK collection is
+/// as serial as linear scouts, and any slow receiver costs whole-payload
+/// retransmissions instead of a cheap wait.
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "mpi/proc.hpp"
+
+namespace mcmpi::coll {
+
+struct AckMcastParams {
+  /// How long the root waits for outstanding ACKs before re-multicasting.
+  SimTime retransmit_timeout = milliseconds(5);
+};
+
+struct AckMcastStats {
+  std::uint64_t retransmissions = 0;
+};
+
+/// Broadcast with sender-initiated reliability.  `buffer` is input at root,
+/// output elsewhere.
+void bcast_ack_mcast(mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                     int root, const AckMcastParams& params = {});
+
+/// Cumulative retransmission count on this rank (root-side statistic).
+const AckMcastStats& ack_mcast_stats(mpi::Proc& p, const mpi::Comm& comm);
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,18 @@
+#include "coll/allreduce.hpp"
+
+#include "coll/mpich.hpp"
+
+namespace mcmpi::coll {
+
+Buffer allreduce(mpi::Proc& p, const mpi::Comm& comm,
+                 std::span<const std::uint8_t> data, mpi::Op op,
+                 mpi::Datatype type, BcastAlgo bcast_algo) {
+  Buffer result = reduce_mpich(p, comm, data, op, type, /*root=*/0);
+  if (comm.rank() != 0) {
+    result.clear();
+  }
+  bcast(p, comm, result, /*root=*/0, bcast_algo);
+  return result;
+}
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,18 @@
+#pragma once
+/// \file allreduce.hpp
+/// Allreduce built the MPICH-1.x way (reduce to rank 0, then broadcast) —
+/// with the broadcast stage selectable, so the multicast win compounds into
+/// a second collective (an extension the paper's future work anticipates).
+
+#include "coll/coll.hpp"
+#include "mpi/datatype.hpp"
+
+namespace mcmpi::coll {
+
+/// Returns the reduced vector on every rank.
+Buffer allreduce(mpi::Proc& p, const mpi::Comm& comm,
+                 std::span<const std::uint8_t> data, mpi::Op op,
+                 mpi::Datatype type,
+                 BcastAlgo bcast_algo = BcastAlgo::kMpichBinomial);
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,92 @@
+#include "coll/coll.hpp"
+
+#include <stdexcept>
+
+#include "coll/ack_mcast.hpp"
+#include "coll/mcast.hpp"
+#include "coll/mpich.hpp"
+#include "coll/sequencer.hpp"
+
+namespace mcmpi::coll {
+
+std::string to_string(BcastAlgo algo) {
+  switch (algo) {
+    case BcastAlgo::kMpichBinomial:
+      return "mpich";
+    case BcastAlgo::kMcastBinary:
+      return "mcast-binary";
+    case BcastAlgo::kMcastLinear:
+      return "mcast-linear";
+    case BcastAlgo::kAckMcast:
+      return "ack-mcast";
+    case BcastAlgo::kSequencer:
+      return "sequencer";
+  }
+  return "?";
+}
+
+std::string to_string(BarrierAlgo algo) {
+  switch (algo) {
+    case BarrierAlgo::kMpich:
+      return "mpich";
+    case BarrierAlgo::kMcast:
+      return "mcast";
+  }
+  return "?";
+}
+
+BcastAlgo parse_bcast_algo(const std::string& name) {
+  for (BcastAlgo algo :
+       {BcastAlgo::kMpichBinomial, BcastAlgo::kMcastBinary,
+        BcastAlgo::kMcastLinear, BcastAlgo::kAckMcast, BcastAlgo::kSequencer}) {
+    if (to_string(algo) == name) {
+      return algo;
+    }
+  }
+  throw std::invalid_argument("unknown broadcast algorithm: " + name);
+}
+
+BarrierAlgo parse_barrier_algo(const std::string& name) {
+  for (BarrierAlgo algo : {BarrierAlgo::kMpich, BarrierAlgo::kMcast}) {
+    if (to_string(algo) == name) {
+      return algo;
+    }
+  }
+  throw std::invalid_argument("unknown barrier algorithm: " + name);
+}
+
+void bcast(mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root,
+           BcastAlgo algo) {
+  switch (algo) {
+    case BcastAlgo::kMpichBinomial:
+      bcast_mpich(p, comm, buffer, root);
+      return;
+    case BcastAlgo::kMcastBinary:
+      bcast_mcast_binary(p, comm, buffer, root);
+      return;
+    case BcastAlgo::kMcastLinear:
+      bcast_mcast_linear(p, comm, buffer, root);
+      return;
+    case BcastAlgo::kAckMcast:
+      bcast_ack_mcast(p, comm, buffer, root);
+      return;
+    case BcastAlgo::kSequencer:
+      bcast_sequencer(p, comm, buffer, root);
+      return;
+  }
+  MC_ASSERT_MSG(false, "unknown broadcast algorithm");
+}
+
+void barrier(mpi::Proc& p, const mpi::Comm& comm, BarrierAlgo algo) {
+  switch (algo) {
+    case BarrierAlgo::kMpich:
+      barrier_mpich(p, comm);
+      return;
+    case BarrierAlgo::kMcast:
+      barrier_mcast(p, comm);
+      return;
+  }
+  MC_ASSERT_MSG(false, "unknown barrier algorithm");
+}
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,54 @@
+#pragma once
+/// \file coll.hpp
+/// Collective operations — unified entry points and algorithm selection.
+///
+/// The paper's comparison is between MPICH's point-to-point collective
+/// algorithms and IP-multicast-based replacements.  Every algorithm is
+/// available behind one dispatcher so benches and tests can sweep them:
+///
+///   Broadcast:
+///     kMpichBinomial — MPICH's tree over point-to-point (Fig. 2 baseline)
+///     kMcastBinary   — binary-tree scout gather, then one multicast (Fig. 3)
+///     kMcastLinear   — linear scout gather, then one multicast (Fig. 4)
+///     kAckMcast      — ORNL/PVM style: multicast immediately, resend until
+///                      every receiver ACKs (the cited negative result)
+///     kSequencer     — Orca-style: a sequencer rank orders and multicasts;
+///                      receivers NACK gaps (related-work ablation)
+///   Barrier:
+///     kMpichBarrier  — MPICH's three-phase point-to-point exchange (Fig. 5)
+///     kMcastBarrier  — scout reduction + one multicast release (§3.2)
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "mpi/proc.hpp"
+
+namespace mcmpi::coll {
+
+enum class BcastAlgo {
+  kMpichBinomial,
+  kMcastBinary,
+  kMcastLinear,
+  kAckMcast,
+  kSequencer,
+};
+
+enum class BarrierAlgo {
+  kMpich,
+  kMcast,
+};
+
+std::string to_string(BcastAlgo algo);
+std::string to_string(BarrierAlgo algo);
+/// Parses the names printed by to_string; throws std::invalid_argument.
+BcastAlgo parse_bcast_algo(const std::string& name);
+BarrierAlgo parse_barrier_algo(const std::string& name);
+
+/// Broadcast `buffer` (input at root, output elsewhere) over `comm`.
+void bcast(mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root,
+           BcastAlgo algo);
+
+/// Synchronize all ranks of `comm`.
+void barrier(mpi::Proc& p, const mpi::Comm& comm, BarrierAlgo algo);
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,167 @@
+#include "coll/mcast.hpp"
+
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+namespace {
+
+/// Framing of a data multicast: everything a receiver needs to check the
+/// safe-program ordering argument of §4.
+struct McastHeader {
+  std::uint32_t context;
+  std::int32_t root_world;
+  std::uint64_t seq;
+};
+
+Buffer frame_payload(const McastHeader& h,
+                     std::span<const std::uint8_t> payload) {
+  Buffer out;
+  out.reserve(payload.size() + 16);
+  ByteWriter w(out);
+  w.u32(h.context);
+  w.i32(h.root_world);
+  w.u64(h.seq);
+  w.bytes(payload);
+  return out;
+}
+
+McastHeader parse_header(ByteReader& r) {
+  McastHeader h;
+  h.context = r.u32();
+  h.root_world = r.i32();
+  h.seq = r.u64();
+  return h;
+}
+
+}  // namespace
+
+void scout_gather_binary(Proc& p, const Comm& comm, int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const int rel = (rank - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if (rel & mask) {
+      const int parent = ((rel - mask) + root) % size;
+      p.send(comm, parent, mpi::kTagScout, {}, net::FrameKind::kControl,
+             mpi::CostTier::kRaw);
+      return;
+    }
+    if (rel + mask < size) {
+      const int child = ((rel + mask) + root) % size;
+      (void)p.recv(comm, child, mpi::kTagScout, nullptr, mpi::CostTier::kRaw);
+    }
+    mask <<= 1;
+  }
+  // Only the root reaches this point: all subtree scouts are in.
+  MC_ASSERT(rel == 0);
+}
+
+void scout_gather_linear(Proc& p, const Comm& comm, int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (rank != root) {
+    p.send(comm, root, mpi::kTagScout, {}, net::FrameKind::kControl,
+           mpi::CostTier::kRaw);
+    return;
+  }
+  // "the root can only receive one message at a time" — N-1 sequential
+  // receives, in whichever order the scouts arrive.
+  for (int i = 0; i < size - 1; ++i) {
+    (void)p.recv(comm, mpi::kAnySource, mpi::kTagScout, nullptr,
+                 mpi::CostTier::kRaw);
+  }
+}
+
+void mcast_send_framed(Proc& p, const Comm& comm,
+                       std::span<const std::uint8_t> payload, int root,
+                       net::FrameKind kind, mpi::CostTier tier) {
+  mpi::McastChannel& ch = p.mcast_channel(comm);
+  const McastHeader header{comm.context(), comm.world_rank_of(root),
+                           ch.expected_seq()};
+  p.self().delay(p.costs().send_overhead(
+      static_cast<std::int64_t>(payload.size()), tier));
+  ch.send(frame_payload(header, payload), kind);
+  ch.advance_seq();
+}
+
+Buffer mcast_recv_framed(Proc& p, const Comm& comm, int root,
+                         mpi::CostTier tier) {
+  mpi::McastChannel& ch = p.mcast_channel(comm);
+  for (;;) {
+    inet::UdpDatagram d = ch.socket().recv(p.self());
+    ByteReader r(d.data);
+    const McastHeader h = parse_header(r);
+    if (h.seq < ch.expected_seq()) {
+      continue;  // stale duplicate (retransmitting protocols)
+    }
+    // Safe-program ordering (§4): the next multicast on this group must be
+    // the one this rank is waiting for.
+    MC_ASSERT_MSG(h.seq == ch.expected_seq(),
+                  "multicast arrived out of program order (unsafe program?)");
+    MC_ASSERT_MSG(h.context == comm.context(), "context mismatch");
+    MC_ASSERT_MSG(h.root_world == comm.world_rank_of(root),
+                  "broadcast root mismatch");
+    auto payload_span = r.rest();
+    Buffer payload(payload_span.begin(), payload_span.end());
+    p.self().delay(p.costs().recv_overhead(
+        static_cast<std::int64_t>(payload.size()), tier));
+    ch.advance_seq();
+    return payload;
+  }
+}
+
+void bcast_mcast_binary(Proc& p, const Comm& comm, Buffer& buffer, int root) {
+  MC_EXPECTS(root >= 0 && root < comm.size());
+  if (comm.size() == 1) {
+    return;
+  }
+  // Channel creation precedes the scout: readiness before announcement.
+  (void)p.mcast_channel(comm);
+  scout_gather_binary(p, comm, root);
+  if (comm.rank() == root) {
+    mcast_send_framed(p, comm, buffer, root, net::FrameKind::kData);
+  } else {
+    buffer = mcast_recv_framed(p, comm, root);
+  }
+}
+
+void bcast_mcast_linear(Proc& p, const Comm& comm, Buffer& buffer, int root) {
+  MC_EXPECTS(root >= 0 && root < comm.size());
+  if (comm.size() == 1) {
+    return;
+  }
+  (void)p.mcast_channel(comm);
+  scout_gather_linear(p, comm, root);
+  if (comm.rank() == root) {
+    mcast_send_framed(p, comm, buffer, root, net::FrameKind::kData);
+  } else {
+    buffer = mcast_recv_framed(p, comm, root);
+  }
+}
+
+void barrier_mcast(Proc& p, const Comm& comm) {
+  if (comm.size() == 1) {
+    return;
+  }
+  (void)p.mcast_channel(comm);
+  constexpr int kRoot = 0;
+  scout_gather_binary(p, comm, kRoot);
+  // The release is a bare zero-data multicast from the bypass layer (raw
+  // tier), not an MPI data delivery — this is what makes the multicast
+  // barrier cheap at every N (Fig. 13).
+  if (comm.rank() == kRoot) {
+    mcast_send_framed(p, comm, {}, kRoot, net::FrameKind::kControl,
+                      mpi::CostTier::kRaw);
+  } else {
+    const Buffer release =
+        mcast_recv_framed(p, comm, kRoot, mpi::CostTier::kRaw);
+    MC_ASSERT(release.empty());
+  }
+}
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,60 @@
+#pragma once
+/// \file mcast_allgather.hpp
+/// Many-to-many collectives over IP multicast — the paper's §5 future work,
+/// implemented and instrumented.
+///
+/// Allgather is the natural many-to-many use of multicast: every rank's
+/// block must reach every other rank, so each block should cross the wire
+/// once (N multicasts total) instead of the N(N-1) block-hops of a
+/// point-to-point ring.  Two pacing disciplines are provided:
+///
+///   kLockstep — one barrier up front, then ranks multicast their blocks in
+///       rank order, everyone receiving each block before the next is sent.
+///       Readiness is implied by the round structure: nobody can multicast
+///       round r+1 before consuming round r.  Never loses data.
+///
+///   kBlast — one barrier up front, then every rank multicasts immediately
+///       and collects the other N-1 blocks in arrival order.  Fastest
+///       possible pacing, but N-1 senders converge on every receiver's
+///       socket buffer at once: precisely the overrun hazard the paper
+///       warns about ("a set of fast senders may overrun a single
+///       receiver", §2/§5).  Blocks that find the buffer full are lost;
+///       the outcome reports how many.  A trailing barrier resynchronizes
+///       the group so later collectives stay safe.
+///
+/// The abl_overrun bench sweeps the receive-buffer size to map where blast
+/// pacing starts dropping and what lockstep's safety costs in latency.
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "mpi/proc.hpp"
+
+namespace mcmpi::coll {
+
+enum class AllgatherMode {
+  kLockstep,
+  kBlast,
+};
+
+std::string to_string(AllgatherMode mode);
+
+struct AllgatherOutcome {
+  /// blocks[r] is rank r's contribution; the local block is always present.
+  /// In blast mode a lost block leaves blocks[r] empty.
+  std::vector<Buffer> blocks;
+  /// Number of peer blocks this rank never received (blast mode overrun;
+  /// always 0 in lockstep mode).
+  int missing = 0;
+};
+
+/// Shares `data` among all ranks of `comm` via IP multicast.
+/// `blast_timeout` bounds how long a blast-mode rank waits for blocks that
+/// may never come (lost to overrun).
+AllgatherOutcome allgather_mcast(mpi::Proc& p, const mpi::Comm& comm,
+                                 std::span<const std::uint8_t> data,
+                                 AllgatherMode mode,
+                                 SimTime blast_timeout = milliseconds(20));
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,198 @@
+#include "coll/mpich.hpp"
+
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+void bcast_mpich(Proc& p, const Comm& comm, Buffer& buffer, int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS(root >= 0 && root < size);
+  if (size == 1) {
+    return;
+  }
+  const int rel = (rank - root + size) % size;
+
+  // Receive from the parent: the first set bit of the relative rank names it.
+  int mask = 1;
+  while (mask < size) {
+    if (rel & mask) {
+      const int parent = ((rel - mask) + root) % size;
+      buffer = p.recv(comm, parent, mpi::kTagCollective);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children, largest subtree first (as MPICH does).
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < size) {
+      const int child = ((rel + mask) + root) % size;
+      p.send(comm, child, mpi::kTagCollective, buffer);
+    }
+    mask >>= 1;
+  }
+}
+
+void barrier_mpich(Proc& p, const Comm& comm) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  if (size == 1) {
+    return;
+  }
+  // K = largest power of two <= size.
+  int k = 1;
+  while (k * 2 <= size) {
+    k *= 2;
+  }
+
+  if (rank >= k) {
+    // Phase 1: fold in; phase 3: wait for release.
+    p.send(comm, rank - k, mpi::kTagBarrier, {}, net::FrameKind::kControl);
+    (void)p.recv(comm, rank - k, mpi::kTagBarrier);
+    return;
+  }
+  if (rank < size - k) {
+    (void)p.recv(comm, rank + k, mpi::kTagBarrier);
+  }
+  // Phase 2: recursive doubling among the power-of-two set.
+  for (int mask = 1; mask < k; mask <<= 1) {
+    const int partner = rank ^ mask;
+    (void)p.sendrecv(comm, partner, mpi::kTagBarrier, {}, partner,
+                     mpi::kTagBarrier);
+  }
+  // Phase 3: release the folded-in ranks.
+  if (rank < size - k) {
+    p.send(comm, rank + k, mpi::kTagBarrier, {}, net::FrameKind::kControl);
+  }
+}
+
+Buffer reduce_mpich(Proc& p, const Comm& comm,
+                    std::span<const std::uint8_t> data, mpi::Op op,
+                    mpi::Datatype type, int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS(root >= 0 && root < size);
+  MC_EXPECTS(data.size() % mpi::datatype_size(type) == 0);
+  const std::size_t count = data.size() / mpi::datatype_size(type);
+
+  Buffer accum(data.begin(), data.end());
+  const int rel = (rank - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if (rel & mask) {
+      const int parent = ((rel - mask) + root) % size;
+      p.send(comm, parent, mpi::kTagCollective, accum);
+      return {};
+    }
+    if (rel + mask < size) {
+      const int child = ((rel + mask) + root) % size;
+      const Buffer contribution = p.recv(comm, child, mpi::kTagCollective);
+      MC_ASSERT(contribution.size() == accum.size());
+      mpi::apply_op(op, type, contribution, accum, count);
+    }
+    mask <<= 1;
+  }
+  return accum;  // root
+}
+
+std::vector<Buffer> gather_mpich(Proc& p, const Comm& comm,
+                                 std::span<const std::uint8_t> data,
+                                 int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS(root >= 0 && root < size);
+  if (rank != root) {
+    p.send(comm, root, mpi::kTagCollective, data);
+    return {};
+  }
+  std::vector<Buffer> out(static_cast<std::size_t>(size));
+  out[static_cast<std::size_t>(root)] = Buffer(data.begin(), data.end());
+  for (int r = 0; r < size; ++r) {
+    if (r != root) {
+      out[static_cast<std::size_t>(r)] = p.recv(comm, r, mpi::kTagCollective);
+    }
+  }
+  return out;
+}
+
+Buffer scatter_mpich(Proc& p, const Comm& comm,
+                     const std::vector<Buffer>& chunks, int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS(root >= 0 && root < size);
+  if (rank == root) {
+    MC_EXPECTS_MSG(static_cast<int>(chunks.size()) == size,
+                   "scatter needs one chunk per rank");
+    for (int r = 0; r < size; ++r) {
+      if (r != root) {
+        p.send(comm, r, mpi::kTagCollective,
+               chunks[static_cast<std::size_t>(r)]);
+      }
+    }
+    return chunks[static_cast<std::size_t>(root)];
+  }
+  return p.recv(comm, root, mpi::kTagCollective);
+}
+
+std::vector<Buffer> allgather_mpich(Proc& p, const Comm& comm,
+                                    std::span<const std::uint8_t> data) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  std::vector<Buffer> out(static_cast<std::size_t>(size));
+  out[static_cast<std::size_t>(rank)] = Buffer(data.begin(), data.end());
+  // Ring: at step s, pass along the block that originated s hops upstream.
+  const int next = (rank + 1) % size;
+  const int prev = (rank - 1 + size) % size;
+  for (int step = 0; step < size - 1; ++step) {
+    const int sending = (rank - step + size) % size;
+    const int receiving = (rank - step - 1 + size) % size;
+    out[static_cast<std::size_t>(receiving)] =
+        p.sendrecv(comm, next, mpi::kTagCollective,
+                   out[static_cast<std::size_t>(sending)], prev,
+                   mpi::kTagCollective);
+  }
+  return out;
+}
+
+Buffer scan_mpich(Proc& p, const Comm& comm,
+                  std::span<const std::uint8_t> data, mpi::Op op,
+                  mpi::Datatype type) {
+  MC_EXPECTS(data.size() % mpi::datatype_size(type) == 0);
+  const std::size_t count = data.size() / mpi::datatype_size(type);
+  Buffer accum(data.begin(), data.end());
+  const int rank = comm.rank();
+  if (rank > 0) {
+    const Buffer upstream = p.recv(comm, rank - 1, mpi::kTagCollective);
+    MC_ASSERT(upstream.size() == accum.size());
+    mpi::apply_op(op, type, upstream, accum, count);
+  }
+  if (rank < comm.size() - 1) {
+    p.send(comm, rank + 1, mpi::kTagCollective, accum);
+  }
+  return accum;
+}
+
+std::vector<Buffer> alltoall_mpich(Proc& p, const Comm& comm,
+                                   const std::vector<Buffer>& to_each) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS_MSG(static_cast<int>(to_each.size()) == size,
+                 "alltoall needs one buffer per rank");
+  std::vector<Buffer> out(static_cast<std::size_t>(size));
+  out[static_cast<std::size_t>(rank)] = to_each[static_cast<std::size_t>(rank)];
+  for (int shift = 1; shift < size; ++shift) {
+    const int dst = (rank + shift) % size;
+    const int src = (rank - shift + size) % size;
+    out[static_cast<std::size_t>(src)] =
+        p.sendrecv(comm, dst, mpi::kTagCollective,
+                   to_each[static_cast<std::size_t>(dst)], src,
+                   mpi::kTagCollective);
+  }
+  return out;
+}
+
+}  // namespace mcmpi::coll

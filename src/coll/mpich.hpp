@@ -1,0 +1,61 @@
+#pragma once
+/// \file mpich.hpp
+/// MPICH-1.x-style collective algorithms over point-to-point messages —
+/// the paper's baseline, plus the wider collective set (reduce, gather,
+/// scatter, allgather, allreduce, alltoall) implemented with the same
+/// era-appropriate algorithms.
+///
+/// Frame economics of the baseline broadcast (paper §3.1): with N ranks,
+/// an M-byte payload and T bytes of payload per frame, the tree sends
+/// (floor(M/T)+1) * (N-1) data frames, since every edge of the tree carries
+/// a full copy.  tab_frame_counts verifies this against the simulator.
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/proc.hpp"
+
+namespace mcmpi::coll {
+
+/// Binomial-tree broadcast (MPI_Bcast in MPICH; Fig. 2 of the paper).
+void bcast_mpich(mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                 int root);
+
+/// Three-phase barrier (MPI_Barrier in MPICH; Fig. 5 of the paper):
+/// fold-in from the ranks beyond the largest power of two K, recursive
+/// doubling among the first K, then release messages back out.
+/// Total messages: 2*(N-K) + K*log2(K).
+void barrier_mpich(mpi::Proc& p, const mpi::Comm& comm);
+
+/// Binomial-tree reduction to `root`; returns the result buffer at root
+/// (empty elsewhere).  `data` holds `count` elements of `type`.
+Buffer reduce_mpich(mpi::Proc& p, const mpi::Comm& comm,
+                    std::span<const std::uint8_t> data, mpi::Op op,
+                    mpi::Datatype type, int root);
+
+/// Linear gather to root: result[i] is rank i's contribution (at root).
+std::vector<Buffer> gather_mpich(mpi::Proc& p, const mpi::Comm& comm,
+                                 std::span<const std::uint8_t> data, int root);
+
+/// Linear scatter from root: `chunks` (root only) must have comm.size()
+/// entries; returns this rank's chunk.
+Buffer scatter_mpich(mpi::Proc& p, const mpi::Comm& comm,
+                     const std::vector<Buffer>& chunks, int root);
+
+/// Ring allgather: N-1 shift steps.
+std::vector<Buffer> allgather_mpich(mpi::Proc& p, const mpi::Comm& comm,
+                                    std::span<const std::uint8_t> data);
+
+/// Pairwise-shift alltoall: `to_each[i]` goes to rank i; returns what every
+/// rank sent to us.
+std::vector<Buffer> alltoall_mpich(mpi::Proc& p, const mpi::Comm& comm,
+                                   const std::vector<Buffer>& to_each);
+
+/// Inclusive prefix reduction (MPI_Scan): rank r returns op over the
+/// contributions of ranks 0..r.  Linear chain, as MPICH 1.x did it.
+Buffer scan_mpich(mpi::Proc& p, const mpi::Comm& comm,
+                  std::span<const std::uint8_t> data, mpi::Op op,
+                  mpi::Datatype type);
+
+}  // namespace mcmpi::coll

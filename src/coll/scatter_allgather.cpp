@@ -1,0 +1,129 @@
+#include "coll/scatter_allgather.hpp"
+
+#include "coll/mpich.hpp"
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+namespace {
+
+/// Piece boundaries: piece i covers [offset(i), offset(i+1)).
+std::size_t piece_offset(std::size_t total, int pieces, int index) {
+  return total * static_cast<std::size_t>(index) /
+         static_cast<std::size_t>(pieces);
+}
+
+}  // namespace
+
+void bcast_scatter_allgather(Proc& p, const Comm& comm, Buffer& buffer,
+                             int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS(root >= 0 && root < size);
+  if (size == 1) {
+    return;
+  }
+
+  // Every rank needs the total length up front (non-roots pass an empty
+  // buffer); a tiny binomial broadcast of the header costs one extra round
+  // of minimum-size frames.
+  std::uint64_t total = buffer.size();
+  {
+    Buffer header;
+    if (rank == root) {
+      ByteWriter w(header);
+      w.u64(total);
+    }
+    bcast_mpich(p, comm, header, root);
+    ByteReader r(header);
+    total = r.u64();
+  }
+  if (total < static_cast<std::uint64_t>(size)) {
+    // Degenerate pieces; the tree is strictly better here.
+    bcast_mpich(p, comm, buffer, root);
+    return;
+  }
+
+  // --- Scatter along the binomial tree, halving the span at each hop. ---
+  // Rank r (relative to root) ends up owning piece r.
+  const int rel = (rank - root + size) % size;
+  Buffer fragment;  // the contiguous span of pieces this rank currently holds
+  int span_begin = 0;          // first piece in `fragment` (relative ranks)
+  int span_count = size;       // pieces in `fragment`
+  if (rank == root) {
+    fragment = std::move(buffer);
+    buffer.clear();
+  } else {
+    // Receive our span from the parent.
+    int mask = 1;
+    while (mask < size) {
+      if (rel & mask) {
+        const int parent = ((rel - mask) + root) % size;
+        fragment = p.recv(comm, parent, mpi::kTagCollective);
+        span_begin = rel;
+        // Parent sent us pieces [rel, rel + min(mask, size - rel)).
+        span_count = std::min(mask, size - rel);
+        break;
+      }
+      mask <<= 1;
+    }
+  }
+  // Forward the upper half of our span, repeatedly.
+  {
+    int mask = 1;
+    while (mask < size && !(rel & mask)) {
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (rel + mask < span_begin + span_count) {
+        const int child = ((rel + mask) + root) % size;
+        const int child_begin = rel + mask;
+        const int child_count = span_begin + span_count - child_begin;
+        const std::size_t lo =
+            piece_offset(total, size, child_begin) -
+            piece_offset(total, size, span_begin);
+        const std::size_t hi =
+            piece_offset(total, size, child_begin + child_count) -
+            piece_offset(total, size, span_begin);
+        p.send(comm, child, mpi::kTagCollective,
+               std::span<const std::uint8_t>(fragment.data() + lo, hi - lo));
+        fragment.resize(lo);
+        span_count = child_begin - span_begin;
+      }
+      mask >>= 1;
+    }
+  }
+  MC_ASSERT(span_begin == rel && span_count >= 1);
+
+  // --- Ring allgather of the pieces (piece index = relative rank). ---
+  std::vector<Buffer> pieces(static_cast<std::size_t>(size));
+  pieces[static_cast<std::size_t>(rel)] = std::move(fragment);
+  const int next_rel = (rel + 1) % size;
+  const int prev_rel = (rel - 1 + size) % size;
+  const int next = (next_rel + root) % size;
+  const int prev = (prev_rel + root) % size;
+  for (int step = 0; step < size - 1; ++step) {
+    const int sending = (rel - step + size) % size;
+    const int receiving = (rel - step - 1 + size) % size;
+    pieces[static_cast<std::size_t>(receiving)] =
+        p.sendrecv(comm, next, mpi::kTagCollective,
+                   pieces[static_cast<std::size_t>(sending)], prev,
+                   mpi::kTagCollective);
+  }
+
+  // Reassemble in payload order (piece i is relative rank i's span).
+  buffer.clear();
+  buffer.reserve(total);
+  for (int i = 0; i < size; ++i) {
+    const Buffer& piece = pieces[static_cast<std::size_t>(i)];
+    MC_ASSERT(piece.size() == piece_offset(total, size, i + 1) -
+                                  piece_offset(total, size, i));
+    buffer.insert(buffer.end(), piece.begin(), piece.end());
+  }
+}
+
+}  // namespace mcmpi::coll

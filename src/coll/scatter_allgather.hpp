@@ -1,0 +1,30 @@
+#pragma once
+/// \file scatter_allgather.hpp
+/// Long-message broadcast via scatter + ring allgather (van de Geijn) —
+/// the point-to-point answer to the multicast argument, added as an
+/// extension baseline.
+///
+/// The paper's frame-count case against MPICH assumes the tree broadcast,
+/// where the root's link carries the payload log2(N) times and the wire
+/// carries it N-1 times in total.  Later MPI implementations adopted the
+/// van de Geijn algorithm for long messages: scatter the payload in N
+/// pieces down a binomial tree, then ring-allgather the pieces.  Total
+/// traffic is *higher* than the tree's, but every byte crosses each LINK
+/// at most ~2x and the ring runs on N disjoint full-duplex links in
+/// parallel — critical-path time ~2M/B instead of ~log2(N)·M/B.  One IP
+/// multicast still moves each byte exactly once in total, which is the
+/// paper's structural advantage; abl_long_bcast maps where each of the
+/// three designs wins.
+
+#include "common/bytes.hpp"
+#include "mpi/proc.hpp"
+
+namespace mcmpi::coll {
+
+/// Broadcast `buffer` (input at root, output elsewhere) using
+/// scatter + ring allgather.  Falls back to the binomial tree for payloads
+/// smaller than one piece per rank would justify (< comm.size() bytes).
+void bcast_scatter_allgather(mpi::Proc& p, const mpi::Comm& comm,
+                             Buffer& buffer, int root);
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,163 @@
+#include "coll/sequencer.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+namespace {
+
+constexpr int kSequencerRank = 0;
+
+struct SeqState {
+  // Sequencer side.
+  bool sink_installed = false;
+  std::map<std::uint64_t, Buffer> history;  // seq -> framed payload
+  // Receiver side.
+  std::map<std::uint64_t, Buffer> stash;  // early frames (seq > expected)
+  SequencerStats stats;
+};
+
+Buffer frame(std::uint32_t context, std::int32_t root_world,
+             std::uint64_t seq, std::span<const std::uint8_t> payload) {
+  Buffer out;
+  out.reserve(payload.size() + 16);
+  ByteWriter w(out);
+  w.u32(context);
+  w.i32(root_world);
+  w.u64(seq);
+  w.bytes(payload);
+  return out;
+}
+
+void install_sink(Proc& p, const Comm& comm, SeqState& state) {
+  if (state.sink_installed) {
+    return;
+  }
+  state.sink_installed = true;
+  mpi::McastChannel* channel = &p.mcast_channel(comm);
+  SeqState* st = &state;
+  p.engine().set_sink(
+      comm.context(), mpi::kTagSeqNack,
+      [channel, st](mpi::Rank /*src*/, Buffer data) {
+        ByteReader r(data);
+        const std::uint64_t wanted = r.u64();
+        const auto it = st->history.find(wanted);
+        if (it == st->history.end()) {
+          ++st->stats.nacks_unserved;
+          return;
+        }
+        ++st->stats.nacks_served;
+        // Kernel-level service: re-multicast without charging the rank.
+        channel->send(it->second, net::FrameKind::kData);
+      });
+}
+
+/// Receiver-side delivery with gap recovery.  Returns the payload of the
+/// next in-order broadcast.
+Buffer recv_with_nack(Proc& p, const Comm& comm, SeqState& state,
+                      const SequencerParams& params) {
+  mpi::McastChannel& ch = p.mcast_channel(comm);
+  for (;;) {
+    const std::uint64_t expected = ch.expected_seq();
+    // A retransmission may already be stashed.
+    if (const auto it = state.stash.find(expected); it != state.stash.end()) {
+      Buffer payload = std::move(it->second);
+      state.stash.erase(it);
+      ch.advance_seq();
+      p.self().delay(p.costs().recv_overhead(
+          static_cast<std::int64_t>(payload.size()),
+          mpi::CostTier::kMcastData));
+      return payload;
+    }
+    auto datagram =
+        ch.socket().recv_until(p.self(), p.self().now() + params.nack_timeout);
+    if (!datagram.has_value()) {
+      // Gap (or sequencer not there yet): ask for the expected frame.
+      ++state.stats.nacks_sent;
+      Buffer nack;
+      ByteWriter w(nack);
+      w.u64(expected);
+      p.send(comm, kSequencerRank, mpi::kTagSeqNack, nack,
+             net::FrameKind::kControl, mpi::CostTier::kRaw);
+      continue;
+    }
+    ByteReader r(datagram->data);
+    (void)r.u32();  // context (validated by port/group)
+    (void)r.i32();  // root
+    const std::uint64_t seq = r.u64();
+    if (seq < expected) {
+      continue;  // duplicate
+    }
+    auto payload_span = r.rest();
+    Buffer payload(payload_span.begin(), payload_span.end());
+    if (seq > expected) {
+      state.stash.emplace(seq, std::move(payload));
+      continue;  // keep hunting for the gap frame (NACK on next timeout)
+    }
+    ch.advance_seq();
+    p.self().delay(p.costs().recv_overhead(
+        static_cast<std::int64_t>(payload.size()), mpi::CostTier::kMcastData));
+    return payload;
+  }
+}
+
+}  // namespace
+
+void bcast_sequencer(Proc& p, const Comm& comm, Buffer& buffer, int root,
+                     const SequencerParams& params) {
+  MC_EXPECTS(root >= 0 && root < comm.size());
+  if (comm.size() == 1) {
+    return;
+  }
+  mpi::McastChannel& ch = p.mcast_channel(comm);
+  SeqState& state = p.coll_state<SeqState>(comm);
+  const int rank = comm.rank();
+
+  if (rank == kSequencerRank) {
+    install_sink(p, comm, state);
+    Buffer payload;
+    if (root == kSequencerRank) {
+      payload = buffer;
+    } else {
+      payload =
+          p.recv(comm, root, mpi::kTagSequencer, nullptr, mpi::CostTier::kRaw);
+      buffer = payload;  // the sequencer learns the data from the handoff
+    }
+    const std::uint64_t seq = ch.expected_seq();
+    Buffer framed =
+        frame(comm.context(), comm.world_rank_of(root), seq, payload);
+    state.history.emplace(seq, framed);
+    while (state.history.size() > params.history_frames) {
+      state.history.erase(state.history.begin());
+    }
+    p.self().delay(p.costs().send_overhead(
+        static_cast<std::int64_t>(payload.size()), mpi::CostTier::kMcastData));
+    ch.send(std::move(framed), net::FrameKind::kData);
+    ch.advance_seq();
+    return;
+  }
+
+  if (rank == root) {
+    // Hand off to the sequencer, then consume our own sequenced broadcast
+    // (the Orca "commit": the order is only fixed once it comes back).
+    p.send(comm, kSequencerRank, mpi::kTagSequencer, buffer,
+           net::FrameKind::kData, mpi::CostTier::kRaw);
+    const Buffer echoed = recv_with_nack(p, comm, state, params);
+    MC_ASSERT_MSG(echoed.size() == buffer.size(),
+                  "sequencer echoed a different payload");
+    return;
+  }
+
+  buffer = recv_with_nack(p, comm, state, params);
+}
+
+const SequencerStats& sequencer_stats(Proc& p, const Comm& comm) {
+  return p.coll_state<SeqState>(comm).stats;
+}
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,19 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace mcmpi {
+
+void contract_failure(const char* kind, const char* expr,
+                      std::source_location loc, const std::string& message) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": " << kind << " failed: `"
+     << expr << '`';
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  os << " (in " << loc.function_name() << ')';
+  throw ContractViolation(os.str());
+}
+
+}  // namespace mcmpi

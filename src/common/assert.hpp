@@ -1,0 +1,62 @@
+#pragma once
+/// \file assert.hpp
+/// Contract-check macros used throughout the library.
+///
+/// MC_ASSERT / MC_ENSURE throw ContractViolation instead of aborting so that
+/// tests can assert on violations and long simulations fail loudly with
+/// context.  They are always on (simulation correctness depends on them and
+/// their cost is negligible next to event handling).
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mcmpi {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Builds the diagnostic and throws; out-of-line to keep call sites small.
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   std::source_location loc,
+                                   const std::string& message = {});
+
+}  // namespace mcmpi
+
+/// Internal invariant: the library itself is wrong if this fires.
+#define MC_ASSERT(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::mcmpi::contract_failure("assertion", #expr,                         \
+                                std::source_location::current());           \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant with an explanatory message.
+#define MC_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::mcmpi::contract_failure("assertion", #expr,                         \
+                                std::source_location::current(), (msg));    \
+    }                                                                       \
+  } while (false)
+
+/// Caller-facing precondition: the caller passed something invalid.
+#define MC_EXPECTS(expr)                                                    \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::mcmpi::contract_failure("precondition", #expr,                      \
+                                std::source_location::current());           \
+    }                                                                       \
+  } while (false)
+
+#define MC_EXPECTS_MSG(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::mcmpi::contract_failure("precondition", #expr,                      \
+                                std::source_location::current(), (msg));    \
+    }                                                                       \
+  } while (false)

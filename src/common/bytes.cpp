@@ -1,0 +1,44 @@
+#include "common/bytes.hpp"
+
+#include "common/rng.hpp"
+
+namespace mcmpi {
+
+Buffer pattern_payload(std::uint64_t seed, std::size_t size) {
+  Buffer out(size);
+  std::uint64_t state = seed ^ 0xA5A5A5A55A5A5A5AULL;
+  std::size_t i = 0;
+  while (i < size) {
+    std::uint64_t word = splitmix64(state);
+    for (int b = 0; b < 8 && i < size; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  return out;
+}
+
+bool check_pattern(std::uint64_t seed, std::span<const std::uint8_t> data) {
+  const Buffer expected = pattern_payload(seed, data.size());
+  return std::equal(data.begin(), data.end(), expected.begin());
+}
+
+std::string hex_dump(std::span<const std::uint8_t> data,
+                     std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3 + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) {
+      out.push_back(' ');
+    }
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xF]);
+  }
+  if (n < data.size()) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace mcmpi

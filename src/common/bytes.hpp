@@ -1,0 +1,97 @@
+#pragma once
+/// \file bytes.hpp
+/// Byte buffers and bounds-checked little-endian serialization.
+///
+/// Protocol headers (UDP/IP/RDP/MPI envelopes) are packed with ByteWriter and
+/// unpacked with ByteReader; both throw on overrun so a malformed frame can
+/// never read out of bounds.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mcmpi {
+
+using Buffer = std::vector<std::uint8_t>;
+
+/// Appends fixed-width little-endian values to a Buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(Buffer& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i32(std::int32_t v) { append(&v, sizeof v); }
+  void i64(std::int64_t v) { append(&v, sizeof v); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  Buffer& out_;
+};
+
+/// Reads fixed-width little-endian values from a span; throws on overrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int32_t i32() { return take<std::int32_t>(); }
+  std::int64_t i64() { return take<std::int64_t>(); }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    MC_EXPECTS_MSG(remaining() >= n, "ByteReader overrun");
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const std::uint8_t> rest() { return bytes(remaining()); }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T take() {
+    MC_EXPECTS_MSG(remaining() >= sizeof(T), "ByteReader overrun");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Deterministic payload generator: byte i of a message from `seed` is a
+/// mixed function of (seed, i).  Tests and examples use it to verify that
+/// collective operations deliver exactly the sent bytes.
+Buffer pattern_payload(std::uint64_t seed, std::size_t size);
+
+/// True if `data` matches pattern_payload(seed, data.size()).
+bool check_pattern(std::uint64_t seed, std::span<const std::uint8_t> data);
+
+/// Hex dump ("de ad be ef") of at most `max_bytes`, for diagnostics.
+std::string hex_dump(std::span<const std::uint8_t> data,
+                     std::size_t max_bytes = 32);
+
+}  // namespace mcmpi

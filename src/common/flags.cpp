@@ -1,0 +1,95 @@
+#include "common/flags.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcmpi {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("flags: expected --key[=value], got `" +
+                                  arg + "`");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string Flags::raw(const std::string& key, const std::string& fallback,
+                       const std::string& help) {
+  declared_.insert({key, Decl{help, fallback}});
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t fallback,
+                            const std::string& help) {
+  const std::string v = raw(key, std::to_string(fallback), help);
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flags: --" + key + " expects an integer, got `" + v + "`");
+  }
+}
+
+double Flags::get_double(const std::string& key, double fallback,
+                         const std::string& help) {
+  const std::string v = raw(key, std::to_string(fallback), help);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flags: --" + key + " expects a number, got `" + v + "`");
+  }
+}
+
+bool Flags::get_bool(const std::string& key, bool fallback,
+                     const std::string& help) {
+  const std::string v = raw(key, fallback ? "true" : "false", help);
+  if (v == "true" || v == "1" || v == "yes") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no") {
+    return false;
+  }
+  throw std::invalid_argument("flags: --" + key + " expects a boolean, got `" + v + "`");
+}
+
+std::string Flags::get_string(const std::string& key,
+                              const std::string& fallback,
+                              const std::string& help) {
+  return raw(key, fallback, help);
+}
+
+std::string Flags::usage(const std::string& program_description) const {
+  std::ostringstream os;
+  os << program_description << "\n\nFlags:\n";
+  for (const auto& [key, decl] : declared_) {
+    os << "  --" << key << " (default: " << decl.default_value << ")";
+    if (!decl.help.empty()) {
+      os << "  " << decl.help;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Flags::check_unknown() const {
+  for (const auto& [key, value] : values_) {
+    if (!declared_.contains(key)) {
+      throw std::invalid_argument("flags: unknown flag --" + key);
+    }
+  }
+}
+
+}  // namespace mcmpi

@@ -1,0 +1,55 @@
+#pragma once
+/// \file flags.hpp
+/// Tiny --key=value command-line parser for bench and example binaries.
+///
+/// Keeps the figure-reproduction binaries self-describing:
+///   fig07_bcast_hub_4procs --reps=30 --seed=7 --csv
+/// Unknown flags are an error so typos cannot silently change an experiment.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcmpi {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  /// Accepted forms: --key=value, --key (boolean true).
+  Flags(int argc, const char* const* argv);
+
+  /// Declares a flag (for --help and unknown-flag detection) and returns its
+  /// value or `fallback` if absent.
+  std::int64_t get_int(const std::string& key, std::int64_t fallback,
+                       const std::string& help = {});
+  double get_double(const std::string& key, double fallback,
+                    const std::string& help = {});
+  bool get_bool(const std::string& key, bool fallback,
+                const std::string& help = {});
+  std::string get_string(const std::string& key, const std::string& fallback,
+                         const std::string& help = {});
+
+  /// True if --help was passed; callers should print usage() and exit 0.
+  bool help_requested() const { return help_; }
+  std::string usage(const std::string& program_description) const;
+
+  /// Throws std::invalid_argument if argv contained a key never declared by
+  /// any get_*() call.  Call after all flags are declared.
+  void check_unknown() const;
+
+ private:
+  struct Decl {
+    std::string help;
+    std::string default_value;
+  };
+  std::string raw(const std::string& key, const std::string& fallback,
+                  const std::string& help);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, Decl> declared_;
+  bool help_ = false;
+};
+
+}  // namespace mcmpi

@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace mcmpi {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::emit(LogLevel level, std::string_view component,
+                  std::string_view text) {
+  if (!enabled(level)) {
+    return;
+  }
+  std::scoped_lock lock(mutex_);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(text.size()), text.data());
+}
+
+}  // namespace mcmpi

@@ -1,0 +1,74 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger.
+///
+/// The simulator is silent by default; tests and benches can raise the level
+/// to trace protocol behaviour.  Logging goes through one sink so output from
+/// the cooperative rank threads never interleaves mid-line.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mcmpi {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+std::string_view to_string(LogLevel level);
+
+/// Process-wide logger.  Thread-safe; each emit() call writes one full line.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes "[level] component: message\n" to stderr.
+  void emit(LogLevel level, std::string_view component, std::string_view text);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().emit(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mcmpi
+
+/// Usage: MC_LOG(kDebug, "udp") << "dropped datagram, port " << port;
+#define MC_LOG(level, component)                                      \
+  if (!::mcmpi::Logger::instance().enabled(::mcmpi::LogLevel::level)) \
+    ;                                                                 \
+  else                                                                \
+    ::mcmpi::detail::LogLine(::mcmpi::LogLevel::level, (component))

@@ -1,0 +1,104 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation.
+///
+/// The simulator must be reproducible: the same seed yields the same
+/// collision backoffs, software-overhead jitter and therefore the same
+/// virtual-time results.  We use xoshiro256** (public-domain algorithm by
+/// Blackman & Vigna) seeded via SplitMix64, implemented here so the library
+/// has no dependence on unspecified standard-library distributions.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace mcmpi {
+
+/// SplitMix64 step; used for seeding and for cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), unbiased (bitmask rejection sampling).
+  std::uint64_t below(std::uint64_t bound) {
+    MC_EXPECTS(bound > 0);
+    if (bound == 1) {
+      return 0;
+    }
+    const int bits = 64 - std::countl_zero(bound - 1);
+    const std::uint64_t mask = bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+    std::uint64_t v = operator()() & mask;
+    while (v >= bound) {
+      v = operator()() & mask;
+    }
+    return v;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    MC_EXPECTS(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  bool chance(double probability) { return uniform() < probability; }
+
+  /// Derives an independent child stream; used to give each host its own
+  /// deterministic stream from one experiment seed.
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t sm = operator()() ^ (salt * 0x9E3779B97F4A7C15ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mcmpi

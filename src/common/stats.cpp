@@ -1,0 +1,88 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mcmpi {
+
+double Sample::min() const {
+  MC_EXPECTS(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Sample::max() const {
+  MC_EXPECTS(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Sample::mean() const {
+  MC_EXPECTS(!values_.empty());
+  double total = 0;
+  for (double v : values_) {
+    total += v;
+  }
+  return total / static_cast<double>(values_.size());
+}
+
+double Sample::stddev() const {
+  if (values_.size() < 2) {
+    return 0;
+  }
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Sample::median() const { return percentile(50.0); }
+
+double Sample::percentile(double p) const {
+  MC_EXPECTS(!values_.empty());
+  MC_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double Sample::spread() const { return max() - min(); }
+
+void Accumulator::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+double Accumulator::min() const {
+  MC_EXPECTS(count_ > 0);
+  return min_;
+}
+
+double Accumulator::max() const {
+  MC_EXPECTS(count_ > 0);
+  return max_;
+}
+
+double Accumulator::mean() const {
+  MC_EXPECTS(count_ > 0);
+  return sum_ / static_cast<double>(count_);
+}
+
+}  // namespace mcmpi

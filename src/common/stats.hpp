@@ -1,0 +1,58 @@
+#pragma once
+/// \file stats.hpp
+/// Sample statistics used by the experiment harness.
+///
+/// The paper reports, per configuration, the full scatter of 20–30 runs with
+/// a line through the median.  Sample keeps raw observations and computes
+/// median / percentiles / spread on demand.
+
+#include <cstddef>
+#include <vector>
+
+namespace mcmpi {
+
+/// A set of scalar observations (e.g. collective latencies in microseconds).
+class Sample {
+ public:
+  Sample() = default;
+
+  void add(double value) { values_.push_back(value); }
+  void clear() { values_.clear(); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+  double stddev() const;
+  double median() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  /// max - min; the paper discusses run-to-run variation (collisions).
+  double spread() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Streaming accumulator for counters where raw values are not needed.
+class Accumulator {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace mcmpi

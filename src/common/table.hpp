@@ -1,0 +1,41 @@
+#pragma once
+/// \file table.hpp
+/// Result tables for the benchmark harness.
+///
+/// Every figure-reproduction binary prints one Table: an aligned ASCII view
+/// for humans (the series the paper plots, one row per x-value) and,
+/// optionally, CSV for replotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcmpi {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Adds a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows; doubles are formatted with 1 decimal.
+  void add_row_values(const std::vector<double>& cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& column_names() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  void print_ascii(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  /// Formats a double the way the tables expect (fixed, 1 decimal).
+  static std::string num(double v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcmpi

@@ -1,0 +1,56 @@
+#pragma once
+/// \file time.hpp
+/// Virtual-time units for the discrete-event simulator.
+///
+/// Simulated time is std::chrono::nanoseconds: type-safe arithmetic, cheap
+/// (a single int64), and it round-trips exactly through the event queue.
+/// Helpers convert to the microsecond doubles used in reports (the paper
+/// plots latency in microseconds).
+
+#include <chrono>
+#include <cstdint>
+
+namespace mcmpi {
+
+using SimTime = std::chrono::nanoseconds;
+
+inline constexpr SimTime kTimeZero = SimTime::zero();
+
+/// Sentinel meaning "no deadline".
+inline constexpr SimTime kTimeInfinity = SimTime::max();
+
+constexpr SimTime nanoseconds(std::int64_t n) { return SimTime{n}; }
+constexpr SimTime microseconds(std::int64_t us) { return SimTime{us * 1000}; }
+constexpr SimTime milliseconds(std::int64_t ms) {
+  return SimTime{ms * 1'000'000};
+}
+constexpr SimTime seconds(std::int64_t s) { return SimTime{s * 1'000'000'000}; }
+
+/// Fractional microseconds — used for calibration constants such as
+/// "55.0 us software overhead".
+constexpr SimTime microseconds_f(double us) {
+  return SimTime{static_cast<std::int64_t>(us * 1000.0)};
+}
+
+constexpr double to_microseconds(SimTime t) {
+  return static_cast<double>(t.count()) / 1000.0;
+}
+
+constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t.count()) / 1'000'000.0;
+}
+
+/// Time for `bytes` to cross a link of `bits_per_second`, rounded up to the
+/// next nanosecond so zero-cost transmission can never occur.
+constexpr SimTime transmission_time(std::int64_t bytes,
+                                    std::int64_t bits_per_second) {
+  // ns = bytes*8 / (bits/s) * 1e9, computed without intermediate overflow
+  // for all realistic frame sizes.
+  const std::int64_t bits = bytes * 8;
+  const std::int64_t whole = bits / bits_per_second;
+  const std::int64_t rem = bits % bits_per_second;
+  std::int64_t ns = whole * 1'000'000'000 + (rem * 1'000'000'000 + bits_per_second - 1) / bits_per_second;
+  return SimTime{ns};
+}
+
+}  // namespace mcmpi

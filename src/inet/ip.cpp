@@ -1,0 +1,199 @@
+#include "inet/ip.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace mcmpi::inet {
+
+namespace {
+constexpr std::uint8_t kIpVersion = 4;
+constexpr std::uint8_t kFlagMoreFragments = 0x1;
+
+// 20-byte header layout (little-endian serialization; layout mirrors the
+// information content of a real IPv4 header).
+struct Header {
+  std::uint8_t version;
+  std::uint8_t protocol;
+  std::uint16_t payload_length;  // this fragment's payload bytes
+  std::uint32_t src;
+  std::uint32_t dst;
+  std::uint16_t ident;
+  std::uint16_t frag_offset_units;  // 8-byte units
+  std::uint8_t flags;
+  std::uint8_t ttl;
+  std::uint16_t checksum;  // kept zero; link layer is assumed error-free
+};
+
+void write_header(ByteWriter& w, const Header& h) {
+  w.u8(h.version);
+  w.u8(h.protocol);
+  w.u16(h.payload_length);
+  w.u32(h.src);
+  w.u32(h.dst);
+  w.u16(h.ident);
+  w.u16(h.frag_offset_units);
+  w.u8(h.flags);
+  w.u8(h.ttl);
+  w.u16(h.checksum);
+}
+
+Header read_header(ByteReader& r) {
+  Header h;
+  h.version = r.u8();
+  h.protocol = r.u8();
+  h.payload_length = r.u16();
+  h.src = r.u32();
+  h.dst = r.u32();
+  h.ident = r.u16();
+  h.frag_offset_units = r.u16();
+  h.flags = r.u8();
+  h.ttl = r.u8();
+  h.checksum = r.u16();
+  return h;
+}
+}  // namespace
+
+net::MacAddr ArpTable::resolve(IpAddr ip) const {
+  const auto it = entries_.find(ip);
+  MC_EXPECTS_MSG(it != entries_.end(),
+                 "ARP: no entry for " + ip.to_string());
+  return it->second;
+}
+
+IpStack::IpStack(sim::Simulator& sim, net::Nic& nic, IpAddr self,
+                 const ArpTable& arp)
+    : sim_(sim), nic_(nic), self_(self), arp_(arp) {
+  nic_.set_rx_handler([this](const net::Frame& frame) { on_frame(frame); });
+}
+
+void IpStack::register_protocol(std::uint8_t protocol,
+                                ProtocolHandler handler) {
+  MC_EXPECTS_MSG(!protocols_.contains(protocol),
+                 "protocol already registered");
+  protocols_[protocol] = std::move(handler);
+}
+
+void IpStack::send(IpAddr dst, std::uint8_t protocol, Buffer payload,
+                   net::FrameKind kind) {
+  MC_EXPECTS_MSG(!dst.is_unspecified(), "cannot send to 0.0.0.0");
+  // Fragment offsets are in 8-byte units, so every fragment except the last
+  // must carry a multiple of 8 bytes.
+  static_assert(kFragmentPayload % 8 == 0);
+
+  const net::MacAddr dst_mac =
+      dst.is_multicast() ? net::MacAddr::ip_multicast(dst.bits())
+                         : arp_.resolve(dst);
+  const std::uint16_t ident = next_ident_++;
+  const auto total = static_cast<std::int64_t>(payload.size());
+  ++stats_.datagrams_sent;
+
+  std::int64_t offset = 0;
+  do {
+    const std::int64_t chunk = std::min<std::int64_t>(
+        kFragmentPayload, total - offset);
+    const bool last = offset + chunk == total;
+
+    net::Frame frame;
+    frame.dst = dst_mac;
+    frame.kind = kind;
+    ByteWriter w(frame.payload);
+    write_header(w, Header{
+                        .version = kIpVersion,
+                        .protocol = protocol,
+                        .payload_length = static_cast<std::uint16_t>(chunk),
+                        .src = self_.bits(),
+                        .dst = dst.bits(),
+                        .ident = ident,
+                        .frag_offset_units =
+                            static_cast<std::uint16_t>(offset / 8),
+                        .flags = last ? std::uint8_t{0} : kFlagMoreFragments,
+                        .ttl = 64,
+                        .checksum = 0,
+                    });
+    w.bytes(std::span(payload.data() + offset, static_cast<std::size_t>(chunk)));
+    nic_.send(std::move(frame));
+    ++stats_.fragments_sent;
+    offset += chunk;
+  } while (offset < total);
+}
+
+void IpStack::on_frame(const net::Frame& frame) {
+  if (frame.ethertype != net::Frame::kEtherTypeIpv4) {
+    return;
+  }
+  ByteReader r(frame.payload);
+  const Header h = read_header(r);
+  if (h.version != kIpVersion) {
+    return;
+  }
+  const IpAddr dst{h.dst};
+  // The NIC filter already matched unicast-to-us / joined multicast; this
+  // check guards against flooded unknown-unicast frames for other hosts.
+  if (!dst.is_multicast() && dst != self_) {
+    return;
+  }
+  ++stats_.fragments_received;
+
+  const auto payload_span = r.bytes(h.payload_length);
+  Buffer payload(payload_span.begin(), payload_span.end());
+  const bool more = (h.flags & kFlagMoreFragments) != 0;
+  const std::uint32_t offset = std::uint32_t{h.frag_offset_units} * 8;
+
+  if (offset == 0 && !more) {
+    // Unfragmented fast path.
+    Partial whole;
+    whole.meta = IpPacketMeta{IpAddr{h.src}, dst, h.protocol, frame.kind};
+    whole.fragments.emplace(0, std::move(payload));
+    whole.bytes_received = h.payload_length;
+    whole.total_length = h.payload_length;
+    finish(std::move(whole));
+    return;
+  }
+
+  const PartialKey key{h.src, h.ident};
+  auto [it, inserted] = reassembly_.try_emplace(key);
+  Partial& partial = it->second;
+  if (inserted) {
+    partial.meta = IpPacketMeta{IpAddr{h.src}, dst, h.protocol, frame.kind};
+    partial.timeout_event =
+        sim_.schedule_after(reassembly_timeout_, [this, key] {
+          reassembly_.erase(key);
+          ++stats_.reassembly_timeouts;
+          MC_LOG(kDebug, "ip") << "reassembly timeout, src="
+                               << IpAddr{key.src}.to_string();
+        });
+  }
+  if (partial.fragments.emplace(offset, std::move(payload)).second) {
+    partial.bytes_received += h.payload_length;
+  }
+  if (!more) {
+    partial.total_length = offset + h.payload_length;
+  }
+  if (partial.total_length >= 0 &&
+      partial.bytes_received == partial.total_length) {
+    Partial done = std::move(partial);
+    reassembly_.erase(it);
+    sim_.cancel(done.timeout_event);
+    finish(std::move(done));
+  }
+}
+
+void IpStack::finish(Partial&& partial) {
+  Buffer datagram;
+  datagram.reserve(static_cast<std::size_t>(partial.total_length));
+  for (auto& [offset, bytes] : partial.fragments) {
+    MC_ASSERT_MSG(offset == datagram.size(), "reassembly gap");
+    datagram.insert(datagram.end(), bytes.begin(), bytes.end());
+  }
+  ++stats_.datagrams_received;
+  const auto handler = protocols_.find(partial.meta.protocol);
+  if (handler == protocols_.end()) {
+    ++stats_.no_protocol_drops;
+    return;
+  }
+  handler->second(partial.meta, std::move(datagram));
+}
+
+}  // namespace mcmpi::inet

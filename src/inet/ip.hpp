@@ -1,0 +1,112 @@
+#pragma once
+/// \file ip.hpp
+/// Per-host IPv4 layer: addressing, fragmentation, reassembly, demux.
+///
+/// Datagrams larger than the Ethernet MTU are fragmented exactly as IPv4
+/// does (20 B header per fragment, offsets in 8-byte units, MF flag), so a
+/// UDP payload of M bytes crosses the wire in ceil((M+8)/1480) frames — the
+/// `M/T + 1` of the paper's frame-count formulas.  Reassembly is keyed by
+/// (source, identification) with a timeout that discards incomplete
+/// datagrams (counted, and exercised by the loss-injection tests).
+///
+/// Address resolution uses a static table (the cluster topology is fixed for
+/// a run, so ARP traffic would only add constant noise); multicast
+/// destinations map to 01:00:5e MAC addresses per RFC 1112.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "inet/ip_addr.hpp"
+#include "net/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::inet {
+
+/// Static IP -> MAC mapping shared by every host on the segment.
+class ArpTable {
+ public:
+  void add(IpAddr ip, net::MacAddr mac) { entries_[ip] = mac; }
+  /// Throws ContractViolation if the address is unknown.
+  net::MacAddr resolve(IpAddr ip) const;
+
+ private:
+  std::unordered_map<IpAddr, net::MacAddr> entries_;
+};
+
+struct IpPacketMeta {
+  IpAddr src;
+  IpAddr dst;
+  std::uint8_t protocol = 0;
+  net::FrameKind kind = net::FrameKind::kData;
+};
+
+struct IpStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t fragments_received = 0;
+  std::uint64_t reassembly_timeouts = 0;
+  std::uint64_t no_protocol_drops = 0;
+};
+
+class IpStack {
+ public:
+  static constexpr std::int64_t kHeaderBytes = 20;
+  /// Max IP payload per fragment on a 1500 B MTU.
+  static constexpr std::int64_t kFragmentPayload =
+      net::Frame::kMaxPayloadBytes - kHeaderBytes;  // 1480
+
+  using ProtocolHandler =
+      std::function<void(const IpPacketMeta&, Buffer data)>;
+
+  IpStack(sim::Simulator& sim, net::Nic& nic, IpAddr self,
+          const ArpTable& arp);
+
+  IpAddr address() const { return self_; }
+  net::Nic& nic() { return nic_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  void register_protocol(std::uint8_t protocol, ProtocolHandler handler);
+
+  /// Sends `payload` to `dst` (unicast or multicast), fragmenting as needed.
+  void send(IpAddr dst, std::uint8_t protocol, Buffer payload,
+            net::FrameKind kind);
+
+  const IpStats& stats() const { return stats_; }
+
+  /// How long an incomplete datagram may sit in reassembly.
+  void set_reassembly_timeout(SimTime t) { reassembly_timeout_ = t; }
+
+ private:
+  struct PartialKey {
+    std::uint32_t src;
+    std::uint16_t id;
+    auto operator<=>(const PartialKey&) const = default;
+  };
+  struct Partial {
+    IpPacketMeta meta;
+    std::map<std::uint32_t, Buffer> fragments;  // offset -> bytes
+    std::uint32_t bytes_received = 0;
+    std::int64_t total_length = -1;  // known once the MF=0 fragment arrives
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+
+  void on_frame(const net::Frame& frame);
+  void finish(Partial&& partial);
+
+  sim::Simulator& sim_;
+  net::Nic& nic_;
+  IpAddr self_;
+  const ArpTable& arp_;
+  std::map<std::uint8_t, ProtocolHandler> protocols_;
+  std::map<PartialKey, Partial> reassembly_;
+  std::uint16_t next_ident_ = 1;
+  SimTime reassembly_timeout_ = seconds(1);
+  IpStats stats_;
+};
+
+}  // namespace mcmpi::inet

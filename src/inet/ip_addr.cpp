@@ -1,0 +1,50 @@
+#include "inet/ip_addr.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcmpi::inet {
+
+std::string IpAddr::to_string() const {
+  std::ostringstream os;
+  os << ((bits_ >> 24) & 0xFF) << '.' << ((bits_ >> 16) & 0xFF) << '.'
+     << ((bits_ >> 8) & 0xFF) << '.' << (bits_ & 0xFF);
+  return os.str();
+}
+
+IpAddr IpAddr::parse(const std::string& text) {
+  std::uint32_t bits = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (pos >= text.size()) {
+      throw std::invalid_argument("IpAddr::parse: truncated `" + text + "`");
+    }
+    std::size_t used = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(text.substr(pos), &used, 10);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("IpAddr::parse: malformed `" + text + "`");
+    }
+    if (used == 0 || value > 255) {
+      throw std::invalid_argument("IpAddr::parse: bad octet in `" + text + "`");
+    }
+    bits = (bits << 8) | static_cast<std::uint32_t>(value);
+    pos += used;
+    if (octet < 3) {
+      if (pos >= text.size() || text[pos] != '.') {
+        throw std::invalid_argument("IpAddr::parse: expected '.' in `" + text +
+                                    "`");
+      }
+      ++pos;
+    }
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("IpAddr::parse: trailing characters in `" +
+                                text + "`");
+  }
+  return IpAddr(bits);
+}
+
+}  // namespace mcmpi::inet

@@ -1,0 +1,60 @@
+#pragma once
+/// \file ip_addr.hpp
+/// IPv4 addresses, including class-D (multicast) classification.
+///
+/// The paper: "IP address ranges from 224.0.0.0 through 239.255.255.255
+/// (class D addresses) are IP multicast addresses."  is_multicast() encodes
+/// exactly that test (top nibble 1110).
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mcmpi::inet {
+
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  explicit constexpr IpAddr(std::uint32_t bits) : bits_(bits) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                   std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t bits() const { return bits_; }
+
+  /// Class D: 224.0.0.0 – 239.255.255.255.
+  constexpr bool is_multicast() const { return (bits_ >> 28) == 0xE; }
+
+  constexpr bool is_unspecified() const { return bits_ == 0; }
+
+  friend constexpr auto operator<=>(const IpAddr&, const IpAddr&) = default;
+
+  /// Cluster convention: host i lives at 10.0.0.(i+1).
+  static constexpr IpAddr host(std::uint32_t index) {
+    return IpAddr(10, 0, 0, static_cast<std::uint8_t>(index + 1));
+  }
+
+  /// Cluster convention: multicast group g maps into 239.1.0.0/16
+  /// (administratively scoped, like the paper's experiments).
+  static constexpr IpAddr multicast_group(std::uint16_t group) {
+    return IpAddr(239, 1, static_cast<std::uint8_t>(group >> 8),
+                  static_cast<std::uint8_t>(group & 0xFF));
+  }
+
+  std::string to_string() const;
+  /// Parses dotted-quad; throws std::invalid_argument on malformed input.
+  static IpAddr parse(const std::string& text);
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace mcmpi::inet
+
+template <>
+struct std::hash<mcmpi::inet::IpAddr> {
+  std::size_t operator()(const mcmpi::inet::IpAddr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};

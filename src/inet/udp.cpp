@@ -1,0 +1,176 @@
+#include "inet/udp.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace mcmpi::inet {
+
+UdpStack::UdpStack(IpStack& ip) : ip_(ip) {
+  ip_.register_protocol(kProtocol,
+                        [this](const IpPacketMeta& meta, Buffer data) {
+                          on_packet(meta, std::move(data));
+                        });
+}
+
+std::unique_ptr<UdpSocket> UdpStack::open(std::uint16_t port) {
+  if (port == 0) {
+    while (sockets_.contains(next_ephemeral_)) {
+      ++next_ephemeral_;
+    }
+    port = next_ephemeral_++;
+  }
+  auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, port));
+  sockets_[port].push_back(socket.get());
+  return socket;
+}
+
+void UdpStack::unregister(UdpSocket& socket) {
+  auto it = sockets_.find(socket.port());
+  MC_ASSERT(it != sockets_.end());
+  std::erase(it->second, &socket);
+  if (it->second.empty()) {
+    sockets_.erase(it);
+  }
+}
+
+void UdpStack::send_datagram(std::uint16_t src_port, IpAddr dst,
+                             std::uint16_t dst_port, Buffer data,
+                             net::FrameKind kind) {
+  Buffer packet;
+  packet.reserve(data.size() + kHeaderBytes);
+  ByteWriter w(packet);
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(data.size() + kHeaderBytes));
+  w.u16(0);  // checksum unused: link layer is error-free in this model
+  w.bytes(data);
+  ++stats_.datagrams_sent;
+  ip_.send(dst, kProtocol, std::move(packet), kind);
+}
+
+void UdpStack::on_packet(const IpPacketMeta& meta, Buffer data) {
+  ByteReader r(data);
+  const std::uint16_t src_port = r.u16();
+  const std::uint16_t dst_port = r.u16();
+  const std::uint16_t length = r.u16();
+  (void)r.u16();  // checksum
+  MC_ASSERT_MSG(length == data.size(), "UDP length mismatch");
+  auto payload_span = r.rest();
+  Buffer payload(payload_span.begin(), payload_span.end());
+
+  const auto it = sockets_.find(dst_port);
+  if (it == sockets_.end()) {
+    ++stats_.no_socket_drops;
+    MC_LOG(kDebug, "udp") << "drop: no socket on port " << dst_port;
+    return;
+  }
+
+  UdpDatagram datagram{meta.src, src_port, meta.dst, dst_port, {}};
+  if (meta.dst.is_multicast()) {
+    // Receiver-directed delivery: only group members hear it.
+    bool delivered = false;
+    for (UdpSocket* socket : it->second) {
+      if (socket->member_of(meta.dst)) {
+        UdpDatagram copy = datagram;
+        copy.data = payload;
+        socket->enqueue(std::move(copy));
+        delivered = true;
+      }
+    }
+    if (!delivered) {
+      ++stats_.no_socket_drops;
+      MC_LOG(kDebug, "udp") << "drop: no member of "
+                            << meta.dst.to_string() << " on port " << dst_port;
+    }
+    return;
+  }
+  datagram.data = std::move(payload);
+  it->second.front()->enqueue(std::move(datagram));
+}
+
+UdpSocket::UdpSocket(UdpStack& stack, std::uint16_t port)
+    : stack_(stack), port_(port) {}
+
+UdpSocket::~UdpSocket() {
+  // Leave all groups so the NIC filter reference counts stay balanced.
+  while (!groups_.empty()) {
+    leave(*groups_.begin());
+  }
+  stack_.unregister(*this);
+}
+
+void UdpSocket::set_handler(std::function<void(UdpDatagram)> handler) {
+  MC_EXPECTS_MSG(queue_.empty(),
+                 "cannot switch to handler mode with queued datagrams");
+  handler_ = std::move(handler);
+}
+
+void UdpSocket::sendto(IpAddr dst, std::uint16_t dst_port, Buffer data,
+                       net::FrameKind kind) {
+  stack_.send_datagram(port_, dst, dst_port, std::move(data), kind);
+}
+
+void UdpSocket::enqueue(UdpDatagram datagram) {
+  ++stack_.stats_.datagrams_delivered;
+  if (handler_) {
+    handler_(std::move(datagram));
+    return;
+  }
+  if (queued_bytes_ + datagram.data.size() > recv_capacity_) {
+    ++dropped_on_full_;
+    ++stack_.stats_.buffer_full_drops;
+    MC_LOG(kDebug, "udp") << "drop: socket buffer full on port " << port_;
+    return;
+  }
+  queued_bytes_ += datagram.data.size();
+  queue_.push_back(std::move(datagram));
+  readable_.notify_one();
+}
+
+UdpDatagram UdpSocket::recv(sim::SimProcess& self) {
+  MC_EXPECTS_MSG(!handler_, "recv() on a handler-mode socket");
+  sim::wait_for(self, readable_, [this] { return !queue_.empty(); });
+  UdpDatagram d = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= d.data.size();
+  return d;
+}
+
+std::optional<UdpDatagram> UdpSocket::recv_until(sim::SimProcess& self,
+                                                 SimTime deadline) {
+  MC_EXPECTS_MSG(!handler_, "recv_until() on a handler-mode socket");
+  if (!sim::wait_for_until(self, readable_, deadline,
+                           [this] { return !queue_.empty(); })) {
+    return std::nullopt;
+  }
+  UdpDatagram d = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= d.data.size();
+  return d;
+}
+
+std::optional<UdpDatagram> UdpSocket::try_recv() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  UdpDatagram d = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= d.data.size();
+  return d;
+}
+
+void UdpSocket::join(IpAddr group) {
+  MC_EXPECTS_MSG(group.is_multicast(), "join() needs a class-D address");
+  if (groups_.insert(group).second) {
+    stack_.ip().nic().join_multicast(net::MacAddr::ip_multicast(group.bits()));
+  }
+}
+
+void UdpSocket::leave(IpAddr group) {
+  MC_EXPECTS_MSG(groups_.erase(group) == 1, "leave without join");
+  stack_.ip().nic().leave_multicast(net::MacAddr::ip_multicast(group.bits()));
+}
+
+}  // namespace mcmpi::inet

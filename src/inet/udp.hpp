@@ -1,0 +1,140 @@
+#pragma once
+/// \file udp.hpp
+/// UDP sockets with the exact unreliability the paper manages around.
+///
+/// Three behaviours matter for the reproduction and are modeled faithfully:
+///   1. A datagram whose destination port has no socket is silently dropped
+///      ("if a receiver is not ready when a message is sent via IP
+///      multicast, the message is lost").
+///   2. A multicast datagram is delivered only to sockets that have *joined*
+///      the group (receiver-directed communication).
+///   3. A socket whose receive buffer is full drops the datagram — the
+///      slow-receiver overrun case (paper §2, third unreliability problem).
+///
+/// Sockets operate in one of two modes:
+///   * queued  — bounded receive buffer + blocking recv() from a SimProcess
+///               (how the collective layer posts multicast receives);
+///   * handler — datagrams dispatched synchronously on arrival (models
+///               kernel-level processing; used by the reliable transport).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "inet/ip.hpp"
+#include "inet/ip_addr.hpp"
+#include "sim/wait.hpp"
+
+namespace mcmpi::inet {
+
+struct UdpDatagram {
+  IpAddr src_addr;
+  std::uint16_t src_port = 0;
+  IpAddr dst_addr;
+  std::uint16_t dst_port = 0;
+  Buffer data;
+};
+
+struct UdpStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t no_socket_drops = 0;     // no socket / no member on port
+  std::uint64_t buffer_full_drops = 0;   // receiver overrun
+};
+
+class UdpSocket;
+
+class UdpStack {
+ public:
+  static constexpr std::uint8_t kProtocol = 17;
+  static constexpr std::int64_t kHeaderBytes = 8;
+  /// UDP payload that fits one Ethernet frame: 1500 - 20 (IP) - 8 (UDP).
+  /// This is the paper's frame payload capacity "T".
+  static constexpr std::int64_t kMaxPayloadPerFrame =
+      IpStack::kFragmentPayload - kHeaderBytes;  // 1472
+
+  explicit UdpStack(IpStack& ip);
+
+  /// Opens a socket bound to `port` (0 picks an ephemeral port).  The
+  /// returned socket unregisters itself on destruction.  Multiple sockets
+  /// may share a port only for multicast reception.
+  std::unique_ptr<UdpSocket> open(std::uint16_t port);
+
+  IpStack& ip() { return ip_; }
+  const UdpStats& stats() const { return stats_; }
+
+ private:
+  friend class UdpSocket;
+  void on_packet(const IpPacketMeta& meta, Buffer data);
+  void unregister(UdpSocket& socket);
+  void send_datagram(std::uint16_t src_port, IpAddr dst,
+                     std::uint16_t dst_port, Buffer data,
+                     net::FrameKind kind);
+
+  IpStack& ip_;
+  std::map<std::uint16_t, std::vector<UdpSocket*>> sockets_;
+  std::uint16_t next_ephemeral_ = 49152;
+  UdpStats stats_;
+};
+
+class UdpSocket {
+ public:
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Receive-buffer capacity in payload bytes (SO_RCVBUF analogue).
+  void set_recv_buffer(std::size_t bytes) { recv_capacity_ = bytes; }
+
+  /// Switches to handler mode: datagrams are dispatched on arrival and
+  /// never buffered.  Mutually exclusive with blocking recv().
+  void set_handler(std::function<void(UdpDatagram)> handler);
+
+  void sendto(IpAddr dst, std::uint16_t dst_port, Buffer data,
+              net::FrameKind kind = net::FrameKind::kData);
+
+  /// Blocking receive; parks the calling process until a datagram arrives.
+  UdpDatagram recv(sim::SimProcess& self);
+
+  /// Blocking receive with virtual-time deadline; nullopt on timeout.
+  std::optional<UdpDatagram> recv_until(sim::SimProcess& self,
+                                        SimTime deadline);
+
+  /// Non-blocking poll.
+  std::optional<UdpDatagram> try_recv();
+
+  /// IGMP join/leave: membership gates multicast delivery and programs the
+  /// NIC multicast filter (and thereby switch snooping).
+  void join(IpAddr group);
+  void leave(IpAddr group);
+  bool member_of(IpAddr group) const { return groups_.contains(group); }
+
+  std::size_t queued_datagrams() const { return queue_.size(); }
+  std::uint64_t dropped_on_full() const { return dropped_on_full_; }
+
+ private:
+  friend class UdpStack;
+  UdpSocket(UdpStack& stack, std::uint16_t port);
+  /// Delivery from the stack; applies mode / buffer-limit semantics.
+  void enqueue(UdpDatagram datagram);
+
+  UdpStack& stack_;
+  std::uint16_t port_;
+  std::function<void(UdpDatagram)> handler_;
+  std::deque<UdpDatagram> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::size_t recv_capacity_ = 65536;
+  std::uint64_t dropped_on_full_ = 0;
+  std::set<IpAddr> groups_;
+  sim::WaitQueue readable_;
+};
+
+}  // namespace mcmpi::inet

@@ -1,0 +1,15 @@
+#include "mpi/comm.hpp"
+
+#include "common/assert.hpp"
+
+namespace mcmpi::mpi {
+
+Comm::Comm(std::shared_ptr<CommInfo> info, Rank my_world_rank)
+    : info_(std::move(info)) {
+  MC_EXPECTS(info_ != nullptr);
+  my_comm_rank_ = info_->group.rank_of(my_world_rank);
+  MC_EXPECTS_MSG(my_comm_rank_ >= 0,
+                 "rank is not a member of this communicator");
+}
+
+}  // namespace mcmpi::mpi

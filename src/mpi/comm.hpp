@@ -1,0 +1,76 @@
+#pragma once
+/// \file comm.hpp
+/// Communicators: a process group bound to a private context id.
+///
+/// The context id keeps traffic of different communicators apart (matching
+/// compares context before anything else) and doubles as the communicator's
+/// IP multicast identity: context c maps to group address 239.1.<c> and UDP
+/// port 20000+c, which is how "one multicast group per process group of the
+/// same context" (paper §4) is realized.
+///
+/// CommInfo is shared by all member ranks (the simulation is one address
+/// space); per-rank Comm handles add the local rank.  Derived-communicator
+/// bookkeeping (dup/split child registries) lives in CommInfo so that the
+/// collective creation calls agree on the child without extra traffic —
+/// the registries are indexed by per-rank call sequence numbers, which MPI's
+/// same-order-on-all-ranks rule makes deterministic.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "inet/ip_addr.hpp"
+#include "mpi/group.hpp"
+#include "mpi/types.hpp"
+
+namespace mcmpi::mpi {
+
+struct CommInfo {
+  std::uint32_t context_id = 0;
+  Group group;
+
+  /// Multicast identity of this communicator.
+  inet::IpAddr mcast_addr() const {
+    return inet::IpAddr::multicast_group(
+        static_cast<std::uint16_t>(context_id));
+  }
+  std::uint16_t mcast_port() const {
+    return static_cast<std::uint16_t>(20000 + (context_id % 40000));
+  }
+
+  // --- collective-creation registries (see file comment) ---
+  std::vector<int> dup_calls;    // per comm-rank dup() count
+  std::vector<std::shared_ptr<CommInfo>> dup_children;
+  std::vector<int> split_calls;  // per comm-rank split() count
+  /// split sequence number -> (color -> child)
+  std::map<int, std::map<int, std::shared_ptr<CommInfo>>> split_children;
+
+  explicit CommInfo(std::uint32_t context, Group g)
+      : context_id(context),
+        group(std::move(g)),
+        dup_calls(static_cast<std::size_t>(group.size()), 0),
+        split_calls(static_cast<std::size_t>(group.size()), 0) {}
+};
+
+/// Per-rank communicator handle (MPI_Comm analogue).  Cheap to copy.
+class Comm {
+ public:
+  Comm() = default;
+  Comm(std::shared_ptr<CommInfo> info, Rank my_world_rank);
+
+  bool valid() const { return info_ != nullptr; }
+  int rank() const { return my_comm_rank_; }
+  int size() const { return info_->group.size(); }
+  std::uint32_t context() const { return info_->context_id; }
+  const Group& group() const { return info_->group; }
+  Rank world_rank_of(int comm_rank) const {
+    return info_->group.world_rank(comm_rank);
+  }
+  const std::shared_ptr<CommInfo>& info() const { return info_; }
+
+ private:
+  std::shared_ptr<CommInfo> info_;
+  int my_comm_rank_ = kAnySource;
+};
+
+}  // namespace mcmpi::mpi

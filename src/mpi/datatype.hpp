@@ -1,0 +1,47 @@
+#pragma once
+/// \file datatype.hpp
+/// Typed reduction support for reduce/allreduce/scan.
+
+#include <cstddef>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "mpi/types.hpp"
+
+namespace mcmpi::mpi {
+
+/// Size in bytes of one element of `type`.
+std::size_t datatype_size(Datatype type);
+
+/// True if `op` is defined for `type` (logical ops require integers).
+bool op_defined(Op op, Datatype type);
+
+/// Elementwise `inout[i] = op(in[i], inout[i])` over `count` elements.
+/// Matches MPI's reduction convention (commutative ops only are provided).
+/// Preconditions: both spans hold `count * datatype_size(type)` bytes and
+/// op_defined(op, type).
+void apply_op(Op op, Datatype type, std::span<const std::uint8_t> in,
+              std::span<std::uint8_t> inout, std::size_t count);
+
+/// Maps a C++ arithmetic type to its Datatype tag.
+template <typename T>
+constexpr Datatype datatype_of();
+
+template <>
+constexpr Datatype datatype_of<std::uint8_t>() {
+  return Datatype::kByte;
+}
+template <>
+constexpr Datatype datatype_of<std::int32_t>() {
+  return Datatype::kInt32;
+}
+template <>
+constexpr Datatype datatype_of<std::int64_t>() {
+  return Datatype::kInt64;
+}
+template <>
+constexpr Datatype datatype_of<double>() {
+  return Datatype::kDouble;
+}
+
+}  // namespace mcmpi::mpi

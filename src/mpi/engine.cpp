@@ -1,0 +1,249 @@
+#include "mpi/engine.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace mcmpi::mpi {
+
+Engine::Engine(Rank world_rank, inet::RdpEndpoint& rdp,
+               std::function<inet::IpAddr(Rank)> addr_of)
+    : world_rank_(world_rank), rdp_(rdp), addr_of_(std::move(addr_of)) {
+  rdp_.set_message_handler([this](inet::IpAddr src, Buffer message) {
+    on_message(src, std::move(message));
+  });
+  // Rendezvous ids must be globally unique (they route CTS/DATA without a
+  // context lookup), so the owner's world rank is embedded in the high bits.
+  next_rdz_id_ = (static_cast<std::uint64_t>(world_rank_) + 1) << 40;
+}
+
+Buffer Engine::pack(MsgType type, std::uint32_t context, Tag tag,
+                    std::uint64_t rdz_id,
+                    std::span<const std::uint8_t> bytes) const {
+  Buffer out;
+  out.reserve(bytes.size() + 21);
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(context);
+  w.i32(world_rank_);
+  w.i32(tag);
+  w.u64(rdz_id);
+  w.bytes(bytes);
+  return out;
+}
+
+std::shared_ptr<SendRequest> Engine::start_send(
+    const std::shared_ptr<const CommInfo>& info, int dst_comm, Tag tag,
+    std::span<const std::uint8_t> bytes, net::FrameKind kind) {
+  MC_EXPECTS(info != nullptr);
+  MC_EXPECTS_MSG(dst_comm >= 0 && dst_comm < info->group.size(),
+                 "invalid destination rank");
+  auto request = std::make_shared<SendRequest>();
+  const Rank dst_world = info->group.world_rank(dst_comm);
+
+  if (dst_world == world_rank_) {
+    // Self-send: loop back through the matching path without touching the
+    // network.  Always eager — both endpoints share this engine.
+    ++stats_.eager_sends;
+    Buffer message =
+        pack(MsgType::kEager, info->context_id, tag, 0, bytes);
+    request->complete_ = true;
+    on_message(addr_of_(world_rank_), std::move(message));
+    return request;
+  }
+
+  if (static_cast<std::int64_t>(bytes.size()) <= eager_threshold_) {
+    ++stats_.eager_sends;
+    rdp_.send(addr_of_(dst_world),
+              pack(MsgType::kEager, info->context_id, tag, 0, bytes), kind);
+    request->complete_ = true;  // buffered: locally complete
+    return request;
+  }
+
+  // Rendezvous: RTS now, payload after CTS.  The RTS carries the payload
+  // length so MPI_Probe can report the count before the data moves.
+  ++stats_.rendezvous_sends;
+  const std::uint64_t id = next_rdz_id_++;
+  PendingSend pending;
+  pending.request = request;
+  pending.dst_addr = addr_of_(dst_world);
+  pending.payload.assign(bytes.begin(), bytes.end());
+  pending.kind = kind;
+  pending.context = info->context_id;
+  pending.tag = tag;
+  Buffer length_field;
+  ByteWriter length_writer(length_field);
+  length_writer.u64(bytes.size());
+  rdp_.send(pending.dst_addr,
+            pack(MsgType::kRts, info->context_id, tag, id, length_field),
+            net::FrameKind::kControl);
+  pending_sends_.emplace(id, std::move(pending));
+  return request;
+}
+
+std::shared_ptr<RecvRequest> Engine::post_recv(
+    const std::shared_ptr<const CommInfo>& info, int src_comm, Tag tag) {
+  MC_EXPECTS(info != nullptr);
+  MC_EXPECTS_MSG(src_comm == kAnySource ||
+                     (src_comm >= 0 && src_comm < info->group.size()),
+                 "invalid source rank");
+  auto request = std::make_shared<RecvRequest>();
+  request->comm_ = info;
+  request->src_comm_ = src_comm;
+  request->tag_ = tag;
+
+  // Try the unexpected queue first, in arrival order.
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(*request, it->context, it->src_world, it->tag)) {
+      continue;
+    }
+    ++stats_.matched_from_unexpected;
+    Unexpected msg = std::move(*it);
+    unexpected_.erase(it);
+    if (msg.type == MsgType::kEager) {
+      complete_recv(request, msg.src_world, msg.tag, std::move(msg.data));
+    } else {
+      MC_ASSERT(msg.type == MsgType::kRts);
+      accept_rts(request, msg);
+    }
+    return request;
+  }
+  posted_.push_back(request);
+  return request;
+}
+
+bool Engine::matches(const RecvRequest& req, std::uint32_t context,
+                     Rank src_world, Tag tag) const {
+  if (req.comm_->context_id != context) {
+    return false;
+  }
+  if (req.src_comm_ != kAnySource) {
+    if (req.comm_->group.world_rank(req.src_comm_) != src_world) {
+      return false;
+    }
+  } else if (!req.comm_->group.contains(src_world)) {
+    return false;
+  }
+  return req.tag_ == kAnyTag || req.tag_ == tag;
+}
+
+void Engine::complete_recv(const std::shared_ptr<RecvRequest>& req,
+                           Rank src_world, Tag tag, Buffer data) {
+  req->status_.source = req->comm_->group.rank_of(src_world);
+  req->status_.tag = tag;
+  req->status_.count = data.size();
+  req->data_ = std::move(data);
+  req->complete_ = true;
+  req->wq_.notify_all();
+}
+
+void Engine::accept_rts(const std::shared_ptr<RecvRequest>& req,
+                        const Unexpected& rts) {
+  req->in_rendezvous_ = true;
+  pending_rdz_recvs_.emplace(rts.rdz_id, req);
+  rdp_.send(rts.src_addr,
+            pack(MsgType::kCts, rts.context, rts.tag, rts.rdz_id, {}),
+            net::FrameKind::kControl);
+}
+
+std::optional<Status> Engine::iprobe(
+    const std::shared_ptr<const CommInfo>& info, int src_comm,
+    Tag tag) const {
+  RecvRequest pattern;
+  pattern.comm_ = info;
+  pattern.src_comm_ = src_comm;
+  pattern.tag_ = tag;
+  for (const Unexpected& msg : unexpected_) {
+    if (!matches(pattern, msg.context, msg.src_world, msg.tag)) {
+      continue;
+    }
+    Status status;
+    status.source = info->group.rank_of(msg.src_world);
+    status.tag = msg.tag;
+    if (msg.type == MsgType::kEager) {
+      status.count = msg.data.size();
+    } else {
+      ByteReader r(msg.data);
+      status.count = static_cast<std::size_t>(r.u64());
+    }
+    return status;
+  }
+  return std::nullopt;
+}
+
+void Engine::set_sink(std::uint32_t context, Tag tag, SinkHandler handler) {
+  MC_EXPECTS_MSG(tag <= kFirstInternalTag, "sinks are for internal tags only");
+  sinks_[{context, tag}] = std::move(handler);
+}
+
+void Engine::clear_sink(std::uint32_t context, Tag tag) {
+  sinks_.erase({context, tag});
+}
+
+void Engine::on_message(inet::IpAddr src, Buffer message) {
+  ByteReader r(message);
+  const auto type = static_cast<MsgType>(r.u8());
+  const std::uint32_t context = r.u32();
+  const Rank src_world = r.i32();
+  const Tag tag = r.i32();
+  const std::uint64_t rdz_id = r.u64();
+  auto payload_span = r.rest();
+  Buffer payload(payload_span.begin(), payload_span.end());
+
+  if (type == MsgType::kEager && tag <= kFirstInternalTag) {
+    const auto sink = sinks_.find({context, tag});
+    if (sink != sinks_.end()) {
+      sink->second(src_world, std::move(payload));
+      return;
+    }
+  }
+
+  switch (type) {
+    case MsgType::kEager:
+    case MsgType::kRts: {
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (!matches(**it, context, src_world, tag)) {
+          continue;
+        }
+        std::shared_ptr<RecvRequest> req = *it;
+        posted_.erase(it);
+        if (type == MsgType::kEager) {
+          complete_recv(req, src_world, tag, std::move(payload));
+        } else {
+          Unexpected rts{type, context, src_world, tag, rdz_id, src, {}};
+          accept_rts(req, rts);
+        }
+        return;
+      }
+      ++stats_.unexpected_messages;
+      unexpected_.push_back(Unexpected{type, context, src_world, tag, rdz_id,
+                                       src, std::move(payload)});
+      arrivals_.notify_all();  // wake blocked probes
+      return;
+    }
+    case MsgType::kCts: {
+      const auto it = pending_sends_.find(rdz_id);
+      MC_ASSERT_MSG(it != pending_sends_.end(), "CTS for unknown rendezvous");
+      PendingSend pending = std::move(it->second);
+      pending_sends_.erase(it);
+      rdp_.send(pending.dst_addr,
+                pack(MsgType::kRdata, pending.context, pending.tag, rdz_id,
+                     pending.payload),
+                pending.kind);
+      pending.request->complete_ = true;
+      pending.request->wq_.notify_all();
+      return;
+    }
+    case MsgType::kRdata: {
+      const auto it = pending_rdz_recvs_.find(rdz_id);
+      MC_ASSERT_MSG(it != pending_rdz_recvs_.end(),
+                    "DATA for unknown rendezvous");
+      std::shared_ptr<RecvRequest> req = std::move(it->second);
+      pending_rdz_recvs_.erase(it);
+      complete_recv(req, src_world, tag, std::move(payload));
+      return;
+    }
+  }
+  MC_ASSERT_MSG(false, "corrupt engine message");
+}
+
+}  // namespace mcmpi::mpi

@@ -1,0 +1,49 @@
+#include "mpi/group.hpp"
+
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace mcmpi::mpi {
+
+Group::Group(std::vector<Rank> world_ranks) : members_(std::move(world_ranks)) {
+  std::set<Rank> seen;
+  for (Rank r : members_) {
+    MC_EXPECTS_MSG(r >= 0, "group members must be valid world ranks");
+    MC_EXPECTS_MSG(seen.insert(r).second, "duplicate rank in group");
+  }
+}
+
+Group Group::world(int n) {
+  MC_EXPECTS(n >= 0);
+  std::vector<Rank> ranks(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ranks[static_cast<std::size_t>(i)] = i;
+  }
+  return Group(std::move(ranks));
+}
+
+Rank Group::world_rank(int group_rank) const {
+  MC_EXPECTS(group_rank >= 0 && group_rank < size());
+  return members_[static_cast<std::size_t>(group_rank)];
+}
+
+int Group::rank_of(Rank world_rank) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == world_rank) {
+      return static_cast<int>(i);
+    }
+  }
+  return kAnySource;
+}
+
+Group Group::incl(const std::vector<int>& group_ranks) const {
+  std::vector<Rank> out;
+  out.reserve(group_ranks.size());
+  for (int gr : group_ranks) {
+    out.push_back(world_rank(gr));
+  }
+  return Group(std::move(out));
+}
+
+}  // namespace mcmpi::mpi

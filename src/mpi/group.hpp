@@ -1,0 +1,41 @@
+#pragma once
+/// \file group.hpp
+/// Process groups: ordered sets of world ranks (MPI_Group analogue).
+
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace mcmpi::mpi {
+
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<Rank> world_ranks);
+
+  /// The group {0, 1, ..., n-1}.
+  static Group world(int n);
+
+  int size() const { return static_cast<int>(members_.size()); }
+  bool empty() const { return members_.empty(); }
+
+  /// World rank of group member `group_rank`.
+  Rank world_rank(int group_rank) const;
+
+  /// Group rank of `world_rank`, or kAnySource(-1) if not a member.
+  int rank_of(Rank world_rank) const;
+
+  bool contains(Rank world_rank) const { return rank_of(world_rank) >= 0; }
+
+  const std::vector<Rank>& members() const { return members_; }
+
+  /// Subset selection preserving order (MPI_Group_incl).
+  Group incl(const std::vector<int>& group_ranks) const;
+
+  bool operator==(const Group&) const = default;
+
+ private:
+  std::vector<Rank> members_;
+};
+
+}  // namespace mcmpi::mpi

@@ -1,0 +1,52 @@
+#pragma once
+/// \file mcast_channel.hpp
+/// A rank's membership in a communicator's IP multicast group.
+///
+/// One channel per (rank, communicator): a UDP socket bound to the
+/// communicator's well-known port, joined to its class-D group address.
+/// Creating the channel is the "receiver readiness" the paper's scout
+/// protocols are designed to guarantee: a datagram multicast to the group
+/// before a rank's channel exists is silently lost (see inet/udp.hpp), which
+/// is exactly the failure mode being engineered around.
+///
+/// The channel also tracks a per-communicator broadcast sequence number used
+/// to assert the in-order delivery property argued in the paper's §4 (safe
+/// MPI programs see broadcasts in program order).
+
+#include <cstdint>
+#include <memory>
+
+#include "inet/udp.hpp"
+#include "mpi/comm.hpp"
+
+namespace mcmpi::mpi {
+
+class McastChannel {
+ public:
+  McastChannel(inet::UdpStack& udp, const CommInfo& info,
+               std::size_t rcvbuf_bytes);
+
+  inet::IpAddr group() const { return group_; }
+  std::uint16_t port() const { return port_; }
+  inet::UdpSocket& socket() { return *socket_; }
+
+  /// Multicasts `payload` to the group.  The network models do not loop a
+  /// frame back to the sending NIC, so the sender's own socket does NOT see
+  /// it (equivalent to IP_MULTICAST_LOOP disabled, which is how the paper's
+  /// implementation avoids the root consuming its own broadcast).
+  void send(Buffer payload, net::FrameKind kind) {
+    socket_->sendto(group_, port_, std::move(payload), kind);
+  }
+
+  /// Sequence checks for the §4 ordering property.
+  std::uint64_t expected_seq() const { return expected_seq_; }
+  void advance_seq() { ++expected_seq_; }
+
+ private:
+  inet::IpAddr group_;
+  std::uint16_t port_;
+  std::unique_ptr<inet::UdpSocket> socket_;
+  std::uint64_t expected_seq_ = 0;
+};
+
+}  // namespace mcmpi::mpi

@@ -1,0 +1,196 @@
+#include "mpi/proc.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/assert.hpp"
+#include "mpi/world.hpp"
+
+namespace mcmpi::mpi {
+
+Proc::Proc(World& world, Rank world_rank, inet::UdpStack& udp,
+           inet::RdpEndpoint& rdp, SoftwareCosts& costs)
+    : world_(world), world_rank_(world_rank), udp_(udp), costs_(costs) {
+  engine_ = std::make_unique<Engine>(
+      world_rank, rdp, [&world](Rank r) { return world.addr_of(r); });
+}
+
+int Proc::world_size() const { return world_.size(); }
+
+Comm Proc::comm_world() const { return Comm(world_.world_info(), world_rank_); }
+
+sim::SimProcess& Proc::self() {
+  MC_EXPECTS_MSG(process_ != nullptr,
+                 "Proc used outside World::run (no simulated process bound)");
+  return *process_;
+}
+
+void Proc::send(const Comm& comm, int dst, Tag tag,
+                std::span<const std::uint8_t> bytes, net::FrameKind kind,
+                CostTier tier) {
+  self().delay(
+      costs_.send_overhead(static_cast<std::int64_t>(bytes.size()), tier));
+  auto request = engine_->start_send(comm.info(), dst, tag, bytes, kind);
+  sim::wait_for(self(), request->wait_queue(),
+                [&] { return request->complete(); });
+}
+
+Buffer Proc::recv(const Comm& comm, int src, Tag tag, Status* status,
+                  CostTier tier) {
+  auto request = engine_->post_recv(comm.info(), src, tag);
+  return wait(request, status, tier);
+}
+
+std::shared_ptr<SendRequest> Proc::isend(const Comm& comm, int dst, Tag tag,
+                                         std::span<const std::uint8_t> bytes,
+                                         net::FrameKind kind, CostTier tier) {
+  self().delay(
+      costs_.send_overhead(static_cast<std::int64_t>(bytes.size()), tier));
+  return engine_->start_send(comm.info(), dst, tag, bytes, kind);
+}
+
+std::shared_ptr<RecvRequest> Proc::irecv(const Comm& comm, int src, Tag tag) {
+  return engine_->post_recv(comm.info(), src, tag);
+}
+
+void Proc::wait(const std::shared_ptr<SendRequest>& request) {
+  sim::wait_for(self(), request->wait_queue(),
+                [&] { return request->complete(); });
+}
+
+Buffer Proc::wait(const std::shared_ptr<RecvRequest>& request, Status* status,
+                  CostTier tier) {
+  sim::wait_for(self(), request->wait_queue(),
+                [&] { return request->complete(); });
+  self().delay(costs_.recv_overhead(
+      static_cast<std::int64_t>(request->data().size()), tier));
+  if (status != nullptr) {
+    *status = request->status();
+  }
+  return std::move(request->data());
+}
+
+std::optional<Buffer> Proc::wait_until(
+    const std::shared_ptr<RecvRequest>& request, SimTime deadline,
+    Status* status, CostTier tier) {
+  const bool done =
+      sim::wait_for_until(self(), request->wait_queue(), deadline,
+                          [&] { return request->complete(); });
+  if (!done) {
+    return std::nullopt;
+  }
+  self().delay(costs_.recv_overhead(
+      static_cast<std::int64_t>(request->data().size()), tier));
+  if (status != nullptr) {
+    *status = request->status();
+  }
+  return std::move(request->data());
+}
+
+Buffer Proc::sendrecv(const Comm& comm, int dst, Tag send_tag,
+                      std::span<const std::uint8_t> bytes, int src,
+                      Tag recv_tag, Status* status, CostTier tier) {
+  auto rreq = irecv(comm, src, recv_tag);
+  send(comm, dst, send_tag, bytes, net::FrameKind::kData, tier);
+  return wait(rreq, status, tier);
+}
+
+std::optional<Status> Proc::iprobe(const Comm& comm, int src, Tag tag) {
+  return engine_->iprobe(comm.info(), src, tag);
+}
+
+Status Proc::probe(const Comm& comm, int src, Tag tag) {
+  for (;;) {
+    if (auto status = engine_->iprobe(comm.info(), src, tag)) {
+      return *status;
+    }
+    engine_->arrivals().wait(self());
+  }
+}
+
+Comm Proc::dup(const Comm& comm) {
+  MC_EXPECTS(comm.valid());
+  CommInfo& info = *comm.info();
+  const auto my = static_cast<std::size_t>(comm.rank());
+  const auto seq = static_cast<std::size_t>(info.dup_calls[my]++);
+  if (seq >= info.dup_children.size()) {
+    // First member to reach this dup creates the child; same-order calls on
+    // every rank make the sequence number a safe meeting point.
+    MC_ASSERT(seq == info.dup_children.size());
+    info.dup_children.push_back(
+        std::make_shared<CommInfo>(world_.alloc_context(), info.group));
+  }
+  return Comm(info.dup_children[seq], world_rank_);
+}
+
+Comm Proc::split(const Comm& comm, int color, int key) {
+  MC_EXPECTS(comm.valid());
+  CommInfo& info = *comm.info();
+  const int my = comm.rank();
+  const int seq = info.split_calls[static_cast<std::size_t>(my)]++;
+
+  // Root (comm rank 0) gathers (color, key) from everyone, builds every
+  // child communicator, then releases the members.  This mirrors the
+  // allgather real MPI implementations perform.
+  struct Entry {
+    std::int32_t color;
+    std::int32_t key;
+    std::int32_t comm_rank;
+  };
+  if (my == 0) {
+    std::vector<Entry> entries;
+    entries.push_back({color, key, 0});
+    for (int r = 1; r < comm.size(); ++r) {
+      Status st;
+      const Buffer b = recv(comm, r, kTagCollective, &st);
+      ByteReader reader(b);
+      entries.push_back({reader.i32(), reader.i32(), r});
+    }
+    std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                                 const Entry& b) {
+      return std::tie(a.color, a.key, a.comm_rank) <
+             std::tie(b.color, b.key, b.comm_rank);
+    });
+    auto& children = info.split_children[seq];
+    for (std::size_t i = 0; i < entries.size();) {
+      const int c = entries[i].color;
+      std::vector<Rank> members;
+      while (i < entries.size() && entries[i].color == c) {
+        members.push_back(info.group.world_rank(entries[i].comm_rank));
+        ++i;
+      }
+      if (c >= 0) {
+        children.emplace(c, std::make_shared<CommInfo>(world_.alloc_context(),
+                                                       Group(members)));
+      }
+    }
+    for (int r = 1; r < comm.size(); ++r) {
+      send(comm, r, kTagCollective, {}, net::FrameKind::kControl);
+    }
+  } else {
+    Buffer b;
+    ByteWriter w(b);
+    w.i32(color);
+    w.i32(key);
+    send(comm, 0, kTagCollective, b, net::FrameKind::kControl);
+    (void)recv(comm, 0, kTagCollective);  // release
+  }
+
+  if (color < 0) {
+    return Comm{};
+  }
+  const auto& children = info.split_children.at(seq);
+  return Comm(children.at(color), world_rank_);
+}
+
+McastChannel& Proc::mcast_channel(const Comm& comm) {
+  MC_EXPECTS(comm.valid());
+  auto [it, inserted] = channels_.try_emplace(comm.context());
+  if (inserted) {
+    it->second =
+        std::make_unique<McastChannel>(udp_, *comm.info(), mcast_rcvbuf_);
+  }
+  return *it->second;
+}
+
+}  // namespace mcmpi::mpi

@@ -1,0 +1,54 @@
+#include "mpi/world.hpp"
+
+#include "common/assert.hpp"
+
+namespace mcmpi::mpi {
+
+World::World(sim::Simulator& sim, const std::vector<RankResources>& ranks)
+    : sim_(sim) {
+  MC_EXPECTS_MSG(!ranks.empty(), "world needs at least one rank");
+  world_info_ = std::make_shared<CommInfo>(
+      alloc_context(), Group::world(static_cast<int>(ranks.size())));
+  procs_.reserve(ranks.size());
+  addresses_.reserve(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const RankResources& r = ranks[i];
+    MC_EXPECTS(r.udp != nullptr && r.rdp != nullptr && r.costs != nullptr);
+    addresses_.push_back(r.address);
+    procs_.push_back(std::make_unique<Proc>(*this, static_cast<Rank>(i),
+                                            *r.udp, *r.rdp, *r.costs));
+  }
+}
+
+Proc& World::proc(int rank) {
+  MC_EXPECTS(rank >= 0 && rank < size());
+  return *procs_[static_cast<std::size_t>(rank)];
+}
+
+inet::IpAddr World::addr_of(Rank rank) const {
+  MC_EXPECTS(rank >= 0 && rank < size());
+  return addresses_[static_cast<std::size_t>(rank)];
+}
+
+Rank World::rank_of(inet::IpAddr addr) const {
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    if (addresses_[i] == addr) {
+      return static_cast<Rank>(i);
+    }
+  }
+  return kAnySource;
+}
+
+void World::run(const std::function<void(Proc&)>& rank_main) {
+  for (int r = 0; r < size(); ++r) {
+    Proc* proc = procs_[static_cast<std::size_t>(r)].get();
+    sim_.spawn("rank" + std::to_string(r),
+               [proc, rank_main](sim::SimProcess& self) {
+                 proc->bind(self);
+                 rank_main(*proc);
+               });
+  }
+  sim_.run();
+}
+
+}  // namespace mcmpi::mpi

@@ -1,0 +1,55 @@
+#pragma once
+/// \file world.hpp
+/// World — builds the rank set and launches SPMD programs on the simulator.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "inet/ip_addr.hpp"
+#include "inet/rdp.hpp"
+#include "inet/udp.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/proc.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::mpi {
+
+class World {
+ public:
+  /// What each rank needs from its host (built by the cluster layer).
+  struct RankResources {
+    inet::UdpStack* udp = nullptr;
+    inet::RdpEndpoint* rdp = nullptr;
+    SoftwareCosts* costs = nullptr;
+    inet::IpAddr address;
+  };
+
+  World(sim::Simulator& sim, const std::vector<RankResources>& ranks);
+
+  int size() const { return static_cast<int>(procs_.size()); }
+  Proc& proc(int rank);
+  sim::Simulator& simulator() { return sim_; }
+
+  inet::IpAddr addr_of(Rank rank) const;
+  Rank rank_of(inet::IpAddr addr) const;
+
+  const std::shared_ptr<CommInfo>& world_info() const { return world_info_; }
+
+  /// Allocates a fresh communicator context id (deterministic sequence).
+  std::uint32_t alloc_context() { return next_context_++; }
+
+  /// Runs `rank_main` as an SPMD program: one simulated process per rank,
+  /// then drives the simulation until all ranks return.  May be called
+  /// repeatedly (each call is a fresh program on the same cluster state).
+  void run(const std::function<void(Proc&)>& rank_main);
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<inet::IpAddr> addresses_;
+  std::shared_ptr<CommInfo> world_info_;
+  std::uint32_t next_context_ = 1;
+};
+
+}  // namespace mcmpi::mpi

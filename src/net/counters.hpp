@@ -1,0 +1,82 @@
+#pragma once
+/// \file counters.hpp
+/// Frame-level instrumentation shared by both network models.
+///
+/// The paper's analytic claims (§3.1, §3.2) are statements about *how many
+/// frames hosts put on the network*; these counters make them testable:
+/// `tab_frame_counts` compares host_tx by kind against the closed forms.
+
+#include <cstdint>
+
+#include "net/frame.hpp"
+
+namespace mcmpi::net {
+
+struct NetCounters {
+  // Frames transmitted by host NICs (one per transmission attempt that
+  // completes; a multicast counts once — that is the point of the paper).
+  std::uint64_t host_tx_frames = 0;
+  std::uint64_t host_tx_data_frames = 0;
+  std::uint64_t host_tx_control_frames = 0;
+  std::uint64_t host_tx_ack_frames = 0;
+  std::uint64_t host_tx_bytes = 0;  // wire bytes incl. framing overhead
+
+  // Per-receiver deliveries (a multicast delivered to k receivers counts k).
+  std::uint64_t deliveries = 0;
+  std::uint64_t filtered = 0;  // received by NIC but not addressed to it
+
+  // Hub-only effects.
+  std::uint64_t collisions = 0;          // collision episodes
+  std::uint64_t backoffs = 0;            // stations entering backoff
+  std::uint64_t excessive_collision_drops = 0;
+
+  // Injected / queue losses.
+  std::uint64_t injected_drops = 0;
+  std::uint64_t queue_drops = 0;  // switch egress tail drops
+
+  void count_host_tx(const Frame& frame) {
+    ++host_tx_frames;
+    host_tx_bytes += static_cast<std::uint64_t>(frame.wire_bytes());
+    switch (frame.kind) {
+      case FrameKind::kData:
+        ++host_tx_data_frames;
+        break;
+      case FrameKind::kControl:
+        ++host_tx_control_frames;
+        break;
+      case FrameKind::kAck:
+        ++host_tx_ack_frames;
+        break;
+      case FrameKind::kOther:
+        break;
+    }
+  }
+
+  /// Frames the paper's formulas count: everything except transport ACKs
+  /// (the paper's MPICH-over-TCP baseline likewise ignores TCP ACK traffic).
+  std::uint64_t formula_frames() const {
+    return host_tx_frames - host_tx_ack_frames;
+  }
+
+  /// Fieldwise difference (this - earlier); used for per-experiment deltas.
+  NetCounters since(const NetCounters& earlier) const {
+    NetCounters d;
+    d.host_tx_frames = host_tx_frames - earlier.host_tx_frames;
+    d.host_tx_data_frames = host_tx_data_frames - earlier.host_tx_data_frames;
+    d.host_tx_control_frames =
+        host_tx_control_frames - earlier.host_tx_control_frames;
+    d.host_tx_ack_frames = host_tx_ack_frames - earlier.host_tx_ack_frames;
+    d.host_tx_bytes = host_tx_bytes - earlier.host_tx_bytes;
+    d.deliveries = deliveries - earlier.deliveries;
+    d.filtered = filtered - earlier.filtered;
+    d.collisions = collisions - earlier.collisions;
+    d.backoffs = backoffs - earlier.backoffs;
+    d.excessive_collision_drops =
+        excessive_collision_drops - earlier.excessive_collision_drops;
+    d.injected_drops = injected_drops - earlier.injected_drops;
+    d.queue_drops = queue_drops - earlier.queue_drops;
+    return d;
+  }
+};
+
+}  // namespace mcmpi::net

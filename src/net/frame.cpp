@@ -1,0 +1,41 @@
+#include "net/frame.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mcmpi::net {
+
+std::string MacAddr::to_string() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(17);
+  for (int octet = 5; octet >= 0; --octet) {
+    const auto byte = static_cast<std::uint8_t>(bits_ >> (8 * octet));
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+    if (octet != 0) {
+      out.push_back(':');
+    }
+  }
+  return out;
+}
+
+std::int64_t Frame::frame_bytes() const {
+  MC_EXPECTS_MSG(static_cast<std::int64_t>(payload.size()) <= kMaxPayloadBytes,
+                 "frame payload exceeds Ethernet MTU");
+  const std::int64_t raw =
+      kHeaderBytes + static_cast<std::int64_t>(payload.size()) + kFcsBytes;
+  return std::max(raw, kMinFrameBytes);
+}
+
+std::int64_t Frame::wire_bytes() const {
+  return kPreambleBytes + frame_bytes() + kInterFrameGapBytes;
+}
+
+SimTime Frame::wire_time(std::int64_t bits_per_second) const {
+  return transmission_time(wire_bytes(), bits_per_second);
+}
+
+}  // namespace mcmpi::net

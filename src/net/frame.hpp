@@ -1,0 +1,57 @@
+#pragma once
+/// \file frame.hpp
+/// Ethernet frame model with exact wire accounting.
+///
+/// Latency fidelity depends on byte-exact frame sizes: 14 B MAC header +
+/// 4 B FCS, 46 B minimum payload (64 B minimum frame), plus 8 B preamble/SFD
+/// and 12 B inter-frame gap of wire occupancy per frame.  The paper's "scout
+/// messages with no data" are minimum-size frames; a 1472 B UDP payload fills
+/// exactly one maximum-size frame.
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "net/mac.hpp"
+
+namespace mcmpi::net {
+
+/// Instrumentation tag: which protocol role this frame plays.  Does not
+/// affect behaviour; lets tests and benches reproduce the paper's frame
+/// counts (which, like the paper, ignore transport acknowledgements).
+enum class FrameKind : std::uint8_t {
+  kData = 0,     // carries application payload
+  kControl = 1,  // scout / barrier / rendezvous control
+  kAck = 2,      // transport-level acknowledgement
+  kOther = 3,
+};
+
+struct Frame {
+  MacAddr src;
+  MacAddr dst;
+  std::uint16_t ethertype = kEtherTypeIpv4;
+  FrameKind kind = FrameKind::kData;
+  Buffer payload;  // L3 packet bytes
+
+  static constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+  static constexpr std::int64_t kHeaderBytes = 14;    // dst+src+type
+  static constexpr std::int64_t kFcsBytes = 4;
+  static constexpr std::int64_t kMinFrameBytes = 64;  // header..fcs inclusive
+  static constexpr std::int64_t kMaxPayloadBytes = 1500;  // MTU
+  static constexpr std::int64_t kPreambleBytes = 8;
+  static constexpr std::int64_t kInterFrameGapBytes = 12;
+
+  /// Frame size on the segment (header + padded payload + FCS), excluding
+  /// preamble and IFG.
+  std::int64_t frame_bytes() const;
+
+  /// Total wire occupancy including preamble/SFD and inter-frame gap — what
+  /// the medium is busy for.
+  std::int64_t wire_bytes() const;
+
+  /// Wire occupancy time at `bits_per_second`.
+  SimTime wire_time(std::int64_t bits_per_second) const;
+};
+
+}  // namespace mcmpi::net

@@ -1,0 +1,179 @@
+#include "net/hub.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace mcmpi::net {
+
+Hub::Hub(sim::Simulator& sim) : Hub(sim, Params{}) {}
+
+Hub::Hub(sim::Simulator& sim, Params params) : sim_(sim), params_(params) {}
+
+void Hub::attach(Nic& nic) {
+  auto station = std::make_unique<Station>();
+  station->nic = &nic;
+  stations_.push_back(std::move(station));
+}
+
+Hub::Station& Hub::station_for(Nic& nic) {
+  for (auto& s : stations_) {
+    if (s->nic == &nic) {
+      return *s;
+    }
+  }
+  MC_ASSERT_MSG(false, "NIC not attached to this hub");
+  __builtin_unreachable();
+}
+
+void Hub::nic_has_frames(Nic& nic) {
+  Station& s = station_for(nic);
+  // The NIC signals only on the empty->non-empty transition; if the station
+  // is mid-backoff or already contending, the pending frame will be found
+  // when that resolves.
+  if (s.state == StationState::kIdle) {
+    station_ready(s);
+  }
+}
+
+void Hub::station_ready(Station& s) {
+  MC_ASSERT(s.nic->has_pending());
+  switch (medium_) {
+    case MediumState::kIdle:
+      MC_ASSERT(deferring_.empty());
+      begin_transmission(s);
+      return;
+    case MediumState::kTransmitting:
+      if (sim_.now() - tx_start_ <= params_.sense_window) {
+        collide_with_current(s);
+      } else {
+        s.state = StationState::kDeferring;
+        deferring_.push_back(&s);
+      }
+      return;
+    case MediumState::kJamming:
+      s.state = StationState::kDeferring;
+      deferring_.push_back(&s);
+      return;
+  }
+}
+
+void Hub::begin_transmission(Station& s) {
+  MC_ASSERT(medium_ == MediumState::kIdle);
+  s.state = StationState::kTransmitting;
+  medium_ = MediumState::kTransmitting;
+  transmitter_ = &s;
+  tx_start_ = sim_.now();
+  const SimTime duration = s.nic->head().wire_time(params_.bits_per_second);
+  tx_complete_event_ =
+      sim_.schedule_after(duration, [this] { finish_transmission(); });
+}
+
+void Hub::finish_transmission() {
+  MC_ASSERT(medium_ == MediumState::kTransmitting && transmitter_ != nullptr);
+  Station& sender = *transmitter_;
+  Frame frame = sender.nic->pop_head();
+  counters_.count_host_tx(frame);
+  sender.attempts = 0;
+  sender.state = StationState::kIdle;
+  transmitter_ = nullptr;
+  medium_ = MediumState::kIdle;
+
+  // Deliver to every other station after the repeater latency.  The frame is
+  // captured by value: the medium may already carry the next frame when the
+  // delivery callback runs.
+  sim_.schedule_after(params_.repeater_latency,
+                      [this, frame = std::move(frame), sender = &sender] {
+                        for (auto& s : stations_) {
+                          if (s.get() == sender) {
+                            continue;
+                          }
+                          if (!should_drop(frame, *s->nic)) {
+                            s->nic->deliver(frame);
+                          }
+                        }
+                      });
+
+  // Contention at end of carrier: every deferring station plus the sender
+  // (if it has more frames) starts after the IFG, which is already folded
+  // into wire_time.
+  std::vector<Station*> contenders = std::move(deferring_);
+  deferring_.clear();
+  if (sender.nic->has_pending()) {
+    contenders.push_back(&sender);
+  }
+  arbitrate(std::move(contenders));
+}
+
+void Hub::arbitrate(std::vector<Station*> contenders) {
+  MC_ASSERT(medium_ == MediumState::kIdle);
+  if (contenders.empty()) {
+    return;
+  }
+  if (contenders.size() == 1) {
+    begin_transmission(*contenders.front());
+    return;
+  }
+  collision(std::move(contenders));
+}
+
+void Hub::collide_with_current(Station& late) {
+  MC_ASSERT(medium_ == MediumState::kTransmitting && transmitter_ != nullptr);
+  Station& current = *transmitter_;
+  const bool cancelled = sim_.cancel(tx_complete_event_);
+  MC_ASSERT(cancelled);
+  tx_complete_event_ = sim::kInvalidEvent;
+  // The aborted frame stays at the head of the transmitter's queue.
+  transmitter_ = nullptr;
+  medium_ = MediumState::kIdle;
+  collision({&current, &late});
+}
+
+void Hub::collision(std::vector<Station*> participants) {
+  MC_ASSERT(participants.size() >= 2);
+  ++counters_.collisions;
+  medium_ = MediumState::kJamming;
+  sim_.schedule_after(params_.jam_time, [this] { medium_idle(); });
+  for (Station* s : participants) {
+    ++s->attempts;
+    if (s->attempts > params_.max_attempts) {
+      // Excessive collisions: the interface gives up on this frame.
+      ++counters_.excessive_collision_drops;
+      (void)s->nic->pop_head();
+      s->attempts = 0;
+      if (!s->nic->has_pending()) {
+        s->state = StationState::kIdle;
+        continue;
+      }
+    }
+    schedule_backoff(*s);
+  }
+}
+
+void Hub::schedule_backoff(Station& s) {
+  ++counters_.backoffs;
+  s.state = StationState::kBackoff;
+  const int k = std::min(std::max(s.attempts, 1), params_.max_backoff_exponent);
+  const std::uint64_t slots = sim_.rng().below(1ULL << k);
+  const SimTime delay =
+      params_.jam_time + params_.slot_time * static_cast<std::int64_t>(slots);
+  Station* target = &s;
+  sim_.schedule_after(delay, [this, target] {
+    MC_ASSERT(target->state == StationState::kBackoff);
+    target->state = StationState::kIdle;
+    if (target->nic->has_pending()) {
+      station_ready(*target);
+    }
+  });
+}
+
+void Hub::medium_idle() {
+  MC_ASSERT(medium_ == MediumState::kJamming);
+  medium_ = MediumState::kIdle;
+  std::vector<Station*> contenders = std::move(deferring_);
+  deferring_.clear();
+  arbitrate(std::move(contenders));
+}
+
+}  // namespace mcmpi::net

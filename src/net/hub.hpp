@@ -1,0 +1,89 @@
+#pragma once
+/// \file hub.hpp
+/// Half-duplex shared Fast Ethernet segment (repeater hub) with CSMA/CD.
+///
+/// This models the 3Com SuperStack II hub of the paper's testbed.  All
+/// stations share one collision domain:
+///   * a station transmits only when the medium is idle; otherwise it defers;
+///   * stations that become ready within `sense_window` of a transmission
+///     start collide with it (signal has not propagated yet);
+///   * all stations deferring when the medium goes idle start simultaneously
+///     — two or more of them collide;
+///   * colliding stations jam, then back off by a uniformly random number of
+///     slot times with a truncated binary-exponential exponent (IEEE 802.3),
+///     drawn from the simulator's deterministic RNG.
+///
+/// Collisions are the paper's explanation for run-to-run variance over the
+/// hub (Figs. 7, 9) and for MPICH's poor large-message hub performance
+/// (Fig. 11); this model reproduces both effects.
+
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "net/network.hpp"
+#include "net/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::net {
+
+class Hub : public Network {
+ public:
+  struct Params {
+    std::int64_t bits_per_second = 100'000'000;
+    /// Repeater + propagation latency applied to deliveries.
+    SimTime repeater_latency = microseconds_f(1.0);
+    /// 512 bit-times at 100 Mb/s.
+    SimTime slot_time = microseconds_f(5.12);
+    /// Jam signal + recovery occupancy after a collision.
+    SimTime jam_time = microseconds_f(3.2);
+    /// A second sender starting within this window of a transmission start
+    /// has not seen the carrier yet and collides with it.
+    SimTime sense_window = microseconds_f(0.7);
+    int max_attempts = 16;        // excessive-collision drop threshold
+    int max_backoff_exponent = 10;
+  };
+
+  explicit Hub(sim::Simulator& sim);
+  Hub(sim::Simulator& sim, Params params);
+
+  void attach(Nic& nic) override;
+  void nic_has_frames(Nic& nic) override;
+  bool is_shared_medium() const override { return true; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  enum class StationState { kIdle, kDeferring, kTransmitting, kBackoff };
+  struct Station {
+    Nic* nic = nullptr;
+    StationState state = StationState::kIdle;
+    int attempts = 0;
+  };
+  enum class MediumState { kIdle, kTransmitting, kJamming };
+
+  Station& station_for(Nic& nic);
+  /// A station acquired a frame (or finished backoff) and contends for the
+  /// medium.
+  void station_ready(Station& s);
+  void begin_transmission(Station& s);
+  void finish_transmission();
+  /// A late sender collided with the in-progress transmission.
+  void collide_with_current(Station& late);
+  void collision(std::vector<Station*> participants);
+  void medium_idle();
+  /// Resolves contention when the medium becomes free.
+  void arbitrate(std::vector<Station*> contenders);
+  void schedule_backoff(Station& s);
+
+  sim::Simulator& sim_;
+  Params params_;
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<Station*> deferring_;
+  MediumState medium_ = MediumState::kIdle;
+  Station* transmitter_ = nullptr;
+  SimTime tx_start_{};
+  sim::EventId tx_complete_event_ = sim::kInvalidEvent;
+};
+
+}  // namespace mcmpi::net

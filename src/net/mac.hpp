@@ -1,0 +1,58 @@
+#pragma once
+/// \file mac.hpp
+/// 48-bit Ethernet MAC addresses.
+///
+/// Hosts get locally-administered unicast addresses derived from their index;
+/// IP multicast groups map to 01:00:5e:xx:xx:xx exactly as RFC 1112
+/// prescribes (low 23 bits of the group address).
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mcmpi::net {
+
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  explicit constexpr MacAddr(std::uint64_t bits) : bits_(bits & kMask) {}
+
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  /// I/G bit of the first octet: set for multicast (and broadcast).
+  constexpr bool is_multicast() const {
+    return (bits_ & (1ULL << 40)) != 0;
+  }
+  constexpr bool is_broadcast() const { return bits_ == kMask; }
+
+  friend constexpr auto operator<=>(const MacAddr&, const MacAddr&) = default;
+
+  /// ff:ff:ff:ff:ff:ff
+  static constexpr MacAddr broadcast() { return MacAddr(kMask); }
+
+  /// Locally administered unicast address for host `index`:
+  /// 02:00:00:00:00:<index>.
+  static constexpr MacAddr host(std::uint32_t index) {
+    return MacAddr((0x02ULL << 40) | index);
+  }
+
+  /// RFC 1112 mapping: 01:00:5e + low 23 bits of the IPv4 group address.
+  static constexpr MacAddr ip_multicast(std::uint32_t group_ipv4) {
+    return MacAddr((0x01005eULL << 24) | (group_ipv4 & 0x7FFFFFULL));
+  }
+
+  std::string to_string() const;
+
+ private:
+  static constexpr std::uint64_t kMask = 0xFFFFFFFFFFFFULL;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace mcmpi::net
+
+template <>
+struct std::hash<mcmpi::net::MacAddr> {
+  std::size_t operator()(const mcmpi::net::MacAddr& mac) const noexcept {
+    return std::hash<std::uint64_t>{}(mac.bits());
+  }
+};

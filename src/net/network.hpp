@@ -1,0 +1,56 @@
+#pragma once
+/// \file network.hpp
+/// Abstract L2 network a set of NICs attaches to.
+///
+/// Two concrete models exist, matching the paper's testbed:
+///   Hub    — half-duplex shared medium with CSMA/CD (3Com SuperStack hub)
+///   Switch — full-duplex store-and-forward with IGMP snooping (HP ProCurve)
+
+#include <functional>
+
+#include "net/counters.hpp"
+#include "net/frame.hpp"
+
+namespace mcmpi::net {
+
+class Nic;
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Registers a NIC.  Attach order defines deterministic delivery order.
+  virtual void attach(Nic& nic) = 0;
+
+  /// Called by a NIC when its TX queue becomes non-empty.
+  virtual void nic_has_frames(Nic& nic) = 0;
+
+  /// True for shared-medium (half-duplex) networks.
+  virtual bool is_shared_medium() const = 0;
+
+  NetCounters& counters() { return counters_; }
+  const NetCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = NetCounters{}; }
+
+  /// Fault injection: return true to drop this frame for this receiver.
+  /// Called once per (frame, receiver) at delivery time.
+  using DropHook = std::function<bool(const Frame&, const Nic& receiver)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+ protected:
+  /// Applies the drop hook; counts injected drops.
+  bool should_drop(const Frame& frame, const Nic& receiver) {
+    if (drop_hook_ && drop_hook_(frame, receiver)) {
+      ++counters_.injected_drops;
+      return true;
+    }
+    return false;
+  }
+
+  NetCounters counters_;
+
+ private:
+  DropHook drop_hook_;
+};
+
+}  // namespace mcmpi::net

@@ -1,0 +1,77 @@
+#include "net/nic.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::net {
+
+Nic::Nic(sim::Simulator& sim, MacAddr mac, std::string name)
+    : sim_(sim), mac_(mac), name_(std::move(name)) {
+  MC_EXPECTS_MSG(!mac.is_multicast(), "NIC address must be unicast");
+}
+
+void Nic::attach_to(Network& network) {
+  MC_EXPECTS_MSG(network_ == nullptr, "NIC already attached");
+  network_ = &network;
+  network.attach(*this);
+}
+
+void Nic::send(Frame frame) {
+  MC_EXPECTS_MSG(network_ != nullptr, "NIC not attached to a network");
+  frame.src = mac_;
+  tx_queue_.push_back(std::move(frame));
+  if (tx_queue_.size() == 1) {
+    network_->nic_has_frames(*this);
+  }
+}
+
+void Nic::join_multicast(MacAddr group) {
+  MC_EXPECTS(group.is_multicast());
+  ++multicast_refs_[group];
+}
+
+void Nic::leave_multicast(MacAddr group) {
+  const auto it = multicast_refs_.find(group);
+  MC_EXPECTS_MSG(it != multicast_refs_.end(), "leave without matching join");
+  if (--it->second == 0) {
+    multicast_refs_.erase(it);
+  }
+}
+
+bool Nic::accepts_multicast(MacAddr group) const {
+  return multicast_refs_.contains(group);
+}
+
+bool Nic::accepts(MacAddr dst) const {
+  if (dst == mac_ || dst.is_broadcast()) {
+    return true;
+  }
+  return dst.is_multicast() && accepts_multicast(dst);
+}
+
+void Nic::deliver(const Frame& frame) {
+  MC_ASSERT(network_ != nullptr);
+  if (!accepts(frame.dst)) {
+    ++network_->counters().filtered;
+    return;
+  }
+  ++network_->counters().deliveries;
+  if (rx_handler_) {
+    rx_handler_(frame);
+  }
+}
+
+const Frame& Nic::head() const {
+  MC_EXPECTS(!tx_queue_.empty());
+  return tx_queue_.front();
+}
+
+Frame Nic::pop_head() {
+  MC_EXPECTS(!tx_queue_.empty());
+  Frame f = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  return f;
+}
+
+}  // namespace mcmpi::net

@@ -1,0 +1,73 @@
+#pragma once
+/// \file nic.hpp
+/// Host network adapter.
+///
+/// The NIC owns the transmit queue (frames leave in FIFO order at whatever
+/// pace the attached network permits) and the receive-side address filter:
+/// its own unicast address, broadcast, and any multicast groups the host has
+/// joined.  A frame passing the filter is handed synchronously to the
+/// registered receive handler (the host's IP stack).
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/frame.hpp"
+#include "net/network.hpp"
+
+namespace mcmpi::sim {
+class Simulator;
+}
+
+namespace mcmpi::net {
+
+class Nic {
+ public:
+  using RxHandler = std::function<void(const Frame&)>;
+
+  Nic(sim::Simulator& sim, MacAddr mac, std::string name);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  MacAddr mac() const { return mac_; }
+  const std::string& name() const { return name_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  void attach_to(Network& network);
+  Network* network() { return network_; }
+
+  void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+
+  /// Queues a frame for transmission.  The source address is stamped here.
+  void send(Frame frame);
+
+  /// Multicast filter management (driven by the IGMP layer).  Joins are
+  /// reference-counted so two sockets in one host can share a group.
+  void join_multicast(MacAddr group);
+  void leave_multicast(MacAddr group);
+  bool accepts_multicast(MacAddr group) const;
+
+  /// Full receive filter: unicast-to-me, broadcast, or joined multicast.
+  bool accepts(MacAddr dst) const;
+
+  /// Delivery from the network; applies the filter, then the RX handler.
+  void deliver(const Frame& frame);
+
+  // --- transmit-queue interface used by Network implementations ---
+  bool has_pending() const { return !tx_queue_.empty(); }
+  const Frame& head() const;
+  /// Removes the head frame (after the network finished transmitting it).
+  Frame pop_head();
+
+ private:
+  sim::Simulator& sim_;
+  MacAddr mac_;
+  std::string name_;
+  Network* network_ = nullptr;
+  RxHandler rx_handler_;
+  std::deque<Frame> tx_queue_;
+  std::unordered_map<MacAddr, int> multicast_refs_;
+};
+
+}  // namespace mcmpi::net

@@ -1,0 +1,132 @@
+#include "net/switch.hpp"
+
+#include "common/assert.hpp"
+
+namespace mcmpi::net {
+
+Switch::Switch(sim::Simulator& sim) : Switch(sim, Params{}) {}
+
+Switch::Switch(sim::Simulator& sim, Params params)
+    : sim_(sim), params_(params) {}
+
+void Switch::attach(Nic& nic) {
+  auto port = std::make_unique<Port>();
+  port->nic = &nic;
+  port->index = ports_.size();
+  ports_.push_back(std::move(port));
+}
+
+Switch::Port& Switch::port_for(Nic& nic) {
+  for (auto& p : ports_) {
+    if (p->nic == &nic) {
+      return *p;
+    }
+  }
+  MC_ASSERT_MSG(false, "NIC not attached to this switch");
+  __builtin_unreachable();
+}
+
+void Switch::nic_has_frames(Nic& nic) {
+  Port& port = port_for(nic);
+  if (!port.uplink_busy) {
+    start_uplink(port);
+  }
+}
+
+void Switch::start_uplink(Port& port) {
+  MC_ASSERT(port.nic->has_pending());
+  port.uplink_busy = true;
+  const SimTime duration =
+      port.nic->head().wire_time(params_.bits_per_second) +
+      params_.port_latency;
+  Port* target = &port;
+  sim_.schedule_after(duration, [this, target] { uplink_done(*target); });
+}
+
+void Switch::uplink_done(Port& port) {
+  Frame frame = port.nic->pop_head();
+  counters_.count_host_tx(frame);
+  fdb_[frame.src] = port.index;  // learn / refresh
+  const std::size_t ingress = port.index;
+  sim_.schedule_after(params_.forwarding_latency,
+                      [this, frame = std::move(frame), ingress]() mutable {
+                        forward(std::move(frame), ingress);
+                      });
+  if (port.nic->has_pending()) {
+    start_uplink(port);
+  } else {
+    port.uplink_busy = false;
+  }
+}
+
+void Switch::forward(Frame frame, std::size_t ingress) {
+  const MacAddr dst = frame.dst;
+  if (dst.is_broadcast()) {
+    for (auto& p : ports_) {
+      if (p->index != ingress) {
+        enqueue_egress(*p, frame);
+      }
+    }
+    return;
+  }
+  if (dst.is_multicast()) {
+    // IGMP snooping: copy only to ports whose host joined the group.
+    for (auto& p : ports_) {
+      if (p->index != ingress && p->nic->accepts_multicast(dst)) {
+        enqueue_egress(*p, frame);
+      }
+    }
+    return;
+  }
+  const auto learned = fdb_.find(dst);
+  if (learned == fdb_.end()) {
+    // Unknown unicast: flood.
+    for (auto& p : ports_) {
+      if (p->index != ingress) {
+        enqueue_egress(*p, frame);
+      }
+    }
+    return;
+  }
+  if (learned->second != ingress) {
+    enqueue_egress(*ports_[learned->second], std::move(frame));
+  }
+  // dst lives on the ingress segment: nothing to do.
+}
+
+void Switch::enqueue_egress(Port& port, Frame frame) {
+  if (port.egress.size() >= params_.max_queue_frames) {
+    ++counters_.queue_drops;
+    return;
+  }
+  port.egress.push_back(std::move(frame));
+  if (!port.egress_busy) {
+    start_egress(port);
+  }
+}
+
+void Switch::start_egress(Port& port) {
+  MC_ASSERT(!port.egress.empty());
+  port.egress_busy = true;
+  const SimTime duration =
+      port.egress.front().wire_time(params_.bits_per_second) +
+      params_.port_latency;
+  Port* target = &port;
+  sim_.schedule_after(duration, [this, target] { egress_done(*target); });
+}
+
+void Switch::egress_done(Port& port) {
+  MC_ASSERT(!port.egress.empty());
+  Frame frame = std::move(port.egress.front());
+  port.egress.pop_front();
+  if (!should_drop(frame, *port.nic)) {
+    port.nic->deliver(frame);
+  }
+  if (!port.egress.empty()) {
+    start_egress(port);
+  } else {
+    port.egress_busy = false;
+  }
+}
+
+}  // namespace mcmpi::net

@@ -1,0 +1,212 @@
+#include "posix/real_cluster.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+
+namespace mcmpi::posix {
+
+namespace {
+// p2p frame: u32 src rank, payload.
+// multicast frame: u32 sender rank, u64 sequence, payload.
+
+Buffer pack_p2p(int src, std::span<const std::uint8_t> data) {
+  Buffer out;
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(src));
+  w.bytes(data);
+  return out;
+}
+
+Buffer pack_mcast(int sender, std::uint64_t seq,
+                  std::span<const std::uint8_t> data) {
+  Buffer out;
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(sender));
+  w.u64(seq);
+  w.bytes(data);
+  return out;
+}
+}  // namespace
+
+RealCluster::RealCluster(RealClusterConfig config)
+    : config_(std::move(config)) {
+  MC_EXPECTS(config_.num_ranks >= 1);
+}
+
+std::uint16_t RealCluster::p2p_port(int rank) const {
+  return p2p_ports_.at(static_cast<std::size_t>(rank));
+}
+
+RealRank::RealRank(RealCluster& cluster, int rank)
+    : cluster_(cluster), rank_(rank) {
+  p2p_ = std::make_unique<RealUdpSocket>(0);
+  mcast_ = std::make_unique<RealUdpSocket>(cluster.mcast_port());
+  mcast_->join_multicast(cluster.config().mcast_group);
+}
+
+int RealRank::size() const { return cluster_.config().num_ranks; }
+
+void RealRank::send_p2p(int dst, std::span<const std::uint8_t> data) {
+  MC_EXPECTS(dst >= 0 && dst < size());
+  p2p_->send_to(0, cluster_.p2p_port(dst), pack_p2p(rank_, data));
+}
+
+std::vector<std::uint8_t> RealRank::recv_p2p(int src) {
+  MC_EXPECTS(src >= 0 && src < size());
+  for (;;) {
+    auto& queue = p2p_queues_[src];
+    if (!queue.empty()) {
+      std::vector<std::uint8_t> data = std::move(queue.front());
+      queue.pop_front();
+      return data;
+    }
+    auto datagram = p2p_->recv(cluster_.config().timeout);
+    if (!datagram.has_value()) {
+      throw std::runtime_error("rank " + std::to_string(rank_) +
+                               ": timeout waiting for p2p message from rank " +
+                               std::to_string(src));
+    }
+    ByteReader r(datagram->data);
+    const int from = static_cast<int>(r.u32());
+    auto rest = r.rest();
+    p2p_queues_[from].emplace_back(rest.begin(), rest.end());
+  }
+}
+
+void RealRank::mcast_send(std::span<const std::uint8_t> data) {
+  mcast_->send_to(cluster_.config().mcast_group, cluster_.mcast_port(),
+                  pack_mcast(rank_, mcast_seq_, data));
+  ++mcast_seq_;
+}
+
+std::vector<std::uint8_t> RealRank::mcast_recv() {
+  for (;;) {
+    auto datagram = mcast_->recv(cluster_.config().timeout);
+    if (!datagram.has_value()) {
+      throw std::runtime_error("rank " + std::to_string(rank_) +
+                               ": timeout waiting for multicast");
+    }
+    ByteReader r(datagram->data);
+    const int sender = static_cast<int>(r.u32());
+    const std::uint64_t seq = r.u64();
+    if (sender == rank_) {
+      continue;  // our own loopback copy (IP_MULTICAST_LOOP)
+    }
+    if (seq < mcast_seq_) {
+      continue;  // stale
+    }
+    ++mcast_seq_;
+    auto rest = r.rest();
+    return {rest.begin(), rest.end()};
+  }
+}
+
+void RealRank::scout_gather_binary(int root) {
+  const int size = this->size();
+  const int rel = (rank_ - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if (rel & mask) {
+      send_p2p(((rel - mask) + root) % size, {});
+      return;
+    }
+    if (rel + mask < size) {
+      (void)recv_p2p(((rel + mask) + root) % size);
+    }
+    mask <<= 1;
+  }
+}
+
+void RealRank::scout_gather_linear(int root) {
+  if (rank_ != root) {
+    send_p2p(root, {});
+    return;
+  }
+  // Scouts can arrive in any order; recv_p2p queues per source, so simply
+  // collect one from each peer.
+  for (int r = 0; r < size(); ++r) {
+    if (r != root) {
+      (void)recv_p2p(r);
+    }
+  }
+}
+
+void RealRank::bcast_binary(std::vector<std::uint8_t>& data, int root) {
+  if (size() == 1) {
+    return;
+  }
+  scout_gather_binary(root);
+  if (rank_ == root) {
+    mcast_send(data);
+  } else {
+    data = mcast_recv();
+  }
+}
+
+void RealRank::bcast_linear(std::vector<std::uint8_t>& data, int root) {
+  if (size() == 1) {
+    return;
+  }
+  scout_gather_linear(root);
+  if (rank_ == root) {
+    mcast_send(data);
+  } else {
+    data = mcast_recv();
+  }
+}
+
+void RealRank::barrier() {
+  if (size() == 1) {
+    return;
+  }
+  scout_gather_binary(0);
+  if (rank_ == 0) {
+    mcast_send({});
+  } else {
+    const auto release = mcast_recv();
+    MC_ASSERT(release.empty());
+  }
+}
+
+void RealCluster::run(const std::function<void(RealRank&)>& rank_main) {
+  // Build all rank endpoints on this thread so every port is known before
+  // any rank code runs (the cluster's "hostfile").
+  {
+    RealUdpSocket probe(0);
+    mcast_port_ = config_.mcast_port != 0 ? config_.mcast_port : probe.port();
+  }
+  std::vector<std::unique_ptr<RealRank>> ranks;
+  p2p_ports_.clear();
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    ranks.push_back(std::unique_ptr<RealRank>(new RealRank(*this, r)));
+    p2p_ports_.push_back(ranks.back()->p2p_->port());
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(config_.num_ranks));
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    RealRank* rank = ranks[static_cast<std::size_t>(r)].get();
+    std::exception_ptr* slot = &errors[static_cast<std::size_t>(r)];
+    threads.emplace_back([rank, slot, &rank_main] {
+      try {
+        rank_main(*rank);
+      } catch (...) {
+        *slot = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (auto& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+}  // namespace mcmpi::posix

@@ -1,0 +1,139 @@
+#include "posix/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace mcmpi::posix {
+
+namespace {
+[[noreturn]] void raise_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+}  // namespace
+
+Fd::~Fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+RealUdpSocket::RealUdpSocket(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    raise_errno("socket");
+  }
+  fd_ = Fd(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0) {
+    raise_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    raise_errno("bind");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    raise_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+void RealUdpSocket::join_multicast(std::uint32_t group) {
+  ip_mreq mreq{};
+  mreq.imr_multiaddr.s_addr = htonl(group);
+  mreq.imr_interface.s_addr = htonl(INADDR_LOOPBACK);
+  if (::setsockopt(fd_.get(), IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq,
+                   sizeof mreq) != 0) {
+    raise_errno("setsockopt(IP_ADD_MEMBERSHIP)");
+  }
+  in_addr iface{};
+  iface.s_addr = htonl(INADDR_LOOPBACK);
+  if (::setsockopt(fd_.get(), IPPROTO_IP, IP_MULTICAST_IF, &iface,
+                   sizeof iface) != 0) {
+    raise_errno("setsockopt(IP_MULTICAST_IF)");
+  }
+  const unsigned char loop = 1;
+  if (::setsockopt(fd_.get(), IPPROTO_IP, IP_MULTICAST_LOOP, &loop,
+                   sizeof loop) != 0) {
+    raise_errno("setsockopt(IP_MULTICAST_LOOP)");
+  }
+}
+
+void RealUdpSocket::send_to(std::uint32_t addr, std::uint16_t port,
+                            std::span<const std::uint8_t> data) {
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr =
+      htonl((addr >> 28) == 0xE ? addr : INADDR_LOOPBACK);
+  dst.sin_port = htons(port);
+  const ssize_t sent =
+      ::sendto(fd_.get(), data.data(), data.size(), 0,
+               reinterpret_cast<sockaddr*>(&dst), sizeof dst);
+  if (sent < 0 || static_cast<std::size_t>(sent) != data.size()) {
+    raise_errno("sendto");
+  }
+}
+
+std::optional<ReceivedDatagram> RealUdpSocket::recv(
+    std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+    raise_errno("setsockopt(SO_RCVTIMEO)");
+  }
+  std::vector<std::uint8_t> buffer(65536);
+  sockaddr_in src{};
+  socklen_t src_len = sizeof src;
+  const ssize_t n =
+      ::recvfrom(fd_.get(), buffer.data(), buffer.size(), 0,
+                 reinterpret_cast<sockaddr*>(&src), &src_len);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return std::nullopt;
+    }
+    raise_errno("recvfrom");
+  }
+  buffer.resize(static_cast<std::size_t>(n));
+  return ReceivedDatagram{std::move(buffer), ntohl(src.sin_addr.s_addr),
+                          ntohs(src.sin_port)};
+}
+
+bool RealUdpSocket::loopback_multicast_available() {
+  try {
+    constexpr std::uint32_t kProbeGroup = 0xEFFF00FDu;  // 239.255.0.253
+    RealUdpSocket receiver(0);
+    receiver.join_multicast(kProbeGroup);
+    RealUdpSocket sender(0);
+    sender.join_multicast(kProbeGroup);  // sets IP_MULTICAST_IF to loopback
+    const std::uint8_t probe[] = {0x5a, 0xa5};
+    sender.send_to(kProbeGroup, receiver.port(), probe);
+    const auto got = receiver.recv(std::chrono::milliseconds(300));
+    return got.has_value() && got->data.size() == 2 && got->data[0] == 0x5a;
+  } catch (const std::system_error&) {
+    return false;
+  }
+}
+
+}  // namespace mcmpi::posix

@@ -1,0 +1,72 @@
+#pragma once
+/// \file socket.hpp
+/// RAII wrappers over the real Berkeley socket API.
+///
+/// This is the same API surface the paper's implementation used (UDP
+/// sockets, IP_ADD_MEMBERSHIP, class-D destination addresses), pointed at
+/// the loopback interface so the whole "cluster" fits in one process.
+/// Errors throw std::system_error; receive timeouts return std::nullopt.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mcmpi::posix {
+
+/// Owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+struct ReceivedDatagram {
+  std::vector<std::uint8_t> data;
+  std::uint32_t src_addr = 0;  // host byte order
+  std::uint16_t src_port = 0;
+};
+
+/// A real UDP socket bound to 127.0.0.1.
+class RealUdpSocket {
+ public:
+  /// Creates and binds to `port` on loopback (0 = ephemeral); enables
+  /// SO_REUSEADDR so several multicast members can share a port.
+  explicit RealUdpSocket(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+
+  /// Joins `group` (class-D, host byte order) on the loopback interface and
+  /// routes our own multicast transmissions through loopback too.
+  void join_multicast(std::uint32_t group);
+
+  /// Sends to 127.0.0.1:`port` (unicast) or to `addr`:`port` if `addr` is a
+  /// class-D group.
+  void send_to(std::uint32_t addr, std::uint16_t port,
+               std::span<const std::uint8_t> data);
+
+  /// Blocking receive with timeout; nullopt on timeout.
+  std::optional<ReceivedDatagram> recv(std::chrono::milliseconds timeout);
+
+  /// Probes whether loopback multicast works in this environment (some
+  /// sandboxes forbid IP_ADD_MEMBERSHIP).  Cheap one-shot self-test.
+  static bool loopback_multicast_available();
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace mcmpi::posix

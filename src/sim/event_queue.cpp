@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace mcmpi::sim {
+
+EventId EventQueue::schedule(SimTime t, std::function<void()> fn) {
+  MC_EXPECTS(fn != nullptr);
+  const EventId id = next_seq_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_seq_) {
+    return false;
+  }
+  // Only pending events can be cancelled; fired events have been popped, so
+  // inserting their id here would leak.  We cannot tell fired from pending
+  // cheaply, so we track cancelled ids and validate on pop; double-cancel is
+  // caught by the insert result.
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted && live_count_ > 0) {
+    --live_count_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  skim();
+  return heap_.empty() ? kTimeInfinity : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  MC_EXPECTS_MSG(!heap_.empty(), "pop() on empty EventQueue");
+  // priority_queue::top() is const&; the function object must be moved out,
+  // so we const_cast the known-mutable underlying entry (standard idiom).
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.fn)};
+  heap_.pop();
+  --live_count_;
+  return fired;
+}
+
+}  // namespace mcmpi::sim

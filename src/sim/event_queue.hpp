@@ -1,0 +1,73 @@
+#pragma once
+/// \file event_queue.hpp
+/// Pending-event set for the discrete-event simulator.
+///
+/// Events are ordered by (time, insertion sequence): two events at the same
+/// virtual time fire in the order they were scheduled, which makes every run
+/// with the same seed bit-identical.  Cancellation is lazy (tombstones) so
+/// schedule/cancel are both O(log n).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace mcmpi::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`.  Returns a handle for cancel().
+  EventId schedule(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event.  Returns false if the event already fired,
+  /// was already cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  SimTime next_time() const;
+
+  struct Fired {
+    SimTime time;
+    std::function<void()> fn;
+  };
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  Fired pop();
+
+  /// Total events ever scheduled (monotone; used by the micro benches).
+  std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // doubles as insertion sequence
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  /// Drops cancelled entries from the top of the heap.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::size_t live_count_ = 0;
+  EventId next_seq_ = 1;
+};
+
+}  // namespace mcmpi::sim

@@ -1,0 +1,206 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "sim/wait.hpp"
+
+namespace mcmpi::sim {
+
+// ---------------------------------------------------------------- SimProcess
+
+SimProcess::SimProcess(Simulator& sim, std::size_t index, std::string name,
+                       std::function<void(SimProcess&)> body, Rng rng)
+    : sim_(sim),
+      index_(index),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      rng_(rng) {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+SimProcess::~SimProcess() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void SimProcess::thread_main() {
+  resume_.acquire();  // parked until the scheduler first runs us
+  if (!cancelled_) {
+    try {
+      body_(*this);
+    } catch (const detail::ProcessKilled&) {
+      // normal teardown unwind
+    } catch (...) {
+      error_ = std::current_exception();
+    }
+  }
+  state_ = State::kFinished;
+  sim_.sched_sem_.release();
+}
+
+void SimProcess::block() {
+  sim_.sched_sem_.release();
+  resume_.acquire();
+  if (cancelled_) {
+    throw detail::ProcessKilled{};
+  }
+}
+
+SimTime SimProcess::now() const { return sim_.now(); }
+
+void SimProcess::delay(SimTime d) {
+  MC_EXPECTS(d >= kTimeZero);
+  if (d == kTimeZero) {
+    return;
+  }
+  state_ = State::kBlocked;
+  sim_.schedule_after(d, [this] { sim_.make_ready(*this); });
+  block();
+}
+
+void SimProcess::yield() {
+  state_ = State::kReady;
+  sim_.ready_.push_back(this);
+  block();
+}
+
+// ----------------------------------------------------------------- Simulator
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+Simulator::~Simulator() {
+  // Wake every unfinished process so it unwinds (ProcessKilled) while the
+  // objects its stack references are still alive.  Each wake hands control
+  // to exactly one thread, preserving the one-runnable-thread invariant.
+  for (auto& owned : processes_) {
+    SimProcess& p = *owned;
+    if (p.state_ != SimProcess::State::kFinished) {
+      p.cancelled_ = true;
+      p.resume_.release();
+      sched_sem_.acquire();
+      MC_ASSERT(p.state_ == SimProcess::State::kFinished);
+    }
+  }
+}
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  MC_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
+  return events_.schedule(t, std::move(fn));
+}
+
+EventId Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  MC_EXPECTS(delay >= kTimeZero);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) { return events_.cancel(id); }
+
+SimProcess& Simulator::spawn(std::string name,
+                             std::function<void(SimProcess&)> body) {
+  const std::size_t index = processes_.size();
+  Rng child = rng_.fork(index + 0x517E);
+  // Constructor is private; construct via `new` under unique_ptr ownership.
+  processes_.emplace_back(std::unique_ptr<SimProcess>(
+      new SimProcess(*this, index, std::move(name), std::move(body), child)));
+  SimProcess& p = *processes_.back();
+  p.state_ = SimProcess::State::kReady;
+  ready_.push_back(&p);
+  return p;
+}
+
+void Simulator::make_ready(SimProcess& p) {
+  MC_ASSERT(p.state_ == SimProcess::State::kBlocked);
+  p.state_ = SimProcess::State::kReady;
+  ready_.push_back(&p);
+}
+
+void Simulator::run_process(SimProcess& p) {
+  MC_ASSERT(current_ == nullptr);
+  MC_ASSERT(p.state_ == SimProcess::State::kReady);
+  current_ = &p;
+  p.state_ = SimProcess::State::kRunning;
+  p.resume_.release();
+  sched_sem_.acquire();
+  current_ = nullptr;
+  if (p.state_ == SimProcess::State::kFinished && p.error_) {
+    std::exception_ptr e = p.error_;
+    p.error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+bool Simulator::step() {
+  if (!ready_.empty()) {
+    SimProcess* p = ready_.front();
+    ready_.pop_front();
+    run_process(*p);
+    return true;
+  }
+  if (!events_.empty()) {
+    EventQueue::Fired fired = events_.pop();
+    MC_ASSERT(fired.time >= now_);
+    now_ = fired.time;
+    ++events_executed_;
+    fired.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  MC_EXPECTS_MSG(!running_, "Simulator::run is not reentrant");
+  running_ = true;
+  try {
+    while (step()) {
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+  check_deadlock();
+}
+
+void Simulator::run_until_processes_done() {
+  MC_EXPECTS_MSG(!running_, "Simulator::run is not reentrant");
+  running_ = true;
+  try {
+    while (live_processes() > 0 && step()) {
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+  if (live_processes() > 0) {
+    check_deadlock();
+  }
+}
+
+std::size_t Simulator::live_processes() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (p->state_ != SimProcess::State::kFinished) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Simulator::check_deadlock() const {
+  if (live_processes() == 0) {
+    return;
+  }
+  std::ostringstream os;
+  os << "simulation deadlock at t=" << now_.count() << "ns; blocked:";
+  for (const auto& p : processes_) {
+    if (p->state_ != SimProcess::State::kFinished) {
+      os << ' ' << p->name();
+    }
+  }
+  throw DeadlockError(os.str());
+}
+
+}  // namespace mcmpi::sim

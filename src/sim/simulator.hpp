@@ -1,0 +1,168 @@
+#pragma once
+/// \file simulator.hpp
+/// The discrete-event simulator and its cooperative process model.
+///
+/// Design: SPMD rank code must read like ordinary blocking MPI code, so each
+/// simulated process runs on a dedicated OS thread — but *exactly one* thread
+/// (a process or the scheduler) is ever runnable, handed off through binary
+/// semaphores.  Execution is therefore deterministic and data-race-free by
+/// construction: the handoff gives sequenced-before across threads, and the
+/// ready queue and event queue impose a total order.
+///
+/// The scheduler loop:
+///   1. while processes are ready, run them in FIFO order;
+///   2. otherwise pop the earliest event, advance the clock, fire it;
+///   3. when neither exists: done (or deadlock if processes are still alive).
+
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mcmpi::sim {
+
+class Simulator;
+class WaitQueue;
+
+/// Thrown by Simulator::run() when live processes remain but no event or
+/// ready process can make progress (e.g. a barrier entered by only N-1
+/// ranks).  The message lists every blocked process.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Internal unwind signal delivered to blocked processes at teardown.
+struct ProcessKilled {};
+}  // namespace detail
+
+/// A simulated process.  The body runs on its own thread and interacts with
+/// virtual time only through this handle (delay / WaitQueue::wait / yield).
+class SimProcess {
+ public:
+  SimProcess(const SimProcess&) = delete;
+  SimProcess& operator=(const SimProcess&) = delete;
+  ~SimProcess();
+
+  const std::string& name() const { return name_; }
+  std::size_t index() const { return index_; }
+  Simulator& simulator() { return sim_; }
+
+  /// Per-process deterministic stream (forked from the simulator seed).
+  Rng& rng() { return rng_; }
+
+  /// Current virtual time.
+  SimTime now() const;
+
+  /// Advances virtual time by `d` (models compute / software overhead).
+  /// Other processes and events run in the meantime.
+  void delay(SimTime d);
+
+  /// Sleeps until absolute virtual time `t` (no-op if already past).
+  void delay_until(SimTime t) {
+    if (t > now()) {
+      delay(t - now());
+    }
+  }
+
+  /// Re-queues this process behind every currently ready process without
+  /// advancing time.
+  void yield();
+
+  bool finished() const { return state_ == State::kFinished; }
+
+ private:
+  friend class Simulator;
+  friend class WaitQueue;
+
+  enum class State { kNew, kReady, kRunning, kBlocked, kFinished };
+
+  SimProcess(Simulator& sim, std::size_t index, std::string name,
+             std::function<void(SimProcess&)> body, Rng rng);
+
+  void thread_main();
+  /// Hands control back to the scheduler; returns when rescheduled.
+  void block();
+
+  Simulator& sim_;
+  std::size_t index_;
+  std::string name_;
+  std::function<void(SimProcess&)> body_;
+  Rng rng_;
+
+  State state_ = State::kNew;
+  bool cancelled_ = false;
+  std::exception_ptr error_;
+  std::binary_semaphore resume_{0};
+  WaitQueue* waiting_on_ = nullptr;  // set while parked in a WaitQueue
+  bool timed_out_ = false;           // result channel for wait_until
+  std::thread thread_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules a callback at absolute virtual time `t` (>= now()).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedules a callback `delay` after now().
+  EventId schedule_after(SimTime delay, std::function<void()> fn);
+  bool cancel(EventId id);
+
+  /// Creates a process; it starts running when run() is called (processes
+  /// start in FIFO spawn order at the current virtual time).
+  SimProcess& spawn(std::string name, std::function<void(SimProcess&)> body);
+
+  /// Runs until every process has finished and the event queue is empty.
+  /// Rethrows the first exception raised inside a process.  Throws
+  /// DeadlockError if live processes remain but nothing can run.
+  void run();
+
+  /// Runs until every process has finished; pending pure-timer events are
+  /// allowed to remain (they are discarded by the destructor).
+  void run_until_processes_done();
+
+  /// Number of spawned processes that have not finished.
+  std::size_t live_processes() const;
+
+  /// Total events executed so far (micro-bench instrumentation).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  friend class SimProcess;
+  friend class WaitQueue;
+
+  void make_ready(SimProcess& p);
+  /// Transfers control to `p` until it blocks, yields or finishes.
+  void run_process(SimProcess& p);
+  /// One scheduler step; returns false when no work remains.
+  bool step();
+  void check_deadlock() const;
+
+  SimTime now_ = kTimeZero;
+  Rng rng_;
+  EventQueue events_;
+  std::deque<SimProcess*> ready_;
+  std::vector<std::unique_ptr<SimProcess>> processes_;
+  std::binary_semaphore sched_sem_{0};
+  SimProcess* current_ = nullptr;
+  std::uint64_t events_executed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace mcmpi::sim

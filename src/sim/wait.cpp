@@ -1,0 +1,81 @@
+#include "sim/wait.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mcmpi::sim {
+
+void WaitQueue::wait(SimProcess& self) {
+  self.state_ = SimProcess::State::kBlocked;
+  self.waiting_on_ = this;
+  waiters_.push_back(&self);
+  try {
+    self.block();
+  } catch (...) {
+    remove(self);  // teardown unwind: leave no dangling waiter entry
+    self.waiting_on_ = nullptr;
+    throw;
+  }
+  self.waiting_on_ = nullptr;
+}
+
+bool WaitQueue::wait_until(SimProcess& self, SimTime deadline) {
+  if (deadline == kTimeInfinity) {
+    wait(self);
+    return true;
+  }
+  Simulator& sim = self.simulator();
+  self.timed_out_ = false;
+  self.state_ = SimProcess::State::kBlocked;
+  self.waiting_on_ = this;
+  waiters_.push_back(&self);
+  const SimTime fire_at = std::max(deadline, sim.now());
+  SimProcess* target = &self;
+  const EventId timer = sim.schedule_at(fire_at, [this, target] {
+    if (remove(*target)) {
+      target->timed_out_ = true;
+      target->simulator().make_ready(*target);
+    }
+  });
+  try {
+    self.block();
+  } catch (...) {
+    remove(self);
+    sim.cancel(timer);
+    self.waiting_on_ = nullptr;
+    throw;
+  }
+  self.waiting_on_ = nullptr;
+  if (!self.timed_out_) {
+    sim.cancel(timer);
+    return true;
+  }
+  return false;
+}
+
+void WaitQueue::notify_one() {
+  if (waiters_.empty()) {
+    return;
+  }
+  SimProcess* p = waiters_.front();
+  waiters_.pop_front();
+  p->simulator().make_ready(*p);
+}
+
+void WaitQueue::notify_all() {
+  while (!waiters_.empty()) {
+    notify_one();
+  }
+}
+
+bool WaitQueue::remove(SimProcess& p) {
+  const auto it = std::find(waiters_.begin(), waiters_.end(), &p);
+  if (it == waiters_.end()) {
+    return false;
+  }
+  waiters_.erase(it);
+  return true;
+}
+
+}  // namespace mcmpi::sim

@@ -1,0 +1,73 @@
+#pragma once
+/// \file wait.hpp
+/// Blocking primitives for simulated processes.
+///
+/// WaitQueue is the condition-variable analogue: processes park in FIFO
+/// order; notify_one()/notify_all() move them to the ready queue.  As with
+/// condition variables, callers guard waits with a predicate loop:
+///
+///   while (!mailbox.has_message()) queue.wait(self);
+///
+/// wait_until() adds a virtual-time deadline, used for retransmit timers and
+/// deadlock-free receives with timeout.
+
+#include <deque>
+
+#include "common/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::sim {
+
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Parks the calling process until notified.
+  void wait(SimProcess& self);
+
+  /// Parks until notified or until virtual time reaches `deadline`.
+  /// Returns true if notified, false on timeout.
+  bool wait_until(SimProcess& self, SimTime deadline);
+
+  /// Wakes the longest-waiting process, if any.
+  void notify_one();
+
+  /// Wakes every waiting process (in FIFO order).
+  void notify_all();
+
+  bool empty() const { return waiters_.empty(); }
+  std::size_t size() const { return waiters_.size(); }
+
+ private:
+  friend class Simulator;
+  /// Removes a specific process (timeout or teardown path).
+  bool remove(SimProcess& p);
+
+  std::deque<SimProcess*> waiters_;
+};
+
+/// Waits on `queue` until `pred()` is true.  The notifier must make the
+/// predicate true *before* calling notify.
+template <typename Pred>
+void wait_for(SimProcess& self, WaitQueue& queue, Pred&& pred) {
+  while (!pred()) {
+    queue.wait(self);
+  }
+}
+
+/// Deadline variant; returns false if the deadline passed with the predicate
+/// still false.
+template <typename Pred>
+bool wait_for_until(SimProcess& self, WaitQueue& queue, SimTime deadline,
+                    Pred&& pred) {
+  while (!pred()) {
+    if (!queue.wait_until(self, deadline)) {
+      return pred();
+    }
+  }
+  return true;
+}
+
+}  // namespace mcmpi::sim

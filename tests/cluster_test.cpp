@@ -1,0 +1,175 @@
+// Tests for the testbed builder and the measurement harness: calibrated
+// costs, heterogeneous hosts, experiment methodology and determinism.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "coll/coll.hpp"
+#include "common/bytes.hpp"
+
+namespace mcmpi {
+namespace {
+
+using cluster::CalibratedCosts;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::CostParams;
+using cluster::ExperimentConfig;
+using cluster::NetworkType;
+
+TEST(Calibration, OverheadScalesWithBytesAndCpu) {
+  CostParams params;
+  params.jitter_frac = 0;  // deterministic for this test
+  CalibratedCosts fast(params, 500.0, Rng(1));
+  CalibratedCosts slow(params, 450.0, Rng(1));
+
+  const SimTime fast_small = fast.send_overhead(0, mpi::CostTier::kMpi);
+  const SimTime fast_large = fast.send_overhead(5000, mpi::CostTier::kMpi);
+  EXPECT_EQ(fast_small, params.mpi_send_base);
+  EXPECT_EQ((fast_large - fast_small).count(),
+            static_cast<std::int64_t>(params.per_byte_ns * 5000));
+  // 450 MHz machine is 500/450 slower.
+  EXPECT_GT(slow.send_overhead(0, mpi::CostTier::kMpi).count(),
+            fast_small.count());
+}
+
+TEST(Calibration, TiersReflectThePapersLayerBypass) {
+  CostParams params;
+  params.jitter_frac = 0;
+  CalibratedCosts costs(params, 500.0, Rng(1));
+  const SimTime mpi = costs.send_overhead(0, mpi::CostTier::kMpi);
+  const SimTime raw = costs.send_overhead(0, mpi::CostTier::kRaw);
+  const SimTime data = costs.send_overhead(0, mpi::CostTier::kMcastData);
+  EXPECT_LT(raw.count(), mpi.count())
+      << "bypassing the MPICH layers must be cheaper";
+  EXPECT_GT(data.count(), mpi.count())
+      << "the multicast data path carries its own heavy per-message cost";
+}
+
+TEST(Calibration, JitterStaysWithinBounds) {
+  CostParams params;  // default ±10%
+  CalibratedCosts costs(params, 500.0, Rng(7));
+  for (int i = 0; i < 1000; ++i) {
+    const double us =
+        to_microseconds(costs.recv_overhead(0, mpi::CostTier::kMpi));
+    EXPECT_GE(us, to_microseconds(params.mpi_recv_base) * 0.9 - 1e-9);
+    EXPECT_LE(us, to_microseconds(params.mpi_recv_base) * 1.1 + 1e-9);
+  }
+}
+
+TEST(ClusterBuild, RejectsMoreProcsThanHosts) {
+  ClusterConfig config;
+  config.num_procs = 10;  // the eagle cluster has 9 machines
+  EXPECT_THROW(Cluster cluster(config), ContractViolation);
+}
+
+TEST(ClusterBuild, NetworkTypeNamesRoundTrip) {
+  EXPECT_EQ(cluster::to_string(NetworkType::kHub), "hub");
+  EXPECT_EQ(cluster::parse_network("switch"), NetworkType::kSwitch);
+  EXPECT_THROW(cluster::parse_network("token-ring"), std::invalid_argument);
+}
+
+TEST(Experiment, ProducesRequestedRepetitions) {
+  ClusterConfig config;
+  config.num_procs = 4;
+  config.network = NetworkType::kSwitch;
+  Cluster cluster(config);
+  ExperimentConfig exp;
+  exp.reps = 10;
+  const auto result = cluster::measure_collective(
+      cluster, exp, [](mpi::Proc& p, int) {
+        Buffer data;
+        if (p.rank() == 0) {
+          data = pattern_payload(1, 1000);
+        }
+        coll::bcast(p, p.comm_world(), data, 0, coll::BcastAlgo::kMcastBinary);
+      });
+  EXPECT_EQ(result.latencies_us.size(), 10u);
+  EXPECT_GT(result.latencies_us.min(), 0.0);
+  // 10 measured reps of (3 scouts + 1 data frame): counters reflect only
+  // the measured window.
+  EXPECT_EQ(result.net_delta.formula_frames(), 10u * 4u);
+}
+
+TEST(Experiment, LatencyIsLongestCompletionTime) {
+  // With one rank artificially slowed, the measured latency must reflect
+  // the slow rank, not the fast ones.
+  ClusterConfig config;
+  config.num_procs = 3;
+  config.network = NetworkType::kSwitch;
+  Cluster cluster(config);
+  ExperimentConfig exp;
+  exp.reps = 3;
+  const auto result = cluster::measure_collective(
+      cluster, exp, [](mpi::Proc& p, int) {
+        if (p.rank() == 2) {
+          p.self().delay(milliseconds(2));
+        }
+        coll::barrier(p, p.comm_world(), coll::BarrierAlgo::kMcast);
+      });
+  EXPECT_GE(result.latencies_us.min(), 2000.0);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  auto run = [] {
+    ClusterConfig config;
+    config.num_procs = 5;
+    config.network = NetworkType::kHub;
+    config.seed = 99;
+    Cluster cluster(config);
+    ExperimentConfig exp;
+    exp.reps = 5;
+    return cluster::measure_collective(
+               cluster, exp,
+               [](mpi::Proc& p, int) {
+                 Buffer data;
+                 if (p.rank() == 0) {
+                   data = pattern_payload(1, 2000);
+                 }
+                 coll::bcast(p, p.comm_world(), data, 0,
+                             coll::BcastAlgo::kMcastLinear);
+               })
+        .latencies_us.values();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Experiment, DifferentSeedsChangeTheScatter) {
+  auto run = [](std::uint64_t seed) {
+    ClusterConfig config;
+    config.num_procs = 6;
+    config.network = NetworkType::kHub;
+    config.seed = seed;
+    Cluster cluster(config);
+    ExperimentConfig exp;
+    exp.reps = 5;
+    return cluster::measure_collective(
+               cluster, exp,
+               [](mpi::Proc& p, int) {
+                 Buffer data;
+                 if (p.rank() == 0) {
+                   data = pattern_payload(1, 2000);
+                 }
+                 coll::bcast(p, p.comm_world(), data, 0,
+                             coll::BcastAlgo::kMcastBinary);
+               })
+        .latencies_us.values();
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(Experiment, CountFramesIsolatesTheMeasuredOp) {
+  ClusterConfig config;
+  config.num_procs = 4;
+  config.network = NetworkType::kSwitch;
+  Cluster cluster(config);
+  auto op = [](mpi::Proc& p) {
+    coll::barrier(p, p.comm_world(), coll::BarrierAlgo::kMcast);
+  };
+  const auto counters = cluster::count_frames(cluster, op, op);
+  // Exactly (N-1) scouts + 1 release multicast, nothing from the warmup.
+  EXPECT_EQ(counters.formula_frames(), 4u);
+}
+
+}  // namespace
+}  // namespace mcmpi

@@ -1,0 +1,351 @@
+// Tests for the extension features: many-to-many multicast allgather
+// (lockstep and blast pacing, §5 future work), MPI_Scan, and MPI_Probe.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "coll/coll.hpp"
+#include "coll/mcast_allgather.hpp"
+#include "coll/mpich.hpp"
+#include "coll/scatter_allgather.hpp"
+#include "common/bytes.hpp"
+
+namespace mcmpi {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::NetworkType;
+
+ClusterConfig config_for(int procs, NetworkType net = NetworkType::kSwitch) {
+  ClusterConfig config;
+  config.num_procs = procs;
+  config.network = net;
+  config.seed = 11;
+  return config;
+}
+
+// ------------------------------------------------- multicast allgather
+
+struct AllgatherCase {
+  coll::AllgatherMode mode;
+  NetworkType net;
+  int procs;
+  int block;
+};
+
+class McastAllgather : public ::testing::TestWithParam<AllgatherCase> {};
+
+TEST_P(McastAllgather, EveryRankGetsEveryBlock) {
+  const AllgatherCase c = GetParam();
+  Cluster cluster(config_for(c.procs, c.net));
+  std::vector<int> ok(static_cast<std::size_t>(c.procs), 0);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const Buffer mine = pattern_payload(static_cast<std::uint64_t>(p.rank()),
+                                        static_cast<std::size_t>(c.block));
+    const auto outcome =
+        coll::allgather_mcast(p, p.comm_world(), mine, c.mode);
+    bool good = outcome.missing == 0;
+    for (int r = 0; r < c.procs; ++r) {
+      good = good && check_pattern(static_cast<std::uint64_t>(r),
+                                   outcome.blocks[static_cast<std::size_t>(r)]);
+      good = good && outcome.blocks[static_cast<std::size_t>(r)].size() ==
+                         static_cast<std::size_t>(c.block);
+    }
+    ok[static_cast<std::size_t>(p.rank())] = good;
+  });
+  for (int r = 0; r < c.procs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSizes, McastAllgather,
+    ::testing::Values(
+        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kSwitch, 4, 100},
+        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kSwitch, 8, 2000},
+        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kHub, 5, 1472},
+        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kSwitch, 1, 64},
+        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kSwitch, 9, 0},
+        AllgatherCase{coll::AllgatherMode::kBlast, NetworkType::kSwitch, 4, 100},
+        AllgatherCase{coll::AllgatherMode::kBlast, NetworkType::kSwitch, 8, 2000},
+        AllgatherCase{coll::AllgatherMode::kBlast, NetworkType::kHub, 5, 1472},
+        AllgatherCase{coll::AllgatherMode::kBlast, NetworkType::kSwitch, 9, 0}),
+    [](const auto& info) {
+      const AllgatherCase& c = info.param;
+      return coll::to_string(c.mode) + "_" + cluster::to_string(c.net) + "_p" +
+             std::to_string(c.procs) + "_b" + std::to_string(c.block);
+    });
+
+TEST(McastAllgatherFrames, EachBlockCrossesTheWireOnce) {
+  constexpr int kProcs = 6;
+  constexpr int kBlock = 3000;  // 3 frames per block
+  Cluster cluster(config_for(kProcs));
+  auto op = [](mpi::Proc& p) {
+    const Buffer mine = pattern_payload(1, kBlock);
+    (void)coll::allgather_mcast(p, p.comm_world(), mine,
+                                coll::AllgatherMode::kLockstep);
+  };
+  const auto counters = cluster::count_frames(cluster, op, op);
+  // Data frames: N blocks x 3 frames, each multicast once.
+  EXPECT_EQ(counters.host_tx_data_frames,
+            static_cast<std::uint64_t>(kProcs) * 3u);
+}
+
+TEST(McastAllgatherOverrun, BlastDropsWithTinyBufferLockstepDoesNot) {
+  constexpr int kProcs = 8;
+  auto run = [&](coll::AllgatherMode mode) {
+    ClusterConfig config = config_for(kProcs);
+    config.mcast_rcvbuf_bytes = 1024;  // one small datagram's worth
+    Cluster cluster(config);
+    std::vector<int> missing(kProcs, 0);
+    cluster.world().run([&](mpi::Proc& p) {
+      const Buffer mine =
+          pattern_payload(static_cast<std::uint64_t>(p.rank()), 512);
+      const auto outcome = coll::allgather_mcast(p, p.comm_world(), mine,
+                                                 mode, milliseconds(10));
+      missing[static_cast<std::size_t>(p.rank())] = outcome.missing;
+    });
+    int total = 0;
+    for (int m : missing) {
+      total += m;
+    }
+    return total;
+  };
+  EXPECT_GT(run(coll::AllgatherMode::kBlast), 0)
+      << "blast into a tiny buffer must overrun (paper §5 hazard)";
+  EXPECT_EQ(run(coll::AllgatherMode::kLockstep), 0)
+      << "lockstep pacing is safe at any buffer >= one datagram";
+}
+
+TEST(McastAllgatherOverrun, GroupStaysUsableAfterBlastLoss) {
+  // After a lossy blast, the trailing barrier resynchronizes the group and
+  // later collectives work normally.
+  constexpr int kProcs = 6;
+  ClusterConfig config = config_for(kProcs);
+  config.mcast_rcvbuf_bytes = 1024;
+  Cluster cluster(config);
+  std::vector<int> ok(kProcs, 0);
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    const Buffer mine =
+        pattern_payload(static_cast<std::uint64_t>(p.rank()), 512);
+    (void)coll::allgather_mcast(p, comm, mine, coll::AllgatherMode::kBlast,
+                                milliseconds(5));
+    // The channel must still be coherent: an ordinary broadcast succeeds.
+    Buffer data;
+    if (p.rank() == 0) {
+      data = pattern_payload(77, 600);
+    }
+    coll::bcast(p, comm, data, 0, coll::BcastAlgo::kMcastBinary);
+    ok[static_cast<std::size_t>(p.rank())] = check_pattern(77, data);
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+// ------------------------------------- van de Geijn scatter+allgather
+
+struct VdgCase {
+  int procs;
+  int payload;
+  int root;
+};
+
+class ScatterAllgatherBcast : public ::testing::TestWithParam<VdgCase> {};
+
+TEST_P(ScatterAllgatherBcast, DeliversExactPayload) {
+  const VdgCase c = GetParam();
+  Cluster cluster(config_for(c.procs));
+  std::vector<int> ok(static_cast<std::size_t>(c.procs), 0);
+  cluster.world().run([&](mpi::Proc& p) {
+    Buffer data;
+    if (p.rank() == c.root) {
+      data = pattern_payload(55, static_cast<std::size_t>(c.payload));
+    }
+    coll::bcast_scatter_allgather(p, p.comm_world(), data, c.root);
+    ok[static_cast<std::size_t>(p.rank())] =
+        data.size() == static_cast<std::size_t>(c.payload) &&
+        check_pattern(55, data);
+  });
+  for (int r = 0; r < c.procs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScatterAllgatherBcast,
+    ::testing::Values(VdgCase{1, 1000, 0}, VdgCase{2, 1000, 0},
+                      VdgCase{2, 1000, 1}, VdgCase{3, 10, 0},
+                      VdgCase{4, 0, 0},      // tiny: falls back to the tree
+                      VdgCase{4, 3, 0},      // fewer bytes than ranks
+                      VdgCase{4, 4096, 2},   // non-zero root
+                      VdgCase{5, 5000, 0},   // non-power-of-two
+                      VdgCase{7, 9999, 3},   // odd everything
+                      VdgCase{8, 65536, 0},  // power of two, long
+                      VdgCase{9, 50001, 8}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.procs) + "_b" +
+             std::to_string(info.param.payload) + "_r" +
+             std::to_string(info.param.root);
+    });
+
+TEST(ScatterAllgatherBcastFrames, TradesTotalTrafficForLinkParallelism) {
+  // van de Geijn does NOT reduce total traffic — the ring stage alone moves
+  // (N-1)/N * M per rank, so total frames EXCEED the binomial tree's.  Its
+  // win is critical-path: every byte crosses each *link* at most ~2x and
+  // the ring runs on N disjoint full-duplex links in parallel (the latency
+  // comparison lives in abl_long_bcast).  One multicast still moves each
+  // byte exactly once in total — the paper's structural advantage.
+  constexpr int kProcs = 8;
+  constexpr int kPayload = 58880;  // 40 full frames
+  Cluster cluster(config_for(kProcs));
+  auto op = [](mpi::Proc& p) {
+    Buffer data;
+    if (p.rank() == 0) {
+      data = pattern_payload(1, kPayload);
+    }
+    coll::bcast_scatter_allgather(p, p.comm_world(), data, 0);
+  };
+  const auto counters = cluster::count_frames(cluster, op, op);
+  const std::uint64_t tree_frames = 40u * (kProcs - 1);  // 280
+  const std::uint64_t mcast_frames = 40u + (kProcs - 1);
+  EXPECT_GT(counters.host_tx_data_frames, tree_frames)
+      << "scatter+allgather moves more total frames than the tree";
+  EXPECT_GT(counters.host_tx_data_frames, 4 * mcast_frames)
+      << "and far more than one multicast";
+}
+
+// --------------------------------------------------------------- scan
+
+TEST(Scan, InclusivePrefixSums) {
+  constexpr int kProcs = 7;
+  Cluster cluster(config_for(kProcs));
+  std::vector<std::int64_t> results(kProcs, -1);
+  cluster.world().run([&](mpi::Proc& p) {
+    const std::int64_t mine = p.rank() + 1;
+    Buffer bytes(sizeof mine);
+    std::memcpy(bytes.data(), &mine, sizeof mine);
+    const Buffer out = coll::scan_mpich(p, p.comm_world(), bytes,
+                                        mpi::Op::kSum, mpi::Datatype::kInt64);
+    std::memcpy(&results[static_cast<std::size_t>(p.rank())], out.data(),
+                sizeof(std::int64_t));
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    // 1 + 2 + ... + (r+1)
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], (r + 1) * (r + 2) / 2)
+        << "rank " << r;
+  }
+}
+
+TEST(Scan, VectorMax) {
+  constexpr int kProcs = 4;
+  Cluster cluster(config_for(kProcs));
+  std::vector<std::vector<std::int32_t>> results(kProcs);
+  cluster.world().run([&](mpi::Proc& p) {
+    // Rank r contributes {r, 3-r}: prefix max is {r, 3}.
+    const std::int32_t values[2] = {p.rank(), 3 - p.rank()};
+    Buffer bytes(sizeof values);
+    std::memcpy(bytes.data(), values, sizeof values);
+    const Buffer out = coll::scan_mpich(p, p.comm_world(), bytes,
+                                        mpi::Op::kMax, mpi::Datatype::kInt32);
+    results[static_cast<std::size_t>(p.rank())].resize(2);
+    std::memcpy(results[static_cast<std::size_t>(p.rank())].data(), out.data(),
+                out.size());
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)][0], r);
+    EXPECT_EQ(results[static_cast<std::size_t>(r)][1], 3);
+  }
+}
+
+// -------------------------------------------------------------- probe
+
+TEST(Probe, IprobeSeesUnreceivedMessage) {
+  Cluster cluster(config_for(2));
+  std::optional<mpi::Status> before;
+  std::optional<mpi::Status> after;
+  bool payload_ok = false;
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    if (p.rank() == 0) {
+      p.send(comm, 1, 42, pattern_payload(1, 321));
+    } else {
+      before = p.iprobe(comm, 0, 42);  // nothing has arrived yet
+      p.self().delay(milliseconds(5));
+      after = p.iprobe(comm, 0, 42);
+      payload_ok = check_pattern(1, p.recv(comm, 0, 42));
+    }
+  });
+  EXPECT_FALSE(before.has_value());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->source, 0);
+  EXPECT_EQ(after->tag, 42);
+  EXPECT_EQ(after->count, 321u);
+  EXPECT_TRUE(payload_ok);
+}
+
+TEST(Probe, BlockingProbeWaitsForArrival) {
+  Cluster cluster(config_for(2));
+  mpi::Status status;
+  SimTime probed_at{};
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    if (p.rank() == 0) {
+      p.self().delay(milliseconds(2));
+      p.send(comm, 1, 9, pattern_payload(2, 100));
+    } else {
+      status = p.probe(comm, 0, 9);
+      probed_at = p.self().now();
+      (void)p.recv(comm, 0, 9);
+    }
+  });
+  EXPECT_EQ(status.count, 100u);
+  EXPECT_GE(probed_at.count(), milliseconds(2).count());
+}
+
+TEST(Probe, ReportsRendezvousLengthFromRts) {
+  ClusterConfig config = config_for(2);
+  config.eager_threshold = 256;  // force rendezvous
+  Cluster cluster(config);
+  std::optional<mpi::Status> probed;
+  bool payload_ok = false;
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    if (p.rank() == 0) {
+      p.send(comm, 1, 5, pattern_payload(3, 9000));
+    } else {
+      probed = p.iprobe(comm, 0, 5);
+      while (!probed.has_value()) {
+        p.self().delay(microseconds(100));
+        probed = p.iprobe(comm, 0, 5);
+      }
+      payload_ok = check_pattern(3, p.recv(comm, 0, 5));
+    }
+  });
+  ASSERT_TRUE(probed.has_value());
+  EXPECT_EQ(probed->count, 9000u)
+      << "probe must report the full payload size from the RTS envelope";
+  EXPECT_TRUE(payload_ok);
+}
+
+TEST(Probe, WildcardProbeIdentifiesSender) {
+  Cluster cluster(config_for(3));
+  mpi::Status status;
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    if (p.rank() == 2) {
+      p.send(comm, 0, 13, pattern_payload(1, 50));
+    } else if (p.rank() == 0) {
+      status = p.probe(comm, mpi::kAnySource, mpi::kAnyTag);
+      (void)p.recv(comm, status.source, status.tag);
+    }
+  });
+  EXPECT_EQ(status.source, 2);
+  EXPECT_EQ(status.tag, 13);
+}
+
+}  // namespace
+}  // namespace mcmpi

@@ -1,0 +1,536 @@
+// Collective-operation correctness across every algorithm, process count
+// and payload size, plus the paper-specific semantics: frame-count
+// formulas, ordering (§4), and scout-protocol readiness.
+#include <gtest/gtest.h>
+
+#include "coll/ack_mcast.hpp"
+#include "coll/allreduce.hpp"
+#include "coll/coll.hpp"
+#include "coll/mcast.hpp"
+#include "coll/mpich.hpp"
+#include "coll/sequencer.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "common/bytes.hpp"
+
+namespace mcmpi {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::NetworkType;
+
+ClusterConfig quiet_config(int procs, NetworkType net) {
+  ClusterConfig config;
+  config.num_procs = procs;
+  config.network = net;
+  config.seed = 42;
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// Broadcast correctness: every algorithm delivers the root's exact bytes
+// to every rank, over both network types, several sizes and roots.
+
+struct BcastCase {
+  coll::BcastAlgo algo;
+  NetworkType net;
+  int procs;
+  int payload;
+  int root;
+};
+
+class BcastCorrectness : public ::testing::TestWithParam<BcastCase> {};
+
+TEST_P(BcastCorrectness, DeliversExactPayloadToAllRanks) {
+  const BcastCase c = GetParam();
+  Cluster cluster(quiet_config(c.procs, c.net));
+  std::vector<int> ok(static_cast<std::size_t>(c.procs), 0);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    Buffer data;
+    if (comm.rank() == c.root) {
+      data = pattern_payload(99, static_cast<std::size_t>(c.payload));
+    }
+    coll::bcast(p, comm, data, c.root, c.algo);
+    ok[static_cast<std::size_t>(p.rank())] =
+        data.size() == static_cast<std::size_t>(c.payload) &&
+        check_pattern(99, data);
+  });
+
+  for (int r = 0; r < c.procs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+std::vector<BcastCase> all_bcast_cases() {
+  std::vector<BcastCase> cases;
+  for (coll::BcastAlgo algo :
+       {coll::BcastAlgo::kMpichBinomial, coll::BcastAlgo::kMcastBinary,
+        coll::BcastAlgo::kMcastLinear, coll::BcastAlgo::kAckMcast,
+        coll::BcastAlgo::kSequencer}) {
+    for (NetworkType net : {NetworkType::kHub, NetworkType::kSwitch}) {
+      for (int procs : {1, 2, 4, 7, 9}) {
+        for (int payload : {0, 1, 1000, 1472, 1473, 5000}) {
+          cases.push_back({algo, net, procs, payload, 0});
+        }
+        // Non-zero root exercises the relative-rank arithmetic.
+        cases.push_back({algo, net, procs, 512, procs - 1});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string bcast_case_name(
+    const ::testing::TestParamInfo<BcastCase>& info) {
+  const BcastCase& c = info.param;
+  std::string name = coll::to_string(c.algo) + "_" +
+                     cluster::to_string(c.net) + "_p" +
+                     std::to_string(c.procs) + "_b" +
+                     std::to_string(c.payload) + "_r" + std::to_string(c.root);
+  for (char& ch : name) {
+    if (ch == '-') {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BcastCorrectness,
+                         ::testing::ValuesIn(all_bcast_cases()),
+                         bcast_case_name);
+
+// ---------------------------------------------------------------------
+// Barrier semantics: no rank may leave before the last rank has entered.
+
+class BarrierSemantics
+    : public ::testing::TestWithParam<std::tuple<coll::BarrierAlgo, int>> {};
+
+TEST_P(BarrierSemantics, NobodyExitsBeforeLastEntry) {
+  const auto [algo, procs] = GetParam();
+  Cluster cluster(quiet_config(procs, NetworkType::kSwitch));
+  std::vector<SimTime> entered(static_cast<std::size_t>(procs));
+  std::vector<SimTime> exited(static_cast<std::size_t>(procs));
+
+  cluster.world().run([&](mpi::Proc& p) {
+    // Stagger entries hard: rank r arrives 300us * r late.
+    p.self().delay(microseconds(300) * p.rank());
+    entered[static_cast<std::size_t>(p.rank())] = p.self().now();
+    coll::barrier(p, p.comm_world(), algo);
+    exited[static_cast<std::size_t>(p.rank())] = p.self().now();
+  });
+
+  const SimTime last_entry = *std::max_element(entered.begin(), entered.end());
+  for (int r = 0; r < procs; ++r) {
+    EXPECT_GE(exited[static_cast<std::size_t>(r)].count(),
+              last_entry.count())
+        << "rank " << r << " escaped the barrier early";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothAlgorithms, BarrierSemantics,
+    ::testing::Combine(::testing::Values(coll::BarrierAlgo::kMpich,
+                                         coll::BarrierAlgo::kMcast),
+                       ::testing::Values(2, 3, 4, 7, 8, 9)),
+    [](const auto& info) {
+      return coll::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// §3.1 frame-count formulas, verified against simulator counters.
+
+struct FrameCase {
+  int procs;
+  int payload;
+};
+
+class BcastFrameCounts : public ::testing::TestWithParam<FrameCase> {};
+
+// Paper: MPICH needs (floor(M/T)+1)*(N-1) frames; multicast needs
+// (N-1) scouts + floor(M/T)+1 data frames.  T = 1472 payload bytes/frame.
+TEST_P(BcastFrameCounts, MatchesPaperFormulas) {
+  const auto [procs, payload] = GetParam();
+  const std::uint64_t frames_per_message =
+      static_cast<std::uint64_t>(payload) / 1472 + 1;
+  const auto n = static_cast<std::uint64_t>(procs);
+
+  auto run_bcast = [&](coll::BcastAlgo algo) {
+    Cluster cluster(quiet_config(procs, NetworkType::kSwitch));
+    auto op = [&, algo](mpi::Proc& p) {
+      Buffer data;
+      if (p.rank() == 0) {
+        data = pattern_payload(7, static_cast<std::size_t>(payload));
+      }
+      coll::bcast(p, p.comm_world(), data, 0, algo);
+    };
+    return cluster::count_frames(cluster, op, op);
+  };
+
+  const auto mpich = run_bcast(coll::BcastAlgo::kMpichBinomial);
+  EXPECT_EQ(mpich.formula_frames(), frames_per_message * (n - 1))
+      << "MPICH bcast frame count";
+
+  for (coll::BcastAlgo algo :
+       {coll::BcastAlgo::kMcastBinary, coll::BcastAlgo::kMcastLinear}) {
+    const auto mcast = run_bcast(algo);
+    EXPECT_EQ(mcast.formula_frames(), (n - 1) + frames_per_message)
+        << coll::to_string(algo) << " frame count";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BcastFrameCounts,
+    ::testing::Values(FrameCase{2, 0}, FrameCase{4, 0}, FrameCase{4, 1000},
+                      FrameCase{4, 1472}, FrameCase{4, 5000}, FrameCase{7, 100},
+                      FrameCase{9, 5000}, FrameCase{9, 0}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.procs) + "_b" +
+             std::to_string(info.param.payload);
+    });
+
+// §3.2 barrier message counts: MPICH 2(N-K)+K*log2(K); multicast (N-1)+1.
+class BarrierFrameCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierFrameCounts, MatchesPaperFormulas) {
+  const int procs = GetParam();
+  const auto n = static_cast<std::uint64_t>(procs);
+  std::uint64_t k = 1;
+  std::uint64_t log2k = 0;
+  while (k * 2 <= n) {
+    k *= 2;
+    ++log2k;
+  }
+
+  auto run_barrier = [&](coll::BarrierAlgo algo) {
+    Cluster cluster(quiet_config(procs, NetworkType::kSwitch));
+    auto op = [algo](mpi::Proc& p) { coll::barrier(p, p.comm_world(), algo); };
+    return cluster::count_frames(cluster, op, op);
+  };
+
+  const auto mpich = run_barrier(coll::BarrierAlgo::kMpich);
+  EXPECT_EQ(mpich.formula_frames(), 2 * (n - k) + k * log2k)
+      << "MPICH barrier message count";
+
+  const auto mcast = run_barrier(coll::BarrierAlgo::kMcast);
+  EXPECT_EQ(mcast.formula_frames(), (n - 1) + 1)
+      << "multicast barrier message count";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BarrierFrameCounts,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// §4 ordering: consecutive broadcasts from different roots on the same
+// communicator (same multicast group) arrive in program order.
+
+TEST(McastOrdering, SequentialBroadcastsFromDifferentRootsStayOrdered) {
+  constexpr int kProcs = 4;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
+  // Each rank records the payload tag sequence it observed.
+  std::vector<std::vector<std::uint8_t>> seen(kProcs);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    // The paper's example: broadcasts rooted at 1, then 2, then 3.
+    for (int root = 1; root <= 3; ++root) {
+      Buffer data;
+      if (p.rank() == root) {
+        data = {static_cast<std::uint8_t>(root)};
+      }
+      coll::bcast(p, comm, data, root, coll::BcastAlgo::kMcastBinary);
+      seen[static_cast<std::size_t>(p.rank())].push_back(data.at(0));
+    }
+  });
+
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)],
+              (std::vector<std::uint8_t>{1, 2, 3}))
+        << "rank " << r;
+  }
+}
+
+// Mixed algorithms on the same communicator share the sequence space.
+TEST(McastOrdering, MixedMcastAlgorithmsShareOneSequence) {
+  constexpr int kProcs = 5;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kHub));
+  std::vector<int> failures(kProcs, 0);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    for (int i = 0; i < 3; ++i) {
+      Buffer data;
+      if (p.rank() == 0) {
+        data = pattern_payload(static_cast<std::uint64_t>(i), 64);
+      }
+      coll::bcast(p, comm, data, 0,
+                  i % 2 == 0 ? coll::BcastAlgo::kMcastBinary
+                             : coll::BcastAlgo::kMcastLinear);
+      if (!check_pattern(static_cast<std::uint64_t>(i), data)) {
+        failures[static_cast<std::size_t>(p.rank())] = 1;
+      }
+      coll::barrier(p, comm, coll::BarrierAlgo::kMcast);
+    }
+  });
+
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(failures[static_cast<std::size_t>(r)], 0) << "rank " << r;
+  }
+}
+
+// ---------------------------------------------------------------------
+// The readiness hazard itself: a *naive* multicast broadcast (no scouts)
+// loses data when a receiver has not created its channel yet — proving
+// the problem the paper's protocols solve exists in this model.
+
+TEST(ReadinessHazard, NaiveMulticastLosesDataForLateReceiver) {
+  // On the hub: the late receiver's NIC hears the frame but filters it
+  // (group not joined).  On a switch the loss is even earlier (IGMP
+  // snooping forwards no copy).  Either way, the data never arrives.
+  constexpr int kProcs = 3;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kHub));
+  std::vector<int> got(kProcs, 0);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    if (p.rank() == 0) {
+      // Root multicasts immediately: no scout synchronization.
+      coll::mcast_send_framed(p, comm, pattern_payload(1, 256), 0,
+                              net::FrameKind::kData);
+      got[0] = 1;
+      return;
+    }
+    if (p.rank() == 1) {
+      // Ready receiver: channel exists before the datagram lands.
+      (void)p.mcast_channel(comm);
+      got[1] = check_pattern(1, coll::mcast_recv_framed(p, comm, 0));
+      return;
+    }
+    // Rank 2 sleeps through the broadcast; its channel does not exist when
+    // the datagram arrives, so the message is gone forever.
+    p.self().delay(milliseconds(20));
+    auto& ch = p.mcast_channel(comm);
+    auto datagram =
+        ch.socket().recv_until(p.self(), p.self().now() + milliseconds(20));
+    got[2] = datagram.has_value() ? 1 : 0;
+  });
+
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 1) << "ready receiver must get the multicast";
+  EXPECT_EQ(got[2], 0) << "late receiver must have lost the multicast";
+  EXPECT_GT(cluster.network().counters().filtered, 0u)
+      << "the loss should be visible as a NIC filter drop on the hub";
+}
+
+// With scouts, the same late receiver loses nothing.
+TEST(ReadinessHazard, ScoutSynchronizationToleratesLateReceiver) {
+  constexpr int kProcs = 3;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
+  std::vector<int> ok(kProcs, 0);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    if (p.rank() == 2) {
+      p.self().delay(milliseconds(20));  // same lateness as above
+    }
+    Buffer data;
+    if (p.rank() == 0) {
+      data = pattern_payload(1, 256);
+    }
+    coll::bcast(p, comm, data, 0, coll::BcastAlgo::kMcastBinary);
+    ok[static_cast<std::size_t>(p.rank())] = check_pattern(1, data);
+  });
+
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+// The ACK-based protocol also recovers, but only by re-multicasting.
+TEST(ReadinessHazard, AckMcastRecoversViaRetransmission) {
+  constexpr int kProcs = 3;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
+  std::vector<int> ok(kProcs, 0);
+  std::uint64_t retransmissions = 0;
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    if (p.rank() == 2) {
+      p.self().delay(milliseconds(20));
+    }
+    Buffer data;
+    if (p.rank() == 0) {
+      data = pattern_payload(1, 256);
+    }
+    coll::bcast_ack_mcast(p, comm, data, 0);
+    ok[static_cast<std::size_t>(p.rank())] = check_pattern(1, data);
+    if (p.rank() == 0) {
+      retransmissions = coll::ack_mcast_stats(p, comm).retransmissions;
+    }
+  });
+
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+  EXPECT_GE(retransmissions, 1u)
+      << "the late receiver should have forced at least one re-multicast";
+}
+
+// ---------------------------------------------------------------------
+// Wider collective set.
+
+TEST(MpichCollectives, ReduceSumsOnRoot) {
+  constexpr int kProcs = 6;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
+  std::int64_t result = -1;
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    const std::int64_t mine = (p.rank() + 1) * 10;
+    Buffer data(sizeof mine);
+    std::memcpy(data.data(), &mine, sizeof mine);
+    const Buffer out = coll::reduce_mpich(p, comm, data, mpi::Op::kSum,
+                                          mpi::Datatype::kInt64, 0);
+    if (p.rank() == 0) {
+      std::memcpy(&result, out.data(), sizeof result);
+    }
+  });
+  EXPECT_EQ(result, 10 + 20 + 30 + 40 + 50 + 60);
+}
+
+TEST(MpichCollectives, GatherCollectsInRankOrder) {
+  constexpr int kProcs = 5;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kHub));
+  std::vector<Buffer> gathered;
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const Buffer mine = pattern_payload(static_cast<std::uint64_t>(p.rank()),
+                                        16 + static_cast<std::size_t>(p.rank()));
+    auto out = coll::gather_mpich(p, p.comm_world(), mine, 2);
+    if (p.rank() == 2) {
+      gathered = std::move(out);
+    }
+  });
+
+  ASSERT_EQ(gathered.size(), static_cast<std::size_t>(kProcs));
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(check_pattern(static_cast<std::uint64_t>(r),
+                              gathered[static_cast<std::size_t>(r)]))
+        << "rank " << r;
+    EXPECT_EQ(gathered[static_cast<std::size_t>(r)].size(),
+              16 + static_cast<std::size_t>(r));
+  }
+}
+
+TEST(MpichCollectives, ScatterDeliversPerRankChunks) {
+  constexpr int kProcs = 4;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
+  std::vector<int> ok(kProcs, 0);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    std::vector<Buffer> chunks;
+    if (p.rank() == 1) {
+      for (int r = 0; r < kProcs; ++r) {
+        chunks.push_back(
+            pattern_payload(static_cast<std::uint64_t>(100 + r), 32));
+      }
+    }
+    const Buffer mine = coll::scatter_mpich(p, p.comm_world(), chunks, 1);
+    ok[static_cast<std::size_t>(p.rank())] =
+        check_pattern(static_cast<std::uint64_t>(100 + p.rank()), mine);
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+TEST(MpichCollectives, AllgatherGivesEveryoneEverything) {
+  constexpr int kProcs = 5;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
+  std::vector<int> ok(kProcs, 1);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const Buffer mine =
+        pattern_payload(static_cast<std::uint64_t>(p.rank()), 40);
+    const auto all = coll::allgather_mpich(p, p.comm_world(), mine);
+    for (int r = 0; r < kProcs; ++r) {
+      if (!check_pattern(static_cast<std::uint64_t>(r),
+                         all[static_cast<std::size_t>(r)])) {
+        ok[static_cast<std::size_t>(p.rank())] = 0;
+      }
+    }
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+TEST(MpichCollectives, AlltoallExchangesPairwisePayloads) {
+  constexpr int kProcs = 4;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
+  std::vector<int> ok(kProcs, 1);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    std::vector<Buffer> to_each;
+    for (int dst = 0; dst < kProcs; ++dst) {
+      to_each.push_back(pattern_payload(
+          static_cast<std::uint64_t>(p.rank() * 100 + dst), 24));
+    }
+    const auto from_each = coll::alltoall_mpich(p, p.comm_world(), to_each);
+    for (int src = 0; src < kProcs; ++src) {
+      if (!check_pattern(static_cast<std::uint64_t>(src * 100 + p.rank()),
+                         from_each[static_cast<std::size_t>(src)])) {
+        ok[static_cast<std::size_t>(p.rank())] = 0;
+      }
+    }
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+class AllreduceAcrossBcasts
+    : public ::testing::TestWithParam<coll::BcastAlgo> {};
+
+TEST_P(AllreduceAcrossBcasts, MaxReachesEveryRank) {
+  constexpr int kProcs = 6;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kHub));
+  std::vector<std::int32_t> results(kProcs, -1);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const std::int32_t mine = 7 * (p.rank() + 1);
+    Buffer data(sizeof mine);
+    std::memcpy(data.data(), &mine, sizeof mine);
+    const Buffer out = coll::allreduce(p, p.comm_world(), data, mpi::Op::kMax,
+                                       mpi::Datatype::kInt32, GetParam());
+    std::memcpy(&results[static_cast<std::size_t>(p.rank())], out.data(),
+                sizeof(std::int32_t));
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], 7 * kProcs) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BcastStage, AllreduceAcrossBcasts,
+    ::testing::Values(coll::BcastAlgo::kMpichBinomial,
+                      coll::BcastAlgo::kMcastBinary,
+                      coll::BcastAlgo::kMcastLinear),
+    [](const auto& info) {
+      std::string n = coll::to_string(info.param);
+      for (char& ch : n) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace mcmpi

@@ -1,0 +1,402 @@
+// Unit tests for the Ethernet models: frame accounting, NIC filtering,
+// CSMA/CD hub behaviour (collisions, backoff, variance), switch learning,
+// flooding, IGMP snooping and store-and-forward timing.
+#include <gtest/gtest.h>
+
+#include "net/frame.hpp"
+#include "net/hub.hpp"
+#include "net/nic.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::net {
+namespace {
+
+Frame make_frame(MacAddr dst, std::size_t payload_bytes,
+                 FrameKind kind = FrameKind::kData) {
+  Frame f;
+  f.dst = dst;
+  f.kind = kind;
+  f.payload.assign(payload_bytes, 0xCC);
+  return f;
+}
+
+// ------------------------------------------------------------------ MACs
+
+TEST(MacAddr, Classification) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  EXPECT_TRUE(MacAddr::ip_multicast(0xE0000001).is_multicast());
+  EXPECT_FALSE(MacAddr::ip_multicast(0xE0000001).is_broadcast());
+  EXPECT_FALSE(MacAddr::host(3).is_multicast());
+}
+
+TEST(MacAddr, Rfc1112MappingUsesLow23Bits) {
+  // 239.1.2.3 -> 01:00:5e:01:02:03
+  EXPECT_EQ(MacAddr::ip_multicast(0xEF010203).to_string(), "01:00:5e:01:02:03");
+  // Group bits above the low 23 are ignored (the RFC 1112 ambiguity).
+  EXPECT_EQ(MacAddr::ip_multicast(0xEF810203), MacAddr::ip_multicast(0xE0010203));
+}
+
+TEST(MacAddr, ToStringFormatsHost) {
+  EXPECT_EQ(MacAddr::host(9).to_string(), "02:00:00:00:00:09");
+}
+
+// ---------------------------------------------------------------- frames
+
+TEST(Frame, MinimumFrameSizeApplies) {
+  const Frame f = make_frame(MacAddr::host(1), 0);
+  EXPECT_EQ(f.frame_bytes(), 64);
+  EXPECT_EQ(f.wire_bytes(), 64 + 8 + 12);
+}
+
+TEST(Frame, FullMtuFrameSize) {
+  const Frame f = make_frame(MacAddr::host(1), 1500);
+  EXPECT_EQ(f.frame_bytes(), 1500 + 18);
+  EXPECT_EQ(f.wire_bytes(), 1500 + 18 + 20);
+}
+
+TEST(Frame, WireTimeAt100Mbps) {
+  const Frame f = make_frame(MacAddr::host(1), 1500);
+  // 1538 bytes * 80 ns.
+  EXPECT_EQ(f.wire_time(100'000'000).count(), 1538 * 80);
+}
+
+TEST(Frame, OversizedPayloadRejected) {
+  const Frame f = make_frame(MacAddr::host(1), 1501);
+  EXPECT_THROW((void)f.frame_bytes(), ContractViolation);
+}
+
+// ------------------------------------------------------------------- NIC
+
+TEST(Nic, FilterAcceptsOwnBroadcastAndJoinedGroups) {
+  sim::Simulator sim;
+  Hub hub(sim);
+  Nic nic(sim, MacAddr::host(1), "n1");
+  nic.attach_to(hub);
+  EXPECT_TRUE(nic.accepts(MacAddr::host(1)));
+  EXPECT_FALSE(nic.accepts(MacAddr::host(2)));
+  EXPECT_TRUE(nic.accepts(MacAddr::broadcast()));
+
+  const MacAddr group = MacAddr::ip_multicast(0xEF010101);
+  EXPECT_FALSE(nic.accepts(group));
+  nic.join_multicast(group);
+  EXPECT_TRUE(nic.accepts(group));
+  // Reference counting: two joins need two leaves.
+  nic.join_multicast(group);
+  nic.leave_multicast(group);
+  EXPECT_TRUE(nic.accepts(group));
+  nic.leave_multicast(group);
+  EXPECT_FALSE(nic.accepts(group));
+}
+
+// ------------------------------------------------------------------- hub
+
+struct HubFixture {
+  sim::Simulator sim{1};
+  Hub hub{sim};
+  std::vector<std::unique_ptr<Nic>> nics;
+  std::vector<std::vector<Frame>> received;
+
+  explicit HubFixture(int n) {
+    received.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      nics.push_back(std::make_unique<Nic>(
+          sim, MacAddr::host(static_cast<std::uint32_t>(i)),
+          "h" + std::to_string(i)));
+      nics.back()->attach_to(hub);
+      auto* sink = &received[static_cast<std::size_t>(i)];
+      nics.back()->set_rx_handler(
+          [sink](const Frame& f) { sink->push_back(f); });
+    }
+  }
+};
+
+TEST(Hub, DeliversUnicastOnlyToAddressee) {
+  HubFixture fx(3);
+  fx.nics[0]->send(make_frame(MacAddr::host(1), 100));
+  fx.sim.run();
+  EXPECT_EQ(fx.received[1].size(), 1u);
+  EXPECT_EQ(fx.received[2].size(), 0u);  // filtered at the NIC
+  EXPECT_EQ(fx.hub.counters().host_tx_frames, 1u);
+  EXPECT_EQ(fx.hub.counters().deliveries, 1u);
+  EXPECT_EQ(fx.hub.counters().filtered, 1u);
+}
+
+TEST(Hub, BroadcastReachesEveryoneButSender) {
+  HubFixture fx(4);
+  fx.nics[0]->send(make_frame(MacAddr::broadcast(), 50));
+  fx.sim.run();
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(fx.received[static_cast<std::size_t>(i)].size(), 1u);
+  }
+  EXPECT_TRUE(fx.received[0].empty());
+}
+
+TEST(Hub, SerializesBackToBackFramesFromOneSender) {
+  HubFixture fx(2);
+  fx.nics[0]->send(make_frame(MacAddr::host(1), 1000));
+  fx.nics[0]->send(make_frame(MacAddr::host(1), 1000));
+  SimTime done{};
+  fx.nics[1]->set_rx_handler([&](const Frame&) { done = fx.sim.now(); });
+  fx.sim.run();
+  // Two 1058-byte wire frames at 80 ns/B plus repeater latency ~= 170 us.
+  const auto wire = make_frame(MacAddr::host(1), 1000).wire_time(100'000'000);
+  EXPECT_GE(done.count(), (2 * wire).count());
+}
+
+TEST(Hub, SimultaneousSendersCollideAndRecover) {
+  HubFixture fx(3);
+  // Two stations become ready at exactly the same instant -> the hub sees
+  // the second within the sense window -> collision, then backoff.
+  fx.sim.schedule_at(microseconds(10), [&] {
+    fx.nics[0]->send(make_frame(MacAddr::host(2), 200));
+  });
+  fx.sim.schedule_at(microseconds(10), [&] {
+    fx.nics[1]->send(make_frame(MacAddr::host(2), 200));
+  });
+  fx.sim.run();
+  EXPECT_GE(fx.hub.counters().collisions, 1u);
+  EXPECT_GE(fx.hub.counters().backoffs, 2u);
+  // Both frames are eventually delivered.
+  EXPECT_EQ(fx.received[2].size(), 2u);
+  EXPECT_EQ(fx.hub.counters().excessive_collision_drops, 0u);
+}
+
+TEST(Hub, DeferredStationsCollideAtIdleThenResolve) {
+  HubFixture fx(4);
+  // Station 0 occupies the medium; 1 and 2 arrive mid-transmission (outside
+  // the sense window), defer, then collide with each other at idle.
+  fx.sim.schedule_at(microseconds(10), [&] {
+    fx.nics[0]->send(make_frame(MacAddr::host(3), 1400));
+  });
+  fx.sim.schedule_at(microseconds(60), [&] {
+    fx.nics[1]->send(make_frame(MacAddr::host(3), 100));
+  });
+  fx.sim.schedule_at(microseconds(70), [&] {
+    fx.nics[2]->send(make_frame(MacAddr::host(3), 100));
+  });
+  fx.sim.run();
+  EXPECT_GE(fx.hub.counters().collisions, 1u);
+  EXPECT_EQ(fx.received[3].size(), 3u);
+}
+
+TEST(Hub, LateArrivalOutsideSenseWindowDefersWithoutCollision) {
+  HubFixture fx(3);
+  fx.sim.schedule_at(microseconds(10), [&] {
+    fx.nics[0]->send(make_frame(MacAddr::host(2), 1400));
+  });
+  // 50 us after start: carrier clearly sensed, no collision.
+  fx.sim.schedule_at(microseconds(60), [&] {
+    fx.nics[1]->send(make_frame(MacAddr::host(2), 100));
+  });
+  fx.sim.run();
+  EXPECT_EQ(fx.hub.counters().collisions, 0u);
+  EXPECT_EQ(fx.received[2].size(), 2u);
+}
+
+TEST(Hub, MulticastDeliversToJoinedOnly) {
+  HubFixture fx(4);
+  const MacAddr group = MacAddr::ip_multicast(0xEF010101);
+  fx.nics[1]->join_multicast(group);
+  fx.nics[3]->join_multicast(group);
+  fx.nics[0]->send(make_frame(group, 300));
+  fx.sim.run();
+  EXPECT_EQ(fx.received[1].size(), 1u);
+  EXPECT_EQ(fx.received[2].size(), 0u);
+  EXPECT_EQ(fx.received[3].size(), 1u);
+  // One transmission regardless of group size: the point of multicast.
+  EXPECT_EQ(fx.hub.counters().host_tx_frames, 1u);
+}
+
+TEST(Hub, DropHookInjectsPerReceiverLoss) {
+  HubFixture fx(3);
+  fx.hub.set_drop_hook([](const Frame&, const Nic& receiver) {
+    return receiver.mac() == MacAddr::host(1);
+  });
+  fx.nics[0]->send(make_frame(MacAddr::broadcast(), 10));
+  fx.sim.run();
+  EXPECT_TRUE(fx.received[1].empty());
+  EXPECT_EQ(fx.received[2].size(), 1u);
+  EXPECT_EQ(fx.hub.counters().injected_drops, 1u);
+}
+
+// ---------------------------------------------------------------- switch
+
+struct SwitchFixture {
+  sim::Simulator sim{1};
+  Switch sw{sim};
+  std::vector<std::unique_ptr<Nic>> nics;
+  std::vector<std::vector<Frame>> received;
+
+  explicit SwitchFixture(int n) {
+    received.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      nics.push_back(std::make_unique<Nic>(
+          sim, MacAddr::host(static_cast<std::uint32_t>(i)),
+          "s" + std::to_string(i)));
+      nics.back()->attach_to(sw);
+      auto* sink = &received[static_cast<std::size_t>(i)];
+      nics.back()->set_rx_handler(
+          [sink](const Frame& f) { sink->push_back(f); });
+    }
+  }
+};
+
+TEST(Switch, UnknownUnicastFloodsThenLearns) {
+  SwitchFixture fx(4);
+  fx.nics[0]->send(make_frame(MacAddr::host(2), 64));
+  fx.sim.run();
+  // First frame flooded to all other ports, but only host 2's NIC accepts.
+  EXPECT_EQ(fx.received[2].size(), 1u);
+  EXPECT_EQ(fx.sw.counters().filtered, 2u);
+  EXPECT_EQ(fx.sw.fdb_size(), 1u);  // learned host 0
+
+  // Reply: now both are learned; no flooding.
+  const auto filtered_before = fx.sw.counters().filtered;
+  fx.nics[2]->send(make_frame(MacAddr::host(0), 64));
+  fx.sim.run();
+  EXPECT_EQ(fx.received[0].size(), 1u);
+  EXPECT_EQ(fx.sw.counters().filtered, filtered_before);
+  EXPECT_EQ(fx.sw.fdb_size(), 2u);
+}
+
+TEST(Switch, IgmpSnoopingLimitsMulticastCopies) {
+  SwitchFixture fx(5);
+  const MacAddr group = MacAddr::ip_multicast(0xEF010102);
+  fx.nics[2]->join_multicast(group);
+  fx.nics[4]->join_multicast(group);
+  fx.nics[0]->send(make_frame(group, 500));
+  fx.sim.run();
+  EXPECT_EQ(fx.received[2].size(), 1u);
+  EXPECT_EQ(fx.received[4].size(), 1u);
+  EXPECT_TRUE(fx.received[1].empty());
+  EXPECT_TRUE(fx.received[3].empty());
+  // Exactly two egress deliveries; nothing filtered (snooping, not flood).
+  EXPECT_EQ(fx.sw.counters().deliveries, 2u);
+  EXPECT_EQ(fx.sw.counters().filtered, 0u);
+}
+
+TEST(Switch, StoreAndForwardAddsLatencyVersusHub) {
+  // The same unicast frame takes longer through the switch than the hub:
+  // two serializations + forwarding latency vs one + repeater latency.
+  auto measure = [](auto& fixture) {
+    SimTime arrival{};
+    fixture.nics[1]->set_rx_handler(
+        [&, &fx = fixture](const Frame&) { arrival = fx.sim.now(); });
+    fixture.nics[0]->send(make_frame(MacAddr::host(1), 1000));
+    fixture.sim.run();
+    return arrival;
+  };
+  HubFixture hub_fx(2);
+  SwitchFixture sw_fx(2);
+  const SimTime via_hub = measure(hub_fx);
+  const SimTime via_switch = measure(sw_fx);
+  EXPECT_GT(via_switch.count(), via_hub.count());
+}
+
+TEST(Switch, FullDuplexAllowsParallelTransfers) {
+  // 0->1 and 2->3 proceed concurrently on a switch: total time is one
+  // frame's worth, not two (after learning).
+  SwitchFixture fx(4);
+  fx.nics[0]->send(make_frame(MacAddr::host(1), 64));
+  fx.nics[1]->send(make_frame(MacAddr::host(0), 64));
+  fx.nics[2]->send(make_frame(MacAddr::host(3), 64));
+  fx.nics[3]->send(make_frame(MacAddr::host(2), 64));
+  fx.sim.run();
+
+  SimTime t0{};
+  SimTime t1{};
+  fx.nics[1]->set_rx_handler([&](const Frame&) { t0 = fx.sim.now(); });
+  fx.nics[3]->set_rx_handler([&](const Frame&) { t1 = fx.sim.now(); });
+  const SimTime start = fx.sim.now();
+  fx.nics[0]->send(make_frame(MacAddr::host(1), 1400));
+  fx.nics[2]->send(make_frame(MacAddr::host(3), 1400));
+  fx.sim.run();
+  const auto wire = make_frame(MacAddr::host(1), 1400).wire_time(100'000'000);
+  // Each flow finishes in ~2*wire + forwarding, and they overlap: neither
+  // should take as long as a serialized 4*wire.
+  EXPECT_LT((t0 - start).count(), (3 * wire).count());
+  EXPECT_LT((t1 - start).count(), (3 * wire).count());
+}
+
+TEST(Switch, MulticastWithNoMembersForwardsNothing) {
+  SwitchFixture fx(4);
+  const MacAddr group = MacAddr::ip_multicast(0xEF010999);
+  fx.nics[0]->send(make_frame(group, 200));
+  fx.sim.run();
+  EXPECT_EQ(fx.sw.counters().host_tx_frames, 1u);
+  EXPECT_EQ(fx.sw.counters().deliveries, 0u)
+      << "IGMP snooping forwards to member ports only";
+}
+
+TEST(Switch, UnicastToIngressPortIsNotReflected) {
+  SwitchFixture fx(2);
+  // Teach the switch both addresses.
+  fx.nics[0]->send(make_frame(MacAddr::host(1), 64));
+  fx.nics[1]->send(make_frame(MacAddr::host(0), 64));
+  fx.sim.run();
+  const auto delivered_before = fx.sw.counters().deliveries;
+  // A frame addressed to a host on the *same* port (spoofed src) just dies.
+  fx.nics[0]->send(make_frame(MacAddr::host(0), 64));
+  fx.sim.run();
+  EXPECT_EQ(fx.sw.counters().deliveries, delivered_before);
+}
+
+TEST(Hub, BackoffDeterminismAcrossSeeds) {
+  // Identical seeds give identical collision resolution; different seeds
+  // resolve differently (the hub draws backoff slots from the sim RNG).
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    Hub hub(sim);
+    std::vector<std::unique_ptr<Nic>> nics;
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 3; ++i) {
+      nics.push_back(std::make_unique<Nic>(
+          sim, MacAddr::host(static_cast<std::uint32_t>(i)),
+          "h" + std::to_string(i)));
+      nics.back()->attach_to(hub);
+    }
+    nics[2]->set_rx_handler(
+        [&](const Frame&) { times.push_back(sim.now().count()); });
+    sim.schedule_at(microseconds(10), [&] {
+      nics[0]->send(make_frame(MacAddr::host(2), 500));
+      nics[1]->send(make_frame(MacAddr::host(2), 500));
+    });
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Switch, EgressQueueTailDrops) {
+  sim::Simulator sim{1};
+  Switch::Params params;
+  params.max_queue_frames = 2;
+  Switch sw(sim, params);
+  Nic a(sim, MacAddr::host(0), "a");
+  Nic b(sim, MacAddr::host(1), "b");
+  a.attach_to(sw);
+  b.attach_to(sw);
+  int delivered = 0;
+  b.set_rx_handler([&](const Frame&) { ++delivered; });
+  // Teach the switch where b lives to avoid flood accounting noise.
+  b.send(make_frame(MacAddr::host(0), 64));
+  sim.run();
+  // Burst far beyond the 2-frame egress queue: ingress keeps up (one at a
+  // time) but egress throughput equals ingress, so to force a drop we
+  // inject frames directly back-to-back from two sources.
+  Nic c(sim, MacAddr::host(2), "c");
+  c.attach_to(sw);
+  for (int i = 0; i < 6; ++i) {
+    a.send(make_frame(MacAddr::host(1), 1400));
+    c.send(make_frame(MacAddr::host(1), 1400));
+  }
+  sim.run();
+  EXPECT_GT(sw.counters().queue_drops, 0u);
+  EXPECT_LT(delivered, 12);
+}
+
+}  // namespace
+}  // namespace mcmpi::net

@@ -1,0 +1,166 @@
+// Tests for the real-socket backend.  Multicast over loopback may be
+// unavailable in sandboxes; every test that needs it skips cleanly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "posix/real_cluster.hpp"
+#include "posix/socket.hpp"
+
+namespace mcmpi::posix {
+namespace {
+
+bool multicast_ok() {
+  static const bool available = RealUdpSocket::loopback_multicast_available();
+  return available;
+}
+
+#define SKIP_WITHOUT_MULTICAST()                                         \
+  do {                                                                   \
+    if (!multicast_ok()) {                                               \
+      GTEST_SKIP() << "loopback multicast unavailable in this sandbox";  \
+    }                                                                    \
+  } while (false)
+
+TEST(RealSocket, UnicastLoopbackRoundTrip) {
+  RealUdpSocket rx(0);
+  RealUdpSocket tx(0);
+  const Buffer payload = pattern_payload(1, 100);
+  tx.send_to(0, rx.port(), payload);
+  const auto got = rx.recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(check_pattern(1, got->data));
+  EXPECT_EQ(got->src_port, tx.port());
+}
+
+TEST(RealSocket, RecvTimesOutWithoutTraffic) {
+  RealUdpSocket rx(0);
+  const auto got = rx.recv(std::chrono::milliseconds(50));
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(RealSocket, MulticastReachesJoinedSocket) {
+  SKIP_WITHOUT_MULTICAST();
+  constexpr std::uint32_t kGroup = 0xEF0101F0u;  // 239.1.1.240
+  RealUdpSocket rx(0);
+  rx.join_multicast(kGroup);
+  RealUdpSocket tx(0);
+  tx.join_multicast(kGroup);
+  tx.send_to(kGroup, rx.port(), pattern_payload(2, 64));
+  const auto got = rx.recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(check_pattern(2, got->data));
+}
+
+TEST(RealCluster, P2pMessagesQueuePerSource) {
+  RealClusterConfig config;
+  config.num_ranks = 3;
+  RealCluster cluster(config);
+  std::vector<int> ok(3, 1);
+  cluster.run([&](RealRank& r) {
+    if (r.rank() == 0) {
+      // Both peers send; receive in the opposite order of arrival risk.
+      const auto from2 = r.recv_p2p(2);
+      const auto from1 = r.recv_p2p(1);
+      ok[0] = check_pattern(22, from2) && check_pattern(11, from1);
+    } else if (r.rank() == 1) {
+      r.send_p2p(0, pattern_payload(11, 50));
+    } else {
+      r.send_p2p(0, pattern_payload(22, 50));
+    }
+  });
+  EXPECT_TRUE(ok[0]);
+}
+
+TEST(RealCluster, BinaryBcastDeliversOnRealSockets) {
+  SKIP_WITHOUT_MULTICAST();
+  RealClusterConfig config;
+  config.num_ranks = 4;
+  config.mcast_group = 0xEF0101F1u;
+  RealCluster cluster(config);
+  std::vector<int> ok(4, 0);
+  cluster.run([&](RealRank& r) {
+    std::vector<std::uint8_t> data;
+    if (r.rank() == 0) {
+      data = pattern_payload(3, 2000);
+    }
+    r.bcast_binary(data, 0);
+    ok[static_cast<std::size_t>(r.rank())] = check_pattern(3, data);
+  });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(i)]) << "rank " << i;
+  }
+}
+
+TEST(RealCluster, LinearBcastDeliversOnRealSockets) {
+  SKIP_WITHOUT_MULTICAST();
+  RealClusterConfig config;
+  config.num_ranks = 5;
+  config.mcast_group = 0xEF0101F2u;
+  RealCluster cluster(config);
+  std::vector<int> ok(5, 0);
+  cluster.run([&](RealRank& r) {
+    std::vector<std::uint8_t> data;
+    if (r.rank() == 2) {
+      data = pattern_payload(4, 1000);
+    }
+    r.bcast_linear(data, 2);
+    ok[static_cast<std::size_t>(r.rank())] = check_pattern(4, data);
+  });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(i)]) << "rank " << i;
+  }
+}
+
+TEST(RealCluster, BackToBackBroadcastsStayOrdered) {
+  SKIP_WITHOUT_MULTICAST();
+  RealClusterConfig config;
+  config.num_ranks = 3;
+  config.mcast_group = 0xEF0101F3u;
+  RealCluster cluster(config);
+  std::vector<int> ok(3, 1);
+  cluster.run([&](RealRank& r) {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<std::uint8_t> data;
+      if (r.rank() == 0) {
+        data = pattern_payload(static_cast<std::uint64_t>(i), 256);
+      }
+      r.bcast_binary(data, 0);
+      if (!check_pattern(static_cast<std::uint64_t>(i), data)) {
+        ok[static_cast<std::size_t>(r.rank())] = 0;
+      }
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(i)]) << "rank " << i;
+  }
+}
+
+TEST(RealCluster, BarrierSynchronizesThreads) {
+  SKIP_WITHOUT_MULTICAST();
+  RealClusterConfig config;
+  config.num_ranks = 4;
+  config.mcast_group = 0xEF0101F4u;
+  RealCluster cluster(config);
+  std::atomic<int> entered{0};
+  std::vector<int> seen_at_exit(4, 0);
+  cluster.run([&](RealRank& r) {
+    // Rank 3 arrives visibly late.
+    if (r.rank() == 3) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    ++entered;
+    r.barrier();
+    seen_at_exit[static_cast<std::size_t>(r.rank())] = entered.load();
+  });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen_at_exit[static_cast<std::size_t>(i)], 4)
+        << "rank " << i << " left the barrier before everyone entered";
+  }
+}
+
+}  // namespace
+}  // namespace mcmpi::posix

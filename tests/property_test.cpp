@@ -1,0 +1,248 @@
+// Property-based tests: randomized programs and parameter sweeps that must
+// hold for *every* draw — cross-algorithm result equivalence, frame-count
+// formulas at random points, fragmentation round-trips, and replay
+// determinism of the full stack.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "coll/allreduce.hpp"
+#include "coll/coll.hpp"
+#include "coll/mpich.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace mcmpi {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::NetworkType;
+
+// --------------------------------------------------------------------
+// Property: for any random program of collectives, every broadcast
+// algorithm produces byte-identical results on every rank.
+
+struct ProgramStep {
+  int op;        // 0 = bcast, 1 = barrier, 2 = allreduce
+  int root;
+  std::size_t payload;
+  std::uint64_t pattern;
+};
+
+std::vector<ProgramStep> random_program(Rng& rng, int procs, int steps) {
+  std::vector<ProgramStep> program;
+  for (int i = 0; i < steps; ++i) {
+    ProgramStep step;
+    step.op = static_cast<int>(rng.below(3));
+    step.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(procs)));
+    step.payload = rng.below(4000);
+    step.pattern = rng();
+    program.push_back(step);
+  }
+  return program;
+}
+
+/// Runs the program with the given bcast algorithm; returns a per-rank
+/// digest of everything observed.
+std::vector<std::uint64_t> run_program(const std::vector<ProgramStep>& program,
+                                       int procs, NetworkType net,
+                                       coll::BcastAlgo algo) {
+  ClusterConfig config;
+  config.num_procs = procs;
+  config.network = net;
+  config.seed = 7;
+  Cluster cluster(config);
+  std::vector<std::uint64_t> digest(static_cast<std::size_t>(procs), 0);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    std::uint64_t hash = 14695981039346656037ULL;
+    auto mix = [&hash](std::span<const std::uint8_t> bytes) {
+      for (std::uint8_t b : bytes) {
+        hash = (hash ^ b) * 1099511628211ULL;
+      }
+    };
+    for (const ProgramStep& step : program) {
+      switch (step.op) {
+        case 0: {
+          Buffer data;
+          if (p.rank() == step.root) {
+            data = pattern_payload(step.pattern, step.payload);
+          }
+          coll::bcast(p, comm, data, step.root, algo);
+          mix(data);
+          break;
+        }
+        case 1:
+          coll::barrier(p, comm, coll::BarrierAlgo::kMcast);
+          break;
+        case 2: {
+          const std::int64_t mine = static_cast<std::int64_t>(step.pattern % 1000) + p.rank();
+          Buffer bytes(sizeof mine);
+          std::memcpy(bytes.data(), &mine, sizeof mine);
+          const Buffer sum = coll::allreduce(p, comm, bytes, mpi::Op::kSum,
+                                             mpi::Datatype::kInt64, algo);
+          mix(sum);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    digest[static_cast<std::size_t>(p.rank())] = hash;
+  });
+  return digest;
+}
+
+class RandomProgramEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramEquivalence, AllAlgorithmsAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9E3779B97F4A7C15ULL + 1);
+  const int procs = 2 + static_cast<int>(rng.below(8));  // 2..9
+  const NetworkType net =
+      rng.chance(0.5) ? NetworkType::kHub : NetworkType::kSwitch;
+  const auto program = random_program(rng, procs, 6);
+
+  const auto reference =
+      run_program(program, procs, net, coll::BcastAlgo::kMpichBinomial);
+  // All ranks agree with each other under the reference algorithm.
+  for (std::uint64_t h : reference) {
+    EXPECT_EQ(h, reference.front());
+  }
+  for (coll::BcastAlgo algo :
+       {coll::BcastAlgo::kMcastBinary, coll::BcastAlgo::kMcastLinear,
+        coll::BcastAlgo::kAckMcast, coll::BcastAlgo::kSequencer}) {
+    const auto digest = run_program(program, procs, net, algo);
+    EXPECT_EQ(digest, reference)
+        << "algorithm " << coll::to_string(algo) << " diverged (procs="
+        << procs << ", net=" << cluster::to_string(net) << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, RandomProgramEquivalence,
+                         ::testing::Range(0, 12));
+
+// --------------------------------------------------------------------
+// Property: the §3.1 frame formulas hold at random (N, M) points.
+
+class RandomFrameCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFrameCounts, FormulasHoldEverywhere) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 0xF00D);
+  const int procs = 2 + static_cast<int>(rng.below(8));
+  const int payload = static_cast<int>(rng.below(9000));
+  const std::uint64_t frames_per_message =
+      static_cast<std::uint64_t>(payload) / 1472 + 1;
+  const auto n = static_cast<std::uint64_t>(procs);
+
+  auto count = [&](coll::BcastAlgo algo) {
+    ClusterConfig config;
+    config.num_procs = procs;
+    config.network = NetworkType::kSwitch;
+    Cluster cluster(config);
+    auto op = [&, algo](mpi::Proc& p) {
+      Buffer data;
+      if (p.rank() == 0) {
+        data = pattern_payload(1, static_cast<std::size_t>(payload));
+      }
+      coll::bcast(p, p.comm_world(), data, 0, algo);
+    };
+    return cluster::count_frames(cluster, op, op).formula_frames();
+  };
+
+  EXPECT_EQ(count(coll::BcastAlgo::kMpichBinomial),
+            frames_per_message * (n - 1))
+      << "procs=" << procs << " payload=" << payload;
+  EXPECT_EQ(count(coll::BcastAlgo::kMcastBinary), (n - 1) + frames_per_message)
+      << "procs=" << procs << " payload=" << payload;
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, RandomFrameCounts, ::testing::Range(0, 10));
+
+// --------------------------------------------------------------------
+// Property: reduce agrees with a locally computed reference for random
+// vectors, operators and roots.
+
+class RandomReduce : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomReduce, MatchesLocalReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 0xBEEF);
+  const int procs = 2 + static_cast<int>(rng.below(8));
+  const int root = static_cast<int>(rng.below(static_cast<std::uint64_t>(procs)));
+  const std::size_t count = 1 + rng.below(50);
+  const mpi::Op op = rng.chance(0.5) ? mpi::Op::kSum : mpi::Op::kMax;
+
+  // Deterministic per-rank vectors and the expected elementwise result.
+  std::vector<std::vector<std::int64_t>> inputs(
+      static_cast<std::size_t>(procs), std::vector<std::int64_t>(count));
+  for (int r = 0; r < procs; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      inputs[static_cast<std::size_t>(r)][i] =
+          static_cast<std::int64_t>(rng.below(1000)) - 500;
+    }
+  }
+  std::vector<std::int64_t> expected = inputs[0];
+  for (int r = 1; r < procs; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::int64_t v = inputs[static_cast<std::size_t>(r)][i];
+      expected[i] = op == mpi::Op::kSum ? expected[i] + v
+                                        : std::max(expected[i], v);
+    }
+  }
+
+  ClusterConfig config;
+  config.num_procs = procs;
+  config.network = NetworkType::kSwitch;
+  Cluster cluster(config);
+  std::vector<std::int64_t> result;
+  cluster.world().run([&](mpi::Proc& p) {
+    const auto& mine = inputs[static_cast<std::size_t>(p.rank())];
+    Buffer bytes(count * sizeof(std::int64_t));
+    std::memcpy(bytes.data(), mine.data(), bytes.size());
+    const Buffer out = coll::reduce_mpich(p, p.comm_world(), bytes, op,
+                                          mpi::Datatype::kInt64, root);
+    if (p.rank() == root) {
+      result.resize(count);
+      std::memcpy(result.data(), out.data(), out.size());
+    }
+  });
+  EXPECT_EQ(result, expected) << "procs=" << procs << " root=" << root;
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, RandomReduce, ::testing::Range(0, 10));
+
+// --------------------------------------------------------------------
+// Property: whole-stack replay determinism — the same seed gives the same
+// latencies even through collisions and retransmissions.
+
+class ReplayDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplayDeterminism, IdenticalAcrossRuns) {
+  auto run = [&] {
+    ClusterConfig config;
+    config.num_procs = 6;
+    config.network = NetworkType::kHub;  // collisions make this the hard case
+    config.seed = static_cast<std::uint64_t>(GetParam());
+    Cluster cluster(config);
+    cluster::ExperimentConfig exp;
+    exp.reps = 8;
+    return cluster::measure_collective(
+               cluster, exp,
+               [](mpi::Proc& p, int rep) {
+                 Buffer data;
+                 if (p.rank() == 0) {
+                   data = pattern_payload(static_cast<std::uint64_t>(rep), 2500);
+                 }
+                 coll::bcast(p, p.comm_world(), data, 0,
+                             coll::BcastAlgo::kMcastBinary);
+               })
+        .latencies_us.values();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayDeterminism, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace mcmpi

@@ -1,0 +1,296 @@
+// Unit tests for the discrete-event kernel: event ordering, virtual time,
+// cooperative processes, wait queues and deadlock detection.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/wait.hpp"
+
+namespace mcmpi::sim {
+namespace {
+
+// ----------------------------------------------------------- event queue
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(microseconds(30), [&] { order.push_back(3); });
+  q.schedule(microseconds(10), [&] { order.push_back(1); });
+  q.schedule(microseconds(20), [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(microseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DoubleCancelIsSafe) {
+  EventQueue q;
+  const EventId id = q.schedule(microseconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(microseconds(1), [] {});
+  q.schedule(microseconds(5), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), microseconds(5));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// -------------------------------------------------------------- simulator
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.schedule_at(microseconds(10), [&] { times.push_back(sim.now().count()); });
+  sim.schedule_at(microseconds(25), [&] { times.push_back(sim.now().count()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10'000, 25'000}));
+  EXPECT_EQ(sim.now(), microseconds(25));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(microseconds(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(microseconds(5), [] {}), ContractViolation);
+}
+
+TEST(Simulator, ProcessDelayAdvancesVirtualTimeOnly) {
+  Simulator sim;
+  SimTime observed{};
+  sim.spawn("sleeper", [&](SimProcess& self) {
+    self.delay(milliseconds(5));
+    observed = self.now();
+  });
+  sim.run();
+  EXPECT_EQ(observed, milliseconds(5));
+}
+
+TEST(Simulator, ProcessesInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<std::string> trace;
+  for (const char* name : {"a", "b"}) {
+    sim.spawn(name, [&trace, name](SimProcess& self) {
+      for (int i = 0; i < 3; ++i) {
+        trace.push_back(std::string(name) + std::to_string(i));
+        self.delay(microseconds(10));
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(trace, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2",
+                                             "b2"}));
+}
+
+TEST(Simulator, DelayUntilIsAbsolute) {
+  Simulator sim;
+  SimTime t{};
+  sim.spawn("p", [&](SimProcess& self) {
+    self.delay_until(microseconds(100));
+    self.delay_until(microseconds(50));  // already past: no-op
+    t = self.now();
+  });
+  sim.run();
+  EXPECT_EQ(t, microseconds(100));
+}
+
+TEST(Simulator, ExceptionInProcessPropagates) {
+  Simulator sim;
+  sim.spawn("thrower", [](SimProcess&) {
+    throw std::runtime_error("rank exploded");
+  });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulator, DeadlockIsDetectedAndNamed) {
+  Simulator sim;
+  WaitQueue never;
+  sim.spawn("stuck", [&](SimProcess& self) { never.wait(self); });
+  try {
+    sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck"), std::string::npos);
+  }
+}
+
+TEST(Simulator, TeardownUnwindsParkedProcesses) {
+  // A process parked in a WaitQueue at destruction time must unwind
+  // cleanly (no crash, no leak — ASAN would catch both).
+  auto sim = std::make_unique<Simulator>();
+  WaitQueue q;
+  sim->spawn("parked", [&](SimProcess& self) { q.wait(self); });
+  try {
+    sim->run();
+  } catch (const DeadlockError&) {
+    // expected: now destroy with the process still parked
+  }
+  EXPECT_NO_THROW(sim.reset());
+  EXPECT_TRUE(q.empty()) << "unwind must remove the waiter entry";
+}
+
+TEST(Simulator, SpawnDuringRunWorks) {
+  Simulator sim;
+  bool child_ran = false;
+  sim.spawn("parent", [&](SimProcess& self) {
+    self.delay(microseconds(1));
+    self.simulator().spawn("child", [&](SimProcess& inner) {
+      inner.delay(microseconds(1));
+      child_ran = true;
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(child_ran);
+}
+
+TEST(Simulator, PerProcessRngStreamsDiffer) {
+  Simulator sim;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  sim.spawn("a", [&](SimProcess& self) { a = self.rng()(); });
+  sim.spawn("b", [&](SimProcess& self) { b = self.rng()(); });
+  sim.run();
+  EXPECT_NE(a, b);
+}
+
+// -------------------------------------------------------------- wait queue
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  Simulator sim;
+  WaitQueue q;
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("w" + std::to_string(i), [&q, &woke, i](SimProcess& self) {
+      q.wait(self);
+      woke.push_back(i);
+    });
+  }
+  sim.spawn("waker", [&](SimProcess& self) {
+    self.delay(microseconds(10));
+    q.notify_one();
+    self.delay(microseconds(10));
+    q.notify_one();
+    self.delay(microseconds(10));
+    q.notify_one();
+  });
+  sim.run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, NotifyAllWakesEveryone) {
+  Simulator sim;
+  WaitQueue q;
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn("w" + std::to_string(i), [&](SimProcess& self) {
+      q.wait(self);
+      ++woke;
+    });
+  }
+  sim.spawn("waker", [&](SimProcess& self) {
+    self.delay(microseconds(1));
+    q.notify_all();
+  });
+  sim.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(WaitQueue, WaitUntilTimesOut) {
+  Simulator sim;
+  WaitQueue q;
+  bool notified = true;
+  SimTime woke_at{};
+  sim.spawn("p", [&](SimProcess& self) {
+    notified = q.wait_until(self, microseconds(100));
+    woke_at = self.now();
+  });
+  sim.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(woke_at, microseconds(100));
+}
+
+TEST(WaitQueue, WaitUntilNotifiedBeforeDeadline) {
+  Simulator sim;
+  WaitQueue q;
+  bool notified = false;
+  sim.spawn("p", [&](SimProcess& self) {
+    notified = q.wait_until(self, milliseconds(10));
+  });
+  sim.spawn("waker", [&](SimProcess& self) {
+    self.delay(microseconds(10));
+    q.notify_one();
+  });
+  sim.run();
+  EXPECT_TRUE(notified);
+}
+
+TEST(WaitQueue, PredicateHelperLoops) {
+  Simulator sim;
+  WaitQueue q;
+  int value = 0;
+  int observed = -1;
+  sim.spawn("consumer", [&](SimProcess& self) {
+    wait_for(self, q, [&] { return value == 3; });
+    observed = value;
+  });
+  sim.spawn("producer", [&](SimProcess& self) {
+    for (int i = 1; i <= 3; ++i) {
+      self.delay(microseconds(5));
+      value = i;
+      q.notify_all();
+    }
+  });
+  sim.run();
+  EXPECT_EQ(observed, 3);
+}
+
+// Determinism: two identical simulations produce identical event history.
+TEST(Simulator, BitIdenticalReplay) {
+  auto run_once = [] {
+    Simulator sim(77);
+    std::vector<std::int64_t> history;
+    WaitQueue q;
+    for (int i = 0; i < 4; ++i) {
+      sim.spawn("p" + std::to_string(i), [&, i](SimProcess& self) {
+        for (int j = 0; j < 10; ++j) {
+          self.delay(SimTime{static_cast<std::int64_t>(self.rng().below(5000)) + 1});
+          history.push_back(self.now().count() * 10 + i);
+        }
+      });
+    }
+    sim.run();
+    return history;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mcmpi::sim
