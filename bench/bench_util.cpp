@@ -1,13 +1,89 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "common/bytes.hpp"
 
 namespace mcmpi::bench {
 
+namespace {
+
+/// Registry for the machine-readable dump; flushed at exit.
+struct BenchJsonState {
+  std::string name = "bench";
+  std::vector<BenchRecord> records;
+};
+
+BenchJsonState& json_state() {
+  static BenchJsonState state;
+  return state;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void set_bench_name_from_argv0(const char* argv0) {
+  std::string name(argv0 != nullptr ? argv0 : "bench");
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (!name.empty()) {
+    json_state().name = name;
+  }
+}
+
+}  // namespace
+
+void record_bench(BenchRecord record) {
+  json_state().records.push_back(std::move(record));
+}
+
+void flush_bench_json() {
+  BenchJsonState& state = json_state();
+  if (state.records.empty()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < state.records.size(); ++i) {
+    const BenchRecord& r = state.records[i];
+    os << "  {\"bench\": \"" << json_escape(state.name) << "\""
+       << ", \"op\": \"" << json_escape(r.op) << "\""
+       << ", \"network\": \"" << json_escape(r.network) << "\""
+       << ", \"ranks\": " << r.ranks << ", \"bytes\": " << r.bytes
+       << ", \"sim_time_us\": " << r.sim_time_us
+       << ", \"wall_time_ms\": " << r.wall_time_ms
+       << ", \"events_scheduled\": " << r.events_scheduled
+       << ", \"payload_allocs\": " << r.payload_allocs
+       << ", \"payload_copies\": " << r.payload_copies << "}"
+       << (i + 1 < state.records.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  std::ofstream out("BENCH_" + state.name + ".json");
+  out << os.str();
+}
+
 BenchOptions BenchOptions::parse(int argc, char** argv,
                                  const std::string& description) {
+  set_bench_name_from_argv0(argc > 0 ? argv[0] : nullptr);
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit(flush_bench_json);
+  }
   Flags flags(argc, argv);
   BenchOptions options;
   options.reps = static_cast<int>(
@@ -53,6 +129,8 @@ std::vector<Point> measure_bcast_series(const BcastSeries& series,
         cluster_config(series.network, series.procs, options.seed));
     cluster::ExperimentConfig exp;
     exp.reps = options.reps;
+    const PayloadCounters payload_before = payload_counters();
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto result = cluster::measure_collective(
         cluster, exp, [&series, size](mpi::Proc& p, int) {
           Buffer data;
@@ -61,7 +139,24 @@ std::vector<Point> measure_bcast_series(const BcastSeries& series,
           }
           coll::bcast(p, p.comm_world(), data, 0, series.algo);
         });
+    const auto wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    const PayloadCounters payload_delta =
+        payload_counters().since(payload_before);
     points.push_back(to_point(result.latencies_us));
+    record_bench(BenchRecord{
+        .op = series.label,
+        .network = cluster::to_string(series.network),
+        .ranks = series.procs,
+        .bytes = size,
+        .sim_time_us = points.back().median_us,
+        .wall_time_ms = wall_ms,
+        .events_scheduled = cluster.simulator().events_scheduled(),
+        .payload_allocs = payload_delta.buffer_allocs,
+        .payload_copies = payload_delta.byte_copies,
+    });
   }
   return points;
 }
@@ -76,10 +171,29 @@ std::vector<Point> measure_barrier_series(cluster::NetworkType network,
     cluster::Cluster cluster(cluster_config(network, procs, options.seed));
     cluster::ExperimentConfig exp;
     exp.reps = options.reps;
+    const PayloadCounters payload_before = payload_counters();
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto result = cluster::measure_collective(
         cluster, exp,
         [algo](mpi::Proc& p, int) { coll::barrier(p, p.comm_world(), algo); });
+    const auto wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    const PayloadCounters payload_delta =
+        payload_counters().since(payload_before);
     points.push_back(to_point(result.latencies_us));
+    record_bench(BenchRecord{
+        .op = "barrier/" + coll::to_string(algo),
+        .network = cluster::to_string(network),
+        .ranks = procs,
+        .bytes = -1,
+        .sim_time_us = points.back().median_us,
+        .wall_time_ms = wall_ms,
+        .events_scheduled = cluster.simulator().events_scheduled(),
+        .payload_allocs = payload_delta.buffer_allocs,
+        .payload_copies = payload_delta.byte_copies,
+    });
   }
   return points;
 }

@@ -30,6 +30,29 @@ struct BcastSeries {
   coll::BcastAlgo algo;
 };
 
+/// One machine-readable measurement, dumped to BENCH_<binary>.json at exit
+/// so the perf trajectory (simulated latency, host wall time, event and
+/// payload-copy counts) is tracked across PRs.
+struct BenchRecord {
+  std::string op;        ///< series label / operation name
+  std::string network;   ///< "hub", "switch", or "" when not applicable
+  int ranks = 0;
+  std::int64_t bytes = -1;           ///< payload bytes; -1 if n/a
+  double sim_time_us = 0;            ///< median simulated latency
+  double wall_time_ms = 0;           ///< host wall-clock for the whole point
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t payload_allocs = 0;  ///< PayloadRef backing allocations
+  std::uint64_t payload_copies = 0;  ///< explicit payload byte copies
+};
+
+/// Appends a record to the JSON dump (measure_* helpers call this for every
+/// point automatically; benches may add their own records).
+void record_bench(BenchRecord record);
+
+/// Writes BENCH_<name>.json with all records so far.  Registered atexit by
+/// BenchOptions::parse; safe to call explicitly.
+void flush_bench_json();
+
 /// Common CLI for every figure binary (--reps, --seed, --csv, --spread).
 struct BenchOptions {
   int reps = 25;

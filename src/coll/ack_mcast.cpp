@@ -56,18 +56,19 @@ void bcast_ack_mcast(Proc& p, const Comm& comm, Buffer& buffer, int root,
       continue;
     }
     // Timeout: somebody was not ready — re-multicast the whole payload.
-    // The channel sequence already advanced, so rebuild the frame with the
-    // original sequence number by sending through the socket directly.
+    // The channel sequence already advanced, so rebuild the header with the
+    // original sequence number and gather-send it with the (unchanged)
+    // payload through the socket directly.
     ++state.stats.retransmissions;
-    Buffer framed;
-    ByteWriter w(framed);
+    Buffer header;
+    header.reserve(16);
+    ByteWriter w(header);
     w.u32(comm.context());
     w.i32(comm.world_rank_of(root));
     w.u64(seq);
-    w.bytes(buffer);
     p.self().delay(p.costs().send_overhead(
         static_cast<std::int64_t>(buffer.size()), mpi::CostTier::kMcastData));
-    ch.send(std::move(framed), net::FrameKind::kData);
+    ch.send(header, buffer, net::FrameKind::kData);
     deadline = p.self().now() + params.retransmit_timeout;
   }
 }

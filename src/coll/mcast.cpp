@@ -17,15 +17,15 @@ struct McastHeader {
   std::uint64_t seq;
 };
 
-Buffer frame_payload(const McastHeader& h,
-                     std::span<const std::uint8_t> payload) {
+/// Serializes just the 16 B header; the payload goes down the stack as a
+/// separate gather part, so framing never re-buffers the data.
+Buffer header_bytes(const McastHeader& h) {
   Buffer out;
-  out.reserve(payload.size() + 16);
+  out.reserve(16);
   ByteWriter w(out);
   w.u32(h.context);
   w.i32(h.root_world);
   w.u64(h.seq);
-  w.bytes(payload);
   return out;
 }
 
@@ -85,7 +85,7 @@ void mcast_send_framed(Proc& p, const Comm& comm,
                            ch.expected_seq()};
   p.self().delay(p.costs().send_overhead(
       static_cast<std::int64_t>(payload.size()), tier));
-  ch.send(frame_payload(header, payload), kind);
+  ch.send(header_bytes(header), payload, kind);
   ch.advance_seq();
 }
 
@@ -106,8 +106,9 @@ Buffer mcast_recv_framed(Proc& p, const Comm& comm, int root,
     MC_ASSERT_MSG(h.context == comm.context(), "context mismatch");
     MC_ASSERT_MSG(h.root_world == comm.world_rank_of(root),
                   "broadcast root mismatch");
-    auto payload_span = r.rest();
-    Buffer payload(payload_span.begin(), payload_span.end());
+    // The datagram arrived zero-copy; this to_buffer() is the delivery copy
+    // into the rank's private buffer at the API boundary.
+    Buffer payload = d.data.slice(r.position()).to_buffer();
     p.self().delay(p.costs().recv_overhead(
         static_cast<std::int64_t>(payload.size()), tier));
     ch.advance_seq();

@@ -46,17 +46,18 @@ AllgatherOutcome blast(Proc& p, const Comm& comm,
   const std::uint64_t op_seq = ch.expected_seq();
 
   // Fire.  Every block carries the same operation sequence number; senders
-  // are identified by the root field.
+  // are identified by the root field.  Gather-send: header and payload are
+  // assembled into the wire datagram in one pass.
   {
-    Buffer framed;
-    ByteWriter w(framed);
+    Buffer header;
+    header.reserve(16);
+    ByteWriter w(header);
     w.u32(comm.context());
     w.i32(comm.world_rank_of(comm.rank()));
     w.u64(op_seq);
-    w.bytes(data);
     p.self().delay(p.costs().send_overhead(
         static_cast<std::int64_t>(data.size()), mpi::CostTier::kMcastData));
-    ch.send(std::move(framed), net::FrameKind::kData);
+    ch.send(header, data, net::FrameKind::kData);
   }
 
   // Collect until complete or until the deadline says the rest are gone.

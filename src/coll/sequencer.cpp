@@ -16,14 +16,16 @@ constexpr int kSequencerRank = 0;
 struct SeqState {
   // Sequencer side.
   bool sink_installed = false;
-  std::map<std::uint64_t, Buffer> history;  // seq -> framed payload
-  // Receiver side.
-  std::map<std::uint64_t, Buffer> stash;  // early frames (seq > expected)
+  // seq -> framed payload; shared refs, so retained history and NACK-driven
+  // re-multicasts reuse the original framed allocation.
+  std::map<std::uint64_t, PayloadRef> history;
+  // Receiver side: early frames (seq > expected), views of their datagrams.
+  std::map<std::uint64_t, PayloadRef> stash;
   SequencerStats stats;
 };
 
-Buffer frame(std::uint32_t context, std::int32_t root_world,
-             std::uint64_t seq, std::span<const std::uint8_t> payload) {
+PayloadRef frame(std::uint32_t context, std::int32_t root_world,
+                 std::uint64_t seq, std::span<const std::uint8_t> payload) {
   Buffer out;
   out.reserve(payload.size() + 16);
   ByteWriter w(out);
@@ -31,7 +33,7 @@ Buffer frame(std::uint32_t context, std::int32_t root_world,
   w.i32(root_world);
   w.u64(seq);
   w.bytes(payload);
-  return out;
+  return PayloadRef(std::move(out));
 }
 
 void install_sink(Proc& p, const Comm& comm, SeqState& state) {
@@ -43,7 +45,7 @@ void install_sink(Proc& p, const Comm& comm, SeqState& state) {
   SeqState* st = &state;
   p.engine().set_sink(
       comm.context(), mpi::kTagSeqNack,
-      [channel, st](mpi::Rank /*src*/, Buffer data) {
+      [channel, st](mpi::Rank /*src*/, PayloadRef data) {
         ByteReader r(data);
         const std::uint64_t wanted = r.u64();
         const auto it = st->history.find(wanted);
@@ -66,7 +68,7 @@ Buffer recv_with_nack(Proc& p, const Comm& comm, SeqState& state,
     const std::uint64_t expected = ch.expected_seq();
     // A retransmission may already be stashed.
     if (const auto it = state.stash.find(expected); it != state.stash.end()) {
-      Buffer payload = std::move(it->second);
+      Buffer payload = it->second.to_buffer();
       state.stash.erase(it);
       ch.advance_seq();
       p.self().delay(p.costs().recv_overhead(
@@ -93,8 +95,8 @@ Buffer recv_with_nack(Proc& p, const Comm& comm, SeqState& state,
     if (seq < expected) {
       continue;  // duplicate
     }
-    auto payload_span = r.rest();
-    Buffer payload(payload_span.begin(), payload_span.end());
+    // Keep the zero-copy view; the byte copy happens only at delivery.
+    PayloadRef payload = datagram->data.slice(r.position());
     if (seq > expected) {
       state.stash.emplace(seq, std::move(payload));
       continue;  // keep hunting for the gap frame (NACK on next timeout)
@@ -102,7 +104,7 @@ Buffer recv_with_nack(Proc& p, const Comm& comm, SeqState& state,
     ch.advance_seq();
     p.self().delay(p.costs().recv_overhead(
         static_cast<std::int64_t>(payload.size()), mpi::CostTier::kMcastData));
-    return payload;
+    return payload.to_buffer();
   }
 }
 
@@ -129,7 +131,9 @@ void bcast_sequencer(Proc& p, const Comm& comm, Buffer& buffer, int root,
       buffer = payload;  // the sequencer learns the data from the handoff
     }
     const std::uint64_t seq = ch.expected_seq();
-    Buffer framed =
+    // One framed allocation, shared between the outgoing multicast and the
+    // retransmission history.
+    PayloadRef framed =
         frame(comm.context(), comm.world_rank_of(root), seq, payload);
     state.history.emplace(seq, framed);
     while (state.history.size() > params.history_frames) {

@@ -1,8 +1,59 @@
 #include "common/bytes.hpp"
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 
 namespace mcmpi {
+
+PayloadCounters& payload_counters() {
+  static PayloadCounters counters;
+  return counters;
+}
+
+PayloadRef::PayloadRef(Buffer bytes) {
+  auto owned = std::make_shared<const Buffer>(std::move(bytes));
+  data_ = owned->data();
+  size_ = owned->size();
+  owner_ = std::move(owned);
+  PayloadCounters& c = payload_counters();
+  ++c.buffer_allocs;
+  c.bytes_allocated += size_;
+}
+
+PayloadRef PayloadRef::copy_of(std::span<const std::uint8_t> bytes) {
+  PayloadCounters& c = payload_counters();
+  ++c.byte_copies;
+  c.bytes_copied += bytes.size();
+  return PayloadRef(Buffer(bytes.begin(), bytes.end()));
+}
+
+PayloadRef PayloadRef::slice(std::size_t offset, std::size_t length) const {
+  // Overflow-safe form: offset + length could wrap in size_t.
+  MC_EXPECTS_MSG(offset <= size_ && length <= size_ - offset,
+                 "PayloadRef slice out of bounds");
+  ++payload_counters().slices;
+  return PayloadRef(owner_, data_ + offset, length);
+}
+
+PayloadRef PayloadRef::slice(std::size_t offset) const {
+  MC_EXPECTS_MSG(offset <= size_, "PayloadRef slice out of bounds");
+  return slice(offset, size_ - offset);
+}
+
+PayloadRef PayloadRef::joined_with(const PayloadRef& next) const {
+  MC_EXPECTS_MSG(directly_precedes(next),
+                 "joined_with() requires adjacent views of one buffer");
+  ++payload_counters().slices;
+  return PayloadRef(owner_, data_, size_ + next.size_);
+}
+
+Buffer PayloadRef::to_buffer() const {
+  PayloadCounters& c = payload_counters();
+  ++c.byte_copies;
+  c.bytes_copied += size_;
+  return Buffer(data_, data_ + size_);
+}
 
 Buffer pattern_payload(std::uint64_t seed, std::size_t size) {
   Buffer out(size);

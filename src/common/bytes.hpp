@@ -1,15 +1,30 @@
 #pragma once
 /// \file bytes.hpp
-/// Byte buffers and bounds-checked little-endian serialization.
+/// Byte buffers, zero-copy payload references, and bounds-checked
+/// little-endian serialization.
 ///
 /// Protocol headers (UDP/IP/RDP/MPI envelopes) are packed with ByteWriter and
 /// unpacked with ByteReader; both throw on overrun so a malformed frame can
-/// never read out of bounds.
+/// never read out of bounds.  The encoding is explicitly little-endian on
+/// every platform (byte-assembled, never a raw memcpy of host integers).
+///
+/// PayloadRef is the zero-copy payload pipeline: an immutable, ref-counted
+/// view of a byte buffer.  A datagram is assembled into one Buffer exactly
+/// once (the "kernel copy" at the socket boundary); from there, IP fragments,
+/// switch/hub fan-out copies, reassembly buffers, retransmit queues and
+/// per-socket multicast deliveries are all slices of that single allocation —
+/// copying a PayloadRef bumps a reference count instead of duplicating bytes.
+/// The global PayloadCounters make this property testable: benches and the
+/// perf-regression test assert that an N-way multicast fan-out performs no
+/// per-receiver payload allocation.
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -18,17 +33,103 @@ namespace mcmpi {
 
 using Buffer = std::vector<std::uint8_t>;
 
+/// Global instrumentation for the zero-copy payload path.  Monotone; read a
+/// snapshot before an operation and diff after it.
+struct PayloadCounters {
+  std::uint64_t buffer_allocs = 0;   ///< backing buffers adopted or created
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t byte_copies = 0;     ///< explicit copy operations performed
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t slices = 0;          ///< zero-copy views taken
+
+  PayloadCounters since(const PayloadCounters& earlier) const {
+    PayloadCounters d;
+    d.buffer_allocs = buffer_allocs - earlier.buffer_allocs;
+    d.bytes_allocated = bytes_allocated - earlier.bytes_allocated;
+    d.byte_copies = byte_copies - earlier.byte_copies;
+    d.bytes_copied = bytes_copied - earlier.bytes_copied;
+    d.slices = slices - earlier.slices;
+    return d;
+  }
+};
+
+/// The process-wide payload counters (payloads cross simulated-host
+/// boundaries, so the accounting is global by design).
+PayloadCounters& payload_counters();
+
+/// Immutable, ref-counted view of a byte buffer.
+///
+/// The owner is a shared immutable Buffer; the view is a [data, size) window
+/// into it.  slice() produces further windows of the same owner in O(1).
+/// Copies share the owner; the bytes are freed when the last reference
+/// (sender queue, switch egress queue, receiver reassembly, socket buffer…)
+/// drops.  to_buffer() is the copy-on-write escape hatch for code that needs
+/// private mutable bytes (the user-buffer copy at the MPI API boundary).
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  /// Adopts `bytes` as the backing buffer (no byte copy; one allocation is
+  /// counted for the shared control block / adopted storage).
+  explicit PayloadRef(Buffer bytes);
+
+  /// Allocates a private backing buffer holding a copy of `bytes`.
+  static PayloadRef copy_of(std::span<const std::uint8_t> bytes);
+
+  std::span<const std::uint8_t> view() const { return {data_, size_}; }
+  /// Implicit: lets span-taking APIs (ByteReader, check_pattern, …) accept a
+  /// PayloadRef directly.  The span is valid while this ref is alive.
+  operator std::span<const std::uint8_t>() const { return view(); }
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// O(1) sub-view sharing the same backing buffer.
+  PayloadRef slice(std::size_t offset, std::size_t length) const;
+  /// Sub-view from `offset` to the end.
+  PayloadRef slice(std::size_t offset) const;
+
+  /// True if both refs view the same backing buffer.
+  bool same_buffer(const PayloadRef& other) const {
+    return owner_ != nullptr && owner_ == other.owner_;
+  }
+
+  /// True if `next` views the bytes immediately following this view in the
+  /// same backing buffer — the zero-copy reassembly test: adjacent fragments
+  /// of one datagram can be re-joined without touching the payload.
+  bool directly_precedes(const PayloadRef& next) const {
+    return same_buffer(next) && data_ + size_ == next.data_;
+  }
+
+  /// Widens this view to also cover `next`.  Precondition:
+  /// directly_precedes(next).  O(1), no copy.
+  PayloadRef joined_with(const PayloadRef& next) const;
+
+  /// Copies the viewed bytes into a fresh private Buffer.
+  Buffer to_buffer() const;
+
+ private:
+  PayloadRef(std::shared_ptr<const Buffer> owner, const std::uint8_t* data,
+             std::size_t size)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  std::shared_ptr<const Buffer> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// Appends fixed-width little-endian values to a Buffer.
 class ByteWriter {
  public:
   explicit ByteWriter(Buffer& out) : out_(out) {}
 
   void u8(std::uint8_t v) { out_.push_back(v); }
-  void u16(std::uint16_t v) { append(&v, sizeof v); }
-  void u32(std::uint32_t v) { append(&v, sizeof v); }
-  void u64(std::uint64_t v) { append(&v, sizeof v); }
-  void i32(std::int32_t v) { append(&v, sizeof v); }
-  void i64(std::int64_t v) { append(&v, sizeof v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i32(std::int32_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(v); }
 
   void bytes(std::span<const std::uint8_t> data) {
     out_.insert(out_.end(), data.begin(), data.end());
@@ -37,9 +138,16 @@ class ByteWriter {
   std::size_t size() const { return out_.size(); }
 
  private:
-  void append(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    out_.insert(out_.end(), b, b + n);
+  /// Explicit little-endian byte assembly — identical output on any host
+  /// endianness (a raw memcpy of the integer would not be).
+  template <typename T>
+  void put_le(T v) {
+    using U = std::make_unsigned_t<T>;
+    auto u = static_cast<U>(v);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<std::uint8_t>(u & 0xFF));
+      u = static_cast<U>(u >> 8);
+    }
   }
   Buffer& out_;
 };
@@ -66,16 +174,21 @@ class ByteReader {
   std::span<const std::uint8_t> rest() { return bytes(remaining()); }
 
   std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
   bool done() const { return remaining() == 0; }
 
  private:
   template <typename T>
   T take() {
     MC_EXPECTS_MSG(remaining() >= sizeof(T), "ByteReader overrun");
-    T v;
-    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    using U = std::make_unsigned_t<T>;
+    U u = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      u = static_cast<U>(u | static_cast<U>(static_cast<U>(data_[pos_ + i])
+                                            << (8 * i)));
+    }
     pos_ += sizeof(T);
-    return v;
+    return static_cast<T>(u);
   }
 
   std::span<const std::uint8_t> data_;

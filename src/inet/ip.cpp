@@ -75,7 +75,7 @@ void IpStack::register_protocol(std::uint8_t protocol,
   protocols_[protocol] = std::move(handler);
 }
 
-void IpStack::send(IpAddr dst, std::uint8_t protocol, Buffer payload,
+void IpStack::send(IpAddr dst, std::uint8_t protocol, PayloadRef payload,
                    net::FrameKind kind) {
   MC_EXPECTS_MSG(!dst.is_unspecified(), "cannot send to 0.0.0.0");
   // Fragment offsets are in 8-byte units, so every fragment except the last
@@ -98,7 +98,9 @@ void IpStack::send(IpAddr dst, std::uint8_t protocol, Buffer payload,
     net::Frame frame;
     frame.dst = dst_mac;
     frame.kind = kind;
-    ByteWriter w(frame.payload);
+    Buffer header_bytes;
+    header_bytes.reserve(static_cast<std::size_t>(kHeaderBytes));
+    ByteWriter w(header_bytes);
     write_header(w, Header{
                         .version = kIpVersion,
                         .protocol = protocol,
@@ -112,7 +114,11 @@ void IpStack::send(IpAddr dst, std::uint8_t protocol, Buffer payload,
                         .ttl = 64,
                         .checksum = 0,
                     });
-    w.bytes(std::span(payload.data() + offset, static_cast<std::size_t>(chunk)));
+    frame.header = PayloadRef(std::move(header_bytes));
+    // Zero-copy fragmentation: the fragment body is a slice of the caller's
+    // datagram, shared (not copied) all the way to every receiver.
+    frame.payload = payload.slice(static_cast<std::size_t>(offset),
+                                  static_cast<std::size_t>(chunk));
     nic_.send(std::move(frame));
     ++stats_.fragments_sent;
     offset += chunk;
@@ -123,7 +129,7 @@ void IpStack::on_frame(const net::Frame& frame) {
   if (frame.ethertype != net::Frame::kEtherTypeIpv4) {
     return;
   }
-  ByteReader r(frame.payload);
+  ByteReader r(frame.header);
   const Header h = read_header(r);
   if (h.version != kIpVersion) {
     return;
@@ -136,16 +142,18 @@ void IpStack::on_frame(const net::Frame& frame) {
   }
   ++stats_.fragments_received;
 
-  const auto payload_span = r.bytes(h.payload_length);
-  Buffer payload(payload_span.begin(), payload_span.end());
+  MC_ASSERT_MSG(frame.payload.size() == h.payload_length,
+                "IP header length disagrees with frame payload");
+  // Keep the sender's buffer alive via the ref instead of copying the bytes.
+  PayloadRef payload = frame.payload;
   const bool more = (h.flags & kFlagMoreFragments) != 0;
   const std::uint32_t offset = std::uint32_t{h.frag_offset_units} * 8;
 
   if (offset == 0 && !more) {
-    // Unfragmented fast path.
+    // Unfragmented fast path: hand the shared view straight up.
     Partial whole;
     whole.meta = IpPacketMeta{IpAddr{h.src}, dst, h.protocol, frame.kind};
-    whole.fragments.emplace(0, std::move(payload));
+    whole.fragments.emplace_back(0, std::move(payload));
     whole.bytes_received = h.payload_length;
     whole.total_length = h.payload_length;
     finish(std::move(whole));
@@ -165,7 +173,22 @@ void IpStack::on_frame(const net::Frame& frame) {
                                << IpAddr{key.src}.to_string();
         });
   }
-  if (partial.fragments.emplace(offset, std::move(payload)).second) {
+  // Sorted insert; in-order arrival (the overwhelmingly common case on the
+  // simulated LAN) is a plain append.
+  bool duplicate = false;
+  if (partial.fragments.empty() || partial.fragments.back().first < offset) {
+    partial.fragments.emplace_back(offset, std::move(payload));
+  } else {
+    auto pos = std::lower_bound(
+        partial.fragments.begin(), partial.fragments.end(), offset,
+        [](const auto& entry, std::uint32_t o) { return entry.first < o; });
+    if (pos != partial.fragments.end() && pos->first == offset) {
+      duplicate = true;
+    } else {
+      partial.fragments.emplace(pos, offset, std::move(payload));
+    }
+  }
+  if (!duplicate) {
     partial.bytes_received += h.payload_length;
   }
   if (!more) {
@@ -181,12 +204,43 @@ void IpStack::on_frame(const net::Frame& frame) {
 }
 
 void IpStack::finish(Partial&& partial) {
-  Buffer datagram;
-  datagram.reserve(static_cast<std::size_t>(partial.total_length));
-  for (auto& [offset, bytes] : partial.fragments) {
-    MC_ASSERT_MSG(offset == datagram.size(), "reassembly gap");
-    datagram.insert(datagram.end(), bytes.begin(), bytes.end());
+  MC_ASSERT(!partial.fragments.empty());
+  // Zero-copy fast path: in the simulated network every fragment of one
+  // datagram is a slice of the sender's single allocation, delivered intact,
+  // so adjacent slices can be re-joined into one view without touching a
+  // byte.  The copying path below only runs if fragments arrived from
+  // distinct buffers (e.g. frames synthesized by tests).
+  bool contiguous = true;
+  auto it = partial.fragments.begin();
+  std::uint32_t expected_offset = 0;
+  PayloadRef joined = it->second;
+  MC_ASSERT_MSG(it->first == 0, "reassembly gap");
+  expected_offset = static_cast<std::uint32_t>(joined.size());
+  for (++it; it != partial.fragments.end(); ++it) {
+    MC_ASSERT_MSG(it->first == expected_offset, "reassembly gap");
+    expected_offset += static_cast<std::uint32_t>(it->second.size());
+    if (contiguous && joined.directly_precedes(it->second)) {
+      joined = joined.joined_with(it->second);
+    } else {
+      contiguous = false;
+    }
   }
+
+  PayloadRef datagram;
+  if (contiguous) {
+    if (partial.fragments.size() > 1) {
+      ++stats_.zero_copy_reassemblies;
+    }
+    datagram = std::move(joined);
+  } else {
+    Buffer merged;
+    merged.reserve(static_cast<std::size_t>(partial.total_length));
+    for (auto& [offset, bytes] : partial.fragments) {
+      merged.insert(merged.end(), bytes.view().begin(), bytes.view().end());
+    }
+    datagram = PayloadRef(std::move(merged));
+  }
+
   ++stats_.datagrams_received;
   const auto handler = protocols_.find(partial.meta.protocol);
   if (handler == protocols_.end()) {

@@ -51,6 +51,9 @@ struct IpStats {
   std::uint64_t fragments_received = 0;
   std::uint64_t reassembly_timeouts = 0;
   std::uint64_t no_protocol_drops = 0;
+  /// Datagrams reassembled by re-joining adjacent slices of the sender's
+  /// buffer — the zero-copy fast path (no payload bytes touched).
+  std::uint64_t zero_copy_reassemblies = 0;
 };
 
 class IpStack {
@@ -61,7 +64,7 @@ class IpStack {
       net::Frame::kMaxPayloadBytes - kHeaderBytes;  // 1480
 
   using ProtocolHandler =
-      std::function<void(const IpPacketMeta&, Buffer data)>;
+      std::function<void(const IpPacketMeta&, PayloadRef data)>;
 
   IpStack(sim::Simulator& sim, net::Nic& nic, IpAddr self,
           const ArpTable& arp);
@@ -73,7 +76,10 @@ class IpStack {
   void register_protocol(std::uint8_t protocol, ProtocolHandler handler);
 
   /// Sends `payload` to `dst` (unicast or multicast), fragmenting as needed.
-  void send(IpAddr dst, std::uint8_t protocol, Buffer payload,
+  /// Fragmentation is zero-copy: every fragment's frame payload is a slice
+  /// of `payload`'s backing buffer; only the 20 B per-fragment header is
+  /// freshly built.
+  void send(IpAddr dst, std::uint8_t protocol, PayloadRef payload,
             net::FrameKind kind);
 
   const IpStats& stats() const { return stats_; }
@@ -89,7 +95,10 @@ class IpStack {
   };
   struct Partial {
     IpPacketMeta meta;
-    std::map<std::uint32_t, Buffer> fragments;  // offset -> bytes
+    /// (offset, payload view) sorted by offset.  A vector, not a map: the
+    /// common case is in-order arrival (append), and reassembly of a
+    /// 45-fragment datagram should not cost 45 tree-node allocations.
+    std::vector<std::pair<std::uint32_t, PayloadRef>> fragments;
     std::uint32_t bytes_received = 0;
     std::int64_t total_length = -1;  // known once the MF=0 fragment arrives
     sim::EventId timeout_event = sim::kInvalidEvent;

@@ -21,13 +21,14 @@ RdpEndpoint::RdpEndpoint(UdpStack& udp, std::uint16_t port, Params params)
 RdpEndpoint::RdpEndpoint(UdpStack& udp)
     : RdpEndpoint(udp, kDefaultPort, Params{}) {}
 
-void RdpEndpoint::send(IpAddr dst, Buffer message, net::FrameKind kind) {
+void RdpEndpoint::send(IpAddr dst, PayloadRef message, net::FrameKind kind) {
   MC_EXPECTS_MSG(!dst.is_multicast(), "RDP is point-to-point");
   ++stats_.messages_sent;
   TxStream& tx = tx_[dst];
 
   // Split into segments; an empty message still produces one (empty, last)
-  // segment so zero-byte MPI messages work.
+  // segment so zero-byte MPI messages work.  Segments are slices of the
+  // message buffer: windowed retransmit state costs no payload copies.
   const auto total = static_cast<std::int64_t>(message.size());
   std::int64_t offset = 0;
   do {
@@ -37,8 +38,8 @@ void RdpEndpoint::send(IpAddr dst, Buffer message, net::FrameKind kind) {
     segment.seq = tx.next_seq++;
     segment.last_of_message = offset + chunk == total;
     segment.kind = kind;
-    segment.payload.assign(message.begin() + offset,
-                           message.begin() + offset + chunk);
+    segment.payload = message.slice(static_cast<std::size_t>(offset),
+                                    static_cast<std::size_t>(chunk));
     if (tx.unacked.size() < params_.window_segments) {
       transmit(dst, segment);
       tx.unacked.emplace(segment.seq, std::move(segment));
@@ -51,17 +52,18 @@ void RdpEndpoint::send(IpAddr dst, Buffer message, net::FrameKind kind) {
 }
 
 void RdpEndpoint::transmit(IpAddr dst, const Segment& segment) {
-  Buffer bytes;
-  bytes.reserve(segment.payload.size() + 16);
-  ByteWriter w(bytes);
+  // Gather-send: the 16 B RDP header goes down as a separate part; the UDP
+  // layer assembles header+payload into the wire datagram in one pass.
+  Buffer header;
+  header.reserve(16);
+  ByteWriter w(header);
   w.u8(static_cast<std::uint8_t>(Type::kData));
   w.u8(segment.last_of_message ? kFlagLast : 0);
   w.u16(0);  // reserved
   w.u64(segment.seq);
   w.u32(static_cast<std::uint32_t>(segment.payload.size()));
-  w.bytes(segment.payload);
   ++stats_.segments_sent;
-  socket_->sendto(dst, port_, std::move(bytes), segment.kind);
+  socket_->sendto(dst, port_, header, segment.payload.view(), segment.kind);
 }
 
 void RdpEndpoint::arm_rto(IpAddr dst, TxStream& tx) {
@@ -109,11 +111,12 @@ void RdpEndpoint::on_datagram(UdpDatagram datagram) {
     return;
   }
   const std::uint32_t length = r.u32();
-  auto payload_span = r.bytes(length);
+  MC_ASSERT_MSG(r.remaining() == length, "RDP segment length mismatch");
   Segment segment;
   segment.seq = seq;
   segment.last_of_message = (flags & kFlagLast) != 0;
-  segment.payload.assign(payload_span.begin(), payload_span.end());
+  // Keep the datagram's buffer alive through the view — no byte copy.
+  segment.payload = datagram.data.slice(r.position(), length);
   ++stats_.segments_received;
   on_data(datagram.src_addr, std::move(segment));
 }
@@ -133,14 +136,24 @@ void RdpEndpoint::on_data(IpAddr src, Segment segment) {
     Segment next = std::move(rx.out_of_order.begin()->second);
     rx.out_of_order.erase(rx.out_of_order.begin());
     ++rx.expected;
-    rx.partial.insert(rx.partial.end(), next.payload.begin(),
-                      next.payload.end());
-    if (next.last_of_message) {
-      Buffer message = std::move(rx.partial);
-      rx.partial.clear();
+    if (next.last_of_message && rx.partial.empty()) {
+      // Single-segment message: deliver the datagram view directly.
       ++stats_.messages_delivered;
       if (handler_) {
-        handler_(src, std::move(message));
+        handler_(src, std::move(next.payload));
+      }
+      continue;
+    }
+    // Multi-segment message: segments arrive in distinct wire datagrams, so
+    // concatenation is the one unavoidable copy of the receive path.
+    rx.partial.insert(rx.partial.end(), next.payload.view().begin(),
+                      next.payload.view().end());
+    if (next.last_of_message) {
+      Buffer message = std::move(rx.partial);
+      rx.partial = Buffer{};
+      ++stats_.messages_delivered;
+      if (handler_) {
+        handler_(src, PayloadRef(std::move(message)));
       }
     }
   }
@@ -183,7 +196,7 @@ void RdpEndpoint::send_ack(IpAddr src, RxStream& rx) {
   w.u32(0);
   ++stats_.acks_sent;
   rx.last_acked = rx.expected;
-  socket_->sendto(src, port_, std::move(bytes), net::FrameKind::kAck);
+  socket_->sendto(src, port_, bytes, net::FrameKind::kAck);
 }
 
 void RdpEndpoint::on_ack(IpAddr src, std::uint64_t cumulative) {

@@ -53,7 +53,7 @@ class RdpEndpoint {
     int max_retries = 25;
   };
 
-  using MessageHandler = std::function<void(IpAddr src, Buffer message)>;
+  using MessageHandler = std::function<void(IpAddr src, PayloadRef message)>;
 
   RdpEndpoint(UdpStack& udp, std::uint16_t port, Params params);
   explicit RdpEndpoint(UdpStack& udp);
@@ -66,7 +66,9 @@ class RdpEndpoint {
   /// Queues `message` for reliable delivery to the endpoint at `dst`.
   /// Non-blocking: transmission, retransmission and windowing run on
   /// simulator events.  `kind` tags the frames for instrumentation.
-  void send(IpAddr dst, Buffer message,
+  /// Segmentation is zero-copy: every segment (including the retransmit
+  /// window and backlog) is a slice of `message`'s backing buffer.
+  void send(IpAddr dst, PayloadRef message,
             net::FrameKind kind = net::FrameKind::kData);
 
   const RdpStats& stats() const { return stats_; }
@@ -83,7 +85,7 @@ class RdpEndpoint {
     std::uint64_t seq = 0;
     bool last_of_message = false;
     net::FrameKind kind = net::FrameKind::kData;
-    Buffer payload;
+    PayloadRef payload;  // slice of the original message (tx) / datagram (rx)
   };
 
   struct TxStream {

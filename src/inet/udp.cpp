@@ -9,7 +9,7 @@ namespace mcmpi::inet {
 
 UdpStack::UdpStack(IpStack& ip) : ip_(ip) {
   ip_.register_protocol(kProtocol,
-                        [this](const IpPacketMeta& meta, Buffer data) {
+                        [this](const IpPacketMeta& meta, PayloadRef data) {
                           on_packet(meta, std::move(data));
                         });
 }
@@ -36,29 +36,39 @@ void UdpStack::unregister(UdpSocket& socket) {
 }
 
 void UdpStack::send_datagram(std::uint16_t src_port, IpAddr dst,
-                             std::uint16_t dst_port, Buffer data,
+                             std::uint16_t dst_port,
+                             std::span<const std::uint8_t> head,
+                             std::span<const std::uint8_t> body,
                              net::FrameKind kind) {
+  // The one payload copy of the send path: user/transport bytes become the
+  // wire datagram.  Everything below (fragmentation, fan-out, reassembly,
+  // per-socket delivery) shares this allocation by reference.
+  const std::size_t payload_bytes = head.size() + body.size();
   Buffer packet;
-  packet.reserve(data.size() + kHeaderBytes);
+  packet.reserve(payload_bytes + kHeaderBytes);
   ByteWriter w(packet);
   w.u16(src_port);
   w.u16(dst_port);
-  w.u16(static_cast<std::uint16_t>(data.size() + kHeaderBytes));
+  // The 16-bit wire field wraps for jumbo simulated datagrams (> 64 KiB);
+  // real UDP would force app-level segmentation, but the simulator permits
+  // jumbo datagrams so large-message scenarios exercise IP fragmentation.
+  w.u16(static_cast<std::uint16_t>((payload_bytes + kHeaderBytes) & 0xFFFF));
   w.u16(0);  // checksum unused: link layer is error-free in this model
-  w.bytes(data);
+  w.bytes(head);
+  w.bytes(body);
   ++stats_.datagrams_sent;
-  ip_.send(dst, kProtocol, std::move(packet), kind);
+  ip_.send(dst, kProtocol, PayloadRef(std::move(packet)), kind);
 }
 
-void UdpStack::on_packet(const IpPacketMeta& meta, Buffer data) {
+void UdpStack::on_packet(const IpPacketMeta& meta, PayloadRef data) {
   ByteReader r(data);
   const std::uint16_t src_port = r.u16();
   const std::uint16_t dst_port = r.u16();
   const std::uint16_t length = r.u16();
   (void)r.u16();  // checksum
-  MC_ASSERT_MSG(length == data.size(), "UDP length mismatch");
-  auto payload_span = r.rest();
-  Buffer payload(payload_span.begin(), payload_span.end());
+  MC_ASSERT_MSG(length == (data.size() & 0xFFFF), "UDP length mismatch");
+  // Zero-copy demux: the payload is the datagram view past the 8 B header.
+  PayloadRef payload = data.slice(r.position());
 
   const auto it = sockets_.find(dst_port);
   if (it == sockets_.end()) {
@@ -69,13 +79,14 @@ void UdpStack::on_packet(const IpPacketMeta& meta, Buffer data) {
 
   UdpDatagram datagram{meta.src, src_port, meta.dst, dst_port, {}};
   if (meta.dst.is_multicast()) {
-    // Receiver-directed delivery: only group members hear it.
+    // Receiver-directed delivery: only group members hear it.  Every member
+    // socket gets a ref to the same payload buffer — no per-member copy.
     bool delivered = false;
     for (UdpSocket* socket : it->second) {
       if (socket->member_of(meta.dst)) {
-        UdpDatagram copy = datagram;
-        copy.data = payload;
-        socket->enqueue(std::move(copy));
+        UdpDatagram member = datagram;
+        member.data = payload;
+        socket->enqueue(std::move(member));
         delivered = true;
       }
     }
@@ -107,9 +118,17 @@ void UdpSocket::set_handler(std::function<void(UdpDatagram)> handler) {
   handler_ = std::move(handler);
 }
 
-void UdpSocket::sendto(IpAddr dst, std::uint16_t dst_port, Buffer data,
+void UdpSocket::sendto(IpAddr dst, std::uint16_t dst_port,
+                       std::span<const std::uint8_t> data,
                        net::FrameKind kind) {
-  stack_.send_datagram(port_, dst, dst_port, std::move(data), kind);
+  stack_.send_datagram(port_, dst, dst_port, {}, data, kind);
+}
+
+void UdpSocket::sendto(IpAddr dst, std::uint16_t dst_port,
+                       std::span<const std::uint8_t> header,
+                       std::span<const std::uint8_t> body,
+                       net::FrameKind kind) {
+  stack_.send_datagram(port_, dst, dst_port, header, body, kind);
 }
 
 void UdpSocket::enqueue(UdpDatagram datagram) {

@@ -38,7 +38,9 @@ struct UdpDatagram {
   std::uint16_t src_port = 0;
   IpAddr dst_addr;
   std::uint16_t dst_port = 0;
-  Buffer data;
+  /// Payload view sharing the sender's wire-datagram allocation: delivering
+  /// one multicast datagram to k member sockets shares one buffer k ways.
+  PayloadRef data;
 };
 
 struct UdpStats {
@@ -71,10 +73,15 @@ class UdpStack {
 
  private:
   friend class UdpSocket;
-  void on_packet(const IpPacketMeta& meta, Buffer data);
+  void on_packet(const IpPacketMeta& meta, PayloadRef data);
   void unregister(UdpSocket& socket);
+  /// Assembles [UDP header][head][body] into ONE wire buffer — the single
+  /// "kernel copy" of the payload pipeline.  `head` lets transport layers
+  /// prepend their own header without re-buffering the body first.
   void send_datagram(std::uint16_t src_port, IpAddr dst,
-                     std::uint16_t dst_port, Buffer data,
+                     std::uint16_t dst_port,
+                     std::span<const std::uint8_t> head,
+                     std::span<const std::uint8_t> body,
                      net::FrameKind kind);
 
   IpStack& ip_;
@@ -98,7 +105,19 @@ class UdpSocket {
   /// never buffered.  Mutually exclusive with blocking recv().
   void set_handler(std::function<void(UdpDatagram)> handler);
 
-  void sendto(IpAddr dst, std::uint16_t dst_port, Buffer data,
+  /// The bytes are copied into the wire datagram synchronously (the one
+  /// "kernel copy" of the pipeline), so the span need only live for the
+  /// call — no caller-side buffering or ownership required.
+  void sendto(IpAddr dst, std::uint16_t dst_port,
+              std::span<const std::uint8_t> data,
+              net::FrameKind kind = net::FrameKind::kData);
+
+  /// Gather-send: the wire datagram is assembled as [header][body] in one
+  /// pass, so callers prepend protocol headers without copying the body
+  /// into an intermediate buffer first.
+  void sendto(IpAddr dst, std::uint16_t dst_port,
+              std::span<const std::uint8_t> header,
+              std::span<const std::uint8_t> body,
               net::FrameKind kind = net::FrameKind::kData);
 
   /// Blocking receive; parks the calling process until a datagram arrives.

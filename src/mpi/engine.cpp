@@ -8,7 +8,7 @@ namespace mcmpi::mpi {
 Engine::Engine(Rank world_rank, inet::RdpEndpoint& rdp,
                std::function<inet::IpAddr(Rank)> addr_of)
     : world_rank_(world_rank), rdp_(rdp), addr_of_(std::move(addr_of)) {
-  rdp_.set_message_handler([this](inet::IpAddr src, Buffer message) {
+  rdp_.set_message_handler([this](inet::IpAddr src, PayloadRef message) {
     on_message(src, std::move(message));
   });
   // Rendezvous ids must be globally unique (they route CTS/DATA without a
@@ -44,8 +44,8 @@ std::shared_ptr<SendRequest> Engine::start_send(
     // Self-send: loop back through the matching path without touching the
     // network.  Always eager — both endpoints share this engine.
     ++stats_.eager_sends;
-    Buffer message =
-        pack(MsgType::kEager, info->context_id, tag, 0, bytes);
+    PayloadRef message =
+        PayloadRef(pack(MsgType::kEager, info->context_id, tag, 0, bytes));
     request->complete_ = true;
     on_message(addr_of_(world_rank_), std::move(message));
     return request;
@@ -54,7 +54,9 @@ std::shared_ptr<SendRequest> Engine::start_send(
   if (static_cast<std::int64_t>(bytes.size()) <= eager_threshold_) {
     ++stats_.eager_sends;
     rdp_.send(addr_of_(dst_world),
-              pack(MsgType::kEager, info->context_id, tag, 0, bytes), kind);
+              PayloadRef(pack(MsgType::kEager, info->context_id, tag, 0,
+                              bytes)),
+              kind);
     request->complete_ = true;  // buffered: locally complete
     return request;
   }
@@ -66,7 +68,9 @@ std::shared_ptr<SendRequest> Engine::start_send(
   PendingSend pending;
   pending.request = request;
   pending.dst_addr = addr_of_(dst_world);
-  pending.payload.assign(bytes.begin(), bytes.end());
+  // The caller's buffer may die before CTS arrives; this is the library's
+  // one marshaling copy for a rendezvous send.
+  pending.payload = PayloadRef::copy_of(bytes);
   pending.kind = kind;
   pending.context = info->context_id;
   pending.tag = tag;
@@ -74,7 +78,8 @@ std::shared_ptr<SendRequest> Engine::start_send(
   ByteWriter length_writer(length_field);
   length_writer.u64(bytes.size());
   rdp_.send(pending.dst_addr,
-            pack(MsgType::kRts, info->context_id, tag, id, length_field),
+            PayloadRef(pack(MsgType::kRts, info->context_id, tag, id,
+                            length_field)),
             net::FrameKind::kControl);
   pending_sends_.emplace(id, std::move(pending));
   return request;
@@ -127,11 +132,13 @@ bool Engine::matches(const RecvRequest& req, std::uint32_t context,
 }
 
 void Engine::complete_recv(const std::shared_ptr<RecvRequest>& req,
-                           Rank src_world, Tag tag, Buffer data) {
+                           Rank src_world, Tag tag, const PayloadRef& data) {
   req->status_.source = req->comm_->group.rank_of(src_world);
   req->status_.tag = tag;
   req->status_.count = data.size();
-  req->data_ = std::move(data);
+  // The copy-out at the MPI API boundary: the request owns a private buffer
+  // the rank process will move into user code.
+  req->data_ = data.to_buffer();
   req->complete_ = true;
   req->wq_.notify_all();
 }
@@ -141,7 +148,8 @@ void Engine::accept_rts(const std::shared_ptr<RecvRequest>& req,
   req->in_rendezvous_ = true;
   pending_rdz_recvs_.emplace(rts.rdz_id, req);
   rdp_.send(rts.src_addr,
-            pack(MsgType::kCts, rts.context, rts.tag, rts.rdz_id, {}),
+            PayloadRef(pack(MsgType::kCts, rts.context, rts.tag, rts.rdz_id,
+                            {})),
             net::FrameKind::kControl);
 }
 
@@ -179,15 +187,16 @@ void Engine::clear_sink(std::uint32_t context, Tag tag) {
   sinks_.erase({context, tag});
 }
 
-void Engine::on_message(inet::IpAddr src, Buffer message) {
+void Engine::on_message(inet::IpAddr src, PayloadRef message) {
   ByteReader r(message);
   const auto type = static_cast<MsgType>(r.u8());
   const std::uint32_t context = r.u32();
   const Rank src_world = r.i32();
   const Tag tag = r.i32();
   const std::uint64_t rdz_id = r.u64();
-  auto payload_span = r.rest();
-  Buffer payload(payload_span.begin(), payload_span.end());
+  // Zero-copy view past the 21 B envelope; unexpected-queue entries and
+  // sink deliveries share the transport buffer.
+  PayloadRef payload = message.slice(r.position());
 
   if (type == MsgType::kEager && tag <= kFirstInternalTag) {
     const auto sink = sinks_.find({context, tag});
@@ -226,8 +235,8 @@ void Engine::on_message(inet::IpAddr src, Buffer message) {
       PendingSend pending = std::move(it->second);
       pending_sends_.erase(it);
       rdp_.send(pending.dst_addr,
-                pack(MsgType::kRdata, pending.context, pending.tag, rdz_id,
-                     pending.payload),
+                PayloadRef(pack(MsgType::kRdata, pending.context, pending.tag,
+                                rdz_id, pending.payload)),
                 pending.kind);
       pending.request->complete_ = true;
       pending.request->wq_.notify_all();

@@ -101,8 +101,9 @@ class Engine {
   /// kFirstInternalTag) on context `context` are handed to `handler` the
   /// moment they arrive, bypassing matching.  Used by protocols that must
   /// service requests while the owning rank is busy elsewhere (e.g. the
-  /// sequencer answering retransmission NACKs).
-  using SinkHandler = std::function<void(Rank src_world, Buffer data)>;
+  /// sequencer answering retransmission NACKs).  The payload is a zero-copy
+  /// view of the transport message.
+  using SinkHandler = std::function<void(Rank src_world, PayloadRef data)>;
   void set_sink(std::uint32_t context, Tag tag, SinkHandler handler);
   void clear_sink(std::uint32_t context, Tag tag);
 
@@ -133,23 +134,23 @@ class Engine {
     Tag tag;
     std::uint64_t rdz_id;
     inet::IpAddr src_addr;
-    Buffer data;
+    PayloadRef data;  // view of the transport message, shared not copied
   };
 
   struct PendingSend {
     std::shared_ptr<SendRequest> request;
     inet::IpAddr dst_addr;
-    Buffer payload;
+    PayloadRef payload;
     net::FrameKind kind;
     std::uint32_t context;
     Tag tag;
   };
 
-  void on_message(inet::IpAddr src, Buffer message);
+  void on_message(inet::IpAddr src, PayloadRef message);
   bool matches(const RecvRequest& req, std::uint32_t context, Rank src_world,
                Tag tag) const;
   void complete_recv(const std::shared_ptr<RecvRequest>& req, Rank src_world,
-                     Tag tag, Buffer data);
+                     Tag tag, const PayloadRef& data);
   void accept_rts(const std::shared_ptr<RecvRequest>& req,
                   const Unexpected& rts);
   Buffer pack(MsgType type, std::uint32_t context, Tag tag,

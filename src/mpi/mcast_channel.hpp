@@ -34,8 +34,17 @@ class McastChannel {
   /// frame back to the sending NIC, so the sender's own socket does NOT see
   /// it (equivalent to IP_MULTICAST_LOOP disabled, which is how the paper's
   /// implementation avoids the root consuming its own broadcast).
-  void send(Buffer payload, net::FrameKind kind) {
-    socket_->sendto(group_, port_, std::move(payload), kind);
+  /// Re-sending a retained PayloadRef (sequencer history, ACK-protocol
+  /// retransmits) reuses the framed bytes instead of rebuilding them.
+  void send(const PayloadRef& payload, net::FrameKind kind) {
+    socket_->sendto(group_, port_, payload.view(), kind);
+  }
+
+  /// Gather variant: [header][payload] is assembled into the wire datagram
+  /// in one pass — collective framing without re-buffering the payload.
+  void send(std::span<const std::uint8_t> header,
+            std::span<const std::uint8_t> payload, net::FrameKind kind) {
+    socket_->sendto(group_, port_, header, payload, kind);
   }
 
   /// Sequence checks for the §4 ordering property.

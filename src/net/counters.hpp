@@ -8,9 +8,18 @@
 
 #include <cstdint>
 
+#include "common/bytes.hpp"
 #include "net/frame.hpp"
 
 namespace mcmpi::net {
+
+/// Global payload copy/allocation counters (defined with PayloadRef in
+/// common/bytes.hpp, re-exported here next to the frame counters).  Benches
+/// and the perf-regression tests diff these around an operation to prove the
+/// datapath is zero-copy: a multicast frame fanned out to N switch ports
+/// must show zero per-port payload allocations.
+using mcmpi::PayloadCounters;
+using mcmpi::payload_counters;
 
 struct NetCounters {
   // Frames transmitted by host NICs (one per transmission attempt that

@@ -23,10 +23,9 @@ std::string MacAddr::to_string() const {
 }
 
 std::int64_t Frame::frame_bytes() const {
-  MC_EXPECTS_MSG(static_cast<std::int64_t>(payload.size()) <= kMaxPayloadBytes,
+  MC_EXPECTS_MSG(l3_bytes() <= kMaxPayloadBytes,
                  "frame payload exceeds Ethernet MTU");
-  const std::int64_t raw =
-      kHeaderBytes + static_cast<std::int64_t>(payload.size()) + kFcsBytes;
+  const std::int64_t raw = kHeaderBytes + l3_bytes() + kFcsBytes;
   return std::max(raw, kMinFrameBytes);
 }
 

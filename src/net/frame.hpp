@@ -31,7 +31,14 @@ struct Frame {
   MacAddr dst;
   std::uint16_t ethertype = kEtherTypeIpv4;
   FrameKind kind = FrameKind::kData;
-  Buffer payload;  // L3 packet bytes
+  /// L3 header bytes for this frame (e.g. the per-fragment IP header).
+  /// Small and built once per frame; separate from `payload` so the payload
+  /// can stay a zero-copy slice of the original datagram.
+  PayloadRef header;
+  /// L3 payload bytes.  A ref-counted slice: hub/switch fan-out, egress
+  /// queues and receiver-side reassembly all share the sender's single
+  /// allocation — copying a Frame never copies payload bytes.
+  PayloadRef payload;
 
   static constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
 
@@ -41,6 +48,11 @@ struct Frame {
   static constexpr std::int64_t kMaxPayloadBytes = 1500;  // MTU
   static constexpr std::int64_t kPreambleBytes = 8;
   static constexpr std::int64_t kInterFrameGapBytes = 12;
+
+  /// L3 bytes carried by this frame (header + payload views).
+  std::int64_t l3_bytes() const {
+    return static_cast<std::int64_t>(header.size() + payload.size());
+  }
 
   /// Frame size on the segment (header + padded payload + FCS), excluding
   /// preamble and IFG.

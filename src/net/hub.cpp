@@ -82,7 +82,9 @@ void Hub::finish_transmission() {
 
   // Deliver to every other station after the repeater latency.  The frame is
   // captured by value: the medium may already carry the next frame when the
-  // delivery callback runs.
+  // delivery callback runs.  The capture is cheap — Frame's header/payload
+  // are ref-counted views, and the lambda fits the event queue's inline
+  // storage, so repeating a frame to N stations costs no payload copies.
   sim_.schedule_after(params_.repeater_latency,
                       [this, frame = std::move(frame), sender = &sender] {
                         for (auto& s : stations_) {

@@ -59,6 +59,9 @@ void Switch::uplink_done(Port& port) {
   }
 }
 
+// Fan-out duplicates the Frame per egress port, but Frame::header/payload
+// are ref-counted views: all ports (and all receivers' stacks downstream)
+// share the sender's single payload allocation.
 void Switch::forward(Frame frame, std::size_t ingress) {
   const MacAddr dst = frame.dst;
   if (dst.is_broadcast()) {

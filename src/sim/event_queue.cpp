@@ -4,37 +4,55 @@
 
 namespace mcmpi::sim {
 
-EventId EventQueue::schedule(SimTime t, std::function<void()> fn) {
-  MC_EXPECTS(fn != nullptr);
-  const EventId id = next_seq_++;
-  heap_.push(Entry{t, id, std::move(fn)});
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  MC_ASSERT_MSG(slots_.size() < 0xFFFFFFFFu, "event slot table exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.live = false;
+  ++slot.generation;  // invalidates outstanding ids and stale heap entries
+  free_slots_.push_back(index);
+}
+
+EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  MC_EXPECTS(static_cast<bool>(fn));
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.live = true;
+  slot.fn = std::move(fn);
+  heap_.push(Entry{t, next_seq_++, index, slot.generation});
   ++live_count_;
-  return id;
+  return (static_cast<EventId>(slot.generation) << 32) |
+         (static_cast<EventId>(index) + 1);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_seq_) {
+  const auto biased = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  if (biased == 0 || biased > slots_.size()) {
     return false;
   }
-  // Only pending events can be cancelled; fired events have been popped, so
-  // inserting their id here would leak.  We cannot tell fired from pending
-  // cheaply, so we track cancelled ids and validate on pop; double-cancel is
-  // caught by the insert result.
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted && live_count_ > 0) {
-    --live_count_;
-    return true;
+  const std::uint32_t index = biased - 1;
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation) {
+    return false;  // already fired, already cancelled, or a recycled slot
   }
-  return false;
+  release_slot(index);
+  --live_count_;
+  return true;
 }
 
 void EventQueue::skim() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
+  while (!heap_.empty() && stale(heap_.top())) {
     heap_.pop();
   }
 }
@@ -47,11 +65,11 @@ SimTime EventQueue::next_time() const {
 EventQueue::Fired EventQueue::pop() {
   skim();
   MC_EXPECTS_MSG(!heap_.empty(), "pop() on empty EventQueue");
-  // priority_queue::top() is const&; the function object must be moved out,
-  // so we const_cast the known-mutable underlying entry (standard idiom).
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.fn)};
+  const Entry top = heap_.top();
   heap_.pop();
+  Slot& slot = slots_[top.slot];
+  Fired fired{top.time, std::move(slot.fn)};
+  release_slot(top.slot);
   --live_count_;
   return fired;
 }

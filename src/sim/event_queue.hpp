@@ -4,29 +4,158 @@
 ///
 /// Events are ordered by (time, insertion sequence): two events at the same
 /// virtual time fire in the order they were scheduled, which makes every run
-/// with the same seed bit-identical.  Cancellation is lazy (tombstones) so
-/// schedule/cancel are both O(log n).
+/// with the same seed bit-identical.
+///
+/// Hot-path design (this queue is the simulator's inner loop):
+///   * Heap entries are small PODs — (time, seq, slot, generation) — so
+///     sift-up/down moves 24 bytes, never a callable.
+///   * Callables live in a slot table addressed by index; a slot is recycled
+///     through a generation-counted free list, so cancel() and the staleness
+///     check in skim() are O(1) array accesses with no hashing and no
+///     tombstone set.
+///   * EventFn stores small callables (up to kInlineBytes, which covers every
+///     lambda the simulator schedules, frames included) inline — scheduling
+///     an event performs no heap allocation once the slot table is warm.
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <deque>
+#include <memory>
 #include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/time.hpp"
 
 namespace mcmpi::sim {
 
+/// Move-only callable wrapper with inline storage for small callables.
+/// Replaces std::function<void()> on the event hot path: delivery lambdas
+/// that capture a Frame (two payload refs plus addressing) fit inline, so
+/// schedule/fire performs no per-event allocation.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 128;
+
+  EventFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for lambdas
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      auto* heap = new D(std::forward<F>(f));
+      std::memcpy(storage_, &heap, sizeof(heap));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    MC_EXPECTS_MSG(ops_ != nullptr, "invoking an empty EventFn");
+    ops_->invoke(storage_);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        if constexpr (std::is_trivially_copyable_v<D> &&
+                      std::is_trivially_destructible_v<D>) {
+          // Covers most scheduled lambdas ([], [this], [this, ptr]...):
+          // relocation is a small memcpy, no constructor calls.
+          std::memcpy(dst, src, sizeof(D));
+        } else {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        }
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) {
+        D* heap;
+        std::memcpy(&heap, p, sizeof(heap));
+        (*heap)();
+      },
+      [](void* dst, void* src) { std::memcpy(dst, src, sizeof(D*)); },
+      [](void* p) {
+        D* heap;
+        std::memcpy(&heap, p, sizeof(heap));
+        delete heap;
+      },
+  };
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+/// Handle for cancel(): low 32 bits address the slot (biased by one so the
+/// zero id stays invalid), high 32 bits carry the slot's generation at
+/// schedule time.  A recycled slot has a new generation, so stale handles
+/// can never cancel somebody else's event.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `t`.  Returns a handle for cancel().
-  EventId schedule(SimTime t, std::function<void()> fn);
+  EventId schedule(SimTime t, EventFn fn);
 
   /// Cancels a pending event.  Returns false if the event already fired,
-  /// was already cancelled, or the id is invalid.
+  /// was already cancelled, or the id is invalid.  O(1): the slot is freed
+  /// immediately; the heap entry goes stale and is skimmed lazily.
   bool cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -37,7 +166,7 @@ class EventQueue {
 
   struct Fired {
     SimTime time;
-    std::function<void()> fn;
+    EventFn fn;
   };
 
   /// Removes and returns the earliest live event.  Precondition: !empty().
@@ -47,27 +176,45 @@ class EventQueue {
   std::uint64_t total_scheduled() const { return next_seq_ - 1; }
 
  private:
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool live = false;
+    EventFn fn;
+  };
+  /// POD heap entry; the callable stays in its slot.
   struct Entry {
     SimTime time;
-    EventId id;  // doubles as insertion sequence
-    std::function<void()> fn;
+    std::uint64_t seq;  // global insertion sequence — FIFO within one time
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) {
         return a.time > b.time;
       }
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
-  /// Drops cancelled entries from the top of the heap.
+  bool stale(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return !s.live || s.generation != e.generation;
+  }
+
+  /// Drops cancelled (stale) entries from the top of the heap.
   void skim() const;
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
+  /// Deque, not vector: slots must stay put when the table grows, so a
+  /// growth episode never relocates every stored callable.
+  std::deque<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::size_t live_count_ = 0;
-  EventId next_seq_ = 1;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace mcmpi::sim

@@ -85,12 +85,12 @@ Simulator::~Simulator() {
   }
 }
 
-EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+EventId Simulator::schedule_at(SimTime t, EventFn fn) {
   MC_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
   return events_.schedule(t, std::move(fn));
 }
 
-EventId Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+EventId Simulator::schedule_after(SimTime delay, EventFn fn) {
   MC_EXPECTS(delay >= kTimeZero);
   return schedule_at(now_ + delay, std::move(fn));
 }

@@ -118,10 +118,11 @@ class Simulator {
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  /// Schedules a callback at absolute virtual time `t` (>= now()).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// Schedules a callback at absolute virtual time `t` (>= now()).  Small
+  /// callables are stored inline in the event queue (no allocation).
+  EventId schedule_at(SimTime t, EventFn fn);
   /// Schedules a callback `delay` after now().
-  EventId schedule_after(SimTime delay, std::function<void()> fn);
+  EventId schedule_after(SimTime delay, EventFn fn);
   bool cancel(EventId id);
 
   /// Creates a process; it starts running when run() is called (processes
@@ -142,6 +143,10 @@ class Simulator {
 
   /// Total events executed so far (micro-bench instrumentation).
   std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Total events ever scheduled, including later-cancelled ones (the
+  /// scheduler-load figure the bench JSON records).
+  std::uint64_t events_scheduled() const { return events_.total_scheduled(); }
 
  private:
   friend class SimProcess;

@@ -194,10 +194,91 @@ TEST(Bytes, WriterReaderRoundTrip) {
   EXPECT_TRUE(r.done());
 }
 
+TEST(Bytes, EncodingIsLittleEndianOnTheWire) {
+  // The encoding contract, pinned to an exact byte sequence: multi-byte
+  // values are little-endian regardless of host byte order.
+  Buffer buf;
+  ByteWriter w(buf);
+  w.u16(0x1122);
+  w.u32(0xAABBCCDD);
+  w.u64(0x0102030405060708ULL);
+  w.i32(-2);  // 0xFFFFFFFE
+  const Buffer expected{
+      0x22, 0x11,                                      // u16
+      0xDD, 0xCC, 0xBB, 0xAA,                          // u32
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // u64
+      0xFE, 0xFF, 0xFF, 0xFF,                          // i32
+  };
+  EXPECT_EQ(buf, expected);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0x1122);
+  EXPECT_EQ(r.u32(), 0xAABBCCDDu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.i32(), -2);
+  EXPECT_TRUE(r.done());
+}
+
 TEST(Bytes, ReaderOverrunThrows) {
   Buffer buf{1, 2, 3};
   ByteReader r(buf);
   EXPECT_THROW((void)r.u32(), ContractViolation);
+}
+
+// ------------------------------------------------------------ PayloadRef
+
+TEST(PayloadRef, SlicesShareOneAllocation) {
+  const PayloadCounters before = payload_counters();
+  PayloadRef whole(pattern_payload(3, 1000));
+  PayloadRef a = whole.slice(0, 400);
+  PayloadRef b = whole.slice(400);
+  PayloadRef copy = b;  // ref copy, not byte copy
+  const PayloadCounters delta = payload_counters().since(before);
+  EXPECT_EQ(delta.buffer_allocs, 1u);
+  EXPECT_EQ(delta.byte_copies, 0u);
+  EXPECT_EQ(a.size(), 400u);
+  EXPECT_EQ(b.size(), 600u);
+  EXPECT_TRUE(a.same_buffer(b));
+  EXPECT_TRUE(copy.same_buffer(whole));
+  // The bytes are the original ones, by address.
+  EXPECT_EQ(a.data(), whole.data());
+  EXPECT_EQ(b.data(), whole.data() + 400);
+}
+
+TEST(PayloadRef, JoinRebuildsContiguousViewsWithoutCopy) {
+  PayloadRef whole(pattern_payload(9, 500));
+  PayloadRef head = whole.slice(0, 200);
+  PayloadRef tail = whole.slice(200);
+  ASSERT_TRUE(head.directly_precedes(tail));
+  EXPECT_FALSE(tail.directly_precedes(head));
+  const PayloadRef joined = head.joined_with(tail);
+  EXPECT_EQ(joined.size(), 500u);
+  EXPECT_EQ(joined.data(), whole.data());
+  EXPECT_TRUE(check_pattern(9, joined));
+}
+
+TEST(PayloadRef, ToBufferCopiesOutExactBytes) {
+  PayloadRef whole(pattern_payload(4, 256));
+  const Buffer out = whole.slice(16, 64).to_buffer();
+  EXPECT_EQ(out, Buffer(whole.view().begin() + 16, whole.view().begin() + 80));
+}
+
+TEST(PayloadRef, KeepsBackingBufferAliveAfterOwnerDies) {
+  PayloadRef tail;
+  {
+    PayloadRef whole(pattern_payload(7, 128));
+    tail = whole.slice(64);
+  }  // `whole` gone; the slice must still own the bytes
+  EXPECT_EQ(tail.size(), 64u);
+  const Buffer expected = pattern_payload(7, 128);
+  EXPECT_TRUE(std::equal(tail.view().begin(), tail.view().end(),
+                         expected.begin() + 64));
+}
+
+TEST(PayloadRef, SliceOutOfBoundsThrows) {
+  PayloadRef whole(Buffer(10, 0));
+  EXPECT_THROW((void)whole.slice(4, 7), ContractViolation);
+  EXPECT_THROW((void)whole.slice(11), ContractViolation);
+  EXPECT_NO_THROW((void)whole.slice(10));  // empty tail is fine
 }
 
 TEST(Bytes, PatternPayloadIsDeterministicAndSeedSensitive) {

@@ -78,9 +78,9 @@ TEST(IpFragmentation, LargeDatagramRoundTrips) {
   StackFixture fx(2);
   Buffer received;
   fx.hosts[1].ip->register_protocol(
-      99, [&](const IpPacketMeta&, Buffer data) { received = std::move(data); });
+      99, [&](const IpPacketMeta&, PayloadRef data) { received = data.to_buffer(); });
   const Buffer payload = pattern_payload(1, 10'000);
-  fx.hosts[0].ip->send(IpAddr::host(1), 99, payload, net::FrameKind::kData);
+  fx.hosts[0].ip->send(IpAddr::host(1), 99, PayloadRef(payload), net::FrameKind::kData);
   fx.sim.run();
   EXPECT_EQ(received.size(), 10'000u);
   EXPECT_TRUE(check_pattern(1, received));
@@ -93,9 +93,9 @@ TEST(IpFragmentation, ExactSingleFrameIsNotFragmented) {
   StackFixture fx(2);
   int datagrams = 0;
   fx.hosts[1].ip->register_protocol(
-      99, [&](const IpPacketMeta&, Buffer) { ++datagrams; });
+      99, [&](const IpPacketMeta&, PayloadRef) { ++datagrams; });
   fx.hosts[0].ip->send(IpAddr::host(1), 99,
-                       pattern_payload(2, 1480), net::FrameKind::kData);
+                       PayloadRef(pattern_payload(2, 1480)), net::FrameKind::kData);
   fx.sim.run();
   EXPECT_EQ(fx.hosts[0].ip->stats().fragments_sent, 1u);
   EXPECT_EQ(datagrams, 1);
@@ -104,11 +104,11 @@ TEST(IpFragmentation, ExactSingleFrameIsNotFragmented) {
 TEST(IpFragmentation, ZeroBytePayloadWorks) {
   StackFixture fx(2);
   bool got = false;
-  fx.hosts[1].ip->register_protocol(99, [&](const IpPacketMeta&, Buffer data) {
+  fx.hosts[1].ip->register_protocol(99, [&](const IpPacketMeta&, PayloadRef data) {
     got = true;
     EXPECT_TRUE(data.empty());
   });
-  fx.hosts[0].ip->send(IpAddr::host(1), 99, {}, net::FrameKind::kControl);
+  fx.hosts[0].ip->send(IpAddr::host(1), 99, PayloadRef{}, net::FrameKind::kControl);
   fx.sim.run();
   EXPECT_TRUE(got);
 }
@@ -117,13 +117,13 @@ TEST(IpFragmentation, LostFragmentTimesOutAndDiscards) {
   StackFixture fx(2);
   int datagrams = 0;
   fx.hosts[1].ip->register_protocol(
-      99, [&](const IpPacketMeta&, Buffer) { ++datagrams; });
+      99, [&](const IpPacketMeta&, PayloadRef) { ++datagrams; });
   // Drop the second fragment of the first datagram (offset units 185).
   int fragment_count = 0;
   fx.network.set_drop_hook([&](const net::Frame&, const net::Nic&) {
     return ++fragment_count == 2;
   });
-  fx.hosts[0].ip->send(IpAddr::host(1), 99, pattern_payload(1, 3000),
+  fx.hosts[0].ip->send(IpAddr::host(1), 99, PayloadRef(pattern_payload(1, 3000)),
                        net::FrameKind::kData);
   fx.sim.run();  // drains the reassembly timeout too
   EXPECT_EQ(datagrams, 0);
@@ -131,7 +131,7 @@ TEST(IpFragmentation, LostFragmentTimesOutAndDiscards) {
 
   // A later datagram is unaffected.
   fx.network.set_drop_hook(nullptr);
-  fx.hosts[0].ip->send(IpAddr::host(1), 99, pattern_payload(2, 3000),
+  fx.hosts[0].ip->send(IpAddr::host(1), 99, PayloadRef(pattern_payload(2, 3000)),
                        net::FrameKind::kData);
   fx.sim.run();
   EXPECT_EQ(datagrams, 1);
@@ -140,12 +140,12 @@ TEST(IpFragmentation, LostFragmentTimesOutAndDiscards) {
 TEST(IpFragmentation, InterleavedSendersReassembleIndependently) {
   StackFixture fx(3);
   std::vector<Buffer> received;
-  fx.hosts[2].ip->register_protocol(99, [&](const IpPacketMeta&, Buffer d) {
-    received.push_back(std::move(d));
+  fx.hosts[2].ip->register_protocol(99, [&](const IpPacketMeta&, PayloadRef d) {
+    received.push_back(d.to_buffer());
   });
-  fx.hosts[0].ip->send(IpAddr::host(2), 99, pattern_payload(10, 4000),
+  fx.hosts[0].ip->send(IpAddr::host(2), 99, PayloadRef(pattern_payload(10, 4000)),
                        net::FrameKind::kData);
-  fx.hosts[1].ip->send(IpAddr::host(2), 99, pattern_payload(11, 4000),
+  fx.hosts[1].ip->send(IpAddr::host(2), 99, PayloadRef(pattern_payload(11, 4000)),
                        net::FrameKind::kData);
   fx.sim.run();
   ASSERT_EQ(received.size(), 2u);
@@ -160,7 +160,7 @@ TEST(Udp, UnicastDelivery) {
   StackFixture fx(2);
   auto rx = fx.hosts[1].udp->open(7000);
   auto tx = fx.hosts[0].udp->open(0);
-  tx->sendto(IpAddr::host(1), 7000, pattern_payload(3, 100));
+  tx->sendto(IpAddr::host(1), 7000, PayloadRef(pattern_payload(3, 100)));
   fx.sim.run();
   auto got = rx->try_recv();
   ASSERT_TRUE(got.has_value());
@@ -172,7 +172,7 @@ TEST(Udp, UnicastDelivery) {
 TEST(Udp, NoSocketMeansSilentDrop) {
   StackFixture fx(2);
   auto tx = fx.hosts[0].udp->open(0);
-  tx->sendto(IpAddr::host(1), 7001, pattern_payload(1, 10));
+  tx->sendto(IpAddr::host(1), 7001, PayloadRef(pattern_payload(1, 10)));
   fx.sim.run();
   EXPECT_EQ(fx.hosts[1].udp->stats().no_socket_drops, 1u);
 }
@@ -185,7 +185,7 @@ TEST(Udp, MulticastOnlyReachesJoinedSockets) {
   auto not_joined = fx.hosts[2].udp->open(7002);  // same port, no join
 
   auto tx = fx.hosts[0].udp->open(0);
-  tx->sendto(group, 7002, pattern_payload(4, 64));
+  tx->sendto(group, 7002, PayloadRef(pattern_payload(4, 64)));
   fx.sim.run();
   EXPECT_TRUE(joined->try_recv().has_value());
   EXPECT_FALSE(not_joined->try_recv().has_value());
@@ -197,12 +197,12 @@ TEST(Udp, LeaveStopsDelivery) {
   auto rx = fx.hosts[1].udp->open(7003);
   rx->join(group);
   auto tx = fx.hosts[0].udp->open(0);
-  tx->sendto(group, 7003, pattern_payload(1, 8));
+  tx->sendto(group, 7003, PayloadRef(pattern_payload(1, 8)));
   fx.sim.run();
   EXPECT_TRUE(rx->try_recv().has_value());
 
   rx->leave(group);
-  tx->sendto(group, 7003, pattern_payload(1, 8));
+  tx->sendto(group, 7003, PayloadRef(pattern_payload(1, 8)));
   fx.sim.run();
   EXPECT_FALSE(rx->try_recv().has_value());
 }
@@ -215,7 +215,7 @@ TEST(Udp, ReceiverOverrunDropsWhenBufferFull) {
   rx->set_recv_buffer(3000);  // room for ~2 x 1400B datagrams
   auto tx = fx.hosts[0].udp->open(0);
   for (int i = 0; i < 5; ++i) {
-    tx->sendto(IpAddr::host(1), 7004, pattern_payload(1, 1400));
+    tx->sendto(IpAddr::host(1), 7004, PayloadRef(pattern_payload(1, 1400)));
   }
   fx.sim.run();
   EXPECT_EQ(rx->queued_datagrams(), 2u);
@@ -233,7 +233,7 @@ TEST(Udp, BlockingRecvWakesOnArrival) {
     got = check_pattern(9, d.data);
   });
   fx.sim.schedule_at(microseconds(500), [&] {
-    tx->sendto(IpAddr::host(1), 7005, pattern_payload(9, 256));
+    tx->sendto(IpAddr::host(1), 7005, PayloadRef(pattern_payload(9, 256)));
   });
   fx.sim.run();
   EXPECT_TRUE(got);
@@ -264,7 +264,7 @@ TEST(Udp, SocketUnregistersOnDestruction) {
     auto rx = fx.hosts[1].udp->open(7007);
   }
   auto tx = fx.hosts[0].udp->open(0);
-  tx->sendto(IpAddr::host(1), 7007, pattern_payload(1, 10));
+  tx->sendto(IpAddr::host(1), 7007, PayloadRef(pattern_payload(1, 10)));
   fx.sim.run();
   EXPECT_EQ(fx.hosts[1].udp->stats().no_socket_drops, 1u);
 }
@@ -275,8 +275,8 @@ TEST(Udp, HandlerModeDispatchesImmediately) {
   std::vector<std::size_t> seen;
   rx->set_handler([&](UdpDatagram d) { seen.push_back(d.data.size()); });
   auto tx = fx.hosts[0].udp->open(0);
-  tx->sendto(IpAddr::host(1), 7010, pattern_payload(1, 100));
-  tx->sendto(IpAddr::host(1), 7010, pattern_payload(2, 200));
+  tx->sendto(IpAddr::host(1), 7010, PayloadRef(pattern_payload(1, 100)));
+  tx->sendto(IpAddr::host(1), 7010, PayloadRef(pattern_payload(2, 200)));
   fx.sim.run();
   EXPECT_EQ(seen, (std::vector<std::size_t>{100, 200}));
   EXPECT_EQ(rx->queued_datagrams(), 0u) << "handler mode never buffers";
@@ -290,7 +290,7 @@ TEST(Udp, HandlerModeIgnoresBufferLimit) {
   rx->set_handler([&](UdpDatagram) { ++count; });
   auto tx = fx.hosts[0].udp->open(0);
   for (int i = 0; i < 5; ++i) {
-    tx->sendto(IpAddr::host(1), 7011, pattern_payload(1, 1000));
+    tx->sendto(IpAddr::host(1), 7011, PayloadRef(pattern_payload(1, 1000)));
   }
   fx.sim.run();
   EXPECT_EQ(count, 5);
@@ -305,7 +305,7 @@ TEST(Udp, TwoJoinedSocketsOnOnePortBothReceive) {
   a->join(group);
   b->join(group);
   auto tx = fx.hosts[0].udp->open(0);
-  tx->sendto(group, 7012, pattern_payload(4, 32));
+  tx->sendto(group, 7012, PayloadRef(pattern_payload(4, 32)));
   fx.sim.run();
   EXPECT_TRUE(a->try_recv().has_value());
   EXPECT_TRUE(b->try_recv().has_value());
@@ -319,7 +319,7 @@ TEST(Udp, MulticastSelfDeliveryRequiresNetworkLoop) {
   const IpAddr group = IpAddr::multicast_group(10);
   auto sender = fx.hosts[0].udp->open(7013);
   sender->join(group);
-  sender->sendto(group, 7013, pattern_payload(1, 16));
+  sender->sendto(group, 7013, PayloadRef(pattern_payload(1, 16)));
   fx.sim.run();
   EXPECT_FALSE(sender->try_recv().has_value());
 }
@@ -335,18 +335,18 @@ struct RdpFixture : StackFixture {
   RdpFixture() : StackFixture(2) {
     a = std::make_unique<RdpEndpoint>(*hosts[0].udp);
     b = std::make_unique<RdpEndpoint>(*hosts[1].udp);
-    a->set_message_handler([this](IpAddr src, Buffer m) {
-      a_received.emplace_back(src, std::move(m));
+    a->set_message_handler([this](IpAddr src, PayloadRef m) {
+      a_received.emplace_back(src, m.to_buffer());
     });
-    b->set_message_handler([this](IpAddr src, Buffer m) {
-      b_received.emplace_back(src, std::move(m));
+    b->set_message_handler([this](IpAddr src, PayloadRef m) {
+      b_received.emplace_back(src, m.to_buffer());
     });
   }
 };
 
 TEST(Rdp, SmallMessageRoundTrip) {
   RdpFixture fx;
-  fx.a->send(IpAddr::host(1), pattern_payload(1, 100));
+  fx.a->send(IpAddr::host(1), PayloadRef(pattern_payload(1, 100)));
   fx.sim.run();
   ASSERT_EQ(fx.b_received.size(), 1u);
   EXPECT_TRUE(check_pattern(1, fx.b_received[0].second));
@@ -356,7 +356,7 @@ TEST(Rdp, SmallMessageRoundTrip) {
 
 TEST(Rdp, EmptyMessageDelivered) {
   RdpFixture fx;
-  fx.a->send(IpAddr::host(1), {});
+  fx.a->send(IpAddr::host(1), PayloadRef{});
   fx.sim.run();
   ASSERT_EQ(fx.b_received.size(), 1u);
   EXPECT_TRUE(fx.b_received[0].second.empty());
@@ -364,7 +364,7 @@ TEST(Rdp, EmptyMessageDelivered) {
 
 TEST(Rdp, LargeMessageSegmentsAndReassembles) {
   RdpFixture fx;
-  fx.a->send(IpAddr::host(1), pattern_payload(2, 100'000));
+  fx.a->send(IpAddr::host(1), PayloadRef(pattern_payload(2, 100'000)));
   fx.sim.run();
   ASSERT_EQ(fx.b_received.size(), 1u);
   EXPECT_EQ(fx.b_received[0].second.size(), 100'000u);
@@ -378,7 +378,7 @@ TEST(Rdp, InOrderDeliveryOfManyMessages) {
   RdpFixture fx;
   for (int i = 0; i < 20; ++i) {
     fx.a->send(IpAddr::host(1),
-               pattern_payload(static_cast<std::uint64_t>(i), 500));
+               PayloadRef(pattern_payload(static_cast<std::uint64_t>(i), 500)));
   }
   fx.sim.run();
   ASSERT_EQ(fx.b_received.size(), 20u);
@@ -400,7 +400,7 @@ TEST(Rdp, RecoversFromDataLoss) {
     }
     return false;
   });
-  fx.a->send(IpAddr::host(1), pattern_payload(3, 5000));
+  fx.a->send(IpAddr::host(1), PayloadRef(pattern_payload(3, 5000)));
   fx.sim.run();
   ASSERT_EQ(fx.b_received.size(), 1u);
   EXPECT_TRUE(check_pattern(3, fx.b_received[0].second));
@@ -417,7 +417,7 @@ TEST(Rdp, RecoversFromAckLoss) {
     }
     return false;
   });
-  fx.a->send(IpAddr::host(1), pattern_payload(4, 800));
+  fx.a->send(IpAddr::host(1), PayloadRef(pattern_payload(4, 800)));
   fx.sim.run();
   ASSERT_EQ(fx.b_received.size(), 1u);
   // The retransmission triggers a duplicate at the receiver, which re-acks.
@@ -426,8 +426,8 @@ TEST(Rdp, RecoversFromAckLoss) {
 
 TEST(Rdp, BidirectionalTrafficKeepsStreamsSeparate) {
   RdpFixture fx;
-  fx.a->send(IpAddr::host(1), pattern_payload(5, 2000));
-  fx.b->send(IpAddr::host(0), pattern_payload(6, 2000));
+  fx.a->send(IpAddr::host(1), PayloadRef(pattern_payload(5, 2000)));
+  fx.b->send(IpAddr::host(0), PayloadRef(pattern_payload(6, 2000)));
   fx.sim.run();
   ASSERT_EQ(fx.a_received.size(), 1u);
   ASSERT_EQ(fx.b_received.size(), 1u);
@@ -444,7 +444,7 @@ TEST(Rdp, HeavyLossStillConverges) {
   });
   for (int i = 0; i < 5; ++i) {
     fx.a->send(IpAddr::host(1),
-               pattern_payload(static_cast<std::uint64_t>(i), 3000));
+               PayloadRef(pattern_payload(static_cast<std::uint64_t>(i), 3000)));
   }
   fx.sim.run();
   ASSERT_EQ(fx.b_received.size(), 5u);

@@ -366,7 +366,7 @@ TEST(Engine, SinkReceivesInternalTagTraffic) {
     const mpi::Comm comm = p.comm_world();
     if (p.rank() == 1) {
       p.engine().set_sink(comm.context(), mpi::kTagSeqNack,
-                          [&](mpi::Rank src, Buffer data) {
+                          [&](mpi::Rank src, PayloadRef data) {
                             sunk.emplace_back(src, data.size());
                           });
     }

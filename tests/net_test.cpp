@@ -17,7 +17,7 @@ Frame make_frame(MacAddr dst, std::size_t payload_bytes,
   Frame f;
   f.dst = dst;
   f.kind = kind;
-  f.payload.assign(payload_bytes, 0xCC);
+  f.payload = PayloadRef(Buffer(payload_bytes, 0xCC));
   return f;
 }
 

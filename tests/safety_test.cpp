@@ -243,7 +243,7 @@ TEST(HubPathology, ExcessiveCollisionsDropFrames) {
       for (int i = 1; i < 4; ++i) {
         net::Frame f;
         f.dst = net::MacAddr::host(0);
-        f.payload.assign(64, 0xEE);
+        f.payload = PayloadRef(Buffer(64, 0xEE));
         nics[static_cast<std::size_t>(i)]->send(std::move(f));
       }
     });
@@ -305,7 +305,7 @@ TEST(SlowReceiver, UnconsumedBroadcastsOverflowTheChannelBuffer) {
     auto& ch = p.mcast_channel(comm);
     for (int i = 0; i < 10 && p.rank() == 0; ++i) {
       Buffer framed = pattern_payload(static_cast<std::uint64_t>(i), 1400);
-      ch.send(std::move(framed), net::FrameKind::kData);
+      ch.send(PayloadRef(std::move(framed)), net::FrameKind::kData);
       p.self().delay(microseconds(200));
     }
     if (p.rank() == 1) {

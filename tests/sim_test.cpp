@@ -64,6 +64,56 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, RecycledSlotRejectsStaleHandle) {
+  // After an event fires (or is cancelled), its slot is recycled with a new
+  // generation: the old handle must not cancel the new occupant.
+  EventQueue q;
+  const EventId first = q.schedule(microseconds(1), [] {});
+  q.pop().fn();
+  bool second_fired = false;
+  const EventId second =
+      q.schedule(microseconds(2), [&] { second_fired = true; });
+  EXPECT_NE(first, second);      // same slot, new generation
+  EXPECT_FALSE(q.cancel(first)); // stale handle is dead
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueue, HeavyCancelChurnStaysConsistent) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int round = 0; round < 50; ++round) {
+    ids.clear();
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(q.schedule(microseconds(round * 100 + i),
+                               [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 100; i += 2) {
+      EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    }
+    while (!q.empty()) {
+      q.pop().fn();
+    }
+  }
+  EXPECT_EQ(fired, 50 * 50);
+  EXPECT_EQ(q.total_scheduled(), 50u * 100u);
+}
+
+TEST(EventQueue, LargeCallableTakesHeapPathAndStillRuns) {
+  // A capture bigger than EventFn's inline storage must still work (the
+  // wrapper falls back to a heap-held callable).
+  EventQueue q;
+  std::array<std::uint8_t, 512> big{};
+  big[0] = 42;
+  big[511] = 7;
+  int sum = 0;
+  q.schedule(microseconds(1), [big, &sum] { sum = big[0] + big[511]; });
+  q.pop().fn();
+  EXPECT_EQ(sum, 49);
+}
+
 // -------------------------------------------------------------- simulator
 
 TEST(Simulator, ClockAdvancesToEventTimes) {
