@@ -67,6 +67,7 @@ void flush_bench_json() {
        << ", \"sim_time_us\": " << r.sim_time_us
        << ", \"wall_time_ms\": " << r.wall_time_ms
        << ", \"events_scheduled\": " << r.events_scheduled
+       << ", \"handoffs\": " << r.handoffs
        << ", \"payload_allocs\": " << r.payload_allocs
        << ", \"payload_copies\": " << r.payload_copies << "}"
        << (i + 1 < state.records.size() ? "," : "") << "\n";
@@ -154,6 +155,7 @@ std::vector<Point> measure_bcast_series(const BcastSeries& series,
         .sim_time_us = points.back().median_us,
         .wall_time_ms = wall_ms,
         .events_scheduled = cluster.simulator().events_scheduled(),
+        .handoffs = cluster.simulator().handoffs(),
         .payload_allocs = payload_delta.buffer_allocs,
         .payload_copies = payload_delta.byte_copies,
     });
@@ -191,6 +193,7 @@ std::vector<Point> measure_barrier_series(cluster::NetworkType network,
         .sim_time_us = points.back().median_us,
         .wall_time_ms = wall_ms,
         .events_scheduled = cluster.simulator().events_scheduled(),
+        .handoffs = cluster.simulator().handoffs(),
         .payload_allocs = payload_delta.buffer_allocs,
         .payload_copies = payload_delta.byte_copies,
     });

@@ -41,6 +41,7 @@ struct BenchRecord {
   double sim_time_us = 0;            ///< median simulated latency
   double wall_time_ms = 0;           ///< host wall-clock for the whole point
   std::uint64_t events_scheduled = 0;
+  std::uint64_t handoffs = 0;        ///< scheduler->process control transfers
   std::uint64_t payload_allocs = 0;  ///< PayloadRef backing allocations
   std::uint64_t payload_copies = 0;  ///< explicit payload byte copies
 };

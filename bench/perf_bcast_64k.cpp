@@ -1,0 +1,82 @@
+// Scheduler-cost benchmark: the 9-rank 64 KiB switch broadcast that the
+// perf trajectory tracks across PRs (CHANGES.md).  Large fragmented
+// payloads make scheduler overhead — process handoffs and per-event heap
+// traffic — the dominant wall-clock cost, so this is the workload that
+// shows whether the fiber scheduler, delay coalescing and batched fan-out
+// actually pay.  Simulated medians must never move (the scheduler refactors
+// are semantics-preserving); wall time and handoffs must only go down.
+#include "bench_util.hpp"
+#include "common/bytes.hpp"
+#include "net/counters.hpp"
+
+#include <chrono>
+
+int main(int argc, char** argv) {
+  using namespace mcmpi;
+  using namespace mcmpi::bench;
+  const BenchOptions options = BenchOptions::parse(
+      argc, argv, "Scheduler cost — MPI_Bcast of 64 KiB, 9 processes, switch");
+
+  constexpr int kProcs = 9;
+  constexpr int kBytes = 64 * 1024;
+  const std::vector<std::pair<std::string, coll::BcastAlgo>> algos = {
+      {"mcast-linear", coll::BcastAlgo::kMcastLinear},
+      {"mcast-binary", coll::BcastAlgo::kMcastBinary},
+  };
+
+  Table table({"algorithm", "median us", "wall ms", "handoffs/coll",
+               "events/coll"});
+  for (const auto& [label, algo] : algos) {
+    cluster::ClusterConfig config;
+    config.num_procs = kProcs;
+    config.network = cluster::NetworkType::kSwitch;
+    config.seed = options.seed;
+    cluster::Cluster cluster(config);
+    cluster::ExperimentConfig exp;
+    exp.reps = options.reps;
+    const int total_reps = exp.warmup_reps + exp.reps;
+
+    const PayloadCounters payload_before = payload_counters();
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto result = cluster::measure_collective(
+        cluster, exp, [algo](mpi::Proc& p, int) {
+          Buffer data;
+          if (p.rank() == 0) {
+            data = pattern_payload(0xB0CA57, kBytes);
+          }
+          coll::bcast(p, p.comm_world(), data, 0, algo);
+        });
+    const auto wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    const PayloadCounters payload_delta =
+        payload_counters().since(payload_before);
+
+    // SchedCounters reaches benches through net/counters.hpp, next to the
+    // frame and payload counters it is reported alongside.
+    const net::SchedCounters& sched = cluster.simulator().sched_counters();
+    const std::uint64_t handoffs_per_coll =
+        sched.handoffs / static_cast<std::uint64_t>(total_reps);
+    table.add_row({label, Table::num(result.latencies_us.median()),
+                   Table::num(wall_ms),
+                   std::to_string(handoffs_per_coll),
+                   std::to_string(sched.events_executed /
+                                  static_cast<std::uint64_t>(total_reps))});
+    record_bench(BenchRecord{
+        .op = label + "/64KiB",
+        .network = "switch",
+        .ranks = kProcs,
+        .bytes = kBytes,
+        .sim_time_us = result.latencies_us.median(),
+        .wall_time_ms = wall_ms,
+        .events_scheduled = cluster.simulator().events_scheduled(),
+        .handoffs = cluster.simulator().handoffs(),
+        .payload_allocs = payload_delta.buffer_allocs,
+        .payload_copies = payload_delta.byte_copies,
+    });
+  }
+  print_table("Scheduler cost: 64 KiB MPI_Bcast, 9 procs, switch", table,
+              options);
+  return 0;
+}

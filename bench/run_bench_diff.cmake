@@ -1,0 +1,43 @@
+# CTest driver for the bench_diff perf gate: runs the quick scheduler bench
+# fresh, then diffs its BENCH_*.json against the committed baselines.
+#
+# Invoked as:
+#   cmake -DBENCH_EXES=<exe1;exe2> -DBENCH_ARGS=--reps=10 -DPYTHON=...
+#         -DDIFF_SCRIPT=... -DBASELINE_DIR=... -DWORK_DIR=...
+#         -P run_bench_diff.cmake
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(exe ${BENCH_EXES})
+  # Twice: the first run warms the page cache and allocator, the second
+  # overwrites BENCH_*.json with representative wall times.
+  foreach(pass RANGE 1)
+    execute_process(
+      COMMAND ${exe} ${BENCH_ARGS}
+      WORKING_DIRECTORY ${WORK_DIR}
+      RESULT_VARIABLE bench_rc
+      OUTPUT_QUIET)
+    if(NOT bench_rc EQUAL 0)
+      message(FATAL_ERROR "bench run failed (${exe}): rc=${bench_rc}")
+    endif()
+  endforeach()
+endforeach()
+
+# Wall baselines are taken on the reference machine (bench/baselines/
+# README.md); a slower host can widen the gate without losing the exact
+# deterministic checks (medians, event/handoff/copy counts).
+if(DEFINED ENV{MCMPI_BENCH_WALL_TOLERANCE})
+  set(wall_tolerance $ENV{MCMPI_BENCH_WALL_TOLERANCE})
+else()
+  set(wall_tolerance 0.10)
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${DIFF_SCRIPT}
+          --baseline ${BASELINE_DIR} --fresh ${WORK_DIR}
+          --wall-tolerance ${wall_tolerance}
+          --require BENCH_perf_bcast_64k.json
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "bench_diff reported a regression (rc=${diff_rc})")
+endif()

@@ -29,7 +29,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       config_.num_procs <= static_cast<int>(config_.hosts.size()),
       "more processes than hosts (one process per machine, as in the paper)");
 
-  sim_ = std::make_unique<sim::Simulator>(config_.seed);
+  sim_ = std::make_unique<sim::Simulator>(config_.seed, config_.sim_backend);
 
   if (config_.network == NetworkType::kHub) {
     network_ = std::make_unique<net::Hub>(*sim_, config_.hub);

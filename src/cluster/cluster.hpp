@@ -26,6 +26,10 @@ struct ClusterConfig {
   int num_procs = 4;
   NetworkType network = NetworkType::kHub;
   std::uint64_t seed = 1;
+  /// Process model for the simulator: fibers by default, threads as the
+  /// fallback/oracle (both produce bit-identical runs; see
+  /// docs/ARCHITECTURE.md).  Honors MCMPI_SIM_BACKEND unless overridden.
+  sim::ExecutionBackend sim_backend = sim::default_execution_backend();
   CostParams costs;
   net::Hub::Params hub;
   net::Switch::Params switch_params;

@@ -33,11 +33,16 @@ ExperimentResult measure_collective(
 
   cluster.world().run([&](mpi::Proc& p) {
     for (int r = 0; r < total_reps; ++r) {
-      p.self().delay_until(starts[static_cast<std::size_t>(r)]);
-      // Loosely synchronized entry: per-rank, per-rep random skew.
+      // Loosely synchronized entry: per-rank, per-rep random skew, fused
+      // into the start sleep (one wake-up per rank per rep, identical
+      // timing: nothing happens between start and start+skew).  The max
+      // keeps the always-sleep-the-skew semantics of the unfused two-step
+      // form when a slow rep overruns the next start.
       const auto skew_ns = static_cast<std::int64_t>(p.self().rng().below(
           static_cast<std::uint64_t>(config.max_skew.count()) + 1));
-      p.self().delay(SimTime{skew_ns});
+      p.self().delay_until(
+          std::max(p.self().now(), starts[static_cast<std::size_t>(r)]) +
+          SimTime{skew_ns});
       op(p, r);
       ends[static_cast<std::size_t>(r)][static_cast<std::size_t>(p.rank())] =
           p.self().now();

@@ -1,5 +1,7 @@
 #include "coll/mcast.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace mcmpi::coll {
@@ -39,42 +41,135 @@ McastHeader parse_header(ByteReader& r) {
 
 }  // namespace
 
+namespace {
+
+/// Aggregate scout gather: collects `expected` scouts on `comm`'s context
+/// with at most ONE wake-up, reproducing the cost chain of the original
+/// one-recv-at-a-time gather exactly.
+///
+/// Scouts are absorbed by an engine sink the moment they arrive; when the
+/// last one is in, the sequential-receive chain — each scout costs
+/// max(chain, its availability) + one receive overhead, in `order` (or
+/// arrival order when `order` is empty, the kAnySource root) — is priced in
+/// the notifier's context and the gathering rank resumes once, when the
+/// final charge has elapsed.  The per-host jitter draws happen in the same
+/// sequence as the sequential gather's, so the chain end is bit-identical;
+/// only the wake-ups in the middle disappear.
+void gather_scouts(Proc& p, const Comm& comm, std::size_t expected,
+                   const std::vector<mpi::Rank>& order) {
+  if (expected == 0) {
+    return;
+  }
+  const std::uint32_t context = comm.context();
+  mpi::Engine& engine = p.engine();
+  sim::Simulator& sim = p.self().simulator();
+
+  struct Arrival {
+    mpi::Rank src;
+    SimTime at;
+  };
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(expected);
+  sim::WaitQueue done;
+
+  engine.set_sink(context, mpi::kTagScout,
+                  [&arrivals, &done, &sim, expected](mpi::Rank src,
+                                                     PayloadRef) {
+                    arrivals.push_back({src, sim.now()});
+                    if (arrivals.size() == expected) {
+                      done.notify_one();
+                    }
+                  });
+  struct SinkGuard {
+    mpi::Engine& engine;
+    std::uint32_t context;
+    ~SinkGuard() { engine.clear_sink(context, mpi::kTagScout); }
+  } guard{engine, context};
+
+  // Scouts that beat this rank to the engine were available at entry, just
+  // as unexpected-queue matches were for the sequential gather.
+  for (mpi::Rank src : engine.drain_unexpected(context, mpi::kTagScout)) {
+    arrivals.push_back({src, sim.now()});
+  }
+
+  const auto complete = [&] { return arrivals.size() == expected; };
+  const auto chain_end = [&]() -> SimTime {
+    SimTime chain = kTimeZero;
+    const auto charge = [&](SimTime available) {
+      chain = std::max(chain, available) +
+              p.costs().recv_overhead(0, mpi::CostTier::kRaw);
+    };
+    if (order.empty()) {
+      for (const Arrival& a : arrivals) {
+        charge(a.at);
+      }
+    } else {
+      for (mpi::Rank src : order) {
+        const auto it =
+            std::find_if(arrivals.begin(), arrivals.end(),
+                         [src](const Arrival& a) { return a.src == src; });
+        MC_ASSERT_MSG(it != arrivals.end(), "scout from unexpected source");
+        charge(it->at);
+      }
+    }
+    return chain;
+  };
+
+  if (complete()) {
+    // Everything pre-arrived: the whole chain is consecutive overhead from
+    // here, one (usually coalesced) delay.
+    p.self().delay(chain_end() - sim.now());
+    return;
+  }
+  SimTime end = kTimeZero;
+  const bool absorbed =
+      sim::wait_for_charged(p.self(), done, complete, [&]() -> SimTime {
+        end = chain_end();
+        return end - sim.now();
+      });
+  if (!absorbed) {
+    p.self().delay_until(end);
+  }
+}
+
+}  // namespace
+
 void scout_gather_binary(Proc& p, const Comm& comm, int root) {
   const int size = comm.size();
   const int rank = comm.rank();
   const int rel = (rank - root + size) % size;
+  // Children are gathered in increasing-mask order (the consumption order
+  // of the original per-level receives), then the scout goes to the parent
+  // as this rank's last act — fire-and-forget, so the following
+  // data-receive park absorbs the send overhead.
+  std::vector<mpi::Rank> children;
   int mask = 1;
   while (mask < size) {
     if (rel & mask) {
-      const int parent = ((rel - mask) + root) % size;
-      p.send(comm, parent, mpi::kTagScout, {}, net::FrameKind::kControl,
-             mpi::CostTier::kRaw);
-      return;
+      break;
     }
     if (rel + mask < size) {
-      const int child = ((rel + mask) + root) % size;
-      (void)p.recv(comm, child, mpi::kTagScout, nullptr, mpi::CostTier::kRaw);
+      children.push_back(comm.world_rank_of(((rel + mask) + root) % size));
     }
     mask <<= 1;
   }
-  // Only the root reaches this point: all subtree scouts are in.
-  MC_ASSERT(rel == 0);
+  gather_scouts(p, comm, children.size(), children);
+  if (rel != 0) {
+    const int parent = ((rel - mask) + root) % size;
+    p.send_control_async(comm, parent, mpi::kTagScout);
+  }
 }
 
 void scout_gather_linear(Proc& p, const Comm& comm, int root) {
   const int size = comm.size();
   const int rank = comm.rank();
   if (rank != root) {
-    p.send(comm, root, mpi::kTagScout, {}, net::FrameKind::kControl,
-           mpi::CostTier::kRaw);
+    p.send_control_async(comm, root, mpi::kTagScout);
     return;
   }
   // "the root can only receive one message at a time" — N-1 sequential
-  // receives, in whichever order the scouts arrive.
-  for (int i = 0; i < size - 1; ++i) {
-    (void)p.recv(comm, mpi::kAnySource, mpi::kTagScout, nullptr,
-                 mpi::CostTier::kRaw);
-  }
+  // receive charges, in whichever order the scouts arrive.
+  gather_scouts(p, comm, static_cast<std::size_t>(size - 1), {});
 }
 
 void mcast_send_framed(Proc& p, const Comm& comm,
@@ -93,7 +188,20 @@ Buffer mcast_recv_framed(Proc& p, const Comm& comm, int root,
                          mpi::CostTier tier) {
   mpi::McastChannel& ch = p.mcast_channel(comm);
   for (;;) {
-    inet::UdpDatagram d = ch.socket().recv(p.self());
+    // Charged receive: when this rank parks for the datagram, the arrival
+    // prices the receive overhead (header peek decides — stale duplicates
+    // wake immediately and cost nothing) and the rank resumes once, at
+    // arrival + overhead, instead of waking only to sleep the charge.
+    auto [d, charged] = ch.socket().recv_charged(
+        p.self(), [&p, &ch, tier](const inet::UdpDatagram& dg) -> SimTime {
+          ByteReader peek(dg.data);
+          if (parse_header(peek).seq < ch.expected_seq()) {
+            return kTimeZero;  // stale duplicate: skipped, never charged
+          }
+          return p.costs().recv_overhead(
+              static_cast<std::int64_t>(dg.data.size() - peek.position()),
+              tier);
+        });
     ByteReader r(d.data);
     const McastHeader h = parse_header(r);
     if (h.seq < ch.expected_seq()) {
@@ -109,8 +217,10 @@ Buffer mcast_recv_framed(Proc& p, const Comm& comm, int root,
     // The datagram arrived zero-copy; this to_buffer() is the delivery copy
     // into the rank's private buffer at the API boundary.
     Buffer payload = d.data.slice(r.position()).to_buffer();
-    p.self().delay(p.costs().recv_overhead(
-        static_cast<std::int64_t>(payload.size()), tier));
+    if (!charged) {
+      p.self().delay(p.costs().recv_overhead(
+          static_cast<std::int64_t>(payload.size()), tier));
+    }
     ch.advance_seq();
     return payload;
   }

@@ -157,6 +157,19 @@ UdpDatagram UdpSocket::recv(sim::SimProcess& self) {
   return d;
 }
 
+UdpSocket::ChargedDatagram UdpSocket::recv_charged(
+    sim::SimProcess& self,
+    const std::function<SimTime(const UdpDatagram&)>& charge) {
+  MC_EXPECTS_MSG(!handler_, "recv_charged() on a handler-mode socket");
+  const bool absorbed = sim::wait_for_charged(
+      self, readable_, [this] { return !queue_.empty(); },
+      [this, &charge] { return charge(queue_.front()); });
+  ChargedDatagram out{std::move(queue_.front()), absorbed};
+  queue_.pop_front();
+  queued_bytes_ -= out.datagram.data.size();
+  return out;
+}
+
 std::optional<UdpDatagram> UdpSocket::recv_until(sim::SimProcess& self,
                                                  SimTime deadline) {
   MC_EXPECTS_MSG(!handler_, "recv_until() on a handler-mode socket");

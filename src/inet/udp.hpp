@@ -123,6 +123,21 @@ class UdpSocket {
   /// Blocking receive; parks the calling process until a datagram arrives.
   UdpDatagram recv(sim::SimProcess& self);
 
+  /// recv() whose wake-up absorbs a receive-side time charge.  When the
+  /// process parks, the arrival that wakes it prices the charge from the
+  /// queued datagram (`charge` runs in the notifier's context — read-only,
+  /// no throwing) and the process resumes that much later, consuming the
+  /// charge without a second handoff.  `charge_absorbed` reports whether
+  /// that happened; when false (datagram was already queued, or the hook
+  /// priced it at zero) the caller still owes the charge.
+  struct ChargedDatagram {
+    UdpDatagram datagram;
+    bool charge_absorbed = false;
+  };
+  ChargedDatagram recv_charged(
+      sim::SimProcess& self,
+      const std::function<SimTime(const UdpDatagram&)>& charge);
+
   /// Blocking receive with virtual-time deadline; nullopt on timeout.
   std::optional<UdpDatagram> recv_until(sim::SimProcess& self,
                                         SimTime deadline);

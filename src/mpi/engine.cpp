@@ -187,6 +187,23 @@ void Engine::clear_sink(std::uint32_t context, Tag tag) {
   sinks_.erase({context, tag});
 }
 
+std::vector<Rank> Engine::drain_unexpected(std::uint32_t context, Tag tag) {
+  MC_EXPECTS_MSG(tag <= kFirstInternalTag,
+                 "drain_unexpected is for internal tags only");
+  std::vector<Rank> sources;
+  for (auto it = unexpected_.begin(); it != unexpected_.end();) {
+    if (it->context == context && it->tag == tag &&
+        it->type == MsgType::kEager) {
+      sources.push_back(it->src_world);
+      ++stats_.matched_from_unexpected;
+      it = unexpected_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return sources;
+}
+
 void Engine::on_message(inet::IpAddr src, PayloadRef message) {
   ByteReader r(message);
   const auto type = static_cast<MsgType>(r.u8());

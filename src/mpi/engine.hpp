@@ -107,6 +107,12 @@ class Engine {
   void set_sink(std::uint32_t context, Tag tag, SinkHandler handler);
   void clear_sink(std::uint32_t context, Tag tag);
 
+  /// Removes every unexpected eager message carrying internal tag `tag` on
+  /// `context` and returns their sources in arrival order.  Lets a newly
+  /// installed sink absorb the backlog that arrived before it existed (the
+  /// scout gather: scouts that beat the gathering rank to the engine).
+  std::vector<Rank> drain_unexpected(std::uint32_t context, Tag tag);
+
   /// Non-destructive match against the unexpected queue (MPI_Iprobe): the
   /// Status of the first matching not-yet-received message, or nullopt.
   /// For rendezvous messages the count comes from the RTS length field.

@@ -49,6 +49,20 @@ std::shared_ptr<SendRequest> Proc::isend(const Comm& comm, int dst, Tag tag,
   return engine_->start_send(comm.info(), dst, tag, bytes, kind);
 }
 
+void Proc::send_control_async(const Comm& comm, int dst, Tag tag,
+                              net::FrameKind kind, CostTier tier) {
+  const SimTime overhead = costs_.send_overhead(0, tier);
+  // Emit from a timer event at now+overhead — exactly when a blocking
+  // send() would have emitted — without resuming this process in between.
+  Engine* engine = engine_.get();
+  self().simulator().schedule_after(
+      overhead, [engine, info = comm.info(), dst, tag, kind] {
+        const auto request = engine->start_send(info, dst, tag, {}, kind);
+        MC_ASSERT_MSG(request->complete(),
+                      "send_control_async requires eager completion");
+      });
+}
+
 std::shared_ptr<RecvRequest> Proc::irecv(const Comm& comm, int src, Tag tag) {
   return engine_->post_recv(comm.info(), src, tag);
 }
@@ -60,10 +74,19 @@ void Proc::wait(const std::shared_ptr<SendRequest>& request) {
 
 Buffer Proc::wait(const std::shared_ptr<RecvRequest>& request, Status* status,
                   CostTier tier) {
-  sim::wait_for(self(), request->wait_queue(),
-                [&] { return request->complete(); });
-  self().delay(costs_.recv_overhead(
-      static_cast<std::int64_t>(request->data().size()), tier));
+  // Charged wait: if this rank parks for the message, the completion that
+  // wakes it prices the receive overhead into the wake-up itself (one
+  // handoff).  If the message was already in, the charge is slept here.
+  const bool charged = sim::wait_for_charged(
+      self(), request->wait_queue(), [&] { return request->complete(); },
+      [&]() -> SimTime {
+        return costs_.recv_overhead(
+            static_cast<std::int64_t>(request->data().size()), tier);
+      });
+  if (!charged) {
+    self().delay(costs_.recv_overhead(
+        static_cast<std::int64_t>(request->data().size()), tier));
+  }
   if (status != nullptr) {
     *status = request->status();
   }

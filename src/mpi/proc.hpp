@@ -56,6 +56,17 @@ class Proc {
   Buffer recv(const Comm& comm, int src, Tag tag, Status* status = nullptr,
               CostTier tier = CostTier::kMpi);
 
+  /// Fire-and-forget empty control send (bare sendto semantics, e.g. a
+  /// scout): charges the send overhead and emits once it has elapsed,
+  /// WITHOUT waking the caller in between — the caller's next blocking
+  /// operation absorbs the interval.  Equivalent to send() of zero bytes
+  /// whenever (a) the message takes the eager path (empty always does) and
+  /// (b) the caller's next simulation-visible action is a blocking call —
+  /// both asserted/true for the scout protocols that use this.
+  void send_control_async(const Comm& comm, int dst, Tag tag,
+                          net::FrameKind kind = net::FrameKind::kControl,
+                          CostTier tier = CostTier::kRaw);
+
   /// Nonblocking variants; complete with wait().
   std::shared_ptr<SendRequest> isend(
       const Comm& comm, int dst, Tag tag, std::span<const std::uint8_t> bytes,

@@ -10,6 +10,7 @@
 
 #include "common/bytes.hpp"
 #include "net/frame.hpp"
+#include "sim/sched_counters.hpp"
 
 namespace mcmpi::net {
 
@@ -20,6 +21,13 @@ namespace mcmpi::net {
 /// must show zero per-port payload allocations.
 using mcmpi::PayloadCounters;
 using mcmpi::payload_counters;
+
+/// Scheduler-cost counters (handoffs, coalesced delays, batched fan-out
+/// callbacks), re-exported the same way.  Per-Simulator, not global: read
+/// them via Simulator::sched_counters().  BENCH_<name>.json records handoffs
+/// next to events and payload copies so scheduling cost is tracked across
+/// PRs too.
+using mcmpi::sim::SchedCounters;
 
 struct NetCounters {
   // Frames transmitted by host NICs (one per transmission attempt that

@@ -80,11 +80,16 @@ void Hub::finish_transmission() {
   transmitter_ = nullptr;
   medium_ = MediumState::kIdle;
 
-  // Deliver to every other station after the repeater latency.  The frame is
-  // captured by value: the medium may already carry the next frame when the
-  // delivery callback runs.  The capture is cheap — Frame's header/payload
-  // are ref-counted views, and the lambda fits the event queue's inline
-  // storage, so repeating a frame to N stations costs no payload copies.
+  // Deliver to every other station after the repeater latency.  The
+  // repeater reaches everyone simultaneously, so this is already the
+  // batched same-tick form Simulator::schedule_batch_at exists for — one
+  // event, one heap entry, all deliveries back to back (the switch, whose
+  // per-port queues forced one event per egress port, needed the explicit
+  // batch API; see Switch::fan_out).  The frame is captured by value: the
+  // medium may already carry the next frame when the delivery callback
+  // runs.  The capture is cheap — Frame's header/payload are ref-counted
+  // views, and the lambda fits the event queue's inline storage, so
+  // repeating a frame to N stations costs no payload copies.
   sim_.schedule_after(params_.repeater_latency,
                       [this, frame = std::move(frame), sender = &sender] {
                         for (auto& s : stations_) {

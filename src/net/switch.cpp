@@ -64,37 +64,66 @@ void Switch::uplink_done(Port& port) {
 // share the sender's single payload allocation.
 void Switch::forward(Frame frame, std::size_t ingress) {
   const MacAddr dst = frame.dst;
-  if (dst.is_broadcast()) {
-    for (auto& p : ports_) {
-      if (p->index != ingress) {
-        enqueue_egress(*p, frame);
+  if (!dst.is_broadcast() && !dst.is_multicast()) {
+    const auto learned = fdb_.find(dst);
+    if (learned != fdb_.end()) {
+      if (learned->second != ingress) {
+        enqueue_egress(*ports_[learned->second], std::move(frame));
       }
+      // else: dst lives on the ingress segment, nothing to do.
+      return;
+    }
+    // Unknown unicast: flood like a broadcast.
+  }
+  // Broadcast and unknown unicast go to every other port; multicast only to
+  // ports whose host joined the group (IGMP snooping).
+  std::vector<Port*>& targets = fan_out_scratch_;
+  targets.clear();
+  for (auto& p : ports_) {
+    if (p->index == ingress) {
+      continue;
+    }
+    if (dst.is_multicast() && !p->nic->accepts_multicast(dst)) {
+      continue;
+    }
+    targets.push_back(p.get());
+  }
+  fan_out(frame, targets);
+}
+
+void Switch::fan_out(const Frame& frame, const std::vector<Port*>& targets) {
+  if (targets.size() <= 1) {
+    if (!targets.empty()) {
+      enqueue_egress(*targets.front(), frame);
     }
     return;
   }
-  if (dst.is_multicast()) {
-    // IGMP snooping: copy only to ports whose host joined the group.
-    for (auto& p : ports_) {
-      if (p->index != ingress && p->nic->accepts_multicast(dst)) {
-        enqueue_egress(*p, frame);
-      }
+  // Enqueue a (ref-counted) copy per port.  Every port that was idle starts
+  // serializing this frame now and finishes after the same wire time, so all
+  // their completions share one timestamp — schedule them as one event
+  // instead of one heap entry per port.
+  std::vector<sim::EventFn> batch;
+  batch.reserve(targets.size());
+  for (Port* port : targets) {
+    if (port->egress.size() >= params_.max_queue_frames) {
+      ++counters_.queue_drops;
+      continue;
     }
+    const bool was_idle = !port->egress_busy;
+    port->egress.push_back(frame);
+    if (was_idle) {
+      port->egress_busy = true;
+      batch.push_back([this, port] { egress_done(*port); });
+    }
+    // A busy port finishes its current frame first; its completion event is
+    // already scheduled and will chain to this frame via egress_done().
+  }
+  if (batch.empty()) {
     return;
   }
-  const auto learned = fdb_.find(dst);
-  if (learned == fdb_.end()) {
-    // Unknown unicast: flood.
-    for (auto& p : ports_) {
-      if (p->index != ingress) {
-        enqueue_egress(*p, frame);
-      }
-    }
-    return;
-  }
-  if (learned->second != ingress) {
-    enqueue_egress(*ports_[learned->second], std::move(frame));
-  }
-  // dst lives on the ingress segment: nothing to do.
+  const SimTime duration =
+      frame.wire_time(params_.bits_per_second) + params_.port_latency;
+  sim_.schedule_batch_after(duration, std::move(batch));
 }
 
 void Switch::enqueue_egress(Port& port, Frame frame) {

@@ -66,6 +66,10 @@ class Switch : public Network {
   void start_uplink(Port& port);
   void uplink_done(Port& port);
   void forward(Frame frame, std::size_t ingress);
+  /// Copies `frame` into every target port's egress queue; ports that were
+  /// idle all finish serializing it simultaneously, so their completions are
+  /// scheduled as ONE batch event (tail-drops and busy ports excepted).
+  void fan_out(const Frame& frame, const std::vector<Port*>& targets);
   void enqueue_egress(Port& port, Frame frame);
   void start_egress(Port& port);
   void egress_done(Port& port);
@@ -74,6 +78,7 @@ class Switch : public Network {
   Params params_;
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<MacAddr, std::size_t> fdb_;
+  std::vector<Port*> fan_out_scratch_;  // reused per forward() call
 };
 
 }  // namespace mcmpi::net

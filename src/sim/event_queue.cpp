@@ -74,4 +74,18 @@ EventQueue::Fired EventQueue::pop() {
   return fired;
 }
 
+std::optional<EventQueue::Fired> EventQueue::pop_if_at(SimTime t) {
+  skim();
+  if (heap_.empty() || heap_.top().time != t) {
+    return std::nullopt;
+  }
+  const Entry top = heap_.top();
+  heap_.pop();
+  Slot& slot = slots_[top.slot];
+  Fired fired{top.time, std::move(slot.fn)};
+  release_slot(top.slot);
+  --live_count_;
+  return fired;
+}
+
 }  // namespace mcmpi::sim

@@ -22,6 +22,7 @@
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <type_traits>
 #include <utility>
@@ -171,6 +172,13 @@ class EventQueue {
 
   /// Removes and returns the earliest live event.  Precondition: !empty().
   Fired pop();
+
+  /// Same-tick drain step: pops the earliest live event only if it fires at
+  /// exactly `t`, else leaves the queue untouched and returns nullopt.  The
+  /// simulator uses this to fire every event of one timestamp back to back
+  /// — entries stay in the heap until their individual pop, so a callback
+  /// fired earlier in the tick can still cancel() a later one.
+  std::optional<Fired> pop_if_at(SimTime t);
 
   /// Total events ever scheduled (monotone; used by the micro benches).
   std::uint64_t total_scheduled() const { return next_seq_ - 1; }

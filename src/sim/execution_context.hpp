@@ -1,0 +1,61 @@
+#pragma once
+/// \file execution_context.hpp
+/// Suspendable execution contexts — the mechanism under SimProcess.
+///
+/// A simulated process needs a private call stack it can park in the middle
+/// of (blocking MPI code must read straight-line), plus a way to hand
+/// control to and from the scheduler.  Two interchangeable backends provide
+/// that:
+///
+///   * kFiber  — stackful user-level fibers (ucontext): block/resume is an
+///     in-process `swapcontext`, no kernel involvement.  The default.
+///   * kThread — one OS thread per context, handed control through a pair of
+///     binary semaphores.  The original implementation, kept as a fallback
+///     and as a determinism oracle: both backends must produce bit-identical
+///     simulations (tests/sim_test.cpp asserts this), and the thread backend
+///     is the one to run under sanitizers that dislike stack switching (see
+///     docs/ARCHITECTURE.md).
+///
+/// Control discipline (both backends): exactly one side is ever runnable.
+/// resume() and suspend() are a synchronous rendezvous, so the scheduler and
+/// its processes never race even in the thread backend.
+
+#include <functional>
+#include <memory>
+
+namespace mcmpi::sim {
+
+enum class ExecutionBackend { kFiber, kThread };
+
+const char* to_string(ExecutionBackend backend);
+
+/// Process-wide default backend: the MCMPI_SIM_BACKEND environment variable
+/// ("fiber" or "thread"); kFiber when unset or unrecognised.  Read once and
+/// cached.
+ExecutionBackend default_execution_backend();
+
+class ExecutionContext {
+ public:
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+  virtual ~ExecutionContext() = default;
+
+  /// Transfers control into the context (called from the scheduler side).
+  /// Returns when the context calls suspend() or its entry function returns.
+  /// Must not be called again once the entry function has returned.
+  virtual void resume() = 0;
+
+  /// Transfers control back to the last resumer (called from inside the
+  /// context).  Returns when the context is resumed again.
+  virtual void suspend() = 0;
+
+  /// Creates a parked context.  `entry` starts on the first resume() and
+  /// must not let exceptions escape (SimProcess::run_body catches them all).
+  static std::unique_ptr<ExecutionContext> create(ExecutionBackend backend,
+                                                  std::function<void()> entry);
+
+ protected:
+  ExecutionContext() = default;
+};
+
+}  // namespace mcmpi::sim

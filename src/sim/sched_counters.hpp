@@ -1,0 +1,32 @@
+#pragma once
+/// \file sched_counters.hpp
+/// Scheduler-level instrumentation, kept in a dependency-free header so the
+/// network layer (net/counters.hpp) and the benches can re-export it next to
+/// the frame and payload counters without pulling in the whole simulator.
+
+#include <cstdint>
+
+namespace mcmpi::sim {
+
+/// Per-Simulator counters for the costs the fiber scheduler exists to
+/// minimise.  BENCH_<name>.json records handoffs alongside events and
+/// payload copies, so the scheduling cost of a collective is tracked across
+/// PRs the same way its copy cost is.
+struct SchedCounters {
+  /// Scheduler -> process control transfers (one per SimProcess resume).
+  /// Fibers make each handoff cheap; coalescing makes them rare.
+  std::uint64_t handoffs = 0;
+
+  /// delay() calls that advanced the clock in place — no timer event, no
+  /// block/resume pair — because nothing else could run in the window.
+  std::uint64_t coalesced_delays = 0;
+
+  /// Callbacks folded into a previously scheduled batch event instead of
+  /// costing their own heap entry (schedule_batch_at fan-outs).
+  std::uint64_t batched_callbacks = 0;
+
+  /// Events fired (a batch of N callbacks counts once — it is one event).
+  std::uint64_t events_executed = 0;
+};
+
+}  // namespace mcmpi::sim

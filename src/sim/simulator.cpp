@@ -16,17 +16,13 @@ SimProcess::SimProcess(Simulator& sim, std::size_t index, std::string name,
       name_(std::move(name)),
       body_(std::move(body)),
       rng_(rng) {
-  thread_ = std::thread([this] { thread_main(); });
+  context_ =
+      ExecutionContext::create(sim.backend_, [this] { run_body(); });
 }
 
-SimProcess::~SimProcess() {
-  if (thread_.joinable()) {
-    thread_.join();
-  }
-}
+SimProcess::~SimProcess() = default;
 
-void SimProcess::thread_main() {
-  resume_.acquire();  // parked until the scheduler first runs us
+void SimProcess::run_body() {
   if (!cancelled_) {
     try {
       body_(*this);
@@ -37,12 +33,12 @@ void SimProcess::thread_main() {
     }
   }
   state_ = State::kFinished;
-  sim_.sched_sem_.release();
+  sim_.on_process_finished();
+  // Returning hands control back to the scheduler for good.
 }
 
 void SimProcess::block() {
-  sim_.sched_sem_.release();
-  resume_.acquire();
+  context_->suspend();
   if (cancelled_) {
     throw detail::ProcessKilled{};
   }
@@ -53,6 +49,16 @@ SimTime SimProcess::now() const { return sim_.now(); }
 void SimProcess::delay(SimTime d) {
   MC_EXPECTS(d >= kTimeZero);
   if (d == kTimeZero) {
+    return;
+  }
+  // Coalesced fast path: with no other process ready and no event strictly
+  // inside [now, now+d], nothing could run in the window — advance the
+  // clock in place.  An event at exactly now+d must still win the tick
+  // (its seq predates the timer this delay would have scheduled), hence
+  // the strict comparison.
+  if (sim_.ready_.empty() && sim_.events_.next_time() > sim_.now_ + d) {
+    sim_.now_ += d;
+    ++sim_.sched_.coalesced_delays;
     return;
   }
   state_ = State::kBlocked;
@@ -68,18 +74,18 @@ void SimProcess::yield() {
 
 // ----------------------------------------------------------------- Simulator
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(std::uint64_t seed, ExecutionBackend backend)
+    : rng_(seed), backend_(backend) {}
 
 Simulator::~Simulator() {
   // Wake every unfinished process so it unwinds (ProcessKilled) while the
-  // objects its stack references are still alive.  Each wake hands control
-  // to exactly one thread, preserving the one-runnable-thread invariant.
+  // objects its stack references are still alive.  Each resume hands control
+  // to exactly one context, preserving the one-runnable invariant.
   for (auto& owned : processes_) {
     SimProcess& p = *owned;
     if (p.state_ != SimProcess::State::kFinished) {
       p.cancelled_ = true;
-      p.resume_.release();
-      sched_sem_.acquire();
+      p.context_->resume();
       MC_ASSERT(p.state_ == SimProcess::State::kFinished);
     }
   }
@@ -95,6 +101,25 @@ EventId Simulator::schedule_after(SimTime delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+EventId Simulator::schedule_batch_at(SimTime t, std::vector<EventFn> batch) {
+  MC_EXPECTS_MSG(!batch.empty(), "empty event batch");
+  if (batch.size() == 1) {
+    return schedule_at(t, std::move(batch.front()));
+  }
+  sched_.batched_callbacks += batch.size() - 1;
+  return schedule_at(t, [batch = std::move(batch)]() mutable {
+    for (EventFn& fn : batch) {
+      fn();
+    }
+  });
+}
+
+EventId Simulator::schedule_batch_after(SimTime delay,
+                                        std::vector<EventFn> batch) {
+  MC_EXPECTS(delay >= kTimeZero);
+  return schedule_batch_at(now_ + delay, std::move(batch));
+}
+
 bool Simulator::cancel(EventId id) { return events_.cancel(id); }
 
 SimProcess& Simulator::spawn(std::string name,
@@ -107,6 +132,7 @@ SimProcess& Simulator::spawn(std::string name,
   SimProcess& p = *processes_.back();
   p.state_ = SimProcess::State::kReady;
   ready_.push_back(&p);
+  ++live_processes_;
   return p;
 }
 
@@ -116,13 +142,18 @@ void Simulator::make_ready(SimProcess& p) {
   ready_.push_back(&p);
 }
 
+void Simulator::on_process_finished() {
+  MC_ASSERT(live_processes_ > 0);
+  --live_processes_;
+}
+
 void Simulator::run_process(SimProcess& p) {
   MC_ASSERT(current_ == nullptr);
   MC_ASSERT(p.state_ == SimProcess::State::kReady);
   current_ = &p;
   p.state_ = SimProcess::State::kRunning;
-  p.resume_.release();
-  sched_sem_.acquire();
+  ++sched_.handoffs;
+  p.context_->resume();
   current_ = nullptr;
   if (p.state_ == SimProcess::State::kFinished && p.error_) {
     std::exception_ptr e = p.error_;
@@ -138,15 +169,23 @@ bool Simulator::step() {
     run_process(*p);
     return true;
   }
-  if (!events_.empty()) {
-    EventQueue::Fired fired = events_.pop();
-    MC_ASSERT(fired.time >= now_);
-    now_ = fired.time;
-    ++events_executed_;
-    fired.fn();
-    return true;
+  const SimTime t = events_.next_time();
+  if (t == kTimeInfinity) {
+    return false;
   }
-  return false;
+  MC_ASSERT(t >= now_);
+  now_ = t;
+  // Batched same-tick drain: fire every event of this timestamp back to
+  // back, pausing whenever a callback makes a process ready so the FIFO
+  // process interleave is exactly what per-event stepping produced.
+  while (auto fired = events_.pop_if_at(t)) {
+    ++sched_.events_executed;
+    fired->fn();
+    if (!ready_.empty()) {
+      break;
+    }
+  }
+  return true;
 }
 
 void Simulator::run() {
@@ -167,30 +206,20 @@ void Simulator::run_until_processes_done() {
   MC_EXPECTS_MSG(!running_, "Simulator::run is not reentrant");
   running_ = true;
   try {
-    while (live_processes() > 0 && step()) {
+    while (live_processes_ > 0 && step()) {
     }
   } catch (...) {
     running_ = false;
     throw;
   }
   running_ = false;
-  if (live_processes() > 0) {
+  if (live_processes_ > 0) {
     check_deadlock();
   }
 }
 
-std::size_t Simulator::live_processes() const {
-  std::size_t n = 0;
-  for (const auto& p : processes_) {
-    if (p->state_ != SimProcess::State::kFinished) {
-      ++n;
-    }
-  }
-  return n;
-}
-
 void Simulator::check_deadlock() const {
-  if (live_processes() == 0) {
+  if (live_processes_ == 0) {
     return;
   }
   std::ostringstream os;

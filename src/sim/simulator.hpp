@@ -3,29 +3,48 @@
 /// The discrete-event simulator and its cooperative process model.
 ///
 /// Design: SPMD rank code must read like ordinary blocking MPI code, so each
-/// simulated process runs on a dedicated OS thread — but *exactly one* thread
-/// (a process or the scheduler) is ever runnable, handed off through binary
-/// semaphores.  Execution is therefore deterministic and data-race-free by
-/// construction: the handoff gives sequenced-before across threads, and the
-/// ready queue and event queue impose a total order.
+/// simulated process runs on its own ExecutionContext — by default a
+/// stackful fiber inside the simulator's address space, so a block/resume is
+/// an in-process context switch; optionally (MCMPI_SIM_BACKEND=thread, or a
+/// constructor argument) a dedicated OS thread handed off through binary
+/// semaphores, kept as a fallback and as a determinism oracle.  In both
+/// backends *exactly one* context (a process or the scheduler) is ever
+/// runnable: execution is deterministic and data-race-free by construction,
+/// and the ready queue plus the event queue impose a total order.  The two
+/// backends produce bit-identical simulations.
 ///
 /// The scheduler loop:
 ///   1. while processes are ready, run them in FIFO order;
-///   2. otherwise pop the earliest event, advance the clock, fire it;
+///   2. otherwise advance the clock to the earliest event time and fire the
+///      events of that tick back to back (pausing whenever a callback makes
+///      a process ready, so the FIFO interleave is preserved);
 ///   3. when neither exists: done (or deadlock if processes are still alive).
+///
+/// Scheduling-cost fast paths (see SchedCounters for the receipts):
+///   * delay() advances the clock in place — no timer event, no handoff —
+///     when no other process is ready and no event falls inside the window;
+///     nothing could have run in the meantime anyway.
+///   * schedule_batch_at() folds N same-tick callbacks (a switch fanning a
+///     frame to N egress ports) into one heap entry and one event slot.
+///
+/// Determinism guarantees (unchanged from the thread-per-rank design, and
+/// guarded by tests): FIFO ready order, per-process RNG streams forked from
+/// the simulator seed, DeadlockError naming every blocked process, exception
+/// propagation out of process bodies, and ProcessKilled unwind of
+/// still-parked processes at teardown.
 
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <semaphore>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/execution_context.hpp"
+#include "sim/sched_counters.hpp"
 
 namespace mcmpi::sim {
 
@@ -45,8 +64,9 @@ namespace detail {
 struct ProcessKilled {};
 }  // namespace detail
 
-/// A simulated process.  The body runs on its own thread and interacts with
-/// virtual time only through this handle (delay / WaitQueue::wait / yield).
+/// A simulated process.  The body runs on its own execution context (fiber
+/// or thread) and interacts with virtual time only through this handle
+/// (delay / WaitQueue::wait / yield).
 class SimProcess {
  public:
   SimProcess(const SimProcess&) = delete;
@@ -64,7 +84,9 @@ class SimProcess {
   SimTime now() const;
 
   /// Advances virtual time by `d` (models compute / software overhead).
-  /// Other processes and events run in the meantime.
+  /// Other processes and events run in the meantime.  When nothing else
+  /// could run — no ready process, no event inside the window — the clock
+  /// advances in place and adjacent charges coalesce with no handoff at all.
   void delay(SimTime d);
 
   /// Sleeps until absolute virtual time `t` (no-op if already past).
@@ -89,7 +111,9 @@ class SimProcess {
   SimProcess(Simulator& sim, std::size_t index, std::string name,
              std::function<void(SimProcess&)> body, Rng rng);
 
-  void thread_main();
+  /// Entry point on the execution context: runs the body, catches teardown
+  /// unwinds and stray exceptions, marks the process finished.
+  void run_body();
   /// Hands control back to the scheduler; returns when rescheduled.
   void block();
 
@@ -102,27 +126,38 @@ class SimProcess {
   State state_ = State::kNew;
   bool cancelled_ = false;
   std::exception_ptr error_;
-  std::binary_semaphore resume_{0};
   WaitQueue* waiting_on_ = nullptr;  // set while parked in a WaitQueue
   bool timed_out_ = false;           // result channel for wait_until
-  std::thread thread_;
+  /// While parked via WaitQueue::wait_charged: the notifier-side hook that
+  /// prices this process's wake-up (points into the parked stack frame).
+  const std::function<SimTime()>* wake_charge_ = nullptr;
+  std::unique_ptr<ExecutionContext> context_;
 };
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1);
+  explicit Simulator(std::uint64_t seed = 1,
+                     ExecutionBackend backend = default_execution_backend());
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
+  ExecutionBackend backend() const { return backend_; }
 
   /// Schedules a callback at absolute virtual time `t` (>= now()).  Small
   /// callables are stored inline in the event queue (no allocation).
   EventId schedule_at(SimTime t, EventFn fn);
   /// Schedules a callback `delay` after now().
   EventId schedule_after(SimTime delay, EventFn fn);
+
+  /// Schedules `batch` to run consecutively, in order, as ONE event at time
+  /// `t` — one heap entry and one slot for a whole fan-out.  Cancelling the
+  /// returned id cancels the entire batch.
+  EventId schedule_batch_at(SimTime t, std::vector<EventFn> batch);
+  EventId schedule_batch_after(SimTime delay, std::vector<EventFn> batch);
+
   bool cancel(EventId id);
 
   /// Creates a process; it starts running when run() is called (processes
@@ -138,11 +173,19 @@ class Simulator {
   /// allowed to remain (they are discarded by the destructor).
   void run_until_processes_done();
 
-  /// Number of spawned processes that have not finished.
-  std::size_t live_processes() const;
+  /// Number of spawned processes that have not finished.  O(1): maintained
+  /// on spawn/finish (this sits in the hot deadlock-check loop).
+  std::size_t live_processes() const { return live_processes_; }
+
+  /// Scheduler-cost instrumentation (handoffs, coalesced delays, batched
+  /// callbacks); exported into BENCH_<name>.json by the benches.
+  const SchedCounters& sched_counters() const { return sched_; }
+
+  /// Scheduler -> process control transfers so far (micro-bench shorthand).
+  std::uint64_t handoffs() const { return sched_.handoffs; }
 
   /// Total events executed so far (micro-bench instrumentation).
-  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t events_executed() const { return sched_.events_executed; }
 
   /// Total events ever scheduled, including later-cancelled ones (the
   /// scheduler-load figure the bench JSON records).
@@ -157,16 +200,18 @@ class Simulator {
   void run_process(SimProcess& p);
   /// One scheduler step; returns false when no work remains.
   bool step();
+  void on_process_finished();
   void check_deadlock() const;
 
   SimTime now_ = kTimeZero;
   Rng rng_;
+  ExecutionBackend backend_;
   EventQueue events_;
   std::deque<SimProcess*> ready_;
   std::vector<std::unique_ptr<SimProcess>> processes_;
-  std::binary_semaphore sched_sem_{0};
   SimProcess* current_ = nullptr;
-  std::uint64_t events_executed_ = 0;
+  std::size_t live_processes_ = 0;
+  SchedCounters sched_;
   bool running_ = false;
 };
 

@@ -20,6 +20,17 @@ void WaitQueue::wait(SimProcess& self) {
   self.waiting_on_ = nullptr;
 }
 
+void WaitQueue::wait_charged(SimProcess& self, const WakeCharge& charge) {
+  self.wake_charge_ = &charge;  // points into the caller's parked frame
+  try {
+    wait(self);
+  } catch (...) {
+    self.wake_charge_ = nullptr;
+    throw;
+  }
+  self.wake_charge_ = nullptr;
+}
+
 bool WaitQueue::wait_until(SimProcess& self, SimTime deadline) {
   if (deadline == kTimeInfinity) {
     wait(self);
@@ -60,6 +71,17 @@ void WaitQueue::notify_one() {
   }
   SimProcess* p = waiters_.front();
   waiters_.pop_front();
+  if (p->wake_charge_ != nullptr) {
+    const SimTime lag = (*p->wake_charge_)();
+    if (lag > kTimeZero) {
+      // Charged wake: resume the process `lag` later in one step.  It stays
+      // kBlocked until the timer fires; teardown still unwinds it cleanly
+      // (the destructor never runs pending events).
+      Simulator& sim = p->simulator();
+      sim.schedule_after(lag, [p] { p->simulator().make_ready(*p); });
+      return;
+    }
+  }
   p->simulator().make_ready(*p);
 }
 

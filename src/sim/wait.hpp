@@ -12,6 +12,7 @@
 /// deadlock-free receives with timeout.
 
 #include <deque>
+#include <functional>
 
 #include "common/time.hpp"
 #include "sim/simulator.hpp"
@@ -26,6 +27,20 @@ class WaitQueue {
 
   /// Parks the calling process until notified.
   void wait(SimProcess& self);
+
+  /// Computes the virtual-time charge a woken process owes before it may
+  /// continue (e.g. the receive overhead of the datagram that woke it).
+  /// Runs in the *notifier's* context, so it must only read state and must
+  /// not throw.  Returning kTimeZero means "wake immediately" (ordinary
+  /// notify semantics).
+  using WakeCharge = std::function<SimTime()>;
+
+  /// Parks like wait(), but folds a post-wake time charge into the wake-up
+  /// itself: when notified, the process is resumed `charge()` later instead
+  /// of waking now only to sleep the charge — one handoff instead of two.
+  /// The process behaves as if blocked for the whole interval; everything
+  /// it would have done in between must be free of simulation side effects.
+  void wait_charged(SimProcess& self, const WakeCharge& charge);
 
   /// Parks until notified or until virtual time reaches `deadline`.
   /// Returns true if notified, false on timeout.
@@ -55,6 +70,30 @@ void wait_for(SimProcess& self, WaitQueue& queue, Pred&& pred) {
   while (!pred()) {
     queue.wait(self);
   }
+}
+
+/// wait_for with a charged wake (see WaitQueue::wait_charged): if the
+/// process parks and is then notified with the predicate true, `charge()`
+/// is folded into the wake-up.  Returns true when the charge was absorbed
+/// that way; false when the predicate was already true (or a wake found it
+/// true without pricing it), in which case the caller still owes the
+/// charge and must delay() it itself.
+template <typename Pred>
+bool wait_for_charged(SimProcess& self, WaitQueue& queue, Pred&& pred,
+                      const WaitQueue::WakeCharge& charge) {
+  bool absorbed = false;
+  const WaitQueue::WakeCharge priced = [&]() -> SimTime {
+    if (!pred()) {
+      return kTimeZero;  // spurious notify: wake now, re-park
+    }
+    const SimTime lag = charge();
+    absorbed = lag > kTimeZero;
+    return lag;
+  };
+  while (!pred()) {
+    queue.wait_charged(self, priced);
+  }
+  return absorbed;
 }
 
 /// Deadline variant; returns false if the deadline passed with the predicate

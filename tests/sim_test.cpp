@@ -181,8 +181,11 @@ TEST(Simulator, ExceptionInProcessPropagates) {
 }
 
 TEST(Simulator, DeadlockIsDetectedAndNamed) {
-  Simulator sim;
+  // Declared before the simulator: teardown unwinds the parked process,
+  // which must find the queue alive to deregister itself (the same
+  // destruction-order rule cluster.hpp documents).
   WaitQueue never;
+  Simulator sim;
   sim.spawn("stuck", [&](SimProcess& self) { never.wait(self); });
   try {
     sim.run();
@@ -320,6 +323,224 @@ TEST(WaitQueue, PredicateHelperLoops) {
   });
   sim.run();
   EXPECT_EQ(observed, 3);
+}
+
+// ----------------------------------------------- backend-parameterized
+// Scheduler edge cases that must behave identically on the fiber and the
+// thread execution backends (the thread backend is the determinism oracle
+// and the sanitizer fallback — see docs/ARCHITECTURE.md).
+
+class BackendTest : public ::testing::TestWithParam<ExecutionBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest,
+                         ::testing::Values(ExecutionBackend::kFiber,
+                                           ExecutionBackend::kThread),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// A timeout timer scheduled before the notify event fires first at the same
+// tick: the timeout must win, and the later notify must find nobody.
+TEST_P(BackendTest, WaitUntilTimeoutRacingNotifyTimerFirst) {
+  Simulator sim(1, GetParam());
+  WaitQueue q;
+  bool notified = true;
+  SimTime woke_at{};
+  // The waiter parks first, so its deadline timer holds the earlier seq.
+  sim.spawn("waiter", [&](SimProcess& self) {
+    notified = q.wait_until(self, microseconds(100));
+    woke_at = self.now();
+  });
+  sim.spawn("notifier", [&](SimProcess& self) {
+    self.delay_until(microseconds(100));  // same tick as the deadline
+    q.notify_one();                       // nobody left: timeout already won
+  });
+  sim.run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(woke_at, microseconds(100));
+  EXPECT_TRUE(q.empty());
+}
+
+// An event scheduled before the process ever parks holds the earlier seq:
+// at the same tick the notify now beats the timeout.
+TEST_P(BackendTest, WaitUntilTimeoutRacingNotifyNotifyFirst) {
+  Simulator sim(1, GetParam());
+  WaitQueue q;
+  bool notified = false;
+  SimTime woke_at{};
+  sim.schedule_at(microseconds(100), [&] { q.notify_one(); });
+  sim.spawn("waiter", [&](SimProcess& self) {
+    notified = q.wait_until(self, microseconds(100));
+    woke_at = self.now();
+  });
+  sim.run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(woke_at, microseconds(100));
+}
+
+TEST_P(BackendTest, DeadlockMessageNamesEveryBlockedProcess) {
+  WaitQueue q;  // before the simulator: outlives the parked processes
+  Simulator sim(1, GetParam());
+  sim.spawn("alpha", [&](SimProcess& self) { q.wait(self); });
+  sim.spawn("beta", [&](SimProcess& self) { self.delay(microseconds(5)); });
+  sim.spawn("gamma", [&](SimProcess& self) { q.wait(self); });
+  try {
+    sim.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("simulation deadlock at t="), std::string::npos);
+    EXPECT_NE(what.find("blocked: alpha gamma"), std::string::npos)
+        << what;
+    EXPECT_EQ(what.find("beta"), std::string::npos)
+        << "finished process must not be listed: " << what;
+  }
+}
+
+namespace {
+struct RankFailure : std::runtime_error {
+  RankFailure(int rank, std::string detail)
+      : std::runtime_error(std::move(detail)), rank(rank) {}
+  int rank;
+};
+}  // namespace
+
+// The exact exception type and its payload must cross the context boundary.
+TEST_P(BackendTest, ExceptionTypeAndPayloadPropagateOutOfContext) {
+  Simulator sim(1, GetParam());
+  sim.spawn("ok", [](SimProcess& self) { self.delay(microseconds(1)); });
+  sim.spawn("thrower", [](SimProcess& self) {
+    self.delay(microseconds(2));
+    throw RankFailure(7, "rank 7 exploded");
+  });
+  try {
+    sim.run();
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& e) {
+    EXPECT_EQ(e.rank, 7);
+    EXPECT_STREQ(e.what(), "rank 7 exploded");
+  }
+}
+
+// Teardown with processes in every parked flavour: a run() abandoned by an
+// exception leaves one process parked in wait(), one parked in wait_until()
+// with its deadline timer still pending, and one spawned-but-never-started.
+// Destruction must unwind the parked stacks (RAII runs via ProcessKilled),
+// leave the wait queue empty, and never run the unstarted body.
+TEST_P(BackendTest, TeardownUnwindsEveryParkedFlavour) {
+  int unwound = 0;
+  bool never_started_ran = false;
+  struct UnwindProbe {
+    int& count;
+    ~UnwindProbe() { ++count; }
+  };
+  WaitQueue q;
+  {
+    Simulator sim(1, GetParam());
+    sim.spawn("plain-wait", [&](SimProcess& self) {
+      UnwindProbe probe{unwound};
+      q.wait(self);
+    });
+    sim.spawn("deadline-wait", [&](SimProcess& self) {
+      UnwindProbe probe{unwound};
+      (void)q.wait_until(self, seconds(100));
+    });
+    sim.spawn("thrower", [](SimProcess& self) {
+      self.delay(microseconds(1));
+      throw std::runtime_error("abandon run");
+    });
+    EXPECT_THROW(sim.run(), std::runtime_error);
+    sim.spawn("never-started", [&](SimProcess&) {
+      never_started_ran = true;
+    });
+    // Simulator destroyed with two parked processes (one holding a live
+    // deadline timer) and one unstarted process.
+  }
+  EXPECT_EQ(unwound, 2) << "every parked stack must unwind its locals";
+  EXPECT_FALSE(never_started_ran);
+  EXPECT_TRUE(q.empty()) << "unwind must remove all waiter entries";
+}
+
+// Charged wakes (WaitQueue::wait_charged) fold the post-wake charge into
+// the wake-up; the result must be identical to wake-then-delay.
+TEST_P(BackendTest, ChargedWakeResumesAtNotifyPlusCharge) {
+  Simulator sim(1, GetParam());
+  WaitQueue q;
+  SimTime woke_at{};
+  sim.spawn("consumer", [&](SimProcess& self) {
+    const WaitQueue::WakeCharge charge = [] { return microseconds(75); };
+    q.wait_charged(self, charge);
+    woke_at = self.now();
+  });
+  sim.spawn("producer", [&](SimProcess& self) {
+    self.delay(microseconds(25));
+    q.notify_one();
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, microseconds(100));
+  EXPECT_EQ(sim.sched_counters().handoffs, 3u)
+      << "consumer start, producer start, consumer charged wake";
+}
+
+// The in-place delay fast path must not change timing, only handoffs.
+TEST_P(BackendTest, CoalescedDelaysKeepExactTiming) {
+  Simulator sim(1, GetParam());
+  std::vector<std::int64_t> trace;
+  sim.spawn("solo", [&](SimProcess& self) {
+    for (int i = 0; i < 5; ++i) {
+      self.delay(microseconds(10));  // nothing else runnable: coalesced
+      trace.push_back(self.now().count());
+    }
+  });
+  sim.run();
+  EXPECT_EQ(trace, (std::vector<std::int64_t>{10'000, 20'000, 30'000,
+                                              40'000, 50'000}));
+  EXPECT_EQ(sim.sched_counters().coalesced_delays, 5u);
+  EXPECT_EQ(sim.sched_counters().handoffs, 1u) << "only the initial start";
+}
+
+// One batch event fires its callbacks in order, as a single event.
+TEST_P(BackendTest, BatchEventRunsCallbacksInOrderAsOneEvent) {
+  Simulator sim(1, GetParam());
+  std::vector<int> order;
+  std::vector<EventFn> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back([&order, i] { order.push_back(i); });
+  }
+  const EventId id = sim.schedule_batch_at(microseconds(5), std::move(batch));
+  EXPECT_NE(id, kInvalidEvent);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.events_executed(), 1u);
+  EXPECT_EQ(sim.sched_counters().batched_callbacks, 3u);
+}
+
+// The two backends must produce bit-identical histories (the thread backend
+// is the oracle for the fiber fast paths).
+TEST(BackendEquivalence, FiberAndThreadTracesAreBitIdentical) {
+  auto run_once = [](ExecutionBackend backend) {
+    Simulator sim(99, backend);
+    std::vector<std::int64_t> history;
+    WaitQueue q;
+    for (int i = 0; i < 4; ++i) {
+      sim.spawn("p" + std::to_string(i), [&, i](SimProcess& self) {
+        for (int j = 0; j < 20; ++j) {
+          self.delay(
+              SimTime{static_cast<std::int64_t>(self.rng().below(3000)) + 1});
+          if (j % 3 == i % 3) {
+            q.notify_one();
+          } else if (j % 5 == 0) {
+            (void)q.wait_until(self, self.now() + microseconds(2));
+          }
+          history.push_back(self.now().count() * 10 + i);
+        }
+      });
+    }
+    sim.run();
+    return history;
+  };
+  EXPECT_EQ(run_once(ExecutionBackend::kFiber),
+            run_once(ExecutionBackend::kThread));
 }
 
 // Determinism: two identical simulations produce identical event history.

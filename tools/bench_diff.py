@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff freshly emitted BENCH_*.json against committed
+baselines.
+
+Every bench binary dumps BENCH_<name>.json (op, ranks, bytes, simulated
+median, host wall time, events, handoffs, payload alloc/copy counts).  This
+script compares a fresh run against the baselines committed under
+bench/baselines/ and fails on:
+
+  * any simulated-median change        (the simulation is deterministic; a
+                                        changed median is a semantics change,
+                                        not a perf regression)
+  * any payload alloc/copy regression  (the zero-copy pipeline is structural:
+                                        counts may only go down)
+  * any events/handoffs regression     (scheduler load is deterministic too)
+  * > --wall-tolerance aggregate wall-time regression per bench file
+                                       (wall time is noisy per point, so the
+                                        gate is on the file-level sum)
+
+Improvements are reported and do NOT fail; refresh the baselines in the same
+PR that makes them (see bench/baselines/README.md).
+
+Usage:
+  tools/bench_diff.py --baseline bench/baselines --fresh <dir> [options]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        records = json.load(f)
+    by_key = {}
+    for r in records:
+        key = (r.get("op"), r.get("network"), r.get("ranks"), r.get("bytes"))
+        # Last record wins for duplicate keys (benches append per point).
+        by_key[key] = r
+    return by_key
+
+
+def fmt_key(key):
+    op, network, ranks, nbytes = key
+    return f"{op} [{network}, {ranks} ranks, {nbytes} B]"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory with committed BENCH_*.json baselines")
+    parser.add_argument("--fresh", required=True,
+                        help="directory with freshly emitted BENCH_*.json")
+    parser.add_argument("--wall-tolerance", type=float, default=0.10,
+                        help="allowed fractional aggregate wall-time growth "
+                             "per bench file (default 0.10 = 10%%)")
+    parser.add_argument("--require", action="append", default=[],
+                        help="bench file name that must exist in the fresh "
+                             "dir (e.g. BENCH_perf_bcast_64k.json); may be "
+                             "repeated")
+    args = parser.parse_args()
+
+    baseline_files = sorted(f for f in os.listdir(args.baseline)
+                            if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baseline_files:
+        print(f"bench_diff: no baselines under {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    improvements = []
+    compared_files = 0
+
+    for name in args.require:
+        if not os.path.exists(os.path.join(args.fresh, name)):
+            failures.append(f"{name}: required fresh output missing")
+
+    for name in baseline_files:
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            # Only the benches the CTest target runs emit fresh output;
+            # other baselines are skipped (they gate full manual sweeps).
+            continue
+        compared_files += 1
+        base = load_records(os.path.join(args.baseline, name))
+        fresh = load_records(fresh_path)
+
+        base_wall = 0.0
+        fresh_wall = 0.0
+        for key, b in base.items():
+            f = fresh.get(key)
+            if f is None:
+                failures.append(f"{name}: {fmt_key(key)} missing from fresh run")
+                continue
+            base_wall += b["wall_time_ms"]
+            fresh_wall += f["wall_time_ms"]
+
+            if f["sim_time_us"] != b["sim_time_us"]:
+                failures.append(
+                    f"{name}: {fmt_key(key)} simulated median changed "
+                    f"{b['sim_time_us']} -> {f['sim_time_us']} us "
+                    f"(determinism break)")
+            for counter in ("payload_allocs", "payload_copies",
+                            "events_scheduled", "handoffs"):
+                if counter not in b or counter not in f:
+                    continue
+                if f[counter] > b[counter]:
+                    failures.append(
+                        f"{name}: {fmt_key(key)} {counter} regressed "
+                        f"{b[counter]} -> {f[counter]}")
+                elif f[counter] < b[counter]:
+                    improvements.append(
+                        f"{name}: {fmt_key(key)} {counter} improved "
+                        f"{b[counter]} -> {f[counter]}")
+
+        if base_wall > 0 and fresh_wall > base_wall * (1.0 + args.wall_tolerance):
+            failures.append(
+                f"{name}: aggregate wall time regressed "
+                f"{base_wall:.1f} -> {fresh_wall:.1f} ms "
+                f"(> {args.wall_tolerance:.0%} tolerance)")
+        elif base_wall > 0:
+            delta = (fresh_wall - base_wall) / base_wall
+            print(f"bench_diff: {name} wall {base_wall:.1f} -> "
+                  f"{fresh_wall:.1f} ms ({delta:+.1%})")
+
+    if compared_files == 0:
+        print("bench_diff: no fresh BENCH_*.json matched any baseline",
+              file=sys.stderr)
+        return 2
+    for line in improvements:
+        print(f"bench_diff: IMPROVED {line}")
+    for line in failures:
+        print(f"bench_diff: FAIL {line}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"bench_diff: OK ({compared_files} bench file(s) within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
