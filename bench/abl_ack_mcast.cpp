@@ -28,7 +28,7 @@ struct AblationResult {
   std::uint64_t retransmissions = 0;
 };
 
-AblationResult run_case(coll::BcastAlgo algo, int procs, int payload,
+AblationResult run_case(const std::string& algo, int procs, int payload,
                         SimTime stagger, int reps, std::uint64_t seed) {
   cluster::ClusterConfig config;
   config.num_procs = procs;
@@ -42,7 +42,7 @@ AblationResult run_case(coll::BcastAlgo algo, int procs, int payload,
   std::uint64_t retransmissions = 0;
   const auto result = cluster::measure_collective(
       cluster, exp,
-      [algo, payload, stagger, procs, &retransmissions](mpi::Proc& p, int) {
+      [&algo, payload, stagger, procs, &retransmissions](mpi::Proc& p, int) {
         if (p.rank() == procs - 1 && stagger > kTimeZero) {
           p.self().delay(stagger);  // the laggard
         }
@@ -50,8 +50,8 @@ AblationResult run_case(coll::BcastAlgo algo, int procs, int payload,
         if (p.rank() == 0) {
           data = pattern_payload(1, static_cast<std::size_t>(payload));
         }
-        coll::bcast(p, p.comm_world(), data, 0, algo);
-        if (algo == coll::BcastAlgo::kAckMcast && p.rank() == 0) {
+        p.comm_world().coll().bcast(data, 0, algo);
+        if (algo == "ack-mcast" && p.rank() == 0) {
           retransmissions =
               coll::ack_mcast_stats(p, p.comm_world()).retransmissions;
         }
@@ -85,21 +85,26 @@ int main(int argc, char** argv) {
   options.csv = csv;
 
   constexpr int kProcs = 6;
-  const std::vector<coll::BcastAlgo> algos = {
-      coll::BcastAlgo::kMcastBinary, coll::BcastAlgo::kMcastLinear,
-      coll::BcastAlgo::kAckMcast, coll::BcastAlgo::kSequencer};
+  // Every registered multicast-based broadcast (the reliability-strategy
+  // design space); the point-to-point baselines are outside this ablation.
+  std::vector<std::string> algos;
+  for (const std::string& name : registry_bcast_algos()) {
+    if (name != "mpich" && name != "scatter-allgather") {
+      algos.push_back(name);
+    }
+  }
 
   // (a) synchronized broadcasts.
   Table sync_table({"algorithm", "bytes", "median us", "data frames/rep"});
   std::map<std::string, double> sync_median_at_2k;
-  for (coll::BcastAlgo algo : algos) {
+  for (const std::string& algo : algos) {
     for (int payload : {0, 2000, 5000}) {
       const auto r =
           run_case(algo, kProcs, payload, kTimeZero, reps, seed);
       if (payload == 2000) {
-        sync_median_at_2k[coll::to_string(algo)] = r.median_us;
+        sync_median_at_2k[algo] = r.median_us;
       }
-      sync_table.add_row({coll::to_string(algo), std::to_string(payload),
+      sync_table.add_row({algo, std::to_string(payload),
                           Table::num(r.median_us),
                           Table::num(static_cast<double>(r.data_frames) /
                                      reps)});
@@ -112,15 +117,14 @@ int main(int argc, char** argv) {
   Table late_table(
       {"algorithm", "median us", "data frames/rep", "ack retransmissions"});
   std::map<std::string, AblationResult> late;
-  for (coll::BcastAlgo algo : algos) {
+  for (const std::string& algo : algos) {
     const auto r = run_case(algo, kProcs, 2000, microseconds(stagger_us),
                             reps, seed);
-    late[coll::to_string(algo)] = r;
-    late_table.add_row({coll::to_string(algo), Table::num(r.median_us),
+    late[algo] = r;
+    late_table.add_row({algo, Table::num(r.median_us),
                         Table::num(static_cast<double>(r.data_frames) / reps),
-                        algo == coll::BcastAlgo::kAckMcast
-                            ? std::to_string(r.retransmissions)
-                            : "-"});
+                        algo == "ack-mcast" ? std::to_string(r.retransmissions)
+                                            : "-"});
   }
   print_table("Ablation (b): same broadcast, one receiver " +
                   std::to_string(stagger_us) + " us late",

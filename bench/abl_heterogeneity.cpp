@@ -12,7 +12,8 @@ using namespace mcmpi;
 using namespace mcmpi::bench;
 
 double run_mix(const std::vector<cluster::HostSpec>& hosts, int procs,
-               coll::BcastAlgo algo, int payload, const BenchOptions& options) {
+               const std::string& algo, int payload,
+               const BenchOptions& options) {
   cluster::ClusterConfig config;
   config.num_procs = procs;
   config.network = cluster::NetworkType::kSwitch;
@@ -22,12 +23,12 @@ double run_mix(const std::vector<cluster::HostSpec>& hosts, int procs,
   cluster::ExperimentConfig exp;
   exp.reps = options.reps;
   const auto result = cluster::measure_collective(
-      cluster, exp, [algo, payload](mpi::Proc& p, int) {
+      cluster, exp, [&algo, payload](mpi::Proc& p, int) {
         Buffer data;
         if (p.rank() == 0) {
           data = pattern_payload(1, static_cast<std::size_t>(payload));
         }
-        coll::bcast(p, p.comm_world(), data, 0, algo);
+        p.comm_world().coll().bcast(data, 0, algo);
       });
   return result.latencies_us.median();
 }
@@ -55,8 +56,7 @@ int main(int argc, char** argv) {
                "all-450MHz us"});
   bool ordered_everywhere = true;
   for (int payload : {0, 2000, 5000}) {
-    for (coll::BcastAlgo algo :
-         {coll::BcastAlgo::kMpichBinomial, coll::BcastAlgo::kMcastBinary}) {
+    for (const std::string& algo : {"mpich", "mcast-binary"}) {
       const double fast =
           run_mix(uniform_hosts(500.0, kProcs), kProcs, algo, payload, options);
       const double mixed = run_mix(eagle, kProcs, algo, payload, options);
@@ -64,8 +64,8 @@ int main(int argc, char** argv) {
           run_mix(uniform_hosts(450.0, kProcs), kProcs, algo, payload, options);
       ordered_everywhere =
           ordered_everywhere && fast <= mixed && mixed <= slow;
-      table.add_row({std::to_string(payload), coll::to_string(algo),
-                     Table::num(fast), Table::num(mixed), Table::num(slow)});
+      table.add_row({std::to_string(payload), algo, Table::num(fast),
+                     Table::num(mixed), Table::num(slow)});
     }
   }
   print_table("Broadcast latency vs host mix (9 procs, switch)", table,

@@ -3,8 +3,6 @@
 // answered long-message broadcast with van de Geijn's scatter + ring
 // allgather (each byte crosses ~2x instead of N-1 times).  How close does
 // the best point-to-point algorithm get to one IP multicast?
-#include "coll/scatter_allgather.hpp"
-
 #include "bench_util.hpp"
 #include "common/bytes.hpp"
 
@@ -18,7 +16,7 @@ struct LongBcastResult {
   std::uint64_t data_frames = 0;
 };
 
-LongBcastResult run(int procs, int payload, int which,
+LongBcastResult run(int procs, int payload, const std::string& algo,
                     const BenchOptions& options) {
   cluster::ClusterConfig config;
   config.num_procs = procs;
@@ -28,24 +26,12 @@ LongBcastResult run(int procs, int payload, int which,
   cluster::ExperimentConfig exp;
   exp.reps = options.reps;
   const auto result = cluster::measure_collective(
-      cluster, exp, [payload, which](mpi::Proc& p, int) {
+      cluster, exp, [payload, &algo](mpi::Proc& p, int) {
         Buffer data;
         if (p.rank() == 0) {
           data = pattern_payload(1, static_cast<std::size_t>(payload));
         }
-        switch (which) {
-          case 0:
-            coll::bcast(p, p.comm_world(), data, 0,
-                        coll::BcastAlgo::kMpichBinomial);
-            break;
-          case 1:
-            coll::bcast_scatter_allgather(p, p.comm_world(), data, 0);
-            break;
-          default:
-            coll::bcast(p, p.comm_world(), data, 0,
-                        coll::BcastAlgo::kMcastBinary);
-            break;
-        }
+        p.comm_world().coll().bcast(data, 0, algo);
       });
   return LongBcastResult{result.latencies_us.median(),
                          result.net_delta.host_tx_data_frames /
@@ -72,9 +58,9 @@ int main(int argc, char** argv) {
   std::uint64_t mcast_frames = 0;
   for (int procs : {4, 9}) {
     for (int payload : {5000, 20000, 60000}) {
-      const auto tree = run(procs, payload, 0, options);
-      const auto vdg = run(procs, payload, 1, options);
-      const auto mcast = run(procs, payload, 2, options);
+      const auto tree = run(procs, payload, "mpich", options);
+      const auto vdg = run(procs, payload, "scatter-allgather", options);
+      const auto mcast = run(procs, payload, "mcast-binary", options);
       if (procs == 9 && payload == 60000) {
         tree9 = tree.median_us;
         vdg9 = vdg.median_us;

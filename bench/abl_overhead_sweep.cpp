@@ -31,7 +31,7 @@ cluster::CostParams scaled_costs(double scale) {
   return base;
 }
 
-std::vector<Point> sweep(double scale, coll::BcastAlgo algo,
+std::vector<Point> sweep(double scale, const std::string& algo,
                          const std::vector<int>& sizes,
                          const BenchOptions& options) {
   std::vector<Point> points;
@@ -45,12 +45,12 @@ std::vector<Point> sweep(double scale, coll::BcastAlgo algo,
     cluster::ExperimentConfig exp;
     exp.reps = options.reps;
     const auto result = cluster::measure_collective(
-        cluster, exp, [algo, size](mpi::Proc& p, int) {
+        cluster, exp, [&algo, size](mpi::Proc& p, int) {
           Buffer data;
           if (p.rank() == 0) {
             data = pattern_payload(1, static_cast<std::size_t>(size));
           }
-          coll::bcast(p, p.comm_world(), data, 0, algo);
+          p.comm_world().coll().bcast(data, 0, algo);
         });
     points.push_back(Point{result.latencies_us.median(),
                            result.latencies_us.min(),
@@ -75,10 +75,8 @@ int main(int argc, char** argv) {
                "crossover bytes"});
   std::vector<int> crossovers;
   for (double scale : scales) {
-    const auto mpich =
-        sweep(scale, coll::BcastAlgo::kMpichBinomial, sizes, options);
-    const auto mcast =
-        sweep(scale, coll::BcastAlgo::kMcastBinary, sizes, options);
+    const auto mpich = sweep(scale, "mpich", sizes, options);
+    const auto mcast = sweep(scale, "mcast-binary", sizes, options);
     const int cross = crossover_size(sizes, mcast, mpich);
     crossovers.push_back(cross);
     table.add_row({Table::num(scale), Table::num(mpich.front().median_us),

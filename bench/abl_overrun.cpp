@@ -9,9 +9,6 @@
 // receiver's socket buffer).  Sweeping the receive buffer size maps exactly
 // where blast starts dropping blocks, while lockstep stays lossless at any
 // buffer size, at a quantifiable latency premium.
-#include "coll/mcast_allgather.hpp"
-#include "coll/mpich.hpp"
-
 #include "bench_util.hpp"
 #include "common/bytes.hpp"
 
@@ -25,7 +22,7 @@ struct OverrunPoint {
   std::uint64_t drops = 0;    // UDP buffer-full drops over the run
 };
 
-OverrunPoint run_allgather(coll::AllgatherMode mode, int procs, int block,
+OverrunPoint run_allgather(const std::string& algo, int procs, int block,
                            std::size_t rcvbuf, int reps, std::uint64_t seed) {
   cluster::ClusterConfig config;
   config.num_procs = procs;
@@ -39,13 +36,17 @@ OverrunPoint run_allgather(coll::AllgatherMode mode, int procs, int block,
 
   std::vector<std::int64_t> missing(static_cast<std::size_t>(procs), 0);
   const auto result = cluster::measure_collective(
-      cluster, exp, [mode, block, &missing](mpi::Proc& p, int) {
+      cluster, exp, [&algo, block, &missing](mpi::Proc& p, int) {
         const Buffer mine = pattern_payload(
             static_cast<std::uint64_t>(p.rank()),
             static_cast<std::size_t>(block));
-        const auto outcome = coll::allgather_mcast(p, p.comm_world(), mine,
-                                                   mode, milliseconds(10));
-        missing[static_cast<std::size_t>(p.rank())] += outcome.missing;
+        const auto blocks = p.comm_world().coll().allgather(mine, algo);
+        // A lossy pacing leaves blocks it never received empty.
+        for (const Buffer& b : blocks) {
+          if (b.empty()) {
+            ++missing[static_cast<std::size_t>(p.rank())];
+          }
+        }
       });
 
   std::int64_t worst = 0;
@@ -89,12 +90,10 @@ int main(int argc, char** argv) {
   double lockstep_large_us = 0;
 
   for (std::size_t rcvbuf : buffers) {
-    const auto blast =
-        run_allgather(coll::AllgatherMode::kBlast, kProcs, kBlock, rcvbuf,
-                      options.reps, options.seed);
-    const auto lockstep =
-        run_allgather(coll::AllgatherMode::kLockstep, kProcs, kBlock, rcvbuf,
-                      options.reps, options.seed);
+    const auto blast = run_allgather("mcast-blast", kProcs, kBlock, rcvbuf,
+                                     options.reps, options.seed);
+    const auto lockstep = run_allgather("mcast-lockstep", kProcs, kBlock,
+                                        rcvbuf, options.reps, options.seed);
     lockstep_always_clean =
         lockstep_always_clean && lockstep.missing_per_op == 0;
     if (rcvbuf <= 2048 && blast.missing_per_op > 0) {

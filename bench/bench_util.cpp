@@ -118,6 +118,17 @@ Point to_point(const Sample& sample) {
 }
 }  // namespace
 
+std::vector<std::string> registry_bcast_algos(const std::string& substring) {
+  std::vector<std::string> out;
+  for (const std::string& name :
+       coll::Registry::instance().names(coll::CollOp::kBcast)) {
+    if (substring.empty() || name.find(substring) != std::string::npos) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
 std::vector<Point> measure_bcast_series(const BcastSeries& series,
                                         const std::vector<int>& sizes,
                                         const BenchOptions& options) {
@@ -138,7 +149,7 @@ std::vector<Point> measure_bcast_series(const BcastSeries& series,
           if (p.rank() == 0) {
             data = pattern_payload(0xB0CA57, static_cast<std::size_t>(size));
           }
-          coll::bcast(p, p.comm_world(), data, 0, series.algo);
+          p.comm_world().coll().bcast(data, 0, series.algo);
         });
     const auto wall_ms =
         std::chrono::duration<double, std::milli>(
@@ -164,7 +175,7 @@ std::vector<Point> measure_bcast_series(const BcastSeries& series,
 }
 
 std::vector<Point> measure_barrier_series(cluster::NetworkType network,
-                                          coll::BarrierAlgo algo,
+                                          const std::string& algo,
                                           const std::vector<int>& proc_counts,
                                           const BenchOptions& options) {
   std::vector<Point> points;
@@ -176,8 +187,9 @@ std::vector<Point> measure_barrier_series(cluster::NetworkType network,
     const PayloadCounters payload_before = payload_counters();
     const auto wall_start = std::chrono::steady_clock::now();
     const auto result = cluster::measure_collective(
-        cluster, exp,
-        [algo](mpi::Proc& p, int) { coll::barrier(p, p.comm_world(), algo); });
+        cluster, exp, [&algo](mpi::Proc& p, int) {
+          p.comm_world().coll().barrier(algo);
+        });
     const auto wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - wall_start)
@@ -186,7 +198,7 @@ std::vector<Point> measure_barrier_series(cluster::NetworkType network,
         payload_counters().since(payload_before);
     points.push_back(to_point(result.latencies_us));
     record_bench(BenchRecord{
-        .op = "barrier/" + coll::to_string(algo),
+        .op = "barrier/" + algo,
         .network = cluster::to_string(network),
         .ranks = procs,
         .bytes = -1,

@@ -15,20 +15,27 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "common/flags.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
 namespace mcmpi::bench {
 
-/// One plotted line: an algorithm on a network with a process count.
+/// One plotted line: an algorithm (registry name, coll/registry.hpp) on a
+/// network with a process count.
 struct BcastSeries {
   std::string label;
   cluster::NetworkType network;
   int procs;
-  coll::BcastAlgo algo;
+  std::string algo;
 };
+
+/// Registered bcast algorithm names, optionally filtered to those
+/// containing `substring` — how sweep benches enumerate the registry
+/// instead of hardcoding algorithm lists.
+std::vector<std::string> registry_bcast_algos(
+    const std::string& substring = "");
 
 /// One machine-readable measurement, dumped to BENCH_<binary>.json at exit
 /// so the perf trajectory (simulated latency, host wall time, event and
@@ -78,9 +85,9 @@ std::vector<Point> measure_bcast_series(const BcastSeries& series,
                                         const std::vector<int>& sizes,
                                         const BenchOptions& options);
 
-/// Measures a barrier algorithm across process counts.
+/// Measures a barrier algorithm (registry name) across process counts.
 std::vector<Point> measure_barrier_series(cluster::NetworkType network,
-                                          coll::BarrierAlgo algo,
+                                          const std::string& algo,
                                           const std::vector<int>& proc_counts,
                                           const BenchOptions& options);
 

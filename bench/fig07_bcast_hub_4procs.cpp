@@ -15,12 +15,9 @@ int main(int argc, char** argv) {
 
   const std::vector<int> sizes = paper_sizes();
   const std::vector<BcastSeries> series = {
-      {"mpich/hub", cluster::NetworkType::kHub, 4,
-       coll::BcastAlgo::kMpichBinomial},
-      {"mcast-linear/hub", cluster::NetworkType::kHub, 4,
-       coll::BcastAlgo::kMcastLinear},
-      {"mcast-binary/hub", cluster::NetworkType::kHub, 4,
-       coll::BcastAlgo::kMcastBinary},
+      {"mpich/hub", cluster::NetworkType::kHub, 4, "mpich"},
+      {"mcast-linear/hub", cluster::NetworkType::kHub, 4, "mcast-linear"},
+      {"mcast-binary/hub", cluster::NetworkType::kHub, 4, "mcast-binary"},
   };
 
   std::vector<std::vector<Point>> points;

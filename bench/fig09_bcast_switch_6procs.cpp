@@ -13,12 +13,11 @@ int main(int argc, char** argv) {
 
   const std::vector<int> sizes = paper_sizes();
   const std::vector<BcastSeries> series = {
-      {"mpich/switch", cluster::NetworkType::kSwitch, 6,
-       coll::BcastAlgo::kMpichBinomial},
+      {"mpich/switch", cluster::NetworkType::kSwitch, 6, "mpich"},
       {"mcast-linear/switch", cluster::NetworkType::kSwitch, 6,
-       coll::BcastAlgo::kMcastLinear},
+       "mcast-linear"},
       {"mcast-binary/switch", cluster::NetworkType::kSwitch, 6,
-       coll::BcastAlgo::kMcastBinary},
+       "mcast-binary"},
   };
 
   std::vector<std::vector<Point>> points;

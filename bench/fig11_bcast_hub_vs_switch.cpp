@@ -17,14 +17,11 @@ int main(int argc, char** argv) {
 
   const std::vector<int> sizes = paper_sizes();
   const std::vector<BcastSeries> series = {
-      {"mpich/hub", cluster::NetworkType::kHub, 4,
-       coll::BcastAlgo::kMpichBinomial},
-      {"mpich/switch", cluster::NetworkType::kSwitch, 4,
-       coll::BcastAlgo::kMpichBinomial},
+      {"mpich/hub", cluster::NetworkType::kHub, 4, "mpich"},
+      {"mpich/switch", cluster::NetworkType::kSwitch, 4, "mpich"},
       {"mcast-binary/switch", cluster::NetworkType::kSwitch, 4,
-       coll::BcastAlgo::kMcastBinary},
-      {"mcast-binary/hub", cluster::NetworkType::kHub, 4,
-       coll::BcastAlgo::kMcastBinary},
+       "mcast-binary"},
+      {"mcast-binary/hub", cluster::NetworkType::kHub, 4, "mcast-binary"},
   };
 
   std::vector<std::vector<Point>> points;

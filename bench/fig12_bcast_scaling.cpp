@@ -19,13 +19,11 @@ int main(int argc, char** argv) {
   std::vector<BcastSeries> series;
   for (int procs : {3, 6, 9}) {
     series.push_back({"mpich(" + std::to_string(procs) + "p)",
-                      cluster::NetworkType::kSwitch, procs,
-                      coll::BcastAlgo::kMpichBinomial});
+                      cluster::NetworkType::kSwitch, procs, "mpich"});
   }
   for (int procs : {3, 6, 9}) {
     series.push_back({"linear(" + std::to_string(procs) + "p)",
-                      cluster::NetworkType::kSwitch, procs,
-                      coll::BcastAlgo::kMcastLinear});
+                      cluster::NetworkType::kSwitch, procs, "mcast-linear"});
   }
 
   std::vector<std::vector<Point>> points;

@@ -14,10 +14,10 @@ int main(int argc, char** argv) {
       argc, argv, "Fig. 13 — MPI_Barrier over Fast Ethernet hub, N = 2..9");
 
   const std::vector<int> procs = {2, 3, 4, 5, 6, 7, 8, 9};
-  const auto mpich = measure_barrier_series(
-      cluster::NetworkType::kHub, coll::BarrierAlgo::kMpich, procs, options);
-  const auto mcast = measure_barrier_series(
-      cluster::NetworkType::kHub, coll::BarrierAlgo::kMcast, procs, options);
+  const auto mpich = measure_barrier_series(cluster::NetworkType::kHub,
+                                            "mpich", procs, options);
+  const auto mcast = measure_barrier_series(cluster::NetworkType::kHub,
+                                            "mcast", procs, options);
 
   std::vector<std::string> columns{"procs", "MPICH us", "multicast us"};
   if (options.spread) {

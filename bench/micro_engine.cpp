@@ -7,7 +7,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "common/bytes.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
@@ -103,8 +103,7 @@ void BM_SimulatedBcast(benchmark::State& state) {
           if (p.rank() == 0) {
             data = pattern_payload(1, 2000);
           }
-          coll::bcast(p, p.comm_world(), data, 0,
-                      coll::BcastAlgo::kMcastBinary);
+          p.comm_world().coll().bcast(data, 0, "mcast-binary");
         });
     benchmark::DoNotOptimize(result.latencies_us.median());
   }

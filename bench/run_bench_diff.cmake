@@ -32,11 +32,19 @@ else()
   set(wall_tolerance 0.10)
 endif()
 
+# Every bench the gate runs must have produced its JSON (bench name =
+# executable name).
+set(require_args)
+foreach(exe ${BENCH_EXES})
+  get_filename_component(exe_name ${exe} NAME)
+  list(APPEND require_args --require BENCH_${exe_name}.json)
+endforeach()
+
 execute_process(
   COMMAND ${PYTHON} ${DIFF_SCRIPT}
           --baseline ${BASELINE_DIR} --fresh ${WORK_DIR}
           --wall-tolerance ${wall_tolerance}
-          --require BENCH_perf_bcast_64k.json
+          ${require_args}
   RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR "bench_diff reported a regression (rc=${diff_rc})")

@@ -14,32 +14,32 @@ namespace {
 
 using namespace mcmpi;
 
-net::NetCounters run_bcast(int procs, int payload, coll::BcastAlgo algo,
+net::NetCounters run_bcast(int procs, int payload, const std::string& algo,
                            std::uint64_t seed) {
   cluster::ClusterConfig config;
   config.num_procs = procs;
   config.network = cluster::NetworkType::kSwitch;
   config.seed = seed;
   cluster::Cluster cluster(config);
-  auto op = [payload, algo](mpi::Proc& p) {
+  auto op = [payload, &algo](mpi::Proc& p) {
     Buffer data;
     if (p.rank() == 0) {
       data = pattern_payload(1, static_cast<std::size_t>(payload));
     }
-    coll::bcast(p, p.comm_world(), data, 0, algo);
+    p.comm_world().coll().bcast(data, 0, algo);
   };
   return cluster::count_frames(cluster, op, op);
 }
 
-net::NetCounters run_barrier(int procs, coll::BarrierAlgo algo,
+net::NetCounters run_barrier(int procs, const std::string& algo,
                              std::uint64_t seed) {
   cluster::ClusterConfig config;
   config.num_procs = procs;
   config.network = cluster::NetworkType::kSwitch;
   config.seed = seed;
   cluster::Cluster cluster(config);
-  auto op = [algo](mpi::Proc& p) {
-    coll::barrier(p, p.comm_world(), algo);
+  auto op = [&algo](mpi::Proc& p) {
+    p.comm_world().coll().barrier(algo);
   };
   return cluster::count_frames(cluster, op, op);
 }
@@ -64,11 +64,9 @@ int main(int argc, char** argv) {
       const std::uint64_t fpm = static_cast<std::uint64_t>(payload) / 1472 + 1;
       const std::uint64_t mpich_formula = fpm * (n - 1);
       const std::uint64_t mcast_formula = (n - 1) + fpm;
-      const auto mpich =
-          run_bcast(procs, payload, coll::BcastAlgo::kMpichBinomial,
-                    options.seed);
-      const auto mcast = run_bcast(procs, payload,
-                                   coll::BcastAlgo::kMcastBinary, options.seed);
+      const auto mpich = run_bcast(procs, payload, "mpich", options.seed);
+      const auto mcast =
+          run_bcast(procs, payload, "mcast-binary", options.seed);
       all_match = all_match && mpich.formula_frames() == mpich_formula &&
                   mcast.formula_frames() == mcast_formula;
       bcast_table.add_row({std::to_string(procs), std::to_string(payload),
@@ -94,10 +92,8 @@ int main(int argc, char** argv) {
     }
     const std::uint64_t mpich_formula = 2 * (n - k) + k * log2k;
     const std::uint64_t mcast_formula = (n - 1) + 1;
-    const auto mpich = run_barrier(procs, coll::BarrierAlgo::kMpich,
-                                   options.seed);
-    const auto mcast = run_barrier(procs, coll::BarrierAlgo::kMcast,
-                                   options.seed);
+    const auto mpich = run_barrier(procs, "mpich", options.seed);
+    const auto mcast = run_barrier(procs, "mcast", options.seed);
     all_match = all_match && mpich.formula_frames() == mpich_formula &&
                 mcast.formula_frames() == mcast_formula;
     barrier_table.add_row(

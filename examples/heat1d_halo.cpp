@@ -12,8 +12,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
-#include "coll/allreduce.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 #include "common/flags.hpp"
@@ -34,7 +33,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   flags.check_unknown();
-  const coll::BcastAlgo algo = coll::parse_bcast_algo(algo_name);
+  // Any registered allreduce entry (or "auto"); fail on typos up front.
+  if (algo_name != coll::kAuto) {
+    (void)coll::Registry::instance().get(coll::CollOp::kAllreduce, algo_name);
+  }
 
   cluster::ClusterConfig config;
   config.num_procs = procs;
@@ -103,8 +105,8 @@ int main(int argc, char** argv) {
       if ((step + 1) % check_every == 0) {
         Buffer bytes(sizeof local_change);
         std::memcpy(bytes.data(), &local_change, sizeof local_change);
-        const Buffer reduced = coll::allreduce(p, comm, bytes, mpi::Op::kMax,
-                                               mpi::Datatype::kDouble, algo);
+        const Buffer reduced = comm.coll().allreduce(
+            bytes, mpi::Op::kMax, mpi::Datatype::kDouble, algo_name);
         std::memcpy(&change, reduced.data(), sizeof change);
       }
     }

@@ -7,14 +7,16 @@
 // once, full stop.
 //
 //   $ ./kmeans_broadcast [--procs=8] [--points=3000] [--k=8] [--iters=12]
-//                        [--algo=mcast-binary|mcast-linear|mpich|...]
+//                        [--algo=auto|mcast-binary|mcast-linear|mpich|...]
+//
+// --algo accepts any registered broadcast algorithm (coll/registry.hpp);
+// "auto" lets the tuning table pick per message size.
 #include <cstring>
 #include <iostream>
 #include <vector>
 
 #include "cluster/cluster.hpp"
-#include "coll/allreduce.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 #include "common/flags.hpp"
@@ -69,7 +71,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   flags.check_unknown();
-  const coll::BcastAlgo algo = coll::parse_bcast_algo(algo_name);
+  if (algo_name != coll::kAuto) {
+    // Fail on a typo before the simulation starts.
+    (void)coll::Registry::instance().get(coll::CollOp::kBcast, algo_name);
+  }
 
   cluster::ClusterConfig config;
   config.num_procs = procs;
@@ -102,7 +107,7 @@ int main(int argc, char** argv) {
       if (p.rank() == 0) {
         std::memcpy(table.data(), centroids.data(), table.size());
       }
-      coll::bcast(p, comm, table, 0, algo);
+      comm.coll().bcast(table, 0, algo_name);
       std::memcpy(centroids.data(), table.data(), table.size());
 
       // Local assignment + partial sums: k * (dims + 1) accumulators.
@@ -169,8 +174,8 @@ int main(int argc, char** argv) {
     }
     Buffer bytes(sizeof inertia);
     std::memcpy(bytes.data(), &inertia, sizeof inertia);
-    const Buffer total = coll::allreduce(p, comm, bytes, mpi::Op::kSum,
-                                         mpi::Datatype::kDouble, algo);
+    const Buffer total = comm.coll().allreduce(bytes, mpi::Op::kSum,
+                                               mpi::Datatype::kDouble);
     if (p.rank() == 0) {
       std::memcpy(final_inertia.data(), total.data(), sizeof(double));
       finished = p.self().now();

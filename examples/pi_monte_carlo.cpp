@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "cluster/cluster.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 #include "common/flags.hpp"
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       w.i64(samples / procs);
       w.u64(0xCAFEBABE);
     }
-    coll::bcast(p, world, order, 0, coll::BcastAlgo::kMcastBinary);
+    world.coll().bcast(order, 0, "mcast-binary");
     ByteReader r(order);
     const std::int64_t my_samples = r.i64();
     const std::uint64_t base_seed = r.u64();
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
           static_cast<double>(my_samples * team_comm.size());
     }
     // Everyone meets again on the world barrier before the program ends.
-    coll::barrier(p, world, coll::BarrierAlgo::kMcast);
+    world.coll().barrier("mcast");
   });
 
   std::cout << "pi (team even) = " << team_estimates[0] << "\n"

@@ -8,13 +8,14 @@
 // The public API in four steps:
 //   1. cluster::Cluster      — the simulated testbed (hub or switch)
 //   2. Cluster::world().run  — SPMD launch: the lambda is rank code
-//   3. coll::bcast/barrier   — collective ops with selectable algorithms
+//   3. comm.coll()           — the collective facade: tuned auto-selection
+//                              by default, any registry algorithm by name
 //   4. Network counters      — what actually crossed the wire
 #include <cstring>
 #include <iostream>
 
 #include "cluster/cluster.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "common/bytes.hpp"
 
 int main() {
@@ -38,14 +39,14 @@ int main() {
     if (p.rank() == 0) {
       data.assign(kMessage, kMessage + sizeof kMessage);
     }
-    coll::bcast(p, comm, data, /*root=*/0, coll::BcastAlgo::kMcastBinary);
+    comm.coll().bcast(data, /*root=*/0, "mcast-binary");
 
     std::cout << "rank " << p.rank() << " @ " << to_microseconds(p.self().now())
               << " us: received \""
               << std::string(data.begin(), data.end() - 1) << "\"\n";
 
     // 3b. Barrier: scout reduction + one multicast release.
-    coll::barrier(p, comm, coll::BarrierAlgo::kMcast);
+    comm.coll().barrier();  // kAuto: the tuning table picks "mcast"
   });
 
   // 4. The whole point, in numbers: one data frame crossed the shared wire

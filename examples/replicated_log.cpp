@@ -11,7 +11,7 @@
 #include <map>
 
 #include "cluster/cluster.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "coll/sequencer.hpp"
 #include "common/bytes.hpp"
 #include "common/flags.hpp"
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
         op = encode(Update{static_cast<std::int32_t>(round % 7),
                            static_cast<std::int32_t>(p.rank() * 1000 + round)});
       }
-      coll::bcast_sequencer(p, comm, op, issuer);
+      comm.coll().bcast(op, issuer, "sequencer");
       const Update u = decode(op);
       kv[u.key] = u.value;
     }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "coll/tuning.hpp"
 #include "common/assert.hpp"
 
 namespace mcmpi::cluster {
@@ -62,6 +63,9 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   for (int i = 0; i < config_.num_procs; ++i) {
     world_->proc(i).engine().set_eager_threshold(config_.eager_threshold);
     world_->proc(i).set_mcast_recv_buffer(config_.mcast_rcvbuf_bytes);
+  }
+  if (!config_.coll_tuning.empty()) {
+    world_->set_coll_tuning(coll::TuningTable::parse(config_.coll_tuning));
   }
 }
 

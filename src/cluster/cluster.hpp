@@ -36,6 +36,9 @@ struct ClusterConfig {
   std::int64_t eager_threshold = 64 * 1024;
   /// Multicast-channel receive buffer per rank (SO_RCVBUF analogue).
   std::size_t mcast_rcvbuf_bytes = 256 * 1024;
+  /// Collective auto-selection rules (coll/tuning.hpp rule syntax).  Empty
+  /// defers to MCMPI_COLL_TUNING, then to the paper-crossover defaults.
+  std::string coll_tuning;
   /// Host table; defaults to the paper's eagle cluster mix.
   std::vector<HostSpec> hosts;
 };

@@ -1,17 +1,25 @@
 #include "coll/allreduce.hpp"
 
 #include "coll/mpich.hpp"
+#include "coll/registry.hpp"
 
 namespace mcmpi::coll {
 
 Buffer allreduce(mpi::Proc& p, const mpi::Comm& comm,
                  std::span<const std::uint8_t> data, mpi::Op op,
                  mpi::Datatype type, BcastAlgo bcast_algo) {
+  const std::string stage = to_string(bcast_algo);
+  // Registry entries exist for the stages the tuning table uses; any other
+  // enum value still works by composing reduce + the named broadcast.
+  if (const CollAlgorithm* entry =
+          Registry::instance().find(CollOp::kAllreduce, stage)) {
+    return entry->allreduce(p, comm, data, op, type);
+  }
   Buffer result = reduce_mpich(p, comm, data, op, type, /*root=*/0);
   if (comm.rank() != 0) {
     result.clear();
   }
-  bcast(p, comm, result, /*root=*/0, bcast_algo);
+  Registry::instance().get(CollOp::kBcast, stage).bcast(p, comm, result, 0);
   return result;
 }
 

@@ -1,15 +1,19 @@
 #pragma once
 /// \file allreduce.hpp
-/// Allreduce built the MPICH-1.x way (reduce to rank 0, then broadcast) —
-/// with the broadcast stage selectable, so the multicast win compounds into
-/// a second collective (an extension the paper's future work anticipates).
+/// DEPRECATED enum-based allreduce entry point — migration shim.
+///
+/// Use comm.coll().allreduce(data, op, type[, algo]) instead: the registry
+/// carries one allreduce entry per broadcast stage ("mpich",
+/// "mcast-binary", "mcast-linear"), and kAuto picks the stage from the
+/// tuning table.  This shim survives for ONE PR.
 
 #include "coll/coll.hpp"
 #include "mpi/datatype.hpp"
 
 namespace mcmpi::coll {
 
-/// Returns the reduced vector on every rank.
+/// DEPRECATED: use comm.coll().allreduce(...).  Returns the reduced vector
+/// on every rank (reduce to rank 0, then the selected broadcast).
 Buffer allreduce(mpi::Proc& p, const mpi::Comm& comm,
                  std::span<const std::uint8_t> data, mpi::Op op,
                  mpi::Datatype type,

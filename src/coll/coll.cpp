@@ -2,10 +2,7 @@
 
 #include <stdexcept>
 
-#include "coll/ack_mcast.hpp"
-#include "coll/mcast.hpp"
-#include "coll/mpich.hpp"
-#include "coll/sequencer.hpp"
+#include "coll/registry.hpp"
 
 namespace mcmpi::coll {
 
@@ -57,36 +54,15 @@ BarrierAlgo parse_barrier_algo(const std::string& name) {
 
 void bcast(mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root,
            BcastAlgo algo) {
-  switch (algo) {
-    case BcastAlgo::kMpichBinomial:
-      bcast_mpich(p, comm, buffer, root);
-      return;
-    case BcastAlgo::kMcastBinary:
-      bcast_mcast_binary(p, comm, buffer, root);
-      return;
-    case BcastAlgo::kMcastLinear:
-      bcast_mcast_linear(p, comm, buffer, root);
-      return;
-    case BcastAlgo::kAckMcast:
-      bcast_ack_mcast(p, comm, buffer, root);
-      return;
-    case BcastAlgo::kSequencer:
-      bcast_sequencer(p, comm, buffer, root);
-      return;
-  }
-  MC_ASSERT_MSG(false, "unknown broadcast algorithm");
+  Registry::instance()
+      .get(CollOp::kBcast, to_string(algo))
+      .bcast(p, comm, buffer, root);
 }
 
 void barrier(mpi::Proc& p, const mpi::Comm& comm, BarrierAlgo algo) {
-  switch (algo) {
-    case BarrierAlgo::kMpich:
-      barrier_mpich(p, comm);
-      return;
-    case BarrierAlgo::kMcast:
-      barrier_mcast(p, comm);
-      return;
-  }
-  MC_ASSERT_MSG(false, "unknown barrier algorithm");
+  Registry::instance()
+      .get(CollOp::kBarrier, to_string(algo))
+      .barrier(p, comm);
 }
 
 }  // namespace mcmpi::coll

@@ -1,22 +1,22 @@
 #pragma once
 /// \file coll.hpp
-/// Collective operations — unified entry points and algorithm selection.
+/// DEPRECATED enum-based collective entry points — thin shims over the
+/// algorithm registry.
 ///
-/// The paper's comparison is between MPICH's point-to-point collective
-/// algorithms and IP-multicast-based replacements.  Every algorithm is
-/// available behind one dispatcher so benches and tests can sweep them:
+/// The collective API now lives behind the communicator-scoped facade
+/// (coll/facade.hpp): `comm.coll().bcast(buffer, root)` dispatches through
+/// the string-keyed registry (coll/registry.hpp) with tuned auto-selection
+/// (coll/tuning.hpp) and nonblocking variants.  The free functions and
+/// enums below survive for ONE PR as migration shims and will be removed;
+/// new code must use the facade.  Enum values map to registry names:
 ///
-///   Broadcast:
-///     kMpichBinomial — MPICH's tree over point-to-point (Fig. 2 baseline)
-///     kMcastBinary   — binary-tree scout gather, then one multicast (Fig. 3)
-///     kMcastLinear   — linear scout gather, then one multicast (Fig. 4)
-///     kAckMcast      — ORNL/PVM style: multicast immediately, resend until
-///                      every receiver ACKs (the cited negative result)
-///     kSequencer     — Orca-style: a sequencer rank orders and multicasts;
-///                      receivers NACK gaps (related-work ablation)
-///   Barrier:
-///     kMpichBarrier  — MPICH's three-phase point-to-point exchange (Fig. 5)
-///     kMcastBarrier  — scout reduction + one multicast release (§3.2)
+///   BcastAlgo::kMpichBinomial -> "mpich"        (Fig. 2 baseline)
+///   BcastAlgo::kMcastBinary   -> "mcast-binary" (Fig. 3)
+///   BcastAlgo::kMcastLinear   -> "mcast-linear" (Fig. 4)
+///   BcastAlgo::kAckMcast      -> "ack-mcast"    (ORNL/PVM negative result)
+///   BcastAlgo::kSequencer     -> "sequencer"    (Orca-style related work)
+///   BarrierAlgo::kMpich       -> "mpich"        (Fig. 5)
+///   BarrierAlgo::kMcast       -> "mcast"        (§3.2)
 
 #include <string>
 
@@ -38,17 +38,18 @@ enum class BarrierAlgo {
   kMcast,
 };
 
+/// Registry names of the enum values (usable with comm.coll() directly).
 std::string to_string(BcastAlgo algo);
 std::string to_string(BarrierAlgo algo);
 /// Parses the names printed by to_string; throws std::invalid_argument.
 BcastAlgo parse_bcast_algo(const std::string& name);
 BarrierAlgo parse_barrier_algo(const std::string& name);
 
-/// Broadcast `buffer` (input at root, output elsewhere) over `comm`.
+/// DEPRECATED: use comm.coll().bcast(buffer, root, to_string(algo)).
 void bcast(mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root,
            BcastAlgo algo);
 
-/// Synchronize all ranks of `comm`.
+/// DEPRECATED: use comm.coll().barrier(to_string(algo)).
 void barrier(mpi::Proc& p, const mpi::Comm& comm, BarrierAlgo algo);
 
 }  // namespace mcmpi::coll

@@ -1,0 +1,92 @@
+#pragma once
+/// \file facade.hpp
+/// Coll — the communicator-scoped collective facade.
+///
+/// The one entry point application code programs against:
+///
+///     comm.coll().bcast(data, /*root=*/0);            // tuned auto pick
+///     comm.coll().bcast(data, 0, "mcast-binary");     // explicit algorithm
+///     comm.coll().barrier();
+///     auto sum = comm.coll().allreduce(bytes, mpi::Op::kSum,
+///                                      mpi::Datatype::kInt64);
+///     auto req = comm.coll().ibcast(data, 0);         // nonblocking
+///     ...compute...
+///     p.wait(req);
+///
+/// Algorithms are resolved by name through coll::Registry; the default
+/// (kAuto) consults the communicator's tuning table (World::coll_tuning —
+/// ClusterConfig / MCMPI_COLL_TUNING overridable), which encodes the
+/// paper's message-size × group-size crossover points.  The legacy enum
+/// free functions in coll.hpp forward here and are deprecated.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "coll/request.hpp"
+#include "coll/tuning.hpp"
+
+namespace mcmpi::coll {
+
+class Coll {
+ public:
+  /// Usually obtained as comm.coll(); constructible directly for callers
+  /// holding a Proc (e.g. the legacy shims).
+  Coll(mpi::Proc& p, mpi::Comm comm);
+
+  // ------------------------------------------------------------ blocking
+  /// Broadcast `buffer` (input at root, output elsewhere).
+  void bcast(Buffer& buffer, int root, const std::string& algo = kAuto);
+
+  /// Synchronize all ranks.
+  void barrier(const std::string& algo = kAuto);
+
+  /// Returns the reduced vector on every rank.  `data` holds elements of
+  /// `type`.
+  Buffer allreduce(std::span<const std::uint8_t> data, mpi::Op op,
+                   mpi::Datatype type, const std::string& algo = kAuto);
+
+  /// Returns comm.size() blocks indexed by comm rank (blocks[r] is rank
+  /// r's contribution).  A lossy algorithm (mcast-blast) may leave blocks
+  /// it failed to receive empty.
+  std::vector<Buffer> allgather(std::span<const std::uint8_t> data,
+                                const std::string& algo = kAuto);
+
+  // --------------------------------------------------------- nonblocking
+  /// Starts the broadcast on a helper fiber and returns immediately (in
+  /// virtual time).  `buffer` must stay alive and untouched until the
+  /// returned request completes via Proc::wait.  Until then the caller
+  /// must not run conflicting traffic on this communicator (the collective
+  /// uses the communicator's context, as MPI's ordering rules assume).
+  std::shared_ptr<CollRequest> ibcast(Buffer& buffer, int root,
+                                      const std::string& algo = kAuto);
+
+  std::shared_ptr<CollRequest> ibarrier(const std::string& algo = kAuto);
+
+  /// Result delivered in request->result() (and returned by Proc::wait).
+  /// `data` is copied at call time, so it need not outlive the call.
+  std::shared_ptr<CollRequest> iallreduce(std::span<const std::uint8_t> data,
+                                          mpi::Op op, mpi::Datatype type,
+                                          const std::string& algo = kAuto);
+
+  // ----------------------------------------------------------- selection
+  /// The algorithm `algo` resolves to for a payload of `bytes` — kAuto goes
+  /// through the tuning table, anything else is validated against the
+  /// registry and returned as-is.  Exposed so tests and benches can assert
+  /// on the tuned pick without running the collective.
+  std::string resolve(CollOp op, std::size_t bytes,
+                      const std::string& algo = kAuto) const;
+
+ private:
+  const CollAlgorithm& entry(CollOp op, std::size_t bytes,
+                             const std::string& algo) const;
+  std::shared_ptr<CollRequest> spawn_helper(
+      const std::string& label,
+      std::function<void(CollRequest&)> body);
+
+  mpi::Proc& p_;
+  mpi::Comm comm_;
+};
+
+}  // namespace mcmpi::coll

@@ -66,11 +66,30 @@ AllgatherOutcome blast(Proc& p, const Comm& comm,
   have[static_cast<std::size_t>(comm.rank())] = true;
   int received = 0;
   while (received < size - 1) {
-    auto datagram = ch.socket().recv_until(p.self(), deadline);
+    // Charged receive: a fresh block that wakes the parked rank prices the
+    // receive overhead into the wake-up; stale or duplicate traffic wakes
+    // immediately and costs nothing until delivered.
+    auto datagram = ch.socket().recv_until_charged(
+        p.self(), deadline,
+        [&](const inet::UdpDatagram& dg) -> SimTime {
+          ByteReader peek(dg.data);
+          (void)peek.u32();  // context
+          const std::int32_t root_world = peek.i32();
+          if (peek.u64() != op_seq) {
+            return kTimeZero;  // stale traffic from an earlier operation
+          }
+          const int root = comm.group().rank_of(root_world);
+          if (root < 0 || have[static_cast<std::size_t>(root)]) {
+            return kTimeZero;  // duplicate
+          }
+          return p.costs().recv_overhead(
+              static_cast<std::int64_t>(dg.data.size() - peek.position()),
+              mpi::CostTier::kMcastData);
+        });
     if (!datagram.has_value()) {
       break;  // remaining blocks were dropped on our socket buffer
     }
-    ByteReader r(datagram->data);
+    ByteReader r(datagram->datagram.data);
     const std::uint32_t context = r.u32();
     const std::int32_t root_world = r.i32();
     const std::uint64_t seq = r.u64();
@@ -86,8 +105,11 @@ AllgatherOutcome blast(Proc& p, const Comm& comm,
     }
     have[static_cast<std::size_t>(root)] = true;
     auto payload = r.rest();
-    p.self().delay(p.costs().recv_overhead(
-        static_cast<std::int64_t>(payload.size()), mpi::CostTier::kMcastData));
+    if (!datagram->charge_absorbed) {
+      p.self().delay(p.costs().recv_overhead(
+          static_cast<std::int64_t>(payload.size()),
+          mpi::CostTier::kMcastData));
+    }
     out.blocks[static_cast<std::size_t>(root)].assign(payload.begin(),
                                                       payload.end());
     ++received;

@@ -1,0 +1,308 @@
+#include "coll/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "coll/ack_mcast.hpp"
+#include "coll/mcast.hpp"
+#include "coll/mcast_allgather.hpp"
+#include "coll/mpich.hpp"
+#include "coll/scatter_allgather.hpp"
+#include "coll/sequencer.hpp"
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+std::string to_string(CollOp op) {
+  switch (op) {
+    case CollOp::kBcast:
+      return "bcast";
+    case CollOp::kBarrier:
+      return "barrier";
+    case CollOp::kAllreduce:
+      return "allreduce";
+    case CollOp::kAllgather:
+      return "allgather";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Frames needed for an M-byte payload at T = 1472 payload bytes per frame
+/// (the paper's floor(M/T) + 1).
+double frames(std::size_t bytes) {
+  return std::floor(static_cast<double>(bytes) / 1472.0) + 1.0;
+}
+
+double log2n(int ranks) {
+  return ranks > 1 ? std::ceil(std::log2(static_cast<double>(ranks))) : 0.0;
+}
+
+bool always(const mpi::Comm&, std::size_t) { return true; }
+
+void register_builtins(Registry& r) {
+  // ----------------------------------------------------------- broadcast
+  r.add(CollAlgorithm{
+      .name = "mpich",
+      .op = CollOp::kBcast,
+      .description = "MPICH binomial tree over point-to-point (Fig. 2)",
+      .applicable = always,
+      // Paper §3.1: every tree edge carries a full copy.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) * (ranks - 1); },
+      .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                  int root) { bcast_mpich(p, comm, buffer, root); }});
+  r.add(CollAlgorithm{
+      .name = "mcast-binary",
+      .op = CollOp::kBcast,
+      .description = "binomial scout gather, then one IP multicast (Fig. 3)",
+      .applicable = always,
+      // (N-1) scouts in log2 N pipelined steps + the payload once.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return log2n(ranks) + frames(bytes); },
+      .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                  int root) { bcast_mcast_binary(p, comm, buffer, root); }});
+  r.add(CollAlgorithm{
+      .name = "mcast-linear",
+      .op = CollOp::kBcast,
+      .description = "linear scout gather, then one IP multicast (Fig. 4)",
+      .applicable = always,
+      // N-1 sequential scout receives at the root + the payload once.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return (ranks - 1) + frames(bytes); },
+      .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                  int root) { bcast_mcast_linear(p, comm, buffer, root); }});
+  r.add(CollAlgorithm{
+      .name = "ack-mcast",
+      .op = CollOp::kBcast,
+      .description =
+          "multicast first, resend until all ACK (ORNL/PVM negative result)",
+      .applicable = always,
+      // Payload once + N-1 serial ACKs; unready receivers cost whole-payload
+      // retransmissions, folded in as a constant penalty.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            return 1.5 * frames(bytes) + (ranks - 1);
+          },
+      .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                  int root) { bcast_ack_mcast(p, comm, buffer, root); }});
+  r.add(CollAlgorithm{
+      .name = "sequencer",
+      .op = CollOp::kBcast,
+      .description =
+          "sequencer-ordered multicast with NACK recovery (Orca-style)",
+      .applicable = always,
+      // One handoff to the sequencer + the payload once; no readiness
+      // handshake (receiver lag is detected only by NACK timeout).
+      .cost_hint = [](std::size_t bytes,
+                      int ranks [[maybe_unused]]) { return 1 + frames(bytes); },
+      .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                  int root) { bcast_sequencer(p, comm, buffer, root); }});
+  r.add(CollAlgorithm{
+      .name = "scatter-allgather",
+      .op = CollOp::kBcast,
+      .description =
+          "scatter + ring allgather for long messages (van de Geijn)",
+      .applicable = always,
+      // Every byte crosses each link at most ~2x; the ring runs on N
+      // disjoint links in parallel — critical path ~2 payload images.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return 2.0 * frames(bytes) + (ranks - 1); },
+      .bcast =
+          [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root) {
+            bcast_scatter_allgather(p, comm, buffer, root);
+          }});
+
+  // ------------------------------------------------------------- barrier
+  r.add(CollAlgorithm{
+      .name = "mpich",
+      .op = CollOp::kBarrier,
+      .description = "MPICH three-phase point-to-point barrier (Fig. 5)",
+      .applicable = always,
+      .cost_hint =
+          [](std::size_t, int ranks) {
+            const double k = std::pow(2.0, std::floor(std::log2(
+                                                std::max(ranks, 1))));
+            return 2.0 * (ranks - k) + k * std::log2(k);
+          },
+      .barrier = [](mpi::Proc& p,
+                    const mpi::Comm& comm) { barrier_mpich(p, comm); }});
+  r.add(CollAlgorithm{
+      .name = "mcast",
+      .op = CollOp::kBarrier,
+      .description = "scout reduction + one multicast release (§3.2)",
+      .applicable = always,
+      .cost_hint = [](std::size_t, int ranks) { return ranks - 1 + 1.0; },
+      .barrier = [](mpi::Proc& p,
+                    const mpi::Comm& comm) { barrier_mcast(p, comm); }});
+
+  // ----------------------------------------------------------- allreduce
+  // MPICH-1.x shape: binomial reduce to rank 0, then broadcast — with the
+  // broadcast stage selectable, so the multicast win compounds (the
+  // paper's anticipated extension).  One entry per broadcast stage.
+  for (const char* stage : {"mpich", "mcast-binary", "mcast-linear"}) {
+    r.add(CollAlgorithm{
+        .name = stage,
+        .op = CollOp::kAllreduce,
+        .description = std::string("binomial reduce to rank 0, then ") +
+                       stage + " broadcast",
+        .applicable = always,
+        .cost_hint =
+            [stage](std::size_t bytes, int ranks) {
+              const double reduce = frames(bytes) * log2n(ranks);
+              return reduce + Registry::instance()
+                                  .get(CollOp::kBcast, stage)
+                                  .cost_hint(bytes, ranks);
+            },
+        .allreduce =
+            [stage](mpi::Proc& p, const mpi::Comm& comm,
+                    std::span<const std::uint8_t> data, mpi::Op op,
+                    mpi::Datatype type) {
+              Buffer result = reduce_mpich(p, comm, data, op, type, /*root=*/0);
+              if (comm.rank() != 0) {
+                result.clear();
+              }
+              Registry::instance()
+                  .get(CollOp::kBcast, stage)
+                  .bcast(p, comm, result, /*root=*/0);
+              return result;
+            }});
+  }
+
+  // ----------------------------------------------------------- allgather
+  r.add(CollAlgorithm{
+      .name = "ring",
+      .op = CollOp::kAllgather,
+      .description = "point-to-point ring allgather (N-1 shift steps)",
+      .applicable = always,
+      // N(N-1) block-hops in total, N-1 steps on the critical path.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) * (ranks - 1); },
+      .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
+                      std::span<const std::uint8_t> data) {
+        return allgather_mpich(p, comm, data);
+      }});
+  r.add(CollAlgorithm{
+      .name = "mcast-lockstep",
+      .op = CollOp::kAllgather,
+      .description =
+          "each block multicast once, in rank order behind one barrier",
+      .applicable = always,
+      // Every block crosses the wire exactly once, serialized by rounds.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) * ranks + ranks; },
+      .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
+                      std::span<const std::uint8_t> data) {
+        return allgather_mcast(p, comm, data, AllgatherMode::kLockstep).blocks;
+      }});
+  r.add(CollAlgorithm{
+      .name = "mcast-blast",
+      .op = CollOp::kAllgather,
+      .description = "every rank multicasts at once — fastest pacing, may "
+                     "drop blocks to receiver overrun (§2/§5 hazard)",
+      .applicable = always,
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) + 2.0 * ranks; },
+      .lossy = true,
+      .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
+                      std::span<const std::uint8_t> data) {
+        return allgather_mcast(p, comm, data, AllgatherMode::kBlast).blocks;
+      }});
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::add(CollAlgorithm algo) {
+  if (algo.name.empty()) {
+    throw std::invalid_argument("collective algorithm needs a name");
+  }
+  const bool has_run = [&] {
+    switch (algo.op) {
+      case CollOp::kBcast:
+        return static_cast<bool>(algo.bcast);
+      case CollOp::kBarrier:
+        return static_cast<bool>(algo.barrier);
+      case CollOp::kAllreduce:
+        return static_cast<bool>(algo.allreduce);
+      case CollOp::kAllgather:
+        return static_cast<bool>(algo.allgather);
+    }
+    return false;
+  }();
+  if (!has_run) {
+    throw std::invalid_argument("algorithm '" + algo.name +
+                                "' lacks a run function for op " +
+                                to_string(algo.op));
+  }
+  if (find(algo.op, algo.name) != nullptr) {
+    throw std::invalid_argument("duplicate collective algorithm: " +
+                                to_string(algo.op) + "/" + algo.name);
+  }
+  entries_.push_back(std::move(algo));
+}
+
+bool Registry::remove(CollOp op, const std::string& name) {
+  return std::erase_if(entries_, [&](const CollAlgorithm& a) {
+           return a.op == op && a.name == name;
+         }) > 0;
+}
+
+const CollAlgorithm* Registry::find(CollOp op, const std::string& name) const {
+  for (const CollAlgorithm& a : entries_) {
+    if (a.op == op && a.name == name) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+const CollAlgorithm& Registry::get(CollOp op, const std::string& name) const {
+  const CollAlgorithm* found = find(op, name);
+  if (found == nullptr) {
+    std::ostringstream os;
+    os << "unknown " << to_string(op) << " algorithm: '" << name
+       << "' (registered:";
+    for (const std::string& n : names(op)) {
+      os << ' ' << n;
+    }
+    os << ")";
+    throw std::invalid_argument(os.str());
+  }
+  return *found;
+}
+
+std::vector<std::string> Registry::names(CollOp op) const {
+  std::vector<std::string> out;
+  for (const CollAlgorithm& a : entries_) {
+    if (a.op == op) {
+      out.push_back(a.name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::applicable_names(CollOp op,
+                                                    const mpi::Comm& comm,
+                                                    std::size_t bytes) const {
+  std::vector<std::string> out;
+  for (const CollAlgorithm& a : entries_) {
+    if (a.op == op && (!a.applicable || a.applicable(comm, bytes))) {
+      out.push_back(a.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,113 @@
+#pragma once
+/// \file registry.hpp
+/// String-keyed algorithm registry for the collective layer.
+///
+/// Every collective algorithm — the paper's mpich baseline and multicast
+/// scout variants, the related-work ack-mcast/sequencer protocols, the van
+/// de Geijn scatter-allgather extension, the multicast allgather pacing
+/// disciplines — registers one uniform CollAlgorithm entry: a run function
+/// per operation, an applicability predicate, and an analytic cost hint.
+/// Benches and tests sweep the registry instead of hardcoded enum lists, so
+/// a newly registered algorithm is swept, tested and selectable for free;
+/// the kAuto policy (tuning.hpp) resolves over the same entries.
+///
+/// Registration is open: link-time plugins (or tests) may add entries via
+/// Registry::instance().add().  The built-in set is registered on first use
+/// (no static-initialization-order games).
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/proc.hpp"
+
+namespace mcmpi::coll {
+
+/// Collective operations the registry dispatches.
+enum class CollOp {
+  kBcast,
+  kBarrier,
+  kAllreduce,
+  kAllgather,
+};
+
+std::string to_string(CollOp op);
+
+/// One registered algorithm.  Exactly one run function — the one matching
+/// `op` — is set.
+struct CollAlgorithm {
+  std::string name;  ///< registry key, e.g. "mcast-binary"
+  CollOp op = CollOp::kBcast;
+  std::string description;
+
+  /// May this algorithm serve (comm, payload bytes)?  Null means always.
+  /// kAuto and the sweep helpers skip inapplicable entries; direct
+  /// selection of an inapplicable algorithm is a precondition violation.
+  std::function<bool(const mpi::Comm&, std::size_t bytes)> applicable;
+
+  /// Analytic cost hint in frame-equivalents (lower is cheaper) for an
+  /// M-byte payload on N ranks; advisory — kAuto consults the tuning table
+  /// first and uses the hint only to order equally-tuned candidates.
+  std::function<double(std::size_t bytes, int ranks)> cost_hint;
+
+  /// Algorithms that may drop payload under load (blast allgather) are
+  /// never picked by kAuto and are only correctness-checked on the blocks
+  /// they deliver.
+  bool lossy = false;
+
+  // --- run functions (one set, per op) ---
+  std::function<void(mpi::Proc&, const mpi::Comm&, Buffer& buffer, int root)>
+      bcast;
+  std::function<void(mpi::Proc&, const mpi::Comm&)> barrier;
+  std::function<Buffer(mpi::Proc&, const mpi::Comm&,
+                       std::span<const std::uint8_t> data, mpi::Op op,
+                       mpi::Datatype type)>
+      allreduce;
+  /// Returns comm.size() blocks, indexed by comm rank (lossy entries may
+  /// leave blocks empty).
+  std::function<std::vector<Buffer>(mpi::Proc&, const mpi::Comm&,
+                                    std::span<const std::uint8_t> data)>
+      allgather;
+};
+
+/// Process-wide algorithm registry.  Not thread-safe by design: the
+/// simulation is single-threaded (one runnable context), and registration
+/// happens at startup.
+class Registry {
+ public:
+  /// The registry, with the built-in algorithm set registered.
+  static Registry& instance();
+
+  /// Registers `algo`; throws std::invalid_argument on a duplicate
+  /// (op, name) or a missing/mismatched run function.
+  void add(CollAlgorithm algo);
+
+  /// Unregisters (op, name); returns false if absent.  For plugin
+  /// lifecycles and tests — never remove entries while a simulation that
+  /// may dispatch them is running.
+  bool remove(CollOp op, const std::string& name);
+
+  /// Lookup; throws std::invalid_argument listing the registered names
+  /// when (op, name) is unknown.
+  const CollAlgorithm& get(CollOp op, const std::string& name) const;
+  const CollAlgorithm* find(CollOp op, const std::string& name) const;
+
+  /// Registered names for `op`, in registration order.
+  std::vector<std::string> names(CollOp op) const;
+
+  /// Names for `op` whose predicate accepts (comm, bytes).
+  std::vector<std::string> applicable_names(CollOp op, const mpi::Comm& comm,
+                                            std::size_t bytes) const;
+
+  /// All entries (every op), in registration order.
+  const std::vector<CollAlgorithm>& entries() const { return entries_; }
+
+ private:
+  Registry() = default;
+  std::vector<CollAlgorithm> entries_;
+};
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,23 @@
+#pragma once
+/// \file request.hpp
+/// CollRequest — completion handle for nonblocking collectives.
+///
+/// A nonblocking collective (Coll::ibcast / ibarrier / iallreduce) runs the
+/// selected blocking algorithm on a dedicated helper fiber of the calling
+/// rank, spawned on the PR 2 scheduler.  The helper makes progress whenever
+/// the rank's main fiber blocks or sleeps (delay() models compute), so the
+/// collective overlaps with computation exactly as a kernel-progressed
+/// nonblocking collective would.  The rank completes the request with
+/// Proc::wait(request), which parks until the helper finishes.
+///
+/// The handle itself is the layer-neutral sim::Completion (result() holds
+/// the iallreduce output; finished_at() the helper's completion instant),
+/// so the mpi layer can wait on it without depending on coll.
+
+#include "sim/completion.hpp"
+
+namespace mcmpi::coll {
+
+using CollRequest = sim::Completion;
+
+}  // namespace mcmpi::coll

@@ -76,8 +76,23 @@ Buffer recv_with_nack(Proc& p, const Comm& comm, SeqState& state,
           mpi::CostTier::kMcastData));
       return payload;
     }
-    auto datagram =
-        ch.socket().recv_until(p.self(), p.self().now() + params.nack_timeout);
+    // Charged receive: an arrival that wakes the parked rank prices the
+    // receive overhead into the wake-up when it is the expected in-order
+    // frame (duplicates and early frames wake immediately and are handled
+    // without a delivery charge) — one handoff instead of two.
+    auto datagram = ch.socket().recv_until_charged(
+        p.self(), p.self().now() + params.nack_timeout,
+        [&p, expected](const inet::UdpDatagram& dg) -> SimTime {
+          ByteReader peek(dg.data);
+          (void)peek.u32();  // context
+          (void)peek.i32();  // root
+          if (peek.u64() != expected) {
+            return kTimeZero;  // duplicate or early frame: uncharged wake
+          }
+          return p.costs().recv_overhead(
+              static_cast<std::int64_t>(dg.data.size() - peek.position()),
+              mpi::CostTier::kMcastData);
+        });
     if (!datagram.has_value()) {
       // Gap (or sequencer not there yet): ask for the expected frame.
       ++state.stats.nacks_sent;
@@ -88,7 +103,7 @@ Buffer recv_with_nack(Proc& p, const Comm& comm, SeqState& state,
              net::FrameKind::kControl, mpi::CostTier::kRaw);
       continue;
     }
-    ByteReader r(datagram->data);
+    ByteReader r(datagram->datagram.data);
     (void)r.u32();  // context (validated by port/group)
     (void)r.i32();  // root
     const std::uint64_t seq = r.u64();
@@ -96,14 +111,17 @@ Buffer recv_with_nack(Proc& p, const Comm& comm, SeqState& state,
       continue;  // duplicate
     }
     // Keep the zero-copy view; the byte copy happens only at delivery.
-    PayloadRef payload = datagram->data.slice(r.position());
+    PayloadRef payload = datagram->datagram.data.slice(r.position());
     if (seq > expected) {
       state.stash.emplace(seq, std::move(payload));
       continue;  // keep hunting for the gap frame (NACK on next timeout)
     }
     ch.advance_seq();
-    p.self().delay(p.costs().recv_overhead(
-        static_cast<std::int64_t>(payload.size()), mpi::CostTier::kMcastData));
+    if (!datagram->charge_absorbed) {
+      p.self().delay(p.costs().recv_overhead(
+          static_cast<std::int64_t>(payload.size()),
+          mpi::CostTier::kMcastData));
+    }
     return payload.to_buffer();
   }
 }

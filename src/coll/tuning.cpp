@@ -1,0 +1,166 @@
+#include "coll/tuning.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcmpi::coll {
+
+namespace {
+
+CollOp parse_op(const std::string& text) {
+  for (CollOp op : {CollOp::kBcast, CollOp::kBarrier, CollOp::kAllreduce,
+                    CollOp::kAllgather}) {
+    if (to_string(op) == text) {
+      return op;
+    }
+  }
+  throw std::invalid_argument("tuning rule: unknown collective op '" + text +
+                              "'");
+}
+
+std::string strip(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\n\r");
+  if (begin == std::string::npos) {
+    return {};
+  }
+  const auto end = s.find_last_not_of(" \t\n\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::int64_t parse_bound(const std::string& text, const char* what) {
+  if (text == "*") {
+    return -1;
+  }
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(text, &used);
+    if (used != text.size() || value < 0) {
+      throw std::invalid_argument(text);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("tuning rule: bad ") + what +
+                                " bound '" + text + "'");
+  }
+}
+
+}  // namespace
+
+TuningTable TuningTable::defaults() {
+  // Paper crossovers: scout overhead makes multicast lose below ~1 KB
+  // (Figs. 7-10 crossover near one Ethernet frame); at 2 ranks one
+  // point-to-point send always beats scout + multicast; the multicast
+  // barrier wins at every N (Fig. 13); the multicast allgather needs
+  // payloads large enough to amortize its barrier.
+  return parse(
+      "bcast,*,2,mpich; bcast,1024,*,mpich; bcast,*,*,mcast-binary;"
+      "barrier,*,*,mcast;"
+      "allreduce,*,2,mpich; allreduce,1024,*,mpich;"
+      "allreduce,*,*,mcast-binary;"
+      "allgather,*,2,ring; allgather,2048,*,ring;"
+      "allgather,*,*,mcast-lockstep");
+}
+
+TuningTable TuningTable::parse(const std::string& spec) {
+  TuningTable table;
+  std::stringstream rules(spec);
+  std::string rule_text;
+  while (std::getline(rules, rule_text, ';')) {
+    rule_text = strip(rule_text);
+    if (rule_text.empty()) {
+      continue;
+    }
+    std::stringstream fields(rule_text);
+    std::string field;
+    std::vector<std::string> parts;
+    while (std::getline(fields, field, ',')) {
+      parts.push_back(strip(field));
+    }
+    if (parts.size() != 4) {
+      throw std::invalid_argument(
+          "tuning rule needs op,max_bytes,max_ranks,algo: '" + rule_text +
+          "'");
+    }
+    TuningRule rule;
+    rule.op = parse_op(parts[0]);
+    rule.max_bytes = parse_bound(parts[1], "byte");
+    const std::int64_t ranks = parse_bound(parts[2], "rank");
+    if (ranks > std::numeric_limits<int>::max()) {
+      throw std::invalid_argument("tuning rule: rank bound too large");
+    }
+    rule.max_ranks = static_cast<int>(ranks);
+    rule.algo = parts[3];
+    // Fail at parse time, not at the first collective inside a running
+    // simulation: the named algorithm must exist.
+    (void)Registry::instance().get(rule.op, rule.algo);
+    table.rules_.push_back(std::move(rule));
+  }
+  return table;
+}
+
+std::string TuningTable::select(CollOp op, std::size_t bytes, int ranks,
+                                const mpi::Comm& comm) const {
+  for (const TuningRule& rule : rules_) {
+    if (rule.op != op) {
+      continue;
+    }
+    if (rule.max_bytes >= 0 &&
+        static_cast<std::int64_t>(bytes) > rule.max_bytes) {
+      continue;
+    }
+    if (rule.max_ranks >= 0 && ranks > rule.max_ranks) {
+      continue;
+    }
+    const CollAlgorithm& algo = Registry::instance().get(op, rule.algo);
+    if (!algo.applicable || algo.applicable(comm, bytes)) {
+      return rule.algo;
+    }
+  }
+  // No rule matched (partial table, or the tuned pick is inapplicable
+  // here): cheapest applicable non-lossy entry by cost hint.
+  const CollAlgorithm* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const CollAlgorithm& algo : Registry::instance().entries()) {
+    if (algo.op != op || algo.lossy) {
+      continue;
+    }
+    if (algo.applicable && !algo.applicable(comm, bytes)) {
+      continue;
+    }
+    const double cost =
+        algo.cost_hint ? algo.cost_hint(bytes, ranks) : best_cost;
+    if (best == nullptr || cost < best_cost) {
+      best = &algo;
+      best_cost = cost;
+    }
+  }
+  if (best == nullptr) {
+    throw std::invalid_argument("no applicable " + coll::to_string(op) +
+                                " algorithm registered");
+  }
+  return best->name;
+}
+
+std::string TuningTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const TuningRule& r = rules_[i];
+    os << (i > 0 ? "; " : "") << coll::to_string(r.op) << ',';
+    if (r.max_bytes < 0) {
+      os << '*';
+    } else {
+      os << r.max_bytes;
+    }
+    os << ',';
+    if (r.max_ranks < 0) {
+      os << '*';
+    } else {
+      os << r.max_ranks;
+    }
+    os << ',' << r.algo;
+  }
+  return os.str();
+}
+
+}  // namespace mcmpi::coll

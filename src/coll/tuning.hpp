@@ -1,0 +1,66 @@
+#pragma once
+/// \file tuning.hpp
+/// Tuned algorithm auto-selection: message-size × communicator-size rules.
+///
+/// The paper's central claim is that the *same* MPI call should ride IP
+/// multicast when it wins and point-to-point when it does not.  The tuning
+/// table encodes where each side wins — the crossover points of Figs. 3/4
+/// (scout cost makes multicast lose below ~1 KB), Fig. 12 (multicast
+/// scales best for large payloads), and Fig. 13 (the multicast barrier
+/// wins at every N) — as an ordered rule list, first match wins:
+///
+///     op,max_bytes,max_ranks,algorithm
+///
+/// `*` means unbounded; rules are separated by `;` (whitespace ignored).
+/// Example (the default table):
+///
+///     bcast,*,2,mpich; bcast,1024,*,mpich; bcast,*,*,mcast-binary;
+///     barrier,*,*,mcast;
+///     allreduce,*,2,mpich; allreduce,1024,*,mpich;
+///     allreduce,*,*,mcast-binary;
+///     allgather,*,2,ring; allgather,2048,*,ring;
+///     allgather,*,*,mcast-lockstep
+///
+/// Override precedence (cluster::Cluster wiring): ClusterConfig::coll_tuning
+/// beats the MCMPI_COLL_TUNING environment variable beats the defaults.
+
+#include <string>
+#include <vector>
+
+#include "coll/registry.hpp"
+
+namespace mcmpi::coll {
+
+/// Algorithm name for tuned auto-selection in the facade.
+inline constexpr const char* kAuto = "auto";
+
+struct TuningRule {
+  CollOp op = CollOp::kBcast;
+  std::int64_t max_bytes = -1;  ///< rule applies when bytes <= this; -1 = inf
+  int max_ranks = -1;           ///< rule applies when ranks <= this; -1 = inf
+  std::string algo;
+};
+
+class TuningTable {
+ public:
+  /// The built-in table encoding the paper's crossover points.
+  static TuningTable defaults();
+
+  /// Parses the rule syntax above; throws std::invalid_argument on
+  /// malformed rules, unknown ops, or algorithms absent from the registry.
+  static TuningTable parse(const std::string& spec);
+
+  /// First matching rule's algorithm.  Falls back to the cheapest
+  /// applicable registry entry (by cost hint; lossy entries excluded) when
+  /// no rule matches — so a table need not be total.
+  std::string select(CollOp op, std::size_t bytes, int ranks,
+                     const mpi::Comm& comm) const;
+
+  const std::vector<TuningRule>& rules() const { return rules_; }
+  std::string to_string() const;
+
+ private:
+  std::vector<TuningRule> rules_;
+};
+
+}  // namespace mcmpi::coll

@@ -183,6 +183,22 @@ std::optional<UdpDatagram> UdpSocket::recv_until(sim::SimProcess& self,
   return d;
 }
 
+std::optional<UdpSocket::ChargedDatagram> UdpSocket::recv_until_charged(
+    sim::SimProcess& self, SimTime deadline,
+    const std::function<SimTime(const UdpDatagram&)>& charge) {
+  MC_EXPECTS_MSG(!handler_, "recv_until_charged() on a handler-mode socket");
+  const sim::ChargedWaitResult wait = sim::wait_for_until_charged(
+      self, readable_, deadline, [this] { return !queue_.empty(); },
+      [this, &charge] { return charge(queue_.front()); });
+  if (!wait.satisfied) {
+    return std::nullopt;
+  }
+  ChargedDatagram out{std::move(queue_.front()), wait.absorbed};
+  queue_.pop_front();
+  queued_bytes_ -= out.datagram.data.size();
+  return out;
+}
+
 std::optional<UdpDatagram> UdpSocket::try_recv() {
   if (queue_.empty()) {
     return std::nullopt;

@@ -142,6 +142,13 @@ class UdpSocket {
   std::optional<UdpDatagram> recv_until(sim::SimProcess& self,
                                         SimTime deadline);
 
+  /// Deadline variant of recv_charged: an arrival that wakes the parked
+  /// process prices the charge into the wake-up (one handoff); a timeout
+  /// returns nullopt, uncharged.
+  std::optional<ChargedDatagram> recv_until_charged(
+      sim::SimProcess& self, SimTime deadline,
+      const std::function<SimTime(const UdpDatagram&)>& charge);
+
   /// Non-blocking poll.
   std::optional<UdpDatagram> try_recv();
 

@@ -4,12 +4,15 @@
 
 namespace mcmpi::mpi {
 
-Comm::Comm(std::shared_ptr<CommInfo> info, Rank my_world_rank)
-    : info_(std::move(info)) {
+Comm::Comm(std::shared_ptr<CommInfo> info, Rank my_world_rank, Proc* proc)
+    : info_(std::move(info)), proc_(proc) {
   MC_EXPECTS(info_ != nullptr);
   my_comm_rank_ = info_->group.rank_of(my_world_rank);
   MC_EXPECTS_MSG(my_comm_rank_ >= 0,
                  "rank is not a member of this communicator");
 }
+
+// Comm::coll() is defined in coll/facade.cpp: the facade type lives in the
+// collective layer, above mpi.
 
 }  // namespace mcmpi::mpi

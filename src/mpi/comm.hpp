@@ -19,23 +19,44 @@
 #include <memory>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "inet/ip_addr.hpp"
 #include "mpi/group.hpp"
 #include "mpi/types.hpp"
 
+namespace mcmpi::coll {
+class Coll;
+}  // namespace mcmpi::coll
+
 namespace mcmpi::mpi {
 
+class Proc;
+
 struct CommInfo {
+  /// Context ids beyond this bound cannot be given a unique multicast
+  /// identity (the group address carries 16 bits, the port 40000 values);
+  /// mcast_port() asserts it.
+  static constexpr std::uint64_t kMaxMcastContexts = 40000ULL * 65536ULL;
+
   std::uint32_t context_id = 0;
   Group group;
 
-  /// Multicast identity of this communicator.
+  /// Multicast identity of this communicator.  The group address carries
+  /// the low 16 bits of the context id; the port folds the high bits in
+  /// (odd multiplier coprime to the 40000-port space), so distinct context
+  /// ids below kMaxMcastContexts never collide on the same
+  /// (group address, port) pair — the plain `% 40000` port wrap let two
+  /// contexts 40000*65536 apart share both halves of the identity.
   inet::IpAddr mcast_addr() const {
     return inet::IpAddr::multicast_group(
-        static_cast<std::uint16_t>(context_id));
+        static_cast<std::uint16_t>(context_id & 0xFFFF));
   }
   std::uint16_t mcast_port() const {
-    return static_cast<std::uint16_t>(20000 + (context_id % 40000));
+    MC_EXPECTS_MSG(context_id < kMaxMcastContexts,
+                   "context id exceeds the unique multicast-identity space");
+    const std::uint32_t lo = context_id & 0xFFFF;
+    const std::uint32_t hi = context_id >> 16;
+    return static_cast<std::uint16_t>(20000 + (lo + hi * 9973U) % 40000);
   }
 
   // --- collective-creation registries (see file comment) ---
@@ -53,10 +74,15 @@ struct CommInfo {
 };
 
 /// Per-rank communicator handle (MPI_Comm analogue).  Cheap to copy.
+///
+/// Handles produced by Proc (comm_world / dup / split) are bound to their
+/// owning rank, which is what makes the communicator-scoped collective
+/// facade possible: `comm.coll().bcast(...)`.
 class Comm {
  public:
   Comm() = default;
-  Comm(std::shared_ptr<CommInfo> info, Rank my_world_rank);
+  Comm(std::shared_ptr<CommInfo> info, Rank my_world_rank,
+       Proc* proc = nullptr);
 
   bool valid() const { return info_ != nullptr; }
   int rank() const { return my_comm_rank_; }
@@ -68,9 +94,18 @@ class Comm {
   }
   const std::shared_ptr<CommInfo>& info() const { return info_; }
 
+  /// The owning rank's Proc (null for handles not produced by a Proc).
+  Proc* proc() const { return proc_; }
+
+  /// Collective-operation facade scoped to this communicator (requires a
+  /// Proc-bound handle).  Defined in coll/facade.hpp — the collective layer
+  /// sits above mpi, so the facade type is only forward-declared here.
+  coll::Coll coll() const;
+
  private:
   std::shared_ptr<CommInfo> info_;
   int my_comm_rank_ = kAnySource;
+  Proc* proc_ = nullptr;
 };
 
 }  // namespace mcmpi::mpi

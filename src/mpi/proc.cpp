@@ -17,12 +17,31 @@ Proc::Proc(World& world, Rank world_rank, inet::UdpStack& udp,
 
 int Proc::world_size() const { return world_.size(); }
 
-Comm Proc::comm_world() const { return Comm(world_.world_info(), world_rank_); }
+Comm Proc::comm_world() {
+  return Comm(world_.world_info(), world_rank_, this);
+}
 
 sim::SimProcess& Proc::self() {
   MC_EXPECTS_MSG(process_ != nullptr,
                  "Proc used outside World::run (no simulated process bound)");
+  if (!helpers_.empty()) {
+    sim::SimProcess* current = world_.simulator().current();
+    for (sim::SimProcess* helper : helpers_) {
+      if (helper == current) {
+        return *current;
+      }
+    }
+  }
   return *process_;
+}
+
+Proc::HelperScope::HelperScope(Proc& p, sim::SimProcess& helper)
+    : p_(p), helper_(helper) {
+  p_.helpers_.push_back(&helper_);
+}
+
+Proc::HelperScope::~HelperScope() {
+  std::erase(p_.helpers_, &helper_);
 }
 
 void Proc::send(const Comm& comm, int dst, Tag tag,
@@ -96,18 +115,35 @@ Buffer Proc::wait(const std::shared_ptr<RecvRequest>& request, Status* status,
 std::optional<Buffer> Proc::wait_until(
     const std::shared_ptr<RecvRequest>& request, SimTime deadline,
     Status* status, CostTier tier) {
-  const bool done =
-      sim::wait_for_until(self(), request->wait_queue(), deadline,
-                          [&] { return request->complete(); });
-  if (!done) {
+  // Charged deadline wait: a completion that wakes the parked rank prices
+  // the receive overhead into the wake-up (one handoff); a timeout wakes
+  // uncharged, and a message already in costs the charge here.
+  const auto charge = [&]() -> SimTime {
+    return costs_.recv_overhead(
+        static_cast<std::int64_t>(request->data().size()), tier);
+  };
+  const sim::ChargedWaitResult wait = sim::wait_for_until_charged(
+      self(), request->wait_queue(), deadline,
+      [&] { return request->complete(); }, charge);
+  if (!wait.satisfied) {
     return std::nullopt;
   }
-  self().delay(costs_.recv_overhead(
-      static_cast<std::int64_t>(request->data().size()), tier));
+  if (!wait.absorbed) {
+    self().delay(charge());
+  }
   if (status != nullptr) {
     *status = request->status();
   }
   return std::move(request->data());
+}
+
+Buffer Proc::wait(const std::shared_ptr<sim::Completion>& request) {
+  MC_EXPECTS(request != nullptr);
+  // Virtual time is global, so the helper's completion notify is the whole
+  // completion semantics: no clock adjustment or charge is owed here.
+  sim::wait_for(self(), request->wait_queue(),
+                [&] { return request->complete(); });
+  return std::move(request->result());
 }
 
 Buffer Proc::sendrecv(const Comm& comm, int dst, Tag send_tag,
@@ -143,7 +179,7 @@ Comm Proc::dup(const Comm& comm) {
     info.dup_children.push_back(
         std::make_shared<CommInfo>(world_.alloc_context(), info.group));
   }
-  return Comm(info.dup_children[seq], world_rank_);
+  return Comm(info.dup_children[seq], world_rank_, this);
 }
 
 Comm Proc::split(const Comm& comm, int color, int key) {
@@ -203,7 +239,7 @@ Comm Proc::split(const Comm& comm, int color, int key) {
     return Comm{};
   }
   const auto& children = info.split_children.at(seq);
-  return Comm(children.at(color), world_rank_);
+  return Comm(children.at(color), world_rank_, this);
 }
 
 McastChannel& Proc::mcast_channel(const Comm& comm) {

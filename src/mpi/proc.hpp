@@ -13,12 +13,14 @@
 #include <span>
 #include <typeindex>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/engine.hpp"
 #include "mpi/mcast_channel.hpp"
 #include "mpi/types.hpp"
+#include "sim/completion.hpp"
 #include "sim/wait.hpp"
 
 namespace mcmpi::mpi {
@@ -36,11 +38,30 @@ class Proc {
   int world_size() const;
   World& world() { return world_; }
 
-  /// MPI_COMM_WORLD for this rank.
-  Comm comm_world() const;
+  /// MPI_COMM_WORLD for this rank.  The handle is bound to this Proc, which
+  /// enables the communicator-scoped collective facade (comm.coll()).
+  Comm comm_world();
 
-  /// The simulated process executing this rank (valid inside World::run).
+  /// The simulated process this rank's code is currently running on: the
+  /// rank's main process, or — while a nonblocking-collective helper fiber
+  /// is executing — that helper (valid inside World::run).  Exactly one
+  /// context runs at a time, so the resolution is unambiguous.
   sim::SimProcess& self();
+
+  /// RAII registration of a helper fiber serving this rank (nonblocking
+  /// collectives): while registered and running, self() resolves to the
+  /// helper, so blocking primitives park the helper instead of the rank.
+  class HelperScope {
+   public:
+    HelperScope(Proc& p, sim::SimProcess& helper);
+    ~HelperScope();
+    HelperScope(const HelperScope&) = delete;
+    HelperScope& operator=(const HelperScope&) = delete;
+
+   private:
+    Proc& p_;
+    sim::SimProcess& helper_;
+  };
   SoftwareCosts& costs() { return costs_; }
   inet::UdpStack& udp() { return udp_; }
   Engine& engine() { return *engine_; }
@@ -82,6 +103,12 @@ class Proc {
   std::optional<Buffer> wait_until(const std::shared_ptr<RecvRequest>& request,
                                    SimTime deadline, Status* status = nullptr,
                                    CostTier tier = CostTier::kMpi);
+
+  /// Completes work another process performs on this rank's behalf —
+  /// notably a nonblocking collective's coll::CollRequest (ibcast /
+  /// ibarrier / iallreduce): parks until finish()ed.  Returns the result
+  /// buffer (iallreduce; empty otherwise).
+  Buffer wait(const std::shared_ptr<sim::Completion>& request);
 
   /// Combined exchange (send and receive may proceed concurrently).
   Buffer sendrecv(const Comm& comm, int dst, Tag send_tag,
@@ -151,6 +178,8 @@ class Proc {
   SoftwareCosts& costs_;
   std::unique_ptr<Engine> engine_;
   sim::SimProcess* process_ = nullptr;
+  /// Live helper fibers (nonblocking collectives); see HelperScope.
+  std::vector<sim::SimProcess*> helpers_;
   std::size_t mcast_rcvbuf_ = 256 * 1024;
   std::map<std::uint32_t, std::unique_ptr<McastChannel>> channels_;
   std::map<std::pair<std::uint32_t, std::type_index>, std::shared_ptr<void>>

@@ -1,5 +1,8 @@
 #include "mpi/world.hpp"
 
+#include <cstdlib>
+
+#include "coll/tuning.hpp"
 #include "common/assert.hpp"
 
 namespace mcmpi::mpi {
@@ -7,6 +10,11 @@ namespace mcmpi::mpi {
 World::World(sim::Simulator& sim, const std::vector<RankResources>& ranks)
     : sim_(sim) {
   MC_EXPECTS_MSG(!ranks.empty(), "world needs at least one rank");
+  const char* env_tuning = std::getenv("MCMPI_COLL_TUNING");
+  coll_tuning_ = std::make_shared<coll::TuningTable>(
+      env_tuning != nullptr && *env_tuning != '\0'
+          ? coll::TuningTable::parse(env_tuning)
+          : coll::TuningTable::defaults());
   world_info_ = std::make_shared<CommInfo>(
       alloc_context(), Group::world(static_cast<int>(ranks.size())));
   procs_.reserve(ranks.size());
@@ -18,6 +26,10 @@ World::World(sim::Simulator& sim, const std::vector<RankResources>& ranks)
     procs_.push_back(std::make_unique<Proc>(*this, static_cast<Rank>(i),
                                             *r.udp, *r.rdp, *r.costs));
   }
+}
+
+void World::set_coll_tuning(coll::TuningTable table) {
+  coll_tuning_ = std::make_shared<coll::TuningTable>(std::move(table));
 }
 
 Proc& World::proc(int rank) {

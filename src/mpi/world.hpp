@@ -13,6 +13,10 @@
 #include "mpi/proc.hpp"
 #include "sim/simulator.hpp"
 
+namespace mcmpi::coll {
+class TuningTable;
+}  // namespace mcmpi::coll
+
 namespace mcmpi::mpi {
 
 class World {
@@ -39,6 +43,14 @@ class World {
   /// Allocates a fresh communicator context id (deterministic sequence).
   std::uint32_t alloc_context() { return next_context_++; }
 
+  /// Tuned collective auto-selection rules (coll/tuning.hpp) consulted by
+  /// the kAuto policy of comm.coll().  Construction installs the
+  /// MCMPI_COLL_TUNING environment table when set, the paper-crossover
+  /// defaults otherwise; ClusterConfig::coll_tuning overrides via the
+  /// setter.
+  const coll::TuningTable& coll_tuning() const { return *coll_tuning_; }
+  void set_coll_tuning(coll::TuningTable table);
+
   /// Runs `rank_main` as an SPMD program: one simulated process per rank,
   /// then drives the simulation until all ranks return.  May be called
   /// repeatedly (each call is a fresh program on the same cluster state).
@@ -49,6 +61,7 @@ class World {
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<inet::IpAddr> addresses_;
   std::shared_ptr<CommInfo> world_info_;
+  std::shared_ptr<coll::TuningTable> coll_tuning_;
   std::uint32_t next_context_ = 1;
 };
 

@@ -1,0 +1,46 @@
+#pragma once
+/// \file completion.hpp
+/// Completion — a one-shot "done" handle for work another simulated
+/// process performs on a caller's behalf.
+///
+/// The producer runs to completion and calls finish(); consumers park on
+/// wait_queue() until complete() (virtual time is global, so the notify is
+/// the entire completion semantics — no charge or clock adjustment).
+/// Carries an optional result buffer for value-returning work.  This is
+/// the sim-level primitive under coll::CollRequest (nonblocking
+/// collectives), kept here so layers below coll can complete requests
+/// without depending on the collective layer.
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "sim/wait.hpp"
+
+namespace mcmpi::sim {
+
+class Completion {
+ public:
+  bool complete() const { return complete_; }
+  sim::WaitQueue& wait_queue() { return wq_; }
+
+  /// Result of value-returning work; valid once complete().
+  Buffer& result() { return result_; }
+
+  /// Virtual instant the work finished; valid once complete().
+  SimTime finished_at() const { return finished_at_; }
+
+  /// Producer side: marks the work done at `at` and wakes every waiter.
+  /// Call exactly once, after any result() bytes are in place.
+  void finish(SimTime at) {
+    complete_ = true;
+    finished_at_ = at;
+    wq_.notify_all();
+  }
+
+ private:
+  bool complete_ = false;
+  Buffer result_;
+  SimTime finished_at_ = kTimeZero;
+  sim::WaitQueue wq_;
+};
+
+}  // namespace mcmpi::sim

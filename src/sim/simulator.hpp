@@ -177,6 +177,12 @@ class Simulator {
   /// on spawn/finish (this sits in the hot deadlock-check loop).
   std::size_t live_processes() const { return live_processes_; }
 
+  /// The process currently executing, or nullptr when the scheduler (an
+  /// event callback, or code outside run()) is in control.  Lets facades
+  /// that serve several processes of one logical rank (the nonblocking
+  /// collective helpers) resolve "which process am I".
+  SimProcess* current() { return current_; }
+
   /// Scheduler-cost instrumentation (handoffs, coalesced delays, batched
   /// callbacks); exported into BENCH_<name>.json by the benches.
   const SchedCounters& sched_counters() const { return sched_; }

@@ -31,6 +31,20 @@ void WaitQueue::wait_charged(SimProcess& self, const WakeCharge& charge) {
   self.wake_charge_ = nullptr;
 }
 
+bool WaitQueue::wait_until_charged(SimProcess& self, SimTime deadline,
+                                   const WakeCharge& charge) {
+  self.wake_charge_ = &charge;  // points into the caller's parked frame
+  bool notified = false;
+  try {
+    notified = wait_until(self, deadline);
+  } catch (...) {
+    self.wake_charge_ = nullptr;
+    throw;
+  }
+  self.wake_charge_ = nullptr;
+  return notified;
+}
+
 bool WaitQueue::wait_until(SimProcess& self, SimTime deadline) {
   if (deadline == kTimeInfinity) {
     wait(self);

@@ -46,6 +46,13 @@ class WaitQueue {
   /// Returns true if notified, false on timeout.
   bool wait_until(SimProcess& self, SimTime deadline);
 
+  /// Deadline variant of wait_charged: a notify folds `charge()` into the
+  /// wake-up (the process resumes charge() later, even past the deadline —
+  /// once the wake is priced, the message is taken); a timeout wakes
+  /// uncharged.  Returns true if notified, false on timeout.
+  bool wait_until_charged(SimProcess& self, SimTime deadline,
+                          const WakeCharge& charge);
+
   /// Wakes the longest-waiting process, if any.
   void notify_one();
 
@@ -107,6 +114,39 @@ bool wait_for_until(SimProcess& self, WaitQueue& queue, SimTime deadline,
     }
   }
   return true;
+}
+
+/// Outcome of a charged deadline wait (see wait_for_until_charged).
+struct ChargedWaitResult {
+  bool satisfied = false;  ///< predicate true (possibly right at timeout)
+  bool absorbed = false;   ///< charge folded into the wake-up
+};
+
+/// wait_for_until with a charged wake: combines wait_for_charged (a notify
+/// with the predicate true prices `charge()` into the wake-up — one handoff)
+/// and the deadline (timeout wakes uncharged).  When `satisfied && !absorbed`
+/// the caller still owes the charge and must delay() it itself.
+template <typename Pred>
+ChargedWaitResult wait_for_until_charged(SimProcess& self, WaitQueue& queue,
+                                         SimTime deadline, Pred&& pred,
+                                         const WaitQueue::WakeCharge& charge) {
+  ChargedWaitResult result;
+  const WaitQueue::WakeCharge priced = [&]() -> SimTime {
+    if (!pred()) {
+      return kTimeZero;  // spurious notify: wake now, re-park
+    }
+    const SimTime lag = charge();
+    result.absorbed = lag > kTimeZero;
+    return lag;
+  };
+  while (!pred()) {
+    if (!queue.wait_until_charged(self, deadline, priced)) {
+      result.satisfied = pred();
+      return result;
+    }
+  }
+  result.satisfied = true;
+  return result;
 }
 
 }  // namespace mcmpi::sim

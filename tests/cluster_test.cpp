@@ -4,7 +4,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "common/bytes.hpp"
 
 namespace mcmpi {
@@ -82,7 +82,7 @@ TEST(Experiment, ProducesRequestedRepetitions) {
         if (p.rank() == 0) {
           data = pattern_payload(1, 1000);
         }
-        coll::bcast(p, p.comm_world(), data, 0, coll::BcastAlgo::kMcastBinary);
+        p.comm_world().coll().bcast(data, 0, "mcast-binary");
       });
   EXPECT_EQ(result.latencies_us.size(), 10u);
   EXPECT_GT(result.latencies_us.min(), 0.0);
@@ -105,7 +105,7 @@ TEST(Experiment, LatencyIsLongestCompletionTime) {
         if (p.rank() == 2) {
           p.self().delay(milliseconds(2));
         }
-        coll::barrier(p, p.comm_world(), coll::BarrierAlgo::kMcast);
+        p.comm_world().coll().barrier("mcast");
       });
   EXPECT_GE(result.latencies_us.min(), 2000.0);
 }
@@ -126,8 +126,7 @@ TEST(Experiment, DeterministicForSameSeed) {
                  if (p.rank() == 0) {
                    data = pattern_payload(1, 2000);
                  }
-                 coll::bcast(p, p.comm_world(), data, 0,
-                             coll::BcastAlgo::kMcastLinear);
+                 p.comm_world().coll().bcast(data, 0, "mcast-linear");
                })
         .latencies_us.values();
   };
@@ -150,8 +149,7 @@ TEST(Experiment, DifferentSeedsChangeTheScatter) {
                  if (p.rank() == 0) {
                    data = pattern_payload(1, 2000);
                  }
-                 coll::bcast(p, p.comm_world(), data, 0,
-                             coll::BcastAlgo::kMcastBinary);
+                 p.comm_world().coll().bcast(data, 0, "mcast-binary");
                })
         .latencies_us.values();
   };
@@ -164,7 +162,7 @@ TEST(Experiment, CountFramesIsolatesTheMeasuredOp) {
   config.network = NetworkType::kSwitch;
   Cluster cluster(config);
   auto op = [](mpi::Proc& p) {
-    coll::barrier(p, p.comm_world(), coll::BarrierAlgo::kMcast);
+    p.comm_world().coll().barrier("mcast");
   };
   const auto counters = cluster::count_frames(cluster, op, op);
   // Exactly (N-1) scouts + 1 release multicast, nothing from the warmup.

@@ -4,10 +4,8 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
-#include "coll/coll.hpp"
-#include "coll/mcast_allgather.hpp"
+#include "coll/facade.hpp"
 #include "coll/mpich.hpp"
-#include "coll/scatter_allgather.hpp"
 #include "common/bytes.hpp"
 
 namespace mcmpi {
@@ -28,7 +26,7 @@ ClusterConfig config_for(int procs, NetworkType net = NetworkType::kSwitch) {
 // ------------------------------------------------- multicast allgather
 
 struct AllgatherCase {
-  coll::AllgatherMode mode;
+  std::string algo;  // registry name
   NetworkType net;
   int procs;
   int block;
@@ -44,14 +42,13 @@ TEST_P(McastAllgather, EveryRankGetsEveryBlock) {
   cluster.world().run([&](mpi::Proc& p) {
     const Buffer mine = pattern_payload(static_cast<std::uint64_t>(p.rank()),
                                         static_cast<std::size_t>(c.block));
-    const auto outcome =
-        coll::allgather_mcast(p, p.comm_world(), mine, c.mode);
-    bool good = outcome.missing == 0;
-    for (int r = 0; r < c.procs; ++r) {
-      good = good && check_pattern(static_cast<std::uint64_t>(r),
-                                   outcome.blocks[static_cast<std::size_t>(r)]);
-      good = good && outcome.blocks[static_cast<std::size_t>(r)].size() ==
-                         static_cast<std::size_t>(c.block);
+    const auto blocks = p.comm_world().coll().allgather(mine, c.algo);
+    bool good = blocks.size() == static_cast<std::size_t>(c.procs);
+    for (int r = 0; good && r < c.procs; ++r) {
+      good = check_pattern(static_cast<std::uint64_t>(r),
+                           blocks[static_cast<std::size_t>(r)]) &&
+             blocks[static_cast<std::size_t>(r)].size() ==
+                 static_cast<std::size_t>(c.block);
     }
     ok[static_cast<std::size_t>(p.rank())] = good;
   });
@@ -63,19 +60,27 @@ TEST_P(McastAllgather, EveryRankGetsEveryBlock) {
 INSTANTIATE_TEST_SUITE_P(
     ModesAndSizes, McastAllgather,
     ::testing::Values(
-        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kSwitch, 4, 100},
-        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kSwitch, 8, 2000},
-        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kHub, 5, 1472},
-        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kSwitch, 1, 64},
-        AllgatherCase{coll::AllgatherMode::kLockstep, NetworkType::kSwitch, 9, 0},
-        AllgatherCase{coll::AllgatherMode::kBlast, NetworkType::kSwitch, 4, 100},
-        AllgatherCase{coll::AllgatherMode::kBlast, NetworkType::kSwitch, 8, 2000},
-        AllgatherCase{coll::AllgatherMode::kBlast, NetworkType::kHub, 5, 1472},
-        AllgatherCase{coll::AllgatherMode::kBlast, NetworkType::kSwitch, 9, 0}),
+        AllgatherCase{"mcast-lockstep", NetworkType::kSwitch, 4, 100},
+        AllgatherCase{"mcast-lockstep", NetworkType::kSwitch, 8, 2000},
+        AllgatherCase{"mcast-lockstep", NetworkType::kHub, 5, 1472},
+        AllgatherCase{"mcast-lockstep", NetworkType::kSwitch, 1, 64},
+        AllgatherCase{"mcast-lockstep", NetworkType::kSwitch, 9, 0},
+        AllgatherCase{"ring", NetworkType::kSwitch, 5, 700},
+        AllgatherCase{"mcast-blast", NetworkType::kSwitch, 4, 100},
+        AllgatherCase{"mcast-blast", NetworkType::kSwitch, 8, 2000},
+        AllgatherCase{"mcast-blast", NetworkType::kHub, 5, 1472},
+        AllgatherCase{"mcast-blast", NetworkType::kSwitch, 9, 0}),
     [](const auto& info) {
       const AllgatherCase& c = info.param;
-      return coll::to_string(c.mode) + "_" + cluster::to_string(c.net) + "_p" +
-             std::to_string(c.procs) + "_b" + std::to_string(c.block);
+      std::string name = c.algo + "_" + cluster::to_string(c.net) + "_p" +
+                         std::to_string(c.procs) + "_b" +
+                         std::to_string(c.block);
+      for (char& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
     });
 
 TEST(McastAllgatherFrames, EachBlockCrossesTheWireOnce) {
@@ -84,8 +89,7 @@ TEST(McastAllgatherFrames, EachBlockCrossesTheWireOnce) {
   Cluster cluster(config_for(kProcs));
   auto op = [](mpi::Proc& p) {
     const Buffer mine = pattern_payload(1, kBlock);
-    (void)coll::allgather_mcast(p, p.comm_world(), mine,
-                                coll::AllgatherMode::kLockstep);
+    (void)p.comm_world().coll().allgather(mine, "mcast-lockstep");
   };
   const auto counters = cluster::count_frames(cluster, op, op);
   // Data frames: N blocks x 3 frames, each multicast once.
@@ -95,7 +99,7 @@ TEST(McastAllgatherFrames, EachBlockCrossesTheWireOnce) {
 
 TEST(McastAllgatherOverrun, BlastDropsWithTinyBufferLockstepDoesNot) {
   constexpr int kProcs = 8;
-  auto run = [&](coll::AllgatherMode mode) {
+  auto run = [&](const std::string& algo) {
     ClusterConfig config = config_for(kProcs);
     config.mcast_rcvbuf_bytes = 1024;  // one small datagram's worth
     Cluster cluster(config);
@@ -103,9 +107,12 @@ TEST(McastAllgatherOverrun, BlastDropsWithTinyBufferLockstepDoesNot) {
     cluster.world().run([&](mpi::Proc& p) {
       const Buffer mine =
           pattern_payload(static_cast<std::uint64_t>(p.rank()), 512);
-      const auto outcome = coll::allgather_mcast(p, p.comm_world(), mine,
-                                                 mode, milliseconds(10));
-      missing[static_cast<std::size_t>(p.rank())] = outcome.missing;
+      // A lossy pacing leaves undelivered blocks empty.
+      for (const Buffer& b : p.comm_world().coll().allgather(mine, algo)) {
+        if (b.empty()) {
+          ++missing[static_cast<std::size_t>(p.rank())];
+        }
+      }
     });
     int total = 0;
     for (int m : missing) {
@@ -113,9 +120,9 @@ TEST(McastAllgatherOverrun, BlastDropsWithTinyBufferLockstepDoesNot) {
     }
     return total;
   };
-  EXPECT_GT(run(coll::AllgatherMode::kBlast), 0)
+  EXPECT_GT(run("mcast-blast"), 0)
       << "blast into a tiny buffer must overrun (paper §5 hazard)";
-  EXPECT_EQ(run(coll::AllgatherMode::kLockstep), 0)
+  EXPECT_EQ(run("mcast-lockstep"), 0)
       << "lockstep pacing is safe at any buffer >= one datagram";
 }
 
@@ -131,14 +138,13 @@ TEST(McastAllgatherOverrun, GroupStaysUsableAfterBlastLoss) {
     const mpi::Comm comm = p.comm_world();
     const Buffer mine =
         pattern_payload(static_cast<std::uint64_t>(p.rank()), 512);
-    (void)coll::allgather_mcast(p, comm, mine, coll::AllgatherMode::kBlast,
-                                milliseconds(5));
+    (void)comm.coll().allgather(mine, "mcast-blast");
     // The channel must still be coherent: an ordinary broadcast succeeds.
     Buffer data;
     if (p.rank() == 0) {
       data = pattern_payload(77, 600);
     }
-    coll::bcast(p, comm, data, 0, coll::BcastAlgo::kMcastBinary);
+    comm.coll().bcast(data, 0, "mcast-binary");
     ok[static_cast<std::size_t>(p.rank())] = check_pattern(77, data);
   });
   for (int r = 0; r < kProcs; ++r) {
@@ -165,7 +171,7 @@ TEST_P(ScatterAllgatherBcast, DeliversExactPayload) {
     if (p.rank() == c.root) {
       data = pattern_payload(55, static_cast<std::size_t>(c.payload));
     }
-    coll::bcast_scatter_allgather(p, p.comm_world(), data, c.root);
+    p.comm_world().coll().bcast(data, c.root, "scatter-allgather");
     ok[static_cast<std::size_t>(p.rank())] =
         data.size() == static_cast<std::size_t>(c.payload) &&
         check_pattern(55, data);
@@ -207,7 +213,7 @@ TEST(ScatterAllgatherBcastFrames, TradesTotalTrafficForLinkParallelism) {
     if (p.rank() == 0) {
       data = pattern_payload(1, kPayload);
     }
-    coll::bcast_scatter_allgather(p, p.comm_world(), data, 0);
+    p.comm_world().coll().bcast(data, 0, "scatter-allgather");
   };
   const auto counters = cluster::count_frames(cluster, op, op);
   const std::uint64_t tree_frames = 40u * (kProcs - 1);  // 280

@@ -1,0 +1,480 @@
+// The communicator-scoped collective API: registry contents and dispatch,
+// the auto-generated algorithm sweep (any newly registered algorithm is
+// correctness-tested for free), tuned kAuto selection with its override
+// chain, nonblocking collectives over the fiber scheduler, and the
+// multicast-identity (group address, port) uniqueness regression.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "coll/facade.hpp"
+#include "common/bytes.hpp"
+
+namespace mcmpi {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::NetworkType;
+using coll::CollOp;
+using coll::Registry;
+
+ClusterConfig config_for(int procs) {
+  ClusterConfig config;
+  config.num_procs = procs;
+  config.network = NetworkType::kSwitch;
+  config.seed = 33;
+  return config;
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(Registry, CarriesTheFullAlgorithmSet) {
+  Registry& r = Registry::instance();
+  // The paper's set and the extensions, by name.
+  for (const char* name : {"mpich", "mcast-binary", "mcast-linear",
+                           "ack-mcast", "sequencer", "scatter-allgather"}) {
+    EXPECT_NE(r.find(CollOp::kBcast, name), nullptr) << name;
+  }
+  for (const char* name : {"mpich", "mcast"}) {
+    EXPECT_NE(r.find(CollOp::kBarrier, name), nullptr) << name;
+  }
+  for (const char* name : {"ring", "mcast-lockstep", "mcast-blast"}) {
+    EXPECT_NE(r.find(CollOp::kAllgather, name), nullptr) << name;
+  }
+  EXPECT_GE(r.entries().size(), 7u);
+  // Every entry carries the uniform metadata.
+  for (const coll::CollAlgorithm& a : r.entries()) {
+    EXPECT_TRUE(static_cast<bool>(a.applicable)) << a.name;
+    EXPECT_TRUE(static_cast<bool>(a.cost_hint)) << a.name;
+    EXPECT_GT(a.cost_hint(1024, 4), 0.0) << a.name;
+  }
+}
+
+TEST(Registry, RejectsDuplicatesAndUnknownNames) {
+  Registry& r = Registry::instance();
+  coll::CollAlgorithm duplicate;
+  duplicate.name = "mpich";
+  duplicate.op = CollOp::kBcast;
+  duplicate.bcast = [](mpi::Proc&, const mpi::Comm&, Buffer&, int) {};
+  EXPECT_THROW(r.add(duplicate), std::invalid_argument);
+
+  coll::CollAlgorithm no_run;
+  no_run.name = "broken";
+  no_run.op = CollOp::kBarrier;
+  EXPECT_THROW(r.add(no_run), std::invalid_argument);
+
+  try {
+    (void)r.get(CollOp::kBcast, "no-such-algo");
+    FAIL() << "unknown algorithm must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("mcast-binary"), std::string::npos)
+        << "the error should list the registered names";
+  }
+}
+
+TEST(Registry, PluggedInAlgorithmIsDispatchable) {
+  Registry& r = Registry::instance();
+  coll::CollAlgorithm noop;
+  noop.name = "test-noop";
+  noop.op = CollOp::kBarrier;
+  noop.description = "registered by coll_registry_test";
+  noop.applicable = [](const mpi::Comm&, std::size_t) { return true; };
+  noop.cost_hint = [](std::size_t, int) { return 1e9; };  // never auto-picked
+  noop.barrier = [](mpi::Proc&, const mpi::Comm&) {};
+  r.add(noop);
+  {
+    Cluster cluster(config_for(3));
+    cluster.world().run(
+        [](mpi::Proc& p) { p.comm_world().coll().barrier("test-noop"); });
+  }
+  // The registry is process-wide; unregister so sibling tests (the sweep
+  // in particular) see only the built-in set regardless of test order.
+  EXPECT_TRUE(r.remove(CollOp::kBarrier, "test-noop"));
+  EXPECT_EQ(r.find(CollOp::kBarrier, "test-noop"), nullptr);
+}
+
+// --------------------------------------------------- auto-generated sweep
+//
+// Satellite requirement: every registered algorithm x {1 B, 1 KiB, 64 KiB}
+// payloads x {2, 3, 9} ranks x a dup- and a split-derived communicator,
+// asserting payload correctness — a newly registered algorithm is swept
+// here with no test changes.
+
+void sweep_comm(mpi::Proc& p, const mpi::Comm& comm, std::size_t bytes,
+                std::vector<std::string>& errors) {
+  Registry& r = Registry::instance();
+  coll::Coll coll = comm.coll();
+  const auto note = [&](const std::string& what) {
+    std::ostringstream os;
+    os << what << " (ranks=" << comm.size() << ", bytes=" << bytes
+       << ", rank=" << comm.rank() << ")";
+    errors.push_back(os.str());
+  };
+
+  for (const std::string& algo : r.applicable_names(CollOp::kBcast, comm,
+                                                    bytes)) {
+    Buffer data(bytes);
+    if (comm.rank() == 0) {
+      data = pattern_payload(bytes, bytes);
+    }
+    coll.bcast(data, 0, algo);
+    if (data.size() != bytes || !check_pattern(bytes, data)) {
+      note("bcast/" + algo + " payload mismatch");
+    }
+  }
+
+  for (const std::string& algo : r.applicable_names(CollOp::kBarrier, comm,
+                                                    0)) {
+    coll.barrier(algo);
+  }
+
+  for (const std::string& algo : r.applicable_names(CollOp::kAllreduce, comm,
+                                                    bytes)) {
+    // Elementwise max over bytes: rank r contributes (r + i) % 251; the
+    // expected maximum is computable locally on every rank.
+    Buffer mine(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      mine[i] = static_cast<std::uint8_t>(
+          (static_cast<std::size_t>(comm.rank()) + i) % 251);
+    }
+    const Buffer out =
+        coll.allreduce(mine, mpi::Op::kMax, mpi::Datatype::kByte, algo);
+    bool good = out.size() == bytes;
+    for (std::size_t i = 0; good && i < bytes; ++i) {
+      std::uint8_t expected = 0;
+      for (int rank = 0; rank < comm.size(); ++rank) {
+        expected = std::max(
+            expected, static_cast<std::uint8_t>(
+                          (static_cast<std::size_t>(rank) + i) % 251));
+      }
+      good = out[i] == expected;
+    }
+    if (!good) {
+      note("allreduce/" + algo + " result mismatch");
+    }
+  }
+
+  for (const std::string& algo : r.applicable_names(CollOp::kAllgather, comm,
+                                                    bytes)) {
+    const bool lossy = r.get(CollOp::kAllgather, algo).lossy;
+    const Buffer mine =
+        pattern_payload(static_cast<std::uint64_t>(comm.rank()), bytes);
+    const auto blocks = coll.allgather(mine, algo);
+    if (blocks.size() != static_cast<std::size_t>(comm.size())) {
+      note("allgather/" + algo + " block count");
+      continue;
+    }
+    for (int rank = 0; rank < comm.size(); ++rank) {
+      const Buffer& block = blocks[static_cast<std::size_t>(rank)];
+      if (lossy && block.empty() && rank != comm.rank()) {
+        continue;  // lossy pacing may drop peer blocks; own block stays
+      }
+      if (block.size() != bytes ||
+          !check_pattern(static_cast<std::uint64_t>(rank), block)) {
+        note("allgather/" + algo + " block " + std::to_string(rank));
+      }
+    }
+  }
+}
+
+class RegistrySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RegistrySweep, EveryAlgorithmDeliversOnDerivedCommunicators) {
+  const auto [procs, payload] = GetParam();
+  const auto bytes = static_cast<std::size_t>(payload);
+  Cluster cluster(config_for(procs));
+  std::vector<std::string> errors;
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm world = p.comm_world();
+    // Dup-derived: same group, fresh context (fresh multicast identity).
+    const mpi::Comm dupped = p.dup(world);
+    sweep_comm(p, dupped, bytes, errors);
+    // Split-derived: sub-groups (even/odd world ranks), including the
+    // size-1 children the 2-rank case produces.
+    const mpi::Comm split = p.split(world, p.rank() % 2, p.rank());
+    sweep_comm(p, split, bytes, errors);
+  });
+
+  for (const std::string& error : errors) {
+    ADD_FAILURE() << error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RegistrySweep,
+    ::testing::Combine(::testing::Values(2, 3, 9),
+                       ::testing::Values(1, 1024, 64 * 1024)),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------- tuned selection
+
+TEST(TuningTable, DefaultsEncodeThePaperCrossovers) {
+  Cluster cluster(config_for(9));
+  cluster.world().run([](mpi::Proc& p) {
+    coll::Coll coll = p.comm_world().coll();
+    // Large-message broadcast rides multicast; tiny ones stay on MPICH.
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 64 * 1024), "mcast-binary");
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 8), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 1024), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 1025), "mcast-binary");
+    // The multicast barrier wins at every N (Fig. 13).
+    EXPECT_EQ(coll.resolve(CollOp::kBarrier, 0), "mcast");
+    EXPECT_EQ(coll.resolve(CollOp::kAllreduce, 64 * 1024), "mcast-binary");
+    EXPECT_EQ(coll.resolve(CollOp::kAllgather, 64 * 1024), "mcast-lockstep");
+    EXPECT_EQ(coll.resolve(CollOp::kAllgather, 64), "ring");
+    // Explicit names pass through untouched; typos throw.
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 0, "sequencer"), "sequencer");
+    EXPECT_THROW((void)coll.resolve(CollOp::kBcast, 0, "typo"),
+                 std::invalid_argument);
+  });
+}
+
+TEST(TuningTable, TwoRanksPreferPointToPointAtAnySize) {
+  Cluster cluster(config_for(2));
+  cluster.world().run([](mpi::Proc& p) {
+    coll::Coll coll = p.comm_world().coll();
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 64 * 1024), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kAllgather, 64 * 1024), "ring");
+  });
+}
+
+TEST(TuningTable, ClusterConfigOverridesTheDefaults) {
+  ClusterConfig config = config_for(9);
+  config.coll_tuning = "bcast,*,*,sequencer";
+  Cluster cluster(config);
+  cluster.world().run([](mpi::Proc& p) {
+    coll::Coll coll = p.comm_world().coll();
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 64 * 1024), "sequencer");
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 1), "sequencer");
+    // Ops the override table does not cover fall back to the cheapest
+    // applicable non-lossy entry by cost hint.
+    EXPECT_EQ(coll.resolve(CollOp::kBarrier, 0), "mcast");
+  });
+}
+
+TEST(TuningTable, EnvironmentOverrideIsHonored) {
+  ::setenv("MCMPI_COLL_TUNING", "bcast,*,*,mcast-linear", 1);
+  Cluster cluster(config_for(4));
+  ::unsetenv("MCMPI_COLL_TUNING");
+  cluster.world().run([](mpi::Proc& p) {
+    EXPECT_EQ(p.comm_world().coll().resolve(CollOp::kBcast, 64 * 1024),
+              "mcast-linear");
+  });
+
+  // ClusterConfig beats the environment.
+  ::setenv("MCMPI_COLL_TUNING", "bcast,*,*,mcast-linear", 1);
+  ClusterConfig config = config_for(4);
+  config.coll_tuning = "bcast,*,*,mpich";
+  Cluster override_cluster(config);
+  ::unsetenv("MCMPI_COLL_TUNING");
+  override_cluster.world().run([](mpi::Proc& p) {
+    EXPECT_EQ(p.comm_world().coll().resolve(CollOp::kBcast, 64 * 1024),
+              "mpich");
+  });
+}
+
+TEST(TuningTable, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(coll::TuningTable::parse("bcast,*,*"), std::invalid_argument);
+  EXPECT_THROW(coll::TuningTable::parse("frobnicate,*,*,mpich"),
+               std::invalid_argument);
+  EXPECT_THROW(coll::TuningTable::parse("bcast,xyz,*,mpich"),
+               std::invalid_argument);
+  EXPECT_THROW(coll::TuningTable::parse("bcast,*,*,no-such-algo"),
+               std::invalid_argument);
+  // Round-trip of a valid table.
+  const coll::TuningTable table =
+      coll::TuningTable::parse("bcast, 1024, *, mpich; bcast,*,*,mcast-binary");
+  EXPECT_EQ(table.to_string(), "bcast,1024,*,mpich; bcast,*,*,mcast-binary");
+}
+
+TEST(TuningAuto, AutoBcastDeliversForSmallAndLarge) {
+  // End-to-end through kAuto on both sides of the crossover (receivers
+  // pre-size their buffers — the kAuto size rule).
+  for (const std::size_t bytes : {std::size_t{16}, std::size_t{8192}}) {
+    constexpr int kProcs = 5;
+    Cluster cluster(config_for(kProcs));
+    std::vector<int> ok(kProcs, 0);
+    cluster.world().run([&](mpi::Proc& p) {
+      Buffer data(bytes);
+      if (p.rank() == 0) {
+        data = pattern_payload(9, bytes);
+      }
+      p.comm_world().coll().bcast(data, 0);
+      ok[static_cast<std::size_t>(p.rank())] =
+          data.size() == bytes && check_pattern(9, data);
+    });
+    for (int r = 0; r < kProcs; ++r) {
+      EXPECT_TRUE(ok[static_cast<std::size_t>(r)])
+          << bytes << " B, rank " << r;
+    }
+  }
+}
+
+// --------------------------------------------------------- nonblocking
+
+TEST(Nonblocking, IbcastDeliversBitIdenticalPayloads) {
+  constexpr int kProcs = 6;
+  constexpr std::size_t kBytes = 40000;
+  Cluster cluster(config_for(kProcs));
+  std::vector<int> ok(kProcs, 0);
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    Buffer data(kBytes);
+    if (p.rank() == 0) {
+      data = pattern_payload(0xD00D, kBytes);
+    }
+    auto request = comm.coll().ibcast(data, 0);
+    p.self().delay(milliseconds(3));  // overlapped compute
+    p.wait(request);
+    ok[static_cast<std::size_t>(p.rank())] =
+        request->complete() && data.size() == kBytes &&
+        check_pattern(0xD00D, data);
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+TEST(Nonblocking, IbcastOverlapsWithCompute) {
+  // compute + broadcast back to back vs overlapped: the overlapped run
+  // must finish earlier, and never earlier than the compute alone.
+  constexpr int kProcs = 6;
+  constexpr std::size_t kBytes = 64 * 1024;
+  const SimTime compute = milliseconds(8);
+  auto run = [&](bool nonblocking) {
+    Cluster cluster(config_for(kProcs));
+    SimTime finished{};
+    cluster.world().run([&](mpi::Proc& p) {
+      const mpi::Comm comm = p.comm_world();
+      Buffer data(kBytes);
+      if (p.rank() == 0) {
+        data = pattern_payload(4, kBytes);
+      }
+      if (nonblocking) {
+        auto request = comm.coll().ibcast(data, 0, "mcast-binary");
+        p.self().delay(compute);
+        p.wait(request);
+      } else {
+        p.self().delay(compute);
+        comm.coll().bcast(data, 0, "mcast-binary");
+      }
+      EXPECT_TRUE(check_pattern(4, data)) << "rank " << p.rank();
+      finished = std::max(finished, p.self().now());
+    });
+    return finished;
+  };
+  const SimTime blocking = run(false);
+  const SimTime overlapped = run(true);
+  EXPECT_LT(overlapped.count(), blocking.count())
+      << "the broadcast must hide behind the compute";
+  EXPECT_GE(overlapped.count(), compute.count());
+}
+
+TEST(Nonblocking, IbarrierHoldsUntilEveryoneEnters) {
+  constexpr int kProcs = 5;
+  Cluster cluster(config_for(kProcs));
+  std::vector<SimTime> entered(kProcs);
+  std::vector<SimTime> exited(kProcs);
+  cluster.world().run([&](mpi::Proc& p) {
+    p.self().delay(microseconds(400) * p.rank());
+    entered[static_cast<std::size_t>(p.rank())] = p.self().now();
+    auto request = p.comm_world().coll().ibarrier();
+    p.wait(request);
+    exited[static_cast<std::size_t>(p.rank())] = p.self().now();
+  });
+  const SimTime last_entry = *std::max_element(entered.begin(), entered.end());
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_GE(exited[static_cast<std::size_t>(r)].count(), last_entry.count())
+        << "rank " << r;
+  }
+}
+
+TEST(Nonblocking, IallreduceReturnsTheReducedVector) {
+  constexpr int kProcs = 4;
+  Cluster cluster(config_for(kProcs));
+  std::vector<std::int64_t> results(kProcs, -1);
+  cluster.world().run([&](mpi::Proc& p) {
+    const std::int64_t mine = (p.rank() + 1) * 3;
+    Buffer bytes(sizeof mine);
+    std::memcpy(bytes.data(), &mine, sizeof mine);
+    auto request = p.comm_world().coll().iallreduce(
+        bytes, mpi::Op::kSum, mpi::Datatype::kInt64, "mcast-binary");
+    p.self().delay(milliseconds(1));
+    const Buffer out = p.wait(request);
+    std::memcpy(&results[static_cast<std::size_t>(p.rank())], out.data(),
+                sizeof(std::int64_t));
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], 3 + 6 + 9 + 12)
+        << "rank " << r;
+  }
+}
+
+TEST(Nonblocking, WaitAfterCompletionReturnsImmediately) {
+  // The helper can finish long before the rank waits; wait() then just
+  // collects the result.
+  Cluster cluster(config_for(3));
+  cluster.world().run([](mpi::Proc& p) {
+    Buffer data(128);
+    if (p.rank() == 0) {
+      data = pattern_payload(2, 128);
+    }
+    auto request = p.comm_world().coll().ibcast(data, 0, "mcast-binary");
+    p.self().delay(milliseconds(50));  // far past completion
+    EXPECT_TRUE(request->complete());
+    const SimTime before = p.self().now();
+    p.wait(request);
+    EXPECT_EQ(p.self().now().count(), before.count());
+    EXPECT_TRUE(check_pattern(2, data));
+  });
+}
+
+// ----------------------------------------- multicast identity uniqueness
+
+TEST(McastIdentity, DistinctContextsNeverShareAddressAndPort) {
+  // Regression for the `% 40000` port wrap: context ids above the wrap
+  // boundary must still map to unique (group address, port) pairs.
+  const std::vector<std::uint32_t> contexts = {
+      0,          1,         39999,     40000,      40001,
+      65535,      65536,     65537,     105536,     2 * 65536 + 7,
+      40000 * 2,  999999,    12345678,  123456789,  1000000007};
+  std::set<std::pair<std::uint32_t, std::uint16_t>> identities;
+  for (std::uint32_t context : contexts) {
+    mpi::CommInfo info(context, mpi::Group::world(2));
+    const auto identity =
+        std::make_pair(info.mcast_addr().bits(), info.mcast_port());
+    EXPECT_TRUE(identities.insert(identity).second)
+        << "context " << context << " collides on "
+        << info.mcast_addr().to_string() << ":" << info.mcast_port();
+  }
+}
+
+TEST(McastIdentity, LowContextsKeepTheHistoricalMapping) {
+  // Below 65536 the remap is the identity transformation: the wire
+  // behaviour of every existing configuration is unchanged.
+  for (std::uint32_t context : {0U, 1U, 7U, 39999U, 40000U, 65535U}) {
+    mpi::CommInfo info(context, mpi::Group::world(2));
+    EXPECT_EQ(info.mcast_addr().bits(),
+              inet::IpAddr::multicast_group(
+                  static_cast<std::uint16_t>(context)).bits());
+    EXPECT_EQ(info.mcast_port(), 20000 + (context % 40000));
+  }
+}
+
+TEST(McastIdentity, ContextBeyondTheIdentitySpaceIsRejected) {
+  mpi::CommInfo info(0, mpi::Group::world(2));
+  info.context_id = static_cast<std::uint32_t>(
+      mpi::CommInfo::kMaxMcastContexts);  // 40000 * 65536 fits in 32 bits
+  EXPECT_THROW((void)info.mcast_port(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mcmpi

@@ -4,11 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "coll/ack_mcast.hpp"
-#include "coll/allreduce.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "coll/mcast.hpp"
 #include "coll/mpich.hpp"
-#include "coll/sequencer.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
 #include "common/bytes.hpp"
@@ -33,7 +31,7 @@ ClusterConfig quiet_config(int procs, NetworkType net) {
 // to every rank, over both network types, several sizes and roots.
 
 struct BcastCase {
-  coll::BcastAlgo algo;
+  std::string algo;  // registry name
   NetworkType net;
   int procs;
   int payload;
@@ -53,7 +51,7 @@ TEST_P(BcastCorrectness, DeliversExactPayloadToAllRanks) {
     if (comm.rank() == c.root) {
       data = pattern_payload(99, static_cast<std::size_t>(c.payload));
     }
-    coll::bcast(p, comm, data, c.root, c.algo);
+    comm.coll().bcast(data, c.root, c.algo);
     ok[static_cast<std::size_t>(p.rank())] =
         data.size() == static_cast<std::size_t>(c.payload) &&
         check_pattern(99, data);
@@ -65,11 +63,11 @@ TEST_P(BcastCorrectness, DeliversExactPayloadToAllRanks) {
 }
 
 std::vector<BcastCase> all_bcast_cases() {
+  // Every registered broadcast algorithm: a newly added registry entry is
+  // correctness-swept here for free.
   std::vector<BcastCase> cases;
-  for (coll::BcastAlgo algo :
-       {coll::BcastAlgo::kMpichBinomial, coll::BcastAlgo::kMcastBinary,
-        coll::BcastAlgo::kMcastLinear, coll::BcastAlgo::kAckMcast,
-        coll::BcastAlgo::kSequencer}) {
+  for (const std::string& algo :
+       coll::Registry::instance().names(coll::CollOp::kBcast)) {
     for (NetworkType net : {NetworkType::kHub, NetworkType::kSwitch}) {
       for (int procs : {1, 2, 4, 7, 9}) {
         for (int payload : {0, 1, 1000, 1472, 1473, 5000}) {
@@ -86,7 +84,7 @@ std::vector<BcastCase> all_bcast_cases() {
 std::string bcast_case_name(
     const ::testing::TestParamInfo<BcastCase>& info) {
   const BcastCase& c = info.param;
-  std::string name = coll::to_string(c.algo) + "_" +
+  std::string name = c.algo + "_" +
                      cluster::to_string(c.net) + "_p" +
                      std::to_string(c.procs) + "_b" +
                      std::to_string(c.payload) + "_r" + std::to_string(c.root);
@@ -106,7 +104,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BcastCorrectness,
 // Barrier semantics: no rank may leave before the last rank has entered.
 
 class BarrierSemantics
-    : public ::testing::TestWithParam<std::tuple<coll::BarrierAlgo, int>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
 
 TEST_P(BarrierSemantics, NobodyExitsBeforeLastEntry) {
   const auto [algo, procs] = GetParam();
@@ -118,7 +116,7 @@ TEST_P(BarrierSemantics, NobodyExitsBeforeLastEntry) {
     // Stagger entries hard: rank r arrives 300us * r late.
     p.self().delay(microseconds(300) * p.rank());
     entered[static_cast<std::size_t>(p.rank())] = p.self().now();
-    coll::barrier(p, p.comm_world(), algo);
+    p.comm_world().coll().barrier(algo);
     exited[static_cast<std::size_t>(p.rank())] = p.self().now();
   });
 
@@ -131,12 +129,12 @@ TEST_P(BarrierSemantics, NobodyExitsBeforeLastEntry) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    BothAlgorithms, BarrierSemantics,
-    ::testing::Combine(::testing::Values(coll::BarrierAlgo::kMpich,
-                                         coll::BarrierAlgo::kMcast),
+    AllAlgorithms, BarrierSemantics,
+    ::testing::Combine(::testing::ValuesIn(coll::Registry::instance().names(
+                           coll::CollOp::kBarrier)),
                        ::testing::Values(2, 3, 4, 7, 8, 9)),
     [](const auto& info) {
-      return coll::to_string(std::get<0>(info.param)) + "_p" +
+      return std::get<0>(info.param) + "_p" +
              std::to_string(std::get<1>(info.param));
     });
 
@@ -158,27 +156,26 @@ TEST_P(BcastFrameCounts, MatchesPaperFormulas) {
       static_cast<std::uint64_t>(payload) / 1472 + 1;
   const auto n = static_cast<std::uint64_t>(procs);
 
-  auto run_bcast = [&](coll::BcastAlgo algo) {
+  auto run_bcast = [&](const std::string& algo) {
     Cluster cluster(quiet_config(procs, NetworkType::kSwitch));
     auto op = [&, algo](mpi::Proc& p) {
       Buffer data;
       if (p.rank() == 0) {
         data = pattern_payload(7, static_cast<std::size_t>(payload));
       }
-      coll::bcast(p, p.comm_world(), data, 0, algo);
+      p.comm_world().coll().bcast(data, 0, algo);
     };
     return cluster::count_frames(cluster, op, op);
   };
 
-  const auto mpich = run_bcast(coll::BcastAlgo::kMpichBinomial);
+  const auto mpich = run_bcast("mpich");
   EXPECT_EQ(mpich.formula_frames(), frames_per_message * (n - 1))
       << "MPICH bcast frame count";
 
-  for (coll::BcastAlgo algo :
-       {coll::BcastAlgo::kMcastBinary, coll::BcastAlgo::kMcastLinear}) {
+  for (const std::string algo : {"mcast-binary", "mcast-linear"}) {
     const auto mcast = run_bcast(algo);
     EXPECT_EQ(mcast.formula_frames(), (n - 1) + frames_per_message)
-        << coll::to_string(algo) << " frame count";
+        << algo << " frame count";
   }
 }
 
@@ -205,17 +202,17 @@ TEST_P(BarrierFrameCounts, MatchesPaperFormulas) {
     ++log2k;
   }
 
-  auto run_barrier = [&](coll::BarrierAlgo algo) {
+  auto run_barrier = [&](const std::string& algo) {
     Cluster cluster(quiet_config(procs, NetworkType::kSwitch));
-    auto op = [algo](mpi::Proc& p) { coll::barrier(p, p.comm_world(), algo); };
+    auto op = [&algo](mpi::Proc& p) { p.comm_world().coll().barrier(algo); };
     return cluster::count_frames(cluster, op, op);
   };
 
-  const auto mpich = run_barrier(coll::BarrierAlgo::kMpich);
+  const auto mpich = run_barrier("mpich");
   EXPECT_EQ(mpich.formula_frames(), 2 * (n - k) + k * log2k)
       << "MPICH barrier message count";
 
-  const auto mcast = run_barrier(coll::BarrierAlgo::kMcast);
+  const auto mcast = run_barrier("mcast");
   EXPECT_EQ(mcast.formula_frames(), (n - 1) + 1)
       << "multicast barrier message count";
 }
@@ -244,7 +241,7 @@ TEST(McastOrdering, SequentialBroadcastsFromDifferentRootsStayOrdered) {
       if (p.rank() == root) {
         data = {static_cast<std::uint8_t>(root)};
       }
-      coll::bcast(p, comm, data, root, coll::BcastAlgo::kMcastBinary);
+      comm.coll().bcast(data, root, "mcast-binary");
       seen[static_cast<std::size_t>(p.rank())].push_back(data.at(0));
     }
   });
@@ -269,13 +266,12 @@ TEST(McastOrdering, MixedMcastAlgorithmsShareOneSequence) {
       if (p.rank() == 0) {
         data = pattern_payload(static_cast<std::uint64_t>(i), 64);
       }
-      coll::bcast(p, comm, data, 0,
-                  i % 2 == 0 ? coll::BcastAlgo::kMcastBinary
-                             : coll::BcastAlgo::kMcastLinear);
+      comm.coll().bcast(data, 0,
+                        i % 2 == 0 ? "mcast-binary" : "mcast-linear");
       if (!check_pattern(static_cast<std::uint64_t>(i), data)) {
         failures[static_cast<std::size_t>(p.rank())] = 1;
       }
-      coll::barrier(p, comm, coll::BarrierAlgo::kMcast);
+      comm.coll().barrier("mcast");
     }
   });
 
@@ -343,7 +339,7 @@ TEST(ReadinessHazard, ScoutSynchronizationToleratesLateReceiver) {
     if (p.rank() == 0) {
       data = pattern_payload(1, 256);
     }
-    coll::bcast(p, comm, data, 0, coll::BcastAlgo::kMcastBinary);
+    comm.coll().bcast(data, 0, "mcast-binary");
     ok[static_cast<std::size_t>(p.rank())] = check_pattern(1, data);
   });
 
@@ -496,7 +492,7 @@ TEST(MpichCollectives, AlltoallExchangesPairwisePayloads) {
 }
 
 class AllreduceAcrossBcasts
-    : public ::testing::TestWithParam<coll::BcastAlgo> {};
+    : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(AllreduceAcrossBcasts, MaxReachesEveryRank) {
   constexpr int kProcs = 6;
@@ -507,8 +503,8 @@ TEST_P(AllreduceAcrossBcasts, MaxReachesEveryRank) {
     const std::int32_t mine = 7 * (p.rank() + 1);
     Buffer data(sizeof mine);
     std::memcpy(data.data(), &mine, sizeof mine);
-    const Buffer out = coll::allreduce(p, p.comm_world(), data, mpi::Op::kMax,
-                                       mpi::Datatype::kInt32, GetParam());
+    const Buffer out = p.comm_world().coll().allreduce(
+        data, mpi::Op::kMax, mpi::Datatype::kInt32, GetParam());
     std::memcpy(&results[static_cast<std::size_t>(p.rank())], out.data(),
                 sizeof(std::int32_t));
   });
@@ -519,11 +515,10 @@ TEST_P(AllreduceAcrossBcasts, MaxReachesEveryRank) {
 
 INSTANTIATE_TEST_SUITE_P(
     BcastStage, AllreduceAcrossBcasts,
-    ::testing::Values(coll::BcastAlgo::kMpichBinomial,
-                      coll::BcastAlgo::kMcastBinary,
-                      coll::BcastAlgo::kMcastLinear),
+    ::testing::ValuesIn(
+        coll::Registry::instance().names(coll::CollOp::kAllreduce)),
     [](const auto& info) {
-      std::string n = coll::to_string(info.param);
+      std::string n = info.param;
       for (char& ch : n) {
         if (ch == '-') {
           ch = '_';

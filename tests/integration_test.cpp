@@ -6,9 +6,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
-#include "coll/ack_mcast.hpp"
-#include "coll/allreduce.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "common/bytes.hpp"
 
 namespace mcmpi {
@@ -19,9 +17,9 @@ using cluster::ClusterConfig;
 using cluster::ExperimentConfig;
 using cluster::NetworkType;
 
-double median_bcast_latency(int procs, NetworkType net, coll::BcastAlgo algo,
-                            int payload, std::uint64_t seed = 17,
-                            int reps = 15) {
+double median_bcast_latency(int procs, NetworkType net,
+                            const std::string& algo, int payload,
+                            std::uint64_t seed = 17, int reps = 15) {
   ClusterConfig config;
   config.num_procs = procs;
   config.network = net;
@@ -30,18 +28,19 @@ double median_bcast_latency(int procs, NetworkType net, coll::BcastAlgo algo,
   ExperimentConfig exp;
   exp.reps = reps;
   const auto result = cluster::measure_collective(
-      cluster, exp, [algo, payload](mpi::Proc& p, int) {
+      cluster, exp, [&algo, payload](mpi::Proc& p, int) {
         Buffer data;
         if (p.rank() == 0) {
           data = pattern_payload(1, static_cast<std::size_t>(payload));
         }
-        coll::bcast(p, p.comm_world(), data, 0, algo);
+        p.comm_world().coll().bcast(data, 0, algo);
       });
   return result.latencies_us.median();
 }
 
 double median_barrier_latency(int procs, NetworkType net,
-                              coll::BarrierAlgo algo, std::uint64_t seed = 17) {
+                              const std::string& algo,
+                              std::uint64_t seed = 17) {
   ClusterConfig config;
   config.num_procs = procs;
   config.network = net;
@@ -51,7 +50,7 @@ double median_barrier_latency(int procs, NetworkType net,
   exp.reps = 15;
   const auto result = cluster::measure_collective(
       cluster, exp,
-      [algo](mpi::Proc& p, int) { coll::barrier(p, p.comm_world(), algo); });
+      [&algo](mpi::Proc& p, int) { p.comm_world().coll().barrier(algo); });
   return result.latencies_us.median();
 }
 
@@ -59,18 +58,18 @@ double median_barrier_latency(int procs, NetworkType net,
 // messages favour multicast (data crosses the wire once).
 TEST(PaperShapes, BcastCrossoverOnSwitch4Procs) {
   const double mpich_small = median_bcast_latency(
-      4, NetworkType::kSwitch, coll::BcastAlgo::kMpichBinomial, 0);
+      4, NetworkType::kSwitch, "mpich", 0);
   const double binary_small = median_bcast_latency(
-      4, NetworkType::kSwitch, coll::BcastAlgo::kMcastBinary, 0);
+      4, NetworkType::kSwitch, "mcast-binary", 0);
   EXPECT_LT(mpich_small, binary_small)
       << "at 0 bytes the scouts must cost more than they save";
 
   const double mpich_large = median_bcast_latency(
-      4, NetworkType::kSwitch, coll::BcastAlgo::kMpichBinomial, 5000);
+      4, NetworkType::kSwitch, "mpich", 5000);
   const double binary_large = median_bcast_latency(
-      4, NetworkType::kSwitch, coll::BcastAlgo::kMcastBinary, 5000);
+      4, NetworkType::kSwitch, "mcast-binary", 5000);
   const double linear_large = median_bcast_latency(
-      4, NetworkType::kSwitch, coll::BcastAlgo::kMcastLinear, 5000);
+      4, NetworkType::kSwitch, "mcast-linear", 5000);
   EXPECT_GT(mpich_large, binary_large)
       << "at 5000 bytes multicast must win (Fig. 8)";
   EXPECT_GT(mpich_large, linear_large);
@@ -80,14 +79,14 @@ TEST(PaperShapes, BcastGapGrowsWithProcessCount) {
   // Fig 9/10: the multicast advantage at 5000 B grows from 4 to 9 procs.
   const double gap4 =
       median_bcast_latency(4, NetworkType::kSwitch,
-                           coll::BcastAlgo::kMpichBinomial, 5000) -
+                           "mpich", 5000) -
       median_bcast_latency(4, NetworkType::kSwitch,
-                           coll::BcastAlgo::kMcastLinear, 5000);
+                           "mcast-linear", 5000);
   const double gap9 =
       median_bcast_latency(9, NetworkType::kSwitch,
-                           coll::BcastAlgo::kMpichBinomial, 5000) -
+                           "mpich", 5000) -
       median_bcast_latency(9, NetworkType::kSwitch,
-                           coll::BcastAlgo::kMcastLinear, 5000);
+                           "mcast-linear", 5000);
   EXPECT_GT(gap4, 0.0);
   EXPECT_GT(gap9, gap4);
 }
@@ -96,16 +95,16 @@ TEST(PaperShapes, BcastGapGrowsWithProcessCount) {
 // for MPICH, the hub loses at large sizes (shared medium saturates).
 TEST(PaperShapes, HubVersusSwitch) {
   const double mcast_hub = median_bcast_latency(
-      4, NetworkType::kHub, coll::BcastAlgo::kMcastBinary, 3000);
+      4, NetworkType::kHub, "mcast-binary", 3000);
   const double mcast_switch = median_bcast_latency(
-      4, NetworkType::kSwitch, coll::BcastAlgo::kMcastBinary, 3000);
+      4, NetworkType::kSwitch, "mcast-binary", 3000);
   EXPECT_LT(mcast_hub, mcast_switch)
       << "multicast avoids the switch's store-and-forward latency";
 
   const double mpich_hub = median_bcast_latency(
-      4, NetworkType::kHub, coll::BcastAlgo::kMpichBinomial, 5000);
+      4, NetworkType::kHub, "mpich", 5000);
   const double mpich_switch = median_bcast_latency(
-      4, NetworkType::kSwitch, coll::BcastAlgo::kMpichBinomial, 5000);
+      4, NetworkType::kSwitch, "mpich", 5000);
   EXPECT_GT(mpich_hub, mpich_switch)
       << "MPICH's many copies should saturate the shared medium (Fig. 11)";
 }
@@ -113,14 +112,14 @@ TEST(PaperShapes, HubVersusSwitch) {
 // Fig 12: with the linear algorithm the cost of adding processes is nearly
 // flat in message size, while MPICH's grows with it.
 TEST(PaperShapes, LinearScalingIsSizeIndependent) {
-  auto extra_cost = [](coll::BcastAlgo algo, int payload) {
+  auto extra_cost = [](const std::string& algo, int payload) {
     return median_bcast_latency(9, NetworkType::kSwitch, algo, payload) -
            median_bcast_latency(3, NetworkType::kSwitch, algo, payload);
   };
-  const double linear_small = extra_cost(coll::BcastAlgo::kMcastLinear, 0);
-  const double linear_large = extra_cost(coll::BcastAlgo::kMcastLinear, 5000);
-  const double mpich_small = extra_cost(coll::BcastAlgo::kMpichBinomial, 0);
-  const double mpich_large = extra_cost(coll::BcastAlgo::kMpichBinomial, 5000);
+  const double linear_small = extra_cost("mcast-linear", 0);
+  const double linear_large = extra_cost("mcast-linear", 5000);
+  const double mpich_small = extra_cost("mpich", 0);
+  const double mpich_large = extra_cost("mpich", 5000);
 
   // MPICH's 3->9 cost grows much more with size than linear-multicast's.
   EXPECT_GT(mpich_large - mpich_small, (linear_large - linear_small) * 2)
@@ -132,18 +131,18 @@ TEST(PaperShapes, BarrierOnHub) {
   for (int procs : {4, 8, 9}) {
     const double mpich =
         median_barrier_latency(procs, NetworkType::kHub,
-                               coll::BarrierAlgo::kMpich);
+                               "mpich");
     const double mcast =
         median_barrier_latency(procs, NetworkType::kHub,
-                               coll::BarrierAlgo::kMcast);
+                               "mcast");
     EXPECT_LT(mcast, mpich) << procs << " procs";
   }
   const double gap2 =
-      median_barrier_latency(2, NetworkType::kHub, coll::BarrierAlgo::kMpich) -
-      median_barrier_latency(2, NetworkType::kHub, coll::BarrierAlgo::kMcast);
+      median_barrier_latency(2, NetworkType::kHub, "mpich") -
+      median_barrier_latency(2, NetworkType::kHub, "mcast");
   const double gap9 =
-      median_barrier_latency(9, NetworkType::kHub, coll::BarrierAlgo::kMpich) -
-      median_barrier_latency(9, NetworkType::kHub, coll::BarrierAlgo::kMcast);
+      median_barrier_latency(9, NetworkType::kHub, "mpich") -
+      median_barrier_latency(9, NetworkType::kHub, "mcast");
   EXPECT_GT(gap9, gap2) << "the barrier gap should grow with N (Fig. 13)";
 }
 
@@ -163,7 +162,7 @@ TEST(PaperShapes, HubCollisionsProduceVariance) {
         if (p.rank() == 0) {
           data = pattern_payload(1, 1000);
         }
-        coll::bcast(p, p.comm_world(), data, 0, coll::BcastAlgo::kMcastBinary);
+        p.comm_world().coll().bcast(data, 0, "mcast-binary");
       });
   EXPECT_GT(result.net_delta.collisions, 0u)
       << "6-proc binary bcast on a hub should collide (paper, Fig. 9 text)";
@@ -174,9 +173,9 @@ TEST(PaperShapes, HubCollisionsProduceVariance) {
 // approach even in the best case, and degrades with a late receiver.
 TEST(PaperShapes, AckMcastDoesNotBeatScouts) {
   const double ack = median_bcast_latency(6, NetworkType::kSwitch,
-                                          coll::BcastAlgo::kAckMcast, 2000);
+                                          "ack-mcast", 2000);
   const double linear = median_bcast_latency(
-      6, NetworkType::kSwitch, coll::BcastAlgo::kMcastLinear, 2000);
+      6, NetworkType::kSwitch, "mcast-linear", 2000);
   // ACK collection serializes at the root just like linear scouts, but
   // happens after the data: completion cannot be faster than scouts by
   // more than noise; typically it is slower.
@@ -198,19 +197,17 @@ TEST(EndToEnd, MixedWorkloadRunsClean) {
         if (p.rank() == round % 7) {
           data = pattern_payload(static_cast<std::uint64_t>(round), 3000);
         }
-        coll::bcast(p, comm, data, round % 7,
-                    round % 2 == 0 ? coll::BcastAlgo::kMcastBinary
-                                   : coll::BcastAlgo::kMcastLinear);
+        comm.coll().bcast(data, round % 7,
+                          round % 2 == 0 ? "mcast-binary" : "mcast-linear");
         if (!check_pattern(static_cast<std::uint64_t>(round), data)) {
           ok[static_cast<std::size_t>(p.rank())] = 0;
         }
-        coll::barrier(p, comm, coll::BarrierAlgo::kMcast);
+        comm.coll().barrier("mcast");
         const std::int32_t mine = p.rank() + round;
         Buffer contrib(sizeof mine);
         std::memcpy(contrib.data(), &mine, sizeof mine);
-        const Buffer sum = coll::allreduce(p, comm, contrib, mpi::Op::kSum,
-                                           mpi::Datatype::kInt32,
-                                           coll::BcastAlgo::kMcastBinary);
+        const Buffer sum = comm.coll().allreduce(
+            contrib, mpi::Op::kSum, mpi::Datatype::kInt32, "mcast-binary");
         std::int32_t total = 0;
         std::memcpy(&total, sum.data(), sizeof total);
         if (total != 21 + 7 * round) {

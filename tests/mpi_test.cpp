@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "common/bytes.hpp"
 #include "mpi/datatype.hpp"
 #include "mpi/group.hpp"
@@ -371,7 +371,7 @@ TEST(Engine, SinkReceivesInternalTagTraffic) {
                           });
     }
     // Make sure the sink is installed before rank 0 sends.
-    coll::barrier(p, comm, coll::BarrierAlgo::kMcast);
+    comm.coll().barrier("mcast");
     if (p.rank() == 0) {
       p.send(comm, 1, mpi::kTagSeqNack, pattern_payload(1, 24),
              net::FrameKind::kControl);
@@ -415,7 +415,7 @@ TEST(World, RunTwiceReusesTheCluster) {
     if (p.rank() == 0) {
       first_sum += 1;
     }
-    coll::barrier(p, p.comm_world(), coll::BarrierAlgo::kMcast);
+    p.comm_world().coll().barrier("mcast");
   });
   // Second program on the same world: channels and FDB are already warm;
   // sequence numbers must carry over coherently.
@@ -424,7 +424,7 @@ TEST(World, RunTwiceReusesTheCluster) {
     if (p.rank() == 0) {
       data = pattern_payload(3, 128);
     }
-    coll::bcast(p, p.comm_world(), data, 0, coll::BcastAlgo::kMcastBinary);
+    p.comm_world().coll().bcast(data, 0, "mcast-binary");
     if (p.rank() == 2 && check_pattern(3, data)) {
       second_sum += 1;
     }
@@ -442,7 +442,7 @@ TEST(Comm, CollectivesWorkOnSplitComms) {
     if (sub.rank() == 0) {
       data = pattern_payload(static_cast<std::uint64_t>(p.rank() % 2), 2048);
     }
-    coll::bcast(p, sub, data, 0, coll::BcastAlgo::kMcastBinary);
+    sub.coll().bcast(data, 0, "mcast-binary");
     ok[static_cast<std::size_t>(p.rank())] =
         check_pattern(static_cast<std::uint64_t>(p.rank() % 2), data);
   });

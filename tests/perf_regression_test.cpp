@@ -7,9 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "coll/mcast.hpp"
-#include "coll/mcast_allgather.hpp"
 #include "inet/ip.hpp"
 #include "inet/udp.hpp"
 #include "net/counters.hpp"
@@ -34,8 +33,7 @@ ClusterConfig switch_config(int procs) {
 // --------------------------------------------------------- (a) correctness
 
 TEST(PayloadPath, BcastDeliversExactBytesThroughZeroCopyPipeline) {
-  for (coll::BcastAlgo algo :
-       {coll::BcastAlgo::kMcastBinary, coll::BcastAlgo::kMcastLinear}) {
+  for (const std::string algo : {"mcast-binary", "mcast-linear"}) {
     constexpr int kProcs = 6;
     constexpr std::size_t kBytes = 64 * 1024;  // 45 fragments
     Cluster cluster(switch_config(kProcs));
@@ -45,20 +43,18 @@ TEST(PayloadPath, BcastDeliversExactBytesThroughZeroCopyPipeline) {
       if (p.rank() == 0) {
         data = pattern_payload(0xFEED, kBytes);
       }
-      coll::bcast(p, p.comm_world(), data, 0, algo);
+      p.comm_world().coll().bcast(data, 0, algo);
       ok[static_cast<std::size_t>(p.rank())] =
           data.size() == kBytes && check_pattern(0xFEED, data);
     });
     for (int r = 0; r < kProcs; ++r) {
-      EXPECT_TRUE(ok[static_cast<std::size_t>(r)])
-          << coll::to_string(algo) << " rank " << r;
+      EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << algo << " rank " << r;
     }
   }
 }
 
 TEST(PayloadPath, AllgatherDeliversEveryBlockExactly) {
-  for (coll::AllgatherMode mode :
-       {coll::AllgatherMode::kLockstep, coll::AllgatherMode::kBlast}) {
+  for (const std::string algo : {"mcast-lockstep", "mcast-blast"}) {
     constexpr int kProcs = 5;
     constexpr std::size_t kBytes = 3000;  // forces fragmentation
     Cluster cluster(switch_config(kProcs));
@@ -66,19 +62,17 @@ TEST(PayloadPath, AllgatherDeliversEveryBlockExactly) {
     cluster.world().run([&](mpi::Proc& p) {
       const Buffer mine =
           pattern_payload(static_cast<std::uint64_t>(p.rank()), kBytes);
-      const auto out =
-          coll::allgather_mcast(p, p.comm_world(), mine, mode);
-      bool good = out.missing == 0 &&
-                  out.blocks.size() == static_cast<std::size_t>(kProcs);
+      const auto blocks = p.comm_world().coll().allgather(mine, algo);
+      bool good = blocks.size() == static_cast<std::size_t>(kProcs);
       for (int r = 0; good && r < kProcs; ++r) {
-        good = check_pattern(static_cast<std::uint64_t>(r),
-                             out.blocks[static_cast<std::size_t>(r)]);
+        good = blocks[static_cast<std::size_t>(r)].size() == kBytes &&
+               check_pattern(static_cast<std::uint64_t>(r),
+                             blocks[static_cast<std::size_t>(r)]);
       }
       ok[static_cast<std::size_t>(p.rank())] = good;
     });
     for (int r = 0; r < kProcs; ++r) {
-      EXPECT_TRUE(ok[static_cast<std::size_t>(r)])
-          << coll::to_string(mode) << " rank " << r;
+      EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << algo << " rank " << r;
     }
   }
 }
@@ -88,7 +82,7 @@ TEST(PayloadPath, BarrierReleasesEveryRank) {
   Cluster cluster(switch_config(kProcs));
   std::vector<int> done(kProcs, 0);
   cluster.world().run([&](mpi::Proc& p) {
-    coll::barrier(p, p.comm_world(), coll::BarrierAlgo::kMcast);
+    p.comm_world().coll().barrier("mcast");
     done[static_cast<std::size_t>(p.rank())] = 1;
   });
   for (int r = 0; r < kProcs; ++r) {
@@ -232,7 +226,7 @@ TEST(ZeroCopy, EndToEndBcastPayloadCopiesAreFlatInRankCount) {
       if (p.rank() == 0) {
         data = pattern_payload(0xABBA, kBytes);
       }
-      coll::bcast(p, p.comm_world(), data, 0, coll::BcastAlgo::kMcastLinear);
+      p.comm_world().coll().bcast(data, 0, "mcast-linear");
       EXPECT_TRUE(check_pattern(0xABBA, data));
     });
     const PayloadCounters delta = payload_counters().since(before);

@@ -6,8 +6,7 @@
 
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
-#include "coll/allreduce.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
@@ -47,7 +46,7 @@ std::vector<ProgramStep> random_program(Rng& rng, int procs, int steps) {
 /// digest of everything observed.
 std::vector<std::uint64_t> run_program(const std::vector<ProgramStep>& program,
                                        int procs, NetworkType net,
-                                       coll::BcastAlgo algo) {
+                                       const std::string& algo) {
   ClusterConfig config;
   config.num_procs = procs;
   config.network = net;
@@ -70,19 +69,24 @@ std::vector<std::uint64_t> run_program(const std::vector<ProgramStep>& program,
           if (p.rank() == step.root) {
             data = pattern_payload(step.pattern, step.payload);
           }
-          coll::bcast(p, comm, data, step.root, algo);
+          comm.coll().bcast(data, step.root, algo);
           mix(data);
           break;
         }
         case 1:
-          coll::barrier(p, comm, coll::BarrierAlgo::kMcast);
+          comm.coll().barrier("mcast");
           break;
         case 2: {
           const std::int64_t mine = static_cast<std::int64_t>(step.pattern % 1000) + p.rank();
           Buffer bytes(sizeof mine);
           std::memcpy(bytes.data(), &mine, sizeof mine);
-          const Buffer sum = coll::allreduce(p, comm, bytes, mpi::Op::kSum,
-                                             mpi::Datatype::kInt64, algo);
+          // Allreduce through the same broadcast stage when the registry
+          // carries it; reliability-protocol stages fall back to mpich.
+          const bool staged = coll::Registry::instance().find(
+                                  coll::CollOp::kAllreduce, algo) != nullptr;
+          const Buffer sum = comm.coll().allreduce(
+              bytes, mpi::Op::kSum, mpi::Datatype::kInt64,
+              staged ? algo : "mpich");
           mix(sum);
           break;
         }
@@ -104,19 +108,21 @@ TEST_P(RandomProgramEquivalence, AllAlgorithmsAgree) {
       rng.chance(0.5) ? NetworkType::kHub : NetworkType::kSwitch;
   const auto program = random_program(rng, procs, 6);
 
-  const auto reference =
-      run_program(program, procs, net, coll::BcastAlgo::kMpichBinomial);
+  const auto reference = run_program(program, procs, net, "mpich");
   // All ranks agree with each other under the reference algorithm.
   for (std::uint64_t h : reference) {
     EXPECT_EQ(h, reference.front());
   }
-  for (coll::BcastAlgo algo :
-       {coll::BcastAlgo::kMcastBinary, coll::BcastAlgo::kMcastLinear,
-        coll::BcastAlgo::kAckMcast, coll::BcastAlgo::kSequencer}) {
+  // Every registered broadcast algorithm must agree with the reference.
+  for (const std::string& algo :
+       coll::Registry::instance().names(coll::CollOp::kBcast)) {
+    if (algo == "mpich") {
+      continue;
+    }
     const auto digest = run_program(program, procs, net, algo);
     EXPECT_EQ(digest, reference)
-        << "algorithm " << coll::to_string(algo) << " diverged (procs="
-        << procs << ", net=" << cluster::to_string(net) << ")";
+        << "algorithm " << algo << " diverged (procs=" << procs
+        << ", net=" << cluster::to_string(net) << ")";
   }
 }
 
@@ -136,7 +142,7 @@ TEST_P(RandomFrameCounts, FormulasHoldEverywhere) {
       static_cast<std::uint64_t>(payload) / 1472 + 1;
   const auto n = static_cast<std::uint64_t>(procs);
 
-  auto count = [&](coll::BcastAlgo algo) {
+  auto count = [&](const std::string& algo) {
     ClusterConfig config;
     config.num_procs = procs;
     config.network = NetworkType::kSwitch;
@@ -146,15 +152,14 @@ TEST_P(RandomFrameCounts, FormulasHoldEverywhere) {
       if (p.rank() == 0) {
         data = pattern_payload(1, static_cast<std::size_t>(payload));
       }
-      coll::bcast(p, p.comm_world(), data, 0, algo);
+      p.comm_world().coll().bcast(data, 0, algo);
     };
     return cluster::count_frames(cluster, op, op).formula_frames();
   };
 
-  EXPECT_EQ(count(coll::BcastAlgo::kMpichBinomial),
-            frames_per_message * (n - 1))
+  EXPECT_EQ(count("mpich"), frames_per_message * (n - 1))
       << "procs=" << procs << " payload=" << payload;
-  EXPECT_EQ(count(coll::BcastAlgo::kMcastBinary), (n - 1) + frames_per_message)
+  EXPECT_EQ(count("mcast-binary"), (n - 1) + frames_per_message)
       << "procs=" << procs << " payload=" << payload;
 }
 
@@ -234,8 +239,7 @@ TEST_P(ReplayDeterminism, IdenticalAcrossRuns) {
                  if (p.rank() == 0) {
                    data = pattern_payload(static_cast<std::uint64_t>(rep), 2500);
                  }
-                 coll::bcast(p, p.comm_world(), data, 0,
-                             coll::BcastAlgo::kMcastBinary);
+                 p.comm_world().coll().bcast(data, 0, "mcast-binary");
                })
         .latencies_us.values();
   };

@@ -6,7 +6,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
 #include "coll/ack_mcast.hpp"
-#include "coll/coll.hpp"
+#include "coll/facade.hpp"
 #include "coll/sequencer.hpp"
 #include "common/bytes.hpp"
 #include "net/hub.hpp"
@@ -52,7 +52,7 @@ TEST(TwoGroups, OverlappingCommunicatorsStayOrdered) {
         if (comm_a.rank() == 0) {
           data = {static_cast<std::uint8_t>(10 + round)};
         }
-        coll::bcast(p, comm_a, data, 0, coll::BcastAlgo::kMcastBinary);
+        comm_a.coll().bcast(data, 0, "mcast-binary");
         observed[static_cast<std::size_t>(p.rank())].push_back(data.at(0));
       }
       if (in_b) {
@@ -60,7 +60,7 @@ TEST(TwoGroups, OverlappingCommunicatorsStayOrdered) {
         if (comm_b.rank() == 0) {
           data = {static_cast<std::uint8_t>(20 + round)};
         }
-        coll::bcast(p, comm_b, data, 0, coll::BcastAlgo::kMcastLinear);
+        comm_b.coll().bcast(data, 0, "mcast-linear");
         observed[static_cast<std::size_t>(p.rank())].push_back(data.at(0));
       }
     }
@@ -92,7 +92,7 @@ TEST(TwoGroups, PaperSection4ExampleWithSkew) {
       if (p.rank() == root) {
         data = {static_cast<std::uint8_t>(root)};
       }
-      coll::bcast(p, comm, data, root, coll::BcastAlgo::kMcastBinary);
+      comm.coll().bcast(data, root, "mcast-binary");
       order[static_cast<std::size_t>(p.rank())].push_back(data.at(0));
     }
   });
@@ -121,7 +121,7 @@ TEST(LossInjection, ScoutProtocolHangsLoudlyOnDataLoss) {
         if (p.rank() == 0) {
           data = pattern_payload(1, 100);
         }
-        coll::bcast(p, p.comm_world(), data, 0, coll::BcastAlgo::kMcastBinary);
+        p.comm_world().coll().bcast(data, 0, "mcast-binary");
       }),
       sim::DeadlockError);
 }
@@ -210,7 +210,7 @@ TEST(LossInjection, MpichBcastSurvivesHeavyFrameLoss) {
     if (p.rank() == 0) {
       data = pattern_payload(9, 4000);
     }
-    coll::bcast(p, p.comm_world(), data, 0, coll::BcastAlgo::kMpichBinomial);
+    p.comm_world().coll().bcast(data, 0, "mpich");
     ok[static_cast<std::size_t>(p.rank())] = check_pattern(9, data);
   });
   for (int r = 0; r < kProcs; ++r) {
@@ -251,7 +251,7 @@ TEST_P(BackendSafetyTest, ScoutDeadlockThenTeardownUnwindsAllRanks) {
       if (p.rank() == 0) {
         data = pattern_payload(1, 256);
       }
-      coll::bcast(p, p.comm_world(), data, 0, coll::BcastAlgo::kMcastBinary);
+      p.comm_world().coll().bcast(data, 0, "mcast-binary");
     });
     FAIL() << "expected DeadlockError";
   } catch (const sim::DeadlockError& e) {
@@ -282,8 +282,7 @@ TEST(BackendEquivalence, ClusterCollectiveTimingsMatchThreadOracle) {
           if (p.rank() == 0) {
             data = pattern_payload(3, 2000);
           }
-          coll::bcast(p, p.comm_world(), data, 0,
-                      coll::BcastAlgo::kMcastLinear);
+          p.comm_world().coll().bcast(data, 0, "mcast-linear");
         });
     return std::make_pair(result.latencies_us.median(),
                           cluster.simulator().events_executed());
@@ -342,7 +341,7 @@ TEST(HubPathology, CollisionsNeverCorruptDeliveredCollectives) {
       if (p.rank() == 0) {
         data = pattern_payload(static_cast<std::uint64_t>(i), 1000 + i * 100);
       }
-      coll::bcast(p, comm, data, 0, coll::BcastAlgo::kMcastBinary);
+      comm.coll().bcast(data, 0, "mcast-binary");
       if (!check_pattern(static_cast<std::uint64_t>(i), data)) {
         failures[static_cast<std::size_t>(p.rank())] = 1;
       }
