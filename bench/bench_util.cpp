@@ -61,8 +61,13 @@ void flush_bench_json() {
   for (std::size_t i = 0; i < state.records.size(); ++i) {
     const BenchRecord& r = state.records[i];
     os << "  {\"bench\": \"" << json_escape(state.name) << "\""
-       << ", \"op\": \"" << json_escape(r.op) << "\""
-       << ", \"network\": \"" << json_escape(r.network) << "\""
+       << ", \"op\": \"" << json_escape(r.op) << "\"";
+    if (!r.algo.empty()) {
+      // Only algorithm sweeps key records by algo; older benches fold the
+      // algorithm into op, and their baselines stay byte-identical.
+      os << ", \"algo\": \"" << json_escape(r.algo) << "\"";
+    }
+    os << ", \"network\": \"" << json_escape(r.network) << "\""
        << ", \"ranks\": " << r.ranks << ", \"bytes\": " << r.bytes
        << ", \"sim_time_us\": " << r.sim_time_us
        << ", \"wall_time_ms\": " << r.wall_time_ms

@@ -42,6 +42,7 @@ std::vector<std::string> registry_bcast_algos(
 /// payload-copy counts) is tracked across PRs.
 struct BenchRecord {
   std::string op;        ///< series label / operation name
+  std::string algo;      ///< registry algorithm name ("" when folded into op)
   std::string network;   ///< "hub", "switch", or "" when not applicable
   int ranks = 0;
   std::int64_t bytes = -1;           ///< payload bytes; -1 if n/a

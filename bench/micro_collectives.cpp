@@ -18,6 +18,18 @@ const std::vector<std::string>& bcast_algos() {
   return algos;
 }
 
+const std::vector<std::string>& reduce_algos() {
+  static const std::vector<std::string> algos =
+      coll::Registry::instance().names(coll::CollOp::kReduce);
+  return algos;
+}
+
+const std::vector<std::string>& scatter_algos() {
+  static const std::vector<std::string> algos =
+      coll::Registry::instance().names(coll::CollOp::kScatter);
+  return algos;
+}
+
 void run_bcast_batch(const std::string& algo, int procs, int payload,
                      int iterations) {
   cluster::ClusterConfig config;
@@ -87,6 +99,76 @@ void BM_BarrierAlgorithm(benchmark::State& state) {
 BENCHMARK(BM_BarrierAlgorithm)
     ->Args({0, 9})
     ->Args({1, 9})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReduceAlgorithm(benchmark::State& state) {
+  const std::string& algo =
+      reduce_algos().at(static_cast<std::size_t>(state.range(0)));
+  const int procs = static_cast<int>(state.range(1));
+  constexpr int kBatch = 20;
+  for (auto _ : state) {
+    cluster::ClusterConfig config;
+    config.num_procs = procs;
+    config.network = cluster::NetworkType::kSwitch;
+    cluster::Cluster cluster(config);
+    cluster.world().run([&](mpi::Proc& p) {
+      for (int i = 0; i < kBatch; ++i) {
+        const Buffer mine = pattern_payload(
+            static_cast<std::uint64_t>(i + p.rank()), 2000);
+        benchmark::DoNotOptimize(p.comm_world().coll().reduce(
+            mine, mpi::Op::kMax, mpi::Datatype::kByte, 0, algo));
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+  state.SetLabel(algo + "/" + std::to_string(procs) + "p");
+}
+// Every registered reduce algorithm at 4 procs — a new registry entry is
+// benchmarked for free.
+BENCHMARK(BM_ReduceAlgorithm)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (std::size_t i = 0; i < reduce_algos().size(); ++i) {
+        b->Args({static_cast<long>(i), 4});
+      }
+    })
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScatterAlgorithm(benchmark::State& state) {
+  const std::string& algo =
+      scatter_algos().at(static_cast<std::size_t>(state.range(0)));
+  const int procs = static_cast<int>(state.range(1));
+  constexpr int kBatch = 20;
+  constexpr std::size_t kChunk = 2000;
+  for (auto _ : state) {
+    cluster::ClusterConfig config;
+    config.num_procs = procs;
+    config.network = cluster::NetworkType::kSwitch;
+    cluster::Cluster cluster(config);
+    cluster.world().run([&](mpi::Proc& p) {
+      for (int i = 0; i < kBatch; ++i) {
+        std::vector<Buffer> chunks;
+        if (p.rank() == 0) {
+          for (int r = 0; r < procs; ++r) {
+            chunks.push_back(
+                pattern_payload(static_cast<std::uint64_t>(i + r), kChunk));
+          }
+        }
+        benchmark::DoNotOptimize(
+            p.comm_world().coll().scatter(chunks, 0, kChunk, algo));
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+  state.SetLabel(algo + "/" + std::to_string(procs) + "p");
+}
+BENCHMARK(BM_ScatterAlgorithm)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      for (std::size_t i = 0; i < scatter_algos().size(); ++i) {
+        b->Args({static_cast<long>(i), 4});
+      }
+    })
     ->Unit(benchmark::kMillisecond);
 
 void BM_AllreduceStack(benchmark::State& state) {

@@ -5,20 +5,29 @@
 #   cmake -DBENCH_EXES=<exe1;exe2> -DBENCH_ARGS=--reps=10 -DPYTHON=...
 #         -DDIFF_SCRIPT=... -DBASELINE_DIR=... -DWORK_DIR=...
 #         -P run_bench_diff.cmake
+#
+# A BENCH_EXES entry may carry per-bench arguments after "::" separators
+# (e.g. "path/micro_collectives_sweep::--reps=12"), appended after the
+# shared BENCH_ARGS — sweeps whose baselines were taken at a different rep
+# count than the figure benches declare it here.
 
 file(MAKE_DIRECTORY ${WORK_DIR})
 
+set(BENCH_EXE_PATHS)
 foreach(exe ${BENCH_EXES})
+  string(REPLACE "::" ";" exe_parts "${exe}")
+  list(POP_FRONT exe_parts exe_path)
+  list(APPEND BENCH_EXE_PATHS ${exe_path})
   # Twice: the first run warms the page cache and allocator, the second
   # overwrites BENCH_*.json with representative wall times.
   foreach(pass RANGE 1)
     execute_process(
-      COMMAND ${exe} ${BENCH_ARGS}
+      COMMAND ${exe_path} ${BENCH_ARGS} ${exe_parts}
       WORKING_DIRECTORY ${WORK_DIR}
       RESULT_VARIABLE bench_rc
       OUTPUT_QUIET)
     if(NOT bench_rc EQUAL 0)
-      message(FATAL_ERROR "bench run failed (${exe}): rc=${bench_rc}")
+      message(FATAL_ERROR "bench run failed (${exe_path}): rc=${bench_rc}")
     endif()
   endforeach()
 endforeach()
@@ -35,7 +44,7 @@ endif()
 # Every bench the gate runs must have produced its JSON (bench name =
 # executable name).
 set(require_args)
-foreach(exe ${BENCH_EXES})
+foreach(exe ${BENCH_EXE_PATHS})
   get_filename_component(exe_name ${exe} NAME)
   list(APPEND require_args --require BENCH_${exe_name}.json)
 endforeach()

@@ -13,7 +13,6 @@
 
 #include "cluster/cluster.hpp"
 #include "coll/facade.hpp"
-#include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 #include "common/flags.hpp"
 
@@ -115,7 +114,7 @@ int main(int argc, char** argv) {
     double mid = u[static_cast<std::size_t>(local) / 2 + 1];
     Buffer sample(sizeof mid);
     std::memcpy(sample.data(), &mid, sizeof mid);
-    const auto gathered = coll::gather_mpich(p, comm, sample, 0);
+    const auto gathered = comm.coll().gather(sample, /*root=*/0);
     if (rank == 0) {
       for (int r = 0; r < procs; ++r) {
         std::memcpy(&final_profile[static_cast<std::size_t>(r)],

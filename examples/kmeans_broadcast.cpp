@@ -17,7 +17,6 @@
 
 #include "cluster/cluster.hpp"
 #include "coll/facade.hpp"
-#include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 #include "common/flags.hpp"
 #include "common/rng.hpp"
@@ -136,7 +135,7 @@ int main(int argc, char** argv) {
       // Reduce partial sums to the root, which recomputes centroids.
       Buffer bytes(partial.size() * sizeof(double));
       std::memcpy(bytes.data(), partial.data(), bytes.size());
-      const Buffer summed = coll::reduce_mpich(p, comm, bytes, mpi::Op::kSum,
+      const Buffer summed = comm.coll().reduce(bytes, mpi::Op::kSum,
                                                mpi::Datatype::kDouble, 0);
       if (p.rank() == 0) {
         std::vector<double> sums(partial.size());

@@ -10,7 +10,6 @@
 
 #include "cluster/cluster.hpp"
 #include "coll/facade.hpp"
-#include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 #include "common/flags.hpp"
 #include "common/rng.hpp"
@@ -67,9 +66,8 @@ int main(int argc, char** argv) {
 
     Buffer mine(sizeof hits);
     std::memcpy(mine.data(), &hits, sizeof hits);
-    const Buffer team_hits = coll::reduce_mpich(p, team_comm, mine,
-                                                mpi::Op::kSum,
-                                                mpi::Datatype::kInt64, 0);
+    const Buffer team_hits = team_comm.coll().reduce(
+        mine, mpi::Op::kSum, mpi::Datatype::kInt64, /*root=*/0);
     if (team_comm.rank() == 0) {
       std::int64_t total = 0;
       std::memcpy(&total, team_hits.data(), sizeof total);

@@ -56,6 +56,33 @@ std::vector<Buffer> Coll::allgather(std::span<const std::uint8_t> data,
       .allgather(p_, comm_, data);
 }
 
+Buffer Coll::reduce(std::span<const std::uint8_t> data, mpi::Op op,
+                    mpi::Datatype type, int root, const std::string& algo) {
+  MC_EXPECTS(root >= 0 && root < comm_.size());
+  return entry(CollOp::kReduce, data.size(), algo)
+      .reduce(p_, comm_, data, op, type, root);
+}
+
+std::vector<Buffer> Coll::gather(std::span<const std::uint8_t> data, int root,
+                                 const std::string& algo) {
+  MC_EXPECTS(root >= 0 && root < comm_.size());
+  return entry(CollOp::kGather, data.size(), algo)
+      .gather(p_, comm_, data, root);
+}
+
+Buffer Coll::scatter(const std::vector<Buffer>& chunks, int root,
+                     std::size_t chunk_bytes, const std::string& algo) {
+  MC_EXPECTS(root >= 0 && root < comm_.size());
+  return entry(CollOp::kScatter, chunk_bytes, algo)
+      .scatter(p_, comm_, chunks, root);
+}
+
+Buffer Coll::scan(std::span<const std::uint8_t> data, mpi::Op op,
+                  mpi::Datatype type, const std::string& algo) {
+  return entry(CollOp::kScan, data.size(), algo)
+      .scan(p_, comm_, data, op, type);
+}
+
 std::shared_ptr<CollRequest> Coll::spawn_helper(
     const std::string& label, std::function<void(CollRequest&)> body) {
   auto request = std::make_shared<CollRequest>();
@@ -103,6 +130,48 @@ std::shared_ptr<CollRequest> Coll::iallreduce(
                      copy = std::move(copy), op, type](CollRequest& request) {
         request.result() = run(*proc, comm, copy, op, type);
       });
+}
+
+std::shared_ptr<CollRequest> Coll::ireduce(std::span<const std::uint8_t> data,
+                                           mpi::Op op, mpi::Datatype type,
+                                           int root, const std::string& algo) {
+  MC_EXPECTS(root >= 0 && root < comm_.size());
+  auto run = entry(CollOp::kReduce, data.size(), algo).reduce;
+  mpi::Proc* proc = &p_;
+  Buffer copy(data.begin(), data.end());
+  return spawn_helper("ireduce",
+                      [run = std::move(run), proc, comm = comm_,
+                       copy = std::move(copy), op, type,
+                       root](CollRequest& request) {
+                        request.result() = run(*proc, comm, copy, op, type,
+                                               root);
+                      });
+}
+
+std::shared_ptr<CollRequest> Coll::igather(std::span<const std::uint8_t> data,
+                                           int root, const std::string& algo) {
+  MC_EXPECTS(root >= 0 && root < comm_.size());
+  auto run = entry(CollOp::kGather, data.size(), algo).gather;
+  mpi::Proc* proc = &p_;
+  Buffer copy(data.begin(), data.end());
+  return spawn_helper("igather",
+                      [run = std::move(run), proc, comm = comm_,
+                       copy = std::move(copy), root](CollRequest& request) {
+                        request.blocks() = run(*proc, comm, copy, root);
+                      });
+}
+
+std::shared_ptr<CollRequest> Coll::iscatter(const std::vector<Buffer>& chunks,
+                                            int root, std::size_t chunk_bytes,
+                                            const std::string& algo) {
+  MC_EXPECTS(root >= 0 && root < comm_.size());
+  auto run = entry(CollOp::kScatter, chunk_bytes, algo).scatter;
+  mpi::Proc* proc = &p_;
+  return spawn_helper("iscatter",
+                      [run = std::move(run), proc, comm = comm_,
+                       chunks = chunks, root](CollRequest& request) {
+                        request.result() = run(*proc, comm, chunks, root);
+                      });
 }
 
 }  // namespace mcmpi::coll

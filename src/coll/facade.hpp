@@ -16,8 +16,11 @@
 /// Algorithms are resolved by name through coll::Registry; the default
 /// (kAuto) consults the communicator's tuning table (World::coll_tuning —
 /// ClusterConfig / MCMPI_COLL_TUNING overridable), which encodes the
-/// paper's message-size × group-size crossover points.  The legacy enum
-/// free functions in coll.hpp forward here and are deprecated.
+/// paper's message-size × group-size crossover points.  The facade carries
+/// the full collective surface: bcast / barrier / allreduce / allgather /
+/// reduce / gather / scatter / scan, with nonblocking i-variants.  The
+/// per-algorithm headers (mcast.hpp, mpich.hpp, ...) remain the
+/// implementation layer for primitives and custom protocol knobs.
 
 #include <memory>
 #include <string>
@@ -53,6 +56,30 @@ class Coll {
   std::vector<Buffer> allgather(std::span<const std::uint8_t> data,
                                 const std::string& algo = kAuto);
 
+  /// Returns the reduced vector at `root` (empty elsewhere).  Operands are
+  /// combined in communicator rank order, so non-commutative custom ops
+  /// (mpi::Op::kCustom) see MPI's canonical reduction order on every
+  /// algorithm.
+  Buffer reduce(std::span<const std::uint8_t> data, mpi::Op op,
+                mpi::Datatype type, int root, const std::string& algo = kAuto);
+
+  /// Returns comm.size() blocks at `root` (indexed by comm rank), an empty
+  /// vector elsewhere.  Under kAuto every rank must pass equal-sized data
+  /// (MPI's matching-count rule; the kAuto size rule above).
+  std::vector<Buffer> gather(std::span<const std::uint8_t> data, int root,
+                             const std::string& algo = kAuto);
+
+  /// Scatters `chunks` (root-only input, comm.size() entries; ignored
+  /// elsewhere) and returns this rank's chunk.  `chunk_bytes` is the
+  /// per-rank chunk size every rank agrees on — the MPI recvcount analogue
+  /// and the size kAuto keys on; explicitly named algorithms may pass 0.
+  Buffer scatter(const std::vector<Buffer>& chunks, int root,
+                 std::size_t chunk_bytes = 0, const std::string& algo = kAuto);
+
+  /// Inclusive prefix reduction (MPI_Scan): rank r gets op over ranks 0..r.
+  Buffer scan(std::span<const std::uint8_t> data, mpi::Op op,
+              mpi::Datatype type, const std::string& algo = kAuto);
+
   // --------------------------------------------------------- nonblocking
   /// Starts the broadcast on a helper fiber and returns immediately (in
   /// virtual time).  `buffer` must stay alive and untouched until the
@@ -69,6 +96,25 @@ class Coll {
   std::shared_ptr<CollRequest> iallreduce(std::span<const std::uint8_t> data,
                                           mpi::Op op, mpi::Datatype type,
                                           const std::string& algo = kAuto);
+
+  /// Root's result in request->result() (empty elsewhere); `data` is
+  /// copied at call time.
+  std::shared_ptr<CollRequest> ireduce(std::span<const std::uint8_t> data,
+                                       mpi::Op op, mpi::Datatype type,
+                                       int root,
+                                       const std::string& algo = kAuto);
+
+  /// Root's blocks in request->blocks() (empty elsewhere); `data` is
+  /// copied at call time.
+  std::shared_ptr<CollRequest> igather(std::span<const std::uint8_t> data,
+                                       int root,
+                                       const std::string& algo = kAuto);
+
+  /// This rank's chunk in request->result(); `chunks` is copied at call
+  /// time.
+  std::shared_ptr<CollRequest> iscatter(const std::vector<Buffer>& chunks,
+                                        int root, std::size_t chunk_bytes = 0,
+                                        const std::string& algo = kAuto);
 
   // ----------------------------------------------------------- selection
   /// The algorithm `algo` resolves to for a payload of `bytes` — kAuto goes

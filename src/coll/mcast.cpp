@@ -23,7 +23,7 @@ struct McastHeader {
 /// separate gather part, so framing never re-buffers the data.
 Buffer header_bytes(const McastHeader& h) {
   Buffer out;
-  out.reserve(16);
+  out.reserve(kMcastFrameHeaderBytes);
   ByteWriter w(out);
   w.u32(h.context);
   w.i32(h.root_world);
@@ -40,6 +40,27 @@ McastHeader parse_header(ByteReader& r) {
 }
 
 }  // namespace
+
+void wait_priced_chain(Proc& p, sim::WaitQueue& done,
+                       const std::function<bool()>& complete,
+                       const std::function<SimTime()>& chain_end) {
+  sim::Simulator& sim = p.self().simulator();
+  if (complete()) {
+    // Everything pre-arrived: the whole chain is consecutive overhead from
+    // here, one (usually coalesced) delay.
+    p.self().delay(chain_end() - sim.now());
+    return;
+  }
+  SimTime end = kTimeZero;
+  const bool absorbed =
+      sim::wait_for_charged(p.self(), done, complete, [&]() -> SimTime {
+        end = chain_end();
+        return end - sim.now();
+      });
+  if (!absorbed) {
+    p.self().delay_until(end);
+  }
+}
 
 namespace {
 
@@ -88,8 +109,9 @@ void gather_scouts(Proc& p, const Comm& comm, std::size_t expected,
 
   // Scouts that beat this rank to the engine were available at entry, just
   // as unexpected-queue matches were for the sequential gather.
-  for (mpi::Rank src : engine.drain_unexpected(context, mpi::kTagScout)) {
-    arrivals.push_back({src, sim.now()});
+  for (const mpi::Engine::DrainedEager& m :
+       engine.drain_unexpected(context, mpi::kTagScout)) {
+    arrivals.push_back({m.src_world, sim.now()});
   }
 
   const auto complete = [&] { return arrivals.size() == expected; };
@@ -115,21 +137,7 @@ void gather_scouts(Proc& p, const Comm& comm, std::size_t expected,
     return chain;
   };
 
-  if (complete()) {
-    // Everything pre-arrived: the whole chain is consecutive overhead from
-    // here, one (usually coalesced) delay.
-    p.self().delay(chain_end() - sim.now());
-    return;
-  }
-  SimTime end = kTimeZero;
-  const bool absorbed =
-      sim::wait_for_charged(p.self(), done, complete, [&]() -> SimTime {
-        end = chain_end();
-        return end - sim.now();
-      });
-  if (!absorbed) {
-    p.self().delay_until(end);
-  }
+  wait_priced_chain(p, done, complete, chain_end);
 }
 
 }  // namespace

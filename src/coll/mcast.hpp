@@ -22,10 +22,22 @@
 /// back-to-back broadcasts on one group deliver in program order, checked
 /// here with per-channel sequence numbers).
 
+#include <functional>
+
 #include "common/bytes.hpp"
 #include "mpi/proc.hpp"
 
 namespace mcmpi::coll {
+
+/// Aggregate charged collection, the shared wake protocol of the scout
+/// gather and the data-scout collectives (mcast_reduce.hpp): parks until
+/// `complete()` with at most ONE wake-up, pricing `chain_end()` — the end
+/// of the sequential receive chain, recomputed in the notifier's context —
+/// into the final wake.  When everything pre-arrived, the whole chain is
+/// slept here as one (usually coalesced) delay.
+void wait_priced_chain(mpi::Proc& p, sim::WaitQueue& done,
+                       const std::function<bool()>& complete,
+                       const std::function<SimTime()>& chain_end);
 
 /// Binomial-tree scout gather to `root` (used by Fig. 3 broadcast and the
 /// multicast barrier).  Every non-root rank sends exactly one zero-data
@@ -34,6 +46,11 @@ void scout_gather_binary(mpi::Proc& p, const mpi::Comm& comm, int root);
 
 /// Linear scout gather: all non-root ranks scout straight to the root.
 void scout_gather_linear(mpi::Proc& p, const mpi::Comm& comm, int root);
+
+/// Wire size of the (context, root, sequence) framing header every framed
+/// multicast carries — budget it when sizing a datagram against the
+/// fragment-offset ceiling or a socket buffer.
+inline constexpr std::size_t kMcastFrameHeaderBytes = 16;
 
 /// Multicasts `payload` on the communicator's channel with the (context,
 /// root, sequence) framing; charges the sender software overhead for

@@ -1,0 +1,282 @@
+#include "coll/mcast_reduce.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "coll/mcast.hpp"
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+namespace {
+
+/// Per-(communicator, tag) protocol state for the async block exchange.
+/// Every rank advances op_seq exactly once per collective that uses the
+/// tag (senders when framing, the root when collecting), so the sequence
+/// numbers agree across ranks without extra traffic; blocks of future
+/// operations that overtake a straggler are stashed by sequence.
+struct AsyncBlockStates {
+  struct PerTag {
+    std::uint64_t op_seq = 0;
+    /// Framed blocks of future operations (zero-copy views; the ref keeps
+    /// the transport buffer alive until that operation collects them).
+    std::map<std::uint64_t, std::vector<std::pair<mpi::Rank, PayloadRef>>>
+        stashed;
+  };
+  std::map<mpi::Tag, PerTag> by_tag;
+};
+
+/// Fire-and-forget framed block send to comm-rank `dst` (sender side of the
+/// protocol above).
+void send_block_async(Proc& p, const Comm& comm, int dst, mpi::Tag tag,
+                      std::span<const std::uint8_t> bytes) {
+  auto& st = p.coll_state<AsyncBlockStates>(comm).by_tag[tag];
+  Buffer framed;
+  framed.reserve(bytes.size() + 8);
+  ByteWriter w(framed);
+  w.u64(st.op_seq++);
+  w.bytes(bytes);
+  p.send_data_async(comm, dst, tag, framed);
+}
+
+/// Collects one framed block from every world rank in `sources`, with at
+/// most one wake-up: blocks are absorbed by an engine sink (or drained from
+/// the unexpected queue when they beat this rank into the engine), and the
+/// sequential receive chain — each block max(chain, availability) + its
+/// receive overhead, in arrival order — is priced into the final wake, the
+/// cost model of the aggregate scout gather (coll/mcast.cpp).  Returns
+/// zero-copy views of the payloads in `sources` order; the caller performs
+/// its one delivery copy at the API boundary.
+std::vector<PayloadRef> collect_async_blocks(
+    Proc& p, const Comm& comm, mpi::Tag tag,
+    const std::vector<mpi::Rank>& sources, mpi::CostTier tier) {
+  auto& st = p.coll_state<AsyncBlockStates>(comm).by_tag[tag];
+  const std::uint64_t op_seq = st.op_seq++;
+  const std::size_t expected = sources.size();
+  if (expected == 0) {
+    return {};
+  }
+  const std::uint32_t context = comm.context();
+  mpi::Engine& engine = p.engine();
+  sim::Simulator& sim = p.self().simulator();
+
+  struct Arrival {
+    mpi::Rank src;
+    SimTime at;
+    PayloadRef data;
+  };
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(expected);
+  sim::WaitQueue done;
+
+  // Blocks of THIS operation that arrived while an earlier collection on
+  // the same tag was still in flight.
+  if (auto it = st.stashed.find(op_seq); it != st.stashed.end()) {
+    for (auto& [src, data] : it->second) {
+      arrivals.push_back({src, sim.now(), std::move(data)});
+    }
+    st.stashed.erase(it);
+  }
+
+  const auto accept = [&](mpi::Rank src, PayloadRef framed) {
+    ByteReader r(framed);
+    const std::uint64_t seq = r.u64();
+    PayloadRef data = framed.slice(r.position());
+    if (seq == op_seq) {
+      arrivals.push_back({src, sim.now(), std::move(data)});
+      if (arrivals.size() == expected) {
+        done.notify_one();
+      }
+      return;
+    }
+    // A block for a future collective overtook a straggler of this one.
+    MC_ASSERT_MSG(seq > op_seq, "stale async block (sequence ran backwards)");
+    st.stashed[seq].emplace_back(src, std::move(data));
+  };
+
+  engine.set_sink(context, tag, [&accept](mpi::Rank src, PayloadRef data) {
+    accept(src, std::move(data));
+  });
+  struct SinkGuard {
+    mpi::Engine& engine;
+    std::uint32_t context;
+    mpi::Tag tag;
+    ~SinkGuard() { engine.clear_sink(context, tag); }
+  } guard{engine, context, tag};
+
+  for (const mpi::Engine::DrainedEager& m :
+       engine.drain_unexpected(context, tag)) {
+    accept(m.src_world, m.data);
+  }
+
+  const auto complete = [&] { return arrivals.size() == expected; };
+  const auto chain_end = [&]() -> SimTime {
+    SimTime chain = kTimeZero;
+    for (const Arrival& a : arrivals) {
+      chain = std::max(chain, a.at) +
+              p.costs().recv_overhead(static_cast<std::int64_t>(a.data.size()),
+                                      tier);
+    }
+    return chain;
+  };
+
+  wait_priced_chain(p, done, complete, chain_end);
+
+  std::vector<PayloadRef> out(expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    const auto it = std::find_if(
+        arrivals.begin(), arrivals.end(),
+        [&](const Arrival& a) { return a.src == sources[i]; });
+    MC_ASSERT_MSG(it != arrivals.end(), "async block from unexpected source");
+    out[i] = std::move(it->data);
+    it->src = mpi::kAnySource;  // consumed; guards against duplicate sources
+  }
+  return out;
+}
+
+/// Group-aligned slice boundary: first byte of rank r's slice.
+std::size_t slice_offset(std::size_t groups, std::size_t group_bytes, int size,
+                         int r) {
+  return (groups * static_cast<std::size_t>(r) /
+          static_cast<std::size_t>(size)) *
+         group_bytes;
+}
+
+/// World ranks of every member except `root`, in comm-rank order (the
+/// expected data-scout senders).
+std::vector<mpi::Rank> non_root_world_ranks(const Comm& comm, int root) {
+  std::vector<mpi::Rank> sources;
+  sources.reserve(static_cast<std::size_t>(comm.size() - 1));
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r != root) {
+      sources.push_back(comm.world_rank_of(r));
+    }
+  }
+  return sources;
+}
+
+}  // namespace
+
+Buffer reduce_mcast_scout(Proc& p, const Comm& comm,
+                          std::span<const std::uint8_t> data, mpi::Op op,
+                          mpi::Datatype type, int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS(root >= 0 && root < size);
+  MC_EXPECTS(data.size() % mpi::datatype_size(type) == 0);
+  if (size == 1) {
+    return Buffer(data.begin(), data.end());
+  }
+  const std::size_t count = data.size() / mpi::datatype_size(type);
+  const std::size_t group = mpi::op_group_elements(op);
+  // Slices may only split at combining-group boundaries.  An operand that
+  // is not a whole number of groups (a custom op with an awkward extent —
+  // the predicate cannot see the op, so kAuto may still land here) degrades
+  // to ONE group spanning the whole vector: a single rank combines
+  // full-width partials, still in rank order, and the conservative
+  // eager-path predicate already admits that worst-case scout size.
+  const bool aligned = group > 0 && count % group == 0;
+  const std::size_t groups = aligned ? count / group : (count > 0 ? 1 : 0);
+  const std::size_t group_bytes =
+      aligned ? group * mpi::datatype_size(type) : data.size();
+
+  (void)p.mcast_channel(comm);
+  // Readiness once for the whole lockstep phase (§4: receivers before any
+  // multicast fires).
+  barrier_mcast(p, comm);
+
+  const std::size_t lo = slice_offset(groups, group_bytes, size, rank);
+  const std::size_t hi = slice_offset(groups, group_bytes, size, rank + 1);
+  const std::size_t slice_count = (hi - lo) / mpi::datatype_size(type);
+
+  // Lockstep multicast of every operand, combining this rank's slice in
+  // rank order as the operands stream past (lower ∘ higher).
+  Buffer myslice;
+  for (int r = 0; r < size; ++r) {
+    Buffer operand;
+    std::span<const std::uint8_t> view;
+    if (r == rank) {
+      mcast_send_framed(p, comm, data, r, net::FrameKind::kData);
+      view = data;
+    } else {
+      operand = mcast_recv_framed(p, comm, r);
+      MC_ASSERT_MSG(operand.size() == data.size(),
+                    "reduce operand size mismatch across ranks");
+      view = operand;
+    }
+    Buffer slice(view.begin() + static_cast<std::ptrdiff_t>(lo),
+                 view.begin() + static_cast<std::ptrdiff_t>(hi));
+    if (r == 0) {
+      myslice = std::move(slice);
+    } else {
+      mpi::apply_op(op, type, myslice, slice, slice_count);
+      myslice = std::move(slice);
+    }
+  }
+
+  // Combined partial slices flow to the root as data scouts.
+  if (rank != root) {
+    send_block_async(p, comm, root, mpi::kTagReducePartial, myslice);
+    return {};
+  }
+  const std::vector<PayloadRef> partials =
+      collect_async_blocks(p, comm, mpi::kTagReducePartial,
+                           non_root_world_ranks(comm, root),
+                           mpi::CostTier::kMpi);
+
+  // The one delivery copy: slices land directly in the result buffer.
+  Buffer result(data.size());
+  std::copy(myslice.begin(), myslice.end(),
+            result.begin() + static_cast<std::ptrdiff_t>(lo));
+  std::size_t idx = 0;
+  for (int r = 0; r < size; ++r) {
+    if (r == root) {
+      continue;
+    }
+    const PayloadRef& part = partials[idx++];
+    const std::size_t r_lo = slice_offset(groups, group_bytes, size, r);
+    const std::size_t r_hi = slice_offset(groups, group_bytes, size, r + 1);
+    MC_ASSERT_MSG(part.size() == r_hi - r_lo, "partial slice size mismatch");
+    std::copy(part.data(), part.data() + part.size(),
+              result.begin() + static_cast<std::ptrdiff_t>(r_lo));
+  }
+  return result;
+}
+
+std::vector<Buffer> gather_scout_combining(Proc& p, const Comm& comm,
+                                           std::span<const std::uint8_t> data,
+                                           int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS(root >= 0 && root < size);
+  if (size == 1) {
+    std::vector<Buffer> out;
+    out.emplace_back(data.begin(), data.end());
+    return out;
+  }
+  if (rank != root) {
+    send_block_async(p, comm, root, mpi::kTagGatherBlock, data);
+    return {};
+  }
+  const std::vector<PayloadRef> blocks =
+      collect_async_blocks(p, comm, mpi::kTagGatherBlock,
+                           non_root_world_ranks(comm, root),
+                           mpi::CostTier::kMpi);
+  std::vector<Buffer> out(static_cast<std::size_t>(size));
+  out[static_cast<std::size_t>(root)] = Buffer(data.begin(), data.end());
+  std::size_t idx = 0;
+  for (int r = 0; r < size; ++r) {
+    if (r != root) {
+      // The delivery copy into the caller's private block, at the API
+      // boundary.
+      out[static_cast<std::size_t>(r)] = blocks[idx++].to_buffer();
+    }
+  }
+  return out;
+}
+
+}  // namespace mcmpi::coll

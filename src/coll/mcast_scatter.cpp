@@ -1,0 +1,80 @@
+#include "coll/mcast_scatter.hpp"
+
+#include <numeric>
+
+#include "coll/mcast.hpp"
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+Buffer scatter_mcast_slice(Proc& p, const Comm& comm,
+                           const std::vector<Buffer>& chunks, int root) {
+  const int size = comm.size();
+  const int rank = comm.rank();
+  MC_EXPECTS(root >= 0 && root < size);
+  if (size == 1) {
+    MC_EXPECTS_MSG(chunks.size() == 1, "scatter needs one chunk per rank");
+    return chunks[0];
+  }
+
+  // Channel creation precedes the scout: readiness before the single
+  // transmission, the §4 ordering argument.
+  (void)p.mcast_channel(comm);
+  scout_gather_binary(p, comm, root);
+
+  if (rank == root) {
+    MC_EXPECTS_MSG(static_cast<int>(chunks.size()) == size,
+                   "scatter needs one chunk per rank");
+    const std::size_t total = std::accumulate(
+        chunks.begin(), chunks.end(), scatter_table_bytes(size),
+        [](std::size_t sum, const Buffer& c) { return sum + c.size(); });
+    // The registry predicate checks the facade's chunk_bytes HINT, which an
+    // explicitly named algorithm may pass as 0 — so the real payload must be
+    // re-checked here, or an oversized datagram silently never enqueues and
+    // every receiver hangs.
+    MC_EXPECTS_MSG(total + kMcastFrameHeaderBytes <= kMaxMcastPayloadBytes,
+                   "concatenated scatter payload exceeds the multicast "
+                   "datagram ceiling (use the point-to-point algorithm)");
+    MC_EXPECTS_MSG(total + kMcastFrameHeaderBytes <= p.mcast_recv_buffer(),
+                   "concatenated scatter payload exceeds the receivers' "
+                   "multicast socket buffer (use the point-to-point "
+                   "algorithm)");
+    Buffer wire;
+    wire.reserve(total);
+    ByteWriter w(wire);
+    w.u32(static_cast<std::uint32_t>(size));
+    for (const Buffer& chunk : chunks) {
+      w.u64(chunk.size());
+    }
+    for (const Buffer& chunk : chunks) {
+      w.bytes(chunk);
+    }
+    mcast_send_framed(p, comm, wire, root, net::FrameKind::kData);
+    return chunks[static_cast<std::size_t>(root)];
+  }
+
+  const Buffer wire = mcast_recv_framed(p, comm, root);
+  ByteReader r(wire);
+  const std::uint32_t n = r.u32();
+  MC_ASSERT_MSG(n == static_cast<std::uint32_t>(size),
+                "scatter chunk table does not match the communicator");
+  std::size_t offset = 0;
+  std::size_t mine_bytes = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t len = r.u64();
+    if (i < static_cast<std::uint32_t>(rank)) {
+      offset += static_cast<std::size_t>(len);
+    } else if (i == static_cast<std::uint32_t>(rank)) {
+      mine_bytes = static_cast<std::size_t>(len);
+    }
+  }
+  const auto body = r.rest();
+  MC_ASSERT(offset + mine_bytes <= body.size());
+  return Buffer(body.begin() + static_cast<std::ptrdiff_t>(offset),
+                body.begin() + static_cast<std::ptrdiff_t>(offset + mine_bytes));
+}
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,40 @@
+#pragma once
+/// \file mcast_scatter.hpp
+/// Single-transmission multicast scatter — the bandwidth-saving trick of
+/// Zhou et al. applied to MPI_Scatter.
+///
+/// The point-to-point scatter sends N-1 separate chunk messages from the
+/// root.  On a multicast-capable network the root can instead transmit the
+/// concatenated payload ONCE: scout synchronization makes every receiver
+/// ready (§4), the root multicasts [chunk table || chunk bytes] through the
+/// zero-copy gather-send path, and each rank slices its own chunk out of
+/// the delivered datagram.  The root pays one send overhead instead of N-1
+/// and the payload crosses the shared medium once.
+///
+/// The whole concatenated payload must fit one simulated UDP datagram:
+/// the IP fragment offset field (16 bits of 8-byte units) caps datagrams
+/// near 512 KiB, which the registry predicate enforces.
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mpi/proc.hpp"
+
+namespace mcmpi::coll {
+
+/// Conservative ceiling for one multicast datagram (IP fragment offsets
+/// wrap at 65535 * 8 bytes; leave headroom for the UDP/framing headers).
+inline constexpr std::size_t kMaxMcastPayloadBytes = 512000;
+
+/// Wire overhead of the chunk table for an N-rank scatter (u32 count +
+/// one u64 length per chunk).
+inline constexpr std::size_t scatter_table_bytes(int ranks) {
+  return 4 + 8 * static_cast<std::size_t>(ranks);
+}
+
+/// Scatter `chunks` (root only; comm.size() entries) with one multicast;
+/// returns this rank's chunk.
+Buffer scatter_mcast_slice(mpi::Proc& p, const mpi::Comm& comm,
+                           const std::vector<Buffer>& chunks, int root);
+
+}  // namespace mcmpi::coll

@@ -79,6 +79,22 @@ Buffer reduce_mpich(Proc& p, const Comm& comm,
   MC_EXPECTS(data.size() % mpi::datatype_size(type) == 0);
   const std::size_t count = data.size() / mpi::datatype_size(type);
 
+  // The binomial tree runs over relative ranks — a rotation of the
+  // canonical rank order when root != 0.  Non-commutative ops must combine
+  // in true rank order, so reduce to rank 0 first and forward the result
+  // (what MPICH does for non-commutative operations).
+  if (!mpi::op_commutative(op) && root != 0) {
+    Buffer at_zero = reduce_mpich(p, comm, data, op, type, /*root=*/0);
+    if (rank == 0) {
+      p.send(comm, root, mpi::kTagCollective, at_zero);
+      return {};
+    }
+    if (rank == root) {
+      return p.recv(comm, 0, mpi::kTagCollective);
+    }
+    return {};
+  }
+
   Buffer accum(data.begin(), data.end());
   const int rel = (rank - root + size) % size;
   int mask = 1;
@@ -90,9 +106,12 @@ Buffer reduce_mpich(Proc& p, const Comm& comm,
     }
     if (rel + mask < size) {
       const int child = ((rel + mask) + root) % size;
-      const Buffer contribution = p.recv(comm, child, mpi::kTagCollective);
+      // accum covers relative ranks [rel, rel+mask), the child's partial
+      // [rel+mask, rel+2*mask): lower ∘ higher keeps rank order.
+      Buffer contribution = p.recv(comm, child, mpi::kTagCollective);
       MC_ASSERT(contribution.size() == accum.size());
-      mpi::apply_op(op, type, contribution, accum, count);
+      mpi::apply_op(op, type, accum, contribution, count);
+      accum = std::move(contribution);
     }
     mask <<= 1;
   }
@@ -172,6 +191,36 @@ Buffer scan_mpich(Proc& p, const Comm& comm,
   }
   if (rank < comm.size() - 1) {
     p.send(comm, rank + 1, mpi::kTagCollective, accum);
+  }
+  return accum;
+}
+
+Buffer scan_doubling(Proc& p, const Comm& comm,
+                     std::span<const std::uint8_t> data, mpi::Op op,
+                     mpi::Datatype type) {
+  MC_EXPECTS(data.size() % mpi::datatype_size(type) == 0);
+  const std::size_t count = data.size() / mpi::datatype_size(type);
+  const int size = comm.size();
+  const int rank = comm.rank();
+  Buffer accum(data.begin(), data.end());
+  for (int dist = 1; dist < size; dist <<= 1) {
+    // Post the receive from the lower partner first, then ship the current
+    // partial downstream: the send graph (r -> r+dist) is acyclic, so the
+    // exchange cannot deadlock even on the rendezvous path.
+    std::shared_ptr<mpi::RecvRequest> from_lower;
+    if (rank - dist >= 0) {
+      from_lower = p.irecv(comm, rank - dist, mpi::kTagCollective);
+    }
+    if (rank + dist < size) {
+      p.send(comm, rank + dist, mpi::kTagCollective, accum);
+    }
+    if (from_lower != nullptr) {
+      // The partner's partial covers [rank-2*dist+1, rank-dist], ours
+      // [rank-dist+1, rank]: lower ∘ higher extends the prefix in order.
+      const Buffer lower = p.wait(from_lower);
+      MC_ASSERT(lower.size() == accum.size());
+      mpi::apply_op(op, type, lower, accum, count);
+    }
   }
   return accum;
 }

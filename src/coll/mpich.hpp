@@ -58,4 +58,12 @@ Buffer scan_mpich(mpi::Proc& p, const mpi::Comm& comm,
                   std::span<const std::uint8_t> data, mpi::Op op,
                   mpi::Datatype type);
 
+/// Inclusive prefix reduction by recursive doubling: ceil(log2 N) rounds of
+/// binomial-segmented partials (at round k rank r holds the combined span
+/// [r-2^k+1, r]), each combine lower ∘ higher so rank order is preserved.
+/// Critical path log2 N versus the linear chain's N-1.
+Buffer scan_doubling(mpi::Proc& p, const mpi::Comm& comm,
+                     std::span<const std::uint8_t> data, mpi::Op op,
+                     mpi::Datatype type);
+
 }  // namespace mcmpi::coll

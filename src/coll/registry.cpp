@@ -8,6 +8,8 @@
 #include "coll/ack_mcast.hpp"
 #include "coll/mcast.hpp"
 #include "coll/mcast_allgather.hpp"
+#include "coll/mcast_reduce.hpp"
+#include "coll/mcast_scatter.hpp"
 #include "coll/mpich.hpp"
 #include "coll/scatter_allgather.hpp"
 #include "coll/sequencer.hpp"
@@ -25,6 +27,14 @@ std::string to_string(CollOp op) {
       return "allreduce";
     case CollOp::kAllgather:
       return "allgather";
+    case CollOp::kReduce:
+      return "reduce";
+    case CollOp::kGather:
+      return "gather";
+    case CollOp::kScatter:
+      return "scatter";
+    case CollOp::kScan:
+      return "scan";
   }
   return "?";
 }
@@ -42,6 +52,34 @@ double log2n(int ranks) {
 }
 
 bool always(const mpi::Comm&, std::size_t) { return true; }
+
+/// The scout-combining protocols ship blocks as fire-and-forget eager
+/// sends: the framed payload (+8 B operation sequence) must stay on the
+/// engine's eager path.
+bool fits_eager(const mpi::Comm& comm, std::size_t bytes) {
+  return comm.proc() == nullptr ||
+         static_cast<std::int64_t>(bytes) + 8 <=
+             comm.proc()->engine().eager_threshold();
+}
+
+/// One framed multicast datagram (16 B header) must clear both the IP
+/// fragment-offset ceiling and the receivers' multicast socket buffer — a
+/// datagram larger than the buffer can never be enqueued, so it would be
+/// dropped even into an empty socket.
+///
+/// Per-rank limits (the eager threshold here and below, the socket buffer)
+/// are read from the LOCAL proc: like kAuto selection itself, these
+/// predicates assume the limits are configured uniformly across ranks
+/// (Cluster applies one ClusterConfig to every proc).  Heterogeneous
+/// per-proc overrides would make ranks resolve different algorithms and
+/// desynchronize the collective.
+bool fits_mcast_datagram(const mpi::Comm& comm, std::size_t payload) {
+  if (payload + kMcastFrameHeaderBytes > kMaxMcastPayloadBytes) {
+    return false;
+  }
+  return comm.proc() == nullptr ||
+         payload + kMcastFrameHeaderBytes <= comm.proc()->mcast_recv_buffer();
+}
 
 void register_builtins(Registry& r) {
   // ----------------------------------------------------------- broadcast
@@ -211,6 +249,136 @@ void register_builtins(Registry& r) {
                       std::span<const std::uint8_t> data) {
         return allgather_mcast(p, comm, data, AllgatherMode::kBlast).blocks;
       }});
+
+  // -------------------------------------------------------------- reduce
+  r.add(CollAlgorithm{
+      .name = "mpich",
+      .op = CollOp::kReduce,
+      .description = "binomial-tree reduction over point-to-point",
+      .applicable = always,
+      // log2 N combining rounds, a full payload per tree edge on the
+      // critical path.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) * log2n(ranks); },
+      .reduce = [](mpi::Proc& p, const mpi::Comm& comm,
+                   std::span<const std::uint8_t> data, mpi::Op op,
+                   mpi::Datatype type,
+                   int root) { return reduce_mpich(p, comm, data, op, type,
+                                                   root); }});
+  r.add(CollAlgorithm{
+      .name = "mcast-scout",
+      .op = CollOp::kReduce,
+      .description = "lockstep multicast of operands, slice-combining on "
+                     "every rank, scout-gathered partials to root",
+      .applicable =
+          [](const mpi::Comm& comm, std::size_t bytes) {
+            return fits_eager(comm, bytes) && fits_mcast_datagram(comm, bytes);
+          },
+      // N lockstep multicasts + the partial slices (~one payload image in
+      // total) scouted to the root.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            return frames(bytes) * ranks + (ranks - 1) +
+                   frames(bytes / static_cast<std::size_t>(
+                                      std::max(ranks, 1)));
+          },
+      .reduce = [](mpi::Proc& p, const mpi::Comm& comm,
+                   std::span<const std::uint8_t> data, mpi::Op op,
+                   mpi::Datatype type, int root) {
+        return reduce_mcast_scout(p, comm, data, op, type, root);
+      }});
+
+  // -------------------------------------------------------------- gather
+  r.add(CollAlgorithm{
+      .name = "mpich",
+      .op = CollOp::kGather,
+      .description = "linear gather over blocking point-to-point sends",
+      .applicable = always,
+      // N-1 serial receives at the root, plus the senders' blocking send
+      // overheads.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) {
+        return (frames(bytes) + 1.0) * (ranks - 1);
+      },
+      .gather = [](mpi::Proc& p, const mpi::Comm& comm,
+                   std::span<const std::uint8_t> data,
+                   int root) { return gather_mpich(p, comm, data, root); }});
+  r.add(CollAlgorithm{
+      .name = "scout-combining",
+      .op = CollOp::kGather,
+      .description = "fire-and-forget data scouts, aggregate charged "
+                     "collection at the root",
+      .applicable = fits_eager,
+      // The same N-1 serial receive charges, but senders never block and
+      // the root wakes once.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) * (ranks - 1); },
+      .gather = [](mpi::Proc& p, const mpi::Comm& comm,
+                   std::span<const std::uint8_t> data, int root) {
+        return gather_scout_combining(p, comm, data, root);
+      }});
+
+  // ------------------------------------------------------------- scatter
+  r.add(CollAlgorithm{
+      .name = "mpich",
+      .op = CollOp::kScatter,
+      .description = "linear scatter over blocking point-to-point sends",
+      .applicable = always,
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) * (ranks - 1); },
+      .scatter = [](mpi::Proc& p, const mpi::Comm& comm,
+                    const std::vector<Buffer>& chunks,
+                    int root) { return scatter_mpich(p, comm, chunks,
+                                                     root); }});
+  r.add(CollAlgorithm{
+      .name = "mcast-slice",
+      .op = CollOp::kScatter,
+      .description = "one multicast of the concatenated payload, each rank "
+                     "slices its chunk (Zhou et al. bandwidth saving)",
+      // bytes is the per-rank chunk size; the concatenated datagram must
+      // fit the fragment-offset ceiling and the receivers' socket buffer.
+      .applicable =
+          [](const mpi::Comm& comm, std::size_t bytes) {
+            return fits_mcast_datagram(
+                comm, bytes * static_cast<std::size_t>(comm.size()) +
+                          scatter_table_bytes(comm.size()));
+          },
+      // Scout synchronization + the whole payload once.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) {
+        return log2n(ranks) +
+               frames(bytes * static_cast<std::size_t>(std::max(ranks, 1)));
+      },
+      .scatter = [](mpi::Proc& p, const mpi::Comm& comm,
+                    const std::vector<Buffer>& chunks, int root) {
+        return scatter_mcast_slice(p, comm, chunks, root);
+      }});
+
+  // ---------------------------------------------------------------- scan
+  r.add(CollAlgorithm{
+      .name = "mpich",
+      .op = CollOp::kScan,
+      .description = "linear-chain inclusive prefix (MPICH 1.x)",
+      .applicable = always,
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) * (ranks - 1); },
+      .scan = [](mpi::Proc& p, const mpi::Comm& comm,
+                 std::span<const std::uint8_t> data, mpi::Op op,
+                 mpi::Datatype type) { return scan_mpich(p, comm, data, op,
+                                                         type); }});
+  r.add(CollAlgorithm{
+      .name = "binomial",
+      .op = CollOp::kScan,
+      .description =
+          "recursive-doubling prefix over binomial segments (log2 N rounds)",
+      .applicable = always,
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return frames(bytes) * log2n(ranks); },
+      .scan = [](mpi::Proc& p, const mpi::Comm& comm,
+                 std::span<const std::uint8_t> data, mpi::Op op,
+                 mpi::Datatype type) {
+        return scan_doubling(p, comm, data, op, type);
+      }});
 }
 
 }  // namespace
@@ -238,6 +406,14 @@ void Registry::add(CollAlgorithm algo) {
         return static_cast<bool>(algo.allreduce);
       case CollOp::kAllgather:
         return static_cast<bool>(algo.allgather);
+      case CollOp::kReduce:
+        return static_cast<bool>(algo.reduce);
+      case CollOp::kGather:
+        return static_cast<bool>(algo.gather);
+      case CollOp::kScatter:
+        return static_cast<bool>(algo.scatter);
+      case CollOp::kScan:
+        return static_cast<bool>(algo.scan);
     }
     return false;
   }();

@@ -32,9 +32,19 @@ enum class CollOp {
   kBarrier,
   kAllreduce,
   kAllgather,
+  kReduce,
+  kGather,
+  kScatter,
+  kScan,
 };
 
 std::string to_string(CollOp op);
+
+/// Every CollOp, in declaration order (tuning parser, sweep helpers).
+inline constexpr CollOp kAllCollOps[] = {
+    CollOp::kBcast,  CollOp::kBarrier, CollOp::kAllreduce, CollOp::kAllgather,
+    CollOp::kReduce, CollOp::kGather,  CollOp::kScatter,   CollOp::kScan,
+};
 
 /// One registered algorithm.  Exactly one run function — the one matching
 /// `op` — is set.
@@ -71,6 +81,29 @@ struct CollAlgorithm {
   std::function<std::vector<Buffer>(mpi::Proc&, const mpi::Comm&,
                                     std::span<const std::uint8_t> data)>
       allgather;
+  /// Returns the reduced vector at `root`, empty elsewhere.  Operands are
+  /// combined in communicator rank order (observable for non-commutative
+  /// custom ops).
+  std::function<Buffer(mpi::Proc&, const mpi::Comm&,
+                       std::span<const std::uint8_t> data, mpi::Op op,
+                       mpi::Datatype type, int root)>
+      reduce;
+  /// Returns comm.size() blocks at `root` (indexed by comm rank), an empty
+  /// vector elsewhere.
+  std::function<std::vector<Buffer>(mpi::Proc&, const mpi::Comm&,
+                                    std::span<const std::uint8_t> data,
+                                    int root)>
+      gather;
+  /// `chunks` is root-only input (comm.size() entries, ignored elsewhere);
+  /// returns this rank's chunk.
+  std::function<Buffer(mpi::Proc&, const mpi::Comm&,
+                       const std::vector<Buffer>& chunks, int root)>
+      scatter;
+  /// Inclusive prefix reduction: rank r returns op over ranks 0..r.
+  std::function<Buffer(mpi::Proc&, const mpi::Comm&,
+                       std::span<const std::uint8_t> data, mpi::Op op,
+                       mpi::Datatype type)>
+      scan;
 };
 
 /// Process-wide algorithm registry.  Not thread-safe by design: the

@@ -9,8 +9,7 @@ namespace mcmpi::coll {
 namespace {
 
 CollOp parse_op(const std::string& text) {
-  for (CollOp op : {CollOp::kBcast, CollOp::kBarrier, CollOp::kAllreduce,
-                    CollOp::kAllgather}) {
+  for (CollOp op : kAllCollOps) {
     if (to_string(op) == text) {
       return op;
     }
@@ -52,14 +51,27 @@ TuningTable TuningTable::defaults() {
   // (Figs. 7-10 crossover near one Ethernet frame); at 2 ranks one
   // point-to-point send always beats scout + multicast; the multicast
   // barrier wins at every N (Fig. 13); the multicast allgather needs
-  // payloads large enough to amortize its barrier.
+  // payloads large enough to amortize its barrier.  The widened surface
+  // follows the same shape: large-message reduce/gather/scatter ride the
+  // multicast/scout variants, small messages and 2-rank groups stay on
+  // point-to-point, and the trailing catch-all rules cover payloads the
+  // multicast variants' predicates reject (rendezvous-sized blocks, the
+  // datagram ceiling) — an inapplicable tuned pick falls through to the
+  // next matching rule.
   return parse(
       "bcast,*,2,mpich; bcast,1024,*,mpich; bcast,*,*,mcast-binary;"
       "barrier,*,*,mcast;"
       "allreduce,*,2,mpich; allreduce,1024,*,mpich;"
       "allreduce,*,*,mcast-binary;"
       "allgather,*,2,ring; allgather,2048,*,ring;"
-      "allgather,*,*,mcast-lockstep");
+      "allgather,*,*,mcast-lockstep;"
+      "reduce,*,2,mpich; reduce,1024,*,mpich;"
+      "reduce,*,*,mcast-scout; reduce,*,*,mpich;"
+      "gather,*,2,mpich; gather,1024,*,mpich;"
+      "gather,*,*,scout-combining; gather,*,*,mpich;"
+      "scatter,*,2,mpich; scatter,1024,*,mpich;"
+      "scatter,*,*,mcast-slice; scatter,*,*,mpich;"
+      "scan,*,2,mpich; scan,1024,*,mpich; scan,*,*,binomial");
 }
 
 TuningTable TuningTable::parse(const std::string& spec) {

@@ -12,14 +12,18 @@
 ///     op,max_bytes,max_ranks,algorithm
 ///
 /// `*` means unbounded; rules are separated by `;` (whitespace ignored).
-/// Example (the default table):
+/// Excerpt of the default table (TuningTable::defaults() carries the full
+/// set for all eight ops, including doubled fall-through rules for
+/// reduce/gather/scatter whose multicast variants have applicability
+/// limits):
 ///
 ///     bcast,*,2,mpich; bcast,1024,*,mpich; bcast,*,*,mcast-binary;
 ///     barrier,*,*,mcast;
-///     allreduce,*,2,mpich; allreduce,1024,*,mpich;
-///     allreduce,*,*,mcast-binary;
-///     allgather,*,2,ring; allgather,2048,*,ring;
-///     allgather,*,*,mcast-lockstep
+///     reduce,*,2,mpich; reduce,1024,*,mpich;
+///     reduce,*,*,mcast-scout; reduce,*,*,mpich; ...
+///
+/// A rule whose algorithm is inapplicable for the actual (comm, bytes)
+/// falls through to the next matching rule.
 ///
 /// Override precedence (cluster::Cluster wiring): ClusterConfig::coll_tuning
 /// beats the MCMPI_COLL_TUNING environment variable beats the defaults.

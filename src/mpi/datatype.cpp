@@ -22,6 +22,20 @@ std::size_t datatype_size(Datatype type) {
   return 0;
 }
 
+namespace {
+
+struct CustomOpState {
+  CustomOpFn fn;
+  std::size_t group_elements = 1;
+};
+
+CustomOpState& custom_op_state() {
+  static CustomOpState state;
+  return state;
+}
+
+}  // namespace
+
 bool op_defined(Op op, Datatype type) {
   switch (op) {
     case Op::kSum:
@@ -34,8 +48,23 @@ bool op_defined(Op op, Datatype type) {
     case Op::kBand:
     case Op::kBor:
       return type != Datatype::kDouble;
+    case Op::kCustom:
+      return static_cast<bool>(custom_op_state().fn);
   }
   return false;
+}
+
+bool op_commutative(Op op) { return op != Op::kCustom; }
+
+void set_custom_op(CustomOpFn fn, std::size_t group_elements) {
+  MC_EXPECTS_MSG(group_elements > 0, "custom op group extent must be > 0");
+  custom_op_state() = {std::move(fn), group_elements};
+}
+
+void clear_custom_op() { custom_op_state() = {}; }
+
+std::size_t op_group_elements(Op op) {
+  return op == Op::kCustom ? custom_op_state().group_elements : 1;
 }
 
 namespace {
@@ -82,6 +111,8 @@ void apply_typed(Op op, const std::uint8_t* in, std::uint8_t* inout,
           r = static_cast<T>(a | b);
         }
         break;
+      case Op::kCustom:
+        break;  // dispatched before apply_typed; unreachable
     }
     std::memcpy(inout + i * sizeof(T), &r, sizeof(T));
   }
@@ -94,6 +125,10 @@ void apply_op(Op op, Datatype type, std::span<const std::uint8_t> in,
   MC_EXPECTS(op_defined(op, type));
   const std::size_t bytes = count * datatype_size(type);
   MC_EXPECTS(in.size() >= bytes && inout.size() >= bytes);
+  if (op == Op::kCustom) {
+    custom_op_state().fn(type, in, inout, count);
+    return;
+  }
   switch (type) {
     case Datatype::kByte:
       apply_typed<std::uint8_t>(op, in.data(), inout.data(), count);

@@ -3,6 +3,7 @@
 /// Typed reduction support for reduce/allreduce/scan.
 
 #include <cstddef>
+#include <functional>
 #include <span>
 
 #include "common/bytes.hpp"
@@ -13,15 +14,53 @@ namespace mcmpi::mpi {
 /// Size in bytes of one element of `type`.
 std::size_t datatype_size(Datatype type);
 
-/// True if `op` is defined for `type` (logical ops require integers).
+/// True if `op` is defined for `type` (logical ops require integers;
+/// Op::kCustom requires a registered custom function).
 bool op_defined(Op op, Datatype type);
 
-/// Elementwise `inout[i] = op(in[i], inout[i])` over `count` elements.
-/// Matches MPI's reduction convention (commutative ops only are provided).
-/// Preconditions: both spans hold `count * datatype_size(type)` bytes and
-/// op_defined(op, type).
+/// True if operand order is irrelevant for `op`.  Non-commutative ops
+/// (Op::kCustom) force every reduction algorithm onto an order-preserving
+/// path: operands combine in communicator rank order (MPI's canonical
+/// reduction order).
+bool op_commutative(Op op);
+
+/// `inout = in ∘ inout` over `count` elements — MPI's user-function
+/// convention, where `in` holds the partial of the LOWER-ranked operands.
+/// Every reduction algorithm in this codebase honors that orientation, so
+/// rank order is observable (and tested) for non-commutative custom ops.
+/// Preconditions: both spans hold `count * datatype_size(type)` bytes,
+/// op_defined(op, type), and for slicing algorithms `count` is a multiple
+/// of op_group_elements(op).
 void apply_op(Op op, Datatype type, std::span<const std::uint8_t> in,
               std::span<std::uint8_t> inout, std::size_t count);
+
+/// Custom reduction body (the MPI_Op_create analogue): must compute
+/// `inout = in ∘ inout` with `in` the lower-ranked partial.  The simulation
+/// is one address space, so registration is process-global.
+using CustomOpFn =
+    std::function<void(Datatype type, std::span<const std::uint8_t> in,
+                       std::span<std::uint8_t> inout, std::size_t count)>;
+
+/// Registers the Op::kCustom body.  `group_elements` declares the operand
+/// granularity: elements combine in independent groups of this many (e.g. 4
+/// for a 2x2 matrix product), and slicing algorithms (mcast-scout reduce)
+/// only split buffers at group boundaries.
+void set_custom_op(CustomOpFn fn, std::size_t group_elements = 1);
+void clear_custom_op();
+
+/// Elements per independent combining group (1 for every built-in op).
+std::size_t op_group_elements(Op op);
+
+/// RAII registration for tests: installs on construction, clears on scope
+/// exit.
+struct CustomOpGuard {
+  explicit CustomOpGuard(CustomOpFn fn, std::size_t group_elements = 1) {
+    set_custom_op(std::move(fn), group_elements);
+  }
+  ~CustomOpGuard() { clear_custom_op(); }
+  CustomOpGuard(const CustomOpGuard&) = delete;
+  CustomOpGuard& operator=(const CustomOpGuard&) = delete;
+};
 
 /// Maps a C++ arithmetic type to its Datatype tag.
 template <typename T>

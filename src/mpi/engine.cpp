@@ -187,21 +187,22 @@ void Engine::clear_sink(std::uint32_t context, Tag tag) {
   sinks_.erase({context, tag});
 }
 
-std::vector<Rank> Engine::drain_unexpected(std::uint32_t context, Tag tag) {
+std::vector<Engine::DrainedEager> Engine::drain_unexpected(
+    std::uint32_t context, Tag tag) {
   MC_EXPECTS_MSG(tag <= kFirstInternalTag,
                  "drain_unexpected is for internal tags only");
-  std::vector<Rank> sources;
+  std::vector<DrainedEager> drained;
   for (auto it = unexpected_.begin(); it != unexpected_.end();) {
     if (it->context == context && it->tag == tag &&
         it->type == MsgType::kEager) {
-      sources.push_back(it->src_world);
+      drained.push_back({it->src_world, std::move(it->data)});
       ++stats_.matched_from_unexpected;
       it = unexpected_.erase(it);
     } else {
       ++it;
     }
   }
-  return sources;
+  return drained;
 }
 
 void Engine::on_message(inet::IpAddr src, PayloadRef message) {

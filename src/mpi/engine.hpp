@@ -107,11 +107,19 @@ class Engine {
   void set_sink(std::uint32_t context, Tag tag, SinkHandler handler);
   void clear_sink(std::uint32_t context, Tag tag);
 
+  /// One message removed by drain_unexpected: its source and a zero-copy
+  /// view of the transport payload (empty for bare scouts).
+  struct DrainedEager {
+    Rank src_world;
+    PayloadRef data;
+  };
+
   /// Removes every unexpected eager message carrying internal tag `tag` on
-  /// `context` and returns their sources in arrival order.  Lets a newly
-  /// installed sink absorb the backlog that arrived before it existed (the
-  /// scout gather: scouts that beat the gathering rank to the engine).
-  std::vector<Rank> drain_unexpected(std::uint32_t context, Tag tag);
+  /// `context` and returns them in arrival order.  Lets a newly installed
+  /// sink absorb the backlog that arrived before it existed (the scout
+  /// gather: scouts that beat the gathering rank to the engine; the
+  /// data-carrying variants keep the payload views).
+  std::vector<DrainedEager> drain_unexpected(std::uint32_t context, Tag tag);
 
   /// Non-destructive match against the unexpected queue (MPI_Iprobe): the
   /// Status of the first matching not-yet-received message, or nullopt.

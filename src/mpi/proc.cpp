@@ -82,6 +82,24 @@ void Proc::send_control_async(const Comm& comm, int dst, Tag tag,
       });
 }
 
+void Proc::send_data_async(const Comm& comm, int dst, Tag tag,
+                           std::span<const std::uint8_t> bytes,
+                           net::FrameKind kind, CostTier tier) {
+  MC_EXPECTS_MSG(
+      static_cast<std::int64_t>(bytes.size()) <= engine_->eager_threshold(),
+      "send_data_async requires the eager path");
+  const SimTime overhead =
+      costs_.send_overhead(static_cast<std::int64_t>(bytes.size()), tier);
+  Engine* engine = engine_.get();
+  self().simulator().schedule_after(
+      overhead, [engine, info = comm.info(), dst, tag, kind,
+                 copy = Buffer(bytes.begin(), bytes.end())] {
+        const auto request = engine->start_send(info, dst, tag, copy, kind);
+        MC_ASSERT_MSG(request->complete(),
+                      "send_data_async requires eager completion");
+      });
+}
+
 std::shared_ptr<RecvRequest> Proc::irecv(const Comm& comm, int src, Tag tag) {
   return engine_->post_recv(comm.info(), src, tag);
 }

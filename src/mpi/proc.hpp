@@ -88,6 +88,18 @@ class Proc {
                           net::FrameKind kind = net::FrameKind::kControl,
                           CostTier tier = CostTier::kRaw);
 
+  /// Fire-and-forget data send (the data-carrying scout of the
+  /// scout-combining gather and mcast-scout reduce): charges the send
+  /// overhead and emits once it has elapsed without waking the caller, under
+  /// the same two conditions as send_control_async — the payload must take
+  /// the eager path (asserted against the engine threshold) and the caller's
+  /// next simulation-visible action must be a blocking call.  `bytes` is
+  /// copied at call time.
+  void send_data_async(const Comm& comm, int dst, Tag tag,
+                       std::span<const std::uint8_t> bytes,
+                       net::FrameKind kind = net::FrameKind::kData,
+                       CostTier tier = CostTier::kMpi);
+
   /// Nonblocking variants; complete with wait().
   std::shared_ptr<SendRequest> isend(
       const Comm& comm, int dst, Tag tag, std::span<const std::uint8_t> bytes,

@@ -24,6 +24,8 @@ inline constexpr Tag kTagCollective = -103; // tree collectives over p2p
 inline constexpr Tag kTagAckMcast = -104;   // ORNL-style ACK protocol
 inline constexpr Tag kTagSequencer = -105;  // Orca-style sequencer protocol
 inline constexpr Tag kTagSeqNack = -106;    // sequencer retransmission NACKs
+inline constexpr Tag kTagReducePartial = -107;  // mcast-scout reduce partials
+inline constexpr Tag kTagGatherBlock = -108;    // scout-combining gather blocks
 
 /// Returned by receive operations.
 struct Status {
@@ -32,7 +34,10 @@ struct Status {
   std::size_t count = 0;  // bytes received
 };
 
-/// Reduction operators (MPI_Op subset).
+/// Reduction operators (MPI_Op subset).  kCustom is the MPI_Op_create
+/// analogue: a process-global user function registered via set_custom_op
+/// (datatype.hpp); it is treated as non-commutative, so every reduction
+/// algorithm must apply operands in communicator rank order for it.
 enum class Op : std::uint8_t {
   kSum,
   kProd,
@@ -42,6 +47,7 @@ enum class Op : std::uint8_t {
   kLor,
   kBand,
   kBor,
+  kCustom,
 };
 
 /// Element types understood by the reduction engine (MPI_Datatype subset;

@@ -25,6 +25,10 @@ class Completion {
   /// Result of value-returning work; valid once complete().
   Buffer& result() { return result_; }
 
+  /// Result of block-returning work (e.g. a nonblocking gather: one block
+  /// per rank); valid once complete().
+  std::vector<Buffer>& blocks() { return blocks_; }
+
   /// Virtual instant the work finished; valid once complete().
   SimTime finished_at() const { return finished_at_; }
 
@@ -39,6 +43,7 @@ class Completion {
  private:
   bool complete_ = false;
   Buffer result_;
+  std::vector<Buffer> blocks_;
   SimTime finished_at_ = kTimeZero;
   sim::WaitQueue wq_;
 };

@@ -5,7 +5,6 @@
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
 #include "coll/facade.hpp"
-#include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 
 namespace mcmpi {
@@ -234,8 +233,8 @@ TEST(Scan, InclusivePrefixSums) {
     const std::int64_t mine = p.rank() + 1;
     Buffer bytes(sizeof mine);
     std::memcpy(bytes.data(), &mine, sizeof mine);
-    const Buffer out = coll::scan_mpich(p, p.comm_world(), bytes,
-                                        mpi::Op::kSum, mpi::Datatype::kInt64);
+    const Buffer out = p.comm_world().coll().scan(
+        bytes, mpi::Op::kSum, mpi::Datatype::kInt64, "mpich");
     std::memcpy(&results[static_cast<std::size_t>(p.rank())], out.data(),
                 sizeof(std::int64_t));
   });
@@ -255,8 +254,8 @@ TEST(Scan, VectorMax) {
     const std::int32_t values[2] = {p.rank(), 3 - p.rank()};
     Buffer bytes(sizeof values);
     std::memcpy(bytes.data(), values, sizeof values);
-    const Buffer out = coll::scan_mpich(p, p.comm_world(), bytes,
-                                        mpi::Op::kMax, mpi::Datatype::kInt32);
+    const Buffer out = p.comm_world().coll().scan(
+        bytes, mpi::Op::kMax, mpi::Datatype::kInt32, "mpich");
     results[static_cast<std::size_t>(p.rank())].resize(2);
     std::memcpy(results[static_cast<std::size_t>(p.rank())].data(), out.data(),
                 out.size());

@@ -45,7 +45,21 @@ TEST(Registry, CarriesTheFullAlgorithmSet) {
   for (const char* name : {"ring", "mcast-lockstep", "mcast-blast"}) {
     EXPECT_NE(r.find(CollOp::kAllgather, name), nullptr) << name;
   }
-  EXPECT_GE(r.entries().size(), 7u);
+  // The widened surface: reduce / gather / scatter / scan, each with the
+  // point-to-point baseline and a multicast/scout variant.
+  for (const char* name : {"mpich", "mcast-scout"}) {
+    EXPECT_NE(r.find(CollOp::kReduce, name), nullptr) << name;
+  }
+  for (const char* name : {"mpich", "scout-combining"}) {
+    EXPECT_NE(r.find(CollOp::kGather, name), nullptr) << name;
+  }
+  for (const char* name : {"mpich", "mcast-slice"}) {
+    EXPECT_NE(r.find(CollOp::kScatter, name), nullptr) << name;
+  }
+  for (const char* name : {"mpich", "binomial"}) {
+    EXPECT_NE(r.find(CollOp::kScan, name), nullptr) << name;
+  }
+  EXPECT_GE(r.entries().size(), 22u);
   // Every entry carries the uniform metadata.
   for (const coll::CollAlgorithm& a : r.entries()) {
     EXPECT_TRUE(static_cast<bool>(a.applicable)) << a.name;
@@ -179,6 +193,98 @@ void sweep_comm(mpi::Proc& p, const mpi::Comm& comm, std::size_t bytes,
       }
     }
   }
+
+  // ------------------------- the widened surface: reduce/gather/scatter/scan
+  // Byte-wise max with rank r contributing (r + i) % 251: the reduced (and
+  // every prefix) result is computable locally on every rank.
+  const auto contribution = [&](int rank) {
+    Buffer mine(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      mine[i] = static_cast<std::uint8_t>(
+          (static_cast<std::size_t>(rank) + i) % 251);
+    }
+    return mine;
+  };
+  const auto max_over = [&](int ranks, std::size_t i) {
+    std::uint8_t expected = 0;
+    for (int rank = 0; rank < ranks; ++rank) {
+      expected = std::max(expected,
+                          static_cast<std::uint8_t>(
+                              (static_cast<std::size_t>(rank) + i) % 251));
+    }
+    return expected;
+  };
+  const int last = comm.size() - 1;
+
+  for (const std::string& algo : r.applicable_names(CollOp::kReduce, comm,
+                                                    bytes)) {
+    const Buffer out = coll.reduce(contribution(comm.rank()), mpi::Op::kMax,
+                                   mpi::Datatype::kByte, last, algo);
+    if (comm.rank() != last) {
+      if (!out.empty()) {
+        note("reduce/" + algo + " non-root result not empty");
+      }
+      continue;
+    }
+    bool good = out.size() == bytes;
+    for (std::size_t i = 0; good && i < bytes; ++i) {
+      good = out[i] == max_over(comm.size(), i);
+    }
+    if (!good) {
+      note("reduce/" + algo + " result mismatch");
+    }
+  }
+
+  for (const std::string& algo : r.applicable_names(CollOp::kGather, comm,
+                                                    bytes)) {
+    const Buffer mine =
+        pattern_payload(static_cast<std::uint64_t>(comm.rank()), bytes);
+    const auto blocks = coll.gather(mine, /*root=*/0, algo);
+    if (comm.rank() != 0) {
+      if (!blocks.empty()) {
+        note("gather/" + algo + " non-root blocks not empty");
+      }
+      continue;
+    }
+    bool good = blocks.size() == static_cast<std::size_t>(comm.size());
+    for (int rank = 0; good && rank < comm.size(); ++rank) {
+      const Buffer& block = blocks[static_cast<std::size_t>(rank)];
+      good = block.size() == bytes &&
+             check_pattern(static_cast<std::uint64_t>(rank), block);
+    }
+    if (!good) {
+      note("gather/" + algo + " blocks mismatch");
+    }
+  }
+
+  for (const std::string& algo : r.applicable_names(CollOp::kScatter, comm,
+                                                    bytes)) {
+    std::vector<Buffer> chunks;
+    if (comm.rank() == last) {
+      for (int rank = 0; rank < comm.size(); ++rank) {
+        chunks.push_back(
+            pattern_payload(static_cast<std::uint64_t>(300 + rank), bytes));
+      }
+    }
+    const Buffer mine = coll.scatter(chunks, last, bytes, algo);
+    if (mine.size() != bytes ||
+        !check_pattern(static_cast<std::uint64_t>(300 + comm.rank()), mine)) {
+      note("scatter/" + algo + " chunk mismatch");
+    }
+  }
+
+  for (const std::string& algo : r.applicable_names(CollOp::kScan, comm,
+                                                    bytes)) {
+    const Buffer out = coll.scan(contribution(comm.rank()), mpi::Op::kMax,
+                                 mpi::Datatype::kByte, algo);
+    bool good = out.size() == bytes;
+    for (std::size_t i = 0; good && i < bytes; ++i) {
+      good = out[i] == max_over(comm.rank() + 1, i);
+    }
+    if (!good) {
+      note("scan/" + algo + " prefix mismatch");
+    }
+  }
 }
 
 class RegistrySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
@@ -230,6 +336,21 @@ TEST(TuningTable, DefaultsEncodeThePaperCrossovers) {
     EXPECT_EQ(coll.resolve(CollOp::kAllreduce, 64 * 1024), "mcast-binary");
     EXPECT_EQ(coll.resolve(CollOp::kAllgather, 64 * 1024), "mcast-lockstep");
     EXPECT_EQ(coll.resolve(CollOp::kAllgather, 64), "ring");
+    // Large-message reduce/gather/scatter ride the multicast/scout
+    // variants; small messages stay on point-to-point.
+    EXPECT_EQ(coll.resolve(CollOp::kReduce, 32 * 1024), "mcast-scout");
+    EXPECT_EQ(coll.resolve(CollOp::kReduce, 8), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kGather, 32 * 1024), "scout-combining");
+    EXPECT_EQ(coll.resolve(CollOp::kGather, 1024), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kScatter, 16 * 1024), "mcast-slice");
+    EXPECT_EQ(coll.resolve(CollOp::kScatter, 64), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kScan, 32 * 1024), "binomial");
+    EXPECT_EQ(coll.resolve(CollOp::kScan, 8), "mpich");
+    // Payloads the multicast variants' predicates reject fall through to
+    // the trailing point-to-point rules: a 128 KiB reduce block exceeds the
+    // eager path, a 64 KiB x 9 rank scatter exceeds the datagram ceiling.
+    EXPECT_EQ(coll.resolve(CollOp::kReduce, 128 * 1024), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kScatter, 64 * 1024), "mpich");
     // Explicit names pass through untouched; typos throw.
     EXPECT_EQ(coll.resolve(CollOp::kBcast, 0, "sequencer"), "sequencer");
     EXPECT_THROW((void)coll.resolve(CollOp::kBcast, 0, "typo"),
@@ -243,6 +364,9 @@ TEST(TuningTable, TwoRanksPreferPointToPointAtAnySize) {
     coll::Coll coll = p.comm_world().coll();
     EXPECT_EQ(coll.resolve(CollOp::kBcast, 64 * 1024), "mpich");
     EXPECT_EQ(coll.resolve(CollOp::kAllgather, 64 * 1024), "ring");
+    EXPECT_EQ(coll.resolve(CollOp::kReduce, 32 * 1024), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kGather, 32 * 1024), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kScatter, 32 * 1024), "mpich");
   });
 }
 
@@ -415,6 +539,66 @@ TEST(Nonblocking, IallreduceReturnsTheReducedVector) {
   for (int r = 0; r < kProcs; ++r) {
     EXPECT_EQ(results[static_cast<std::size_t>(r)], 3 + 6 + 9 + 12)
         << "rank " << r;
+  }
+}
+
+TEST(Nonblocking, IreduceDeliversAtRootOnly) {
+  constexpr int kProcs = 5;
+  Cluster cluster(config_for(kProcs));
+  std::vector<std::int64_t> results(kProcs, -1);
+  cluster.world().run([&](mpi::Proc& p) {
+    const std::int64_t mine = (p.rank() + 1) * 5;
+    Buffer bytes(sizeof mine);
+    std::memcpy(bytes.data(), &mine, sizeof mine);
+    auto request = p.comm_world().coll().ireduce(
+        bytes, mpi::Op::kSum, mpi::Datatype::kInt64, /*root=*/2, "mpich");
+    p.self().delay(milliseconds(1));
+    const Buffer out = p.wait(request);
+    if (p.rank() == 2) {
+      ASSERT_EQ(out.size(), sizeof(std::int64_t));
+      std::memcpy(&results[2], out.data(), sizeof(std::int64_t));
+    } else {
+      EXPECT_TRUE(out.empty()) << "rank " << p.rank();
+    }
+  });
+  EXPECT_EQ(results[2], 5 + 10 + 15 + 20 + 25);
+}
+
+TEST(Nonblocking, IgatherAndIscatterRoundTrip) {
+  constexpr int kProcs = 4;
+  constexpr std::size_t kBytes = 600;
+  Cluster cluster(config_for(kProcs));
+  std::vector<int> ok(kProcs, 0);
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    const Buffer mine =
+        pattern_payload(static_cast<std::uint64_t>(p.rank()), kBytes);
+    auto gather_request = comm.coll().igather(mine, /*root=*/1, "mpich");
+    p.self().delay(milliseconds(1));  // overlapped compute
+    (void)p.wait(gather_request);
+    std::vector<Buffer>& blocks = gather_request->blocks();
+    if (p.rank() == 1) {
+      ASSERT_EQ(blocks.size(), static_cast<std::size_t>(kProcs));
+      for (int r = 0; r < kProcs; ++r) {
+        EXPECT_TRUE(check_pattern(static_cast<std::uint64_t>(r),
+                                  blocks[static_cast<std::size_t>(r)]))
+            << "block " << r;
+      }
+    } else {
+      EXPECT_TRUE(blocks.empty()) << "rank " << p.rank();
+    }
+    // Scatter the gathered blocks straight back: every rank must get its
+    // own contribution bit-identically.
+    auto scatter_request =
+        comm.coll().iscatter(blocks, /*root=*/1, kBytes, "mpich");
+    p.self().delay(milliseconds(1));
+    const Buffer back = p.wait(scatter_request);
+    ok[static_cast<std::size_t>(p.rank())] =
+        back.size() == kBytes &&
+        check_pattern(static_cast<std::uint64_t>(p.rank()), back);
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
   }
 }
 

@@ -391,8 +391,8 @@ TEST(MpichCollectives, ReduceSumsOnRoot) {
     const std::int64_t mine = (p.rank() + 1) * 10;
     Buffer data(sizeof mine);
     std::memcpy(data.data(), &mine, sizeof mine);
-    const Buffer out = coll::reduce_mpich(p, comm, data, mpi::Op::kSum,
-                                          mpi::Datatype::kInt64, 0);
+    const Buffer out = comm.coll().reduce(data, mpi::Op::kSum,
+                                          mpi::Datatype::kInt64, 0, "mpich");
     if (p.rank() == 0) {
       std::memcpy(&result, out.data(), sizeof result);
     }
@@ -408,7 +408,7 @@ TEST(MpichCollectives, GatherCollectsInRankOrder) {
   cluster.world().run([&](mpi::Proc& p) {
     const Buffer mine = pattern_payload(static_cast<std::uint64_t>(p.rank()),
                                         16 + static_cast<std::size_t>(p.rank()));
-    auto out = coll::gather_mpich(p, p.comm_world(), mine, 2);
+    auto out = p.comm_world().coll().gather(mine, /*root=*/2, "mpich");
     if (p.rank() == 2) {
       gathered = std::move(out);
     }
@@ -437,7 +437,8 @@ TEST(MpichCollectives, ScatterDeliversPerRankChunks) {
             pattern_payload(static_cast<std::uint64_t>(100 + r), 32));
       }
     }
-    const Buffer mine = coll::scatter_mpich(p, p.comm_world(), chunks, 1);
+    const Buffer mine =
+        p.comm_world().coll().scatter(chunks, /*root=*/1, 32, "mpich");
     ok[static_cast<std::size_t>(p.rank())] =
         check_pattern(static_cast<std::uint64_t>(100 + p.rank()), mine);
   });
@@ -454,7 +455,7 @@ TEST(MpichCollectives, AllgatherGivesEveryoneEverything) {
   cluster.world().run([&](mpi::Proc& p) {
     const Buffer mine =
         pattern_payload(static_cast<std::uint64_t>(p.rank()), 40);
-    const auto all = coll::allgather_mpich(p, p.comm_world(), mine);
+    const auto all = p.comm_world().coll().allgather(mine, "ring");
     for (int r = 0; r < kProcs; ++r) {
       if (!check_pattern(static_cast<std::uint64_t>(r),
                          all[static_cast<std::size_t>(r)])) {
@@ -467,6 +468,8 @@ TEST(MpichCollectives, AllgatherGivesEveryoneEverything) {
   }
 }
 
+// alltoall has no registry op yet; it is exercised through the
+// implementation layer directly (the one remaining mpich free function).
 TEST(MpichCollectives, AlltoallExchangesPairwisePayloads) {
   constexpr int kProcs = 4;
   Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));

@@ -7,7 +7,6 @@
 #include "cluster/cluster.hpp"
 #include "cluster/experiment.hpp"
 #include "coll/facade.hpp"
-#include "coll/mpich.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 
@@ -205,8 +204,8 @@ TEST_P(RandomReduce, MatchesLocalReference) {
     const auto& mine = inputs[static_cast<std::size_t>(p.rank())];
     Buffer bytes(count * sizeof(std::int64_t));
     std::memcpy(bytes.data(), mine.data(), bytes.size());
-    const Buffer out = coll::reduce_mpich(p, p.comm_world(), bytes, op,
-                                          mpi::Datatype::kInt64, root);
+    const Buffer out = p.comm_world().coll().reduce(
+        bytes, op, mpi::Datatype::kInt64, root, "mpich");
     if (p.rank() == root) {
       result.resize(count);
       std::memcpy(result.data(), out.data(), out.size());
@@ -216,6 +215,184 @@ TEST_P(RandomReduce, MatchesLocalReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Draws, RandomReduce, ::testing::Range(0, 10));
+
+// --------------------------------------------------------------------
+// Property: reduction-semantics conformance for random payload/op/datatype
+// draws, across every registered algorithm —
+//   * reduce at the root equals allreduce everywhere,
+//   * scan at rank N-1 equals reduce at the root (and every rank's scan
+//     equals the local rank-order prefix),
+//   * gather-then-scatter round-trips every rank's block bit-identically.
+// The local reference is built with mpi::apply_op in rank order, so the
+// distributed paths are checked against MPI's canonical evaluation order.
+
+struct ConformanceDraw {
+  int procs;
+  int root;
+  mpi::Op op;
+  mpi::Datatype type;
+  std::size_t count;
+  std::vector<Buffer> inputs;  // one operand per rank
+};
+
+ConformanceDraw make_conformance_draw(Rng& rng) {
+  ConformanceDraw d;
+  d.procs = 2 + static_cast<int>(rng.below(8));  // 2..9
+  d.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(d.procs)));
+  const mpi::Datatype types[] = {mpi::Datatype::kByte, mpi::Datatype::kInt32,
+                                 mpi::Datatype::kInt64,
+                                 mpi::Datatype::kDouble};
+  d.type = types[rng.below(4)];
+  if (d.type == mpi::Datatype::kDouble) {
+    // Doubles: only the exactly-associative ops (any combining order gives
+    // bit-identical results; +/* would tie the test to evaluation order).
+    d.op = rng.chance(0.5) ? mpi::Op::kMax : mpi::Op::kMin;
+  } else {
+    const mpi::Op ops[] = {mpi::Op::kSum, mpi::Op::kProd, mpi::Op::kMax,
+                           mpi::Op::kMin, mpi::Op::kBand, mpi::Op::kBor};
+    d.op = ops[rng.below(6)];
+  }
+  d.count = 1 + rng.below(64);
+  const std::size_t width = mpi::datatype_size(d.type);
+  for (int r = 0; r < d.procs; ++r) {
+    Buffer operand(d.count * width);
+    for (std::size_t i = 0; i < d.count; ++i) {
+      // Small magnitudes keep kProd inside every integer width.
+      const auto v = static_cast<std::int64_t>(rng.below(4));
+      std::uint8_t* slot = operand.data() + i * width;
+      switch (d.type) {
+        case mpi::Datatype::kByte: {
+          const auto b = static_cast<std::uint8_t>(v);
+          std::memcpy(slot, &b, sizeof b);
+          break;
+        }
+        case mpi::Datatype::kInt32: {
+          const auto x = static_cast<std::int32_t>(v);
+          std::memcpy(slot, &x, sizeof x);
+          break;
+        }
+        case mpi::Datatype::kInt64: {
+          std::memcpy(slot, &v, sizeof v);
+          break;
+        }
+        case mpi::Datatype::kDouble: {
+          const auto x = static_cast<double>(v);
+          std::memcpy(slot, &x, sizeof x);
+          break;
+        }
+      }
+    }
+    d.inputs.push_back(std::move(operand));
+  }
+  return d;
+}
+
+/// Rank-order prefix reference: result[r] = inputs[0] ∘ ... ∘ inputs[r],
+/// built with the library's own elementwise kernel.
+std::vector<Buffer> local_prefixes(const ConformanceDraw& d) {
+  std::vector<Buffer> prefixes;
+  Buffer acc = d.inputs[0];
+  prefixes.push_back(acc);
+  for (int r = 1; r < d.procs; ++r) {
+    Buffer next = d.inputs[static_cast<std::size_t>(r)];
+    mpi::apply_op(d.op, d.type, acc, next, d.count);
+    acc = std::move(next);
+    prefixes.push_back(acc);
+  }
+  return prefixes;
+}
+
+class ReductionConformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionConformance, ReduceScanGatherScatterAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x2545F4914F6CDD1DULL +
+          0xC0FFEE);
+  const ConformanceDraw d = make_conformance_draw(rng);
+  const std::vector<Buffer> prefixes = local_prefixes(d);
+  const Buffer& expected = prefixes.back();
+  const std::size_t bytes = d.inputs[0].size();
+
+  ClusterConfig config;
+  config.num_procs = d.procs;
+  config.network = NetworkType::kSwitch;
+  config.seed = 19;
+  Cluster cluster(config);
+  std::vector<std::string> errors;
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm comm = p.comm_world();
+    coll::Coll coll = comm.coll();
+    coll::Registry& r = coll::Registry::instance();
+    const Buffer& mine = d.inputs[static_cast<std::size_t>(p.rank())];
+    const auto note = [&](const std::string& what) {
+      errors.push_back(what + " (procs=" + std::to_string(d.procs) +
+                       ", root=" + std::to_string(d.root) +
+                       ", op=" + std::to_string(static_cast<int>(d.op)) +
+                       ", type=" + std::to_string(static_cast<int>(d.type)) +
+                       ", rank=" + std::to_string(p.rank()) + ")");
+    };
+
+    // Reduce at the root == allreduce everywhere.
+    const Buffer everywhere =
+        coll.allreduce(mine, d.op, d.type, "mpich");
+    if (everywhere != expected) {
+      note("allreduce reference diverged from the local prefix");
+    }
+    for (const std::string& algo :
+         r.applicable_names(coll::CollOp::kReduce, comm, bytes)) {
+      const Buffer out = coll.reduce(mine, d.op, d.type, d.root, algo);
+      if (p.rank() == d.root) {
+        if (out != expected) {
+          note("reduce/" + algo + " != allreduce");
+        }
+      } else if (!out.empty()) {
+        note("reduce/" + algo + " non-root result not empty");
+      }
+    }
+
+    // Scan at rank N-1 == reduce at the root; every rank matches its
+    // rank-order prefix.
+    for (const std::string& algo :
+         r.applicable_names(coll::CollOp::kScan, comm, bytes)) {
+      const Buffer out = coll.scan(mine, d.op, d.type, algo);
+      if (out != prefixes[static_cast<std::size_t>(p.rank())]) {
+        note("scan/" + algo + " prefix mismatch");
+      }
+      if (p.rank() == d.procs - 1 && out != expected) {
+        note("scan/" + algo + " at rank N-1 != reduce");
+      }
+    }
+
+    // Gather-then-scatter round-trips bit-identically, for every pairing
+    // of gather and scatter algorithms.
+    for (const std::string& gather_algo :
+         r.applicable_names(coll::CollOp::kGather, comm, bytes)) {
+      const auto blocks = coll.gather(mine, d.root, gather_algo);
+      if (p.rank() == d.root &&
+          blocks.size() != static_cast<std::size_t>(d.procs)) {
+        // Record but keep participating in the scatter pairings below —
+        // skipping them on the root alone would desynchronize the
+        // collectives and hang the test instead of failing it.
+        note("gather/" + gather_algo + " block count");
+      }
+      for (const std::string& scatter_algo :
+           r.applicable_names(coll::CollOp::kScatter, comm, bytes)) {
+        const Buffer back =
+            coll.scatter(blocks, d.root, bytes, scatter_algo);
+        if (back != mine) {
+          note("gather/" + gather_algo + " -> scatter/" + scatter_algo +
+               " did not round-trip");
+        }
+      }
+    }
+  });
+
+  for (const std::string& error : errors) {
+    ADD_FAILURE() << error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, ReductionConformance, ::testing::Range(0, 10));
 
 // --------------------------------------------------------------------
 // Property: whole-stack replay determinism — the same seed gives the same

@@ -35,15 +35,20 @@ def load_records(path):
         records = json.load(f)
     by_key = {}
     for r in records:
-        key = (r.get("op"), r.get("network"), r.get("ranks"), r.get("bytes"))
+        # Algorithm sweeps emit several records per (op, ranks, bytes) point
+        # — one per registry algorithm — so the algo field joins the key.
+        # Older benches fold the algorithm into op and carry no algo field.
+        key = (r.get("op"), r.get("algo"), r.get("network"), r.get("ranks"),
+               r.get("bytes"))
         # Last record wins for duplicate keys (benches append per point).
         by_key[key] = r
     return by_key
 
 
 def fmt_key(key):
-    op, network, ranks, nbytes = key
-    return f"{op} [{network}, {ranks} ranks, {nbytes} B]"
+    op, algo, network, ranks, nbytes = key
+    label = f"{op}/{algo}" if algo else op
+    return f"{label} [{network}, {ranks} ranks, {nbytes} B]"
 
 
 def main():
