@@ -1,0 +1,156 @@
+// Sharded-simulator scaling: wall-clock and merged scheduler counters for
+// the SAME simulation run with 1, 2 and 4 shards on the parallel driver.
+//
+// Topology: 16 ranks in 4 switch segments joined by a full trunk mesh —
+// the fig12-style scaling shape, one shard per segment at the top end.
+// The workload (multicast broadcast + allreduce per repetition) floods
+// every segment, so all four shards stay busy.
+//
+// What the records claim (and tools/bench_diff.py enforces):
+//   * records differing only in `shards` have IDENTICAL simulated medians
+//     — sharded execution is bit-exact against the serial/1-shard result;
+//   * against the committed baseline, per-shard-count events/handoffs are
+//     deterministic like any other bench record;
+//   * with >= 4 hardware threads, wall(1 shard) / wall(4 shards) >= the
+//     gate's --min-shard-speedup (the run records hw_threads, so the gate
+//     self-disables on hosts that cannot physically run shards in
+//     parallel, e.g. single-core CI runners).
+#include <chrono>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/bytes.hpp"
+#include "net/counters.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcmpi;
+  using namespace mcmpi::bench;
+  const BenchOptions options = BenchOptions::parse(
+      argc, argv,
+      "Sharded-simulator scaling — 16 ranks, 4 switch segments, shards "
+      "1/2/4");
+
+  constexpr int kProcs = 16;
+  constexpr int kSegments = 4;
+  const int hw_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  const std::vector<int> sizes = {16 * 1024, 64 * 1024};
+
+  struct Measured {
+    int shards;
+    int bytes;
+    double median_us;
+    double wall_ms;
+  };
+  std::vector<Measured> measured;
+
+  Table table({"bytes", "shards", "median us", "wall ms", "events",
+               "handoffs"});
+  for (const int size : sizes) {
+    for (const unsigned shards : {1u, 2u, 4u}) {
+      cluster::ClusterConfig config;
+      config.num_procs = kProcs;
+      config.num_segments = kSegments;
+      config.sim_shards = shards;
+      config.shard_driver = sim::ShardDriver::kParallel;
+      config.network = cluster::NetworkType::kSwitch;
+      config.seed = options.seed;
+      config.hosts = cluster::make_uniform_hosts(kProcs);
+      // A routed-backbone trunk: the larger lookahead widens the
+      // conservative windows, so the parallel driver pays fewer barrier
+      // rounds per simulated millisecond.
+      config.trunk_latency = microseconds_f(100.0);
+      cluster::Cluster cluster(config);
+
+      cluster::ExperimentConfig exp;
+      exp.reps = options.reps;
+      exp.rep_interval = milliseconds(30);
+
+      const auto bytes = static_cast<std::size_t>(size);
+      const PayloadCounters payload_before = payload_counters();
+      const auto wall_start = std::chrono::steady_clock::now();
+      const auto result = cluster::measure_collective(
+          cluster, exp, [bytes](mpi::Proc& p, int rep) {
+            const mpi::Comm comm = p.comm_world();
+            Buffer data(bytes, 0);
+            const int root = rep % comm.size();
+            if (p.rank() == root) {
+              data = pattern_payload(static_cast<std::uint64_t>(rep), bytes);
+            }
+            comm.coll().bcast(data, root, "mcast-binary");
+            const Buffer mine(256, static_cast<std::uint8_t>(p.rank()));
+            (void)comm.coll().allreduce(mine, mpi::Op::kMax,
+                                        mpi::Datatype::kByte);
+          });
+      const auto wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count();
+      const PayloadCounters payload_delta =
+          payload_counters().since(payload_before);
+
+      const double median = result.latencies_us.median();
+      measured.push_back(Measured{static_cast<int>(shards), size, median,
+                                  wall_ms});
+      table.add_row({std::to_string(size), std::to_string(shards),
+                     Table::num(median), Table::num(wall_ms),
+                     std::to_string(cluster.simulator().events_scheduled()),
+                     std::to_string(cluster.simulator().handoffs())});
+      record_bench(BenchRecord{
+          .op = "bcast+allreduce",
+          .network = "switch",
+          .ranks = kProcs,
+          .bytes = size,
+          .sim_time_us = median,
+          .wall_time_ms = wall_ms,
+          .events_scheduled = cluster.simulator().events_scheduled(),
+          .handoffs = cluster.simulator().handoffs(),
+          .payload_allocs = payload_delta.buffer_allocs,
+          .payload_copies = payload_delta.byte_copies,
+          .shards = static_cast<int>(shards),
+          .hw_threads = hw_threads,
+      });
+    }
+  }
+  print_table("Sharded-simulator scaling (16 ranks, 4 switch segments)",
+              table, options);
+
+  // Shape checks: determinism across shard counts always; the speedup
+  // claim only where the host can actually run the shards in parallel.
+  for (const int size : sizes) {
+    double median1 = 0;
+    bool identical = true;
+    double wall1 = 0;
+    double wall4 = 0;
+    for (const Measured& m : measured) {
+      if (m.bytes != size) {
+        continue;
+      }
+      if (m.shards == 1) {
+        median1 = m.median_us;
+        wall1 = m.wall_ms;
+      }
+      if (m.shards == 4) {
+        wall4 = m.wall_ms;
+      }
+    }
+    for (const Measured& m : measured) {
+      identical = identical && (m.bytes != size || m.median_us == median1);
+    }
+    shape_check(identical,
+                "simulated medians at " + std::to_string(size) +
+                    " B are bit-identical across 1/2/4 shards");
+    if (hw_threads >= 4) {
+      shape_check(wall4 * 2.0 <= wall1,
+                  "4 shards at least halve wall time at " +
+                      std::to_string(size) + " B (" + Table::num(wall1) +
+                      " -> " + Table::num(wall4) + " ms, " +
+                      std::to_string(hw_threads) + " hw threads)");
+    } else {
+      std::cout << "SHAPE CHECK skip — speedup needs >= 4 hardware threads "
+                   "(host has "
+                << hw_threads << ")\n";
+    }
+  }
+  return 0;
+}

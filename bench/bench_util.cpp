@@ -68,8 +68,14 @@ void flush_bench_json() {
       os << ", \"algo\": \"" << json_escape(r.algo) << "\"";
     }
     os << ", \"network\": \"" << json_escape(r.network) << "\""
-       << ", \"ranks\": " << r.ranks << ", \"bytes\": " << r.bytes
-       << ", \"sim_time_us\": " << r.sim_time_us
+       << ", \"ranks\": " << r.ranks << ", \"bytes\": " << r.bytes;
+    if (r.shards > 0) {
+      // Only the shard-scaling sweeps key records by shard count; other
+      // benches' baselines stay byte-identical.
+      os << ", \"shards\": " << r.shards
+         << ", \"hw_threads\": " << r.hw_threads;
+    }
+    os << ", \"sim_time_us\": " << r.sim_time_us
        << ", \"wall_time_ms\": " << r.wall_time_ms
        << ", \"events_scheduled\": " << r.events_scheduled
        << ", \"handoffs\": " << r.handoffs

@@ -52,6 +52,15 @@ struct BenchRecord {
   std::uint64_t handoffs = 0;        ///< scheduler->process control transfers
   std::uint64_t payload_allocs = 0;  ///< PayloadRef backing allocations
   std::uint64_t payload_copies = 0;  ///< explicit payload byte copies
+  /// Simulator shard count for sharded-scaling sweeps; 0 everywhere else
+  /// (the fields below are then omitted from the JSON and old baselines
+  /// stay byte-identical).  Records differing only in `shards` must agree
+  /// on sim_time_us — bench_diff.py enforces it.
+  int shards = 0;
+  /// std::thread::hardware_concurrency() at run time; lets the bench_diff
+  /// speedup gate skip hosts that cannot physically run the shards in
+  /// parallel.
+  int hw_threads = 0;
 };
 
 /// Appends a record to the JSON dump (measure_* helpers call this for every

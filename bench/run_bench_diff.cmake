@@ -49,11 +49,19 @@ foreach(exe ${BENCH_EXE_PATHS})
   list(APPEND require_args --require BENCH_${exe_name}.json)
 endforeach()
 
+# Sharded-scaling gate: require this wall speedup at the highest shard
+# count (the diff script skips the check on hosts without enough hardware
+# threads; determinism checks always run).
+set(speedup_args)
+if(DEFINED MIN_SHARD_SPEEDUP)
+  set(speedup_args --min-shard-speedup ${MIN_SHARD_SPEEDUP})
+endif()
+
 execute_process(
   COMMAND ${PYTHON} ${DIFF_SCRIPT}
           --baseline ${BASELINE_DIR} --fresh ${WORK_DIR}
           --wall-tolerance ${wall_tolerance}
-          ${require_args}
+          ${require_args} ${speedup_args}
   RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR "bench_diff reported a regression (rc=${diff_rc})")

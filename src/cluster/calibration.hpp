@@ -33,6 +33,8 @@
 ///   start skew         ranks enter a collective within ~20 µs of each
 ///                      other (loosely synchronized SPMD loop).
 
+#include <vector>
+
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "mpi/types.hpp"
@@ -56,6 +58,15 @@ inline constexpr HostSpec kEagleHosts[] = {
 };
 inline constexpr int kMaxEagleHosts =
     static_cast<int>(sizeof(kEagleHosts) / sizeof(kEagleHosts[0]));
+
+/// `n` identical reference-speed machines — for topologies beyond the
+/// paper's nine-node testbed (the multi-segment scaling sweeps).  Pass as
+/// ClusterConfig::hosts explicitly; the default host table stays the eagle
+/// mix and its nine-machine bound.
+inline std::vector<HostSpec> make_uniform_hosts(int n) {
+  return std::vector<HostSpec>(static_cast<std::size_t>(n),
+                               HostSpec{500.0, "uniform-p3-500"});
+}
 
 /// Tunable software-overhead model (per host, before CPU scaling).
 ///

@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "coll/tuning.hpp"
@@ -21,8 +22,55 @@ NetworkType parse_network(const std::string& name) {
   throw std::invalid_argument("unknown network type: " + name);
 }
 
+unsigned default_sim_shards() {
+  static const unsigned cached = [] {
+    const char* env = std::getenv("MCMPI_SIM_SHARDS");
+    if (env != nullptr && *env != '\0') {
+      const long value = std::strtol(env, nullptr, 10);
+      if (value >= 1 && value <= 0xFFFF) {
+        return static_cast<unsigned>(value);
+      }
+    }
+    return 1u;
+  }();
+  return cached;
+}
+
+int Cluster::segment_of_rank(int rank) const {
+  MC_EXPECTS(rank >= 0 && rank < config_.num_procs);
+  // Contiguous blocks, first segments one host larger on uneven splits.
+  const auto r = static_cast<std::int64_t>(rank);
+  return static_cast<int>(r * config_.num_segments / config_.num_procs);
+}
+
+unsigned Cluster::shard_of_segment(int segment) const {
+  MC_EXPECTS(segment >= 0 && segment < config_.num_segments);
+  return static_cast<unsigned>(segment) % config_.sim_shards;
+}
+
+net::NetCounters Cluster::net_counters() const {
+  net::NetCounters total;
+  for (const auto& network : networks_) {
+    total += network->counters();
+  }
+  return total;
+}
+
+void Cluster::reset_net_counters() {
+  for (const auto& network : networks_) {
+    network->reset_counters();
+  }
+}
+
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   MC_EXPECTS_MSG(config_.num_procs >= 1, "need at least one process");
+  MC_EXPECTS_MSG(config_.num_segments >= 1 &&
+                     config_.num_segments <= config_.num_procs,
+                 "segments must be between 1 and the process count");
+  MC_EXPECTS_MSG(config_.sim_shards >= 1, "need at least one shard");
+  MC_EXPECTS_MSG(config_.num_segments == 1 ||
+                     config_.trunk_latency > kTimeZero,
+                 "multi-segment topologies need a positive trunk latency");
   if (config_.hosts.empty()) {
     config_.hosts.assign(kEagleHosts, kEagleHosts + kMaxEagleHosts);
   }
@@ -30,33 +78,72 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       config_.num_procs <= static_cast<int>(config_.hosts.size()),
       "more processes than hosts (one process per machine, as in the paper)");
 
-  sim_ = std::make_unique<sim::Simulator>(config_.seed, config_.sim_backend);
+  sim_ = std::make_unique<sim::Simulator>(
+      config_.seed, config_.sim_backend,
+      sim::ShardingConfig{config_.sim_shards, config_.trunk_latency,
+                          config_.shard_driver});
 
-  if (config_.network == NetworkType::kHub) {
-    network_ = std::make_unique<net::Hub>(*sim_, config_.hub);
-  } else {
-    network_ = std::make_unique<net::Switch>(*sim_, config_.switch_params);
+  // One network per segment.
+  for (int s = 0; s < config_.num_segments; ++s) {
+    if (config_.network == NetworkType::kHub) {
+      networks_.push_back(std::make_unique<net::Hub>(*sim_, config_.hub));
+    } else {
+      networks_.push_back(
+          std::make_unique<net::Switch>(*sim_, config_.switch_params));
+    }
   }
 
   Rng host_seeds(config_.seed ^ 0xC1A55D00DULL);
   std::vector<mpi::World::RankResources> resources;
   for (int i = 0; i < config_.num_procs; ++i) {
     const HostSpec& spec = config_.hosts[static_cast<std::size_t>(i)];
+    const int segment = segment_of_rank(i);
     auto host = std::make_unique<Host>();
     const inet::IpAddr addr = inet::IpAddr::host(static_cast<std::uint32_t>(i));
     const net::MacAddr mac = net::MacAddr::host(static_cast<std::uint32_t>(i));
     arp_.add(addr, mac);
+    mac_segments_.emplace(mac, segment);
     host->nic = std::make_unique<net::Nic>(*sim_, mac,
                                            "eagle" + std::to_string(i + 1));
-    host->nic->attach_to(*network_);
+    host->nic->set_segment(static_cast<std::uint16_t>(segment));
+    host->nic->attach_to(network(segment));
     host->ip = std::make_unique<inet::IpStack>(*sim_, *host->nic, addr, arp_);
     host->udp = std::make_unique<inet::UdpStack>(*host->ip);
     host->rdp = std::make_unique<inet::RdpEndpoint>(*host->udp);
     host->costs = std::make_unique<CalibratedCosts>(
         config_.costs, spec.cpu_mhz, host_seeds.fork(static_cast<std::uint64_t>(i)));
     resources.push_back(mpi::World::RankResources{
-        host->udp.get(), host->rdp.get(), host->costs.get(), addr});
+        host->udp.get(), host->rdp.get(), host->costs.get(), addr,
+        shard_of_segment(segment)});
     hosts_.push_back(std::move(host));
+  }
+
+  // Full trunk mesh between segments; the static destination table reads
+  // the host map built above (stable for the cluster's lifetime).  O(1)
+  // lookup: every promiscuous bridge port consults it once per unicast
+  // frame on its segment.
+  const auto* mac_segments = &mac_segments_;
+  const net::Bridge::SegmentOf segment_of = [mac_segments](net::MacAddr mac) {
+    const auto it = mac_segments->find(mac);
+    return it != mac_segments->end() ? it->second : -1;
+  };
+  std::uint32_t bridge_index = 0;
+  for (int a = 0; a < config_.num_segments; ++a) {
+    for (int b = a + 1; b < config_.num_segments; ++b) {
+      const std::string label =
+          "trunk" + std::to_string(a) + "-" + std::to_string(b);
+      net::Bridge::PortConfig port_a{
+          &network(a), static_cast<std::uint16_t>(a), shard_of_segment(a),
+          net::MacAddr::host(0xB0000000u + bridge_index * 2),
+          label + "/seg" + std::to_string(a)};
+      net::Bridge::PortConfig port_b{
+          &network(b), static_cast<std::uint16_t>(b), shard_of_segment(b),
+          net::MacAddr::host(0xB0000001u + bridge_index * 2),
+          label + "/seg" + std::to_string(b)};
+      bridges_.push_back(std::make_unique<net::Bridge>(
+          *sim_, port_a, port_b, config_.trunk_latency, segment_of));
+      ++bridge_index;
+    }
   }
 
   world_ = std::make_unique<mpi::World>(*sim_, resources);

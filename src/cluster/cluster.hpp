@@ -1,16 +1,19 @@
 #pragma once
 /// \file cluster.hpp
-/// One-call construction of a simulated testbed: N hosts on a hub or a
-/// switch, full protocol stacks, and an MPI world on top.
+/// One-call construction of a simulated testbed: N hosts on one or more
+/// hub/switch segments (joined by fixed-latency trunks), full protocol
+/// stacks, and an MPI world on top.
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/calibration.hpp"
 #include "inet/rdp.hpp"
 #include "inet/udp.hpp"
 #include "mpi/world.hpp"
+#include "net/bridge.hpp"
 #include "net/hub.hpp"
 #include "net/switch.hpp"
 #include "sim/simulator.hpp"
@@ -22,6 +25,9 @@ enum class NetworkType { kHub, kSwitch };
 std::string to_string(NetworkType type);
 NetworkType parse_network(const std::string& name);
 
+/// Simulator shard count from MCMPI_SIM_SHARDS (default 1).  Read once.
+unsigned default_sim_shards();
+
 struct ClusterConfig {
   int num_procs = 4;
   NetworkType network = NetworkType::kHub;
@@ -30,6 +36,24 @@ struct ClusterConfig {
   /// fallback/oracle (both produce bit-identical runs; see
   /// docs/ARCHITECTURE.md).  Honors MCMPI_SIM_BACKEND unless overridden.
   sim::ExecutionBackend sim_backend = sim::default_execution_backend();
+  /// Number of network segments (each its own hub or switch, all of
+  /// `network` type) joined by a full mesh of trunks.  Hosts are assigned
+  /// to segments in contiguous blocks.  1 = the paper's single-segment
+  /// testbed.
+  int num_segments = 1;
+  /// Trunk hop latency between segments (backbone store-and-forward +
+  /// propagation).  Doubles as the sharded simulator's conservative
+  /// lookahead.
+  SimTime trunk_latency = microseconds_f(30.0);
+  /// Simulator shards; segments map to shards round-robin.  Honors
+  /// MCMPI_SIM_SHARDS unless overridden.  Shards beyond the segment count
+  /// stay idle; a single-segment cluster always behaves exactly like an
+  /// unsharded one.
+  unsigned sim_shards = default_sim_shards();
+  /// Thread model executing a multi-shard simulation's rounds.  The serial
+  /// driver is the determinism reference; the parallel driver must be (and
+  /// is tested to be) bit-identical.  Honors MCMPI_SIM_SHARD_DRIVER.
+  sim::ShardDriver shard_driver = sim::default_shard_driver();
   CostParams costs;
   net::Hub::Params hub;
   net::Switch::Params switch_params;
@@ -39,12 +63,15 @@ struct ClusterConfig {
   /// Collective auto-selection rules (coll/tuning.hpp rule syntax).  Empty
   /// defers to MCMPI_COLL_TUNING, then to the paper-crossover defaults.
   std::string coll_tuning;
-  /// Host table; defaults to the paper's eagle cluster mix.
+  /// Host table; defaults to the paper's eagle cluster mix (nine machines —
+  /// pass make_uniform_hosts(n) explicitly for bigger topologies).
   std::vector<HostSpec> hosts;
 };
 
-/// A complete simulated cluster.  Builds (bottom-up): simulator, network,
-/// per-host NIC + IP + UDP + RDP + cost model, then the MPI world.
+/// A complete simulated cluster.  Builds (bottom-up): simulator (sharded
+/// when configured), per-segment network, trunk bridges, per-host NIC + IP
+/// + UDP + RDP + cost model, then the MPI world with every rank pinned to
+/// its segment's shard.
 ///
 /// Member declaration order is load-bearing: the simulator is declared
 /// last so it is destroyed FIRST — tearing it down unwinds any still-parked
@@ -58,9 +85,29 @@ class Cluster {
 
   const ClusterConfig& config() const { return config_; }
   sim::Simulator& simulator() { return *sim_; }
-  net::Network& network() { return *network_; }
   mpi::World& world() { return *world_; }
   int num_procs() const { return config_.num_procs; }
+
+  int num_segments() const { return config_.num_segments; }
+  /// Segment a rank's host sits on (contiguous blocks).
+  int segment_of_rank(int rank) const;
+  /// Simulator shard owning a segment (round-robin).
+  unsigned shard_of_segment(int segment) const;
+
+  /// Segment 0's network — the whole network of a single-segment cluster.
+  net::Network& network() { return *networks_.front(); }
+  net::Network& network(int segment) {
+    return *networks_.at(static_cast<std::size_t>(segment));
+  }
+  /// Trunks, in (a, b) pair order over segments (empty when single-segment).
+  const std::vector<std::unique_ptr<net::Bridge>>& bridges() const {
+    return bridges_;
+  }
+
+  /// Frame counters summed over every segment (equals network().counters()
+  /// on a single-segment cluster).
+  net::NetCounters net_counters() const;
+  void reset_net_counters();
 
   /// Host stack access for tests.
   inet::UdpStack& udp(int rank) { return *hosts_.at(static_cast<std::size_t>(rank))->udp; }
@@ -78,8 +125,12 @@ class Cluster {
 
   ClusterConfig config_;
   inet::ArpTable arp_;
+  /// MAC -> segment table the trunk bridges route unicast with; declared
+  /// before the bridges that capture it.
+  std::unordered_map<net::MacAddr, int> mac_segments_;
   std::vector<std::unique_ptr<Host>> hosts_;
-  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<net::Network>> networks_;  // one per segment
+  std::vector<std::unique_ptr<net::Bridge>> bridges_;
   std::unique_ptr<mpi::World> world_;
   std::unique_ptr<sim::Simulator> sim_;  // destroyed first — see class doc
 };

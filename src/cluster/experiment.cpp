@@ -25,11 +25,19 @@ ExperimentResult measure_collective(
       std::vector<SimTime>(static_cast<std::size_t>(n), kTimeZero));
 
   // Counter snapshot just before the first measured repetition begins.
-  net::NetCounters before{};
+  // One event per segment, planted pre-run on the shard that owns it, so a
+  // sharded run reads each segment's counters from its own shard (and a
+  // single-segment cluster still schedules exactly one event, as before).
+  std::vector<net::NetCounters> before(
+      static_cast<std::size_t>(cluster.num_segments()));
   const SimTime snapshot_at =
       starts[static_cast<std::size_t>(config.warmup_reps)] - microseconds(1);
-  sim.schedule_at(snapshot_at,
-                  [&before, &cluster] { before = cluster.network().counters(); });
+  for (int seg = 0; seg < cluster.num_segments(); ++seg) {
+    net::NetCounters* slot = &before[static_cast<std::size_t>(seg)];
+    sim.schedule_on_shard_at(
+        cluster.shard_of_segment(seg), snapshot_at,
+        [slot, seg, &cluster] { *slot = cluster.network(seg).counters(); });
+  }
 
   cluster.world().run([&](mpi::Proc& p) {
     for (int r = 0; r < total_reps; ++r) {
@@ -50,7 +58,10 @@ ExperimentResult measure_collective(
   });
 
   ExperimentResult result;
-  result.net_delta = cluster.network().counters().since(before);
+  for (int seg = 0; seg < cluster.num_segments(); ++seg) {
+    result.net_delta += cluster.network(seg).counters().since(
+        before[static_cast<std::size_t>(seg)]);
+  }
   for (int r = config.warmup_reps; r < total_reps; ++r) {
     const auto& row = ends[static_cast<std::size_t>(r)];
     const SimTime latest = *std::max_element(row.begin(), row.end());
@@ -66,9 +77,9 @@ net::NetCounters count_frames(Cluster& cluster,
   cluster.world().run([&](mpi::Proc& p) { warmup(p); });
   // run() drains every event (delayed transport ACKs included), so the
   // counter delta below contains exactly the measured operation.
-  cluster.network().reset_counters();
+  cluster.reset_net_counters();
   cluster.world().run([&](mpi::Proc& p) { op(p); });
-  return cluster.network().counters();
+  return cluster.net_counters();
 }
 
 }  // namespace mcmpi::cluster

@@ -83,6 +83,13 @@ Buffer Coll::scan(std::span<const std::uint8_t> data, mpi::Op op,
       .scan(p_, comm_, data, op, type);
 }
 
+std::vector<Buffer> Coll::alltoall(const std::vector<Buffer>& to_each,
+                                   std::size_t block_bytes,
+                                   const std::string& algo) {
+  return entry(CollOp::kAlltoall, block_bytes, algo)
+      .alltoall(p_, comm_, to_each);
+}
+
 std::shared_ptr<CollRequest> Coll::spawn_helper(
     const std::string& label, std::function<void(CollRequest&)> body) {
   auto request = std::make_shared<CollRequest>();
@@ -171,6 +178,18 @@ std::shared_ptr<CollRequest> Coll::iscatter(const std::vector<Buffer>& chunks,
                       [run = std::move(run), proc, comm = comm_,
                        chunks = chunks, root](CollRequest& request) {
                         request.result() = run(*proc, comm, chunks, root);
+                      });
+}
+
+std::shared_ptr<CollRequest> Coll::ialltoall(
+    const std::vector<Buffer>& to_each, std::size_t block_bytes,
+    const std::string& algo) {
+  auto run = entry(CollOp::kAlltoall, block_bytes, algo).alltoall;
+  mpi::Proc* proc = &p_;
+  return spawn_helper("ialltoall",
+                      [run = std::move(run), proc, comm = comm_,
+                       to_each = to_each](CollRequest& request) {
+                        request.blocks() = run(*proc, comm, to_each);
                       });
 }
 

@@ -80,6 +80,15 @@ class Coll {
   Buffer scan(std::span<const std::uint8_t> data, mpi::Op op,
               mpi::Datatype type, const std::string& algo = kAuto);
 
+  /// Personalized all-to-all (MPI_Alltoall): `to_each[i]` goes to comm rank
+  /// i (comm.size() entries); returns comm.size() blocks, block r being
+  /// what rank r sent to this rank.  `block_bytes` is the per-destination
+  /// block size every rank agrees on — the MPI sendcount analogue and the
+  /// size kAuto keys on; explicitly named algorithms may pass 0.
+  std::vector<Buffer> alltoall(const std::vector<Buffer>& to_each,
+                               std::size_t block_bytes = 0,
+                               const std::string& algo = kAuto);
+
   // --------------------------------------------------------- nonblocking
   /// Starts the broadcast on a helper fiber and returns immediately (in
   /// virtual time).  `buffer` must stay alive and untouched until the
@@ -115,6 +124,12 @@ class Coll {
   std::shared_ptr<CollRequest> iscatter(const std::vector<Buffer>& chunks,
                                         int root, std::size_t chunk_bytes = 0,
                                         const std::string& algo = kAuto);
+
+  /// Received blocks in request->blocks(); `to_each` is copied at call
+  /// time.
+  std::shared_ptr<CollRequest> ialltoall(const std::vector<Buffer>& to_each,
+                                         std::size_t block_bytes = 0,
+                                         const std::string& algo = kAuto);
 
   // ----------------------------------------------------------- selection
   /// The algorithm `algo` resolves to for a payload of `bytes` — kAuto goes

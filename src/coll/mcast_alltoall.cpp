@@ -1,0 +1,74 @@
+#include "coll/mcast_alltoall.hpp"
+
+#include "coll/mcast.hpp"
+#include "common/assert.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+std::vector<Buffer> alltoall_mcast_rr(Proc& p, const Comm& comm,
+                                      const std::vector<Buffer>& to_each) {
+  const int size = comm.size();
+  const int me = comm.rank();
+  MC_EXPECTS_MSG(static_cast<int>(to_each.size()) == size,
+                 "alltoall needs one buffer per rank");
+  std::vector<Buffer> out(static_cast<std::size_t>(size));
+  if (size == 1) {
+    out[0] = to_each[0];
+    return out;
+  }
+  // Channel first, then one barrier: after it every rank is inside the
+  // collective with its multicast socket live, so the lockstep rounds can
+  // never outrun a receiver (the allgather_mcast readiness argument).
+  (void)p.mcast_channel(comm);
+  barrier_mcast(p, comm);
+
+  for (int round = 0; round < size; ++round) {
+    if (round == me) {
+      // One datagram: [u32 count][u64 len x N][blocks...], framed and
+      // multicast through the gather-send path.
+      std::size_t total = alltoall_table_bytes(size);
+      for (const Buffer& block : to_each) {
+        total += block.size();
+      }
+      Buffer datagram;
+      datagram.reserve(total);
+      ByteWriter w(datagram);
+      w.u32(static_cast<std::uint32_t>(size));
+      for (const Buffer& block : to_each) {
+        w.u64(block.size());
+      }
+      for (const Buffer& block : to_each) {
+        w.bytes(block);
+      }
+      mcast_send_framed(p, comm, datagram, round, net::FrameKind::kData);
+      out[static_cast<std::size_t>(me)] =
+          to_each[static_cast<std::size_t>(me)];
+    } else {
+      const Buffer payload = mcast_recv_framed(p, comm, round);
+      ByteReader reader(payload);
+      const auto count = static_cast<int>(reader.u32());
+      MC_ASSERT_MSG(count == size, "alltoall round with a foreign table");
+      std::size_t offset = 0;
+      std::size_t mine = 0;
+      for (int rank = 0; rank < size; ++rank) {
+        const std::uint64_t len = reader.u64();
+        if (rank < me) {
+          offset += len;
+        } else if (rank == me) {
+          mine = len;
+        }
+      }
+      const auto blocks = reader.rest();
+      MC_ASSERT_MSG(offset + mine <= blocks.size(),
+                    "alltoall table overruns the datagram");
+      const auto view = blocks.subspan(offset, mine);
+      out[static_cast<std::size_t>(round)].assign(view.begin(), view.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace mcmpi::coll

@@ -1,0 +1,39 @@
+#pragma once
+/// \file mcast_alltoall.hpp
+/// Personalized all-to-all over IP multicast — round-robin lockstep.
+///
+/// The pairwise-shift alltoall (mpich.hpp) exchanges N-1 point-to-point
+/// message pairs per rank: every rank pays N-1 send and N-1 receive
+/// software overheads, and N(N-1) separate datagrams hit the wire.  On a
+/// multicast-capable network each rank can instead transmit its WHOLE
+/// personalized vector once: in rank order (the lockstep discipline of
+/// allgather_mcast, which guarantees receiver readiness by construction),
+/// rank r multicasts [block table || block_0 .. block_{N-1}] through the
+/// zero-copy gather-send, and every receiver slices out the one block
+/// addressed to it.  N multicast sends replace N(N-1) unicasts — the same
+/// per-message-overhead saving the paper's broadcast exploits, applied to
+/// the fully personalized pattern.  The price is receive bandwidth: every
+/// rank hears every byte (N*b per round instead of b), so the win lives
+/// where per-message cost, not wire bytes, dominates — and the whole
+/// concatenated vector must fit one multicast datagram (registry
+/// predicate: fragment-offset ceiling and receiver socket buffer).
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mpi/proc.hpp"
+
+namespace mcmpi::coll {
+
+/// Wire overhead of the block table for an N-rank alltoall round (u32
+/// count + one u64 length per block) — budget it when sizing the datagram.
+inline constexpr std::size_t alltoall_table_bytes(int ranks) {
+  return 4 + 8 * static_cast<std::size_t>(ranks);
+}
+
+/// Round-robin multicast alltoall: `to_each[i]` goes to comm rank i;
+/// returns what every rank sent to this one.
+std::vector<Buffer> alltoall_mcast_rr(mpi::Proc& p, const mpi::Comm& comm,
+                                      const std::vector<Buffer>& to_each);
+
+}  // namespace mcmpi::coll

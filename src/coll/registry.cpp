@@ -8,6 +8,7 @@
 #include "coll/ack_mcast.hpp"
 #include "coll/mcast.hpp"
 #include "coll/mcast_allgather.hpp"
+#include "coll/mcast_alltoall.hpp"
 #include "coll/mcast_reduce.hpp"
 #include "coll/mcast_scatter.hpp"
 #include "coll/mpich.hpp"
@@ -35,6 +36,8 @@ std::string to_string(CollOp op) {
       return "scatter";
     case CollOp::kScan:
       return "scan";
+    case CollOp::kAlltoall:
+      return "alltoall";
   }
   return "?";
 }
@@ -354,6 +357,47 @@ void register_builtins(Registry& r) {
         return scatter_mcast_slice(p, comm, chunks, root);
       }});
 
+  // ------------------------------------------------------------ alltoall
+  r.add(CollAlgorithm{
+      .name = "mpich",
+      .op = CollOp::kAlltoall,
+      .description = "pairwise-shift alltoall over point-to-point sendrecv",
+      .applicable = always,
+      // N-1 exchange steps on the critical path, one block each way per
+      // step; `bytes` is the per-destination block size throughout.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks) { return 2.0 * frames(bytes) * (ranks - 1); },
+      .alltoall = [](mpi::Proc& p, const mpi::Comm& comm,
+                     const std::vector<Buffer>& to_each) {
+        return alltoall_mpich(p, comm, to_each);
+      }});
+  r.add(CollAlgorithm{
+      .name = "mcast-rr",
+      .op = CollOp::kAlltoall,
+      .description = "round-robin lockstep: each rank multicasts its whole "
+                     "personalized vector once, receivers slice their block",
+      // The concatenated vector (+ table) must fit one multicast datagram
+      // and the receivers' socket buffer.
+      .applicable =
+          [](const mpi::Comm& comm, std::size_t bytes) {
+            return fits_mcast_datagram(
+                comm, bytes * static_cast<std::size_t>(comm.size()) +
+                          alltoall_table_bytes(comm.size()));
+          },
+      // Barrier + N serialized rounds, each one datagram of N blocks; the
+      // per-rank saving is N-1 sends folded into one.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            return ranks +
+                   frames(bytes * static_cast<std::size_t>(
+                                      std::max(ranks, 1))) *
+                       ranks;
+          },
+      .alltoall = [](mpi::Proc& p, const mpi::Comm& comm,
+                     const std::vector<Buffer>& to_each) {
+        return alltoall_mcast_rr(p, comm, to_each);
+      }});
+
   // ---------------------------------------------------------------- scan
   r.add(CollAlgorithm{
       .name = "mpich",
@@ -414,6 +458,8 @@ void Registry::add(CollAlgorithm algo) {
         return static_cast<bool>(algo.scatter);
       case CollOp::kScan:
         return static_cast<bool>(algo.scan);
+      case CollOp::kAlltoall:
+        return static_cast<bool>(algo.alltoall);
     }
     return false;
   }();

@@ -36,6 +36,7 @@ enum class CollOp {
   kGather,
   kScatter,
   kScan,
+  kAlltoall,
 };
 
 std::string to_string(CollOp op);
@@ -44,6 +45,7 @@ std::string to_string(CollOp op);
 inline constexpr CollOp kAllCollOps[] = {
     CollOp::kBcast,  CollOp::kBarrier, CollOp::kAllreduce, CollOp::kAllgather,
     CollOp::kReduce, CollOp::kGather,  CollOp::kScatter,   CollOp::kScan,
+    CollOp::kAlltoall,
 };
 
 /// One registered algorithm.  Exactly one run function — the one matching
@@ -104,6 +106,12 @@ struct CollAlgorithm {
                        std::span<const std::uint8_t> data, mpi::Op op,
                        mpi::Datatype type)>
       scan;
+  /// Personalized all-to-all: `to_each[i]` goes to comm rank i (comm.size()
+  /// entries); returns comm.size() blocks, block r being what rank r sent
+  /// to this rank.
+  std::function<std::vector<Buffer>(mpi::Proc&, const mpi::Comm&,
+                                    const std::vector<Buffer>& to_each)>
+      alltoall;
 };
 
 /// Process-wide algorithm registry.  Not thread-safe by design: the

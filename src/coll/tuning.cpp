@@ -71,7 +71,9 @@ TuningTable TuningTable::defaults() {
       "gather,*,*,scout-combining; gather,*,*,mpich;"
       "scatter,*,2,mpich; scatter,1024,*,mpich;"
       "scatter,*,*,mcast-slice; scatter,*,*,mpich;"
-      "scan,*,2,mpich; scan,1024,*,mpich; scan,*,*,binomial");
+      "scan,*,2,mpich; scan,1024,*,mpich; scan,*,*,binomial;"
+      "alltoall,*,2,mpich; alltoall,2048,*,mpich;"
+      "alltoall,*,*,mcast-rr; alltoall,*,*,mpich");
 }
 
 TuningTable TuningTable::parse(const std::string& spec) {

@@ -1,14 +1,43 @@
 #include "common/bytes.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/rng.hpp"
 
 namespace mcmpi {
 
-PayloadCounters& payload_counters() {
-  static PayloadCounters counters;
-  return counters;
+namespace {
+
+/// Mutable backing store for payload_counters().  Relaxed atomics: shards
+/// of a parallel simulation touch payloads concurrently; every increment is
+/// independent, so ordering does not matter and the totals are exact.
+struct PayloadCounterCells {
+  std::atomic<std::uint64_t> buffer_allocs{0};
+  std::atomic<std::uint64_t> bytes_allocated{0};
+  std::atomic<std::uint64_t> byte_copies{0};
+  std::atomic<std::uint64_t> bytes_copied{0};
+  std::atomic<std::uint64_t> slices{0};
+};
+
+PayloadCounterCells& payload_cells() {
+  static PayloadCounterCells cells;
+  return cells;
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+PayloadCounters payload_counters() {
+  const PayloadCounterCells& c = payload_cells();
+  PayloadCounters snapshot;
+  snapshot.buffer_allocs = c.buffer_allocs.load(kRelaxed);
+  snapshot.bytes_allocated = c.bytes_allocated.load(kRelaxed);
+  snapshot.byte_copies = c.byte_copies.load(kRelaxed);
+  snapshot.bytes_copied = c.bytes_copied.load(kRelaxed);
+  snapshot.slices = c.slices.load(kRelaxed);
+  return snapshot;
 }
 
 PayloadRef::PayloadRef(Buffer bytes) {
@@ -16,15 +45,15 @@ PayloadRef::PayloadRef(Buffer bytes) {
   data_ = owned->data();
   size_ = owned->size();
   owner_ = std::move(owned);
-  PayloadCounters& c = payload_counters();
-  ++c.buffer_allocs;
-  c.bytes_allocated += size_;
+  PayloadCounterCells& c = payload_cells();
+  c.buffer_allocs.fetch_add(1, kRelaxed);
+  c.bytes_allocated.fetch_add(size_, kRelaxed);
 }
 
 PayloadRef PayloadRef::copy_of(std::span<const std::uint8_t> bytes) {
-  PayloadCounters& c = payload_counters();
-  ++c.byte_copies;
-  c.bytes_copied += bytes.size();
+  PayloadCounterCells& c = payload_cells();
+  c.byte_copies.fetch_add(1, kRelaxed);
+  c.bytes_copied.fetch_add(bytes.size(), kRelaxed);
   return PayloadRef(Buffer(bytes.begin(), bytes.end()));
 }
 
@@ -32,7 +61,7 @@ PayloadRef PayloadRef::slice(std::size_t offset, std::size_t length) const {
   // Overflow-safe form: offset + length could wrap in size_t.
   MC_EXPECTS_MSG(offset <= size_ && length <= size_ - offset,
                  "PayloadRef slice out of bounds");
-  ++payload_counters().slices;
+  payload_cells().slices.fetch_add(1, kRelaxed);
   return PayloadRef(owner_, data_ + offset, length);
 }
 
@@ -44,14 +73,14 @@ PayloadRef PayloadRef::slice(std::size_t offset) const {
 PayloadRef PayloadRef::joined_with(const PayloadRef& next) const {
   MC_EXPECTS_MSG(directly_precedes(next),
                  "joined_with() requires adjacent views of one buffer");
-  ++payload_counters().slices;
+  payload_cells().slices.fetch_add(1, kRelaxed);
   return PayloadRef(owner_, data_, size_ + next.size_);
 }
 
 Buffer PayloadRef::to_buffer() const {
-  PayloadCounters& c = payload_counters();
-  ++c.byte_copies;
-  c.bytes_copied += size_;
+  PayloadCounterCells& c = payload_cells();
+  c.byte_copies.fetch_add(1, kRelaxed);
+  c.bytes_copied.fetch_add(size_, kRelaxed);
   return Buffer(data_, data_ + size_);
 }
 

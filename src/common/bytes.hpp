@@ -53,9 +53,12 @@ struct PayloadCounters {
   }
 };
 
-/// The process-wide payload counters (payloads cross simulated-host
-/// boundaries, so the accounting is global by design).
-PayloadCounters& payload_counters();
+/// Snapshot of the process-wide payload counters (payloads cross
+/// simulated-host boundaries, so the accounting is global by design).  The
+/// backing cells are relaxed atomics: simulator shards on worker threads
+/// bump them concurrently, and because each operation's contribution is
+/// fixed, the totals stay deterministic under any interleaving.
+PayloadCounters payload_counters();
 
 /// Immutable, ref-counted view of a byte buffer.
 ///

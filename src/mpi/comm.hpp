@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -65,6 +66,12 @@ struct CommInfo {
   std::vector<int> split_calls;  // per comm-rank split() count
   /// split sequence number -> (color -> child)
   std::map<int, std::map<int, std::shared_ptr<CommInfo>>> split_children;
+  /// Guards the child registries above when the communicator spans several
+  /// simulator shards (dup's meeting point is shared memory, not messages).
+  /// Uncontended on a single shard.  Note child CONTEXT IDS may then depend
+  /// on cross-shard arrival order; ids never affect timing or payloads, so
+  /// simulated results stay deterministic (comm.hpp file comment).
+  std::mutex creation_mutex;
 
   explicit CommInfo(std::uint32_t context, Group g)
       : context_id(context),

@@ -190,9 +190,11 @@ Comm Proc::dup(const Comm& comm) {
   CommInfo& info = *comm.info();
   const auto my = static_cast<std::size_t>(comm.rank());
   const auto seq = static_cast<std::size_t>(info.dup_calls[my]++);
+  // First member to reach this dup creates the child; same-order calls on
+  // every rank make the sequence number a safe meeting point.  The lock
+  // serializes members arriving from different simulator shards.
+  const std::lock_guard<std::mutex> lock(info.creation_mutex);
   if (seq >= info.dup_children.size()) {
-    // First member to reach this dup creates the child; same-order calls on
-    // every rank make the sequence number a safe meeting point.
     MC_ASSERT(seq == info.dup_children.size());
     info.dup_children.push_back(
         std::make_shared<CommInfo>(world_.alloc_context(), info.group));
@@ -228,17 +230,26 @@ Comm Proc::split(const Comm& comm, int color, int key) {
       return std::tie(a.color, a.key, a.comm_rank) <
              std::tie(b.color, b.key, b.comm_rank);
     });
-    auto& children = info.split_children[seq];
-    for (std::size_t i = 0; i < entries.size();) {
-      const int c = entries[i].color;
-      std::vector<Rank> members;
-      while (i < entries.size() && entries[i].color == c) {
-        members.push_back(info.group.world_rank(entries[i].comm_rank));
-        ++i;
-      }
-      if (c >= 0) {
-        children.emplace(c, std::make_shared<CommInfo>(world_.alloc_context(),
-                                                       Group(members)));
+    {
+      // Members only read the registry after the release message below, so
+      // the message chain already orders this write; the lock additionally
+      // covers unrelated dup/split creation racing on other shards.  Scoped
+      // tightly: it must never be held across a blocking call (send/recv
+      // suspend the fiber with the mutex still owned by this thread).
+      const std::lock_guard<std::mutex> lock(info.creation_mutex);
+      auto& children = info.split_children[seq];
+      for (std::size_t i = 0; i < entries.size();) {
+        const int c = entries[i].color;
+        std::vector<Rank> members;
+        while (i < entries.size() && entries[i].color == c) {
+          members.push_back(info.group.world_rank(entries[i].comm_rank));
+          ++i;
+        }
+        if (c >= 0) {
+          children.emplace(
+              c, std::make_shared<CommInfo>(world_.alloc_context(),
+                                            Group(members)));
+        }
       }
     }
     for (int r = 1; r < comm.size(); ++r) {

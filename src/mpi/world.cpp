@@ -23,6 +23,7 @@ World::World(sim::Simulator& sim, const std::vector<RankResources>& ranks)
     const RankResources& r = ranks[i];
     MC_EXPECTS(r.udp != nullptr && r.rdp != nullptr && r.costs != nullptr);
     addresses_.push_back(r.address);
+    shards_.push_back(r.shard);
     procs_.push_back(std::make_unique<Proc>(*this, static_cast<Rank>(i),
                                             *r.udp, *r.rdp, *r.costs));
   }
@@ -54,11 +55,14 @@ Rank World::rank_of(inet::IpAddr addr) const {
 void World::run(const std::function<void(Proc&)>& rank_main) {
   for (int r = 0; r < size(); ++r) {
     Proc* proc = procs_[static_cast<std::size_t>(r)].get();
-    sim_.spawn("rank" + std::to_string(r),
-               [proc, rank_main](sim::SimProcess& self) {
-                 proc->bind(self);
-                 rank_main(*proc);
-               });
+    // Each rank's process is pinned to its segment's shard; the sharded
+    // drivers then run disjoint segments on worker threads.
+    sim_.spawn_on(shards_[static_cast<std::size_t>(r)],
+                  "rank" + std::to_string(r),
+                  [proc, rank_main](sim::SimProcess& self) {
+                    proc->bind(self);
+                    rank_main(*proc);
+                  });
   }
   sim_.run();
 }

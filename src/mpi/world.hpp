@@ -2,6 +2,7 @@
 /// \file world.hpp
 /// World — builds the rank set and launches SPMD programs on the simulator.
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -27,6 +28,10 @@ class World {
     inet::RdpEndpoint* rdp = nullptr;
     SoftwareCosts* costs = nullptr;
     inet::IpAddr address;
+    /// Simulator shard the rank's processes run on — its segment's shard.
+    /// All of a rank's state (stacks, engine, helper fibers) stays on this
+    /// shard; only trunk frames cross shards.
+    unsigned shard = 0;
   };
 
   World(sim::Simulator& sim, const std::vector<RankResources>& ranks);
@@ -40,8 +45,14 @@ class World {
 
   const std::shared_ptr<CommInfo>& world_info() const { return world_info_; }
 
-  /// Allocates a fresh communicator context id (deterministic sequence).
-  std::uint32_t alloc_context() { return next_context_++; }
+  /// Allocates a fresh communicator context id.  Atomic: ranks on different
+  /// shards may create communicators concurrently; the sequence of VALUES
+  /// is then allocation-order dependent, but a context id never influences
+  /// timing or payloads (it only names a multicast identity), so simulated
+  /// results stay deterministic.
+  std::uint32_t alloc_context() {
+    return next_context_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Tuned collective auto-selection rules (coll/tuning.hpp) consulted by
   /// the kAuto policy of comm.coll().  Construction installs the
@@ -60,9 +71,10 @@ class World {
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<inet::IpAddr> addresses_;
+  std::vector<unsigned> shards_;  // home shard per rank
   std::shared_ptr<CommInfo> world_info_;
   std::shared_ptr<coll::TuningTable> coll_tuning_;
-  std::uint32_t next_context_ = 1;
+  std::atomic<std::uint32_t> next_context_{1};
 };
 
 }  // namespace mcmpi::mpi

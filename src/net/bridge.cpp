@@ -1,0 +1,62 @@
+#include "net/bridge.hpp"
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::net {
+
+Bridge::Bridge(sim::Simulator& sim, const PortConfig& a, const PortConfig& b,
+               SimTime latency, SegmentOf segment_of)
+    : sim_(sim),
+      latency_(latency),
+      segment_of_(std::move(segment_of)),
+      a_(make_port(sim, a)),
+      b_(make_port(sim, b)) {
+  MC_EXPECTS_MSG(latency_ > kTimeZero,
+                 "a trunk needs positive latency (it is the simulator's "
+                 "conservative lookahead)");
+  MC_EXPECTS_MSG(a.segment != b.segment, "a bridge joins two segments");
+  a_.peer = &b_;
+  b_.peer = &a_;
+  a_.nic->set_rx_handler([this](const Frame& f) { on_rx(a_, f); });
+  b_.nic->set_rx_handler([this](const Frame& f) { on_rx(b_, f); });
+}
+
+Bridge::Port Bridge::make_port(sim::Simulator& sim,
+                               const PortConfig& config) {
+  MC_EXPECTS(config.network != nullptr);
+  Port port;
+  port.nic = std::make_unique<Nic>(sim, config.mac, config.name);
+  port.segment = config.segment;
+  port.shard = config.shard;
+  port.nic->set_segment(config.segment);
+  port.nic->set_promiscuous(true);
+  port.nic->attach_to(*config.network);
+  return port;
+}
+
+void Bridge::on_rx(Port& local, const Frame& frame) {
+  // Split horizon: forward only first-hop frames.  Anything injected by a
+  // bridge (this one or a peer trunk of the mesh) already crossed one trunk
+  // and must not cross another.
+  if (frame.origin_segment != local.segment) {
+    return;
+  }
+  if (!frame.dst.is_broadcast() && !frame.dst.is_multicast()) {
+    const int dst_segment = segment_of_(frame.dst);
+    if (dst_segment < 0 ||
+        static_cast<std::uint16_t>(dst_segment) != local.peer->segment) {
+      return;  // local traffic, or bound for a different trunk of the mesh
+    }
+  }
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  // The trunk hop: fixed backbone latency, then the frame contends on the
+  // far segment through the peer port's ordinary transmit queue.  Across
+  // shards this is the system's one cross-shard interaction; the latency is
+  // the lookahead that keeps the conservative windows deterministic.
+  Nic* peer_nic = local.peer->nic.get();
+  sim_.schedule_cross(local.peer->shard, sim_.now() + latency_,
+                      [peer_nic, frame] { peer_nic->forward(frame); });
+}
+
+}  // namespace mcmpi::net

@@ -1,0 +1,93 @@
+#pragma once
+/// \file bridge.hpp
+/// Transparent two-port bridge joining two network segments.
+///
+/// Multi-segment topologies (several hubs/switches joined by a backbone)
+/// are built as a full mesh of point-to-point Bridge trunks.  Each bridge
+/// half is a promiscuous NIC attached to its segment like any station: it
+/// hears every frame, and re-injects forwarded frames through the far
+/// half's transmit queue, where they contend for the far medium exactly
+/// like a local sender (CSMA/CD on a hub, per-port egress queueing on a
+/// switch).  Forwarding is transparent — the original source address and
+/// origin segment ride along — so far-side switches learn remote hosts
+/// against the bridge port, exactly like a real learning bridge.
+///
+/// Forwarding rules (loop-free on a full mesh, every frame crossing each
+/// trunk at most once):
+///   * split horizon: only frames ORIGINATING on the local segment are
+///     forwarded (Frame::origin_segment; a frame another bridge injected is
+///     never re-forwarded);
+///   * unicast: forwarded only when the destination host lives on the far
+///     segment (static destination table — the cluster knows its hosts; a
+///     real bridge would learn the same mapping from source addresses);
+///   * multicast / broadcast: always forwarded (flooding; the backbone is a
+///     multicast-router port in IGMP-snooping terms).
+///
+/// The trunk hop costs a fixed `latency` (backbone store-and-forward plus
+/// propagation).  That latency is the conservative LOOKAHEAD of the sharded
+/// simulator: when the two halves live on different shards the delivery is
+/// a schedule_cross() — the only cross-shard interaction in the system —
+/// and the simulator's window barrier keeps it deterministic.
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/time.hpp"
+#include "net/nic.hpp"
+
+namespace mcmpi::net {
+
+class Bridge {
+ public:
+  /// Where one half of the bridge plugs in.
+  struct PortConfig {
+    Network* network = nullptr;  ///< the segment's hub or switch
+    std::uint16_t segment = 0;   ///< segment id (matches Nic::segment)
+    unsigned shard = 0;          ///< simulator shard owning the segment
+    MacAddr mac;                 ///< unique unicast address for the port
+    std::string name;            ///< NIC name (diagnostics)
+  };
+
+  /// Maps a unicast host address to its segment; returns -1 for addresses
+  /// that are not cluster hosts (other bridge ports) — such frames are not
+  /// forwarded.
+  using SegmentOf = std::function<int(MacAddr)>;
+
+  Bridge(sim::Simulator& sim, const PortConfig& a, const PortConfig& b,
+         SimTime latency, SegmentOf segment_of);
+  Bridge(const Bridge&) = delete;
+  Bridge& operator=(const Bridge&) = delete;
+
+  SimTime latency() const { return latency_; }
+  Nic& port_a() { return *a_.nic; }
+  Nic& port_b() { return *b_.nic; }
+
+  /// Frames this bridge pushed onto its trunk (both directions).
+  std::uint64_t forwarded_frames() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Port {
+    std::unique_ptr<Nic> nic;
+    std::uint16_t segment = 0;
+    unsigned shard = 0;
+    Port* peer = nullptr;
+  };
+
+  Port make_port(sim::Simulator& sim, const PortConfig& config);
+  void on_rx(Port& local, const Frame& frame);
+
+  sim::Simulator& sim_;
+  SimTime latency_;
+  SegmentOf segment_of_;
+  Port a_;
+  Port b_;
+  /// Atomic: the two ports run on different shards' worker threads under
+  /// the parallel driver; relaxed increments keep the total exact.
+  std::atomic<std::uint64_t> forwarded_{0};
+};
+
+}  // namespace mcmpi::net

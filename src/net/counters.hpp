@@ -75,6 +75,24 @@ struct NetCounters {
     return host_tx_frames - host_tx_ack_frames;
   }
 
+  /// Fieldwise accumulate; used to total a multi-segment topology's
+  /// per-segment counters.
+  NetCounters& operator+=(const NetCounters& other) {
+    host_tx_frames += other.host_tx_frames;
+    host_tx_data_frames += other.host_tx_data_frames;
+    host_tx_control_frames += other.host_tx_control_frames;
+    host_tx_ack_frames += other.host_tx_ack_frames;
+    host_tx_bytes += other.host_tx_bytes;
+    deliveries += other.deliveries;
+    filtered += other.filtered;
+    collisions += other.collisions;
+    backoffs += other.backoffs;
+    excessive_collision_drops += other.excessive_collision_drops;
+    injected_drops += other.injected_drops;
+    queue_drops += other.queue_drops;
+    return *this;
+  }
+
   /// Fieldwise difference (this - earlier); used for per-experiment deltas.
   NetCounters since(const NetCounters& earlier) const {
     NetCounters d;

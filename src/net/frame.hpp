@@ -31,6 +31,13 @@ struct Frame {
   MacAddr dst;
   std::uint16_t ethertype = kEtherTypeIpv4;
   FrameKind kind = FrameKind::kData;
+  /// Segment the frame was originally transmitted on (stamped by the host
+  /// NIC's send; preserved by bridges).  Split-horizon rule of the
+  /// multi-segment topologies: a bridge only forwards frames originating on
+  /// its own segment, so a flooded frame crosses each trunk exactly once.
+  /// Out-of-band bookkeeping, not wire bytes (real bridges infer this from
+  /// the ingress port).
+  std::uint16_t origin_segment = 0;
   /// L3 header bytes for this frame (e.g. the per-fragment IP header).
   /// Small and built once per frame; separate from `payload` so the payload
   /// can stay a zero-copy slice of the original datagram.

@@ -18,8 +18,13 @@ void Nic::attach_to(Network& network) {
 }
 
 void Nic::send(Frame frame) {
-  MC_EXPECTS_MSG(network_ != nullptr, "NIC not attached to a network");
   frame.src = mac_;
+  frame.origin_segment = segment_;
+  forward(std::move(frame));
+}
+
+void Nic::forward(Frame frame) {
+  MC_EXPECTS_MSG(network_ != nullptr, "NIC not attached to a network");
   tx_queue_.push_back(std::move(frame));
   if (tx_queue_.size() == 1) {
     network_->nic_has_frames(*this);
@@ -40,11 +45,11 @@ void Nic::leave_multicast(MacAddr group) {
 }
 
 bool Nic::accepts_multicast(MacAddr group) const {
-  return multicast_refs_.contains(group);
+  return promiscuous_ || multicast_refs_.contains(group);
 }
 
 bool Nic::accepts(MacAddr dst) const {
-  if (dst == mac_ || dst.is_broadcast()) {
+  if (promiscuous_ || dst == mac_ || dst.is_broadcast()) {
     return true;
   }
   return dst.is_multicast() && accepts_multicast(dst);

@@ -37,10 +37,27 @@ class Nic {
   void attach_to(Network& network);
   Network* network() { return network_; }
 
+  /// Network segment this NIC lives on (set by the cluster layer when it
+  /// builds a multi-segment topology; stamps Frame::origin_segment).
+  void set_segment(std::uint16_t segment) { segment_ = segment; }
+  std::uint16_t segment() const { return segment_; }
+
+  /// Promiscuous mode: accept every frame regardless of destination — how a
+  /// bridge port listens to its whole segment (and why IGMP-snooping
+  /// switches treat it as a member of every multicast group).
+  void set_promiscuous(bool on) { promiscuous_ = on; }
+  bool promiscuous() const { return promiscuous_; }
+
   void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
 
-  /// Queues a frame for transmission.  The source address is stamped here.
+  /// Queues a frame for transmission.  The source address and origin
+  /// segment are stamped here.
   void send(Frame frame);
+
+  /// Queues a frame for transmission WITHOUT restamping source or origin —
+  /// transparent bridging: the trunk re-injects the original host's frame
+  /// onto the far segment.
+  void forward(Frame frame);
 
   /// Multicast filter management (driven by the IGMP layer).  Joins are
   /// reference-counted so two sockets in one host can share a group.
@@ -68,6 +85,8 @@ class Nic {
   RxHandler rx_handler_;
   std::deque<Frame> tx_queue_;
   std::unordered_map<MacAddr, int> multicast_refs_;
+  std::uint16_t segment_ = 0;
+  bool promiscuous_ = false;
 };
 
 }  // namespace mcmpi::net

@@ -11,23 +11,28 @@ namespace mcmpi::posix {
 namespace {
 // p2p frame: u32 src rank, payload.
 // multicast frame: u32 sender rank, u64 sequence, payload.
+//
+// Headers are built into small stack buffers and handed to the kernel
+// TOGETHER with the user payload via RealUdpSocket::send_parts (sendmsg +
+// iovec): the datagram is gathered in kernel space, so the send path never
+// copies the payload into an assembly buffer — the real-backend mirror of
+// the simulated stack's zero-copy gather-send.
 
-Buffer pack_p2p(int src, std::span<const std::uint8_t> data) {
-  Buffer out;
-  ByteWriter w(out);
+Buffer p2p_header(int src) {
+  Buffer header;
+  header.reserve(4);
+  ByteWriter w(header);
   w.u32(static_cast<std::uint32_t>(src));
-  w.bytes(data);
-  return out;
+  return header;
 }
 
-Buffer pack_mcast(int sender, std::uint64_t seq,
-                  std::span<const std::uint8_t> data) {
-  Buffer out;
-  ByteWriter w(out);
+Buffer mcast_header(int sender, std::uint64_t seq) {
+  Buffer header;
+  header.reserve(12);
+  ByteWriter w(header);
   w.u32(static_cast<std::uint32_t>(sender));
   w.u64(seq);
-  w.bytes(data);
-  return out;
+  return header;
 }
 }  // namespace
 
@@ -51,7 +56,9 @@ int RealRank::size() const { return cluster_.config().num_ranks; }
 
 void RealRank::send_p2p(int dst, std::span<const std::uint8_t> data) {
   MC_EXPECTS(dst >= 0 && dst < size());
-  p2p_->send_to(0, cluster_.p2p_port(dst), pack_p2p(rank_, data));
+  const Buffer header = p2p_header(rank_);
+  const std::span<const std::uint8_t> parts[] = {header, data};
+  p2p_->send_parts(0, cluster_.p2p_port(dst), parts);
 }
 
 std::vector<std::uint8_t> RealRank::recv_p2p(int src) {
@@ -77,8 +84,10 @@ std::vector<std::uint8_t> RealRank::recv_p2p(int src) {
 }
 
 void RealRank::mcast_send(std::span<const std::uint8_t> data) {
-  mcast_->send_to(cluster_.config().mcast_group, cluster_.mcast_port(),
-                  pack_mcast(rank_, mcast_seq_, data));
+  const Buffer header = mcast_header(rank_, mcast_seq_);
+  const std::span<const std::uint8_t> parts[] = {header, data};
+  mcast_->send_parts(cluster_.config().mcast_group, cluster_.mcast_port(),
+                     parts);
   ++mcast_seq_;
 }
 

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <system_error>
 
+#include "common/assert.hpp"
+
 namespace mcmpi::posix {
 
 namespace {
@@ -82,16 +84,44 @@ void RealUdpSocket::join_multicast(std::uint32_t group) {
 
 void RealUdpSocket::send_to(std::uint32_t addr, std::uint16_t port,
                             std::span<const std::uint8_t> data) {
+  const std::span<const std::uint8_t> one[] = {data};
+  send_parts(addr, port, one);
+}
+
+void RealUdpSocket::send_parts(
+    std::uint32_t addr, std::uint16_t port,
+    std::span<const std::span<const std::uint8_t>> parts) {
   sockaddr_in dst{};
   dst.sin_family = AF_INET;
   dst.sin_addr.s_addr =
       htonl((addr >> 28) == 0xE ? addr : INADDR_LOOPBACK);
   dst.sin_port = htons(port);
-  const ssize_t sent =
-      ::sendto(fd_.get(), data.data(), data.size(), 0,
-               reinterpret_cast<sockaddr*>(&dst), sizeof dst);
-  if (sent < 0 || static_cast<std::size_t>(sent) != data.size()) {
-    raise_errno("sendto");
+
+  // The kernel gathers the iovec into one datagram: header + payload leave
+  // in a single sendmsg with no user-space assembly buffer — the real
+  // backend's analogue of the simulated gather-send.
+  constexpr std::size_t kMaxParts = 8;
+  iovec iov[kMaxParts];
+  MC_EXPECTS_MSG(parts.size() <= kMaxParts, "too many datagram parts");
+  std::size_t total = 0;
+  std::size_t used = 0;
+  for (const auto& part : parts) {
+    if (part.empty()) {
+      continue;  // zero-length iovec entries are legal but pointless
+    }
+    iov[used].iov_base = const_cast<std::uint8_t*>(part.data());
+    iov[used].iov_len = part.size();
+    total += part.size();
+    ++used;
+  }
+  msghdr msg{};
+  msg.msg_name = &dst;
+  msg.msg_namelen = sizeof dst;
+  msg.msg_iov = iov;
+  msg.msg_iovlen = used;
+  const ssize_t sent = ::sendmsg(fd_.get(), &msg, 0);
+  if (sent < 0 || static_cast<std::size_t>(sent) != total) {
+    raise_errno("sendmsg");
   }
 }
 

@@ -57,6 +57,13 @@ class RealUdpSocket {
   void send_to(std::uint32_t addr, std::uint16_t port,
                std::span<const std::uint8_t> data);
 
+  /// Gather-send: one datagram assembled by the KERNEL from `parts`
+  /// (sendmsg + iovec), mirroring the simulated stack's zero-copy
+  /// gather-send — a protocol header and its payload go out as one
+  /// datagram without the user-space concatenation copy.
+  void send_parts(std::uint32_t addr, std::uint16_t port,
+                  std::span<const std::span<const std::uint8_t>> parts);
+
   /// Blocking receive with timeout; nullopt on timeout.
   std::optional<ReceivedDatagram> recv(std::chrono::milliseconds timeout);
 

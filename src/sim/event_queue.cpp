@@ -24,13 +24,18 @@ void EventQueue::release_slot(std::uint32_t index) {
 }
 
 EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  return schedule_keyed(t, allocate_remote_key(), std::move(fn));
+}
+
+EventId EventQueue::schedule_keyed(SimTime t, OrderKey key, EventFn fn) {
   MC_EXPECTS(static_cast<bool>(fn));
   const std::uint32_t index = acquire_slot();
   Slot& slot = slots_[index];
   slot.live = true;
   slot.fn = std::move(fn);
-  heap_.push(Entry{t, next_seq_++, index, slot.generation});
+  heap_.push(Entry{t, key, index, slot.generation});
   ++live_count_;
+  ++total_scheduled_;
   return (static_cast<EventId>(slot.generation) << 32) |
          (static_cast<EventId>(index) + 1);
 }

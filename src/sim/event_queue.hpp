@@ -2,9 +2,16 @@
 /// \file event_queue.hpp
 /// Pending-event set for the discrete-event simulator.
 ///
-/// Events are ordered by (time, insertion sequence): two events at the same
-/// virtual time fire in the order they were scheduled, which makes every run
-/// with the same seed bit-identical.
+/// Events are ordered by (time, shard tag, insertion sequence): two events
+/// at the same virtual time fire in the order they were scheduled, which
+/// makes every run with the same seed bit-identical.  The shard tag folds
+/// into the ordering key so a sharded simulator (sim/simulator.hpp) stays
+/// deterministic: a cross-shard delivery is inserted with the SENDER's
+/// (shard, seq) key, assigned at send time by the sender's deterministic
+/// execution — so its order against the receiver's own same-tick events is
+/// a pure function of the simulation, never of thread timing.  A
+/// single-shard queue tags everything 0 and the order degenerates to the
+/// classic (time, seq).
 ///
 /// Hot-path design (this queue is the simulator's inner loop):
 ///   * Heap entries are small PODs — (time, seq, slot, generation) — so
@@ -151,8 +158,31 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class EventQueue {
  public:
+  /// Shard-major ordering key: the owning shard's id in the high 16 bits,
+  /// a monotone per-shard sequence below.  Comparing keys of one shard
+  /// yields schedule order; across shards the shard id breaks time ties
+  /// deterministically (the sharded simulator's (time, shard, seq) rule).
+  using OrderKey = std::uint64_t;
+  static constexpr OrderKey make_key(std::uint16_t shard, std::uint64_t seq) {
+    return (static_cast<OrderKey>(shard) << kSeqBits) | seq;
+  }
+
+  /// Tags every locally scheduled event (and every allocate_remote_key())
+  /// with `shard`.  Set once at shard construction, before any scheduling.
+  void set_shard_tag(std::uint16_t shard) { shard_tag_ = shard; }
+
   /// Schedules `fn` at absolute time `t`.  Returns a handle for cancel().
   EventId schedule(SimTime t, EventFn fn);
+
+  /// Inserts an event carrying an explicit ordering key — how a cross-shard
+  /// delivery lands in the receiving shard's queue with the sender's
+  /// (shard, seq) identity.  Not cancellable from the sending side; the
+  /// returned handle is valid on this queue like any other.
+  EventId schedule_keyed(SimTime t, OrderKey key, EventFn fn);
+
+  /// Claims the next local (shard, seq) key without scheduling anything —
+  /// the sender-side half of a cross-shard push.  Monotone per queue.
+  OrderKey allocate_remote_key() { return make_key(shard_tag_, next_seq_++); }
 
   /// Cancels a pending event.  Returns false if the event already fired,
   /// was already cancelled, or the id is invalid.  O(1): the slot is freed
@@ -180,10 +210,14 @@ class EventQueue {
   /// fired earlier in the tick can still cancel() a later one.
   std::optional<Fired> pop_if_at(SimTime t);
 
-  /// Total events ever scheduled (monotone; used by the micro benches).
-  std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+  /// Total events ever inserted into THIS queue (monotone; used by the
+  /// micro benches).  A cross-shard delivery counts once, on the receiving
+  /// queue, where it actually becomes an event.
+  std::uint64_t total_scheduled() const { return total_scheduled_; }
 
  private:
+  static constexpr int kSeqBits = 48;  // 2^48 events per shard is plenty
+
   struct Slot {
     std::uint32_t generation = 0;
     bool live = false;
@@ -192,7 +226,7 @@ class EventQueue {
   /// POD heap entry; the callable stays in its slot.
   struct Entry {
     SimTime time;
-    std::uint64_t seq;  // global insertion sequence — FIFO within one time
+    OrderKey key;  // (shard, seq) — FIFO within one time and shard
     std::uint32_t slot;
     std::uint32_t generation;
   };
@@ -201,7 +235,7 @@ class EventQueue {
       if (a.time != b.time) {
         return a.time > b.time;
       }
-      return a.seq > b.seq;
+      return a.key > b.key;
     }
   };
 
@@ -223,6 +257,8 @@ class EventQueue {
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t total_scheduled_ = 0;
+  std::uint16_t shard_tag_ = 0;
 };
 
 }  // namespace mcmpi::sim

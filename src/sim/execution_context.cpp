@@ -3,9 +3,10 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
-#include <semaphore>
+#include <mutex>
 #include <string_view>
 #include <thread>
 
@@ -309,9 +310,9 @@ class ThreadContext final : public ExecutionContext {
   explicit ThreadContext(std::function<void()> entry)
       : entry_(std::move(entry)) {
     thread_ = std::thread([this] {
-      run_.acquire();  // parked until the first resume()
+      wait_for_turn(true);  // parked until the first resume()
       entry_();
-      host_.release();
+      pass_turn(false);
     });
   }
 
@@ -323,20 +324,40 @@ class ThreadContext final : public ExecutionContext {
     }
   }
 
+  // The rendezvous is a mutex + condvar turn flag rather than a semaphore
+  // pair: functionally identical (exactly one side runnable), but the
+  // lock ordering is visible to ThreadSanitizer, so the tsan preset can
+  // verify the sharded drivers on this backend without false positives
+  // (libstdc++ semaphores wait on bare futexes TSan cannot see through).
+
   void resume() override {
-    run_.release();
-    host_.acquire();
+    pass_turn(true);
+    wait_for_turn(false);
   }
 
   void suspend() override {
-    host_.release();
-    run_.acquire();
+    pass_turn(false);
+    wait_for_turn(true);
   }
 
  private:
+  void pass_turn(bool to_context) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      context_turn_ = to_context;
+    }
+    turn_cv_.notify_one();
+  }
+
+  void wait_for_turn(bool context_side) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    turn_cv_.wait(lock, [&] { return context_turn_ == context_side; });
+  }
+
   std::function<void()> entry_;
-  std::binary_semaphore run_{0};
-  std::binary_semaphore host_{0};
+  std::mutex mutex_;
+  std::condition_variable turn_cv_;
+  bool context_turn_ = false;  // false: host/scheduler side runs
   std::thread thread_;
 };
 

@@ -27,6 +27,16 @@ struct SchedCounters {
 
   /// Events fired (a batch of N callbacks counts once — it is one event).
   std::uint64_t events_executed = 0;
+
+  /// Fieldwise accumulate — how the sharded simulator merges its per-shard
+  /// counters into the figures the benches record.
+  SchedCounters& operator+=(const SchedCounters& other) {
+    handoffs += other.handoffs;
+    coalesced_delays += other.coalesced_delays;
+    batched_callbacks += other.batched_callbacks;
+    events_executed += other.events_executed;
+    return *this;
+  }
 };
 
 }  // namespace mcmpi::sim

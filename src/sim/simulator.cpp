@@ -1,28 +1,101 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "sim/wait.hpp"
 
 namespace mcmpi::sim {
 
+namespace {
+
+/// The shard whose scheduler (or process) the calling thread is currently
+/// executing.  Set around every window/run/teardown so that Simulator's
+/// routed API (now / rng / schedule / spawn / current) resolves to the
+/// executing shard from rank code, event callbacks and network models
+/// alike.  Null outside any simulation.
+thread_local Shard* tls_shard = nullptr;
+
+class TlsShardGuard {
+ public:
+  explicit TlsShardGuard(Shard* shard) : prev_(tls_shard) {
+    tls_shard = shard;
+  }
+  ~TlsShardGuard() { tls_shard = prev_; }
+  TlsShardGuard(const TlsShardGuard&) = delete;
+  TlsShardGuard& operator=(const TlsShardGuard&) = delete;
+
+ private:
+  Shard* prev_;
+};
+
+/// Independent, reproducible per-shard seed.  Shard 0 keeps the simulator
+/// seed itself so a single-shard simulator is bit-identical to the classic
+/// unsharded one (same RNG stream for process forks and hub backoffs).
+std::uint64_t shard_seed(std::uint64_t seed, unsigned id) {
+  if (id == 0) {
+    return seed;
+  }
+  std::uint64_t mix = seed ^ (0x9E3779B97F4A7C15ULL * (id + 1));
+  return splitmix64(mix);
+}
+
+/// min + lookahead without overflowing the kTimeInfinity sentinel.
+SimTime saturating_add(SimTime t, SimTime d) {
+  if (t >= kTimeInfinity - d) {
+    return kTimeInfinity;
+  }
+  return t + d;
+}
+
+}  // namespace
+
+const char* to_string(ShardDriver driver) {
+  return driver == ShardDriver::kSerial ? "serial" : "parallel";
+}
+
+ShardDriver default_shard_driver() {
+  static const ShardDriver cached = [] {
+    const char* env = std::getenv("MCMPI_SIM_SHARD_DRIVER");
+    if (env != nullptr && std::string_view(env) == "serial") {
+      return ShardDriver::kSerial;
+    }
+    return ShardDriver::kParallel;
+  }();
+  return cached;
+}
+
 // ---------------------------------------------------------------- SimProcess
 
-SimProcess::SimProcess(Simulator& sim, std::size_t index, std::string name,
+SimProcess::SimProcess(Shard& shard, std::size_t index, std::string name,
                        std::function<void(SimProcess&)> body, Rng rng)
-    : sim_(sim),
+    : shard_(shard),
       index_(index),
       name_(std::move(name)),
       body_(std::move(body)),
       rng_(rng) {
   context_ =
-      ExecutionContext::create(sim.backend_, [this] { run_body(); });
+      ExecutionContext::create(shard.sim_.backend_, [this] { run_body(); });
 }
 
 SimProcess::~SimProcess() = default;
 
+Simulator& SimProcess::simulator() { return shard_.sim_; }
+
 void SimProcess::run_body() {
+  // Pin the executing thread's shard routing to this process's home shard
+  // for the body's whole lifetime.  Under the fiber backend this is a
+  // no-op (the body runs on the shard's own driver thread, whose guard
+  // already points here); under the THREAD backend the body runs on its
+  // dedicated OS thread, whose thread-local would otherwise fall back to
+  // the root shard and misroute every schedule/now/rng call of a rank
+  // living on another shard.
+  const TlsShardGuard guard(&shard_);
   if (!cancelled_) {
     try {
       body_(*this);
@@ -33,7 +106,8 @@ void SimProcess::run_body() {
     }
   }
   state_ = State::kFinished;
-  sim_.on_process_finished();
+  MC_ASSERT(shard_.live_processes_ > 0);
+  --shard_.live_processes_;
   // Returning hands control back to the scheduler for good.
 }
 
@@ -44,7 +118,7 @@ void SimProcess::block() {
   }
 }
 
-SimTime SimProcess::now() const { return sim_.now(); }
+SimTime SimProcess::now() const { return shard_.now_; }
 
 void SimProcess::delay(SimTime d) {
   MC_EXPECTS(d >= kTimeZero);
@@ -55,80 +129,46 @@ void SimProcess::delay(SimTime d) {
   // inside [now, now+d], nothing could run in the window — advance the
   // clock in place.  An event at exactly now+d must still win the tick
   // (its seq predates the timer this delay would have scheduled), hence
-  // the strict comparison.
-  if (sim_.ready_.empty() && sim_.events_.next_time() > sim_.now_ + d) {
-    sim_.now_ += d;
-    ++sim_.sched_.coalesced_delays;
+  // the strict comparison.  In a sharded run the jump must additionally
+  // stay strictly inside the conservative round window: past it, a peer
+  // shard may still deliver, so the slow path schedules a timer that waits
+  // for a later round instead.
+  Shard& sh = shard_;
+  if (sh.ready_.empty() && sh.events_.next_time() > sh.now_ + d &&
+      sh.now_ + d < sh.window_end_) {
+    sh.now_ += d;
+    ++sh.sched_.coalesced_delays;
     return;
   }
   state_ = State::kBlocked;
-  sim_.schedule_after(d, [this] { sim_.make_ready(*this); });
+  sh.schedule_after(d, [this] { shard_.make_ready(*this); });
   block();
 }
 
 void SimProcess::yield() {
   state_ = State::kReady;
-  sim_.ready_.push_back(this);
+  shard_.ready_.push_back(this);
   block();
 }
 
-// ----------------------------------------------------------------- Simulator
+// --------------------------------------------------------------------- Shard
 
-Simulator::Simulator(std::uint64_t seed, ExecutionBackend backend)
-    : rng_(seed), backend_(backend) {}
-
-Simulator::~Simulator() {
-  // Wake every unfinished process so it unwinds (ProcessKilled) while the
-  // objects its stack references are still alive.  Each resume hands control
-  // to exactly one context, preserving the one-runnable invariant.
-  for (auto& owned : processes_) {
-    SimProcess& p = *owned;
-    if (p.state_ != SimProcess::State::kFinished) {
-      p.cancelled_ = true;
-      p.context_->resume();
-      MC_ASSERT(p.state_ == SimProcess::State::kFinished);
-    }
-  }
+Shard::Shard(Simulator& sim, unsigned id, std::uint64_t seed)
+    : sim_(sim), id_(id), rng_(shard_seed(seed, id)) {
+  events_.set_shard_tag(static_cast<std::uint16_t>(id));
 }
 
-EventId Simulator::schedule_at(SimTime t, EventFn fn) {
+EventId Shard::schedule_at(SimTime t, EventFn fn) {
   MC_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
   return events_.schedule(t, std::move(fn));
 }
 
-EventId Simulator::schedule_after(SimTime delay, EventFn fn) {
-  MC_EXPECTS(delay >= kTimeZero);
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventId Simulator::schedule_batch_at(SimTime t, std::vector<EventFn> batch) {
-  MC_EXPECTS_MSG(!batch.empty(), "empty event batch");
-  if (batch.size() == 1) {
-    return schedule_at(t, std::move(batch.front()));
-  }
-  sched_.batched_callbacks += batch.size() - 1;
-  return schedule_at(t, [batch = std::move(batch)]() mutable {
-    for (EventFn& fn : batch) {
-      fn();
-    }
-  });
-}
-
-EventId Simulator::schedule_batch_after(SimTime delay,
-                                        std::vector<EventFn> batch) {
-  MC_EXPECTS(delay >= kTimeZero);
-  return schedule_batch_at(now_ + delay, std::move(batch));
-}
-
-bool Simulator::cancel(EventId id) { return events_.cancel(id); }
-
-SimProcess& Simulator::spawn(std::string name,
-                             std::function<void(SimProcess&)> body) {
+SimProcess& Shard::spawn(std::string name,
+                         std::function<void(SimProcess&)> body, Rng rng) {
   const std::size_t index = processes_.size();
-  Rng child = rng_.fork(index + 0x517E);
   // Constructor is private; construct via `new` under unique_ptr ownership.
   processes_.emplace_back(std::unique_ptr<SimProcess>(
-      new SimProcess(*this, index, std::move(name), std::move(body), child)));
+      new SimProcess(*this, index, std::move(name), std::move(body), rng)));
   SimProcess& p = *processes_.back();
   p.state_ = SimProcess::State::kReady;
   ready_.push_back(&p);
@@ -136,18 +176,14 @@ SimProcess& Simulator::spawn(std::string name,
   return p;
 }
 
-void Simulator::make_ready(SimProcess& p) {
+void Shard::make_ready(SimProcess& p) {
   MC_ASSERT(p.state_ == SimProcess::State::kBlocked);
+  MC_ASSERT(&p.shard_ == this);
   p.state_ = SimProcess::State::kReady;
   ready_.push_back(&p);
 }
 
-void Simulator::on_process_finished() {
-  MC_ASSERT(live_processes_ > 0);
-  --live_processes_;
-}
-
-void Simulator::run_process(SimProcess& p) {
+void Shard::run_process(SimProcess& p) {
   MC_ASSERT(current_ == nullptr);
   MC_ASSERT(p.state_ == SimProcess::State::kReady);
   current_ = &p;
@@ -162,7 +198,7 @@ void Simulator::run_process(SimProcess& p) {
   }
 }
 
-bool Simulator::step() {
+bool Shard::step() {
   if (!ready_.empty()) {
     SimProcess* p = ready_.front();
     ready_.pop_front();
@@ -170,7 +206,8 @@ bool Simulator::step() {
     return true;
   }
   const SimTime t = events_.next_time();
-  if (t == kTimeInfinity) {
+  if (t >= window_end_) {
+    // Covers the empty queue too: kTimeInfinity >= any window.
     return false;
   }
   MC_ASSERT(t >= now_);
@@ -188,11 +225,416 @@ bool Simulator::step() {
   return true;
 }
 
+void Shard::run_window(bool stop_at_local_quiescence) {
+  if (stop_at_local_quiescence) {
+    while (live_processes_ > 0 && step()) {
+    }
+  } else {
+    while (step()) {
+    }
+  }
+}
+
+void Shard::merge_inbox() {
+  std::vector<CrossEvent> pending;
+  {
+    const std::lock_guard<std::mutex> lock(inbox_mutex_);
+    pending.swap(inbox_);
+  }
+  for (CrossEvent& e : pending) {
+    MC_ASSERT_MSG(e.time >= now_, "cross-shard delivery arrived in the past");
+    events_.schedule_keyed(e.time, e.key, std::move(e.fn));
+  }
+}
+
+void Shard::push_cross(SimTime t, EventQueue::OrderKey key, EventFn fn) {
+  const std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_.push_back(CrossEvent{t, key, std::move(fn)});
+}
+
+// ----------------------------------------------------------------- Simulator
+
+Simulator::Simulator(std::uint64_t seed, ExecutionBackend backend,
+                     ShardingConfig sharding)
+    : backend_(backend),
+      driver_(sharding.driver),
+      lookahead_(sharding.lookahead) {
+  MC_EXPECTS_MSG(sharding.shards >= 1, "need at least one shard");
+  MC_EXPECTS_MSG(sharding.shards <= 0xFFFF, "shard id must fit 16 bits");
+  // Zero lookahead with several shards would plan zero-width windows the
+  // moment two shards' next-event times tie — a livelock, not an error
+  // the drivers can detect later.  Require it up front.
+  MC_EXPECTS_MSG(sharding.shards == 1 || sharding.lookahead > kTimeZero,
+                 "a multi-shard simulator needs positive lookahead");
+  shards_.reserve(sharding.shards);
+  for (unsigned i = 0; i < sharding.shards; ++i) {
+    shards_.push_back(std::unique_ptr<Shard>(new Shard(*this, i, seed)));
+  }
+}
+
+Simulator::~Simulator() {
+  // Wake every unfinished process so it unwinds (ProcessKilled) while the
+  // objects its stack references are still alive.  Each resume hands control
+  // to exactly one context, preserving the one-runnable invariant; the TLS
+  // guard keeps any scheduling the unwind performs routed to the home shard.
+  for (auto& owned_shard : shards_) {
+    Shard& shard = *owned_shard;
+    const TlsShardGuard guard(&shard);
+    for (auto& owned : shard.processes_) {
+      SimProcess& p = *owned;
+      if (p.state_ != SimProcess::State::kFinished) {
+        p.cancelled_ = true;
+        p.context_->resume();
+        MC_ASSERT(p.state_ == SimProcess::State::kFinished);
+      }
+    }
+    // Undelivered cross-shard callbacks (and the frames they captured) are
+    // dropped with the simulation.
+    shard.inbox_.clear();
+  }
+}
+
+Shard& Simulator::current_shard() {
+  if (tls_shard != nullptr && &tls_shard->sim_ == this) {
+    return *tls_shard;
+  }
+  return *shards_.front();
+}
+
+const Shard& Simulator::current_shard() const {
+  if (tls_shard != nullptr && &tls_shard->sim_ == this) {
+    return *tls_shard;
+  }
+  return *shards_.front();
+}
+
+SimTime Simulator::now() const {
+  if (tls_shard != nullptr && &tls_shard->sim_ == this) {
+    return tls_shard->now_;
+  }
+  SimTime latest = kTimeZero;
+  for (const auto& shard : shards_) {
+    latest = std::max(latest, shard->now_);
+  }
+  return latest;
+}
+
+Rng& Simulator::rng() { return current_shard().rng_; }
+
+EventId Simulator::schedule_at(SimTime t, EventFn fn) {
+  return current_shard().schedule_at(t, std::move(fn));
+}
+
+EventId Simulator::schedule_after(SimTime delay, EventFn fn) {
+  MC_EXPECTS(delay >= kTimeZero);
+  Shard& shard = current_shard();
+  return shard.schedule_at(shard.now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_batch_at(SimTime t, std::vector<EventFn> batch) {
+  MC_EXPECTS_MSG(!batch.empty(), "empty event batch");
+  if (batch.size() == 1) {
+    return schedule_at(t, std::move(batch.front()));
+  }
+  Shard& shard = current_shard();
+  shard.sched_.batched_callbacks += batch.size() - 1;
+  return shard.schedule_at(t, [batch = std::move(batch)]() mutable {
+    for (EventFn& fn : batch) {
+      fn();
+    }
+  });
+}
+
+EventId Simulator::schedule_batch_after(SimTime delay,
+                                        std::vector<EventFn> batch) {
+  MC_EXPECTS(delay >= kTimeZero);
+  return schedule_batch_at(current_shard().now_ + delay, std::move(batch));
+}
+
+bool Simulator::cancel(EventId id) { return current_shard().cancel(id); }
+
+void Simulator::schedule_cross(unsigned target_shard, SimTime t, EventFn fn) {
+  Shard& src = current_shard();
+  Shard& dst = *shards_.at(target_shard);
+  if (&src == &dst || !running_) {
+    // Same shard, or single-threaded setup between runs: an ordinary event
+    // with the receiving shard's own (deterministic) key.
+    dst.schedule_at(t, std::move(fn));
+    return;
+  }
+  MC_EXPECTS_MSG(
+      t >= saturating_add(src.now_, lookahead_),
+      "cross-shard delivery violates the conservative lookahead bound");
+  dst.push_cross(t, src.events_.allocate_remote_key(), std::move(fn));
+  // Causal-response horizon: the receiver can react one trunk hop from now
+  // and its reply lands after another, so this shard must not execute past
+  // now + 2*lookahead this round.  Deterministic — the clamp depends only
+  // on the shard's own execution — and monotone within the round (later
+  // sends clamp no lower).
+  src.window_end_ = std::min(
+      src.window_end_, saturating_add(src.now_, lookahead_ + lookahead_));
+}
+
+EventId Simulator::schedule_on_shard_at(unsigned shard, SimTime t,
+                                        EventFn fn) {
+  MC_EXPECTS_MSG(!running_,
+                 "schedule_on_shard_at is a pre-run setup primitive");
+  return shards_.at(shard)->schedule_at(t, std::move(fn));
+}
+
+SimProcess& Simulator::spawn(std::string name,
+                             std::function<void(SimProcess&)> body) {
+  Shard& shard = current_shard();
+  if (!running_) {
+    return spawn_on(shard.id(), std::move(name), std::move(body));
+  }
+  // In-run spawn (a nonblocking-collective helper): fork from the SPAWNING
+  // shard's stream — race-free under the parallel driver, and identical to
+  // the classic global-stream fork whenever there is one shard.
+  Rng child = shard.rng_.fork(shard.processes_.size() + 0x517E);
+  return shard.spawn(std::move(name), std::move(body), child);
+}
+
+SimProcess& Simulator::spawn_on(unsigned shard, std::string name,
+                                std::function<void(SimProcess&)> body) {
+  MC_EXPECTS_MSG(!running_, "spawn_on is a pre-run setup primitive");
+  // Pre-run spawns fork from the ROOT shard's stream, salted by the global
+  // spawn count: the per-process streams (and therefore e.g. experiment
+  // start skews) depend only on spawn order — never on how many shards the
+  // processes end up spread across — and a single-shard simulator remains
+  // bit-identical to the classic unsharded fork sequence.
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->processes_.size();
+  }
+  Rng child = shards_.front()->rng_.fork(total + 0x517E);
+  return shards_.at(shard)->spawn(std::move(name), std::move(body), child);
+}
+
+std::size_t Simulator::live_processes() const {
+  std::size_t live = 0;
+  for (const auto& shard : shards_) {
+    live += shard->live_processes_;
+  }
+  return live;
+}
+
+SimProcess* Simulator::current() { return current_shard().current_; }
+
+SchedCounters Simulator::sched_counters() const {
+  SchedCounters merged;
+  for (const auto& shard : shards_) {
+    merged += shard->sched_;
+  }
+  return merged;
+}
+
+std::uint64_t Simulator::events_scheduled() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->events_.total_scheduled();
+  }
+  return total;
+}
+
+Simulator::RoundPlan Simulator::plan_round(bool until_processes_done) {
+  const std::size_t n = shards_.size();
+  std::vector<SimTime> next(n);
+  std::size_t total_live = 0;
+  bool any_work = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = shards_[i]->next_ready_time();
+    total_live += shards_[i]->live_processes_;
+    any_work = any_work || next[i] != kTimeInfinity;
+  }
+  RoundPlan plan;
+  if (!any_work) {
+    plan.done = true;
+    return plan;
+  }
+  plan.window.resize(n);
+  plan.stop_at_local_quiescence.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    SimTime horizon = kTimeInfinity;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) {
+        horizon = std::min(horizon, next[j]);
+      }
+    }
+    // Nothing a peer could execute before `horizon`, so nothing it could
+    // deliver before horizon + lookahead: shard i may run everything
+    // strictly below that.  With no active peer the window is unbounded and
+    // the shard behaves exactly like a classic unsharded simulator.
+    plan.window[i] = saturating_add(horizon, lookahead_);
+    // run_until_processes_done parity: when every live process sits on this
+    // shard, its own live count IS the global one, and stepping may stop
+    // the instant it reaches zero (the classic per-step check).  With live
+    // processes elsewhere the round runs its full window and the global
+    // check happens at the next barrier.
+    plan.stop_at_local_quiescence[i] =
+        until_processes_done &&
+        total_live == shards_[i]->live_processes_ ? 1 : 0;
+  }
+  return plan;
+}
+
+void Simulator::run_windows_serial(bool until_processes_done) {
+  for (;;) {
+    for (auto& shard : shards_) {
+      shard->merge_inbox();
+    }
+    if (until_processes_done && live_processes() == 0) {
+      return;
+    }
+    const RoundPlan plan = plan_round(until_processes_done);
+    if (plan.done) {
+      return;
+    }
+    bool failed = false;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      const TlsShardGuard guard(&shard);
+      shard.window_end_ = plan.window[i];
+      try {
+        shard.run_window(plan.stop_at_local_quiescence[i] != 0);
+      } catch (...) {
+        shard.error_ = std::current_exception();
+        failed = true;
+      }
+      shard.window_end_ = kTimeInfinity;
+    }
+    if (failed) {
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Cyclic thread barrier with a completion hook that runs UNDER the
+/// barrier's mutex, before any waiter is released.  A mutex + condvar
+/// barrier (rather than std::barrier) so every edge — last-arriver runs
+/// the completion, everyone observes its writes — is plain lock ordering
+/// that ThreadSanitizer models exactly; the tsan preset runs the parallel
+/// driver under it.
+class RoundBarrier {
+ public:
+  RoundBarrier(std::size_t parties, std::function<void()> completion)
+      : parties_(parties), completion_(std::move(completion)) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t generation = generation_;
+    if (++arrived_ == parties_) {
+      if (completion_) {
+        completion_();
+      }
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  std::size_t parties_;
+  std::function<void()> completion_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+void Simulator::run_windows_parallel(bool until_processes_done) {
+  RoundPlan plan;
+  bool stop = false;
+  // Two phases per round.  `quiesce` separates window execution from inbox
+  // merging, so every cross push of round R is visible to its receiver's
+  // merge; the completion of `ready` then plans round R+1 on the last
+  // arriving thread while every other worker is parked on the barrier's
+  // mutex — the plan is published before any worker resumes.
+  RoundBarrier quiesce(shards_.size(), {});
+  RoundBarrier ready(shards_.size(), [this, &plan, &stop,
+                                      until_processes_done] {
+    for (const auto& shard : shards_) {
+      if (shard->error_) {
+        stop = true;
+        return;
+      }
+    }
+    if (until_processes_done && live_processes() == 0) {
+      stop = true;
+      return;
+    }
+    plan = plan_round(until_processes_done);
+    stop = plan.done;
+  });
+
+  auto worker = [&](std::size_t i) {
+    Shard& shard = *shards_[i];
+    const TlsShardGuard guard(&shard);
+    for (;;) {
+      quiesce.arrive_and_wait();
+      shard.merge_inbox();
+      ready.arrive_and_wait();
+      if (stop) {
+        return;
+      }
+      shard.window_end_ = plan.window[i];
+      try {
+        shard.run_window(plan.stop_at_local_quiescence[i] != 0);
+      } catch (...) {
+        shard.error_ = std::current_exception();
+      }
+      shard.window_end_ = kTimeInfinity;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    threads.emplace_back(worker, i);
+  }
+  worker(0);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+void Simulator::run_driver(bool until_processes_done) {
+  if (driver_ == ShardDriver::kSerial) {
+    run_windows_serial(until_processes_done);
+  } else {
+    run_windows_parallel(until_processes_done);
+  }
+  rethrow_shard_error();
+}
+
+void Simulator::rethrow_shard_error() {
+  for (auto& shard : shards_) {
+    if (shard->error_) {
+      std::exception_ptr e = shard->error_;
+      shard->error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
 void Simulator::run() {
   MC_EXPECTS_MSG(!running_, "Simulator::run is not reentrant");
   running_ = true;
   try {
-    while (step()) {
+    if (shards_.size() == 1) {
+      // Classic unsharded loop: one shard, unbounded window.
+      Shard& shard = *shards_.front();
+      const TlsShardGuard guard(&shard);
+      while (shard.step()) {
+      }
+    } else {
+      run_driver(/*until_processes_done=*/false);
     }
   } catch (...) {
     running_ = false;
@@ -206,27 +648,35 @@ void Simulator::run_until_processes_done() {
   MC_EXPECTS_MSG(!running_, "Simulator::run is not reentrant");
   running_ = true;
   try {
-    while (live_processes_ > 0 && step()) {
+    if (shards_.size() == 1) {
+      Shard& shard = *shards_.front();
+      const TlsShardGuard guard(&shard);
+      while (shard.live_processes_ > 0 && shard.step()) {
+      }
+    } else {
+      run_driver(/*until_processes_done=*/true);
     }
   } catch (...) {
     running_ = false;
     throw;
   }
   running_ = false;
-  if (live_processes_ > 0) {
+  if (live_processes() > 0) {
     check_deadlock();
   }
 }
 
 void Simulator::check_deadlock() const {
-  if (live_processes_ == 0) {
+  if (live_processes() == 0) {
     return;
   }
   std::ostringstream os;
-  os << "simulation deadlock at t=" << now_.count() << "ns; blocked:";
-  for (const auto& p : processes_) {
-    if (p->state_ != SimProcess::State::kFinished) {
-      os << ' ' << p->name();
+  os << "simulation deadlock at t=" << now().count() << "ns; blocked:";
+  for (const auto& shard : shards_) {
+    for (const auto& p : shard->processes_) {
+      if (p->state_ != SimProcess::State::kFinished) {
+        os << ' ' << p->name();
+      }
     }
   }
   throw DeadlockError(os.str());

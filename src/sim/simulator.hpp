@@ -7,36 +7,68 @@
 /// stackful fiber inside the simulator's address space, so a block/resume is
 /// an in-process context switch; optionally (MCMPI_SIM_BACKEND=thread, or a
 /// constructor argument) a dedicated OS thread handed off through binary
-/// semaphores, kept as a fallback and as a determinism oracle.  In both
-/// backends *exactly one* context (a process or the scheduler) is ever
+/// semaphores, kept as a fallback and as a determinism oracle.  Within one
+/// shard *exactly one* context (a process or the scheduler) is ever
 /// runnable: execution is deterministic and data-race-free by construction,
 /// and the ready queue plus the event queue impose a total order.  The two
 /// backends produce bit-identical simulations.
 ///
-/// The scheduler loop:
+/// Sharding (conservative parallel DES): the simulator can be partitioned
+/// into SHARDS — one per network segment — each with its own clock, event
+/// queue, ready list, RNG stream and SchedCounters.  Shards interact only
+/// through schedule_cross(), whose deliveries are bounded below by a
+/// configured LOOKAHEAD (the minimum cross-segment link latency).  Execution
+/// proceeds in conservative windows: each round, shard i may run every event
+/// strictly before  W_i = min_{j != i} next_j + lookahead , because no peer
+/// can deliver anything earlier.  Cross deliveries carry the SENDER's
+/// (shard, seq) ordering key, so their order against the receiver's own
+/// same-tick events is the deterministic tie-break (time, shard, seq) —
+/// never thread timing.  Two drivers execute the same rounds:
+///
+///   kSerial   — one thread runs the shards' windows in shard order; the
+///               determinism REFERENCE.
+///   kParallel — one worker thread per shard, two std::barrier phases per
+///               round (quiesce, then merge + plan).  Bit-identical to the
+///               serial driver by construction.
+///
+/// A 1-shard simulator (the default) skips all of this and runs the classic
+/// loop; a K-shard simulator whose work all lands on one shard (every
+/// segment mapped to shard 0) plans unbounded windows for it and is
+/// bit-identical to the classic loop too, counters included.
+///
+/// The per-shard scheduler loop:
 ///   1. while processes are ready, run them in FIFO order;
-///   2. otherwise advance the clock to the earliest event time and fire the
-///      events of that tick back to back (pausing whenever a callback makes
-///      a process ready, so the FIFO interleave is preserved);
-///   3. when neither exists: done (or deadlock if processes are still alive).
+///   2. otherwise advance the clock to the earliest event time inside the
+///      window and fire the events of that tick back to back (pausing
+///      whenever a callback makes a process ready, so the FIFO interleave is
+///      preserved);
+///   3. when neither exists below the window bound: the round is over (with
+///      an unbounded window: done, or deadlock if processes are still
+///      alive).
 ///
 /// Scheduling-cost fast paths (see SchedCounters for the receipts):
 ///   * delay() advances the clock in place — no timer event, no handoff —
 ///     when no other process is ready and no event falls inside the window;
-///     nothing could have run in the meantime anyway.
+///     nothing could have run in the meantime anyway.  (In a sharded run the
+///     jump is additionally bounded by the round window, so a shard can
+///     never advance past a time at which a peer may still deliver.)
 ///   * schedule_batch_at() folds N same-tick callbacks (a switch fanning a
 ///     frame to N egress ports) into one heap entry and one event slot.
 ///
 /// Determinism guarantees (unchanged from the thread-per-rank design, and
 /// guarded by tests): FIFO ready order, per-process RNG streams forked from
-/// the simulator seed, DeadlockError naming every blocked process, exception
-/// propagation out of process bodies, and ProcessKilled unwind of
-/// still-parked processes at teardown.
+/// the owning shard's stream (itself forked from the simulator seed),
+/// DeadlockError naming every blocked process, exception propagation out of
+/// process bodies, and ProcessKilled unwind of still-parked processes at
+/// teardown.
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +80,7 @@
 
 namespace mcmpi::sim {
 
+class Shard;
 class Simulator;
 class WaitQueue;
 
@@ -64,9 +97,30 @@ namespace detail {
 struct ProcessKilled {};
 }  // namespace detail
 
+/// Which thread model executes a multi-shard simulation's rounds.
+enum class ShardDriver { kSerial, kParallel };
+
+const char* to_string(ShardDriver driver);
+
+/// Process-wide default driver: the MCMPI_SIM_SHARD_DRIVER environment
+/// variable ("serial" or "parallel"); kParallel when unset or unrecognised.
+/// Read once and cached.  Irrelevant for 1-shard simulators.
+ShardDriver default_shard_driver();
+
+/// Partitioning configuration.  `lookahead` must be positive when
+/// `shards > 1` and any cross-shard traffic exists: it is the promise that
+/// every schedule_cross() delivery lies at least that far in the sender's
+/// future (the cluster layer passes its minimum trunk latency).
+struct ShardingConfig {
+  unsigned shards = 1;
+  SimTime lookahead = kTimeZero;
+  ShardDriver driver = default_shard_driver();
+};
+
 /// A simulated process.  The body runs on its own execution context (fiber
 /// or thread) and interacts with virtual time only through this handle
-/// (delay / WaitQueue::wait / yield).
+/// (delay / WaitQueue::wait / yield).  A process is pinned to the shard it
+/// was spawned on for its whole life.
 class SimProcess {
  public:
   SimProcess(const SimProcess&) = delete;
@@ -75,17 +129,19 @@ class SimProcess {
 
   const std::string& name() const { return name_; }
   std::size_t index() const { return index_; }
-  Simulator& simulator() { return sim_; }
+  Simulator& simulator();
+  Shard& shard() { return shard_; }
 
-  /// Per-process deterministic stream (forked from the simulator seed).
+  /// Per-process deterministic stream (forked from the home shard's stream).
   Rng& rng() { return rng_; }
 
-  /// Current virtual time.
+  /// Current virtual time (the home shard's clock).
   SimTime now() const;
 
   /// Advances virtual time by `d` (models compute / software overhead).
   /// Other processes and events run in the meantime.  When nothing else
-  /// could run — no ready process, no event inside the window — the clock
+  /// could run — no ready process, no event inside the window, and the
+  /// whole interval inside the shard's conservative window — the clock
   /// advances in place and adjacent charges coalesce with no handoff at all.
   void delay(SimTime d);
 
@@ -103,12 +159,13 @@ class SimProcess {
   bool finished() const { return state_ == State::kFinished; }
 
  private:
+  friend class Shard;
   friend class Simulator;
   friend class WaitQueue;
 
   enum class State { kNew, kReady, kRunning, kBlocked, kFinished };
 
-  SimProcess(Simulator& sim, std::size_t index, std::string name,
+  SimProcess(Shard& shard, std::size_t index, std::string name,
              std::function<void(SimProcess&)> body, Rng rng);
 
   /// Entry point on the execution context: runs the body, catches teardown
@@ -117,7 +174,7 @@ class SimProcess {
   /// Hands control back to the scheduler; returns when rescheduled.
   void block();
 
-  Simulator& sim_;
+  Shard& shard_;
   std::size_t index_;
   std::string name_;
   std::function<void(SimProcess&)> body_;
@@ -134,20 +191,113 @@ class SimProcess {
   std::unique_ptr<ExecutionContext> context_;
 };
 
+/// One partition of the simulation: a clock, an event queue, a ready list,
+/// an RNG stream, counters, and the processes pinned to it.  All mutation
+/// happens from the shard's own execution (its driver thread of the current
+/// round) except the cross-shard inbox, which peers push into under a
+/// mutex and the owner merges at round boundaries.
+class Shard {
+ public:
+  unsigned id() const { return id_; }
+  SimTime now() const { return now_; }
+  Simulator& simulator() { return sim_; }
+  const SchedCounters& sched_counters() const { return sched_; }
+  std::uint64_t events_scheduled() const { return events_.total_scheduled(); }
+  std::size_t live_processes() const { return live_processes_; }
+
+ private:
+  friend class SimProcess;
+  friend class Simulator;
+  friend class WaitQueue;
+
+  Shard(Simulator& sim, unsigned id, std::uint64_t seed);
+
+  EventId schedule_at(SimTime t, EventFn fn);
+  EventId schedule_after(SimTime d, EventFn fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+  bool cancel(EventId id) { return events_.cancel(id); }
+
+  SimProcess& spawn(std::string name, std::function<void(SimProcess&)> body,
+                    Rng rng);
+
+  void make_ready(SimProcess& p);
+  /// Transfers control to `p` until it blocks, yields or finishes.
+  void run_process(SimProcess& p);
+  /// One scheduler step strictly below window_end_; false when none
+  /// remains.  window_end_ is consulted per step because a cross-shard
+  /// send shrinks it mid-round (see schedule_cross).
+  bool step();
+  /// Runs steps below the (dynamic) window.  When
+  /// `stop_at_local_quiescence` is set (run_until_processes_done with no
+  /// live process on any peer), stepping also stops the moment this
+  /// shard's live-process count reaches zero — the classic semantics.
+  void run_window(bool stop_at_local_quiescence);
+  /// Earliest time this shard could execute (or send) anything: its clock
+  /// while processes are ready, else its next event time.
+  SimTime next_ready_time() const {
+    return ready_.empty() ? events_.next_time() : now_;
+  }
+  /// Moves every pending cross delivery into the event queue (keyed with
+  /// the sender's identity).  Round-boundary only.
+  void merge_inbox();
+  void push_cross(SimTime t, EventQueue::OrderKey key, EventFn fn);
+
+  Simulator& sim_;
+  unsigned id_;
+  SimTime now_ = kTimeZero;
+  Rng rng_;
+  EventQueue events_;
+  std::deque<SimProcess*> ready_;
+  std::vector<std::unique_ptr<SimProcess>> processes_;
+  SimProcess* current_ = nullptr;
+  std::size_t live_processes_ = 0;
+  SchedCounters sched_;
+  /// Exclusive upper bound on this round's execution (kTimeInfinity when
+  /// unconstrained); also caps the in-place delay coalesce.  Dynamic: the
+  /// round plan seeds it, and the shard's own first cross-shard send of
+  /// the round lowers it to send time + 2*lookahead — the earliest instant
+  /// a CAUSAL response (peer reacts after one trunk hop, replies after
+  /// another) could come back.  Without that clamp a shard with currently
+  /// idle peers would run unboundedly ahead and then meet its own
+  /// consequences in the past.
+  SimTime window_end_ = kTimeInfinity;
+  std::exception_ptr error_;
+
+  struct CrossEvent {
+    SimTime time;
+    EventQueue::OrderKey key;
+    EventFn fn;
+  };
+  std::mutex inbox_mutex_;
+  std::vector<CrossEvent> inbox_;
+};
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1,
-                     ExecutionBackend backend = default_execution_backend());
+                     ExecutionBackend backend = default_execution_backend(),
+                     ShardingConfig sharding = ShardingConfig{});
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime now() const { return now_; }
-  Rng& rng() { return rng_; }
+  /// The calling context's virtual time: inside a run this is the executing
+  /// shard's clock; outside it is the latest clock any shard has reached
+  /// (identical notions for a single-shard simulator).
+  SimTime now() const;
+  /// The calling shard's RNG stream (the root shard's outside a run).
+  Rng& rng();
   ExecutionBackend backend() const { return backend_; }
 
-  /// Schedules a callback at absolute virtual time `t` (>= now()).  Small
-  /// callables are stored inline in the event queue (no allocation).
+  unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
+  ShardDriver shard_driver() const { return driver_; }
+  SimTime lookahead() const { return lookahead_; }
+  Shard& shard(unsigned index) { return *shards_.at(index); }
+
+  /// Schedules a callback at absolute virtual time `t` (>= now()) on the
+  /// calling shard.  Small callables are stored inline in the event queue
+  /// (no allocation).
   EventId schedule_at(SimTime t, EventFn fn);
   /// Schedules a callback `delay` after now().
   EventId schedule_after(SimTime delay, EventFn fn);
@@ -158,66 +308,97 @@ class Simulator {
   EventId schedule_batch_at(SimTime t, std::vector<EventFn> batch);
   EventId schedule_batch_after(SimTime delay, std::vector<EventFn> batch);
 
+  /// Cancels an event scheduled from this shard (event ids are shard-local;
+  /// every in-tree caller cancels events it scheduled itself).
   bool cancel(EventId id);
 
-  /// Creates a process; it starts running when run() is called (processes
-  /// start in FIFO spawn order at the current virtual time).
+  /// Schedules `fn` at absolute time `t` on `target_shard`.  Same-shard (or
+  /// pre-run) calls collapse to a plain schedule; a genuine cross-shard call
+  /// inside a run requires  t >= sender now() + lookahead  and delivers the
+  /// callback with the sender's deterministic (shard, seq) ordering key.
+  void schedule_cross(unsigned target_shard, SimTime t, EventFn fn);
+
+  /// Pre-run scheduling on an explicit shard (instrumentation snapshots the
+  /// experiment layer plants before starting the simulation).
+  EventId schedule_on_shard_at(unsigned shard, SimTime t, EventFn fn);
+
+  /// Creates a process on the calling shard (the executing shard inside a
+  /// run — a helper spawned by rank code lands next to that rank — and
+  /// shard 0 outside).  Processes start running when run() is called, in
+  /// FIFO spawn order per shard, at their shard's current virtual time.
   SimProcess& spawn(std::string name, std::function<void(SimProcess&)> body);
 
-  /// Runs until every process has finished and the event queue is empty.
-  /// Rethrows the first exception raised inside a process.  Throws
-  /// DeadlockError if live processes remain but nothing can run.
+  /// Creates a process pinned to `shard` (how the cluster layer places each
+  /// rank on its segment's shard).  Pre-run only.
+  SimProcess& spawn_on(unsigned shard, std::string name,
+                       std::function<void(SimProcess&)> body);
+
+  /// Runs until every process has finished and every event queue is empty.
+  /// Rethrows the first exception raised inside a process (lowest shard
+  /// first when several shards fail in one round).  Throws DeadlockError if
+  /// live processes remain but nothing can run.
   void run();
 
   /// Runs until every process has finished; pending pure-timer events are
-  /// allowed to remain (they are discarded by the destructor).
+  /// allowed to remain (they are discarded by the destructor).  With
+  /// several concurrently active shards the stop is at round granularity.
   void run_until_processes_done();
 
-  /// Number of spawned processes that have not finished.  O(1): maintained
-  /// on spawn/finish (this sits in the hot deadlock-check loop).
-  std::size_t live_processes() const { return live_processes_; }
+  /// Number of spawned processes that have not finished, across all shards.
+  /// O(shards): each shard maintains its count on spawn/finish.
+  std::size_t live_processes() const;
 
-  /// The process currently executing, or nullptr when the scheduler (an
-  /// event callback, or code outside run()) is in control.  Lets facades
-  /// that serve several processes of one logical rank (the nonblocking
-  /// collective helpers) resolve "which process am I".
-  SimProcess* current() { return current_; }
+  /// The process currently executing on the calling shard, or nullptr when
+  /// a scheduler (an event callback, or code outside run()) is in control.
+  /// Lets facades that serve several processes of one logical rank (the
+  /// nonblocking collective helpers) resolve "which process am I".
+  SimProcess* current();
 
   /// Scheduler-cost instrumentation (handoffs, coalesced delays, batched
-  /// callbacks); exported into BENCH_<name>.json by the benches.
-  const SchedCounters& sched_counters() const { return sched_; }
+  /// callbacks), merged across shards; exported into BENCH_<name>.json by
+  /// the benches.  Per-shard values via shard(i).sched_counters().
+  SchedCounters sched_counters() const;
 
   /// Scheduler -> process control transfers so far (micro-bench shorthand).
-  std::uint64_t handoffs() const { return sched_.handoffs; }
+  std::uint64_t handoffs() const { return sched_counters().handoffs; }
 
   /// Total events executed so far (micro-bench instrumentation).
-  std::uint64_t events_executed() const { return sched_.events_executed; }
+  std::uint64_t events_executed() const {
+    return sched_counters().events_executed;
+  }
 
   /// Total events ever scheduled, including later-cancelled ones (the
-  /// scheduler-load figure the bench JSON records).
-  std::uint64_t events_scheduled() const { return events_.total_scheduled(); }
+  /// scheduler-load figure the bench JSON records).  Summed over shards; a
+  /// cross-shard delivery counts once, on its receiving shard.
+  std::uint64_t events_scheduled() const;
 
  private:
+  friend class Shard;
   friend class SimProcess;
   friend class WaitQueue;
 
-  void make_ready(SimProcess& p);
-  /// Transfers control to `p` until it blocks, yields or finishes.
-  void run_process(SimProcess& p);
-  /// One scheduler step; returns false when no work remains.
-  bool step();
-  void on_process_finished();
+  /// The shard owning the calling thread's execution, or the root shard
+  /// when no shard of THIS simulator is executing (setup / teardown code).
+  Shard& current_shard();
+  const Shard& current_shard() const;
+
+  /// One conservative round: per-shard window bounds plus driver flags.
+  struct RoundPlan {
+    bool done = false;
+    std::vector<SimTime> window;
+    std::vector<char> stop_at_local_quiescence;
+  };
+  RoundPlan plan_round(bool until_processes_done);
+  void run_windows_serial(bool until_processes_done);
+  void run_windows_parallel(bool until_processes_done);
+  void run_driver(bool until_processes_done);
+  void rethrow_shard_error();
   void check_deadlock() const;
 
-  SimTime now_ = kTimeZero;
-  Rng rng_;
   ExecutionBackend backend_;
-  EventQueue events_;
-  std::deque<SimProcess*> ready_;
-  std::vector<std::unique_ptr<SimProcess>> processes_;
-  SimProcess* current_ = nullptr;
-  std::size_t live_processes_ = 0;
-  SchedCounters sched_;
+  ShardDriver driver_;
+  SimTime lookahead_ = kTimeZero;
+  std::vector<std::unique_ptr<Shard>> shards_;
   bool running_ = false;
 };
 

@@ -50,30 +50,33 @@ bool WaitQueue::wait_until(SimProcess& self, SimTime deadline) {
     wait(self);
     return true;
   }
-  Simulator& sim = self.simulator();
+  // All timer traffic stays on the waiter's home shard: a WaitQueue belongs
+  // to per-host state (sockets, requests), and notifier and waiter always
+  // share that shard.
+  Shard& shard = self.shard_;
   self.timed_out_ = false;
   self.state_ = SimProcess::State::kBlocked;
   self.waiting_on_ = this;
   waiters_.push_back(&self);
-  const SimTime fire_at = std::max(deadline, sim.now());
+  const SimTime fire_at = std::max(deadline, shard.now_);
   SimProcess* target = &self;
-  const EventId timer = sim.schedule_at(fire_at, [this, target] {
+  const EventId timer = shard.schedule_at(fire_at, [this, target] {
     if (remove(*target)) {
       target->timed_out_ = true;
-      target->simulator().make_ready(*target);
+      target->shard_.make_ready(*target);
     }
   });
   try {
     self.block();
   } catch (...) {
     remove(self);
-    sim.cancel(timer);
+    shard.cancel(timer);
     self.waiting_on_ = nullptr;
     throw;
   }
   self.waiting_on_ = nullptr;
   if (!self.timed_out_) {
-    sim.cancel(timer);
+    shard.cancel(timer);
     return true;
   }
   return false;
@@ -91,12 +94,11 @@ void WaitQueue::notify_one() {
       // Charged wake: resume the process `lag` later in one step.  It stays
       // kBlocked until the timer fires; teardown still unwinds it cleanly
       // (the destructor never runs pending events).
-      Simulator& sim = p->simulator();
-      sim.schedule_after(lag, [p] { p->simulator().make_ready(*p); });
+      p->shard_.schedule_after(lag, [p] { p->shard_.make_ready(*p); });
       return;
     }
   }
-  p->simulator().make_ready(*p);
+  p->shard_.make_ready(*p);
 }
 
 void WaitQueue::notify_all() {

@@ -59,7 +59,10 @@ TEST(Registry, CarriesTheFullAlgorithmSet) {
   for (const char* name : {"mpich", "binomial"}) {
     EXPECT_NE(r.find(CollOp::kScan, name), nullptr) << name;
   }
-  EXPECT_GE(r.entries().size(), 22u);
+  for (const char* name : {"mpich", "mcast-rr"}) {
+    EXPECT_NE(r.find(CollOp::kAlltoall, name), nullptr) << name;
+  }
+  EXPECT_GE(r.entries().size(), 24u);
   // Every entry carries the uniform metadata.
   for (const coll::CollAlgorithm& a : r.entries()) {
     EXPECT_TRUE(static_cast<bool>(a.applicable)) << a.name;
@@ -285,6 +288,25 @@ void sweep_comm(mpi::Proc& p, const mpi::Comm& comm, std::size_t bytes,
       note("scan/" + algo + " prefix mismatch");
     }
   }
+
+  for (const std::string& algo : r.applicable_names(CollOp::kAlltoall, comm,
+                                                    bytes)) {
+    std::vector<Buffer> to_each;
+    for (int dst = 0; dst < comm.size(); ++dst) {
+      to_each.push_back(pattern_payload(
+          static_cast<std::uint64_t>(comm.rank() * 1000 + dst), bytes));
+    }
+    const auto from_each = coll.alltoall(to_each, bytes, algo);
+    bool good = from_each.size() == static_cast<std::size_t>(comm.size());
+    for (int src = 0; good && src < comm.size(); ++src) {
+      good = check_pattern(
+          static_cast<std::uint64_t>(src * 1000 + comm.rank()),
+          from_each[static_cast<std::size_t>(src)]);
+    }
+    if (!good) {
+      note("alltoall/" + algo + " blocks mismatch");
+    }
+  }
 }
 
 class RegistrySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
@@ -346,6 +368,8 @@ TEST(TuningTable, DefaultsEncodeThePaperCrossovers) {
     EXPECT_EQ(coll.resolve(CollOp::kScatter, 64), "mpich");
     EXPECT_EQ(coll.resolve(CollOp::kScan, 32 * 1024), "binomial");
     EXPECT_EQ(coll.resolve(CollOp::kScan, 8), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kAlltoall, 16 * 1024), "mcast-rr");
+    EXPECT_EQ(coll.resolve(CollOp::kAlltoall, 512), "mpich");
     // Payloads the multicast variants' predicates reject fall through to
     // the trailing point-to-point rules: a 128 KiB reduce block exceeds the
     // eager path, a 64 KiB x 9 rank scatter exceeds the datagram ceiling.

@@ -468,10 +468,42 @@ TEST(MpichCollectives, AllgatherGivesEveryoneEverything) {
   }
 }
 
-// alltoall has no registry op yet; it is exercised through the
-// implementation layer directly (the one remaining mpich free function).
+// alltoall on the facade: the registry completes the collective set, so
+// the exchange goes through comm.coll() like every other operation —
+// the tuned pick, both explicit algorithms, and the nonblocking variant.
 TEST(MpichCollectives, AlltoallExchangesPairwisePayloads) {
   constexpr int kProcs = 4;
+  Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
+  std::vector<int> ok(kProcs, 1);
+
+  cluster.world().run([&](mpi::Proc& p) {
+    for (const std::string algo :
+         {std::string(coll::kAuto), std::string("mpich"),
+          std::string("mcast-rr")}) {
+      std::vector<Buffer> to_each;
+      for (int dst = 0; dst < kProcs; ++dst) {
+        to_each.push_back(pattern_payload(
+            static_cast<std::uint64_t>(p.rank() * 100 + dst), 24));
+      }
+      const auto from_each =
+          p.comm_world().coll().alltoall(to_each, 24, algo);
+      for (int src = 0; src < kProcs; ++src) {
+        if (!check_pattern(static_cast<std::uint64_t>(src * 100 + p.rank()),
+                           from_each[static_cast<std::size_t>(src)])) {
+          ok[static_cast<std::size_t>(p.rank())] = 0;
+        }
+      }
+    }
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+// ialltoall: the exchange runs on a helper fiber and completes via
+// Proc::wait, with the received blocks delivered in request->blocks().
+TEST(MpichCollectives, IalltoallDeliversBlocksThroughTheRequest) {
+  constexpr int kProcs = 3;
   Cluster cluster(quiet_config(kProcs, NetworkType::kSwitch));
   std::vector<int> ok(kProcs, 1);
 
@@ -479,11 +511,14 @@ TEST(MpichCollectives, AlltoallExchangesPairwisePayloads) {
     std::vector<Buffer> to_each;
     for (int dst = 0; dst < kProcs; ++dst) {
       to_each.push_back(pattern_payload(
-          static_cast<std::uint64_t>(p.rank() * 100 + dst), 24));
+          static_cast<std::uint64_t>(p.rank() * 31 + dst), 512));
     }
-    const auto from_each = coll::alltoall_mpich(p, p.comm_world(), to_each);
+    auto request = p.comm_world().coll().ialltoall(to_each, 512, "mpich");
+    p.self().delay(microseconds(500));  // overlap with "compute"
+    (void)p.wait(request);
+    const auto& from_each = request->blocks();
     for (int src = 0; src < kProcs; ++src) {
-      if (!check_pattern(static_cast<std::uint64_t>(src * 100 + p.rank()),
+      if (!check_pattern(static_cast<std::uint64_t>(src * 31 + p.rank()),
                          from_each[static_cast<std::size_t>(src)])) {
         ok[static_cast<std::size_t>(p.rank())] = 0;
       }

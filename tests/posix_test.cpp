@@ -42,6 +42,36 @@ TEST(RealSocket, RecvTimesOutWithoutTraffic) {
   EXPECT_FALSE(got.has_value());
 }
 
+// Kernel gather-send: header and payload handed to sendmsg as separate
+// iovec parts must arrive as ONE datagram with the concatenated bytes.
+TEST(RealSocket, SendPartsGathersOneDatagram) {
+  RealUdpSocket rx(0);
+  RealUdpSocket tx(0);
+  const Buffer whole = pattern_payload(7, 300);
+  const std::span<const std::uint8_t> view(whole);
+  const std::span<const std::uint8_t> parts[] = {
+      view.subspan(0, 10), view.subspan(10, 90), view.subspan(100)};
+  tx.send_parts(0, rx.port(), parts);
+  const auto got = rx.recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data.size(), 300u);
+  EXPECT_TRUE(check_pattern(7, got->data));
+}
+
+// Zero-length parts (a scout with no payload) still produce a datagram.
+TEST(RealSocket, SendPartsEmptyPayloadStillArrives) {
+  RealUdpSocket rx(0);
+  RealUdpSocket tx(0);
+  const Buffer header = pattern_payload(8, 12);
+  const std::span<const std::uint8_t> parts[] = {
+      header, std::span<const std::uint8_t>{}};
+  tx.send_parts(0, rx.port(), parts);
+  const auto got = rx.recv(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data.size(), 12u);
+  EXPECT_TRUE(check_pattern(8, got->data));
+}
+
 TEST(RealSocket, MulticastReachesJoinedSocket) {
   SKIP_WITHOUT_MULTICAST();
   constexpr std::uint32_t kGroup = 0xEF0101F0u;  // 239.1.1.240

@@ -17,6 +17,16 @@ bench/baselines/ and fails on:
                                        (wall time is noisy per point, so the
                                         gate is on the file-level sum)
 
+Sharded-simulator records (the bench_shard_scaling sweep) carry a `shards`
+field and two extra rules:
+
+  * records differing only in `shards` must agree on sim_time_us — the
+    sharded run is bit-identical to the serial one, enforced per fresh run;
+  * with --min-shard-speedup R, wall(min shards) / wall(max shards) >= R
+    per point — but only when the fresh run's hw_threads covers the max
+    shard count, so single-core CI hosts skip the claim instead of failing
+    it (per-shard-count counters are still compared exactly).
+
 Improvements are reported and do NOT fail; refresh the baselines in the same
 PR that makes them (see bench/baselines/README.md).
 
@@ -36,19 +46,56 @@ def load_records(path):
     by_key = {}
     for r in records:
         # Algorithm sweeps emit several records per (op, ranks, bytes) point
-        # — one per registry algorithm — so the algo field joins the key.
-        # Older benches fold the algorithm into op and carry no algo field.
+        # — one per registry algorithm — so the algo field joins the key;
+        # sharded-scaling sweeps likewise key by shard count.  Older benches
+        # fold the algorithm into op and carry neither field.
         key = (r.get("op"), r.get("algo"), r.get("network"), r.get("ranks"),
-               r.get("bytes"))
+               r.get("bytes"), r.get("shards"))
         # Last record wins for duplicate keys (benches append per point).
         by_key[key] = r
     return by_key
 
 
 def fmt_key(key):
-    op, algo, network, ranks, nbytes = key
+    op, algo, network, ranks, nbytes, shards = key
     label = f"{op}/{algo}" if algo else op
-    return f"{label} [{network}, {ranks} ranks, {nbytes} B]"
+    suffix = f", {shards} shards" if shards else ""
+    return f"{label} [{network}, {ranks} ranks, {nbytes} B{suffix}]"
+
+
+def check_shard_records(name, fresh, min_speedup, failures):
+    """Cross-shard-count determinism + (hardware permitting) speedup."""
+    groups = {}
+    for key, r in fresh.items():
+        if key[-1]:  # shards field present and non-zero
+            groups.setdefault(key[:-1], {})[key[-1]] = r
+    for point, by_shards in sorted(groups.items()):
+        if len(by_shards) < 2:
+            continue
+        medians = {s: r["sim_time_us"] for s, r in by_shards.items()}
+        if len(set(medians.values())) != 1:
+            failures.append(
+                f"{name}: {point} simulated medians differ across shard "
+                f"counts {medians} (sharded determinism break)")
+        if min_speedup <= 0:
+            continue
+        low, high = min(by_shards), max(by_shards)
+        hw = by_shards[high].get("hw_threads", 0)
+        if hw < high:
+            print(f"bench_diff: {name} {point} speedup check skipped "
+                  f"({hw} hw thread(s) < {high} shards)")
+            continue
+        wall_low = by_shards[low]["wall_time_ms"]
+        wall_high = by_shards[high]["wall_time_ms"]
+        if wall_high <= 0 or wall_low < wall_high * min_speedup:
+            failures.append(
+                f"{name}: {point} wall speedup at {high} shards is "
+                f"{wall_low / wall_high if wall_high > 0 else 0:.2f}x "
+                f"(< required {min_speedup:.2f}x; "
+                f"{wall_low:.1f} -> {wall_high:.1f} ms)")
+        else:
+            print(f"bench_diff: {name} {point} {high}-shard speedup "
+                  f"{wall_low / wall_high:.2f}x (>= {min_speedup:.2f}x)")
 
 
 def main():
@@ -64,6 +111,11 @@ def main():
                         help="bench file name that must exist in the fresh "
                              "dir (e.g. BENCH_perf_bcast_64k.json); may be "
                              "repeated")
+    parser.add_argument("--min-shard-speedup", type=float, default=0.0,
+                        help="required wall-clock speedup of the highest "
+                             "shard count over the lowest, per sharded "
+                             "record group; checked only when the run's "
+                             "hw_threads covers the shard count (0 = off)")
     args = parser.parse_args()
 
     baseline_files = sorted(f for f in os.listdir(args.baseline)
@@ -89,6 +141,7 @@ def main():
         compared_files += 1
         base = load_records(os.path.join(args.baseline, name))
         fresh = load_records(fresh_path)
+        check_shard_records(name, fresh, args.min_shard_speedup, failures)
 
         base_wall = 0.0
         fresh_wall = 0.0
