@@ -75,6 +75,16 @@ void flush_bench_json() {
       os << ", \"shards\": " << r.shards
          << ", \"hw_threads\": " << r.hw_threads;
     }
+    if (!r.driver.empty()) {
+      // Only throughput-mode benches key records by driver; other benches'
+      // baselines stay byte-identical.
+      os << ", \"driver\": \"" << json_escape(r.driver) << "\""
+         << ", \"p99_us\": " << r.p99_us
+         << ", \"coll_per_sec\": " << r.coll_per_sec
+         << ", \"collectives\": " << r.collectives
+         << ", \"event_pool_hits\": " << r.event_pool_hits
+         << ", \"event_pool_misses\": " << r.event_pool_misses;
+    }
     os << ", \"sim_time_us\": " << r.sim_time_us
        << ", \"wall_time_ms\": " << r.wall_time_ms
        << ", \"events_scheduled\": " << r.events_scheduled

@@ -61,6 +61,16 @@ struct BenchRecord {
   /// speedup gate skip hosts that cannot physically run the shards in
   /// parallel.
   int hw_threads = 0;
+  /// Throughput-mode fields (bench/throughput_mixed.cpp): the shard driver
+  /// name ("serial"/"parallel").  Empty everywhere else — the fields below
+  /// are then omitted from the JSON and old baselines stay byte-identical.
+  /// For throughput records sim_time_us carries the p50 completion latency.
+  std::string driver;
+  double p99_us = 0;           ///< p99 completion latency
+  double coll_per_sec = 0;     ///< collectives per virtual second
+  std::uint64_t collectives = 0;
+  std::uint64_t event_pool_hits = 0;    ///< recycled event-slot/node takes
+  std::uint64_t event_pool_misses = 0;  ///< fresh event-slot/node allocations
 };
 
 /// Appends a record to the JSON dump (measure_* helpers call this for every

@@ -56,6 +56,11 @@ set(speedup_args)
 if(DEFINED MIN_SHARD_SPEEDUP)
   set(speedup_args --min-shard-speedup ${MIN_SHARD_SPEEDUP})
 endif()
+# Throughput-mode gate: the parallel shard driver must clear this ratio of
+# the serial driver's wall-clock collectives/sec (hw-gated the same way).
+if(DEFINED MIN_DRIVER_SPEEDUP)
+  list(APPEND speedup_args --min-driver-speedup ${MIN_DRIVER_SPEEDUP})
+endif()
 
 execute_process(
   COMMAND ${PYTHON} ${DIFF_SCRIPT}

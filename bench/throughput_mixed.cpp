@@ -1,0 +1,196 @@
+// Throughput-mode engine bench: a multi-tenant mixed-collective workload
+// (cluster/workload.hpp) over 16 ranks in 4 switch segments, swept across
+// shard driver x shard count, with payload pooling on (plus one unpooled
+// reference run).
+//
+// What the records claim (and tools/bench_diff.py enforces):
+//   * per-collective completion latencies — and therefore the p50/p99
+//     figures — are bit-identical across BOTH drivers and 1/2/4 shards
+//     (the workload schedule is a pure function of the seed, and the
+//     sharded simulator is bit-exact against the serial reference);
+//   * payload pooling does not change virtual timing, only allocation:
+//     the "no-pool" record agrees on every latency while its
+//     payload_allocs figure is strictly larger than the pooled runs';
+//   * with >= 4 hardware threads, the parallel driver at 4 shards clears
+//     --min-driver-speedup x the serial driver's wall-clock collectives/sec
+//     (coll_per_sec is collectives per WALL second — it is compared within
+//     one run only, never against the committed baseline).
+#include <chrono>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "cluster/workload.hpp"
+#include "common/bytes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcmpi;
+  using namespace mcmpi::bench;
+  const BenchOptions options = BenchOptions::parse(
+      argc, argv,
+      "Throughput-mode engine — multi-tenant mixed collectives, 16 ranks, "
+      "4 switch segments, driver x shards sweep");
+
+  constexpr int kProcs = 16;
+  constexpr int kSegments = 4;
+  const int hw_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+
+  cluster::WorkloadConfig workload;
+  workload.tenants = 4;
+  // --reps scales the stream length so the gate lane can run a shorter
+  // sweep than the default standalone invocation.
+  workload.collectives_per_tenant = std::max(8, options.reps);
+  workload.mean_gap = microseconds_f(300.0);
+  workload.min_bytes = 16;
+  workload.max_bytes = 16 * 1024;
+  workload.seed = options.seed;
+
+  struct Measured {
+    std::string driver;
+    int shards = 0;
+    bool pooled = true;
+    cluster::WorkloadResult result;
+    double wall_ms = 0;
+    double wall_coll_per_sec = 0;
+    std::uint64_t payload_allocs = 0;
+  };
+  std::vector<Measured> measured;
+
+  Table table({"driver", "shards", "pool", "p50 us", "p99 us", "wall ms",
+               "payload allocs", "event pool hits"});
+  const auto run_one = [&](sim::ShardDriver driver, unsigned shards,
+                           bool pooled) {
+    cluster::ClusterConfig config;
+    config.num_procs = kProcs;
+    config.num_segments = kSegments;
+    config.sim_shards = shards;
+    config.shard_driver = driver;
+    config.payload_pool = pooled;
+    config.network = cluster::NetworkType::kSwitch;
+    config.seed = options.seed;
+    config.hosts = cluster::make_uniform_hosts(kProcs);
+    // Routed-backbone trunk latency = the conservative lookahead; wide
+    // windows keep barrier rounds cheap relative to useful work.
+    config.trunk_latency = microseconds_f(100.0);
+    cluster::Cluster cluster(config);
+
+    const PayloadCounters payload_before = payload_counters();
+    const auto wall_start = std::chrono::steady_clock::now();
+    const cluster::WorkloadResult result =
+        cluster::run_workload(cluster, workload);
+    const auto wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    const PayloadCounters payload_delta =
+        payload_counters().since(payload_before);
+    const sim::SchedCounters sched = cluster.simulator().sched_counters();
+
+    Measured m;
+    m.driver = driver == sim::ShardDriver::kParallel ? "parallel" : "serial";
+    m.shards = static_cast<int>(shards);
+    m.pooled = pooled;
+    m.result = result;
+    m.wall_ms = wall_ms;
+    m.wall_coll_per_sec = wall_ms > 0.0
+                              ? static_cast<double>(result.collectives) /
+                                    (wall_ms / 1000.0)
+                              : 0.0;
+    m.payload_allocs = payload_delta.buffer_allocs;
+    measured.push_back(m);
+
+    table.add_row({m.driver, std::to_string(m.shards),
+                   pooled ? "on" : "off", Table::num(result.p50_us),
+                   Table::num(result.p99_us), Table::num(wall_ms),
+                   std::to_string(m.payload_allocs),
+                   std::to_string(sched.event_pool_hits)});
+    record_bench(BenchRecord{
+        .op = "mixed",
+        .algo = pooled ? "pooled" : "no-pool",
+        .network = "switch",
+        .ranks = kProcs,
+        .bytes = -1,
+        .sim_time_us = result.p50_us,
+        .wall_time_ms = wall_ms,
+        .events_scheduled = cluster.simulator().events_scheduled(),
+        .handoffs = cluster.simulator().handoffs(),
+        .payload_allocs = payload_delta.buffer_allocs,
+        .payload_copies = payload_delta.byte_copies,
+        .shards = m.shards,
+        .hw_threads = hw_threads,
+        .driver = m.driver,
+        .p99_us = result.p99_us,
+        .coll_per_sec = m.wall_coll_per_sec,
+        .collectives = result.collectives,
+        .event_pool_hits = sched.event_pool_hits,
+        .event_pool_misses = sched.event_pool_misses,
+    });
+  };
+
+  for (const auto driver :
+       {sim::ShardDriver::kSerial, sim::ShardDriver::kParallel}) {
+    for (const unsigned shards : {1u, 2u, 4u}) {
+      run_one(driver, shards, /*pooled=*/true);
+    }
+  }
+  // Unpooled reference: same workload, same timing, more allocations.
+  run_one(sim::ShardDriver::kSerial, 1u, /*pooled=*/false);
+
+  print_table(
+      "Throughput-mode engine (16 ranks, 4 switch segments, mixed ops)",
+      table, options);
+
+  // Shape checks.  Determinism first: every run (both drivers, all shard
+  // counts, pool on or off) must reproduce the reference run's
+  // per-collective latencies exactly.
+  const Measured& reference = measured.front();
+  bool identical = true;
+  for (const Measured& m : measured) {
+    identical =
+        identical && m.result.latencies_us == reference.result.latencies_us;
+  }
+  shape_check(identical,
+              "per-collective latencies bit-identical across drivers, "
+              "shard counts and pooling");
+
+  const Measured* no_pool = nullptr;
+  for (const Measured& m : measured) {
+    if (!m.pooled) {
+      no_pool = &m;
+    }
+  }
+  bool pool_reduces = no_pool != nullptr;
+  for (const Measured& m : measured) {
+    if (m.pooled && no_pool != nullptr) {
+      pool_reduces = pool_reduces && m.payload_allocs < no_pool->payload_allocs;
+    }
+  }
+  shape_check(pool_reduces,
+              "payload pooling strictly reduces payload buffer allocations");
+
+  const auto find = [&](const std::string& driver,
+                        int shards) -> const Measured* {
+    for (const Measured& m : measured) {
+      if (m.pooled && m.driver == driver && m.shards == shards) {
+        return &m;
+      }
+    }
+    return nullptr;
+  };
+  const Measured* serial4 = find("serial", 4);
+  const Measured* parallel4 = find("parallel", 4);
+  if (hw_threads >= 4 && serial4 != nullptr && parallel4 != nullptr) {
+    shape_check(
+        parallel4->wall_coll_per_sec >= 1.5 * serial4->wall_coll_per_sec,
+        "parallel driver clears 1.5x serial wall-clock collectives/sec at "
+        "4 shards (" +
+            Table::num(serial4->wall_coll_per_sec) + " -> " +
+            Table::num(parallel4->wall_coll_per_sec) + " coll/s, " +
+            std::to_string(hw_threads) + " hw threads)");
+  } else {
+    std::cout << "SHAPE CHECK skip — driver speedup needs >= 4 hardware "
+                 "threads (host has "
+              << hw_threads << ")\n";
+  }
+  return 0;
+}

@@ -81,7 +81,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   sim_ = std::make_unique<sim::Simulator>(
       config_.seed, config_.sim_backend,
       sim::ShardingConfig{config_.sim_shards, config_.trunk_latency,
-                          config_.shard_driver});
+                          config_.shard_driver, config_.payload_pool});
 
   // One network per segment.
   for (int s = 0; s < config_.num_segments; ++s) {

@@ -54,6 +54,10 @@ struct ClusterConfig {
   /// driver is the determinism reference; the parallel driver must be (and
   /// is tested to be) bit-identical.  Honors MCMPI_SIM_SHARD_DRIVER.
   sim::ShardDriver shard_driver = sim::default_shard_driver();
+  /// Per-shard payload buffer pooling (see sim::ShardingConfig).  Off by
+  /// default so committed bench baselines keep their payload_allocs pins;
+  /// throughput-mode runs opt in.
+  bool payload_pool = false;
   CostParams costs;
   net::Hub::Params hub;
   net::Switch::Params switch_params;

@@ -1,0 +1,211 @@
+#include "cluster/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coll/facade.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace mcmpi::cluster {
+
+std::string to_string(WorkloadOp op) {
+  switch (op) {
+    case WorkloadOp::kBcast:
+      return "bcast";
+    case WorkloadOp::kAllreduce:
+      return "allreduce";
+    case WorkloadOp::kAllgather:
+      return "allgather";
+    case WorkloadOp::kReduce:
+      return "reduce";
+    case WorkloadOp::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Weighted op mix (percent).  Rooted multicast traffic dominates, matching
+/// the paper's emphasis; barriers keep pure-synchronization pressure in.
+WorkloadOp pick_op(Rng& rng) {
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 35) {
+    return WorkloadOp::kBcast;
+  }
+  if (roll < 60) {
+    return WorkloadOp::kAllreduce;
+  }
+  if (roll < 75) {
+    return WorkloadOp::kAllgather;
+  }
+  if (roll < 90) {
+    return WorkloadOp::kReduce;
+  }
+  return WorkloadOp::kBarrier;
+}
+
+/// Log-uniform in [min_bytes, max_bytes]: small messages stay frequent
+/// while the tail still exercises fragmentation and rendezvous paths.
+std::size_t pick_bytes(Rng& rng, const WorkloadConfig& config) {
+  MC_EXPECTS(config.min_bytes >= 1 && config.max_bytes >= config.min_bytes);
+  const double lo = std::log(static_cast<double>(config.min_bytes));
+  const double hi = std::log(static_cast<double>(config.max_bytes));
+  const double picked = std::exp(rng.uniform(lo, hi));
+  return std::clamp(static_cast<std::size_t>(picked), config.min_bytes,
+                    config.max_bytes);
+}
+
+/// Every member executes the item on its tenant communicator.  Payload
+/// contents are a fixed pattern: the driver measures timing, and identical
+/// bytes on every rank make reduction results independent of rank count.
+void execute(coll::Coll& coll, const mpi::Comm& comm,
+             const WorkloadItem& item, std::size_t index) {
+  const auto fill = static_cast<std::uint8_t>(index * 31 + 7);
+  switch (item.op) {
+    case WorkloadOp::kBcast: {
+      Buffer buffer(item.bytes, fill);
+      coll.bcast(buffer, item.root);
+      return;
+    }
+    case WorkloadOp::kAllreduce: {
+      const Buffer data(item.bytes, fill);
+      (void)coll.allreduce(data, mpi::Op::kSum, mpi::Datatype::kByte);
+      return;
+    }
+    case WorkloadOp::kAllgather: {
+      // Per-member contribution so the gathered total tracks item.bytes.
+      const std::size_t share = std::max<std::size_t>(
+          1, item.bytes / static_cast<std::size_t>(comm.size()));
+      const Buffer data(share, fill);
+      (void)coll.allgather(data);
+      return;
+    }
+    case WorkloadOp::kReduce: {
+      const Buffer data(item.bytes, fill);
+      (void)coll.reduce(data, mpi::Op::kSum, mpi::Datatype::kByte, item.root);
+      return;
+    }
+    case WorkloadOp::kBarrier:
+      coll.barrier();
+      return;
+  }
+  MC_ASSERT_MSG(false, "unknown workload op");
+}
+
+}  // namespace
+
+std::vector<WorkloadItem> tenant_schedule(const WorkloadConfig& config,
+                                          int tenant, int tenant_size) {
+  MC_EXPECTS(tenant >= 0 && tenant_size >= 1);
+  MC_EXPECTS(config.collectives_per_tenant >= 1);
+  MC_EXPECTS(config.mean_gap > kTimeZero);
+  // Stream seed mixes (seed, tenant) through SplitMix64 so neighboring
+  // tenants get uncorrelated streams.
+  std::uint64_t mix = config.seed;
+  (void)splitmix64(mix);
+  mix ^= 0x7e4a17u * static_cast<std::uint64_t>(tenant + 1);
+  Rng rng(splitmix64(mix));
+
+  std::vector<WorkloadItem> items;
+  items.reserve(static_cast<std::size_t>(config.collectives_per_tenant));
+  SimTime at = kTimeZero;
+  const double mean_ns = static_cast<double>(config.mean_gap.count());
+  for (int i = 0; i < config.collectives_per_tenant; ++i) {
+    // Exponential inter-arrival gap (Poisson process), floored at 1 ns so
+    // arrivals are strictly ordered.
+    const double u = rng.uniform();
+    const double gap_ns = -mean_ns * std::log1p(-u);
+    at += SimTime{std::max<std::int64_t>(1, static_cast<std::int64_t>(gap_ns))};
+    WorkloadItem item;
+    item.issue_at = at;
+    item.op = pick_op(rng);
+    item.bytes = pick_bytes(rng, config);
+    item.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(
+        tenant_size)));
+    items.push_back(item);
+  }
+  return items;
+}
+
+WorkloadResult run_workload(Cluster& cluster, const WorkloadConfig& config) {
+  const int n = cluster.num_procs();
+  MC_EXPECTS_MSG(config.tenants >= 1 && config.tenants <= n,
+                 "tenants must fit in the process count");
+
+  const int tenants = config.tenants;
+  std::vector<int> tenant_size(static_cast<std::size_t>(tenants), 0);
+  for (int r = 0; r < n; ++r) {
+    ++tenant_size[static_cast<std::size_t>(r % tenants)];
+  }
+
+  std::vector<std::vector<WorkloadItem>> schedules(
+      static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    schedules[static_cast<std::size_t>(t)] =
+        tenant_schedule(config, t, tenant_size[static_cast<std::size_t>(t)]);
+  }
+
+  sim::Simulator& sim = cluster.simulator();
+  const SimTime base = sim.now() + config.start_at;
+
+  // ends[tenant][item][member]: each member writes only its own slot during
+  // the run; the max over members is taken afterwards.
+  std::vector<std::vector<std::vector<SimTime>>> ends(
+      static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    ends[static_cast<std::size_t>(t)].assign(
+        schedules[static_cast<std::size_t>(t)].size(),
+        std::vector<SimTime>(
+            static_cast<std::size_t>(tenant_size[static_cast<std::size_t>(t)]),
+            kTimeZero));
+  }
+
+  cluster.world().run([&](mpi::Proc& p) {
+    const int tenant = p.rank() % tenants;
+    // Key = world rank: tenant comm ranks ascend in world-rank order, so
+    // item.root always lands on the same world rank for a fixed seed.
+    mpi::Comm comm = p.split(p.comm_world(), tenant, p.rank());
+    coll::Coll coll = comm.coll();
+    const auto& items = schedules[static_cast<std::size_t>(tenant)];
+    auto& my_ends = ends[static_cast<std::size_t>(tenant)];
+    const auto me = static_cast<std::size_t>(comm.rank());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const WorkloadItem& item = items[i];
+      // Open-loop arrival: enter at the scheduled instant, or immediately
+      // if the tenant's previous collective overran it (the overrun shows
+      // up as queueing delay in this item's latency).
+      p.self().delay_until(std::max(p.self().now(), base + item.issue_at));
+      execute(coll, comm, item, i);
+      my_ends[i][me] = p.self().now();
+    }
+  });
+
+  WorkloadResult result;
+  Sample sample;
+  SimTime last_end = base;
+  for (int t = 0; t < tenants; ++t) {
+    const auto& items = schedules[static_cast<std::size_t>(t)];
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const auto& row = ends[static_cast<std::size_t>(t)][i];
+      const SimTime end = *std::max_element(row.begin(), row.end());
+      last_end = std::max(last_end, end);
+      const double latency_us = to_microseconds(end - (base + items[i].issue_at));
+      result.latencies_us.push_back(latency_us);
+      sample.add(latency_us);
+    }
+  }
+  result.collectives = sample.size();
+  result.p50_us = sample.percentile(50.0);
+  result.p99_us = sample.percentile(99.0);
+  result.makespan_us = to_microseconds(last_end - base);
+  if (result.makespan_us > 0.0) {
+    result.coll_per_sec =
+        static_cast<double>(result.collectives) / (result.makespan_us * 1e-6);
+  }
+  return result;
+}
+
+}  // namespace mcmpi::cluster

@@ -26,14 +26,13 @@ struct SeqState {
 
 PayloadRef frame(std::uint32_t context, std::int32_t root_world,
                  std::uint64_t seq, std::span<const std::uint8_t> payload) {
-  Buffer out;
-  out.reserve(payload.size() + 16);
-  ByteWriter w(out);
+  PooledBuffer out = acquire_payload_buffer(payload.size() + 16);
+  ByteWriter w(out.bytes);
   w.u32(context);
   w.i32(root_world);
   w.u64(seq);
   w.bytes(payload);
-  return PayloadRef(std::move(out));
+  return PayloadRef::adopt(std::move(out));
 }
 
 void install_sink(Proc& p, const Comm& comm, SeqState& state) {

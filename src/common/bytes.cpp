@@ -29,6 +29,147 @@ constexpr auto kRelaxed = std::memory_order_relaxed;
 
 }  // namespace
 
+namespace detail {
+
+/// Shared guts of a PayloadPool.  Free lists are owner-execution-only; the
+/// remote-return stack is the one concurrently touched member (lock-free
+/// MPSC: releasing threads CAS-push, the owner exchanges the whole stack at
+/// round boundaries).
+struct PayloadPoolCore {
+  /// Size classes 64 B << i: 64 B .. 2 MiB.  Larger leases bypass the pool.
+  static constexpr std::size_t kClasses = 16;
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxPerClass = 64;
+
+  struct RemoteNode {
+    Buffer storage;
+    RemoteNode* next = nullptr;
+  };
+
+  std::vector<Buffer> free_lists[kClasses];
+  std::atomic<RemoteNode*> remote_head{nullptr};
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Self reference so a lease taken through the raw tls pointer can carry
+  /// the shared return handle (set once by PayloadPool's constructor).
+  std::weak_ptr<PayloadPoolCore> self;
+
+  ~PayloadPoolCore() {
+    RemoteNode* node = remote_head.exchange(nullptr, std::memory_order_acquire);
+    while (node != nullptr) {
+      RemoteNode* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  /// Class whose buffers have capacity exactly kMinClassBytes << index;
+  /// kClasses when the request is too large to pool.
+  static std::size_t class_of(std::size_t capacity) {
+    std::size_t size = kMinClassBytes;
+    for (std::size_t i = 0; i < kClasses; ++i, size <<= 1) {
+      if (capacity <= size) {
+        return i;
+      }
+    }
+    return kClasses;
+  }
+
+  static std::size_t class_bytes(std::size_t index) {
+    return kMinClassBytes << index;
+  }
+
+  /// Owner-side return: recycle `storage` if its capacity still matches a
+  /// class with room, else let it free.  (A mid-use reallocation lands the
+  /// buffer in its grown class — libstdc++ doubles, so an overflowed class
+  /// lease is simply the next class's capacity.)
+  void put_local(Buffer&& storage) {
+    const std::size_t index = class_of(storage.capacity());
+    if (index >= kClasses || storage.capacity() != class_bytes(index) ||
+        free_lists[index].size() >= kMaxPerClass) {
+      return;
+    }
+    storage.clear();
+    free_lists[index].push_back(std::move(storage));
+  }
+
+  void put_remote(Buffer&& storage) {
+    auto* node = new RemoteNode{std::move(storage)};
+    RemoteNode* head = remote_head.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!remote_head.compare_exchange_weak(head, node,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed));
+  }
+
+  void drain_remote() {
+    RemoteNode* node = remote_head.exchange(nullptr, std::memory_order_acquire);
+    while (node != nullptr) {
+      RemoteNode* next = node->next;
+      put_local(std::move(node->storage));
+      delete node;
+      node = next;
+    }
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+/// The calling thread's installed pool (PayloadPoolScope); null outside any
+/// shard window.
+thread_local detail::PayloadPoolCore* tls_payload_pool = nullptr;
+
+/// Deleter of a pooled payload's backing buffer: hands the storage back to
+/// its home pool — locally when it dies on the home pool's own execution,
+/// else through the remote-return stack.  Holds the Core shared, so the
+/// return is safe whenever the payload dies.
+struct PooledReturn {
+  std::shared_ptr<detail::PayloadPoolCore> home;
+  void operator()(const Buffer* buffer) const {
+    Buffer storage = std::move(*const_cast<Buffer*>(buffer));
+    delete buffer;
+    if (tls_payload_pool == home.get()) {
+      home->put_local(std::move(storage));
+    } else {
+      home->put_remote(std::move(storage));
+    }
+  }
+};
+
+}  // namespace
+
+PooledBuffer acquire_payload_buffer(std::size_t capacity_hint) {
+  PooledBuffer lease;
+  detail::PayloadPoolCore* pool = tls_payload_pool;
+  const std::size_t index =
+      pool != nullptr ? detail::PayloadPoolCore::class_of(capacity_hint)
+                      : detail::PayloadPoolCore::kClasses;
+  if (index >= detail::PayloadPoolCore::kClasses) {
+    // No pool installed (or an over-size request): a plain reserved buffer,
+    // counted at adoption exactly like the pre-pool path.
+    lease.bytes.reserve(capacity_hint);
+    return lease;
+  }
+  const std::size_t capacity = detail::PayloadPoolCore::class_bytes(index);
+  if (!pool->free_lists[index].empty()) {
+    lease.bytes = std::move(pool->free_lists[index].back());
+    pool->free_lists[index].pop_back();
+    lease.reused = true;
+    ++pool->hits;
+  } else {
+    lease.bytes.reserve(capacity);
+    ++pool->misses;
+    PayloadCounterCells& c = payload_cells();
+    c.buffer_allocs.fetch_add(1, kRelaxed);
+    c.bytes_allocated.fetch_add(capacity, kRelaxed);
+  }
+  lease.home = pool->self.lock();
+  return lease;
+}
+
 PayloadCounters payload_counters() {
   const PayloadCounterCells& c = payload_cells();
   PayloadCounters snapshot;
@@ -40,6 +181,24 @@ PayloadCounters payload_counters() {
   return snapshot;
 }
 
+PayloadPool::PayloadPool() : core_(std::make_shared<detail::PayloadPoolCore>()) {
+  core_->self = core_;
+}
+
+PayloadPool::~PayloadPool() = default;
+
+void PayloadPool::drain_remote() { core_->drain_remote(); }
+
+std::uint64_t PayloadPool::hits() const { return core_->hits; }
+
+std::uint64_t PayloadPool::misses() const { return core_->misses; }
+
+PayloadPoolScope::PayloadPoolScope(PayloadPool* pool) : prev_(tls_payload_pool) {
+  tls_payload_pool = pool != nullptr ? pool->core_.get() : nullptr;
+}
+
+PayloadPoolScope::~PayloadPoolScope() { tls_payload_pool = prev_; }
+
 PayloadRef::PayloadRef(Buffer bytes) {
   auto owned = std::make_shared<const Buffer>(std::move(bytes));
   data_ = owned->data();
@@ -50,11 +209,29 @@ PayloadRef::PayloadRef(Buffer bytes) {
   c.bytes_allocated.fetch_add(size_, kRelaxed);
 }
 
+PayloadRef PayloadRef::adopt(PooledBuffer&& pooled) {
+  if (pooled.home == nullptr) {
+    return PayloadRef(std::move(pooled.bytes));
+  }
+  // Pooled lease: any allocation was counted at acquire time; sealing just
+  // attaches the pool-return deleter.
+  auto* heap = new Buffer(std::move(pooled.bytes));
+  std::shared_ptr<const Buffer> owned(heap,
+                                      PooledReturn{std::move(pooled.home)});
+  PayloadRef ref;
+  ref.data_ = owned->data();
+  ref.size_ = owned->size();
+  ref.owner_ = std::move(owned);
+  return ref;
+}
+
 PayloadRef PayloadRef::copy_of(std::span<const std::uint8_t> bytes) {
   PayloadCounterCells& c = payload_cells();
   c.byte_copies.fetch_add(1, kRelaxed);
   c.bytes_copied.fetch_add(bytes.size(), kRelaxed);
-  return PayloadRef(Buffer(bytes.begin(), bytes.end()));
+  PooledBuffer lease = acquire_payload_buffer(bytes.size());
+  lease.bytes.assign(bytes.begin(), bytes.end());
+  return adopt(std::move(lease));
 }
 
 PayloadRef PayloadRef::slice(std::size_t offset, std::size_t length) const {

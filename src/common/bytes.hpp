@@ -60,6 +60,26 @@ struct PayloadCounters {
 /// fixed, the totals stay deterministic under any interleaving.
 PayloadCounters payload_counters();
 
+namespace detail {
+struct PayloadPoolCore;
+}
+
+/// A buffer leased from the thread's PayloadPool (or a plain reserved buffer
+/// when no pool is installed).  Fill `bytes` in place, then seal it with
+/// PayloadRef::adopt — the backing storage returns to `home` when the last
+/// payload reference drops.
+struct PooledBuffer {
+  Buffer bytes;
+  std::shared_ptr<detail::PayloadPoolCore> home;  ///< null = not pooled
+  bool reused = false;  ///< served from a free list (no allocation counted)
+};
+
+/// Leases a buffer with capacity >= `capacity_hint` from the calling
+/// thread's installed PayloadPool; falls back to a plain reserved Buffer
+/// (counted at adoption, exactly like the unpooled path always was) when no
+/// pool is installed or the request exceeds the largest size class.
+PooledBuffer acquire_payload_buffer(std::size_t capacity_hint);
+
 /// Immutable, ref-counted view of a byte buffer.
 ///
 /// The owner is a shared immutable Buffer; the view is a [data, size) window
@@ -76,7 +96,14 @@ class PayloadRef {
   /// counted for the shared control block / adopted storage).
   explicit PayloadRef(Buffer bytes);
 
-  /// Allocates a private backing buffer holding a copy of `bytes`.
+  /// Adopts a pool-leased buffer: the backing storage is handed back to the
+  /// lease's home pool when the last reference drops, and a reused lease
+  /// counts no allocation.  A lease with no home degrades to the plain
+  /// adopting constructor, so call sites need no pooled/unpooled branch.
+  static PayloadRef adopt(PooledBuffer&& pooled);
+
+  /// Allocates a private backing buffer holding a copy of `bytes` (leased
+  /// from the thread's PayloadPool when one is installed).
   static PayloadRef copy_of(std::span<const std::uint8_t> bytes);
 
   std::span<const std::uint8_t> view() const { return {data_, size_}; }
@@ -120,6 +147,60 @@ class PayloadRef {
   std::shared_ptr<const Buffer> owner_;
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
+};
+
+/// Free-list pool for payload backing buffers, size-classed by power-of-two
+/// capacity.  One pool per simulator shard; the shard installs it as the
+/// calling thread's pool (PayloadPoolScope) for the duration of its windows.
+///
+/// Lifecycle: acquire_payload_buffer() leases storage from the installed
+/// pool (hit) or reserves fresh storage (miss — the only case that counts a
+/// payload alloc); PayloadRef::adopt seals the lease; when the last payload
+/// reference drops, the storage returns to its HOME pool — directly onto
+/// the owner-side free lists when it dies on the owner's execution, else
+/// onto a lock-free MPSC remote-return stack the owner drains at round
+/// boundaries.  That boundary-only drain is what keeps pool hits a pure
+/// function of the simulation: a buffer released by a peer shard mid-round
+/// becomes reusable at the same round edge under every driver, so serial
+/// and parallel runs (and any thread timing) see identical hit/miss/alloc
+/// sequences.
+///
+/// The guts live in a shared Core so late releases are always safe: a
+/// payload that outlives the pool (a stack teardown after the simulator
+/// died) still holds the Core alive and parks its storage there; the last
+/// reference frees everything.
+class PayloadPool {
+ public:
+  PayloadPool();
+  ~PayloadPool();
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  /// Moves remote-returned storage onto the owner-side free lists.  Owner
+  /// execution only, at deterministic points (round boundaries).
+  void drain_remote();
+
+  /// Leases served from a free list / leases that allocated fresh storage.
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  friend class PayloadPoolScope;
+  std::shared_ptr<detail::PayloadPoolCore> core_;
+};
+
+/// RAII install of `pool` as the calling thread's payload pool (null =
+/// uninstall); restores the previous pool on destruction.  The simulator
+/// wraps every shard window (and teardown) in one of these.
+class PayloadPoolScope {
+ public:
+  explicit PayloadPoolScope(PayloadPool* pool);
+  ~PayloadPoolScope();
+  PayloadPoolScope(const PayloadPoolScope&) = delete;
+  PayloadPoolScope& operator=(const PayloadPoolScope&) = delete;
+
+ private:
+  detail::PayloadPoolCore* prev_;
 };
 
 /// Appends fixed-width little-endian values to a Buffer.

@@ -98,9 +98,9 @@ void IpStack::send(IpAddr dst, std::uint8_t protocol, PayloadRef payload,
     net::Frame frame;
     frame.dst = dst_mac;
     frame.kind = kind;
-    Buffer header_bytes;
-    header_bytes.reserve(static_cast<std::size_t>(kHeaderBytes));
-    ByteWriter w(header_bytes);
+    PooledBuffer header_bytes =
+        acquire_payload_buffer(static_cast<std::size_t>(kHeaderBytes));
+    ByteWriter w(header_bytes.bytes);
     write_header(w, Header{
                         .version = kIpVersion,
                         .protocol = protocol,
@@ -114,7 +114,7 @@ void IpStack::send(IpAddr dst, std::uint8_t protocol, PayloadRef payload,
                         .ttl = 64,
                         .checksum = 0,
                     });
-    frame.header = PayloadRef(std::move(header_bytes));
+    frame.header = PayloadRef::adopt(std::move(header_bytes));
     // Zero-copy fragmentation: the fragment body is a slice of the caller's
     // datagram, shared (not copied) all the way to every receiver.
     frame.payload = payload.slice(static_cast<std::size_t>(offset),
@@ -233,12 +233,13 @@ void IpStack::finish(Partial&& partial) {
     }
     datagram = std::move(joined);
   } else {
-    Buffer merged;
-    merged.reserve(static_cast<std::size_t>(partial.total_length));
+    PooledBuffer merged =
+        acquire_payload_buffer(static_cast<std::size_t>(partial.total_length));
     for (auto& [offset, bytes] : partial.fragments) {
-      merged.insert(merged.end(), bytes.view().begin(), bytes.view().end());
+      merged.bytes.insert(merged.bytes.end(), bytes.view().begin(),
+                          bytes.view().end());
     }
-    datagram = PayloadRef(std::move(merged));
+    datagram = PayloadRef::adopt(std::move(merged));
   }
 
   ++stats_.datagrams_received;

@@ -44,9 +44,8 @@ void UdpStack::send_datagram(std::uint16_t src_port, IpAddr dst,
   // wire datagram.  Everything below (fragmentation, fan-out, reassembly,
   // per-socket delivery) shares this allocation by reference.
   const std::size_t payload_bytes = head.size() + body.size();
-  Buffer packet;
-  packet.reserve(payload_bytes + kHeaderBytes);
-  ByteWriter w(packet);
+  PooledBuffer packet = acquire_payload_buffer(payload_bytes + kHeaderBytes);
+  ByteWriter w(packet.bytes);
   w.u16(src_port);
   w.u16(dst_port);
   // The 16-bit wire field wraps for jumbo simulated datagrams (> 64 KiB);
@@ -57,7 +56,7 @@ void UdpStack::send_datagram(std::uint16_t src_port, IpAddr dst,
   w.bytes(head);
   w.bytes(body);
   ++stats_.datagrams_sent;
-  ip_.send(dst, kProtocol, PayloadRef(std::move(packet)), kind);
+  ip_.send(dst, kProtocol, PayloadRef::adopt(std::move(packet)), kind);
 }
 
 void UdpStack::on_packet(const IpPacketMeta& meta, PayloadRef data) {

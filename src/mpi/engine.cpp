@@ -16,12 +16,11 @@ Engine::Engine(Rank world_rank, inet::RdpEndpoint& rdp,
   next_rdz_id_ = (static_cast<std::uint64_t>(world_rank_) + 1) << 40;
 }
 
-Buffer Engine::pack(MsgType type, std::uint32_t context, Tag tag,
-                    std::uint64_t rdz_id,
-                    std::span<const std::uint8_t> bytes) const {
-  Buffer out;
-  out.reserve(bytes.size() + 21);
-  ByteWriter w(out);
+PooledBuffer Engine::pack(MsgType type, std::uint32_t context, Tag tag,
+                          std::uint64_t rdz_id,
+                          std::span<const std::uint8_t> bytes) const {
+  PooledBuffer out = acquire_payload_buffer(bytes.size() + 21);
+  ByteWriter w(out.bytes);
   w.u8(static_cast<std::uint8_t>(type));
   w.u32(context);
   w.i32(world_rank_);
@@ -45,7 +44,7 @@ std::shared_ptr<SendRequest> Engine::start_send(
     // network.  Always eager — both endpoints share this engine.
     ++stats_.eager_sends;
     PayloadRef message =
-        PayloadRef(pack(MsgType::kEager, info->context_id, tag, 0, bytes));
+        PayloadRef::adopt(pack(MsgType::kEager, info->context_id, tag, 0, bytes));
     request->complete_ = true;
     on_message(addr_of_(world_rank_), std::move(message));
     return request;
@@ -54,7 +53,7 @@ std::shared_ptr<SendRequest> Engine::start_send(
   if (static_cast<std::int64_t>(bytes.size()) <= eager_threshold_) {
     ++stats_.eager_sends;
     rdp_.send(addr_of_(dst_world),
-              PayloadRef(pack(MsgType::kEager, info->context_id, tag, 0,
+              PayloadRef::adopt(pack(MsgType::kEager, info->context_id, tag, 0,
                               bytes)),
               kind);
     request->complete_ = true;  // buffered: locally complete
@@ -78,7 +77,7 @@ std::shared_ptr<SendRequest> Engine::start_send(
   ByteWriter length_writer(length_field);
   length_writer.u64(bytes.size());
   rdp_.send(pending.dst_addr,
-            PayloadRef(pack(MsgType::kRts, info->context_id, tag, id,
+            PayloadRef::adopt(pack(MsgType::kRts, info->context_id, tag, id,
                             length_field)),
             net::FrameKind::kControl);
   pending_sends_.emplace(id, std::move(pending));
@@ -148,7 +147,7 @@ void Engine::accept_rts(const std::shared_ptr<RecvRequest>& req,
   req->in_rendezvous_ = true;
   pending_rdz_recvs_.emplace(rts.rdz_id, req);
   rdp_.send(rts.src_addr,
-            PayloadRef(pack(MsgType::kCts, rts.context, rts.tag, rts.rdz_id,
+            PayloadRef::adopt(pack(MsgType::kCts, rts.context, rts.tag, rts.rdz_id,
                             {})),
             net::FrameKind::kControl);
 }
@@ -253,7 +252,7 @@ void Engine::on_message(inet::IpAddr src, PayloadRef message) {
       PendingSend pending = std::move(it->second);
       pending_sends_.erase(it);
       rdp_.send(pending.dst_addr,
-                PayloadRef(pack(MsgType::kRdata, pending.context, pending.tag,
+                PayloadRef::adopt(pack(MsgType::kRdata, pending.context, pending.tag,
                                 rdz_id, pending.payload)),
                 pending.kind);
       pending.request->complete_ = true;

@@ -167,8 +167,9 @@ class Engine {
                      Tag tag, const PayloadRef& data);
   void accept_rts(const std::shared_ptr<RecvRequest>& req,
                   const Unexpected& rts);
-  Buffer pack(MsgType type, std::uint32_t context, Tag tag,
-              std::uint64_t rdz_id, std::span<const std::uint8_t> bytes) const;
+  PooledBuffer pack(MsgType type, std::uint32_t context, Tag tag,
+                    std::uint64_t rdz_id,
+                    std::span<const std::uint8_t> bytes) const;
 
   Rank world_rank_;
   inet::RdpEndpoint& rdp_;

@@ -54,6 +54,21 @@ RealRank::RealRank(RealCluster& cluster, int rank)
 
 int RealRank::size() const { return cluster_.config().num_ranks; }
 
+std::optional<ReceivedDatagram> RealRank::next_datagram(
+    RealUdpSocket& socket, std::deque<ReceivedDatagram>& pending) {
+  if (pending.empty()) {
+    for (auto& datagram : socket.recv_batch(cluster_.config().timeout)) {
+      pending.push_back(std::move(datagram));
+    }
+  }
+  if (pending.empty()) {
+    return std::nullopt;
+  }
+  ReceivedDatagram next = std::move(pending.front());
+  pending.pop_front();
+  return next;
+}
+
 void RealRank::send_p2p(int dst, std::span<const std::uint8_t> data) {
   MC_EXPECTS(dst >= 0 && dst < size());
   const Buffer header = p2p_header(rank_);
@@ -70,7 +85,7 @@ std::vector<std::uint8_t> RealRank::recv_p2p(int src) {
       queue.pop_front();
       return data;
     }
-    auto datagram = p2p_->recv(cluster_.config().timeout);
+    auto datagram = next_datagram(*p2p_, p2p_pending_);
     if (!datagram.has_value()) {
       throw std::runtime_error("rank " + std::to_string(rank_) +
                                ": timeout waiting for p2p message from rank " +
@@ -93,7 +108,7 @@ void RealRank::mcast_send(std::span<const std::uint8_t> data) {
 
 std::vector<std::uint8_t> RealRank::mcast_recv() {
   for (;;) {
-    auto datagram = mcast_->recv(cluster_.config().timeout);
+    auto datagram = next_datagram(*mcast_, mcast_pending_);
     if (!datagram.has_value()) {
       throw std::runtime_error("rank " + std::to_string(rank_) +
                                ": timeout waiting for multicast");

@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -63,12 +64,19 @@ class RealRank {
   RealRank(RealCluster& cluster, int rank);
   void scout_gather_binary(int root);
   void scout_gather_linear(int root);
+  /// Pops the next datagram for `socket`, refilling `pending` with one
+  /// batched recvmmsg when it runs dry (the hot receive loops drain bursts
+  /// one syscall at a time instead of one datagram at a time).
+  std::optional<ReceivedDatagram> next_datagram(
+      RealUdpSocket& socket, std::deque<ReceivedDatagram>& pending);
 
   RealCluster& cluster_;
   int rank_;
   std::unique_ptr<RealUdpSocket> p2p_;
   std::unique_ptr<RealUdpSocket> mcast_;
   std::map<int, std::deque<std::vector<std::uint8_t>>> p2p_queues_;
+  std::deque<ReceivedDatagram> p2p_pending_;    // batched, not yet demuxed
+  std::deque<ReceivedDatagram> mcast_pending_;  // batched, not yet consumed
   std::uint64_t mcast_seq_ = 0;  // per-rank expected collective sequence
 };
 

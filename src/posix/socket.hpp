@@ -67,6 +67,16 @@ class RealUdpSocket {
   /// Blocking receive with timeout; nullopt on timeout.
   std::optional<ReceivedDatagram> recv(std::chrono::milliseconds timeout);
 
+  /// Batched receive (recvmmsg): blocks up to `timeout` for the FIRST
+  /// datagram, then drains everything else already queued on the socket in
+  /// the same syscall — up to `max_batch` datagrams.  Under bursty load
+  /// (a multicast fan-in, a flurry of scout messages) this turns N
+  /// syscalls on the hot receive loop into one.  Returns an empty vector
+  /// on timeout.  Falls back to a single recvfrom on platforms without
+  /// recvmmsg.
+  std::vector<ReceivedDatagram> recv_batch(std::chrono::milliseconds timeout,
+                                           std::size_t max_batch = 8);
+
   /// Probes whether loopback multicast works in this environment (some
   /// sandboxes forbid IP_ADD_MEMBERSHIP).  Cheap one-shot self-test.
   static bool loopback_multicast_available();

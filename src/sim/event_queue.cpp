@@ -8,10 +8,12 @@ std::uint32_t EventQueue::acquire_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t index = free_slots_.back();
     free_slots_.pop_back();
+    ++pool_hits_;
     return index;
   }
   MC_ASSERT_MSG(slots_.size() < 0xFFFFFFFFu, "event slot table exhausted");
   slots_.emplace_back();
+  ++pool_misses_;
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 

@@ -215,6 +215,11 @@ class EventQueue {
   /// queue, where it actually becomes an event.
   std::uint64_t total_scheduled() const { return total_scheduled_; }
 
+  /// Slot-pool receipts: schedules served by recycling a freed slot vs.
+  /// those that grew the slot table.  Feeds SchedCounters::event_pool_*.
+  std::uint64_t pool_hits() const { return pool_hits_; }
+  std::uint64_t pool_misses() const { return pool_misses_; }
+
  private:
   static constexpr int kSeqBits = 48;  // 2^48 events per shard is plenty
 
@@ -258,6 +263,8 @@ class EventQueue {
   std::size_t live_count_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t total_scheduled_ = 0;
+  std::uint64_t pool_hits_ = 0;
+  std::uint64_t pool_misses_ = 0;
   std::uint16_t shard_tag_ = 0;
 };
 

@@ -28,6 +28,14 @@ struct SchedCounters {
   /// Events fired (a batch of N callbacks counts once — it is one event).
   std::uint64_t events_executed = 0;
 
+  /// Allocation-pool receipts: schedule/cross-send requests served from a
+  /// free list (a recycled event slot or cross-shard inbox node) vs. those
+  /// that had to grow the backing store.  Deterministic — reuse depends only
+  /// on each shard's execution order, never on thread timing — so the split
+  /// is gated in bench JSON like every other counter.
+  std::uint64_t event_pool_hits = 0;
+  std::uint64_t event_pool_misses = 0;
+
   /// Fieldwise accumulate — how the sharded simulator merges its per-shard
   /// counters into the figures the benches record.
   SchedCounters& operator+=(const SchedCounters& other) {
@@ -35,6 +43,8 @@ struct SchedCounters {
     coalesced_delays += other.coalesced_delays;
     batched_callbacks += other.batched_callbacks;
     events_executed += other.events_executed;
+    event_pool_hits += other.event_pool_hits;
+    event_pool_misses += other.event_pool_misses;
     return *this;
   }
 };

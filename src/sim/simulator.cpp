@@ -1,13 +1,13 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdlib>
 #include <sstream>
 #include <string_view>
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/bytes.hpp"
 #include "sim/wait.hpp"
 
 namespace mcmpi::sim {
@@ -23,7 +23,9 @@ thread_local Shard* tls_shard = nullptr;
 
 class TlsShardGuard {
  public:
-  explicit TlsShardGuard(Shard* shard) : prev_(tls_shard) {
+  explicit TlsShardGuard(Shard* shard)
+      : prev_(tls_shard),
+        pool_scope_(shard != nullptr ? shard->payload_pool() : nullptr) {
     tls_shard = shard;
   }
   ~TlsShardGuard() { tls_shard = prev_; }
@@ -32,6 +34,9 @@ class TlsShardGuard {
 
  private:
   Shard* prev_;
+  /// Routes payload-buffer leases and releases during this shard's
+  /// execution to the shard's own pool (no-op when pooling is off).
+  PayloadPoolScope pool_scope_;
 };
 
 /// Independent, reproducible per-shard seed.  Shard 0 keeps the simulator
@@ -153,10 +158,16 @@ void SimProcess::yield() {
 
 // --------------------------------------------------------------------- Shard
 
-Shard::Shard(Simulator& sim, unsigned id, std::uint64_t seed)
+Shard::Shard(Simulator& sim, unsigned id, std::uint64_t seed,
+             bool payload_pool)
     : sim_(sim), id_(id), rng_(shard_seed(seed, id)) {
   events_.set_shard_tag(static_cast<std::uint16_t>(id));
+  if (payload_pool) {
+    payload_pool_ = std::make_unique<PayloadPool>();
+  }
 }
+
+Shard::~Shard() { drop_inbox(); }
 
 EventId Shard::schedule_at(SimTime t, EventFn fn) {
   MC_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
@@ -236,20 +247,69 @@ void Shard::run_window(bool stop_at_local_quiescence) {
 }
 
 void Shard::merge_inbox() {
-  std::vector<CrossEvent> pending;
-  {
-    const std::lock_guard<std::mutex> lock(inbox_mutex_);
-    pending.swap(inbox_);
+  // Take-all drain: the acquire exchange synchronizes with every release
+  // CAS push, so each node's contents are fully visible here.  The stack
+  // yields nodes newest-first, which is fine — the event queue totally
+  // orders entries by (time, sender key), so heap insertion order never
+  // affects what fires when.
+  CrossNode* node = inbox_head_.exchange(nullptr, std::memory_order_acquire);
+  while (node != nullptr) {
+    CrossNode* next = node->next;
+    MC_ASSERT_MSG(node->time >= now_,
+                  "cross-shard delivery arrived in the past");
+    events_.schedule_keyed(node->time, node->key, std::move(node->fn));
+    recycle_cross_node(node);
+    node = next;
   }
-  for (CrossEvent& e : pending) {
-    MC_ASSERT_MSG(e.time >= now_, "cross-shard delivery arrived in the past");
-    events_.schedule_keyed(e.time, e.key, std::move(e.fn));
+  if (payload_pool_ != nullptr) {
+    payload_pool_->drain_remote();
   }
 }
 
-void Shard::push_cross(SimTime t, EventQueue::OrderKey key, EventFn fn) {
-  const std::lock_guard<std::mutex> lock(inbox_mutex_);
-  inbox_.push_back(CrossEvent{t, key, std::move(fn)});
+void Shard::push_cross(CrossNode* node) {
+  CrossNode* head = inbox_head_.load(std::memory_order_relaxed);
+  do {
+    node->next = head;
+  } while (!inbox_head_.compare_exchange_weak(head, node,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+}
+
+Shard::CrossNode* Shard::take_cross_node() {
+  if (!node_cache_.empty()) {
+    CrossNode* node = node_cache_.back();
+    node_cache_.pop_back();
+    ++sched_.event_pool_hits;
+    return node;
+  }
+  ++sched_.event_pool_misses;
+  return new CrossNode;
+}
+
+void Shard::recycle_cross_node(CrossNode* node) {
+  constexpr std::size_t kNodeCacheCap = 256;
+  if (node_cache_.size() >= kNodeCacheCap) {
+    delete node;
+    return;
+  }
+  node->fn.reset();
+  node->next = nullptr;
+  node_cache_.push_back(node);
+}
+
+void Shard::drop_inbox() {
+  // Undelivered cross-shard callbacks (and the frames they captured) are
+  // dropped with the simulation.
+  CrossNode* node = inbox_head_.exchange(nullptr, std::memory_order_acquire);
+  while (node != nullptr) {
+    CrossNode* next = node->next;
+    delete node;
+    node = next;
+  }
+  for (CrossNode* cached : node_cache_) {
+    delete cached;
+  }
+  node_cache_.clear();
 }
 
 // ----------------------------------------------------------------- Simulator
@@ -258,7 +318,8 @@ Simulator::Simulator(std::uint64_t seed, ExecutionBackend backend,
                      ShardingConfig sharding)
     : backend_(backend),
       driver_(sharding.driver),
-      lookahead_(sharding.lookahead) {
+      lookahead_(sharding.lookahead),
+      payload_pool_(sharding.payload_pool) {
   MC_EXPECTS_MSG(sharding.shards >= 1, "need at least one shard");
   MC_EXPECTS_MSG(sharding.shards <= 0xFFFF, "shard id must fit 16 bits");
   // Zero lookahead with several shards would plan zero-width windows the
@@ -268,7 +329,8 @@ Simulator::Simulator(std::uint64_t seed, ExecutionBackend backend,
                  "a multi-shard simulator needs positive lookahead");
   shards_.reserve(sharding.shards);
   for (unsigned i = 0; i < sharding.shards; ++i) {
-    shards_.push_back(std::unique_ptr<Shard>(new Shard(*this, i, seed)));
+    shards_.push_back(std::unique_ptr<Shard>(
+        new Shard(*this, i, seed, sharding.payload_pool)));
   }
 }
 
@@ -288,9 +350,7 @@ Simulator::~Simulator() {
         MC_ASSERT(p.state_ == SimProcess::State::kFinished);
       }
     }
-    // Undelivered cross-shard callbacks (and the frames they captured) are
-    // dropped with the simulation.
-    shard.inbox_.clear();
+    shard.drop_inbox();
   }
 }
 
@@ -365,7 +425,11 @@ void Simulator::schedule_cross(unsigned target_shard, SimTime t, EventFn fn) {
   MC_EXPECTS_MSG(
       t >= saturating_add(src.now_, lookahead_),
       "cross-shard delivery violates the conservative lookahead bound");
-  dst.push_cross(t, src.events_.allocate_remote_key(), std::move(fn));
+  Shard::CrossNode* node = src.take_cross_node();
+  node->time = t;
+  node->key = src.events_.allocate_remote_key();
+  node->fn = std::move(fn);
+  dst.push_cross(node);
   // Causal-response horizon: the receiver can react one trunk hop from now
   // and its reply lands after another, so this shard must not execute past
   // now + 2*lookahead this round.  Deterministic — the clamp depends only
@@ -424,7 +488,7 @@ SimProcess* Simulator::current() { return current_shard().current_; }
 SchedCounters Simulator::sched_counters() const {
   SchedCounters merged;
   for (const auto& shard : shards_) {
-    merged += shard->sched_;
+    merged += shard->sched_counters();
   }
   return merged;
 }
@@ -511,39 +575,54 @@ void Simulator::run_windows_serial(bool until_processes_done) {
 
 namespace {
 
-/// Cyclic thread barrier with a completion hook that runs UNDER the
-/// barrier's mutex, before any waiter is released.  A mutex + condvar
-/// barrier (rather than std::barrier) so every edge — last-arriver runs
-/// the completion, everyone observes its writes — is plain lock ordering
-/// that ThreadSanitizer models exactly; the tsan preset runs the parallel
-/// driver under it.
+/// Cyclic sense-reversing barrier with a completion hook the last arriver
+/// runs before releasing anyone — two uncontended atomic ops per arrival
+/// instead of a mutex/condvar round trip, which is what dominates per-round
+/// sync cost at small lookahead windows.  Memory ordering (all C++ atomics,
+/// so ThreadSanitizer models every edge exactly): each arrival's
+/// fetch_sub(acq_rel) joins the release sequence on `remaining_`, so the
+/// last arriver observes every earlier thread's window writes; its
+/// release-store of `sense_` then publishes those plus the completion's own
+/// writes (the round plan) to every spinner's acquire-load.  Waiters spin
+/// briefly, then yield — worker counts are at most the shard count, so
+/// oversubscribed hosts degrade to yield loops instead of burning a core.
 class RoundBarrier {
  public:
   RoundBarrier(std::size_t parties, std::function<void()> completion)
-      : parties_(parties), completion_(std::move(completion)) {}
+      : parties_(parties),
+        remaining_(parties),
+        completion_(std::move(completion)) {}
 
-  void arrive_and_wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const std::uint64_t generation = generation_;
-    if (++arrived_ == parties_) {
+  /// `my_sense` is the calling thread's phase flag for THIS barrier,
+  /// flipped here on every arrival; start every thread at false.
+  void arrive_and_wait(bool& my_sense) {
+    const bool want = !my_sense;
+    my_sense = want;
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Reset before the sense flip: peers of the NEXT round cannot reach
+      // their fetch_sub until they observe the flip below.
+      remaining_.store(parties_, std::memory_order_relaxed);
       if (completion_) {
         completion_();
       }
-      arrived_ = 0;
-      ++generation_;
-      cv_.notify_all();
+      sense_.store(want, std::memory_order_release);
       return;
     }
-    cv_.wait(lock, [&] { return generation_ != generation; });
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) != want) {
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+      }
+    }
   }
 
  private:
+  static constexpr int kSpinLimit = 1024;
+
   std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
   std::function<void()> completion_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t arrived_ = 0;
-  std::uint64_t generation_ = 0;
+  std::atomic<bool> sense_{false};
 };
 
 }  // namespace
@@ -554,8 +633,8 @@ void Simulator::run_windows_parallel(bool until_processes_done) {
   // Two phases per round.  `quiesce` separates window execution from inbox
   // merging, so every cross push of round R is visible to its receiver's
   // merge; the completion of `ready` then plans round R+1 on the last
-  // arriving thread while every other worker is parked on the barrier's
-  // mutex — the plan is published before any worker resumes.
+  // arriving thread while every other worker spins on the barrier's sense
+  // flag — the plan is published before any worker resumes.
   RoundBarrier quiesce(shards_.size(), {});
   RoundBarrier ready(shards_.size(), [this, &plan, &stop,
                                       until_processes_done] {
@@ -576,10 +655,12 @@ void Simulator::run_windows_parallel(bool until_processes_done) {
   auto worker = [&](std::size_t i) {
     Shard& shard = *shards_[i];
     const TlsShardGuard guard(&shard);
+    bool quiesce_sense = false;
+    bool ready_sense = false;
     for (;;) {
-      quiesce.arrive_and_wait();
+      quiesce.arrive_and_wait(quiesce_sense);
       shard.merge_inbox();
-      ready.arrive_and_wait();
+      ready.arrive_and_wait(ready_sense);
       if (stop) {
         return;
       }
@@ -628,9 +709,12 @@ void Simulator::run() {
   running_ = true;
   try {
     if (shards_.size() == 1) {
-      // Classic unsharded loop: one shard, unbounded window.
+      // Classic unsharded loop: one shard, unbounded window.  The merge is
+      // for the payload pool: leases released outside any run (between
+      // measurement loops) sit on the remote-return stack until here.
       Shard& shard = *shards_.front();
       const TlsShardGuard guard(&shard);
+      shard.merge_inbox();
       while (shard.step()) {
       }
     } else {
@@ -651,6 +735,7 @@ void Simulator::run_until_processes_done() {
     if (shards_.size() == 1) {
       Shard& shard = *shards_.front();
       const TlsShardGuard guard(&shard);
+      shard.merge_inbox();
       while (shard.live_processes_ > 0 && shard.step()) {
       }
     } else {

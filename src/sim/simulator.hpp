@@ -27,9 +27,9 @@
 ///
 ///   kSerial   — one thread runs the shards' windows in shard order; the
 ///               determinism REFERENCE.
-///   kParallel — one worker thread per shard, two std::barrier phases per
-///               round (quiesce, then merge + plan).  Bit-identical to the
-///               serial driver by construction.
+///   kParallel — one worker thread per shard, two sense-reversing atomic
+///               barrier phases per round (quiesce, then merge + plan).
+///               Bit-identical to the serial driver by construction.
 ///
 /// A 1-shard simulator (the default) skips all of this and runs the classic
 /// loop; a K-shard simulator whose work all lands on one shard (every
@@ -68,7 +68,6 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -77,6 +76,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/execution_context.hpp"
 #include "sim/sched_counters.hpp"
+
+namespace mcmpi {
+class PayloadPool;
+}
 
 namespace mcmpi::sim {
 
@@ -115,6 +118,14 @@ struct ShardingConfig {
   unsigned shards = 1;
   SimTime lookahead = kTimeZero;
   ShardDriver driver = default_shard_driver();
+  /// Install a per-shard size-classed payload buffer pool (common/bytes.hpp)
+  /// for the duration of each shard's execution, so datagram assembly
+  /// recycles backing buffers instead of allocating.  Off by default: the
+  /// pool changes the payload_allocs figures the committed bench baselines
+  /// pin, so only throughput-mode runs opt in.  Deterministic either way —
+  /// remote returns are drained at round boundaries, so pool hits are a
+  /// pure function of the simulation, identical across drivers.
+  bool payload_pool = false;
 };
 
 /// A simulated process.  The body runs on its own execution context (fiber
@@ -194,23 +205,35 @@ class SimProcess {
 /// One partition of the simulation: a clock, an event queue, a ready list,
 /// an RNG stream, counters, and the processes pinned to it.  All mutation
 /// happens from the shard's own execution (its driver thread of the current
-/// round) except the cross-shard inbox, which peers push into under a
-/// mutex and the owner merges at round boundaries.
+/// round) except the cross-shard inbox — a lock-free MPSC intrusive stack
+/// peers CAS-push nodes onto; the owner takes the whole stack at round
+/// boundaries and merges it into the event queue.
 class Shard {
  public:
+  ~Shard();
   unsigned id() const { return id_; }
   SimTime now() const { return now_; }
   Simulator& simulator() { return sim_; }
-  const SchedCounters& sched_counters() const { return sched_; }
+  /// Scheduler counters including the event-slot pool receipts kept inside
+  /// the event queue (merged on read; the struct is tiny).
+  SchedCounters sched_counters() const {
+    SchedCounters merged = sched_;
+    merged.event_pool_hits += events_.pool_hits();
+    merged.event_pool_misses += events_.pool_misses();
+    return merged;
+  }
   std::uint64_t events_scheduled() const { return events_.total_scheduled(); }
   std::size_t live_processes() const { return live_processes_; }
+  /// This shard's payload buffer pool; null unless the simulator was
+  /// configured with ShardingConfig::payload_pool.
+  PayloadPool* payload_pool() const { return payload_pool_.get(); }
 
  private:
   friend class SimProcess;
   friend class Simulator;
   friend class WaitQueue;
 
-  Shard(Simulator& sim, unsigned id, std::uint64_t seed);
+  Shard(Simulator& sim, unsigned id, std::uint64_t seed, bool payload_pool);
 
   EventId schedule_at(SimTime t, EventFn fn);
   EventId schedule_after(SimTime d, EventFn fn) {
@@ -238,10 +261,28 @@ class Shard {
   SimTime next_ready_time() const {
     return ready_.empty() ? events_.next_time() : now_;
   }
+  /// One cross-shard delivery, an intrusive node of the MPSC inbox stack.
+  /// Nodes are recycled through the owner's node_cache_ (owner-thread-only,
+  /// so hit counts stay deterministic) and counted as event-pool traffic.
+  struct CrossNode {
+    SimTime time = kTimeZero;
+    EventQueue::OrderKey key = 0;
+    EventFn fn;
+    CrossNode* next = nullptr;
+  };
+
   /// Moves every pending cross delivery into the event queue (keyed with
-  /// the sender's identity).  Round-boundary only.
+  /// the sender's identity) and drains the payload pool's remote returns.
+  /// Round-boundary only — no peer touches the stack between rounds, so
+  /// exchange + walk is race-free.
   void merge_inbox();
-  void push_cross(SimTime t, EventQueue::OrderKey key, EventFn fn);
+  /// Lock-free MPSC push, called by PEER shards (any worker thread).
+  void push_cross(CrossNode* node);
+  /// Sender-side node allocation from this shard's own cache.
+  CrossNode* take_cross_node();
+  void recycle_cross_node(CrossNode* node);
+  /// Frees undelivered inbox nodes and the cache (teardown).
+  void drop_inbox();
 
   Simulator& sim_;
   unsigned id_;
@@ -264,13 +305,13 @@ class Shard {
   SimTime window_end_ = kTimeInfinity;
   std::exception_ptr error_;
 
-  struct CrossEvent {
-    SimTime time;
-    EventQueue::OrderKey key;
-    EventFn fn;
-  };
-  std::mutex inbox_mutex_;
-  std::vector<CrossEvent> inbox_;
+  /// Head of the MPSC inbox stack (Treiber push; owner exchanges to drain).
+  std::atomic<CrossNode*> inbox_head_{nullptr};
+  /// Recycled CrossNodes, touched only by this shard's own execution.
+  std::vector<CrossNode*> node_cache_;
+  /// Per-shard payload buffer pool (null unless ShardingConfig requested
+  /// one); installed as the thread-local pool around this shard's windows.
+  std::unique_ptr<PayloadPool> payload_pool_;
 };
 
 class Simulator {
@@ -293,6 +334,7 @@ class Simulator {
   unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
   ShardDriver shard_driver() const { return driver_; }
   SimTime lookahead() const { return lookahead_; }
+  bool payload_pool_enabled() const { return payload_pool_; }
   Shard& shard(unsigned index) { return *shards_.at(index); }
 
   /// Schedules a callback at absolute virtual time `t` (>= now()) on the
@@ -398,6 +440,7 @@ class Simulator {
   ExecutionBackend backend_;
   ShardDriver driver_;
   SimTime lookahead_ = kTimeZero;
+  bool payload_pool_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool running_ = false;
 };

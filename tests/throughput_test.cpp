@@ -1,0 +1,118 @@
+// Throughput-mode workload determinism.
+//
+// cluster/workload.hpp promises: the multi-tenant arrival streams are pure
+// functions of (config, tenant) — independent of shard layout — and the
+// resulting per-collective completion latencies are bit-identical across
+// shard counts, across the serial/parallel drivers, and with payload
+// pooling on or off (the pool recycles allocations; it must never move a
+// virtual timestamp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/workload.hpp"
+#include "common/bytes.hpp"
+
+namespace mcmpi {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::WorkloadConfig;
+using cluster::WorkloadItem;
+using cluster::WorkloadResult;
+
+WorkloadConfig small_workload() {
+  WorkloadConfig config;
+  config.tenants = 3;
+  config.collectives_per_tenant = 10;
+  config.mean_gap = microseconds_f(350.0);
+  config.min_bytes = 16;
+  config.max_bytes = 4096;
+  config.seed = 42;
+  return config;
+}
+
+WorkloadResult run(unsigned shards, sim::ShardDriver driver, bool pooled) {
+  ClusterConfig config;
+  config.num_procs = 8;
+  config.num_segments = 4;
+  config.sim_shards = shards;
+  config.shard_driver = driver;
+  config.payload_pool = pooled;
+  config.network = cluster::NetworkType::kSwitch;
+  config.seed = 9;
+  config.trunk_latency = microseconds_f(100.0);
+  config.hosts = cluster::make_uniform_hosts(config.num_procs);
+  Cluster cluster(config);
+  return cluster::run_workload(cluster, small_workload());
+}
+
+TEST(ThroughputTest, ScheduleIsPureFunctionOfSeedAndTenant) {
+  const WorkloadConfig config = small_workload();
+  const std::vector<WorkloadItem> a = tenant_schedule(config, 1, 3);
+  const std::vector<WorkloadItem> b = tenant_schedule(config, 1, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].issue_at, b[i].issue_at);
+    EXPECT_EQ(a[i].op, b[i].op);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].root, b[i].root);
+  }
+  // Arrivals are strictly increasing and sizes respect the bounds.
+  SimTime prev = kTimeZero;
+  for (const WorkloadItem& item : a) {
+    EXPECT_GT(item.issue_at, prev);
+    prev = item.issue_at;
+    if (item.op != cluster::WorkloadOp::kBarrier) {
+      EXPECT_GE(item.bytes, config.min_bytes);
+      EXPECT_LE(item.bytes, config.max_bytes);
+    }
+    EXPECT_GE(item.root, 0);
+    EXPECT_LT(item.root, 3);
+  }
+  // Distinct tenants draw from distinct streams.
+  const std::vector<WorkloadItem> other = tenant_schedule(config, 2, 3);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && i < other.size(); ++i) {
+    differs = differs || a[i].issue_at != other[i].issue_at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ThroughputTest, LatenciesIdenticalAcrossShardCounts) {
+  const WorkloadResult one = run(1, sim::ShardDriver::kParallel, true);
+  const WorkloadResult two = run(2, sim::ShardDriver::kParallel, true);
+  const WorkloadResult four = run(4, sim::ShardDriver::kParallel, true);
+  ASSERT_FALSE(one.latencies_us.empty());
+  EXPECT_EQ(one.latencies_us, two.latencies_us);
+  EXPECT_EQ(one.latencies_us, four.latencies_us);
+  EXPECT_EQ(one.collectives, 30u);
+}
+
+TEST(ThroughputTest, SerialAndParallelDriversBitIdentical) {
+  const WorkloadResult serial = run(4, sim::ShardDriver::kSerial, true);
+  const WorkloadResult parallel = run(4, sim::ShardDriver::kParallel, true);
+  EXPECT_EQ(serial.latencies_us, parallel.latencies_us);
+  EXPECT_EQ(serial.p50_us, parallel.p50_us);
+  EXPECT_EQ(serial.p99_us, parallel.p99_us);
+  EXPECT_EQ(serial.makespan_us, parallel.makespan_us);
+}
+
+TEST(ThroughputTest, PoolingKeepsTimingAndReducesAllocations) {
+  const PayloadCounters before_pooled = payload_counters();
+  const WorkloadResult pooled = run(4, sim::ShardDriver::kParallel, true);
+  const PayloadCounters pooled_delta = payload_counters().since(before_pooled);
+
+  const PayloadCounters before_plain = payload_counters();
+  const WorkloadResult plain = run(4, sim::ShardDriver::kParallel, false);
+  const PayloadCounters plain_delta = payload_counters().since(before_plain);
+
+  // The pool must be timing-invisible...
+  EXPECT_EQ(pooled.latencies_us, plain.latencies_us);
+  // ...while recycling a large share of the payload allocations.
+  EXPECT_LT(pooled_delta.buffer_allocs, plain_delta.buffer_allocs);
+}
+
+}  // namespace
+}  // namespace mcmpi

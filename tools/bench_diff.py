@@ -20,12 +20,26 @@ bench/baselines/ and fails on:
 Sharded-simulator records (the bench_shard_scaling sweep) carry a `shards`
 field and two extra rules:
 
-  * records differing only in `shards` must agree on sim_time_us — the
-    sharded run is bit-identical to the serial one, enforced per fresh run;
+  * records differing only in `shards` (or shard driver) must agree on
+    sim_time_us — the sharded run is bit-identical to the serial one,
+    enforced per fresh run;
   * with --min-shard-speedup R, wall(min shards) / wall(max shards) >= R
     per point — but only when the fresh run's hw_threads covers the max
     shard count, so single-core CI hosts skip the claim instead of failing
     it (per-shard-count counters are still compared exactly).
+
+Throughput-mode records (bench/throughput_mixed.cpp) additionally carry a
+`driver` field plus p99/throughput figures, with three rules of their own:
+
+  * p99_us and the collectives count are deterministic and compared
+    exactly against the baseline, like sim_time_us;
+  * with --min-driver-speedup R, the parallel driver's wall-clock
+    coll_per_sec must be >= R x the serial driver's at the highest shard
+    count — compared within the fresh run only (never against a baseline:
+    wall throughput is host-dependent) and skipped when hw_threads does
+    not cover the shard count;
+  * records whose algo is "pooled" must show strictly fewer payload_allocs
+    than the matching "no-pool" reference (fresh run only).
 
 Improvements are reported and do NOT fail; refresh the baselines in the same
 PR that makes them (see bench/baselines/README.md).
@@ -50,34 +64,46 @@ def load_records(path):
         # sharded-scaling sweeps likewise key by shard count.  Older benches
         # fold the algorithm into op and carry neither field.
         key = (r.get("op"), r.get("algo"), r.get("network"), r.get("ranks"),
-               r.get("bytes"), r.get("shards"))
+               r.get("bytes"), r.get("shards"), r.get("driver"))
         # Last record wins for duplicate keys (benches append per point).
         by_key[key] = r
     return by_key
 
 
 def fmt_key(key):
-    op, algo, network, ranks, nbytes, shards = key
+    op, algo, network, ranks, nbytes, shards, driver = key
     label = f"{op}/{algo}" if algo else op
     suffix = f", {shards} shards" if shards else ""
+    if driver:
+        suffix += f", {driver} driver"
     return f"{label} [{network}, {ranks} ranks, {nbytes} B{suffix}]"
 
 
 def check_shard_records(name, fresh, min_speedup, failures):
-    """Cross-shard-count determinism + (hardware permitting) speedup."""
+    """Cross-(shards, driver) determinism + (hardware permitting) speedup."""
     groups = {}
     for key, r in fresh.items():
-        if key[-1]:  # shards field present and non-zero
-            groups.setdefault(key[:-1], {})[key[-1]] = r
-    for point, by_shards in sorted(groups.items()):
-        if len(by_shards) < 2:
+        if key[5]:  # shards field present and non-zero
+            groups.setdefault(key[:5], {})[(key[5], key[6])] = r
+    for point, by_config in sorted(groups.items()):
+        if len(by_config) < 2:
             continue
-        medians = {s: r["sim_time_us"] for s, r in by_shards.items()}
+        medians = {c: r["sim_time_us"] for c, r in by_config.items()}
         if len(set(medians.values())) != 1:
             failures.append(
                 f"{name}: {point} simulated medians differ across shard "
-                f"counts {medians} (sharded determinism break)")
+                f"counts/drivers {medians} (sharded determinism break)")
+        p99s = {c: r["p99_us"] for c, r in by_config.items() if "p99_us" in r}
+        if len(set(p99s.values())) > 1:
+            failures.append(
+                f"{name}: {point} p99 latencies differ across shard "
+                f"counts/drivers {p99s} (sharded determinism break)")
         if min_speedup <= 0:
+            continue
+        # Wall speedup across shard counts, legacy (driver-less) records
+        # only: throughput records have their own driver-vs-driver gate.
+        by_shards = {c[0]: r for c, r in by_config.items() if not c[1]}
+        if len(by_shards) < 2:
             continue
         low, high = min(by_shards), max(by_shards)
         hw = by_shards[high].get("hw_threads", 0)
@@ -98,6 +124,62 @@ def check_shard_records(name, fresh, min_speedup, failures):
                   f"{wall_low / wall_high:.2f}x (>= {min_speedup:.2f}x)")
 
 
+def check_driver_records(name, fresh, min_driver_speedup, failures):
+    """Throughput-mode rules: parallel-vs-serial wall throughput and the
+    pooled-allocation reduction, both within the fresh run only."""
+    # Driver speedup: same (op, algo, network, ranks, bytes, shards), the
+    # parallel driver against the serial one at the highest shard count.
+    families = {}
+    for key, r in fresh.items():
+        if key[6]:  # driver field present
+            families.setdefault(key[:5], {}).setdefault(key[5], {})[key[6]] = r
+    for point, by_shards in sorted(families.items()):
+        if min_driver_speedup <= 0 or not by_shards:
+            break
+        high = max(by_shards)
+        drivers = by_shards[high]
+        if "serial" not in drivers or "parallel" not in drivers:
+            continue
+        hw = drivers["parallel"].get("hw_threads", 0)
+        if hw < high:
+            print(f"bench_diff: {name} {point} driver speedup check "
+                  f"skipped ({hw} hw thread(s) < {high} shards)")
+            continue
+        serial_cps = drivers["serial"].get("coll_per_sec", 0)
+        parallel_cps = drivers["parallel"].get("coll_per_sec", 0)
+        if serial_cps <= 0 or parallel_cps < serial_cps * min_driver_speedup:
+            failures.append(
+                f"{name}: {point} parallel driver throughput at {high} "
+                f"shards is "
+                f"{parallel_cps / serial_cps if serial_cps > 0 else 0:.2f}x "
+                f"serial (< required {min_driver_speedup:.2f}x; "
+                f"{serial_cps:.0f} -> {parallel_cps:.0f} coll/s)")
+        else:
+            print(f"bench_diff: {name} {point} parallel driver "
+                  f"{parallel_cps / serial_cps:.2f}x serial throughput "
+                  f"(>= {min_driver_speedup:.2f}x)")
+
+    # Pool reduction: every "pooled" record must allocate strictly fewer
+    # payload buffers than the matching "no-pool" reference.
+    points = {}
+    for key, r in fresh.items():
+        if key[6] and key[1] in ("pooled", "no-pool"):
+            group = (key[0], key[2], key[3], key[4])
+            points.setdefault(group, {}).setdefault(key[1], []).append(r)
+    for group, by_algo in sorted(points.items()):
+        if "pooled" not in by_algo or "no-pool" not in by_algo:
+            continue
+        pooled_max = max(r["payload_allocs"] for r in by_algo["pooled"])
+        plain_min = min(r["payload_allocs"] for r in by_algo["no-pool"])
+        if pooled_max >= plain_min:
+            failures.append(
+                f"{name}: {group} pooled payload_allocs {pooled_max} not "
+                f"below the no-pool reference {plain_min}")
+        else:
+            print(f"bench_diff: {name} {group} pooling cuts payload_allocs "
+                  f"{plain_min} -> {pooled_max}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -116,6 +198,12 @@ def main():
                              "shard count over the lowest, per sharded "
                              "record group; checked only when the run's "
                              "hw_threads covers the shard count (0 = off)")
+    parser.add_argument("--min-driver-speedup", type=float, default=0.0,
+                        help="required wall-clock collectives/sec ratio of "
+                             "the parallel shard driver over the serial one "
+                             "at the highest shard count of each "
+                             "throughput-record family; hw-gated like "
+                             "--min-shard-speedup (0 = off)")
     args = parser.parse_args()
 
     baseline_files = sorted(f for f in os.listdir(args.baseline)
@@ -142,6 +230,7 @@ def main():
         base = load_records(os.path.join(args.baseline, name))
         fresh = load_records(fresh_path)
         check_shard_records(name, fresh, args.min_shard_speedup, failures)
+        check_driver_records(name, fresh, args.min_driver_speedup, failures)
 
         base_wall = 0.0
         fresh_wall = 0.0
@@ -158,8 +247,16 @@ def main():
                     f"{name}: {fmt_key(key)} simulated median changed "
                     f"{b['sim_time_us']} -> {f['sim_time_us']} us "
                     f"(determinism break)")
+            # Deterministic throughput figures compare exactly, like the
+            # simulated median (coll_per_sec and wall stay host-local).
+            for exact in ("p99_us", "collectives"):
+                if exact in b and exact in f and f[exact] != b[exact]:
+                    failures.append(
+                        f"{name}: {fmt_key(key)} {exact} changed "
+                        f"{b[exact]} -> {f[exact]} (determinism break)")
             for counter in ("payload_allocs", "payload_copies",
-                            "events_scheduled", "handoffs"):
+                            "events_scheduled", "handoffs",
+                            "event_pool_misses"):
                 if counter not in b or counter not in f:
                     continue
                 if f[counter] > b[counter]:
