@@ -85,6 +85,15 @@ void flush_bench_json() {
          << ", \"event_pool_hits\": " << r.event_pool_hits
          << ", \"event_pool_misses\": " << r.event_pool_misses;
     }
+    if (r.window > 0) {
+      // Only the segmented-pipeline sweeps key records by window/lane;
+      // other benches' baselines stay byte-identical.
+      os << ", \"window\": " << r.window << ", \"lanes\": " << r.lanes
+         << ", \"chunk_sent\": " << r.chunk_sent
+         << ", \"chunk_acked\": " << r.chunk_acked
+         << ", \"chunk_retried\": " << r.chunk_retried
+         << ", \"chunk_peak_window\": " << r.chunk_peak_window;
+    }
     os << ", \"sim_time_us\": " << r.sim_time_us
        << ", \"wall_time_ms\": " << r.wall_time_ms
        << ", \"events_scheduled\": " << r.events_scheduled

@@ -71,6 +71,17 @@ struct BenchRecord {
   std::uint64_t collectives = 0;
   std::uint64_t event_pool_hits = 0;    ///< recycled event-slot/node takes
   std::uint64_t event_pool_misses = 0;  ///< fresh event-slot/node allocations
+  /// Segmented-pipeline fields (bench/bench_jumbo_bcast.cpp): the sliding
+  /// window and lane count the point ran with, plus the engine's chunk
+  /// counters (sim/sched_counters.hpp).  window = 0 everywhere else — the
+  /// fields below are then omitted from the JSON and old baselines stay
+  /// byte-identical.
+  int window = 0;
+  int lanes = 0;
+  std::uint64_t chunk_sent = 0;
+  std::uint64_t chunk_acked = 0;
+  std::uint64_t chunk_retried = 0;
+  std::uint64_t chunk_peak_window = 0;
 };
 
 /// Appends a record to the JSON dump (measure_* helpers call this for every

@@ -61,6 +61,12 @@ endif()
 if(DEFINED MIN_DRIVER_SPEEDUP)
   list(APPEND speedup_args --min-driver-speedup ${MIN_DRIVER_SPEEDUP})
 endif()
+# Segmented-pipeline gate: the pipelined (largest-window) run must beat the
+# lockstep one by this simulated-median ratio, and striping must strictly
+# help at window 1 (deterministic — never hw-gated).
+if(DEFINED MIN_PIPELINE_SPEEDUP)
+  list(APPEND speedup_args --min-pipeline-speedup ${MIN_PIPELINE_SPEEDUP})
+endif()
 
 execute_process(
   COMMAND ${PYTHON} ${DIFF_SCRIPT}

@@ -16,10 +16,12 @@
 /// rank hears every byte (N*b per round instead of b), so the win lives
 /// where per-message cost, not wire bytes, dominates — and the whole
 /// concatenated vector must fit one multicast datagram (registry
-/// predicate: fragment-offset ceiling and receiver socket buffer).
+/// predicate: the coll::kMaxMcastDatagram fragment-offset ceiling of
+/// coll/limits.hpp and the receiver socket buffer).
 
 #include <vector>
 
+#include "coll/limits.hpp"
 #include "common/bytes.hpp"
 #include "mpi/proc.hpp"
 

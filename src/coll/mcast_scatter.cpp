@@ -35,7 +35,7 @@ Buffer scatter_mcast_slice(Proc& p, const Comm& comm,
     // explicitly named algorithm may pass as 0 — so the real payload must be
     // re-checked here, or an oversized datagram silently never enqueues and
     // every receiver hangs.
-    MC_EXPECTS_MSG(total + kMcastFrameHeaderBytes <= kMaxMcastPayloadBytes,
+    MC_EXPECTS_MSG(total + kMcastFrameHeaderBytes <= kMaxMcastDatagram,
                    "concatenated scatter payload exceeds the multicast "
                    "datagram ceiling (use the point-to-point algorithm)");
     MC_EXPECTS_MSG(total + kMcastFrameHeaderBytes <= p.mcast_recv_buffer(),

@@ -13,18 +13,16 @@
 ///
 /// The whole concatenated payload must fit one simulated UDP datagram:
 /// the IP fragment offset field (16 bits of 8-byte units) caps datagrams
-/// near 512 KiB, which the registry predicate enforces.
+/// near 512 KiB (coll::kMaxMcastDatagram, coll/limits.hpp), which the
+/// registry predicate enforces.
 
 #include <vector>
 
+#include "coll/limits.hpp"
 #include "common/bytes.hpp"
 #include "mpi/proc.hpp"
 
 namespace mcmpi::coll {
-
-/// Conservative ceiling for one multicast datagram (IP fragment offsets
-/// wrap at 65535 * 8 bytes; leave headroom for the UDP/framing headers).
-inline constexpr std::size_t kMaxMcastPayloadBytes = 512000;
 
 /// Wire overhead of the chunk table for an N-rank scatter (u32 count +
 /// one u64 length per chunk).

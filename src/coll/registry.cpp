@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "coll/ack_mcast.hpp"
 #include "coll/mcast.hpp"
@@ -13,6 +14,7 @@
 #include "coll/mcast_scatter.hpp"
 #include "coll/mpich.hpp"
 #include "coll/scatter_allgather.hpp"
+#include "coll/segmented.hpp"
 #include "coll/sequencer.hpp"
 #include "common/assert.hpp"
 
@@ -77,11 +79,17 @@ bool fits_eager(const mpi::Comm& comm, std::size_t bytes) {
 /// per-proc overrides would make ranks resolve different algorithms and
 /// desynchronize the collective.
 bool fits_mcast_datagram(const mpi::Comm& comm, std::size_t payload) {
-  if (payload + kMcastFrameHeaderBytes > kMaxMcastPayloadBytes) {
+  if (payload + kMcastFrameHeaderBytes > kMaxMcastDatagram) {
     return false;
   }
   return comm.proc() == nullptr ||
          payload + kMcastFrameHeaderBytes <= comm.proc()->mcast_recv_buffer();
+}
+
+/// ~64 KiB chunks of the segmented pipeline for an M-byte stream — the
+/// per-chunk overheads (ack collection) scale with this.
+double chunk_count(std::size_t bytes) {
+  return std::floor(static_cast<double>(bytes) / 65536.0) + 1.0;
 }
 
 void register_builtins(Registry& r) {
@@ -100,7 +108,7 @@ void register_builtins(Registry& r) {
       .name = "mcast-binary",
       .op = CollOp::kBcast,
       .description = "binomial scout gather, then one IP multicast (Fig. 3)",
-      .applicable = always,
+      .applicable = fits_mcast_datagram,
       // (N-1) scouts in log2 N pipelined steps + the payload once.
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return log2n(ranks) + frames(bytes); },
@@ -110,7 +118,7 @@ void register_builtins(Registry& r) {
       .name = "mcast-linear",
       .op = CollOp::kBcast,
       .description = "linear scout gather, then one IP multicast (Fig. 4)",
-      .applicable = always,
+      .applicable = fits_mcast_datagram,
       // N-1 sequential scout receives at the root + the payload once.
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return (ranks - 1) + frames(bytes); },
@@ -121,7 +129,7 @@ void register_builtins(Registry& r) {
       .op = CollOp::kBcast,
       .description =
           "multicast first, resend until all ACK (ORNL/PVM negative result)",
-      .applicable = always,
+      .applicable = fits_mcast_datagram,
       // Payload once + N-1 serial ACKs; unready receivers cost whole-payload
       // retransmissions, folded in as a constant penalty.
       .cost_hint =
@@ -135,7 +143,7 @@ void register_builtins(Registry& r) {
       .op = CollOp::kBcast,
       .description =
           "sequencer-ordered multicast with NACK recovery (Orca-style)",
-      .applicable = always,
+      .applicable = fits_mcast_datagram,
       // One handoff to the sequencer + the payload once; no readiness
       // handshake (receiver lag is detected only by NACK timeout).
       .cost_hint = [](std::size_t bytes,
@@ -155,6 +163,25 @@ void register_builtins(Registry& r) {
       .bcast =
           [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root) {
             bcast_scatter_allgather(p, comm, buffer, root);
+          }});
+  r.add(CollAlgorithm{
+      .name = "mcast-segmented",
+      .op = CollOp::kBcast,
+      .description = "segmented pipelined multicast: chunked stream, sliding "
+                     "ack window, optional multi-lane striping — no payload "
+                     "size ceiling",
+      .applicable = always,
+      // Scout sync + the payload once on the wire, plus per-chunk ack
+      // collection — strictly dearer than a single-shot multicast below
+      // the datagram ceiling, the only multicast option above it.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            return log2n(ranks) + frames(bytes) +
+                   chunk_count(bytes) * (ranks - 1);
+          },
+      .bcast =
+          [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root) {
+            bcast_mcast_segmented(p, comm, buffer, root);
           }});
 
   // ------------------------------------------------------------- barrier
@@ -190,7 +217,13 @@ void register_builtins(Registry& r) {
         .op = CollOp::kAllreduce,
         .description = std::string("binomial reduce to rank 0, then ") +
                        stage + " broadcast",
-        .applicable = always,
+        // The broadcast stage's own limits apply: the multicast stages are
+        // single-shot and cannot carry a jumbo result vector.
+        .applicable =
+            [stage](const mpi::Comm& comm, std::size_t bytes) {
+              return std::string_view(stage) == "mpich" ||
+                     fits_mcast_datagram(comm, bytes);
+            },
         .cost_hint =
             [stage](std::size_t bytes, int ranks) {
               const double reduce = frames(bytes) * log2n(ranks);
@@ -231,7 +264,7 @@ void register_builtins(Registry& r) {
       .op = CollOp::kAllgather,
       .description =
           "each block multicast once, in rank order behind one barrier",
-      .applicable = always,
+      .applicable = fits_mcast_datagram,
       // Every block crosses the wire exactly once, serialized by rounds.
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return frames(bytes) * ranks + ranks; },
@@ -244,13 +277,31 @@ void register_builtins(Registry& r) {
       .op = CollOp::kAllgather,
       .description = "every rank multicasts at once — fastest pacing, may "
                      "drop blocks to receiver overrun (§2/§5 hazard)",
-      .applicable = always,
+      .applicable = fits_mcast_datagram,
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return frames(bytes) + 2.0 * ranks; },
       .lossy = true,
       .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
                       std::span<const std::uint8_t> data) {
         return allgather_mcast(p, comm, data, AllgatherMode::kBlast).blocks;
+      }});
+  r.add(CollAlgorithm{
+      .name = "mcast-segmented",
+      .op = CollOp::kAllgather,
+      .description = "N rank-ordered segmented pipelined multicast streams — "
+                     "no block size ceiling",
+      .applicable = always,
+      // N fully acked streams: each pays scout sync + its block once +
+      // per-chunk ack collection.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            return static_cast<double>(ranks) *
+                   (log2n(ranks) + frames(bytes) +
+                    chunk_count(bytes) * (ranks - 1));
+          },
+      .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
+                      std::span<const std::uint8_t> data) {
+        return allgather_mcast_segmented(p, comm, data);
       }});
 
   // -------------------------------------------------------------- reduce
@@ -355,6 +406,26 @@ void register_builtins(Registry& r) {
       .scatter = [](mpi::Proc& p, const mpi::Comm& comm,
                     const std::vector<Buffer>& chunks, int root) {
         return scatter_mcast_slice(p, comm, chunks, root);
+      }});
+  r.add(CollAlgorithm{
+      .name = "mcast-segmented",
+      .op = CollOp::kScatter,
+      .description = "segmented pipelined multicast of [table ‖ blocks]; "
+                     "receivers keep their range — no payload size ceiling",
+      .applicable = always,
+      // Scout sync + the concatenated stream once + per-chunk acks;
+      // `bytes` is the per-rank chunk size, as for mcast-slice.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            const std::size_t total =
+                bytes * static_cast<std::size_t>(std::max(ranks, 1)) +
+                scatter_table_bytes(ranks);
+            return log2n(ranks) + frames(total) +
+                   chunk_count(total) * (ranks - 1);
+          },
+      .scatter = [](mpi::Proc& p, const mpi::Comm& comm,
+                    const std::vector<Buffer>& chunks, int root) {
+        return scatter_mcast_segmented(p, comm, chunks, root);
       }});
 
   // ------------------------------------------------------------ alltoall

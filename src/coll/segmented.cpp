@@ -1,0 +1,461 @@
+#include "coll/segmented.hpp"
+
+#include <algorithm>
+
+#include "coll/limits.hpp"
+#include "coll/mcast.hpp"
+#include "coll/mcast_scatter.hpp"
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::coll {
+
+using mpi::Comm;
+using mpi::Proc;
+
+namespace {
+
+/// Full framing of a segmented datagram: the 16 B (context, root, seq)
+/// multicast header followed by the 32 B chunk sub-header.
+constexpr std::size_t kCombinedHeaderBytes =
+    kMcastFrameHeaderBytes + kSegHeaderBytes;
+
+struct SegmentedState {
+  SegmentedConfig config;
+};
+
+struct SegHeader {
+  std::uint32_t context = 0;
+  std::int32_t root_world = 0;
+  std::uint64_t seq = 0;      // per-lane channel sequence
+  std::uint32_t index = 0;    // chunk number, 0-based
+  std::uint32_t count = 0;    // total chunks of this stream
+  std::uint64_t offset = 0;   // chunk's first byte within the stream
+  std::uint64_t length = 0;   // chunk payload bytes
+  std::uint64_t total = 0;    // stream bytes (receivers size output from it)
+};
+
+Buffer seg_header_bytes(const SegHeader& h) {
+  Buffer out;
+  out.reserve(kCombinedHeaderBytes);
+  ByteWriter w(out);
+  w.u32(h.context);
+  w.i32(h.root_world);
+  w.u64(h.seq);
+  w.u32(h.index);
+  w.u32(h.count);
+  w.u64(h.offset);
+  w.u64(h.length);
+  w.u64(h.total);
+  return out;
+}
+
+SegHeader parse_seg_header(ByteReader& r) {
+  SegHeader h;
+  h.context = r.u32();
+  h.root_world = r.i32();
+  h.seq = r.u64();
+  h.index = r.u32();
+  h.count = r.u32();
+  h.offset = r.u64();
+  h.length = r.u64();
+  h.total = r.u64();
+  return h;
+}
+
+/// Appends to `out` the sub-spans of `stream` covering stream bytes
+/// [offset, offset + length) — the gather-framing of one chunk, with zero
+/// assembly copies regardless of how many source buffers compose it.
+void collect_chunk_parts(
+    std::span<const std::span<const std::uint8_t>> stream, std::size_t offset,
+    std::size_t length, std::vector<std::span<const std::uint8_t>>& out) {
+  std::size_t pos = 0;
+  for (const auto& part : stream) {
+    if (length == 0) {
+      break;
+    }
+    const std::size_t part_end = pos + part.size();
+    if (part_end > offset) {
+      const std::size_t lo = offset - pos;
+      const std::size_t n = std::min(part.size() - lo, length);
+      out.push_back(part.subspan(lo, n));
+      offset += n;
+      length -= n;
+    }
+    pos = part_end;
+  }
+  MC_ASSERT_MSG(length == 0, "chunk range exceeds the stream");
+}
+
+/// Root side: segments the logical stream (a concatenation of spans) into
+/// chunks, stripes them over the lanes, and keeps up to `window` chunks in
+/// flight per lane while collecting per-chunk acks and retransmitting on
+/// timeout.  Returns once every chunk is fully acknowledged.
+void segmented_send(Proc& p, const Comm& comm, int root,
+                    std::span<const std::span<const std::uint8_t>> stream,
+                    const SegmentedConfig& cfg) {
+  const int receivers = comm.size() - 1;
+  MC_EXPECTS(receivers > 0);
+  std::size_t total = 0;
+  for (const auto& part : stream) {
+    total += part.size();
+  }
+  const std::size_t chunk_bytes =
+      segmented_effective_chunk(cfg, p.mcast_recv_buffer());
+  const std::uint32_t n_chunks =
+      total == 0 ? 1
+                 : static_cast<std::uint32_t>((total + chunk_bytes - 1) /
+                                              chunk_bytes);
+  sim::SchedCounters& counters = p.self().shard().counters();
+
+  struct ChunkState {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+    std::uint64_t seq = 0;  // lane sequence of the FIRST transmission
+    int lane = 0;
+    int acks = 0;
+    bool retired = false;
+  };
+  std::vector<ChunkState> chunks(n_chunks);
+  for (std::uint32_t i = 0; i < n_chunks; ++i) {
+    chunks[i].offset = static_cast<std::size_t>(i) * chunk_bytes;
+    chunks[i].length = std::min(chunk_bytes, total - chunks[i].offset);
+    chunks[i].lane = static_cast<int>(i % static_cast<std::uint32_t>(cfg.lanes));
+  }
+
+  std::vector<int> in_flight(static_cast<std::size_t>(cfg.lanes), 0);
+  std::uint32_t sent = 0;
+  std::uint32_t retired_count = 0;
+  std::uint64_t live = 0;  // sent, not yet retired — across all lanes
+  const std::uint64_t total_acks =
+      static_cast<std::uint64_t>(n_chunks) * static_cast<std::uint64_t>(receivers);
+  std::uint64_t acks_consumed = 0;
+  std::shared_ptr<mpi::RecvRequest> request;
+
+  std::vector<std::span<const std::uint8_t>> parts;
+  const auto transmit = [&](std::uint32_t i, bool first) {
+    ChunkState& c = chunks[i];
+    mpi::McastChannel& ch = p.mcast_channel(comm, c.lane);
+    if (first) {
+      c.seq = ch.expected_seq();
+    }
+    // A retransmission reuses the original lane sequence, so receivers
+    // that already consumed the chunk skip it as a stale duplicate.
+    const SegHeader h{comm.context(), comm.world_rank_of(root), c.seq,
+                      i,              n_chunks,                  c.offset,
+                      c.length,       total};
+    const Buffer header = seg_header_bytes(h);
+    p.self().delay(p.costs().send_overhead(
+        static_cast<std::int64_t>(c.length), mpi::CostTier::kMcastData));
+    parts.clear();
+    parts.push_back(header);
+    collect_chunk_parts(stream, c.offset, c.length, parts);
+    ch.send_parts(parts, net::FrameKind::kData);
+    if (first) {
+      ch.advance_seq();
+      ++counters.chunk_sent;
+      ++in_flight[static_cast<std::size_t>(c.lane)];
+      ++live;
+      counters.chunk_peak_window = std::max(counters.chunk_peak_window, live);
+    } else {
+      ++counters.chunk_retried;
+    }
+  };
+
+  const auto consume_one_ack = [&] {
+    for (;;) {
+      const auto ack = p.wait_until(
+          request, p.self().now() + cfg.retransmit_timeout, nullptr,
+          mpi::CostTier::kRaw);
+      if (ack.has_value()) {
+        ByteReader r(*ack);
+        const std::uint32_t index = r.u32();
+        MC_ASSERT_MSG(index < n_chunks, "ack for an unknown chunk");
+        ChunkState& c = chunks[index];
+        MC_ASSERT_MSG(!c.retired, "ack for an already-retired chunk");
+        ++counters.chunk_acked;
+        ++acks_consumed;
+        if (++c.acks == receivers) {
+          c.retired = true;
+          ++retired_count;
+          --in_flight[static_cast<std::size_t>(c.lane)];
+          --live;
+        }
+        if (acks_consumed < total_acks) {
+          request = p.irecv(comm, mpi::kAnySource, mpi::kTagChunkAck);
+        }
+        return;
+      }
+      // Timeout: somebody missed a chunk (drop or slow drain) — recover the
+      // oldest outstanding one and keep waiting.
+      for (std::uint32_t i = 0; i < sent; ++i) {
+        if (!chunks[i].retired) {
+          transmit(i, false);
+          break;
+        }
+      }
+    }
+  };
+
+  for (std::uint32_t i = 0; i < n_chunks; ++i) {
+    // Sliding window: stall only when THIS chunk's lane is saturated; acks
+    // consumed here retire earlier chunks while later ones are in flight.
+    while (in_flight[static_cast<std::size_t>(chunks[i].lane)] >= cfg.window) {
+      consume_one_ack();
+    }
+    transmit(i, true);
+    ++sent;
+    if (request == nullptr) {
+      request = p.irecv(comm, mpi::kAnySource, mpi::kTagChunkAck);
+    }
+  }
+  while (retired_count < n_chunks) {
+    consume_one_ack();
+  }
+}
+
+/// Receiver side: consumes chunks 0..count-1 in index order (chunk k on
+/// lane k mod lanes), hands each to `sink`, and acks it to the root over
+/// the raw path.  The stream geometry is learned from the first chunk.
+void segmented_recv(
+    Proc& p, const Comm& comm, int root, const SegmentedConfig& cfg,
+    const std::function<void(const SegHeader&, PayloadRef)>& sink) {
+  std::uint32_t n_chunks = 1;  // corrected by the first header
+  for (std::uint32_t k = 0; k < n_chunks; ++k) {
+    const int lane = static_cast<int>(k % static_cast<std::uint32_t>(cfg.lanes));
+    mpi::McastChannel& ch = p.mcast_channel(comm, lane);
+    for (;;) {
+      auto [d, charged] = ch.socket().recv_charged(
+          p.self(), [&p, &ch](const inet::UdpDatagram& dg) -> SimTime {
+            ByteReader peek(dg.data);
+            (void)peek.u32();  // context
+            (void)peek.i32();  // root
+            if (peek.u64() < ch.expected_seq()) {
+              return kTimeZero;  // stale duplicate: skipped, never charged
+            }
+            return p.costs().recv_overhead(
+                static_cast<std::int64_t>(dg.data.size() -
+                                          kMcastFrameHeaderBytes),
+                mpi::CostTier::kMcastData);
+          });
+      ByteReader r(d.data);
+      const SegHeader h = parse_seg_header(r);
+      if (h.seq < ch.expected_seq()) {
+        continue;  // stale duplicate (retransmission of a consumed chunk)
+      }
+      MC_ASSERT_MSG(h.seq == ch.expected_seq(),
+                    "segmented chunk out of lane order (unsafe program?)");
+      MC_ASSERT_MSG(h.context == comm.context(), "context mismatch");
+      MC_ASSERT_MSG(h.root_world == comm.world_rank_of(root),
+                    "segmented stream root mismatch");
+      MC_ASSERT_MSG(h.index == k, "chunk index out of stream order");
+      MC_ASSERT_MSG(h.count >= 1 && h.index < h.count, "bad chunk count");
+      n_chunks = h.count;
+      PayloadRef body = d.data.slice(r.position());
+      MC_ASSERT_MSG(body.size() == h.length, "chunk length mismatch");
+      if (!charged) {
+        p.self().delay(p.costs().recv_overhead(
+            static_cast<std::int64_t>(kSegHeaderBytes + h.length),
+            mpi::CostTier::kMcastData));
+      }
+      sink(h, std::move(body));
+      ch.advance_seq();
+      // Per-chunk ack over the raw path (the ORNL discipline of
+      // ack_mcast.cpp, applied per chunk instead of per broadcast).
+      Buffer ack;
+      ByteWriter w(ack);
+      w.u32(h.index);
+      p.send(comm, root, mpi::kTagChunkAck, ack, net::FrameKind::kControl,
+             mpi::CostTier::kRaw);
+      break;
+    }
+  }
+}
+
+/// Shared preamble of every segmented collective: every rank creates ALL
+/// lane channels (readiness on every group it may hear), then announces
+/// readiness with the binomial scout gather toward the stream root.
+void segmented_sync(Proc& p, const Comm& comm, int root,
+                    const SegmentedConfig& cfg) {
+  for (int lane = 0; lane < cfg.lanes; ++lane) {
+    (void)p.mcast_channel(comm, lane);
+  }
+  scout_gather_binary(p, comm, root);
+}
+
+}  // namespace
+
+void set_segmented_config(Proc& p, const Comm& comm,
+                          const SegmentedConfig& config) {
+  MC_EXPECTS_MSG(config.chunk_bytes >= 1, "chunk size must be positive");
+  MC_EXPECTS_MSG(config.window >= 1, "window must be at least 1");
+  MC_EXPECTS_MSG(
+      config.lanes >= 1 && config.lanes <= mpi::CommInfo::kMaxMcastLanes,
+      "lane count out of range");
+  p.coll_state<SegmentedState>(comm).config = config;
+}
+
+const SegmentedConfig& segmented_config(Proc& p, const Comm& comm) {
+  return p.coll_state<SegmentedState>(comm).config;
+}
+
+std::size_t segmented_effective_chunk(const SegmentedConfig& config,
+                                      std::size_t rcvbuf_bytes) {
+  std::size_t chunk = config.chunk_bytes;
+  // Framed chunk must clear the fragment-offset datagram ceiling…
+  chunk = std::min(chunk, kMaxMcastDatagram - kCombinedHeaderBytes);
+  // …and a full window of framed chunks must fit one lane's receive
+  // buffer (the enqueue limit counts framing + payload), or the pipeline
+  // would overrun the very buffer it is pacing.
+  const std::size_t window_share =
+      rcvbuf_bytes / static_cast<std::size_t>(config.window);
+  MC_EXPECTS_MSG(window_share > kCombinedHeaderBytes,
+                 "receive buffer too small for the window");
+  chunk = std::min(chunk, window_share - kCombinedHeaderBytes);
+  return std::max<std::size_t>(chunk, 1);
+}
+
+void bcast_mcast_segmented(Proc& p, const Comm& comm, Buffer& buffer,
+                           int root) {
+  MC_EXPECTS(root >= 0 && root < comm.size());
+  if (comm.size() == 1) {
+    return;
+  }
+  const SegmentedConfig cfg = segmented_config(p, comm);
+  segmented_sync(p, comm, root, cfg);
+  if (comm.rank() == root) {
+    const std::span<const std::uint8_t> stream[] = {buffer};
+    segmented_send(p, comm, root, stream, cfg);
+    return;
+  }
+  bool sized = false;
+  segmented_recv(p, comm, root, cfg,
+                 [&](const SegHeader& h, PayloadRef body) {
+                   if (!sized) {
+                     buffer.resize(h.total);
+                     sized = true;
+                   }
+                   // The delivery copy: straight into the chunk's final
+                   // place in the output — no reassembly staging buffer.
+                   body.copy_to(std::span(buffer).subspan(
+                       static_cast<std::size_t>(h.offset), h.length));
+                 });
+}
+
+std::vector<Buffer> allgather_mcast_segmented(
+    Proc& p, const Comm& comm, std::span<const std::uint8_t> data) {
+  const int size = comm.size();
+  std::vector<Buffer> blocks(static_cast<std::size_t>(size));
+  blocks[static_cast<std::size_t>(comm.rank())].assign(data.begin(),
+                                                       data.end());
+  if (size == 1) {
+    return blocks;
+  }
+  const SegmentedConfig cfg = segmented_config(p, comm);
+  // N rounds in rank order, each a fully acked segmented stream: round
+  // r+1's scouts cannot precede round r's final acks, so rounds never
+  // overrun a lagging receiver (the lockstep guarantee, kept per stream).
+  for (int r = 0; r < size; ++r) {
+    segmented_sync(p, comm, r, cfg);
+    if (comm.rank() == r) {
+      const std::span<const std::uint8_t> stream[] = {data};
+      segmented_send(p, comm, r, stream, cfg);
+      continue;
+    }
+    Buffer& block = blocks[static_cast<std::size_t>(r)];
+    bool sized = false;
+    segmented_recv(p, comm, r, cfg,
+                   [&](const SegHeader& h, PayloadRef body) {
+                     if (!sized) {
+                       block.resize(h.total);
+                       sized = true;
+                     }
+                     body.copy_to(std::span(block).subspan(
+                         static_cast<std::size_t>(h.offset), h.length));
+                   });
+  }
+  return blocks;
+}
+
+Buffer scatter_mcast_segmented(Proc& p, const Comm& comm,
+                               const std::vector<Buffer>& chunks, int root) {
+  MC_EXPECTS(root >= 0 && root < comm.size());
+  const int size = comm.size();
+  if (size == 1) {
+    MC_EXPECTS(chunks.size() == 1);
+    return chunks[0];
+  }
+  const SegmentedConfig cfg = segmented_config(p, comm);
+  segmented_sync(p, comm, root, cfg);
+  const std::size_t table_bytes = scatter_table_bytes(size);
+
+  if (comm.rank() == root) {
+    MC_EXPECTS_MSG(chunks.size() == static_cast<std::size_t>(size),
+                   "scatter needs comm.size() chunks at the root");
+    Buffer table;
+    table.reserve(table_bytes);
+    ByteWriter w(table);
+    w.u32(static_cast<std::uint32_t>(size));
+    for (const Buffer& b : chunks) {
+      w.u64(b.size());
+    }
+    // Receivers locate their range from the table, so it must land whole
+    // in the first chunk of the stream.
+    MC_EXPECTS_MSG(
+        segmented_effective_chunk(cfg, p.mcast_recv_buffer()) >= table.size(),
+        "chunk size below the scatter table — raise chunk_bytes");
+    std::vector<std::span<const std::uint8_t>> stream;
+    stream.reserve(chunks.size() + 1);
+    stream.push_back(table);
+    for (const Buffer& b : chunks) {
+      stream.push_back(b);
+    }
+    segmented_send(p, comm, root, stream, cfg);
+    return chunks[static_cast<std::size_t>(root)];
+  }
+
+  Buffer table(table_bytes);
+  Buffer own;
+  bool located = false;
+  std::size_t my_begin = 0;
+  std::size_t my_end = 0;
+  segmented_recv(p, comm, root, cfg, [&](const SegHeader& h, PayloadRef body) {
+    const std::size_t offset = static_cast<std::size_t>(h.offset);
+    if (offset < table_bytes) {
+      const std::size_t n =
+          std::min<std::size_t>(table_bytes - offset, h.length);
+      body.slice(0, n).copy_to(std::span(table).subspan(offset, n));
+    }
+    if (!located) {
+      // The root guarantees the table fits chunk 0 (asserted above), so
+      // the first delivery locates this rank's range.
+      MC_ASSERT_MSG(offset + h.length >= table_bytes,
+                    "first chunk did not cover the scatter table");
+      ByteReader r(table);
+      MC_ASSERT(r.u32() == static_cast<std::uint32_t>(size));
+      std::size_t off = table_bytes;
+      for (int i = 0; i < size; ++i) {
+        const std::size_t len = static_cast<std::size_t>(r.u64());
+        if (i == comm.rank()) {
+          my_begin = off;
+          my_end = off + len;
+        }
+        off += len;
+      }
+      MC_ASSERT_MSG(off == h.total, "scatter table does not match the stream");
+      own.resize(my_end - my_begin);
+      located = true;
+    }
+    // Keep only the overlap with this rank's block — everything else of
+    // the shared stream is discarded without a copy.
+    const std::size_t lo = std::max(offset, my_begin);
+    const std::size_t hi = std::min(offset + h.length, my_end);
+    if (lo < hi) {
+      body.slice(lo - offset, hi - lo)
+          .copy_to(std::span(own).subspan(lo - my_begin, hi - lo));
+    }
+  });
+  return own;
+}
+
+}  // namespace mcmpi::coll

@@ -58,19 +58,25 @@ TuningTable TuningTable::defaults() {
   // multicast variants' predicates reject (rendezvous-sized blocks, the
   // datagram ceiling) — an inapplicable tuned pick falls through to the
   // next matching rule.
+  // The segmented pipeline is the trailing multicast rule for bcast /
+  // allgather / scatter: the single-shot variants' predicates reject
+  // jumbo payloads (the ~512 KiB datagram ceiling, the receive buffer),
+  // and the fall-through lands on mcast-segmented instead of dropping
+  // back to point-to-point — multicast now serves every payload size.
   return parse(
       "bcast,*,2,mpich; bcast,1024,*,mpich; bcast,*,*,mcast-binary;"
+      "bcast,*,*,mcast-segmented;"
       "barrier,*,*,mcast;"
       "allreduce,*,2,mpich; allreduce,1024,*,mpich;"
-      "allreduce,*,*,mcast-binary;"
+      "allreduce,*,*,mcast-binary; allreduce,*,*,mpich;"
       "allgather,*,2,ring; allgather,2048,*,ring;"
-      "allgather,*,*,mcast-lockstep;"
+      "allgather,*,*,mcast-lockstep; allgather,*,*,mcast-segmented;"
       "reduce,*,2,mpich; reduce,1024,*,mpich;"
       "reduce,*,*,mcast-scout; reduce,*,*,mpich;"
       "gather,*,2,mpich; gather,1024,*,mpich;"
       "gather,*,*,scout-combining; gather,*,*,mpich;"
       "scatter,*,2,mpich; scatter,1024,*,mpich;"
-      "scatter,*,*,mcast-slice; scatter,*,*,mpich;"
+      "scatter,*,*,mcast-slice; scatter,*,*,mcast-segmented;"
       "scan,*,2,mpich; scan,1024,*,mpich; scan,*,*,binomial;"
       "alltoall,*,2,mpich; alltoall,2048,*,mpich;"
       "alltoall,*,*,mcast-rr; alltoall,*,*,mpich");

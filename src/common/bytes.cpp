@@ -261,6 +261,16 @@ Buffer PayloadRef::to_buffer() const {
   return Buffer(data_, data_ + size_);
 }
 
+void PayloadRef::copy_to(std::span<std::uint8_t> dst) const {
+  MC_EXPECTS_MSG(dst.size() == size_, "copy_to() destination size mismatch");
+  PayloadCounterCells& c = payload_cells();
+  c.byte_copies.fetch_add(1, kRelaxed);
+  c.bytes_copied.fetch_add(size_, kRelaxed);
+  if (size_ > 0) {
+    std::memcpy(dst.data(), data_, size_);
+  }
+}
+
 Buffer pattern_payload(std::uint64_t seed, std::size_t size) {
   Buffer out(size);
   std::uint64_t state = seed ^ 0xA5A5A5A55A5A5A5AULL;

@@ -139,6 +139,13 @@ class PayloadRef {
   /// Copies the viewed bytes into a fresh private Buffer.
   Buffer to_buffer() const;
 
+  /// Copies the viewed bytes into caller-owned storage (`dst.size()` must
+  /// equal size()).  This is the scatter-style delivery copy for code that
+  /// lands a payload at an OFFSET of a pre-sized user buffer (segmented
+  /// collectives reassembling chunks in place) — counted like to_buffer(),
+  /// so the copy stays visible to the zero-copy accounting.
+  void copy_to(std::span<std::uint8_t> dst) const;
+
  private:
   PayloadRef(std::shared_ptr<const Buffer> owner, const std::uint8_t* data,
              std::size_t size)

@@ -37,24 +37,36 @@ void UdpStack::unregister(UdpSocket& socket) {
 
 void UdpStack::send_datagram(std::uint16_t src_port, IpAddr dst,
                              std::uint16_t dst_port,
-                             std::span<const std::uint8_t> head,
-                             std::span<const std::uint8_t> body,
+                             std::span<const std::span<const std::uint8_t>> parts,
                              net::FrameKind kind) {
   // The one payload copy of the send path: user/transport bytes become the
   // wire datagram.  Everything below (fragmentation, fan-out, reassembly,
   // per-socket delivery) shares this allocation by reference.
-  const std::size_t payload_bytes = head.size() + body.size();
-  PooledBuffer packet = acquire_payload_buffer(payload_bytes + kHeaderBytes);
+  std::size_t payload_bytes = 0;
+  for (const auto& part : parts) {
+    payload_bytes += part.size();
+  }
+  const std::size_t total_bytes = payload_bytes + kHeaderBytes;
+  PooledBuffer packet = acquire_payload_buffer(total_bytes);
   ByteWriter w(packet.bytes);
   w.u16(src_port);
   w.u16(dst_port);
-  // The 16-bit wire field wraps for jumbo simulated datagrams (> 64 KiB);
-  // real UDP would force app-level segmentation, but the simulator permits
-  // jumbo datagrams so large-message scenarios exercise IP fragmentation.
-  w.u16(static_cast<std::uint16_t>((payload_bytes + kHeaderBytes) & 0xFFFF));
+  // The 16-bit wire field cannot represent a jumbo simulated datagram
+  // (> 64 KiB); real UDP would force app-level segmentation, but the
+  // simulator permits jumbo datagrams so large-message scenarios exercise
+  // IP fragmentation.  Rather than letting the field silently wrap, write
+  // the 0 jumbogram marker (RFC 2675 discipline): receivers recover the
+  // true length from the datagram itself and never read the wrapped value.
+  if (total_bytes > 0xFFFF) {
+    w.u16(0);
+    ++stats_.jumbo_datagrams;
+  } else {
+    w.u16(static_cast<std::uint16_t>(total_bytes));
+  }
   w.u16(0);  // checksum unused: link layer is error-free in this model
-  w.bytes(head);
-  w.bytes(body);
+  for (const auto& part : parts) {
+    w.bytes(part);
+  }
   ++stats_.datagrams_sent;
   ip_.send(dst, kProtocol, PayloadRef::adopt(std::move(packet)), kind);
 }
@@ -65,7 +77,15 @@ void UdpStack::on_packet(const IpPacketMeta& meta, PayloadRef data) {
   const std::uint16_t dst_port = r.u16();
   const std::uint16_t length = r.u16();
   (void)r.u16();  // checksum
-  MC_ASSERT_MSG(length == (data.size() & 0xFFFF), "UDP length mismatch");
+  if (length == 0) {
+    // Jumbogram marker: the true length exceeds the 16-bit field.  The
+    // wrapped value is never reconstructed or read back — the datagram's
+    // own extent is authoritative.
+    MC_ASSERT_MSG(data.size() > 0xFFFF,
+                  "UDP jumbogram marker on a non-jumbo datagram");
+  } else {
+    MC_ASSERT_MSG(length == data.size(), "UDP length mismatch");
+  }
   // Zero-copy demux: the payload is the datagram view past the 8 B header.
   PayloadRef payload = data.slice(r.position());
 
@@ -120,14 +140,22 @@ void UdpSocket::set_handler(std::function<void(UdpDatagram)> handler) {
 void UdpSocket::sendto(IpAddr dst, std::uint16_t dst_port,
                        std::span<const std::uint8_t> data,
                        net::FrameKind kind) {
-  stack_.send_datagram(port_, dst, dst_port, {}, data, kind);
+  const std::span<const std::uint8_t> parts[] = {data};
+  stack_.send_datagram(port_, dst, dst_port, parts, kind);
 }
 
 void UdpSocket::sendto(IpAddr dst, std::uint16_t dst_port,
                        std::span<const std::uint8_t> header,
                        std::span<const std::uint8_t> body,
                        net::FrameKind kind) {
-  stack_.send_datagram(port_, dst, dst_port, header, body, kind);
+  const std::span<const std::uint8_t> parts[] = {header, body};
+  stack_.send_datagram(port_, dst, dst_port, parts, kind);
+}
+
+void UdpSocket::sendto_parts(IpAddr dst, std::uint16_t dst_port,
+                             std::span<const std::span<const std::uint8_t>> parts,
+                             net::FrameKind kind) {
+  stack_.send_datagram(port_, dst, dst_port, parts, kind);
 }
 
 void UdpSocket::enqueue(UdpDatagram datagram) {

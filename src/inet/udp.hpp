@@ -48,6 +48,11 @@ struct UdpStats {
   std::uint64_t datagrams_delivered = 0;
   std::uint64_t no_socket_drops = 0;     // no socket / no member on port
   std::uint64_t buffer_full_drops = 0;   // receiver overrun
+  /// Simulated jumbo datagrams (> 64 KiB): the 16-bit wire length field
+  /// cannot carry the true size, so it is written as the 0 jumbogram
+  /// marker and the receive path recovers the length from the datagram
+  /// itself (never from the wrapped field).
+  std::uint64_t jumbo_datagrams = 0;
 };
 
 class UdpSocket;
@@ -75,13 +80,13 @@ class UdpStack {
   friend class UdpSocket;
   void on_packet(const IpPacketMeta& meta, PayloadRef data);
   void unregister(UdpSocket& socket);
-  /// Assembles [UDP header][head][body] into ONE wire buffer — the single
-  /// "kernel copy" of the payload pipeline.  `head` lets transport layers
-  /// prepend their own header without re-buffering the body first.
+  /// Assembles [UDP header][parts...] into ONE wire buffer — the single
+  /// "kernel copy" of the payload pipeline.  The parts list lets transport
+  /// layers prepend headers and interleave tables with caller-owned data
+  /// slices (scatter/gather framing) without re-buffering anything first.
   void send_datagram(std::uint16_t src_port, IpAddr dst,
                      std::uint16_t dst_port,
-                     std::span<const std::uint8_t> head,
-                     std::span<const std::uint8_t> body,
+                     std::span<const std::span<const std::uint8_t>> parts,
                      net::FrameKind kind);
 
   IpStack& ip_;
@@ -119,6 +124,13 @@ class UdpSocket {
               std::span<const std::uint8_t> header,
               std::span<const std::uint8_t> body,
               net::FrameKind kind = net::FrameKind::kData);
+
+  /// General gather-send: the wire datagram is [parts[0]][parts[1]]... —
+  /// one kernel copy no matter how many caller-side pieces compose it
+  /// (segmented collectives frame [header ‖ table ‖ chunk slices] this way).
+  void sendto_parts(IpAddr dst, std::uint16_t dst_port,
+                    std::span<const std::span<const std::uint8_t>> parts,
+                    net::FrameKind kind = net::FrameKind::kData);
 
   /// Blocking receive; parks the calling process until a datagram arrives.
   UdpDatagram recv(sim::SimProcess& self);

@@ -23,11 +23,15 @@ namespace mcmpi::mpi {
 
 class McastChannel {
  public:
+  /// `lane` selects one of the communicator's striped multicast groups
+  /// (CommInfo::mcast_port(lane)); lane 0 is the classic single-group
+  /// identity every non-striped collective uses.
   McastChannel(inet::UdpStack& udp, const CommInfo& info,
-               std::size_t rcvbuf_bytes);
+               std::size_t rcvbuf_bytes, int lane = 0);
 
   inet::IpAddr group() const { return group_; }
   std::uint16_t port() const { return port_; }
+  int lane() const { return lane_; }
   inet::UdpSocket& socket() { return *socket_; }
 
   /// Multicasts `payload` to the group.  The network models do not loop a
@@ -47,6 +51,14 @@ class McastChannel {
     socket_->sendto(group_, port_, header, payload, kind);
   }
 
+  /// Scatter/gather variant: the wire datagram is the concatenation of
+  /// `parts` — lets segmented collectives frame [header ‖ table ‖ chunk
+  /// slices] with zero caller-side assembly copies.
+  void send_parts(std::span<const std::span<const std::uint8_t>> parts,
+                  net::FrameKind kind) {
+    socket_->sendto_parts(group_, port_, parts, kind);
+  }
+
   /// Sequence checks for the §4 ordering property.
   std::uint64_t expected_seq() const { return expected_seq_; }
   void advance_seq() { ++expected_seq_; }
@@ -54,6 +66,7 @@ class McastChannel {
  private:
   inet::IpAddr group_;
   std::uint16_t port_;
+  int lane_ = 0;
   std::unique_ptr<inet::UdpSocket> socket_;
   std::uint64_t expected_seq_ = 0;
 };

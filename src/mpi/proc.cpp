@@ -271,12 +271,12 @@ Comm Proc::split(const Comm& comm, int color, int key) {
   return Comm(children.at(color), world_rank_, this);
 }
 
-McastChannel& Proc::mcast_channel(const Comm& comm) {
+McastChannel& Proc::mcast_channel(const Comm& comm, int lane) {
   MC_EXPECTS(comm.valid());
-  auto [it, inserted] = channels_.try_emplace(comm.context());
+  auto [it, inserted] = channels_.try_emplace({comm.context(), lane});
   if (inserted) {
-    it->second =
-        std::make_unique<McastChannel>(udp_, *comm.info(), mcast_rcvbuf_);
+    it->second = std::make_unique<McastChannel>(udp_, *comm.info(),
+                                                mcast_rcvbuf_, lane);
   }
   return *it->second;
 }

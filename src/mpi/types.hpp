@@ -26,6 +26,7 @@ inline constexpr Tag kTagSequencer = -105;  // Orca-style sequencer protocol
 inline constexpr Tag kTagSeqNack = -106;    // sequencer retransmission NACKs
 inline constexpr Tag kTagReducePartial = -107;  // mcast-scout reduce partials
 inline constexpr Tag kTagGatherBlock = -108;    // scout-combining gather blocks
+inline constexpr Tag kTagChunkAck = -109;       // segmented-pipeline chunk acks
 
 /// Returned by receive operations.
 struct Status {

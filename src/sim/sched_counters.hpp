@@ -4,6 +4,7 @@
 /// network layer (net/counters.hpp) and the benches can re-export it next to
 /// the frame and payload counters without pulling in the whole simulator.
 
+#include <algorithm>
 #include <cstdint>
 
 namespace mcmpi::sim {
@@ -36,8 +37,21 @@ struct SchedCounters {
   std::uint64_t event_pool_hits = 0;
   std::uint64_t event_pool_misses = 0;
 
+  /// Segmented-collective pipeline instrumentation (coll/segmented.cpp).
+  /// chunk_sent counts first transmissions, chunk_retried the
+  /// timeout-driven re-multicasts, chunk_acked every per-chunk ack the
+  /// root consumed; chunk_peak_window is the high-water mark of
+  /// simultaneously in-flight (sent, not yet fully acked) chunks — the
+  /// direct evidence that pipelining actually overlapped transmissions
+  /// (lockstep pins it at 1).
+  std::uint64_t chunk_sent = 0;
+  std::uint64_t chunk_acked = 0;
+  std::uint64_t chunk_retried = 0;
+  std::uint64_t chunk_peak_window = 0;
+
   /// Fieldwise accumulate — how the sharded simulator merges its per-shard
-  /// counters into the figures the benches record.
+  /// counters into the figures the benches record.  chunk_peak_window is a
+  /// high-water mark, so it merges by max, not sum.
   SchedCounters& operator+=(const SchedCounters& other) {
     handoffs += other.handoffs;
     coalesced_delays += other.coalesced_delays;
@@ -45,6 +59,10 @@ struct SchedCounters {
     events_executed += other.events_executed;
     event_pool_hits += other.event_pool_hits;
     event_pool_misses += other.event_pool_misses;
+    chunk_sent += other.chunk_sent;
+    chunk_acked += other.chunk_acked;
+    chunk_retried += other.chunk_retried;
+    chunk_peak_window = std::max(chunk_peak_window, other.chunk_peak_window);
     return *this;
   }
 };

@@ -222,6 +222,10 @@ class Shard {
     merged.event_pool_misses += events_.pool_misses();
     return merged;
   }
+  /// Mutable access for instrumented protocol code (segmented collectives
+  /// bump their chunk_* counters here).  Shard state is owner-execution-only,
+  /// so a process may write through this during its own run without racing.
+  SchedCounters& counters() { return sched_; }
   std::uint64_t events_scheduled() const { return events_.total_scheduled(); }
   std::size_t live_processes() const { return live_processes_; }
   /// This shard's payload buffer pool; null unless the simulator was

@@ -371,10 +371,15 @@ TEST(TuningTable, DefaultsEncodeThePaperCrossovers) {
     EXPECT_EQ(coll.resolve(CollOp::kAlltoall, 16 * 1024), "mcast-rr");
     EXPECT_EQ(coll.resolve(CollOp::kAlltoall, 512), "mpich");
     // Payloads the multicast variants' predicates reject fall through to
-    // the trailing point-to-point rules: a 128 KiB reduce block exceeds the
-    // eager path, a 64 KiB x 9 rank scatter exceeds the datagram ceiling.
+    // the trailing rules: a 128 KiB reduce block exceeds the eager path
+    // (point-to-point tail), while a 64 KiB x 9 rank scatter exceeds the
+    // datagram ceiling and lands on the segmented pipeline — multicast
+    // now serves every payload size for bcast/allgather/scatter.
     EXPECT_EQ(coll.resolve(CollOp::kReduce, 128 * 1024), "mpich");
-    EXPECT_EQ(coll.resolve(CollOp::kScatter, 64 * 1024), "mpich");
+    EXPECT_EQ(coll.resolve(CollOp::kScatter, 64 * 1024), "mcast-segmented");
+    EXPECT_EQ(coll.resolve(CollOp::kBcast, 1 << 20), "mcast-segmented");
+    EXPECT_EQ(coll.resolve(CollOp::kAllgather, 1 << 20), "mcast-segmented");
+    EXPECT_EQ(coll.resolve(CollOp::kAllreduce, 1 << 20), "mpich");
     // Explicit names pass through untouched; typos throw.
     EXPECT_EQ(coll.resolve(CollOp::kBcast, 0, "sequencer"), "sequencer");
     EXPECT_THROW((void)coll.resolve(CollOp::kBcast, 0, "typo"),

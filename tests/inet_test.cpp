@@ -3,6 +3,9 @@
 // unreliability model), IGMP membership and reliable-transport recovery.
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <span>
+
 #include "inet/ip.hpp"
 #include "inet/ip_addr.hpp"
 #include "inet/rdp.hpp"
@@ -221,6 +224,51 @@ TEST(Udp, ReceiverOverrunDropsWhenBufferFull) {
   EXPECT_EQ(rx->queued_datagrams(), 2u);
   EXPECT_EQ(rx->dropped_on_full(), 3u);
   EXPECT_EQ(fx.hosts[1].udp->stats().buffer_full_drops, 3u);
+}
+
+TEST(Udp, JumboDatagramLengthSurvivesThe16BitWireField) {
+  // The wire header's 16-bit length field wraps past 64 KiB.  The stack
+  // writes the 0 jumbogram marker instead and recovers the true size from
+  // the datagram itself — the wrapped value is never read back.  Probe
+  // the boundary exactly: totals of 65535 (max representable), 65536 and
+  // 65537 bytes (payload + 8 B header), then a multi-fragment jumbo.
+  const std::size_t payloads[] = {65527, 65528, 65529, 300000};
+  const std::uint64_t expect_jumbo[] = {0, 1, 1, 1};
+  for (std::size_t i = 0; i < std::size(payloads); ++i) {
+    StackFixture fx(2);
+    auto rx = fx.hosts[1].udp->open(7010);
+    rx->set_recv_buffer(1 << 20);
+    auto tx = fx.hosts[0].udp->open(0);
+    tx->sendto(IpAddr::host(1), 7010,
+               PayloadRef(pattern_payload(5, payloads[i])));
+    fx.sim.run();
+    EXPECT_EQ(fx.hosts[0].udp->stats().jumbo_datagrams, expect_jumbo[i])
+        << "payload " << payloads[i];
+    auto got = rx->try_recv();
+    ASSERT_TRUE(got.has_value()) << "payload " << payloads[i];
+    EXPECT_EQ(got->data.size(), payloads[i]);
+    EXPECT_TRUE(check_pattern(5, got->data)) << "payload " << payloads[i];
+  }
+}
+
+TEST(Udp, GatherSendConcatenatesPartsIntoOneDatagram) {
+  // sendto_parts frames a scattered logical payload [a ‖ b ‖ c] into a
+  // single wire datagram without the caller assembling it first — the
+  // segmented collectives' zero-copy send path.
+  StackFixture fx(2);
+  auto rx = fx.hosts[1].udp->open(7011);
+  auto tx = fx.hosts[0].udp->open(0);
+  const Buffer whole = pattern_payload(6, 5000);
+  const std::span<const std::uint8_t> all(whole);
+  const std::span<const std::uint8_t> parts[] = {
+      all.subspan(0, 100), all.subspan(100, 3000), all.subspan(3100)};
+  tx->sendto_parts(IpAddr::host(1), 7011, parts);
+  fx.sim.run();
+  EXPECT_EQ(fx.hosts[0].udp->stats().datagrams_sent, 1u);
+  auto got = rx->try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data.size(), 5000u);
+  EXPECT_TRUE(check_pattern(6, got->data));
 }
 
 TEST(Udp, BlockingRecvWakesOnArrival) {

@@ -41,6 +41,18 @@ Throughput-mode records (bench/throughput_mixed.cpp) additionally carry a
   * records whose algo is "pooled" must show strictly fewer payload_allocs
     than the matching "no-pool" reference (fresh run only).
 
+Segmented-pipeline records (bench/bench_jumbo_bcast.cpp) carry `window` and
+`lanes` fields, with two deterministic sim-time rules (no hardware gating —
+simulated medians do not depend on the host):
+
+  * with --min-pipeline-speedup R, at each record family's largest payload
+    the lockstep run (smallest window) must be >= R x slower than the
+    pipelined run (largest window), per (op, algo, network, ranks) on the
+    single-lane records (multi-lane runs already overlap via striping, so
+    the window has little left to win there);
+  * at window 1 and the largest payload, striping must strictly help:
+    sim(max lanes) < sim(1 lane), per (op, algo, network, ranks).
+
 Improvements are reported and do NOT fail; refresh the baselines in the same
 PR that makes them (see bench/baselines/README.md).
 
@@ -64,18 +76,21 @@ def load_records(path):
         # sharded-scaling sweeps likewise key by shard count.  Older benches
         # fold the algorithm into op and carry neither field.
         key = (r.get("op"), r.get("algo"), r.get("network"), r.get("ranks"),
-               r.get("bytes"), r.get("shards"), r.get("driver"))
+               r.get("bytes"), r.get("shards"), r.get("driver"),
+               r.get("window"), r.get("lanes"))
         # Last record wins for duplicate keys (benches append per point).
         by_key[key] = r
     return by_key
 
 
 def fmt_key(key):
-    op, algo, network, ranks, nbytes, shards, driver = key
+    op, algo, network, ranks, nbytes, shards, driver, window, lanes = key
     label = f"{op}/{algo}" if algo else op
     suffix = f", {shards} shards" if shards else ""
     if driver:
         suffix += f", {driver} driver"
+    if window:
+        suffix += f", window {window}, {lanes} lane(s)"
     return f"{label} [{network}, {ranks} ranks, {nbytes} B{suffix}]"
 
 
@@ -180,6 +195,66 @@ def check_driver_records(name, fresh, min_driver_speedup, failures):
                   f"{plain_min} -> {pooled_max}")
 
 
+def check_pipeline_records(name, fresh, min_pipeline_speedup, failures):
+    """Sliding-window and striping claims over segmented-pipeline records.
+
+    Both rules compare simulated medians within the fresh run, so they are
+    deterministic and never hardware-gated."""
+    if min_pipeline_speedup <= 0:
+        return
+    # Pipelining: per (op, algo, network, ranks) at the largest payload,
+    # lockstep (min window) vs pipelined (max window).  Single-lane records
+    # only: with striping the lanes already overlap ack latencies, so the
+    # window has little left to win and the ratio claim belongs to lane 1.
+    families = {}
+    for key, r in fresh.items():
+        if key[7] and key[8] == 1:  # window present, single lane
+            family = (key[0], key[1], key[2], key[3])
+            families.setdefault(family, {}).setdefault(key[4], {})[key[7]] = r
+    for family, by_bytes in sorted(families.items()):
+        top = max(by_bytes)
+        by_window = by_bytes[top]
+        if len(by_window) < 2:
+            continue
+        low, high = min(by_window), max(by_window)
+        lockstep = by_window[low]["sim_time_us"]
+        pipelined = by_window[high]["sim_time_us"]
+        if pipelined <= 0 or lockstep < pipelined * min_pipeline_speedup:
+            failures.append(
+                f"{name}: {family} at {top} B: window-{high} pipeline is "
+                f"{lockstep / pipelined if pipelined > 0 else 0:.2f}x over "
+                f"window-{low} (< required {min_pipeline_speedup:.2f}x; "
+                f"{lockstep:.1f} vs {pipelined:.1f} us)")
+        else:
+            print(f"bench_diff: {name} {family} at {top} B: window-{high} "
+                  f"pipeline {lockstep / pipelined:.2f}x over window-{low} "
+                  f"(>= {min_pipeline_speedup:.2f}x)")
+    # Striping: per (op, algo, network, ranks) at window 1 and the largest
+    # payload, more lanes must be strictly faster than one lane.
+    lane_families = {}
+    for key, r in fresh.items():
+        if key[7] == 1 and key[8]:
+            family = (key[0], key[1], key[2], key[3])
+            lane_families.setdefault(family, {}).setdefault(key[4], {})[
+                key[8]] = r
+    for family, by_bytes in sorted(lane_families.items()):
+        top = max(by_bytes)
+        by_lanes = by_bytes[top]
+        if len(by_lanes) < 2:
+            continue
+        low, high = min(by_lanes), max(by_lanes)
+        single = by_lanes[low]["sim_time_us"]
+        striped = by_lanes[high]["sim_time_us"]
+        if striped >= single:
+            failures.append(
+                f"{name}: {family} at {top} B: {high} lanes ({striped:.1f} "
+                f"us) not strictly faster than {low} lane(s) "
+                f"({single:.1f} us) at window 1")
+        else:
+            print(f"bench_diff: {name} {family} at {top} B: {high} lanes "
+                  f"{single / striped:.2f}x over {low} lane(s) at window 1")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -204,6 +279,12 @@ def main():
                              "at the highest shard count of each "
                              "throughput-record family; hw-gated like "
                              "--min-shard-speedup (0 = off)")
+    parser.add_argument("--min-pipeline-speedup", type=float, default=0.0,
+                        help="required simulated-median ratio of the "
+                             "lockstep (smallest window) over the pipelined "
+                             "(largest window) segmented run at each record "
+                             "family's largest payload; also enforces that "
+                             "striping strictly helps at window 1 (0 = off)")
     args = parser.parse_args()
 
     baseline_files = sorted(f for f in os.listdir(args.baseline)
@@ -231,6 +312,8 @@ def main():
         fresh = load_records(fresh_path)
         check_shard_records(name, fresh, args.min_shard_speedup, failures)
         check_driver_records(name, fresh, args.min_driver_speedup, failures)
+        check_pipeline_records(name, fresh, args.min_pipeline_speedup,
+                               failures)
 
         base_wall = 0.0
         fresh_wall = 0.0
