@@ -94,6 +94,17 @@ void flush_bench_json() {
          << ", \"chunk_retried\": " << r.chunk_retried
          << ", \"chunk_peak_window\": " << r.chunk_peak_window;
     }
+    if (!r.loss.empty()) {
+      // Only the fault-injection sweeps key records by loss profile; other
+      // benches' baselines stay byte-identical.
+      os << ", \"loss\": \"" << json_escape(r.loss) << "\""
+         << ", \"frames_dropped\": " << r.frames_dropped
+         << ", \"frames_duplicated\": " << r.frames_duplicated
+         << ", \"frames_reordered\": " << r.frames_reordered
+         << ", \"nacks_sent\": " << r.nacks_sent
+         << ", \"nacks_suppressed\": " << r.nacks_suppressed
+         << ", \"retransmits\": " << r.retransmits;
+    }
     os << ", \"sim_time_us\": " << r.sim_time_us
        << ", \"wall_time_ms\": " << r.wall_time_ms
        << ", \"events_scheduled\": " << r.events_scheduled

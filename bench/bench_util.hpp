@@ -82,6 +82,18 @@ struct BenchRecord {
   std::uint64_t chunk_acked = 0;
   std::uint64_t chunk_retried = 0;
   std::uint64_t chunk_peak_window = 0;
+  /// Fault-injection fields (bench/bench_loss_crossover.cpp): the loss
+  /// profile label the point ran under ("0", "1%", "bursty", ...) plus the
+  /// fault and recovery counters (sim/sched_counters.hpp).  Empty
+  /// everywhere else — the fields below are then omitted from the JSON and
+  /// old baselines stay byte-identical.
+  std::string loss;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_reordered = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_suppressed = 0;
+  std::uint64_t retransmits = 0;
 };
 
 /// Appends a record to the JSON dump (measure_* helpers call this for every

@@ -67,6 +67,12 @@ endif()
 if(DEFINED MIN_PIPELINE_SPEEDUP)
   list(APPEND speedup_args --min-pipeline-speedup ${MIN_PIPELINE_SPEEDUP})
 endif()
+# Loss-crossover gate: at >= 1% injected loss the NACK protocol's simulated
+# median must be no worse than this ratio of the ACK protocol's
+# (deterministic — never hw-gated).
+if(DEFINED MIN_LOSS_ADVANTAGE)
+  list(APPEND speedup_args --min-loss-advantage ${MIN_LOSS_ADVANTAGE})
+endif()
 
 execute_process(
   COMMAND ${PYTHON} ${DIFF_SCRIPT}

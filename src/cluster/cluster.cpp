@@ -77,6 +77,12 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   MC_EXPECTS_MSG(
       config_.num_procs <= static_cast<int>(config_.hosts.size()),
       "more processes than hosts (one process per machine, as in the paper)");
+  if (!config_.faults.enabled()) {
+    config_.faults = net::fault::FaultConfig::from_env();
+  }
+  const net::fault::FaultConfig& faults = config_.faults;
+  fault_seed_ =
+      faults.seed != 0 ? faults.seed : config_.seed ^ 0xFA017ULL;
 
   sim_ = std::make_unique<sim::Simulator>(
       config_.seed, config_.sim_backend,
@@ -110,8 +116,20 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     host->ip = std::make_unique<inet::IpStack>(*sim_, *host->nic, addr, arp_);
     host->udp = std::make_unique<inet::UdpStack>(*host->ip);
     host->rdp = std::make_unique<inet::RdpEndpoint>(*host->udp);
+    // Per-host speed skew: a deterministic ±skew fraction on the spec'd
+    // clock, drawn from (fault seed, host index) so the same seed always
+    // yields the same heterogeneous cluster.
+    double cpu_mhz = spec.cpu_mhz;
+    if (faults.host_speed_skew > 0.0) {
+      cpu_mhz *= 1.0 + faults.host_speed_skew *
+                           (2.0 * net::fault::hash_unit(
+                                      fault_seed_,
+                                      0x5EED0000ULL +
+                                          static_cast<std::uint64_t>(i)) -
+                            1.0);
+    }
     host->costs = std::make_unique<CalibratedCosts>(
-        config_.costs, spec.cpu_mhz, host_seeds.fork(static_cast<std::uint64_t>(i)));
+        config_.costs, cpu_mhz, host_seeds.fork(static_cast<std::uint64_t>(i)));
     resources.push_back(mpi::World::RankResources{
         host->udp.get(), host->rdp.get(), host->costs.get(), addr,
         shard_of_segment(segment)});
@@ -146,13 +164,63 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     }
   }
 
+  // Attach the fault plane to every delivery edge.  The plane is shared
+  // and immutable; each network / bridge port grows its own per-link model
+  // bank on its own shard.
+  if (faults.link.active() || faults.trunk.active()) {
+    fault_plane_ = std::make_unique<net::fault::FaultPlane>(
+        net::fault::FaultPlane{faults.link, faults.trunk, fault_seed_});
+    for (auto& network : networks_) {
+      network->set_fault_plane(fault_plane_.get());
+    }
+    for (auto& bridge : bridges_) {
+      bridge->set_fault_plane(fault_plane_.get());
+    }
+  }
+
   world_ = std::make_unique<mpi::World>(*sim_, resources);
   for (int i = 0; i < config_.num_procs; ++i) {
     world_->proc(i).engine().set_eager_threshold(config_.eager_threshold);
     world_->proc(i).set_mcast_recv_buffer(config_.mcast_rcvbuf_bytes);
+    world_->proc(i).set_network_lossy(faults.lossy());
   }
   if (!config_.coll_tuning.empty()) {
     world_->set_coll_tuning(coll::TuningTable::parse(config_.coll_tuning));
+  }
+
+  // Background cross-traffic flows: pure wire load, paced by a forked
+  // deterministic RNG, aimed at a port nobody listens on (the receiver's
+  // no_socket_drops counts them).  Bounded frame counts keep every run
+  // terminating.
+  for (int flow = 0; flow < faults.cross_flows; ++flow) {
+    const int src = flow % config_.num_procs;
+    const int dst = (src + 1 + flow / config_.num_procs) % config_.num_procs;
+    if (dst == src) {
+      continue;  // single-process cluster: nothing to cross
+    }
+    auto socket = hosts_[static_cast<std::size_t>(src)]->udp->open(0);
+    inet::UdpSocket* sock = socket.get();
+    cross_sockets_.push_back(std::move(socket));
+    const auto dst_addr = inet::IpAddr::host(static_cast<std::uint32_t>(dst));
+    const auto dst_port =
+        static_cast<std::uint16_t>(40000 + (flow & 0x3FF));
+    Rng rng(fault_seed_ ^ (0xCF000000ULL + static_cast<std::uint64_t>(flow)));
+    const int frames = faults.cross_frames;
+    const std::size_t bytes = faults.cross_bytes;
+    const SimTime interval = faults.cross_interval;
+    sim_->spawn_on(
+        shard_of_segment(segment_of_rank(src)),
+        "xflow" + std::to_string(flow),
+        [sock, dst_addr, dst_port, rng, frames, bytes,
+         interval](sim::SimProcess& self) mutable {
+          const Buffer payload(bytes, std::uint8_t{0xCF});
+          for (int k = 0; k < frames; ++k) {
+            const double jitter = rng.uniform(0.5, 1.5);
+            self.delay(SimTime{static_cast<std::int64_t>(
+                static_cast<double>(interval.count()) * jitter)});
+            sock->sendto(dst_addr, dst_port, payload);
+          }
+        });
   }
 }
 

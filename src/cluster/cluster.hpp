@@ -14,6 +14,7 @@
 #include "inet/udp.hpp"
 #include "mpi/world.hpp"
 #include "net/bridge.hpp"
+#include "net/fault.hpp"
 #include "net/hub.hpp"
 #include "net/switch.hpp"
 #include "sim/simulator.hpp"
@@ -67,6 +68,12 @@ struct ClusterConfig {
   /// Collective auto-selection rules (coll/tuning.hpp rule syntax).  Empty
   /// defers to MCMPI_COLL_TUNING, then to the paper-crossover defaults.
   std::string coll_tuning;
+  /// Adversarial-network fault injection (per-link loss/burst/dup/reorder,
+  /// per-host speed skew, background cross traffic).  Disabled by default;
+  /// a disabled config defers to the MCMPI_FAULTS environment variable.
+  /// When loss or reorder is configured, every proc is flagged
+  /// network-lossy and kAuto restricts itself to loss-tolerant algorithms.
+  net::fault::FaultConfig faults;
   /// Host table; defaults to the paper's eagle cluster mix (nine machines —
   /// pass make_uniform_hosts(n) explicitly for bigger topologies).
   std::vector<HostSpec> hosts;
@@ -113,6 +120,13 @@ class Cluster {
   net::NetCounters net_counters() const;
   void reset_net_counters();
 
+  /// The attached fault plane, or nullptr when fault injection is off.
+  const net::fault::FaultPlane* fault_plane() const {
+    return fault_plane_.get();
+  }
+  /// The seed the fault models (and speed skew) actually used.
+  std::uint64_t fault_seed() const { return fault_seed_; }
+
   /// Host stack access for tests.
   inet::UdpStack& udp(int rank) { return *hosts_.at(static_cast<std::size_t>(rank))->udp; }
   inet::IpStack& ip(int rank) { return *hosts_.at(static_cast<std::size_t>(rank))->ip; }
@@ -128,6 +142,10 @@ class Cluster {
   };
 
   ClusterConfig config_;
+  /// Shared by every network and bridge (const pointer); declared right
+  /// after the config so it outlives all of them.
+  std::unique_ptr<net::fault::FaultPlane> fault_plane_;
+  std::uint64_t fault_seed_ = 0;
   inet::ArpTable arp_;
   /// MAC -> segment table the trunk bridges route unicast with; declared
   /// before the bridges that capture it.
@@ -135,6 +153,9 @@ class Cluster {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<net::Network>> networks_;  // one per segment
   std::vector<std::unique_ptr<net::Bridge>> bridges_;
+  /// Sender sockets of the background cross-traffic flows; destroyed after
+  /// the simulator (which unwinds the flow processes using them).
+  std::vector<std::unique_ptr<inet::UdpSocket>> cross_sockets_;
   std::unique_ptr<mpi::World> world_;
   std::unique_ptr<sim::Simulator> sim_;  // destroyed first — see class doc
 };

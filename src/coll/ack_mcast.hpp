@@ -26,16 +26,37 @@ namespace mcmpi::coll {
 struct AckMcastParams {
   /// How long the root waits for outstanding ACKs before re-multicasting.
   SimTime retransmit_timeout = milliseconds(5);
+  /// Timeout multiplier applied after every retransmission (1.0 keeps the
+  /// historical fixed timer).  Under sustained loss a fixed timer livelocks:
+  /// retransmissions collide with the ACKs they provoked.
+  double backoff = 1.0;
+  /// Backed-off timeout ceiling.
+  SimTime timeout_cap = milliseconds(200);
+  /// Give up after this many retransmissions of one broadcast (0 = retry
+  /// forever, the historical behavior).  Exceeding the cap throws — the
+  /// collective cannot complete and silence would hang every rank.
+  int max_retries = 0;
 };
 
 struct AckMcastStats {
   std::uint64_t retransmissions = 0;
 };
 
+/// Sets the ACK protocol parameters used by the parameterless overload on
+/// `comm` (per-communicator, like set_segmented_config).  Throws
+/// std::invalid_argument on nonpositive timeout, backoff < 1, or negative
+/// retry cap.
+void set_ack_mcast_params(mpi::Proc& p, const mpi::Comm& comm,
+                          const AckMcastParams& params);
+const AckMcastParams& ack_mcast_params(mpi::Proc& p, const mpi::Comm& comm);
+
 /// Broadcast with sender-initiated reliability.  `buffer` is input at root,
-/// output elsewhere.
+/// output elsewhere.  The two-argument form uses the communicator's
+/// configured params; the explicit form overrides them for this call.
 void bcast_ack_mcast(mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
-                     int root, const AckMcastParams& params = {});
+                     int root);
+void bcast_ack_mcast(mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                     int root, const AckMcastParams& params);
 
 /// Cumulative retransmission count on this rank (root-side statistic).
 const AckMcastStats& ack_mcast_stats(mpi::Proc& p, const mpi::Comm& comm);

@@ -13,6 +13,7 @@
 #include "coll/mcast_reduce.hpp"
 #include "coll/mcast_scatter.hpp"
 #include "coll/mpich.hpp"
+#include "coll/nack_mcast.hpp"
 #include "coll/scatter_allgather.hpp"
 #include "coll/segmented.hpp"
 #include "coll/sequencer.hpp"
@@ -102,6 +103,7 @@ void register_builtins(Registry& r) {
       // Paper §3.1: every tree edge carries a full copy.
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return frames(bytes) * (ranks - 1); },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
                   int root) { bcast_mpich(p, comm, buffer, root); }});
   r.add(CollAlgorithm{
@@ -136,6 +138,7 @@ void register_builtins(Registry& r) {
           [](std::size_t bytes, int ranks) {
             return 1.5 * frames(bytes) + (ranks - 1);
           },
+      .loss_tolerant = true,  // resends until every receiver ACKs
       .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
                   int root) { bcast_ack_mcast(p, comm, buffer, root); }});
   r.add(CollAlgorithm{
@@ -148,8 +151,26 @@ void register_builtins(Registry& r) {
       // handshake (receiver lag is detected only by NACK timeout).
       .cost_hint = [](std::size_t bytes,
                       int ranks [[maybe_unused]]) { return 1 + frames(bytes); },
+      .loss_tolerant = true,  // gap detection + NACK to the sequencer
       .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
                   int root) { bcast_sequencer(p, comm, buffer, root); }});
+  r.add(CollAlgorithm{
+      .name = "nack-mcast",
+      .op = CollOp::kBcast,
+      .description = "receiver-driven NACK multicast: blast the payload, "
+                     "receivers NACK gaps, sender retransmits with "
+                     "aggregation/suppression (SRM-style)",
+      .applicable = fits_mcast_datagram,
+      // The payload once with no readiness handshake and no per-receiver
+      // ACKs: on a clean wire it is the cheapest reliable multicast; the
+      // constant folds in the root's sink installation handshake.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks [[maybe_unused]]) {
+        return 1.5 + frames(bytes);
+      },
+      .loss_tolerant = true,  // the point: NACK-driven retransmission
+      .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                  int root) { bcast_nack_mcast(p, comm, buffer, root); }});
   r.add(CollAlgorithm{
       .name = "scatter-allgather",
       .op = CollOp::kBcast,
@@ -160,6 +181,7 @@ void register_builtins(Registry& r) {
       // disjoint links in parallel — critical path ~2 payload images.
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return 2.0 * frames(bytes) + (ranks - 1); },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .bcast =
           [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root) {
             bcast_scatter_allgather(p, comm, buffer, root);
@@ -179,6 +201,7 @@ void register_builtins(Registry& r) {
             return log2n(ranks) + frames(bytes) +
                    chunk_count(bytes) * (ranks - 1);
           },
+      .loss_tolerant = true,  // per-chunk acks + timeout retransmission
       .bcast =
           [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root) {
             bcast_mcast_segmented(p, comm, buffer, root);
@@ -196,6 +219,7 @@ void register_builtins(Registry& r) {
                                                 std::max(ranks, 1))));
             return 2.0 * (ranks - k) + k * std::log2(k);
           },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .barrier = [](mpi::Proc& p,
                     const mpi::Comm& comm) { barrier_mpich(p, comm); }});
   r.add(CollAlgorithm{
@@ -231,6 +255,9 @@ void register_builtins(Registry& r) {
                                   .get(CollOp::kBcast, stage)
                                   .cost_hint(bytes, ranks);
             },
+        // Tolerant exactly when the broadcast stage is (the reduce stage is
+        // always p2p over the reliable transport).
+        .loss_tolerant = std::string_view(stage) == "mpich",
         .allreduce =
             [stage](mpi::Proc& p, const mpi::Comm& comm,
                     std::span<const std::uint8_t> data, mpi::Op op,
@@ -255,6 +282,7 @@ void register_builtins(Registry& r) {
       // N(N-1) block-hops in total, N-1 steps on the critical path.
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return frames(bytes) * (ranks - 1); },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
                       std::span<const std::uint8_t> data) {
         return allgather_mpich(p, comm, data);
@@ -299,6 +327,7 @@ void register_builtins(Registry& r) {
                    (log2n(ranks) + frames(bytes) +
                     chunk_count(bytes) * (ranks - 1));
           },
+      .loss_tolerant = true,  // per-chunk acks + timeout retransmission
       .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
                       std::span<const std::uint8_t> data) {
         return allgather_mcast_segmented(p, comm, data);
@@ -314,6 +343,7 @@ void register_builtins(Registry& r) {
       // critical path.
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return frames(bytes) * log2n(ranks); },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .reduce = [](mpi::Proc& p, const mpi::Comm& comm,
                    std::span<const std::uint8_t> data, mpi::Op op,
                    mpi::Datatype type,
@@ -354,6 +384,7 @@ void register_builtins(Registry& r) {
                       int ranks) {
         return (frames(bytes) + 1.0) * (ranks - 1);
       },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .gather = [](mpi::Proc& p, const mpi::Comm& comm,
                    std::span<const std::uint8_t> data,
                    int root) { return gather_mpich(p, comm, data, root); }});
@@ -380,6 +411,7 @@ void register_builtins(Registry& r) {
       .applicable = always,
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return frames(bytes) * (ranks - 1); },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .scatter = [](mpi::Proc& p, const mpi::Comm& comm,
                     const std::vector<Buffer>& chunks,
                     int root) { return scatter_mpich(p, comm, chunks,
@@ -438,6 +470,7 @@ void register_builtins(Registry& r) {
       // step; `bytes` is the per-destination block size throughout.
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return 2.0 * frames(bytes) * (ranks - 1); },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .alltoall = [](mpi::Proc& p, const mpi::Comm& comm,
                      const std::vector<Buffer>& to_each) {
         return alltoall_mpich(p, comm, to_each);
@@ -477,6 +510,7 @@ void register_builtins(Registry& r) {
       .applicable = always,
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return frames(bytes) * (ranks - 1); },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .scan = [](mpi::Proc& p, const mpi::Comm& comm,
                  std::span<const std::uint8_t> data, mpi::Op op,
                  mpi::Datatype type) { return scan_mpich(p, comm, data, op,
@@ -489,6 +523,7 @@ void register_builtins(Registry& r) {
       .applicable = always,
       .cost_hint = [](std::size_t bytes,
                       int ranks) { return frames(bytes) * log2n(ranks); },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
       .scan = [](mpi::Proc& p, const mpi::Comm& comm,
                  std::span<const std::uint8_t> data, mpi::Op op,
                  mpi::Datatype type) {

@@ -70,6 +70,12 @@ struct CollAlgorithm {
   /// they deliver.
   bool lossy = false;
 
+  /// Recovers from dropped / reordered / duplicated frames (reliable p2p
+  /// transport, or an explicit multicast recovery protocol).  On a lossy
+  /// network (Proc::network_lossy()) kAuto skips everything else, and the
+  /// fault conformance sweep checks exactly these entries.
+  bool loss_tolerant = false;
+
   // --- run functions (one set, per op) ---
   std::function<void(mpi::Proc&, const mpi::Comm&, Buffer& buffer, int root)>
       bcast;

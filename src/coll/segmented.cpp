@@ -1,6 +1,9 @@
 #include "coll/segmented.hpp"
 
 #include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
 
 #include "coll/limits.hpp"
 #include "coll/mcast.hpp"
@@ -159,15 +162,19 @@ void segmented_send(Proc& p, const Comm& comm, int root,
       counters.chunk_peak_window = std::max(counters.chunk_peak_window, live);
     } else {
       ++counters.chunk_retried;
+      ++counters.retransmits;
     }
   };
 
+  SimTime timeout = cfg.retransmit_timeout;
+  int dry_timeouts = 0;  // consecutive ack-less deadlines
   const auto consume_one_ack = [&] {
     for (;;) {
-      const auto ack = p.wait_until(
-          request, p.self().now() + cfg.retransmit_timeout, nullptr,
-          mpi::CostTier::kRaw);
+      const auto ack = p.wait_until(request, p.self().now() + timeout, nullptr,
+                                    mpi::CostTier::kRaw);
       if (ack.has_value()) {
+        timeout = cfg.retransmit_timeout;
+        dry_timeouts = 0;
         ByteReader r(*ack);
         const std::uint32_t index = r.u32();
         MC_ASSERT_MSG(index < n_chunks, "ack for an unknown chunk");
@@ -187,13 +194,27 @@ void segmented_send(Proc& p, const Comm& comm, int root,
         return;
       }
       // Timeout: somebody missed a chunk (drop or slow drain) — recover the
-      // oldest outstanding one and keep waiting.
+      // oldest outstanding one and keep waiting, backing the deadline off
+      // so retransmissions stop colliding with the acks they provoke.
+      if (cfg.max_retries > 0 && dry_timeouts >= cfg.max_retries) {
+        std::ostringstream os;
+        os << "mcast-segmented: root rank " << root << " gave up after "
+           << dry_timeouts << " consecutive ack-less timeouts ("
+           << retired_count << " of " << n_chunks
+           << " chunks retired) — loss rate exceeds what the window can "
+              "absorb; raise max_retries or retransmit_timeout_cap";
+        throw std::runtime_error(os.str());
+      }
+      ++dry_timeouts;
       for (std::uint32_t i = 0; i < sent; ++i) {
         if (!chunks[i].retired) {
           transmit(i, false);
           break;
         }
       }
+      const auto scaled = static_cast<std::int64_t>(
+          static_cast<double>(timeout.count()) * cfg.retransmit_backoff);
+      timeout = std::min(SimTime{scaled}, cfg.retransmit_timeout_cap);
     }
   };
 
@@ -221,17 +242,56 @@ void segmented_recv(
     Proc& p, const Comm& comm, int root, const SegmentedConfig& cfg,
     const std::function<void(const SegHeader&, PayloadRef)>& sink) {
   std::uint32_t n_chunks = 1;  // corrected by the first header
+  // Ahead-of-sequence chunks (reordered, or resent after a dropped
+  // predecessor) are stashed per lane and consumed in lane-sequence order —
+  // a dropped or late frame never crashes the stream.
+  std::vector<std::map<std::uint64_t, std::pair<SegHeader, PayloadRef>>>
+      stash(static_cast<std::size_t>(cfg.lanes));
+  const auto consume = [&](const SegHeader& h, PayloadRef body,
+                           mpi::McastChannel& ch, std::uint32_t k) {
+    MC_ASSERT_MSG(h.context == comm.context(), "context mismatch");
+    MC_ASSERT_MSG(h.root_world == comm.world_rank_of(root),
+                  "segmented stream root mismatch");
+    MC_ASSERT_MSG(h.index == k, "chunk index out of stream order");
+    MC_ASSERT_MSG(h.count >= 1 && h.index < h.count, "bad chunk count");
+    MC_ASSERT_MSG(body.size() == h.length, "chunk length mismatch");
+    n_chunks = h.count;
+    sink(h, std::move(body));
+    ch.advance_seq();
+    // Per-chunk ack over the raw path (the ORNL discipline of
+    // ack_mcast.cpp, applied per chunk instead of per broadcast).
+    Buffer ack;
+    ByteWriter w(ack);
+    w.u32(h.index);
+    p.send(comm, root, mpi::kTagChunkAck, ack, net::FrameKind::kControl,
+           mpi::CostTier::kRaw);
+  };
   for (std::uint32_t k = 0; k < n_chunks; ++k) {
     const int lane = static_cast<int>(k % static_cast<std::uint32_t>(cfg.lanes));
     mpi::McastChannel& ch = p.mcast_channel(comm, lane);
+    auto& lane_stash = stash[static_cast<std::size_t>(lane)];
     for (;;) {
+      const auto stashed = lane_stash.find(ch.expected_seq());
+      if (stashed != lane_stash.end()) {
+        auto [h, body] = std::move(stashed->second);
+        lane_stash.erase(stashed);
+        // The stashed delivery was never charged at arrival; pay the
+        // receive overhead at consumption, like the !charged path below.
+        p.self().delay(p.costs().recv_overhead(
+            static_cast<std::int64_t>(kSegHeaderBytes + h.length),
+            mpi::CostTier::kMcastData));
+        consume(h, std::move(body), ch, k);
+        break;
+      }
       auto [d, charged] = ch.socket().recv_charged(
           p.self(), [&p, &ch](const inet::UdpDatagram& dg) -> SimTime {
             ByteReader peek(dg.data);
             (void)peek.u32();  // context
             (void)peek.i32();  // root
-            if (peek.u64() < ch.expected_seq()) {
-              return kTimeZero;  // stale duplicate: skipped, never charged
+            if (peek.u64() != ch.expected_seq()) {
+              // Stale duplicate (skipped) or ahead-of-sequence (stashed,
+              // charged at consumption): never charged here.
+              return kTimeZero;
             }
             return p.costs().recv_overhead(
                 static_cast<std::int64_t>(dg.data.size() -
@@ -243,30 +303,17 @@ void segmented_recv(
       if (h.seq < ch.expected_seq()) {
         continue;  // stale duplicate (retransmission of a consumed chunk)
       }
-      MC_ASSERT_MSG(h.seq == ch.expected_seq(),
-                    "segmented chunk out of lane order (unsafe program?)");
-      MC_ASSERT_MSG(h.context == comm.context(), "context mismatch");
-      MC_ASSERT_MSG(h.root_world == comm.world_rank_of(root),
-                    "segmented stream root mismatch");
-      MC_ASSERT_MSG(h.index == k, "chunk index out of stream order");
-      MC_ASSERT_MSG(h.count >= 1 && h.index < h.count, "bad chunk count");
-      n_chunks = h.count;
       PayloadRef body = d.data.slice(r.position());
-      MC_ASSERT_MSG(body.size() == h.length, "chunk length mismatch");
+      if (h.seq > ch.expected_seq()) {
+        lane_stash.try_emplace(h.seq, h, std::move(body));
+        continue;
+      }
       if (!charged) {
         p.self().delay(p.costs().recv_overhead(
             static_cast<std::int64_t>(kSegHeaderBytes + h.length),
             mpi::CostTier::kMcastData));
       }
-      sink(h, std::move(body));
-      ch.advance_seq();
-      // Per-chunk ack over the raw path (the ORNL discipline of
-      // ack_mcast.cpp, applied per chunk instead of per broadcast).
-      Buffer ack;
-      ByteWriter w(ack);
-      w.u32(h.index);
-      p.send(comm, root, mpi::kTagChunkAck, ack, net::FrameKind::kControl,
-             mpi::CostTier::kRaw);
+      consume(h, std::move(body), ch, k);
       break;
     }
   }
@@ -292,6 +339,13 @@ void set_segmented_config(Proc& p, const Comm& comm,
   MC_EXPECTS_MSG(
       config.lanes >= 1 && config.lanes <= mpi::CommInfo::kMaxMcastLanes,
       "lane count out of range");
+  MC_EXPECTS_MSG(config.retransmit_timeout > kTimeZero,
+                 "retransmit timeout must be positive");
+  MC_EXPECTS_MSG(config.retransmit_backoff >= 1.0,
+                 "retransmit backoff must be >= 1");
+  MC_EXPECTS_MSG(config.retransmit_timeout_cap >= config.retransmit_timeout,
+                 "timeout cap below the base timeout");
+  MC_EXPECTS_MSG(config.max_retries >= 0, "max_retries must be >= 0");
   p.coll_state<SegmentedState>(comm).config = config;
 }
 

@@ -72,6 +72,16 @@ struct SegmentedConfig {
   /// re-multicast.  Must exceed a chunk's wire + delivery time, or steady
   /// state retransmits spuriously.
   SimTime retransmit_timeout = milliseconds(50);
+  /// Deadline multiplier applied after every ACK-less timeout (reset to
+  /// retransmit_timeout by any ack).  1.0 keeps the historical fixed
+  /// timer, which livelocks under sustained loss.
+  double retransmit_backoff = 1.0;
+  /// Backed-off deadline ceiling.
+  SimTime retransmit_timeout_cap = milliseconds(800);
+  /// Give up after this many CONSECUTIVE ack-less timeouts (0 = retry
+  /// forever, the historical behavior).  Exceeding the cap throws: the
+  /// stream cannot make progress and silence would hang every rank.
+  int max_retries = 0;
 };
 
 /// Installs `config` for all segmented collectives on `comm` (per-rank

@@ -121,6 +121,12 @@ TuningTable TuningTable::parse(const std::string& spec) {
 
 std::string TuningTable::select(CollOp op, std::size_t bytes, int ranks,
                                 const mpi::Comm& comm) const {
+  // On a lossy network (a fault plane with drop/reorder is attached) only
+  // loss-tolerant algorithms may run: anything else asserts or hangs on the
+  // first dropped frame.  An intolerant tuned pick falls through, exactly
+  // like an inapplicable one.
+  const bool lossy_net =
+      comm.proc() != nullptr && comm.proc()->network_lossy();
   for (const TuningRule& rule : rules_) {
     if (rule.op != op) {
       continue;
@@ -133,6 +139,9 @@ std::string TuningTable::select(CollOp op, std::size_t bytes, int ranks,
       continue;
     }
     const CollAlgorithm& algo = Registry::instance().get(op, rule.algo);
+    if (lossy_net && !algo.loss_tolerant) {
+      continue;
+    }
     if (!algo.applicable || algo.applicable(comm, bytes)) {
       return rule.algo;
     }
@@ -143,6 +152,9 @@ std::string TuningTable::select(CollOp op, std::size_t bytes, int ranks,
   double best_cost = std::numeric_limits<double>::infinity();
   for (const CollAlgorithm& algo : Registry::instance().entries()) {
     if (algo.op != op || algo.lossy) {
+      continue;
+    }
+    if (lossy_net && !algo.loss_tolerant) {
       continue;
     }
     if (algo.applicable && !algo.applicable(comm, bytes)) {

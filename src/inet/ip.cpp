@@ -161,6 +161,14 @@ void IpStack::on_frame(const net::Frame& frame) {
   }
 
   const PartialKey key{h.src, h.ident};
+  prune_completed();
+  if (completed_.contains(key)) {
+    // Late duplicate of a datagram that already went up: without this
+    // check it would seed a ghost reassembly entry (cleared only by
+    // timeout) and could corrupt a future datagram reusing the ident.
+    ++stats_.duplicate_fragments;
+    return;
+  }
   auto [it, inserted] = reassembly_.try_emplace(key);
   Partial& partial = it->second;
   if (inserted) {
@@ -184,6 +192,7 @@ void IpStack::on_frame(const net::Frame& frame) {
         [](const auto& entry, std::uint32_t o) { return entry.first < o; });
     if (pos != partial.fragments.end() && pos->first == offset) {
       duplicate = true;
+      ++stats_.duplicate_fragments;
     } else {
       partial.fragments.emplace(pos, offset, std::move(payload));
     }
@@ -199,7 +208,26 @@ void IpStack::on_frame(const net::Frame& frame) {
     Partial done = std::move(partial);
     reassembly_.erase(it);
     sim_.cancel(done.timeout_event);
+    // Remember the completed key for one timeout: late duplicates of this
+    // datagram's fragments are recognized and dropped above.
+    const SimTime expiry = sim_.now() + reassembly_timeout_;
+    completed_[key] = expiry;
+    completed_order_.emplace_back(expiry, key);
     finish(std::move(done));
+  }
+}
+
+void IpStack::prune_completed() {
+  const SimTime now = sim_.now();
+  while (!completed_order_.empty() && completed_order_.front().first <= now) {
+    const PartialKey key = completed_order_.front().second;
+    completed_order_.pop_front();
+    // Only erase if this queue entry is the key's latest expiry (the key
+    // may have completed again after an earlier expiry already lapsed).
+    const auto it = completed_.find(key);
+    if (it != completed_.end() && it->second <= now) {
+      completed_.erase(it);
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 /// destinations map to 01:00:5e MAC addresses per RFC 1112.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <unordered_map>
@@ -51,6 +52,14 @@ struct IpStats {
   std::uint64_t fragments_received = 0;
   std::uint64_t reassembly_timeouts = 0;
   std::uint64_t no_protocol_drops = 0;
+  /// Duplicate fragments discarded: a repeat of an offset already held in
+  /// reassembly, or a late fragment of a datagram that already completed
+  /// (without this second case a duplicated last fragment would resurrect
+  /// a ghost reassembly entry that only a timeout could clear — and could
+  /// corrupt a future datagram reusing the same 16-bit ident).  Duplicate
+  /// UNFRAGMENTED datagrams are delivered twice, as real IP does: dedup is
+  /// the transport's job (RDP sequence numbers, multicast frame sequences).
+  std::uint64_t duplicate_fragments = 0;
   /// Datagrams reassembled by re-joining adjacent slices of the sender's
   /// buffer — the zero-copy fast path (no payload bytes touched).
   std::uint64_t zero_copy_reassemblies = 0;
@@ -106,6 +115,10 @@ class IpStack {
 
   void on_frame(const net::Frame& frame);
   void finish(Partial&& partial);
+  /// Drops expired completed-datagram keys (lazy, time-ordered: no
+  /// scheduled events, so tracking completions never perturbs the event
+  /// counts the benches record).
+  void prune_completed();
 
   sim::Simulator& sim_;
   net::Nic& nic_;
@@ -113,6 +126,12 @@ class IpStack {
   const ArpTable& arp_;
   std::map<std::uint8_t, ProtocolHandler> protocols_;
   std::map<PartialKey, Partial> reassembly_;
+  /// Keys of datagrams that completed within the last reassembly timeout
+  /// (key -> expiry), with an arrival-ordered queue for lazy pruning.
+  /// Late duplicate fragments matching a key are dropped instead of
+  /// seeding a ghost reassembly entry.
+  std::map<PartialKey, SimTime> completed_;
+  std::deque<std::pair<SimTime, PartialKey>> completed_order_;
   std::uint16_t next_ident_ = 1;
   SimTime reassembly_timeout_ = seconds(1);
   IpStats stats_;

@@ -171,6 +171,11 @@ class Proc {
   void set_mcast_recv_buffer(std::size_t bytes) { mcast_rcvbuf_ = bytes; }
   std::size_t mcast_recv_buffer() const { return mcast_rcvbuf_; }
 
+  /// Set by the cluster when a fault plane with loss/reorder is attached:
+  /// algorithm auto-selection must then skip anything not loss-tolerant.
+  void set_network_lossy(bool lossy) { network_lossy_ = lossy; }
+  bool network_lossy() const { return network_lossy_; }
+
   /// Per-communicator protocol state for collective implementations
   /// (e.g. the sequencer's history buffer).  One T per (communicator,
   /// type); default-constructed on first access.
@@ -196,6 +201,7 @@ class Proc {
   /// Live helper fibers (nonblocking collectives); see HelperScope.
   std::vector<sim::SimProcess*> helpers_;
   std::size_t mcast_rcvbuf_ = 256 * 1024;
+  bool network_lossy_ = false;
   /// Keyed by (context id, lane): a striped collective holds several live
   /// channels per communicator, one per multicast group it stripes across.
   std::map<std::pair<std::uint32_t, int>, std::unique_ptr<McastChannel>>

@@ -49,14 +49,40 @@ void Bridge::on_rx(Port& local, const Frame& frame) {
       return;  // local traffic, or bound for a different trunk of the mesh
     }
   }
+  // Trunk fault model: consulted on the ingress shard, so the decision
+  // stream is deterministic per direction regardless of shard mapping.  A
+  // dropped frame never crosses; a reordered one crosses late (the extra
+  // delay only ever ADDS to the lookahead latency, so the cross-shard
+  // window contract holds); a duplicated one crosses twice back to back.
+  SimTime extra = kTimeZero;
+  bool duplicate = false;
+  if (fault::FaultModel* model =
+          local.faults.model_for(local.nic->mac().bits())) {
+    const fault::FaultDecision d = model->next(sim_.counters());
+    if (d.drop) {
+      return;
+    }
+    extra = d.extra_delay;
+    duplicate = d.duplicate;
+  }
   forwarded_.fetch_add(1, std::memory_order_relaxed);
   // The trunk hop: fixed backbone latency, then the frame contends on the
   // far segment through the peer port's ordinary transmit queue.  Across
   // shards this is the system's one cross-shard interaction; the latency is
   // the lookahead that keeps the conservative windows deterministic.
   Nic* peer_nic = local.peer->nic.get();
-  sim_.schedule_cross(local.peer->shard, sim_.now() + latency_,
+  const SimTime arrival = sim_.now() + latency_ + extra;
+  sim_.schedule_cross(local.peer->shard, arrival,
                       [peer_nic, frame] { peer_nic->forward(frame); });
+  if (duplicate) {
+    sim_.schedule_cross(local.peer->shard, arrival,
+                        [peer_nic, frame] { peer_nic->forward(frame); });
+  }
+}
+
+void Bridge::set_fault_plane(const fault::FaultPlane* plane) {
+  a_.faults.reset(plane, /*trunk=*/true);
+  b_.faults.reset(plane, /*trunk=*/true);
 }
 
 }  // namespace mcmpi::net

@@ -35,6 +35,7 @@
 #include <string>
 
 #include "common/time.hpp"
+#include "net/fault.hpp"
 #include "net/nic.hpp"
 
 namespace mcmpi::net {
@@ -69,12 +70,20 @@ class Bridge {
     return forwarded_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches the cluster's fault plane to the trunk: each direction gets
+  /// its own FaultModel (keyed by the ingress port's MAC), consulted on the
+  /// ingress shard before the cross-shard hop.  nullptr detaches.
+  void set_fault_plane(const fault::FaultPlane* plane);
+
  private:
   struct Port {
     std::unique_ptr<Nic> nic;
     std::uint16_t segment = 0;
     unsigned shard = 0;
     Port* peer = nullptr;
+    /// Trunk fault state for frames ENTERING at this port; owned here so
+    /// only this port's shard ever touches it.
+    fault::LinkFaultBank faults;
   };
 
   Port make_port(sim::Simulator& sim, const PortConfig& config);

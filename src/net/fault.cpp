@@ -1,0 +1,188 @@
+#include "net/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcmpi::net::fault {
+
+namespace {
+
+/// 53-bit mantissa of a splitmix64 draw as a uniform [0, 1) double.
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double hash_unit(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t state = seed ^ (salt * 0x9E3779B97F4A7C15ULL);
+  return to_unit(splitmix64(state));
+}
+
+FaultDecision FaultModel::next(sim::SchedCounters& counters) {
+  // One splitmix chain keyed by (seed, link, frame index): the per-stage
+  // draws are independent of each other and of every other link, and the
+  // whole sequence is reproducible from the triple alone.
+  std::uint64_t state = seed_ ^ (link_id_ * 0x9E3779B97F4A7C15ULL) ^
+                        ((frame_index_ + 1) * 0xD1B54A32D192ED03ULL);
+  ++frame_index_;
+  const double u_loss = to_unit(splitmix64(state));
+  const double u_ge_move = to_unit(splitmix64(state));
+  const double u_ge_drop = to_unit(splitmix64(state));
+  const double u_dup = to_unit(splitmix64(state));
+  const double u_reorder = to_unit(splitmix64(state));
+  const double u_jitter = to_unit(splitmix64(state));
+
+  FaultDecision d;
+  if (profile_.ge_good_to_bad > 0.0) {
+    // The chain advances on every frame, dropped or not, so burst lengths
+    // follow the configured geometry regardless of what the other stages do.
+    const bool was_bad = ge_bad_;
+    ge_bad_ = was_bad ? u_ge_move >= profile_.ge_bad_to_good
+                      : u_ge_move < profile_.ge_good_to_bad;
+    if (was_bad && u_ge_drop < profile_.ge_loss_bad) {
+      d.drop = true;
+    }
+  }
+  if (u_loss < profile_.loss) {
+    d.drop = true;
+  }
+  if (d.drop) {
+    ++counters.frames_dropped;
+    return d;
+  }
+  if (u_dup < profile_.duplicate) {
+    d.duplicate = true;
+    ++counters.frames_duplicated;
+  }
+  if (u_reorder < profile_.reorder) {
+    // (0, jitter]: never zero, so a reordered frame always lands strictly
+    // later than an in-order delivery scheduled at the same instant.
+    const auto ns = static_cast<std::int64_t>(
+        u_jitter * static_cast<double>(profile_.reorder_jitter.count()));
+    d.extra_delay = SimTime{ns > 0 ? ns : 1};
+    ++counters.frames_reordered;
+  }
+  return d;
+}
+
+FaultModel* LinkFaultBank::model_for(std::uint64_t link_id) {
+  if (plane_ == nullptr) {
+    return nullptr;
+  }
+  const FaultProfile& profile = trunk_ ? plane_->trunk : plane_->link;
+  if (!profile.active()) {
+    return nullptr;
+  }
+  // Trunk and host-edge models of the same underlying MAC must not share a
+  // draw stream; salt the link id by role.
+  const std::uint64_t key = trunk_ ? link_id ^ 0x7B5BAD0000000000ULL : link_id;
+  const auto [it, inserted] =
+      models_.try_emplace(key, FaultModel(profile, plane_->seed, key));
+  return &it->second;
+}
+
+namespace {
+
+double parse_probability(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("MCMPI_FAULTS: bad probability for '" + key +
+                                "': '" + value + "'");
+  }
+  return p;
+}
+
+std::int64_t parse_count(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  std::int64_t n = 0;
+  try {
+    n = std::stoll(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || n < 0) {
+    throw std::invalid_argument("MCMPI_FAULTS: bad count for '" + key +
+                                "': '" + value + "'");
+  }
+  return n;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::parse(const std::string& spec) {
+  FaultConfig config;
+  std::stringstream pairs(spec);
+  std::string pair;
+  while (std::getline(pairs, pair, ',')) {
+    const auto first = pair.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      continue;
+    }
+    pair = pair.substr(first, pair.find_last_not_of(" \t") - first + 1);
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("MCMPI_FAULTS: expected key=value, got '" +
+                                  pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "loss") {
+      config.link.loss = parse_probability(key, value);
+    } else if (key == "dup") {
+      config.link.duplicate = parse_probability(key, value);
+    } else if (key == "reorder") {
+      config.link.reorder = parse_probability(key, value);
+    } else if (key == "jitter_us") {
+      config.link.reorder_jitter = microseconds(parse_count(key, value));
+    } else if (key == "burst") {
+      std::stringstream fields(value);
+      std::string gb;
+      std::string bg;
+      std::string bad;
+      if (!std::getline(fields, gb, ':') || !std::getline(fields, bg, ':') ||
+          !std::getline(fields, bad)) {
+        throw std::invalid_argument(
+            "MCMPI_FAULTS: burst needs P(g->b):P(b->g):loss, got '" + value +
+            "'");
+      }
+      config.link.ge_good_to_bad = parse_probability(key, gb);
+      config.link.ge_bad_to_good = parse_probability(key, bg);
+      config.link.ge_loss_bad = parse_probability(key, bad);
+    } else if (key == "trunk_loss") {
+      config.trunk.loss = parse_probability(key, value);
+    } else if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(parse_count(key, value));
+    } else if (key == "skew") {
+      config.host_speed_skew = parse_probability(key, value);
+    } else if (key == "xflows") {
+      config.cross_flows = static_cast<int>(parse_count(key, value));
+    } else if (key == "xframes") {
+      config.cross_frames = static_cast<int>(parse_count(key, value));
+    } else if (key == "xbytes") {
+      config.cross_bytes = static_cast<std::size_t>(parse_count(key, value));
+    } else if (key == "xinterval_us") {
+      config.cross_interval = microseconds(parse_count(key, value));
+    } else {
+      throw std::invalid_argument("MCMPI_FAULTS: unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+FaultConfig FaultConfig::from_env() {
+  const char* env = std::getenv("MCMPI_FAULTS");
+  if (env == nullptr || *env == '\0') {
+    return FaultConfig{};
+  }
+  return parse(env);
+}
+
+}  // namespace mcmpi::net::fault

@@ -96,9 +96,7 @@ void Hub::finish_transmission() {
                           if (s.get() == sender) {
                             continue;
                           }
-                          if (!should_drop(frame, *s->nic)) {
-                            s->nic->deliver(frame);
-                          }
+                          deliver_through_faults(sim_, frame, *s->nic);
                         }
                       });
 

@@ -1,0 +1,44 @@
+#include "net/network.hpp"
+
+#include "net/nic.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcmpi::net {
+
+void Network::deliver_through_faults(sim::Simulator& sim, const Frame& frame,
+                                     Nic& receiver) {
+  if (should_drop(frame, receiver)) {
+    return;
+  }
+  fault::FaultModel* model = fault_bank_.model_for(receiver.mac().bits());
+  if (model == nullptr) {
+    receiver.deliver(frame);
+    return;
+  }
+  const fault::FaultDecision d = model->next(sim.counters());
+  if (d.drop) {
+    ++counters_.injected_drops;
+    return;
+  }
+  if (d.extra_delay > kTimeZero) {
+    // Reorder: this delivery lands behind frames transmitted after it.  A
+    // duplicate of a reordered frame still arrives with it (back to back at
+    // the delayed instant) — duplication models the link repeating a frame,
+    // not a second independent transit.
+    Nic* nic = &receiver;
+    const bool duplicate = d.duplicate;
+    sim.schedule_after(d.extra_delay, [nic, frame, duplicate] {
+      nic->deliver(frame);
+      if (duplicate) {
+        nic->deliver(frame);
+      }
+    });
+    return;
+  }
+  receiver.deliver(frame);
+  if (d.duplicate) {
+    receiver.deliver(frame);
+  }
+}
+
+}  // namespace mcmpi::net

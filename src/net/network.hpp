@@ -9,7 +9,12 @@
 #include <functional>
 
 #include "net/counters.hpp"
+#include "net/fault.hpp"
 #include "net/frame.hpp"
+
+namespace mcmpi::sim {
+class Simulator;
+}  // namespace mcmpi::sim
 
 namespace mcmpi::net {
 
@@ -37,6 +42,13 @@ class Network {
   using DropHook = std::function<bool(const Frame&, const Nic& receiver)>;
   void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// Attaches the cluster's fault plane: every (frame, receiver) delivery
+  /// edge consults a per-link FaultModel.  nullptr (the default) keeps the
+  /// delivery path byte-identical to a fault-free network.
+  void set_fault_plane(const fault::FaultPlane* plane) {
+    fault_bank_.reset(plane, /*trunk=*/false);
+  }
+
  protected:
   /// Applies the drop hook; counts injected drops.
   bool should_drop(const Frame& frame, const Nic& receiver) {
@@ -47,10 +59,19 @@ class Network {
     return false;
   }
 
+  /// The delivery edge shared by hub and switch: drop hook first (test
+  /// instrumentation), then the receiver link's fault model — dropping,
+  /// duplicating, or delaying (reorder) the delivery.  With no fault plane
+  /// attached this is exactly `if (!should_drop(...)) receiver.deliver(...)`
+  /// — no extra events, no behavior change.
+  void deliver_through_faults(sim::Simulator& sim, const Frame& frame,
+                              Nic& receiver);
+
   NetCounters counters_;
 
  private:
   DropHook drop_hook_;
+  fault::LinkFaultBank fault_bank_;
 };
 
 }  // namespace mcmpi::net

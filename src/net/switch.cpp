@@ -151,9 +151,7 @@ void Switch::egress_done(Port& port) {
   MC_ASSERT(!port.egress.empty());
   Frame frame = std::move(port.egress.front());
   port.egress.pop_front();
-  if (!should_drop(frame, *port.nic)) {
-    port.nic->deliver(frame);
-  }
+  deliver_through_faults(sim_, frame, *port.nic);
   if (!port.egress.empty()) {
     start_egress(port);
   } else {

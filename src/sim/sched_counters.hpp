@@ -49,6 +49,23 @@ struct SchedCounters {
   std::uint64_t chunk_retried = 0;
   std::uint64_t chunk_peak_window = 0;
 
+  /// Fault-injection layer (net/fault.hpp): frames the per-link models
+  /// dropped, duplicated, or delayed out of order at delivery edges.
+  /// Counted on the shard executing the delivery, so the totals merge like
+  /// every other scheduler counter and are bit-identical across shard
+  /// counts and drivers.
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_reordered = 0;
+
+  /// Reliable-multicast recovery instrumentation: receiver-side NACKs
+  /// sent, root-side NACKs suppressed by the aggregation window
+  /// (coll/nack_mcast.cpp), and protocol-level payload re-multicasts
+  /// (ack-mcast timeouts + NACK-served resends).
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_suppressed = 0;
+  std::uint64_t retransmits = 0;
+
   /// Fieldwise accumulate — how the sharded simulator merges its per-shard
   /// counters into the figures the benches record.  chunk_peak_window is a
   /// high-water mark, so it merges by max, not sum.
@@ -63,6 +80,12 @@ struct SchedCounters {
     chunk_acked += other.chunk_acked;
     chunk_retried += other.chunk_retried;
     chunk_peak_window = std::max(chunk_peak_window, other.chunk_peak_window);
+    frames_dropped += other.frames_dropped;
+    frames_duplicated += other.frames_duplicated;
+    frames_reordered += other.frames_reordered;
+    nacks_sent += other.nacks_sent;
+    nacks_suppressed += other.nacks_suppressed;
+    retransmits += other.retransmits;
     return *this;
   }
 };

@@ -485,6 +485,8 @@ std::size_t Simulator::live_processes() const {
 
 SimProcess* Simulator::current() { return current_shard().current_; }
 
+SchedCounters& Simulator::counters() { return current_shard().counters(); }
+
 SchedCounters Simulator::sched_counters() const {
   SchedCounters merged;
   for (const auto& shard : shards_) {

@@ -418,6 +418,11 @@ class Simulator {
   /// cross-shard delivery counts once, on its receiving shard.
   std::uint64_t events_scheduled() const;
 
+  /// The calling shard's mutable counters (the root shard's outside a run).
+  /// Owner-execution-only, like Shard::counters(): bump only from code
+  /// executing on the shard the counter belongs to.
+  SchedCounters& counters();
+
  private:
   friend class Shard;
   friend class SimProcess;

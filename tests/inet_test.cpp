@@ -8,6 +8,7 @@
 
 #include "inet/ip.hpp"
 #include "inet/ip_addr.hpp"
+#include "net/fault.hpp"
 #include "inet/rdp.hpp"
 #include "inet/udp.hpp"
 #include "net/hub.hpp"
@@ -155,6 +156,44 @@ TEST(IpFragmentation, InterleavedSendersReassembleIndependently) {
   // Either order; identify by pattern.
   const bool first_is_10 = check_pattern(10, received[0]);
   EXPECT_TRUE(check_pattern(first_is_10 ? 11 : 10, received[1]));
+}
+
+TEST(IpFragmentation, DuplicatedFragmentsNeverSeedGhostReassembly) {
+  StackFixture fx(2);
+  // Duplicate every frame on the wire: repeats of fragments still inside
+  // reassembly AND late repeats of already-completed datagrams.
+  net::fault::FaultPlane plane{net::fault::FaultProfile{.duplicate = 1.0},
+                               net::fault::FaultProfile{}, 42};
+  fx.network.set_fault_plane(&plane);
+  int datagrams = 0;
+  fx.hosts[1].ip->register_protocol(
+      99, [&](const IpPacketMeta&, PayloadRef) { ++datagrams; });
+
+  fx.hosts[0].ip->send(IpAddr::host(1), 99, PayloadRef(pattern_payload(1, 3000)),
+                       net::FrameKind::kData);
+  fx.sim.run();
+  // 3 fragments, each delivered twice.  The duplicate of the final
+  // fragment arrives AFTER the datagram completed; without completed-key
+  // tracking it would seed a ghost reassembly entry that only a timeout
+  // could clear (and that could corrupt a later datagram reusing the
+  // ident).  All three repeats must be recognized and dropped.
+  EXPECT_EQ(datagrams, 1);
+  EXPECT_EQ(fx.hosts[1].ip->stats().duplicate_fragments, 3u);
+  EXPECT_EQ(fx.hosts[1].ip->stats().reassembly_timeouts, 0u);
+
+  // Later fragmented datagrams are unaffected by the retained keys.
+  fx.hosts[0].ip->send(IpAddr::host(1), 99, PayloadRef(pattern_payload(2, 3000)),
+                       net::FrameKind::kData);
+  fx.sim.run();
+  EXPECT_EQ(datagrams, 2);
+  EXPECT_EQ(fx.hosts[1].ip->stats().reassembly_timeouts, 0u);
+
+  // Duplicate UNFRAGMENTED datagrams are delivered twice, like real IP:
+  // dedup is the transport's job (RDP / multicast sequence numbers).
+  fx.hosts[0].ip->send(IpAddr::host(1), 99, PayloadRef(pattern_payload(3, 100)),
+                       net::FrameKind::kData);
+  fx.sim.run();
+  EXPECT_EQ(datagrams, 4);
 }
 
 // ------------------------------------------------------------------- UDP

@@ -77,20 +77,22 @@ def load_records(path):
         # fold the algorithm into op and carry neither field.
         key = (r.get("op"), r.get("algo"), r.get("network"), r.get("ranks"),
                r.get("bytes"), r.get("shards"), r.get("driver"),
-               r.get("window"), r.get("lanes"))
+               r.get("window"), r.get("lanes"), r.get("loss"))
         # Last record wins for duplicate keys (benches append per point).
         by_key[key] = r
     return by_key
 
 
 def fmt_key(key):
-    op, algo, network, ranks, nbytes, shards, driver, window, lanes = key
+    op, algo, network, ranks, nbytes, shards, driver, window, lanes, loss = key
     label = f"{op}/{algo}" if algo else op
     suffix = f", {shards} shards" if shards else ""
     if driver:
         suffix += f", {driver} driver"
     if window:
         suffix += f", window {window}, {lanes} lane(s)"
+    if loss is not None:
+        suffix += f", loss {loss}"
     return f"{label} [{network}, {ranks} ranks, {nbytes} B{suffix}]"
 
 
@@ -255,6 +257,41 @@ def check_pipeline_records(name, fresh, min_pipeline_speedup, failures):
                   f"{single / striped:.2f}x over {low} lane(s) at window 1")
 
 
+def check_loss_records(name, fresh, min_loss_advantage, failures):
+    """Loss-crossover claim over fault-injection records: at >= 1% injected
+    link loss, the receiver-driven NACK protocol's simulated median must be
+    no worse than 1/R of the sender-driven ACK protocol's.  Simulated
+    medians only — deterministic, never hardware-gated."""
+    if min_loss_advantage <= 0:
+        return
+    points = {}
+    for key, r in fresh.items():
+        if key[9] is None:
+            continue
+        loss_label = key[9]
+        if not loss_label.endswith("%"):
+            continue  # "0" and named profiles (e.g. "bursty") are not gated
+        if float(loss_label[:-1]) / 100.0 < 0.01:
+            continue
+        group = (key[0], key[2], key[3], key[4], loss_label)
+        points.setdefault(group, {})[key[1]] = r
+    for group, by_algo in sorted(points.items()):
+        if "ack-mcast" not in by_algo or "nack-mcast" not in by_algo:
+            continue
+        ack = by_algo["ack-mcast"]["sim_time_us"]
+        nack = by_algo["nack-mcast"]["sim_time_us"]
+        if nack <= 0 or ack < nack * min_loss_advantage:
+            failures.append(
+                f"{name}: {group} nack-mcast is only "
+                f"{ack / nack if nack > 0 else 0:.2f}x over ack-mcast "
+                f"(< required {min_loss_advantage:.2f}x; "
+                f"{ack:.1f} vs {nack:.1f} us)")
+        else:
+            print(f"bench_diff: {name} {group} nack-mcast "
+                  f"{ack / nack:.2f}x over ack-mcast "
+                  f"(>= {min_loss_advantage:.2f}x)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -279,6 +316,10 @@ def main():
                              "at the highest shard count of each "
                              "throughput-record family; hw-gated like "
                              "--min-shard-speedup (0 = off)")
+    parser.add_argument("--min-loss-advantage", type=float, default=0.0,
+                        help="required simulated-median ratio of ack-mcast "
+                             "over nack-mcast on fault-injection records at "
+                             ">= 1%% injected loss (0 = off)")
     parser.add_argument("--min-pipeline-speedup", type=float, default=0.0,
                         help="required simulated-median ratio of the "
                              "lockstep (smallest window) over the pipelined "
@@ -314,6 +355,7 @@ def main():
         check_driver_records(name, fresh, args.min_driver_speedup, failures)
         check_pipeline_records(name, fresh, args.min_pipeline_speedup,
                                failures)
+        check_loss_records(name, fresh, args.min_loss_advantage, failures)
 
         base_wall = 0.0
         fresh_wall = 0.0
@@ -332,7 +374,11 @@ def main():
                     f"(determinism break)")
             # Deterministic throughput figures compare exactly, like the
             # simulated median (coll_per_sec and wall stay host-local).
-            for exact in ("p99_us", "collectives"):
+            # Fault-injection schedules are deterministic by construction,
+            # so the injected/recovery counters compare exactly too.
+            for exact in ("p99_us", "collectives", "frames_dropped",
+                          "frames_duplicated", "frames_reordered",
+                          "nacks_sent", "nacks_suppressed", "retransmits"):
                 if exact in b and exact in f and f[exact] != b[exact]:
                     failures.append(
                         f"{name}: {fmt_key(key)} {exact} changed "
