@@ -75,6 +75,11 @@ void flush_bench_json() {
       os << ", \"shards\": " << r.shards
          << ", \"hw_threads\": " << r.hw_threads;
     }
+    if (r.segments > 0) {
+      // Only the topology-scaling sweeps key records by segment count;
+      // other benches' baselines stay byte-identical.
+      os << ", \"segments\": " << r.segments;
+    }
     if (!r.driver.empty()) {
       // Only throughput-mode benches key records by driver; other benches'
       // baselines stay byte-identical.

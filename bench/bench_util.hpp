@@ -57,6 +57,12 @@ struct BenchRecord {
   /// stay byte-identical).  Records differing only in `shards` must agree
   /// on sim_time_us — bench_diff.py enforces it.
   int shards = 0;
+  /// Segment count for topology-scaling sweeps (bench_hier_scaling); joins
+  /// the record key so the same (op, algo, ranks, bytes) point can appear
+  /// once per topology.  0 everywhere else — the field is then omitted from
+  /// the JSON and old baselines stay byte-identical.  Groups carrying both
+  /// a hierarchical and a flat algorithm feed the --min-hier-speedup gate.
+  int segments = 0;
   /// std::thread::hardware_concurrency() at run time; lets the bench_diff
   /// speedup gate skip hosts that cannot physically run the shards in
   /// parallel.

@@ -73,6 +73,12 @@ endif()
 if(DEFINED MIN_LOSS_ADVANTAGE)
   list(APPEND speedup_args --min-loss-advantage ${MIN_LOSS_ADVANTAGE})
 endif()
+# Hierarchical-crossover gate: past 4 segments / 256 ranks the hierarchical
+# bcast's simulated median must beat the flat multicast tree's by this
+# ratio (deterministic — never hw-gated).
+if(DEFINED MIN_HIER_SPEEDUP)
+  list(APPEND speedup_args --min-hier-speedup ${MIN_HIER_SPEEDUP})
+endif()
 
 execute_process(
   COMMAND ${PYTHON} ${DIFF_SCRIPT}

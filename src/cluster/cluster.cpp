@@ -1,8 +1,10 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
+#include "coll/hier.hpp"
 #include "coll/tuning.hpp"
 #include "common/assert.hpp"
 
@@ -45,7 +47,25 @@ int Cluster::segment_of_rank(int rank) const {
 
 unsigned Cluster::shard_of_segment(int segment) const {
   MC_EXPECTS(segment >= 0 && segment < config_.num_segments);
-  return static_cast<unsigned>(segment) % config_.sim_shards;
+  // Identity: one logical shard per segment (workers multiplex them), so
+  // scheduler counters and timings are a pure function of the topology.
+  return static_cast<unsigned>(segment);
+}
+
+SimTime Cluster::trunk_latency(int seg_a, int seg_b) const {
+  MC_EXPECTS(seg_a != seg_b);
+  MC_EXPECTS(seg_a >= 0 && seg_a < config_.num_segments);
+  MC_EXPECTS(seg_b >= 0 && seg_b < config_.num_segments);
+  if (config_.trunk_latency_of) {
+    // Latency is symmetric; query with the canonical (low, high) order so
+    // asymmetric user callbacks cannot desynchronize the two directions.
+    const SimTime t = config_.trunk_latency_of(std::min(seg_a, seg_b),
+                                               std::max(seg_a, seg_b));
+    if (t > kTimeZero) {
+      return t;
+    }
+  }
+  return config_.trunk_latency;
 }
 
 net::NetCounters Cluster::net_counters() const {
@@ -84,15 +104,44 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   fault_seed_ =
       faults.seed != 0 ? faults.seed : config_.seed ^ 0xFA017ULL;
 
-  sim_ = std::make_unique<sim::Simulator>(
-      config_.seed, config_.sim_backend,
-      sim::ShardingConfig{config_.sim_shards, config_.trunk_latency,
-                          config_.shard_driver, config_.payload_pool});
+  // One logical shard per segment; `sim_shards` only sizes the worker pool
+  // the parallel driver multiplexes those shards onto.  Per-pair trunk
+  // latencies (when configured) become the simulator's lookahead matrix so
+  // one slow trunk does not throttle unrelated shard pairs.
+  const auto num_shards = static_cast<unsigned>(config_.num_segments);
+  sim::ShardingConfig sharding{num_shards, config_.trunk_latency,
+                               config_.shard_driver, config_.payload_pool};
+  sharding.workers = std::min(config_.sim_shards, num_shards);
+  if (config_.num_segments > 1 && config_.trunk_latency_of) {
+    sharding.lookahead_matrix.assign(
+        static_cast<std::size_t>(num_shards) * num_shards, kTimeZero);
+    for (int a = 0; a < config_.num_segments; ++a) {
+      for (int b = a + 1; b < config_.num_segments; ++b) {
+        const SimTime t = trunk_latency(a, b);
+        const auto ab = static_cast<std::size_t>(a) * num_shards +
+                        static_cast<std::size_t>(b);
+        const auto ba = static_cast<std::size_t>(b) * num_shards +
+                        static_cast<std::size_t>(a);
+        sharding.lookahead_matrix[ab] = t;
+        sharding.lookahead_matrix[ba] = t;
+      }
+    }
+  }
+  sim_ = std::make_unique<sim::Simulator>(config_.seed, config_.sim_backend,
+                                          std::move(sharding));
 
-  // One network per segment.
+  // One network per segment.  Multi-segment hubs get private per-device
+  // backoff streams keyed by (seed, segment): with several collision
+  // domains live, drawing from the executing shard's RNG would make
+  // timings a function of the shard layout.  Single-segment hubs keep the
+  // legacy shard-0 stream the committed baselines pin.
   for (int s = 0; s < config_.num_segments; ++s) {
     if (config_.network == NetworkType::kHub) {
-      networks_.push_back(std::make_unique<net::Hub>(*sim_, config_.hub));
+      auto hub = std::make_unique<net::Hub>(*sim_, config_.hub);
+      if (config_.num_segments > 1) {
+        hub->seed_backoff_stream(config_.seed, static_cast<std::uint64_t>(s));
+      }
+      networks_.push_back(std::move(hub));
     } else {
       networks_.push_back(
           std::make_unique<net::Switch>(*sim_, config_.switch_params));
@@ -132,7 +181,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
         config_.costs, cpu_mhz, host_seeds.fork(static_cast<std::uint64_t>(i)));
     resources.push_back(mpi::World::RankResources{
         host->udp.get(), host->rdp.get(), host->costs.get(), addr,
-        shard_of_segment(segment)});
+        shard_of_segment(segment), segment});
     hosts_.push_back(std::move(host));
   }
 
@@ -159,7 +208,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
           net::MacAddr::host(0xB0000001u + bridge_index * 2),
           label + "/seg" + std::to_string(b)};
       bridges_.push_back(std::make_unique<net::Bridge>(
-          *sim_, port_a, port_b, config_.trunk_latency, segment_of));
+          *sim_, port_a, port_b, trunk_latency(a, b), segment_of));
       ++bridge_index;
     }
   }
@@ -186,6 +235,44 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   }
   if (!config_.coll_tuning.empty()) {
     world_->set_coll_tuning(coll::TuningTable::parse(config_.coll_tuning));
+  }
+  if (config_.num_segments > 1) {
+    // Snooping-bridge multicast scoping: when a derived communicator's
+    // members all live on one segment, tell every trunk bridge to stop
+    // flooding its multicast group off that segment.  The marks land via a
+    // simulator event on the owning segment's shard — bridge port state is
+    // shard-private — delayed by the SLOWEST trunk so the hop satisfies the
+    // cross-shard lookahead bound from whichever shard the creating rank
+    // runs on (any direct trunk is at least the closure lookahead).  Until
+    // the event lands the group floods exactly as before: slower, never
+    // incorrect, and deterministic either way.
+    SimTime max_trunk = kTimeZero;
+    for (int a = 0; a < config_.num_segments; ++a) {
+      for (int b = a + 1; b < config_.num_segments; ++b) {
+        max_trunk = std::max(max_trunk, trunk_latency(a, b));
+      }
+    }
+    world_->set_group_scope_hook(
+        [this, max_trunk](const mpi::CommInfo& info, int segment) {
+          const net::MacAddr group =
+              net::MacAddr::ip_multicast(info.mcast_addr().bits());
+          const auto seg = static_cast<std::uint16_t>(segment);
+          sim_->schedule_cross(shard_of_segment(segment),
+                               sim_->now() + max_trunk, [this, group, seg] {
+                                 for (auto& bridge : bridges_) {
+                                   bridge->scope_group(group, seg);
+                                 }
+                               });
+        });
+  }
+  if (config_.num_segments > 1) {
+    // Topology knob for the hierarchical algorithms' analytic cost hints:
+    // one trunk crossing in units of intra-segment frame times (~125 us
+    // per full frame at 100 Mb/s).  Advisory only — never semantics.
+    const double trunk_us =
+        static_cast<double>(config_.trunk_latency.count()) / 1000.0;
+    coll::set_hier_cost_hint(config_.num_segments,
+                             std::max(1.0, trunk_us / 125.0));
   }
 
   // Background cross-traffic flows: pure wire load, paced by a forked

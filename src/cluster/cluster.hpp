@@ -4,6 +4,7 @@
 /// hub/switch segments (joined by fixed-latency trunks), full protocol
 /// stacks, and an MPI world on top.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -44,12 +45,20 @@ struct ClusterConfig {
   int num_segments = 1;
   /// Trunk hop latency between segments (backbone store-and-forward +
   /// propagation).  Doubles as the sharded simulator's conservative
-  /// lookahead.
+  /// lookahead (per-pair when trunk_latency_of refines it).
   SimTime trunk_latency = microseconds_f(30.0);
-  /// Simulator shards; segments map to shards round-robin.  Honors
-  /// MCMPI_SIM_SHARDS unless overridden.  Shards beyond the segment count
-  /// stay idle; a single-segment cluster always behaves exactly like an
-  /// unsharded one.
+  /// Optional per-pair trunk latency: called once per segment pair (a < b)
+  /// at construction; returning a non-positive time falls back to
+  /// trunk_latency.  Null = uniform trunk_latency.  Feeds both the bridges
+  /// and the simulator's per-pair lookahead matrix, so a slow WAN trunk
+  /// between two segments no longer throttles every other shard's window.
+  std::function<SimTime(int, int)> trunk_latency_of;
+  /// Worker threads the sharded simulator multiplexes the segments onto
+  /// (the simulator always creates one LOGICAL shard per segment, so
+  /// timings and scheduler counters are a pure function of the topology —
+  /// never of this count).  Honors MCMPI_SIM_SHARDS unless overridden;
+  /// clamped to the segment count.  A single-segment cluster always
+  /// behaves exactly like an unsharded one.
   unsigned sim_shards = default_sim_shards();
   /// Thread model executing a multi-shard simulation's rounds.  The serial
   /// driver is the determinism reference; the parallel driver must be (and
@@ -102,8 +111,14 @@ class Cluster {
   int num_segments() const { return config_.num_segments; }
   /// Segment a rank's host sits on (contiguous blocks).
   int segment_of_rank(int rank) const;
-  /// Simulator shard owning a segment (round-robin).
+  /// Simulator shard owning a segment.  Identity: the cluster always
+  /// creates one logical shard per segment and multiplexes them onto
+  /// `sim_shards` workers, so the event schedule never depends on the
+  /// worker count.
   unsigned shard_of_segment(int segment) const;
+  /// Trunk latency between two distinct segments (trunk_latency_of when
+  /// set and positive, else the uniform trunk_latency).
+  SimTime trunk_latency(int seg_a, int seg_b) const;
 
   /// Segment 0's network — the whole network of a single-segment cluster.
   net::Network& network() { return *networks_.front(); }

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "coll/ack_mcast.hpp"
+#include "coll/hier.hpp"
 #include "coll/mcast.hpp"
 #include "coll/mcast_allgather.hpp"
 #include "coll/mcast_alltoall.hpp"
@@ -206,6 +207,24 @@ void register_builtins(Registry& r) {
           [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer, int root) {
             bcast_mcast_segmented(p, comm, buffer, root);
           }});
+  r.add(CollAlgorithm{
+      .name = "hier-mcast",
+      .op = CollOp::kBcast,
+      .description = "hierarchical: root -> segment leaders over the trunks "
+                     "once, then per-segment multicast (MagPIe-style)",
+      .applicable = [](const mpi::Comm& comm,
+                       std::size_t) { return hier_applicable(comm); },
+      // One trunk image per remote segment (overlapped, so ~one trunk cost
+      // on the critical path) + the intra phase at segment size.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            const int segs = hier_segments_hint();
+            return hier_trunk_cost_hint() * frames(bytes) +
+                   log2n(std::max(ranks / segs, 2)) + frames(bytes);
+          },
+      .loss_tolerant = true,  // reliable trunks; intra kAuto stays tolerant
+      .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                  int root) { bcast_hier(p, comm, buffer, root); }});
 
   // ------------------------------------------------------------- barrier
   r.add(CollAlgorithm{
@@ -230,6 +249,24 @@ void register_builtins(Registry& r) {
       .cost_hint = [](std::size_t, int ranks) { return ranks - 1 + 1.0; },
       .barrier = [](mpi::Proc& p,
                     const mpi::Comm& comm) { barrier_mcast(p, comm); }});
+  r.add(CollAlgorithm{
+      .name = "hier",
+      .op = CollOp::kBarrier,
+      .description = "hierarchical: intra fold to segment leaders, two flat "
+                     "trunk rounds among leaders, intra release",
+      .applicable = [](const mpi::Comm& comm,
+                       std::size_t) { return hier_applicable(comm); },
+      // Two binomial intra phases + exactly two trunk crossings,
+      // independent of the segment count.
+      .cost_hint =
+          [](std::size_t, int ranks) {
+            const int segs = hier_segments_hint();
+            return 2.0 * hier_trunk_cost_hint() +
+                   2.0 * log2n(std::max(ranks / segs, 2));
+          },
+      .loss_tolerant = true,  // pure p2p over the reliable transport
+      .barrier = [](mpi::Proc& p,
+                    const mpi::Comm& comm) { barrier_hier(p, comm); }});
 
   // ----------------------------------------------------------- allreduce
   // MPICH-1.x shape: binomial reduce to rank 0, then broadcast — with the
@@ -272,6 +309,32 @@ void register_builtins(Registry& r) {
               return result;
             }});
   }
+  r.add(CollAlgorithm{
+      .name = "hier",
+      .op = CollOp::kAllreduce,
+      .description = "hierarchical: intra reduce to segment leaders, leader "
+                     "combine over the trunks, intra release broadcast",
+      // Contiguous segment blocks keep the leader combine in comm rank
+      // order — required for non-commutative custom ops.
+      .applicable =
+          [](const mpi::Comm& comm, std::size_t) {
+            return hier_applicable_contiguous(comm);
+          },
+      // Intra reduce + ~2 overlapped trunk images + intra broadcast.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            const int segs = hier_segments_hint();
+            const double intra = log2n(std::max(ranks / segs, 2));
+            return frames(bytes) * intra + 2.0 * hier_trunk_cost_hint() *
+                                               frames(bytes) +
+                   intra + frames(bytes);
+          },
+      .loss_tolerant = true,  // reliable trunks; intra kAuto stays tolerant
+      .allreduce = [](mpi::Proc& p, const mpi::Comm& comm,
+                      std::span<const std::uint8_t> data, mpi::Op op,
+                      mpi::Datatype type) {
+        return allreduce_hier(p, comm, data, op, type);
+      }});
 
   // ----------------------------------------------------------- allgather
   r.add(CollAlgorithm{
@@ -331,6 +394,30 @@ void register_builtins(Registry& r) {
       .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
                       std::span<const std::uint8_t> data) {
         return allgather_mcast_segmented(p, comm, data);
+      }});
+  r.add(CollAlgorithm{
+      .name = "hier",
+      .op = CollOp::kAllgather,
+      .description = "hierarchical: intra gather to segment leaders, leader "
+                     "bundle exchange over the trunks (each byte crosses "
+                     "each trunk once), intra release broadcast",
+      .applicable = [](const mpi::Comm& comm,
+                       std::size_t) { return hier_applicable(comm); },
+      // Intra gather of one block + the full result over the trunk once +
+      // the assembled bundle broadcast intra.
+      .cost_hint =
+          [](std::size_t bytes, int ranks) {
+            const int segs = hier_segments_hint();
+            const int per_seg = std::max(ranks / segs, 2);
+            const double result_frames =
+                frames(bytes) * static_cast<double>(ranks);
+            return frames(bytes) * (per_seg - 1) +
+                   hier_trunk_cost_hint() * result_frames + result_frames;
+          },
+      .loss_tolerant = true,  // reliable trunks; intra kAuto stays tolerant
+      .allgather = [](mpi::Proc& p, const mpi::Comm& comm,
+                      std::span<const std::uint8_t> data) {
+        return allgather_hier(p, comm, data);
       }});
 
   // -------------------------------------------------------------- reduce

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "coll/hier.hpp"
+
 namespace mcmpi::coll {
 
 namespace {
@@ -82,6 +84,24 @@ TuningTable TuningTable::defaults() {
       "alltoall,*,*,mcast-rr; alltoall,*,*,mpich");
 }
 
+TuningTable TuningTable::hier_defaults() {
+  // Topology-aware prefix: on a communicator spanning >= 2 segments the
+  // hierarchical algorithms cross each trunk once instead of O(log N) /
+  // O(N) times.  The 2-rank and small-payload point-to-point rules still
+  // come first (one trunk send beats leader machinery at those sizes);
+  // single-segment communicators fail every min_segments gate and fall
+  // through to the classic table appended below.
+  TuningTable hier = parse(
+      "bcast,*,2,mpich; bcast,1024,*,mpich; bcast,*,*,hier-mcast,2;"
+      "barrier,*,*,hier,2;"
+      "allreduce,*,2,mpich; allreduce,1024,*,mpich; allreduce,*,*,hier,2;"
+      "allgather,*,2,ring; allgather,2048,*,ring; allgather,*,*,hier,2");
+  TuningTable table = defaults();
+  table.rules_.insert(table.rules_.begin(), hier.rules_.begin(),
+                      hier.rules_.end());
+  return table;
+}
+
 TuningTable TuningTable::parse(const std::string& spec) {
   TuningTable table;
   std::stringstream rules(spec);
@@ -97,10 +117,10 @@ TuningTable TuningTable::parse(const std::string& spec) {
     while (std::getline(fields, field, ',')) {
       parts.push_back(strip(field));
     }
-    if (parts.size() != 4) {
+    if (parts.size() != 4 && parts.size() != 5) {
       throw std::invalid_argument(
-          "tuning rule needs op,max_bytes,max_ranks,algo: '" + rule_text +
-          "'");
+          "tuning rule needs op,max_bytes,max_ranks,algo[,min_segments]: '" +
+          rule_text + "'");
     }
     TuningRule rule;
     rule.op = parse_op(parts[0]);
@@ -111,6 +131,13 @@ TuningTable TuningTable::parse(const std::string& spec) {
     }
     rule.max_ranks = static_cast<int>(ranks);
     rule.algo = parts[3];
+    if (parts.size() == 5) {
+      const std::int64_t segments = parse_bound(parts[4], "segment");
+      if (segments > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument("tuning rule: segment bound too large");
+      }
+      rule.min_segments = segments < 0 ? 0 : static_cast<int>(segments);
+    }
     // Fail at parse time, not at the first collective inside a running
     // simulation: the named algorithm must exist.
     (void)Registry::instance().get(rule.op, rule.algo);
@@ -127,6 +154,7 @@ std::string TuningTable::select(CollOp op, std::size_t bytes, int ranks,
   // like an inapplicable one.
   const bool lossy_net =
       comm.proc() != nullptr && comm.proc()->network_lossy();
+  int segment_span = -1;  // computed on the first min_segments rule
   for (const TuningRule& rule : rules_) {
     if (rule.op != op) {
       continue;
@@ -137,6 +165,14 @@ std::string TuningTable::select(CollOp op, std::size_t bytes, int ranks,
     }
     if (rule.max_ranks >= 0 && ranks > rule.max_ranks) {
       continue;
+    }
+    if (rule.min_segments > 0) {
+      if (segment_span < 0) {
+        segment_span = hier_segment_span(comm);
+      }
+      if (segment_span < rule.min_segments) {
+        continue;
+      }
     }
     const CollAlgorithm& algo = Registry::instance().get(op, rule.algo);
     if (lossy_net && !algo.loss_tolerant) {
@@ -191,6 +227,9 @@ std::string TuningTable::to_string() const {
       os << r.max_ranks;
     }
     os << ',' << r.algo;
+    if (r.min_segments > 0) {
+      os << ',' << r.min_segments;
+    }
   }
   return os.str();
 }

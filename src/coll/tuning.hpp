@@ -9,9 +9,13 @@
 /// scales best for large payloads), and Fig. 13 (the multicast barrier
 /// wins at every N) — as an ordered rule list, first match wins:
 ///
-///     op,max_bytes,max_ranks,algorithm
+///     op,max_bytes,max_ranks,algorithm[,min_segments]
 ///
 /// `*` means unbounded; rules are separated by `;` (whitespace ignored).
+/// The optional fifth field gates a rule on topology: it matches only when
+/// the communicator spans at least `min_segments` network segments — how
+/// the hierarchical algorithms (hier-mcast & co.) are tuned in without
+/// touching single-segment behavior.  Omitted (or `*`/0) means any span.
 /// Excerpt of the default table (TuningTable::defaults() carries the full
 /// set for all eight ops, including doubled fall-through rules for
 /// reduce/gather/scatter whose multicast variants have applicability
@@ -43,12 +47,23 @@ struct TuningRule {
   std::int64_t max_bytes = -1;  ///< rule applies when bytes <= this; -1 = inf
   int max_ranks = -1;           ///< rule applies when ranks <= this; -1 = inf
   std::string algo;
+  /// Rule applies when the communicator spans >= this many segments
+  /// (hier_segment_span); 0 = any topology.
+  int min_segments = 0;
 };
 
 class TuningTable {
  public:
   /// The built-in table encoding the paper's crossover points.
   static TuningTable defaults();
+
+  /// defaults() plus topology-aware rules: communicators spanning >= 2
+  /// segments prefer the hierarchical algorithms (bcast:hier-mcast,
+  /// barrier:hier, allreduce:hier, allgather:hier) at the payload sizes
+  /// where the trunk saving dominates.  Not the ambient default — install
+  /// via ClusterConfig::coll_tuning / MCMPI_COLL_TUNING — so existing
+  /// single-table baselines keep their committed schedules.
+  static TuningTable hier_defaults();
 
   /// Parses the rule syntax above; throws std::invalid_argument on
   /// malformed rules, unknown ops, or algorithms absent from the registry.

@@ -30,9 +30,13 @@ class IpAddr {
 
   friend constexpr auto operator<=>(const IpAddr&, const IpAddr&) = default;
 
-  /// Cluster convention: host i lives at 10.0.0.(i+1).
+  /// Cluster convention: host i carries i+1 in the low 24 bits of
+  /// 10.0.0.0/8 — 10.0.0.(i+1) for the first 254 hosts, rolling into
+  /// 10.0.1.x beyond.  The full index must survive: truncating to the
+  /// last octet would alias every 256th host's address on 255+ rank
+  /// clusters.
   static constexpr IpAddr host(std::uint32_t index) {
-    return IpAddr(10, 0, 0, static_cast<std::uint8_t>(index + 1));
+    return IpAddr((std::uint32_t{10} << 24) | ((index + 1) & 0x00FFFFFF));
   }
 
   /// Cluster convention: multicast group g maps into 239.1.0.0/16

@@ -198,6 +198,7 @@ Comm Proc::dup(const Comm& comm) {
     MC_ASSERT(seq == info.dup_children.size());
     info.dup_children.push_back(
         std::make_shared<CommInfo>(world_.alloc_context(), info.group));
+    world_.note_comm_created(*info.dup_children.back());
   }
   return Comm(info.dup_children[seq], world_rank_, this);
 }
@@ -246,9 +247,12 @@ Comm Proc::split(const Comm& comm, int color, int key) {
           ++i;
         }
         if (c >= 0) {
-          children.emplace(
+          const auto [child, inserted] = children.emplace(
               c, std::make_shared<CommInfo>(world_.alloc_context(),
                                             Group(members)));
+          if (inserted) {
+            world_.note_comm_created(*child->second);
+          }
         }
       }
     }

@@ -1,5 +1,6 @@
 #include "mpi/world.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "coll/tuning.hpp"
@@ -24,9 +25,33 @@ World::World(sim::Simulator& sim, const std::vector<RankResources>& ranks)
     MC_EXPECTS(r.udp != nullptr && r.rdp != nullptr && r.costs != nullptr);
     addresses_.push_back(r.address);
     shards_.push_back(r.shard);
+    segments_.push_back(r.segment);
+    num_segments_ = std::max(num_segments_, r.segment + 1);
     procs_.push_back(std::make_unique<Proc>(*this, static_cast<Rank>(i),
                                             *r.udp, *r.rdp, *r.costs));
   }
+  // Topology-aware kAuto: a multi-segment world prepends the min_segments
+  // rules that pick the hierarchical algorithms for communicators spanning
+  // >= 2 segments.  Single-segment worlds keep the classic table (and the
+  // hier table's classic tail makes single-segment communicators select
+  // identically anyway); an MCMPI_COLL_TUNING override always wins.
+  if ((env_tuning == nullptr || *env_tuning == '\0') && num_segments_ >= 2) {
+    coll_tuning_ = std::make_shared<coll::TuningTable>(
+        coll::TuningTable::hier_defaults());
+  }
+}
+
+void World::note_comm_created(const CommInfo& info) {
+  if (!group_scope_hook_ || num_segments_ < 2 || info.group.size() == 0) {
+    return;
+  }
+  const int segment = segment_of(info.group.world_rank(0));
+  for (int r = 1; r < info.group.size(); ++r) {
+    if (segment_of(info.group.world_rank(r)) != segment) {
+      return;  // spans segments: its multicast traffic must keep flooding
+    }
+  }
+  group_scope_hook_(info, segment);
 }
 
 void World::set_coll_tuning(coll::TuningTable table) {

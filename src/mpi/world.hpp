@@ -32,6 +32,10 @@ class World {
     /// All of a rank's state (stacks, engine, helper fibers) stays on this
     /// shard; only trunk frames cross shards.
     unsigned shard = 0;
+    /// Network segment the rank's host sits on (0 on single-segment
+    /// clusters).  The hierarchical collectives read this table to elect
+    /// per-segment leaders without any wire traffic.
+    int segment = 0;
   };
 
   World(sim::Simulator& sim, const std::vector<RankResources>& ranks);
@@ -43,6 +47,13 @@ class World {
   inet::IpAddr addr_of(Rank rank) const;
   Rank rank_of(inet::IpAddr addr) const;
 
+  /// Network segment of a world rank (from RankResources::segment).
+  int segment_of(Rank rank) const {
+    return segments_.at(static_cast<std::size_t>(rank));
+  }
+  /// Distinct segments in the topology (1 + max segment id).
+  int num_segments() const { return num_segments_; }
+
   const std::shared_ptr<CommInfo>& world_info() const { return world_info_; }
 
   /// Allocates a fresh communicator context id.  Atomic: ranks on different
@@ -53,6 +64,21 @@ class World {
   std::uint32_t alloc_context() {
     return next_context_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Invoked (when set) for every derived communicator whose members all
+  /// live on ONE network segment, with that segment id.  The cluster uses
+  /// it to scope the communicator's multicast identity at the trunk
+  /// bridges (net/bridge.hpp scope_group) — intra-segment collective
+  /// traffic then stops flooding every other segment.  Fired from the
+  /// creating rank's fiber at comm creation (dup/split), when the child's
+  /// full membership is already known.
+  using GroupScopeHook = std::function<void(const CommInfo&, int segment)>;
+  void set_group_scope_hook(GroupScopeHook hook) {
+    group_scope_hook_ = std::move(hook);
+  }
+  /// Classifies a freshly created communicator and fires the scope hook if
+  /// its group is segment-local (no-op on single-segment worlds).
+  void note_comm_created(const CommInfo& info);
 
   /// Tuned collective auto-selection rules (coll/tuning.hpp) consulted by
   /// the kAuto policy of comm.coll().  Construction installs the
@@ -72,8 +98,11 @@ class World {
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<inet::IpAddr> addresses_;
   std::vector<unsigned> shards_;  // home shard per rank
+  std::vector<int> segments_;     // home segment per rank
+  int num_segments_ = 1;
   std::shared_ptr<CommInfo> world_info_;
   std::shared_ptr<coll::TuningTable> coll_tuning_;
+  GroupScopeHook group_scope_hook_;
   std::atomic<std::uint32_t> next_context_{1};
 };
 

@@ -48,6 +48,9 @@ void Bridge::on_rx(Port& local, const Frame& frame) {
         static_cast<std::uint16_t>(dst_segment) != local.peer->segment) {
       return;  // local traffic, or bound for a different trunk of the mesh
     }
+  } else if (!frame.dst.is_broadcast() &&
+             local.scoped_groups.count(frame.dst.bits()) != 0) {
+    return;  // group is segment-local: every member already heard it
   }
   // Trunk fault model: consulted on the ingress shard, so the decision
   // stream is deterministic per direction regardless of shard mapping.  A
@@ -77,6 +80,15 @@ void Bridge::on_rx(Port& local, const Frame& frame) {
   if (duplicate) {
     sim_.schedule_cross(local.peer->shard, arrival,
                         [peer_nic, frame] { peer_nic->forward(frame); });
+  }
+}
+
+void Bridge::scope_group(MacAddr group, std::uint16_t segment) {
+  MC_EXPECTS_MSG(group.is_multicast(), "only multicast groups can be scoped");
+  if (a_.segment == segment) {
+    a_.scoped_groups.insert(group.bits());
+  } else if (b_.segment == segment) {
+    b_.scoped_groups.insert(group.bits());
   }
 }
 

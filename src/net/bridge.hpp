@@ -20,8 +20,17 @@
 ///   * unicast: forwarded only when the destination host lives on the far
 ///     segment (static destination table — the cluster knows its hosts; a
 ///     real bridge would learn the same mapping from source addresses);
-///   * multicast / broadcast: always forwarded (flooding; the backbone is a
-///     multicast-router port in IGMP-snooping terms).
+///   * multicast / broadcast: flooded by default (the backbone is a
+///     multicast-router port in IGMP-snooping terms) — except groups the
+///     cluster has marked segment-local via scope_group().  When every
+///     member of a multicast group lives on one segment, flooding its
+///     traffic across every trunk only burns far-side medium time; worse,
+///     many segments running intra-segment multicast concurrently can
+///     overflow far-side switch queues and stall each other on retransmit
+///     timeouts.  Scoping is the snooping-bridge filter: frames of a scoped
+///     group stop at the bridge.  Senders to a group are always members in
+///     this codebase (every multicast engine is communicator-scoped), so
+///     suppression can never starve a far-side receiver.
 ///
 /// The trunk hop costs a fixed `latency` (backbone store-and-forward plus
 /// propagation).  That latency is the conservative LOOKAHEAD of the sharded
@@ -33,6 +42,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 
 #include "common/time.hpp"
 #include "net/fault.hpp"
@@ -75,6 +85,20 @@ class Bridge {
   /// ingress shard before the cross-shard hop.  nullptr detaches.
   void set_fault_plane(const fault::FaultPlane* plane);
 
+  /// Marks a multicast group whose members all live on `segment` as
+  /// segment-local: the port attached to that segment stops forwarding the
+  /// group's frames across the trunk (no-op when neither port is on the
+  /// segment).  MUST run on the shard owning `segment` — the mark lands in
+  /// that port's private state, which only its own shard reads (on_rx runs
+  /// there); the cluster delivers the call via a simulator event scheduled
+  /// onto that shard, which also keeps the cut-over instant deterministic
+  /// under the parallel driver.  Split horizon means only the member
+  /// segment's port ever sees first-hop frames of the group, so one port
+  /// per bridge suffices.  Marks are never removed: context ids are never
+  /// reused (World::alloc_context), so a stale mark can only ever match
+  /// traffic of the communicator that installed it.
+  void scope_group(MacAddr group, std::uint16_t segment);
+
  private:
   struct Port {
     std::unique_ptr<Nic> nic;
@@ -84,6 +108,10 @@ class Bridge {
     /// Trunk fault state for frames ENTERING at this port; owned here so
     /// only this port's shard ever touches it.
     fault::LinkFaultBank faults;
+    /// Multicast group MACs scoped to this port's segment (scope_group):
+    /// their frames are not forwarded.  Port-private like the fault bank —
+    /// written and read only on this port's shard.
+    std::unordered_set<std::uint64_t> scoped_groups;
   };
 
   Port make_port(sim::Simulator& sim, const PortConfig& config);

@@ -11,6 +11,15 @@ Hub::Hub(sim::Simulator& sim) : Hub(sim, Params{}) {}
 
 Hub::Hub(sim::Simulator& sim, Params params) : sim_(sim), params_(params) {}
 
+void Hub::seed_backoff_stream(std::uint64_t seed, std::uint64_t device_id) {
+  // Same keying idiom as the fault plane's per-link streams: one splitmix64
+  // mix of (seed, device id) seeds an independent xoshiro stream, so the
+  // slots a collision domain draws are a pure function of the topology —
+  // never of the shard layout executing it.
+  std::uint64_t mix = seed ^ (0x9E3779B97F4A7C15ULL * (device_id + 1));
+  backoff_rng_.emplace(splitmix64(mix));
+}
+
 void Hub::attach(Nic& nic) {
   auto station = std::make_unique<Station>();
   station->nic = &nic;
@@ -160,7 +169,9 @@ void Hub::schedule_backoff(Station& s) {
   ++counters_.backoffs;
   s.state = StationState::kBackoff;
   const int k = std::min(std::max(s.attempts, 1), params_.max_backoff_exponent);
-  const std::uint64_t slots = sim_.rng().below(1ULL << k);
+  const std::uint64_t slots = backoff_rng_.has_value()
+                                  ? backoff_rng_->below(1ULL << k)
+                                  : sim_.rng().below(1ULL << k);
   const SimTime delay =
       params_.jam_time + params_.slot_time * static_cast<std::int64_t>(slots);
   Station* target = &s;

@@ -18,8 +18,10 @@
 /// (Fig. 11); this model reproduces both effects.
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/network.hpp"
 #include "net/nic.hpp"
@@ -53,6 +55,15 @@ class Hub : public Network {
 
   const Params& params() const { return params_; }
 
+  /// Gives this collision domain its own splitmix64-seeded backoff stream,
+  /// keyed by (seed, device id) the way the fault plane keys its per-link
+  /// streams.  Without it backoff slots come from the executing shard's
+  /// RNG, so multi-segment timings would depend on which shard happens to
+  /// own the segment — the cluster layer seeds every hub of a multi-segment
+  /// topology and leaves single-segment hubs on the legacy shard-0 stream
+  /// (whose draws the committed single-segment baselines pin).
+  void seed_backoff_stream(std::uint64_t seed, std::uint64_t device_id);
+
  private:
   enum class StationState { kIdle, kDeferring, kTransmitting, kBackoff };
   struct Station {
@@ -78,6 +89,10 @@ class Hub : public Network {
 
   sim::Simulator& sim_;
   Params params_;
+  /// Private per-device backoff stream (seed_backoff_stream); when absent,
+  /// backoff slots draw from the executing shard's stream (legacy
+  /// single-segment behavior).
+  std::optional<Rng> backoff_rng_;
   std::vector<std::unique_ptr<Station>> stations_;
   std::vector<Station*> deferring_;
   MediumState medium_ = MediumState::kIdle;

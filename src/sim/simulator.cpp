@@ -322,11 +322,58 @@ Simulator::Simulator(std::uint64_t seed, ExecutionBackend backend,
       payload_pool_(sharding.payload_pool) {
   MC_EXPECTS_MSG(sharding.shards >= 1, "need at least one shard");
   MC_EXPECTS_MSG(sharding.shards <= 0xFFFF, "shard id must fit 16 bits");
-  // Zero lookahead with several shards would plan zero-width windows the
-  // moment two shards' next-event times tie — a livelock, not an error
-  // the drivers can detect later.  Require it up front.
-  MC_EXPECTS_MSG(sharding.shards == 1 || sharding.lookahead > kTimeZero,
-                 "a multi-shard simulator needs positive lookahead");
+  const std::size_t n = sharding.shards;
+  MC_EXPECTS_MSG(
+      sharding.lookahead_matrix.empty() ||
+          sharding.lookahead_matrix.size() == n * n,
+      "lookahead matrix must be empty or shards x shards entries");
+  // Close the per-pair delivery bounds over indirect paths (Floyd–Warshall):
+  // shard i can influence shard k through j no earlier than the sum of the
+  // two hops, so the conservative bound between any pair is the shortest
+  // path, not the direct channel alone.  A uniform configuration (empty
+  // matrix) closes to `lookahead` for every distinct pair because paths
+  // only add hops.
+  closure_.assign(n * n, kTimeInfinity);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        closure_[i * n + j] = kTimeZero;
+      } else if (sharding.lookahead_matrix.empty()) {
+        closure_[i * n + j] = sharding.lookahead;
+      } else {
+        closure_[i * n + j] = sharding.lookahead_matrix[i * n + j];
+      }
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const SimTime via = saturating_add(closure_[i * n + k],
+                                           closure_[k * n + j]);
+        closure_[i * n + j] = std::min(closure_[i * n + j], via);
+      }
+    }
+  }
+  // Zero lookahead between two shards would plan zero-width windows the
+  // moment their next-event times tie — a livelock, not an error the
+  // drivers can detect later.  Require positive closed bounds up front
+  // (an infinite bound is fine: those pairs simply never gate each other).
+  SimTime min_pair = kTimeInfinity;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        MC_EXPECTS_MSG(closure_[i * n + j] > kTimeZero,
+                       "a multi-shard simulator needs positive lookahead");
+        min_pair = std::min(min_pair, closure_[i * n + j]);
+      }
+    }
+  }
+  if (!sharding.lookahead_matrix.empty() && min_pair != kTimeInfinity) {
+    lookahead_ = min_pair;
+  }
+  workers_ = sharding.workers == 0
+                 ? sharding.shards
+                 : std::min(sharding.workers, sharding.shards);
   shards_.reserve(sharding.shards);
   for (unsigned i = 0; i < sharding.shards; ++i) {
     shards_.push_back(std::unique_ptr<Shard>(
@@ -422,21 +469,29 @@ void Simulator::schedule_cross(unsigned target_shard, SimTime t, EventFn fn) {
     dst.schedule_at(t, std::move(fn));
     return;
   }
+  const SimTime out_bound = lookahead(src.id_, dst.id_);
+  MC_EXPECTS_MSG(out_bound != kTimeInfinity,
+                 "cross-shard delivery to a shard the lookahead matrix "
+                 "declares unreachable");
   MC_EXPECTS_MSG(
-      t >= saturating_add(src.now_, lookahead_),
+      t >= saturating_add(src.now_, out_bound),
       "cross-shard delivery violates the conservative lookahead bound");
   Shard::CrossNode* node = src.take_cross_node();
   node->time = t;
   node->key = src.events_.allocate_remote_key();
   node->fn = std::move(fn);
   dst.push_cross(node);
-  // Causal-response horizon: the receiver can react one trunk hop from now
-  // and its reply lands after another, so this shard must not execute past
-  // now + 2*lookahead this round.  Deterministic — the clamp depends only
-  // on the shard's own execution — and monotone within the round (later
-  // sends clamp no lower).
-  src.window_end_ = std::min(
-      src.window_end_, saturating_add(src.now_, lookahead_ + lookahead_));
+  // Causal-response horizon: the receiver can react one outbound hop from
+  // now and its reply lands after the return bound, so this shard must not
+  // execute past now + lookahead(src, dst) + lookahead(dst, src) this
+  // round.  Deterministic — the clamp depends only on the shard's own
+  // execution — and monotone within the round (later sends clamp no lower).
+  const SimTime back_bound = lookahead(dst.id_, src.id_);
+  if (back_bound != kTimeInfinity) {
+    src.window_end_ = std::min(
+        src.window_end_,
+        saturating_add(src.now_, saturating_add(out_bound, back_bound)));
+  }
 }
 
 EventId Simulator::schedule_on_shard_at(unsigned shard, SimTime t,
@@ -521,17 +576,19 @@ Simulator::RoundPlan Simulator::plan_round(bool until_processes_done) {
   plan.window.resize(n);
   plan.stop_at_local_quiescence.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    SimTime horizon = kTimeInfinity;
+    SimTime window = kTimeInfinity;
     for (std::size_t j = 0; j < n; ++j) {
       if (j != i) {
-        horizon = std::min(horizon, next[j]);
+        // Nothing peer j could execute before next[j], so nothing it could
+        // deliver here before next[j] + lookahead(j, i): shard i may run
+        // everything strictly below the minimum over its peers.  With no
+        // active peer (or only unreachable ones) the window is unbounded
+        // and the shard behaves exactly like a classic unsharded simulator.
+        window = std::min(window,
+                          saturating_add(next[j], closure_[j * n + i]));
       }
     }
-    // Nothing a peer could execute before `horizon`, so nothing it could
-    // deliver before horizon + lookahead: shard i may run everything
-    // strictly below that.  With no active peer the window is unbounded and
-    // the shard behaves exactly like a classic unsharded simulator.
-    plan.window[i] = saturating_add(horizon, lookahead_);
+    plan.window[i] = window;
     // run_until_processes_done parity: when every live process sits on this
     // shard, its own live count IS the global one, and stepping may stop
     // the instant it reaches zero (the classic per-step check).  With live
@@ -632,14 +689,20 @@ class RoundBarrier {
 void Simulator::run_windows_parallel(bool until_processes_done) {
   RoundPlan plan;
   bool stop = false;
+  // Worker w owns shards {i : i % W == w} and runs them in ascending id
+  // order within every round.  The round schedule is identical for every
+  // worker count (each shard's window depends only on the plan, and shards
+  // within one round are independent by the conservative-window invariant),
+  // so counters and timings are a pure function of the simulation — W only
+  // decides how much of a round runs concurrently.
+  const std::size_t parties = std::min<std::size_t>(workers_, shards_.size());
   // Two phases per round.  `quiesce` separates window execution from inbox
   // merging, so every cross push of round R is visible to its receiver's
   // merge; the completion of `ready` then plans round R+1 on the last
   // arriving thread while every other worker spins on the barrier's sense
   // flag — the plan is published before any worker resumes.
-  RoundBarrier quiesce(shards_.size(), {});
-  RoundBarrier ready(shards_.size(), [this, &plan, &stop,
-                                      until_processes_done] {
+  RoundBarrier quiesce(parties, {});
+  RoundBarrier ready(parties, [this, &plan, &stop, until_processes_done] {
     for (const auto& shard : shards_) {
       if (shard->error_) {
         stop = true;
@@ -654,32 +717,36 @@ void Simulator::run_windows_parallel(bool until_processes_done) {
     stop = plan.done;
   });
 
-  auto worker = [&](std::size_t i) {
-    Shard& shard = *shards_[i];
-    const TlsShardGuard guard(&shard);
+  auto worker = [&](std::size_t w) {
     bool quiesce_sense = false;
     bool ready_sense = false;
     for (;;) {
       quiesce.arrive_and_wait(quiesce_sense);
-      shard.merge_inbox();
+      for (std::size_t i = w; i < shards_.size(); i += parties) {
+        shards_[i]->merge_inbox();
+      }
       ready.arrive_and_wait(ready_sense);
       if (stop) {
         return;
       }
-      shard.window_end_ = plan.window[i];
-      try {
-        shard.run_window(plan.stop_at_local_quiescence[i] != 0);
-      } catch (...) {
-        shard.error_ = std::current_exception();
+      for (std::size_t i = w; i < shards_.size(); i += parties) {
+        Shard& shard = *shards_[i];
+        const TlsShardGuard guard(&shard);
+        shard.window_end_ = plan.window[i];
+        try {
+          shard.run_window(plan.stop_at_local_quiescence[i] != 0);
+        } catch (...) {
+          shard.error_ = std::current_exception();
+        }
+        shard.window_end_ = kTimeInfinity;
       }
-      shard.window_end_ = kTimeInfinity;
     }
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(shards_.size() - 1);
-  for (std::size_t i = 1; i < shards_.size(); ++i) {
-    threads.emplace_back(worker, i);
+  threads.reserve(parties - 1);
+  for (std::size_t w = 1; w < parties; ++w) {
+    threads.emplace_back(worker, w);
   }
   worker(0);
   for (std::thread& t : threads) {
@@ -688,7 +755,9 @@ void Simulator::run_windows_parallel(bool until_processes_done) {
 }
 
 void Simulator::run_driver(bool until_processes_done) {
-  if (driver_ == ShardDriver::kSerial) {
+  // A single worker runs the shards in id order with nobody to synchronize
+  // with — exactly the serial driver, minus the barrier spins.
+  if (driver_ == ShardDriver::kSerial || workers_ <= 1) {
     run_windows_serial(until_processes_done);
   } else {
     run_windows_parallel(until_processes_done);

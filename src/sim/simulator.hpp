@@ -17,19 +17,25 @@
 /// into SHARDS — one per network segment — each with its own clock, event
 /// queue, ready list, RNG stream and SchedCounters.  Shards interact only
 /// through schedule_cross(), whose deliveries are bounded below by a
-/// configured LOOKAHEAD (the minimum cross-segment link latency).  Execution
-/// proceeds in conservative windows: each round, shard i may run every event
-/// strictly before  W_i = min_{j != i} next_j + lookahead , because no peer
-/// can deliver anything earlier.  Cross deliveries carry the SENDER's
+/// configured LOOKAHEAD: either one uniform bound (the minimum
+/// cross-segment link latency) or a per-pair matrix of direct channel
+/// latencies, closed over indirect paths, so a shard is gated only by the
+/// trunks that can actually reach it.  Execution proceeds in conservative
+/// windows: each round, shard i may run every event strictly before
+/// W_i = min_{j != i} (next_j + lookahead(j, i)), because no peer can
+/// deliver anything earlier.  Cross deliveries carry the SENDER's
 /// (shard, seq) ordering key, so their order against the receiver's own
 /// same-tick events is the deterministic tie-break (time, shard, seq) —
 /// never thread timing.  Two drivers execute the same rounds:
 ///
 ///   kSerial   — one thread runs the shards' windows in shard order; the
 ///               determinism REFERENCE.
-///   kParallel — one worker thread per shard, two sense-reversing atomic
+///   kParallel — worker threads (one per shard by default; fewer when
+///               ShardingConfig::workers caps them, each then running its
+///               shards in ascending id order), two sense-reversing atomic
 ///               barrier phases per round (quiesce, then merge + plan).
-///               Bit-identical to the serial driver by construction.
+///               Bit-identical to the serial driver — and to every worker
+///               count — by construction.
 ///
 /// A 1-shard simulator (the default) skips all of this and runs the classic
 /// loop; a K-shard simulator whose work all lands on one shard (every
@@ -126,6 +132,23 @@ struct ShardingConfig {
   /// remote returns are drained at round boundaries, so pool hits are a
   /// pure function of the simulation, identical across drivers.
   bool payload_pool = false;
+  /// Optional flattened shards×shards matrix of DIRECT cross-shard channel
+  /// latencies: entry [i*shards + j] is the minimum latency of any channel
+  /// from shard i to shard j (kTimeInfinity when no direct channel exists;
+  /// the diagonal is ignored).  Empty = the uniform `lookahead` between
+  /// every pair.  The simulator closes the matrix over indirect paths
+  /// (all-pairs shortest path), so each shard's conservative window is
+  /// bounded only by the trunks that can actually reach it — a pair joined
+  /// by a slow trunk no longer throttles the whole topology to the global
+  /// minimum.
+  std::vector<SimTime> lookahead_matrix;
+  /// Worker threads the parallel driver multiplexes the shards onto: shard
+  /// i runs on worker i % workers, and each worker executes its shards in
+  /// ascending id order within every round — so the round schedule (and
+  /// every counter) is a pure function of the simulation, independent of
+  /// the worker count.  0 = one worker per shard; 1 collapses to the
+  /// serial driver.
+  unsigned workers = 0;
 };
 
 /// A simulated process.  The body runs on its own execution context (fiber
@@ -338,6 +361,15 @@ class Simulator {
   unsigned num_shards() const { return static_cast<unsigned>(shards_.size()); }
   ShardDriver shard_driver() const { return driver_; }
   SimTime lookahead() const { return lookahead_; }
+  /// Closed (shortest-path) delivery bound from shard `src` to shard `dst`:
+  /// no execution on `src` at time t can influence `dst` before
+  /// t + lookahead(src, dst).  Uniform configurations return `lookahead`
+  /// for every distinct pair; kTimeInfinity when `dst` is unreachable.
+  SimTime lookahead(unsigned src, unsigned dst) const {
+    return closure_[src * shards_.size() + dst];
+  }
+  /// Worker threads the parallel driver uses (<= num_shards()).
+  unsigned workers() const { return workers_; }
   bool payload_pool_enabled() const { return payload_pool_; }
   Shard& shard(unsigned index) { return *shards_.at(index); }
 
@@ -449,6 +481,10 @@ class Simulator {
   ExecutionBackend backend_;
   ShardDriver driver_;
   SimTime lookahead_ = kTimeZero;
+  /// Flattened shards×shards all-pairs shortest-path closure of the direct
+  /// lookahead matrix (uniform `lookahead_` when none was configured).
+  std::vector<SimTime> closure_;
+  unsigned workers_ = 1;
   bool payload_pool_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   bool running_ = false;

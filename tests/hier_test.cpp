@@ -1,0 +1,627 @@
+// Hierarchical (MagPIe-style) collective conformance: bcast:hier-mcast,
+// barrier:hier, allreduce:hier and allgather:hier on multi-segment
+// topologies — ragged segment blocks, roots in every segment, hub and
+// switch media, dup/split (including interleaved, non-contiguous)
+// communicators, lossy trunks, and the min_segments tuning gate that keeps
+// the hierarchy away from single-segment communicators.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <numeric>
+
+#include "cluster/cluster.hpp"
+#include "cluster/experiment.hpp"
+#include "coll/facade.hpp"
+#include "coll/hier.hpp"
+#include "common/bytes.hpp"
+
+namespace mcmpi {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::NetworkType;
+
+ClusterConfig config_for(int procs, int segments,
+                         NetworkType net = NetworkType::kSwitch) {
+  ClusterConfig config;
+  config.num_procs = procs;
+  config.num_segments = segments;
+  config.network = net;
+  config.seed = 31;
+  if (procs > static_cast<int>(cluster::kMaxEagleHosts)) {
+    config.hosts = cluster::make_uniform_hosts(procs);
+  }
+  return config;
+}
+
+// ------------------------------------------------------- decomposition
+
+TEST(HierState, RaggedSegmentsElectSmallestRankPerSegment) {
+  // 7 ranks over 3 segments: contiguous blocks 3/2/2.
+  Cluster cluster(config_for(7, 3));
+  std::vector<coll::HierState> states(7);
+  cluster.world().run([&](mpi::Proc& p) {
+    const coll::HierState& st = coll::hier_state(p, p.comm_world());
+    coll::HierState& copy = states[static_cast<std::size_t>(p.rank())];
+    copy.seg_of = st.seg_of;
+    copy.leaders = st.leaders;
+    copy.members = st.members;
+    copy.my_segment_idx = st.my_segment_idx;
+    copy.contiguous = st.contiguous;
+    copy.built = st.intra.size() > 0;
+  });
+  const std::vector<int> want_seg{0, 0, 0, 1, 1, 2, 2};
+  const std::vector<int> want_leaders{0, 3, 5};
+  const std::vector<std::vector<int>> want_members{{0, 1, 2}, {3, 4}, {5, 6}};
+  for (int r = 0; r < 7; ++r) {
+    const coll::HierState& st = states[static_cast<std::size_t>(r)];
+    EXPECT_EQ(st.seg_of, want_seg) << "rank " << r;
+    EXPECT_EQ(st.leaders, want_leaders) << "rank " << r;
+    EXPECT_EQ(st.members, want_members) << "rank " << r;
+    EXPECT_EQ(st.my_segment_idx, want_seg[static_cast<std::size_t>(r)]);
+    EXPECT_TRUE(st.contiguous) << "rank " << r;
+    EXPECT_TRUE(st.built) << "rank " << r;
+  }
+}
+
+TEST(HierState, ApplicabilityAndSpan) {
+  Cluster cluster(config_for(6, 3));
+  bool applicable = false;
+  bool contiguous = false;
+  int span = 0;
+  bool intra_applicable = true;
+  int intra_span = 0;
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm world = p.comm_world();
+    const coll::HierState& st = coll::hier_state(p, world);
+    if (p.rank() == 0) {
+      applicable = coll::hier_applicable(world);
+      contiguous = coll::hier_applicable_contiguous(world);
+      span = coll::hier_segment_span(world);
+      intra_applicable = coll::hier_applicable(st.intra);
+      intra_span = coll::hier_segment_span(st.intra);
+    }
+  });
+  EXPECT_TRUE(applicable);
+  EXPECT_TRUE(contiguous);
+  EXPECT_EQ(span, 3);
+  EXPECT_FALSE(intra_applicable)
+      << "single-segment intra comm must reject hier (recursion guard)";
+  EXPECT_EQ(intra_span, 1);
+}
+
+TEST(HierState, SingleSegmentWorldIsNotApplicable) {
+  Cluster cluster(config_for(4, 1));
+  bool applicable = true;
+  int span = 0;
+  cluster.world().run([&](mpi::Proc& p) {
+    if (p.rank() == 0) {
+      applicable = coll::hier_applicable(p.comm_world());
+      span = coll::hier_segment_span(p.comm_world());
+    }
+  });
+  EXPECT_FALSE(applicable);
+  EXPECT_EQ(span, 1);
+}
+
+// ----------------------------------------------------- bcast conformance
+
+struct BcastCase {
+  int procs;
+  int segments;
+  NetworkType net;
+  int payload;
+  int root;
+};
+
+class HierBcast : public ::testing::TestWithParam<BcastCase> {};
+
+TEST_P(HierBcast, EveryRankGetsThePayload) {
+  const BcastCase c = GetParam();
+  Cluster cluster(config_for(c.procs, c.segments, c.net));
+  std::vector<int> ok(static_cast<std::size_t>(c.procs), 0);
+  cluster.world().run([&](mpi::Proc& p) {
+    Buffer data;
+    if (p.rank() == c.root) {
+      data = pattern_payload(99, static_cast<std::size_t>(c.payload));
+    }
+    p.comm_world().coll().bcast(data, c.root, "hier-mcast");
+    ok[static_cast<std::size_t>(p.rank())] =
+        data.size() == static_cast<std::size_t>(c.payload) &&
+        check_pattern(99, data);
+  });
+  for (int r = 0; r < c.procs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HierBcast,
+    ::testing::Values(
+        // Ragged 3/2/2 blocks, root in each of the three segments.
+        BcastCase{7, 3, NetworkType::kSwitch, 1472, 0},
+        BcastCase{7, 3, NetworkType::kSwitch, 16384, 4},
+        BcastCase{7, 3, NetworkType::kSwitch, 0, 6},
+        BcastCase{8, 4, NetworkType::kSwitch, 16384, 0},
+        // Rendezvous-sized: trunk transfers ride RTS/CTS.
+        BcastCase{9, 3, NetworkType::kSwitch, 100000, 8},
+        // One rank per segment: every intra phase degenerates.
+        BcastCase{5, 5, NetworkType::kSwitch, 512, 2},
+        // Shared-medium segments (CSMA/CD hubs) joined by trunks.
+        BcastCase{6, 2, NetworkType::kHub, 2000, 3},
+        // Beyond the eagle host table.
+        BcastCase{12, 4, NetworkType::kSwitch, 4096, 5}),
+    [](const auto& info) {
+      const BcastCase& c = info.param;
+      return "p" + std::to_string(c.procs) + "_s" +
+             std::to_string(c.segments) + "_" + cluster::to_string(c.net) +
+             "_b" + std::to_string(c.payload) + "_r" +
+             std::to_string(c.root);
+    });
+
+// ---------------------------------------------------------------- barrier
+
+TEST(HierBarrier, NoRankLeavesBeforeTheLastArrives) {
+  constexpr int kProcs = 6;
+  Cluster cluster(config_for(kProcs, 3));
+  std::vector<SimTime> left(kProcs, SimTime{});
+  cluster.world().run([&](mpi::Proc& p) {
+    p.self().delay(milliseconds(p.rank() + 1));
+    p.comm_world().coll().barrier("hier");
+    left[static_cast<std::size_t>(p.rank())] = p.self().now();
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_GE(left[static_cast<std::size_t>(r)].count(),
+              milliseconds(kProcs).count())
+        << "rank " << r << " left before the slowest rank arrived";
+  }
+}
+
+TEST(HierBarrier, BackToBackBarriersStaySynchronized) {
+  constexpr int kProcs = 8;
+  Cluster cluster(config_for(kProcs, 4));
+  std::vector<int> rounds(kProcs, 0);
+  cluster.world().run([&](mpi::Proc& p) {
+    for (int i = 0; i < 3; ++i) {
+      p.comm_world().coll().barrier("hier");
+      ++rounds[static_cast<std::size_t>(p.rank())];
+    }
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(rounds[static_cast<std::size_t>(r)], 3) << "rank " << r;
+  }
+}
+
+// -------------------------------------------------------------- allreduce
+
+TEST(HierAllreduce, MatchesMpichForVectorSums) {
+  constexpr int kProcs = 8;
+  constexpr std::size_t kElems = 512;  // 4 KiB of int64
+  Cluster cluster(config_for(kProcs, 4));
+  std::vector<Buffer> hier(kProcs);
+  std::vector<Buffer> mpich(kProcs);
+  cluster.world().run([&](mpi::Proc& p) {
+    std::vector<std::int64_t> mine(kElems);
+    for (std::size_t i = 0; i < kElems; ++i) {
+      mine[i] = static_cast<std::int64_t>(i) * (p.rank() + 1);
+    }
+    Buffer bytes(kElems * sizeof(std::int64_t));
+    std::memcpy(bytes.data(), mine.data(), bytes.size());
+    const auto r = static_cast<std::size_t>(p.rank());
+    hier[r] = p.comm_world().coll().allreduce(bytes, mpi::Op::kSum,
+                                              mpi::Datatype::kInt64, "hier");
+    mpich[r] = p.comm_world().coll().allreduce(bytes, mpi::Op::kSum,
+                                               mpi::Datatype::kInt64, "mpich");
+  });
+  // sum over ranks of i*(r+1) = i * N(N+1)/2
+  for (int r = 0; r < kProcs; ++r) {
+    ASSERT_EQ(hier[static_cast<std::size_t>(r)].size(),
+              kElems * sizeof(std::int64_t));
+    EXPECT_EQ(hier[static_cast<std::size_t>(r)],
+              mpich[static_cast<std::size_t>(r)])
+        << "rank " << r;
+    std::int64_t first_sum = 0;
+    std::memcpy(&first_sum,
+                hier[static_cast<std::size_t>(r)].data() + sizeof(std::int64_t),
+                sizeof(std::int64_t));
+    EXPECT_EQ(first_sum, kProcs * (kProcs + 1) / 2) << "rank " << r;
+  }
+}
+
+// Non-commutative custom op: 2x2 int64 matrix product (inout = in · inout,
+// `in` the lower-ranked partial) — the hierarchy's leader combine must
+// preserve comm rank order across segment partials.
+using Mat = std::array<std::int64_t, 4>;
+
+Mat matmul(const Mat& a, const Mat& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+void matrix_product_op(mpi::Datatype type, std::span<const std::uint8_t> in,
+                       std::span<std::uint8_t> inout, std::size_t count) {
+  MC_ASSERT(type == mpi::Datatype::kInt64);
+  MC_ASSERT(count % 4 == 0);
+  for (std::size_t g = 0; g < count / 4; ++g) {
+    Mat a;
+    Mat b;
+    std::memcpy(a.data(), in.data() + g * sizeof(Mat), sizeof(Mat));
+    std::memcpy(b.data(), inout.data() + g * sizeof(Mat), sizeof(Mat));
+    const Mat r = matmul(a, b);
+    std::memcpy(inout.data() + g * sizeof(Mat), r.data(), sizeof(Mat));
+  }
+}
+
+Mat rank_matrix(int rank) { return {1, rank + 1, 0, 2}; }
+
+TEST(HierAllreduce, NonCommutativeOpCombinesInRankOrder) {
+  constexpr int kProcs = 7;  // ragged 3/2/2 blocks
+  const mpi::CustomOpGuard guard(matrix_product_op, /*group_elements=*/4);
+  Cluster cluster(config_for(kProcs, 3));
+  std::vector<Buffer> results(kProcs);
+  cluster.world().run([&](mpi::Proc& p) {
+    const Mat mine = rank_matrix(p.rank());
+    Buffer bytes(sizeof mine);
+    std::memcpy(bytes.data(), mine.data(), sizeof mine);
+    results[static_cast<std::size_t>(p.rank())] =
+        p.comm_world().coll().allreduce(bytes, mpi::Op::kCustom,
+                                        mpi::Datatype::kInt64, "hier");
+  });
+  Mat expected = rank_matrix(0);
+  for (int r = 1; r < kProcs; ++r) {
+    expected = matmul(expected, rank_matrix(r));
+  }
+  Buffer want(sizeof expected);
+  std::memcpy(want.data(), expected.data(), sizeof expected);
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], want)
+        << "rank " << r << ": M_0 · ... · M_6 must be combined left to right";
+  }
+}
+
+// -------------------------------------------------------------- allgather
+
+TEST(HierAllgather, RaggedBlockSizesRoundTrip) {
+  constexpr int kProcs = 7;
+  Cluster cluster(config_for(kProcs, 3));
+  auto block_size = [](int rank) {
+    return static_cast<std::size_t>((rank * 137) % 500);  // rank 0: empty
+  };
+  std::vector<int> ok(kProcs, 0);
+  cluster.world().run([&](mpi::Proc& p) {
+    const Buffer mine = pattern_payload(static_cast<std::uint64_t>(p.rank()),
+                                        block_size(p.rank()));
+    const auto blocks = p.comm_world().coll().allgather(mine, "hier");
+    bool good = blocks.size() == static_cast<std::size_t>(kProcs);
+    for (int r = 0; good && r < kProcs; ++r) {
+      const Buffer& b = blocks[static_cast<std::size_t>(r)];
+      good = b.size() == block_size(r) &&
+             check_pattern(static_cast<std::uint64_t>(r), b);
+    }
+    ok[static_cast<std::size_t>(p.rank())] = good;
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+TEST(HierAllgather, EachBlockCrossesEachTrunkOnce) {
+  // 6 ranks on 2 segments: each leader's bundle (3 small blocks, one
+  // frame) crosses the single trunk exactly once in each direction.  The
+  // blocks are small enough that the intra phases stay on point-to-point —
+  // local unicast never reaches the bridge, so the trunk counter isolates
+  // the leader exchange (intra multicast would flood across the bridge).
+  constexpr int kProcs = 6;
+  constexpr std::size_t kBlock = 200;
+  Cluster cluster(config_for(kProcs, 2));
+  auto op = [](mpi::Proc& p) {
+    const Buffer mine =
+        pattern_payload(static_cast<std::uint64_t>(p.rank()), kBlock);
+    (void)p.comm_world().coll().allgather(mine, "hier");
+  };
+  cluster.world().run([&](mpi::Proc& p) { op(p); });  // warm the split
+  const std::uint64_t before = cluster.bridges().front()->forwarded_frames();
+  cluster.world().run([&](mpi::Proc& p) { op(p); });
+  const std::uint64_t after = cluster.bridges().front()->forwarded_frames();
+  // One bundle datagram per direction plus transport acknowledgements;
+  // per-rank trunk crossings (a flat algorithm's signature) would push the
+  // count past the bound.
+  const std::uint64_t forwarded = after - before;
+  EXPECT_GE(forwarded, 2u);
+  EXPECT_LE(forwarded, 10u)
+      << "bundle retransmits or per-rank trunk crossings detected";
+}
+
+// ----------------------------------------------------- dup / split comms
+
+TEST(HierComms, DupAndContiguousSplitKeepTheHierarchyWorking)
+{
+  constexpr int kProcs = 8;  // 2 segments, 4/4
+  Cluster cluster(config_for(kProcs, 2));
+  std::vector<int> ok(kProcs, 1);
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm world = p.comm_world();
+    auto& good = ok[static_cast<std::size_t>(p.rank())];
+
+    // dup: a fresh context builds its own cached HierState.
+    const mpi::Comm dup = p.dup(world);
+    Buffer data;
+    if (p.rank() == 0) {
+      data = pattern_payload(7, 3000);
+    }
+    dup.coll().bcast(data, 0, "hier-mcast");
+    good &= check_pattern(7, data) && data.size() == 3000;
+
+    // Even/odd split: comm ranks still group contiguously by segment
+    // ({0,2} on segment 0, {4,6} on segment 1), so hier stays applicable.
+    const mpi::Comm half = p.split(world, p.rank() % 2, p.rank());
+    good &= coll::hier_applicable(half);
+    Buffer sub;
+    if (half.rank() == 0) {
+      sub = pattern_payload(21, 2048);
+    }
+    half.coll().bcast(sub, 0, "hier-mcast");
+    good &= check_pattern(21, sub) && sub.size() == 2048;
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+TEST(HierComms, InterleavedSplitIsNonContiguousButBcastStillWorks) {
+  constexpr int kProcs = 8;  // 2 segments, 4/4
+  Cluster cluster(config_for(kProcs, 2));
+  std::vector<int> ok(kProcs, 1);
+  bool applicable = false;
+  bool contiguous = true;
+  std::string auto_pick;
+  cluster.world().run([&](mpi::Proc& p) {
+    auto& good = ok[static_cast<std::size_t>(p.rank())];
+    // Scrambled key: comm rank order interleaves the two segments, so the
+    // contiguity predicate must reject allreduce:hier while bcast (which
+    // only needs leaders) still delivers.
+    const mpi::Comm mixed =
+        p.split(p.comm_world(), 0, (p.rank() * 3) % kProcs);
+    if (mixed.rank() == 0) {
+      applicable = coll::hier_applicable(mixed);
+      contiguous = coll::hier_applicable_contiguous(mixed);
+      auto_pick = coll::TuningTable::hier_defaults().select(
+          coll::CollOp::kAllreduce, 16384, mixed.size(), mixed);
+    }
+    Buffer data;
+    if (mixed.rank() == 2) {
+      data = pattern_payload(13, 5000);
+    }
+    mixed.coll().bcast(data, 2, "hier-mcast");
+    good &= check_pattern(13, data) && data.size() == 5000;
+
+    // kAuto allreduce must fall through to a flat algorithm and still be
+    // correct on the interleaved comm.
+    const std::int64_t mine = mixed.rank() + 1;
+    Buffer bytes(sizeof mine);
+    std::memcpy(bytes.data(), &mine, sizeof mine);
+    const Buffer sum = mixed.coll().allreduce(bytes, mpi::Op::kSum,
+                                              mpi::Datatype::kInt64);
+    std::int64_t value = 0;
+    std::memcpy(&value, sum.data(), sizeof value);
+    good &= value == kProcs * (kProcs + 1) / 2;
+  });
+  EXPECT_TRUE(applicable);
+  EXPECT_FALSE(contiguous)
+      << "interleaved segment blocks must fail the contiguity predicate";
+  EXPECT_NE(auto_pick, "hier")
+      << "the tuning table must not pick allreduce:hier on an interleaved comm";
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+// ------------------------------------------------------------ lossy trunks
+
+TEST(HierFaults, SurvivesLossyTrunksAndLinks) {
+  constexpr int kProcs = 6;
+  ClusterConfig config = config_for(kProcs, 3);
+  config.faults.trunk.loss = 0.02;
+  config.faults.link.loss = 0.01;
+  Cluster cluster(config);
+  std::vector<int> ok(kProcs, 1);
+  cluster.world().run([&](mpi::Proc& p) {
+    auto& good = ok[static_cast<std::size_t>(p.rank())];
+    for (int rep = 0; rep < 3; ++rep) {
+      Buffer data;
+      if (p.rank() == 0) {
+        data = pattern_payload(static_cast<std::uint64_t>(rep), 8192);
+      }
+      p.comm_world().coll().bcast(data, 0, "hier-mcast");
+      good &= check_pattern(static_cast<std::uint64_t>(rep), data) &&
+              data.size() == 8192;
+      p.comm_world().coll().barrier("hier");
+    }
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+// ------------------------------------------------------ tuning integration
+
+TEST(HierTuning, MinSegmentsFieldParsesAndRoundTrips) {
+  const auto table = coll::TuningTable::parse(
+      "bcast,*,*,hier-mcast,3; barrier,*,*,hier,2; bcast,*,*,mcast-binary");
+  ASSERT_EQ(table.rules().size(), 3u);
+  EXPECT_EQ(table.rules()[0].min_segments, 3);
+  EXPECT_EQ(table.rules()[1].min_segments, 2);
+  EXPECT_EQ(table.rules()[2].min_segments, 0);
+  EXPECT_EQ(table.to_string(),
+            "bcast,*,*,hier-mcast,3; barrier,*,*,hier,2; "
+            "bcast,*,*,mcast-binary");
+  // `*` in the fifth field means any span.
+  EXPECT_EQ(coll::TuningTable::parse("bcast,*,*,mcast-binary,*")
+                .rules()[0]
+                .min_segments,
+            0);
+  // The full hier table round-trips through its own string form.
+  const auto hier = coll::TuningTable::hier_defaults();
+  EXPECT_EQ(coll::TuningTable::parse(hier.to_string()).to_string(),
+            hier.to_string());
+}
+
+TEST(HierTuning, RejectsMalformedMinSegments) {
+  EXPECT_THROW(coll::TuningTable::parse("bcast,*,*,mcast-binary,abc"),
+               std::invalid_argument);
+  EXPECT_THROW(coll::TuningTable::parse("bcast,*,*,mcast-binary,2,9"),
+               std::invalid_argument);
+  EXPECT_THROW(coll::TuningTable::parse("bcast,*,*,no-such-algo,2"),
+               std::invalid_argument);
+}
+
+TEST(HierTuning, HierDefaultsPickHierOnlyAcrossSegments) {
+  // 2 segments of 4 ranks: the intra comms are big enough (> 2 ranks)
+  // that the classic table's multicast rules apply inside a segment.
+  Cluster cluster(config_for(8, 2));
+  const auto table = coll::TuningTable::hier_defaults();
+  std::string big_bcast;
+  std::string tiny_bcast;
+  std::string barrier;
+  std::string allgather;
+  std::string intra_bcast;
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm world = p.comm_world();
+    const coll::HierState& st = coll::hier_state(p, world);
+    if (p.rank() == 0) {
+      big_bcast =
+          table.select(coll::CollOp::kBcast, 16384, world.size(), world);
+      tiny_bcast =
+          table.select(coll::CollOp::kBcast, 256, world.size(), world);
+      barrier = table.select(coll::CollOp::kBarrier, 0, world.size(), world);
+      allgather =
+          table.select(coll::CollOp::kAllgather, 16384, world.size(), world);
+      intra_bcast = table.select(coll::CollOp::kBcast, 16384,
+                                 st.intra.size(), st.intra);
+    }
+  });
+  EXPECT_EQ(big_bcast, "hier-mcast");
+  EXPECT_EQ(tiny_bcast, "mpich")
+      << "small payloads must stay on point-to-point";
+  EXPECT_EQ(barrier, "hier");
+  EXPECT_EQ(allgather, "hier");
+  EXPECT_EQ(intra_bcast, "mcast-binary")
+      << "the intra comm spans one segment: classic rules apply";
+}
+
+TEST(HierTuning, HierDefaultsOnSingleSegmentMatchClassicDefaults) {
+  Cluster cluster(config_for(4, 1));
+  const auto hier = coll::TuningTable::hier_defaults();
+  const auto classic = coll::TuningTable::defaults();
+  bool all_equal = true;
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm world = p.comm_world();
+    if (p.rank() != 0) {
+      return;
+    }
+    for (const coll::CollOp op :
+         {coll::CollOp::kBcast, coll::CollOp::kBarrier,
+          coll::CollOp::kAllreduce, coll::CollOp::kAllgather}) {
+      for (const std::size_t bytes : {std::size_t{256}, std::size_t{16384}}) {
+        all_equal &= hier.select(op, bytes, world.size(), world) ==
+                     classic.select(op, bytes, world.size(), world);
+      }
+    }
+  });
+  EXPECT_TRUE(all_equal)
+      << "every min_segments gate must fail on a single segment";
+}
+
+TEST(HierTuning, InstalledViaClusterConfigDrivesKAuto) {
+  constexpr int kProcs = 8;
+  ClusterConfig config = config_for(kProcs, 4);
+  config.coll_tuning = coll::TuningTable::hier_defaults().to_string();
+  Cluster cluster(config);
+  std::vector<int> ok(kProcs, 1);
+  cluster.world().run([&](mpi::Proc& p) {
+    auto& good = ok[static_cast<std::size_t>(p.rank())];
+    const mpi::Comm world = p.comm_world();
+    // All kAuto: bcast and allgather resolve to the hier algorithms (the
+    // selection itself is covered above); results must be exact.  Under
+    // kAuto every rank presents the agreed payload size (selection keys on
+    // the local count, like MPI's matching-count rule).
+    Buffer data(16384);
+    if (p.rank() == 0) {
+      data = pattern_payload(3, 16384);
+    }
+    world.coll().bcast(data, 0);
+    good &= check_pattern(3, data) && data.size() == 16384;
+
+    world.coll().barrier();
+
+    const Buffer mine =
+        pattern_payload(static_cast<std::uint64_t>(p.rank()), 4096);
+    const auto blocks = world.coll().allgather(mine);
+    good &= blocks.size() == static_cast<std::size_t>(kProcs);
+    for (int r = 0; good && r < kProcs; ++r) {
+      good &= check_pattern(static_cast<std::uint64_t>(r),
+                            blocks[static_cast<std::size_t>(r)]);
+    }
+
+    std::vector<std::int64_t> values(512);
+    std::iota(values.begin(), values.end(), p.rank());
+    Buffer bytes(values.size() * sizeof(std::int64_t));
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    const Buffer sum =
+        world.coll().allreduce(bytes, mpi::Op::kSum, mpi::Datatype::kInt64);
+    std::int64_t first = 0;
+    std::memcpy(&first, sum.data(), sizeof first);
+    good &= first == kProcs * (kProcs - 1) / 2;  // sum of ranks
+  });
+  for (int r = 0; r < kProcs; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "rank " << r;
+  }
+}
+
+// ----------------------------------------------- per-pair trunk latencies
+
+TEST(HierTrunks, PerPairLatencyShapesPointToPointTiming) {
+  // 3 segments, 2 ranks each; the 0<->2 trunk is 10x slower than 0<->1.
+  ClusterConfig config = config_for(6, 3);
+  config.trunk_latency_of = [](int a, int b) {
+    if (a == 0 && b == 1) {
+      return microseconds(30);
+    }
+    if (a == 0 && b == 2) {
+      return microseconds(300);
+    }
+    return SimTime{};  // (1,2): fall back to the uniform default
+  };
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.trunk_latency(0, 1), microseconds(30));
+  EXPECT_EQ(cluster.trunk_latency(2, 0), microseconds(300));
+  EXPECT_EQ(cluster.trunk_latency(1, 2), config.trunk_latency);
+
+  SimTime near_rtt{};
+  SimTime far_rtt{};
+  cluster.world().run([&](mpi::Proc& p) {
+    const mpi::Comm world = p.comm_world();
+    const Buffer ping = pattern_payload(1, 64);
+    if (p.rank() == 0) {
+      SimTime t0 = p.self().now();
+      p.send(world, 2, 1, ping);  // segment 0 -> 1
+      (void)p.recv(world, 2, 2);
+      near_rtt = p.self().now() - t0;
+      t0 = p.self().now();
+      p.send(world, 4, 1, ping);  // segment 0 -> 2
+      (void)p.recv(world, 4, 2);
+      far_rtt = p.self().now() - t0;
+    } else if (p.rank() == 2 || p.rank() == 4) {
+      const Buffer got = p.recv(world, 0, 1);
+      p.send(world, 0, 2, got);
+    }
+  });
+  // Two extra trunk crossings of +270us each dominate everything else.
+  EXPECT_GT(far_rtt.count(), near_rtt.count() + microseconds(400).count())
+      << "the slow trunk's latency must show up in the round trip";
+}
+
+}  // namespace
+}  // namespace mcmpi

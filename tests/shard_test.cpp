@@ -10,10 +10,11 @@
 //   2. A topology whose work lands on one shard (every single-segment
 //      cluster, whatever the shard count) is bit-identical to the classic
 //      unsharded simulator, counters included.
-//   3. Simulated TIMESTAMPS on switch topologies are independent of the
-//      shard count entirely (hub topologies draw CSMA/CD backoffs from
-//      per-shard RNG streams, so cross-shard-count identity is only
-//      asserted where no backoff randomness exists).
+//   3. Simulated timestamps AND counters are independent of the configured
+//      shard count on every medium: the cluster always creates one logical
+//      shard per segment (sim_shards only sets the worker count the
+//      parallel driver multiplexes them onto), and CSMA/CD backoffs draw
+//      from per-device RNG streams, so hubs are covered too.
 //
 // Plus bridge-level behaviour: unicast routing, multicast flooding, split
 // horizon, and the trunk latency floor.
@@ -249,9 +250,10 @@ TEST_P(ShardOracle, SingleSegmentIsUnshardedWhateverTheShardCount) {
   }
 }
 
-// Contract 3: switch topologies (no backoff randomness) keep bit-identical
-// simulated timestamps across shard counts; scheduler-cost counters may
-// legitimately differ (per-shard delay coalescing) but frame counts do not.
+// Contract 3: the configured shard count never changes the run — the
+// cluster keeps one logical shard per segment regardless, so timestamps
+// AND every counter are bit-identical whether the windows run on one
+// worker or many.
 TEST(ShardOracleCross, SwitchTimestampsIndependentOfShardCount) {
   const Trace one = run_workload(NetworkType::kSwitch, 6, 2, 1,
                                  sim::ShardDriver::kSerial);
@@ -260,9 +262,26 @@ TEST(ShardOracleCross, SwitchTimestampsIndependentOfShardCount) {
                                        sim::ShardDriver::kParallel);
     EXPECT_TRUE(one.same_times(sharded))
         << "simulated latencies changed at " << shards << " shards";
-    EXPECT_EQ(one.net.host_tx_frames, sharded.net.host_tx_frames);
-    EXPECT_EQ(one.net.host_tx_bytes, sharded.net.host_tx_bytes);
-    EXPECT_EQ(one.net.deliveries, sharded.net.deliveries);
+    EXPECT_TRUE(one.same_counters(sharded))
+        << "counters changed at " << shards << " shards";
+  }
+}
+
+// Contract 3 on a hub: CSMA/CD backoffs draw from per-device splitmix64
+// streams keyed by device id, not from whichever shard owns the segment,
+// so the collision schedule survives resharding bit-for-bit too.
+TEST(ShardOracleCross, HubBackoffsIndependentOfShardCount) {
+  const Trace one = run_workload(NetworkType::kHub, 6, 2, 1,
+                                 sim::ShardDriver::kSerial);
+  EXPECT_GT(one.net.collisions, 0u)
+      << "workload never collided: the contract is vacuous on this topology";
+  for (unsigned shards : {2u, 4u}) {
+    const Trace sharded = run_workload(NetworkType::kHub, 6, 2, shards,
+                                       sim::ShardDriver::kParallel);
+    EXPECT_TRUE(one.same_times(sharded))
+        << "simulated latencies changed at " << shards << " shards";
+    EXPECT_TRUE(one.same_counters(sharded))
+        << "counters changed at " << shards << " shards";
   }
 }
 

@@ -53,6 +53,15 @@ simulated medians do not depend on the host):
   * at window 1 and the largest payload, striping must strictly help:
     sim(max lanes) < sim(1 lane), per (op, algo, network, ranks).
 
+Segmented-topology records (bench/bench_hier_scaling.cpp) carry a `segments`
+field with one deterministic sim-time rule:
+
+  * with --min-hier-speedup R, the hierarchical bcast (hier-mcast) must be
+    >= R x faster than the flat multicast tree (mcast-binary) in simulated
+    median at every point with >= 4 segments and >= 256 ranks — the
+    paper-style crossover where the flat tree pays the slow trunks
+    O(log N) times and the hierarchy pays each once.
+
 Improvements are reported and do NOT fail; refresh the baselines in the same
 PR that makes them (see bench/baselines/README.md).
 
@@ -77,14 +86,16 @@ def load_records(path):
         # fold the algorithm into op and carry neither field.
         key = (r.get("op"), r.get("algo"), r.get("network"), r.get("ranks"),
                r.get("bytes"), r.get("shards"), r.get("driver"),
-               r.get("window"), r.get("lanes"), r.get("loss"))
+               r.get("window"), r.get("lanes"), r.get("loss"),
+               r.get("segments"))
         # Last record wins for duplicate keys (benches append per point).
         by_key[key] = r
     return by_key
 
 
 def fmt_key(key):
-    op, algo, network, ranks, nbytes, shards, driver, window, lanes, loss = key
+    (op, algo, network, ranks, nbytes, shards, driver, window, lanes, loss,
+     segments) = key
     label = f"{op}/{algo}" if algo else op
     suffix = f", {shards} shards" if shards else ""
     if driver:
@@ -93,6 +104,8 @@ def fmt_key(key):
         suffix += f", window {window}, {lanes} lane(s)"
     if loss is not None:
         suffix += f", loss {loss}"
+    if segments:
+        suffix += f", {segments} segments"
     return f"{label} [{network}, {ranks} ranks, {nbytes} B{suffix}]"
 
 
@@ -292,6 +305,39 @@ def check_loss_records(name, fresh, min_loss_advantage, failures):
                   f"(>= {min_loss_advantage:.2f}x)")
 
 
+def check_hier_records(name, fresh, min_hier_speedup, failures):
+    """Hierarchical-collective crossover claim over segmented-topology
+    records: past the paper-style threshold (>= 4 segments and >= 256
+    ranks) the hierarchical algorithm's simulated median must be >= R x
+    faster than the flat multicast tree's at the same point.  Simulated
+    medians only — deterministic, never hardware-gated."""
+    if min_hier_speedup <= 0:
+        return
+    points = {}
+    for key, r in fresh.items():
+        if key[10]:  # segments field present and non-zero
+            group = (key[0], key[2], key[3], key[4], key[10])
+            points.setdefault(group, {})[key[1]] = r
+    for group, by_algo in sorted(points.items()):
+        op, network, ranks, nbytes, segments = group
+        if segments < 4 or ranks < 256:
+            continue
+        if "mcast-binary" not in by_algo or "hier-mcast" not in by_algo:
+            continue
+        flat = by_algo["mcast-binary"]["sim_time_us"]
+        hier = by_algo["hier-mcast"]["sim_time_us"]
+        if hier <= 0 or flat < hier * min_hier_speedup:
+            failures.append(
+                f"{name}: {group} hier-mcast is only "
+                f"{flat / hier if hier > 0 else 0:.2f}x over flat "
+                f"mcast-binary (< required {min_hier_speedup:.2f}x; "
+                f"{flat:.1f} vs {hier:.1f} us)")
+        else:
+            print(f"bench_diff: {name} {group} hier-mcast "
+                  f"{flat / hier:.2f}x over flat mcast-binary "
+                  f"(>= {min_hier_speedup:.2f}x)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -326,6 +372,12 @@ def main():
                              "(largest window) segmented run at each record "
                              "family's largest payload; also enforces that "
                              "striping strictly helps at window 1 (0 = off)")
+    parser.add_argument("--min-hier-speedup", type=float, default=0.0,
+                        help="required simulated-median ratio of the flat "
+                             "multicast tree (mcast-binary) over the "
+                             "hierarchical bcast (hier-mcast) on segmented "
+                             "records at >= 4 segments and >= 256 ranks "
+                             "(0 = off)")
     args = parser.parse_args()
 
     baseline_files = sorted(f for f in os.listdir(args.baseline)
@@ -356,6 +408,7 @@ def main():
         check_pipeline_records(name, fresh, args.min_pipeline_speedup,
                                failures)
         check_loss_records(name, fresh, args.min_loss_advantage, failures)
+        check_hier_records(name, fresh, args.min_hier_speedup, failures)
 
         base_wall = 0.0
         fresh_wall = 0.0
