@@ -108,7 +108,11 @@ void flush_bench_json() {
          << ", \"frames_reordered\": " << r.frames_reordered
          << ", \"nacks_sent\": " << r.nacks_sent
          << ", \"nacks_suppressed\": " << r.nacks_suppressed
-         << ", \"retransmits\": " << r.retransmits;
+         << ", \"retransmits\": " << r.retransmits
+         << ", \"parity_sent\": " << r.parity_sent
+         << ", \"parity_used\": " << r.parity_used
+         << ", \"fec_decodes\": " << r.fec_decodes
+         << ", \"fec_fallbacks\": " << r.fec_fallbacks;
     }
     os << ", \"sim_time_us\": " << r.sim_time_us
        << ", \"wall_time_ms\": " << r.wall_time_ms

@@ -100,6 +100,10 @@ struct BenchRecord {
   std::uint64_t nacks_sent = 0;
   std::uint64_t nacks_suppressed = 0;
   std::uint64_t retransmits = 0;
+  std::uint64_t parity_sent = 0;      ///< FEC parity frames multicast
+  std::uint64_t parity_used = 0;      ///< FEC parity rows consumed decoding
+  std::uint64_t fec_decodes = 0;      ///< FEC windows reconstructed
+  std::uint64_t fec_fallbacks = 0;    ///< FEC windows past parity -> NACK
 };
 
 /// Appends a record to the JSON dump (measure_* helpers call this for every

@@ -73,6 +73,12 @@ endif()
 if(DEFINED MIN_LOSS_ADVANTAGE)
   list(APPEND speedup_args --min-loss-advantage ${MIN_LOSS_ADVANTAGE})
 endif()
+# FEC-crossover gate: at >= 5% injected loss behind a multi-segment trunk
+# the best fec-mcast variant's simulated median must be within 1/R of
+# nack-mcast's (deterministic — never hw-gated).
+if(DEFINED MIN_FEC_ADVANTAGE)
+  list(APPEND speedup_args --min-fec-advantage ${MIN_FEC_ADVANTAGE})
+endif()
 # Hierarchical-crossover gate: past 4 segments / 256 ranks the hierarchical
 # bcast's simulated median must beat the flat multicast tree's by this
 # ratio (deterministic — never hw-gated).

@@ -1,0 +1,253 @@
+#include "coll/gf256.hpp"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace mcmpi::coll::gf256 {
+
+namespace {
+
+constexpr std::uint16_t kPoly = 0x11D;
+
+/// exp/log tables for generator 2, plus the full 256x256 product table the
+/// per-byte hot loops index (64 KiB, built once; the doubled exp table
+/// avoids a mod-255 in the builder).
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::array<std::uint8_t, 256>, 256> prod{};
+
+  Tables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x = static_cast<std::uint16_t>(x << 1);
+      if (x & 0x100) {
+        x ^= kPoly;
+      }
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        prod[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            exp[static_cast<std::size_t>(log[static_cast<std::size_t>(a)]) +
+                static_cast<std::size_t>(log[static_cast<std::size_t>(b)])];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+/// bytes[i] = coef * bytes[i] in place (row normalization in the decoder).
+void scale(std::span<std::uint8_t> bytes, std::uint8_t coef) {
+  if (coef == 1) {
+    return;
+  }
+  MC_EXPECTS(coef != 0);
+  const auto& row = tables().prod[coef];
+  for (auto& b : bytes) {
+    b = row[b];
+  }
+}
+
+/// Unnormalized Cauchy entry 1 / (x_i + y_j) with x_i = k + i, y_j = j.
+std::uint8_t cauchy(int i, int j, int k) {
+  return inv(static_cast<std::uint8_t>((k + i) ^ j));
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) { return tables().prod[a][b]; }
+
+std::uint8_t inv(std::uint8_t a) {
+  MC_EXPECTS_MSG(a != 0, "gf256: zero has no inverse");
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+void mul_acc(std::span<std::uint8_t> acc, std::span<const std::uint8_t> data,
+             std::uint8_t coef) {
+  MC_EXPECTS(data.size() <= acc.size());
+  if (coef == 0) {
+    return;
+  }
+  if (coef == 1) {
+    // The r=1 / parity-row-0 fast path: plain XOR, no field lookups.
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      acc[i] ^= data[i];
+    }
+    return;
+  }
+  const auto& row = tables().prod[coef];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc[i] ^= row[data[i]];
+  }
+}
+
+int max_parity(int k) {
+  MC_EXPECTS(k >= 1 && k <= 255);
+  return 256 - k;
+}
+
+std::uint8_t parity_coef(int i, int j, int k) {
+  MC_EXPECTS(j >= 0 && j < k);
+  MC_EXPECTS(i >= 0 && i < max_parity(k));
+  if (i == 0) {
+    return 1;  // column-normalized: row 0 is all-ones by construction
+  }
+  return mul(cauchy(i, j, k), inv(cauchy(0, j, k)));
+}
+
+void encode_parity(std::span<const std::span<const std::uint8_t>> data,
+                   std::span<const std::span<std::uint8_t>> parity) {
+  const int k = static_cast<int>(data.size());
+  MC_EXPECTS(k >= 1);
+  MC_EXPECTS(static_cast<int>(parity.size()) <= max_parity(k));
+  for (int i = 0; i < static_cast<int>(parity.size()); ++i) {
+    std::span<std::uint8_t> out = parity[static_cast<std::size_t>(i)];
+    MC_EXPECTS(out.size() == parity[0].size());
+    std::memset(out.data(), 0, out.size());
+    for (int j = 0; j < k; ++j) {
+      mul_acc(out, data[static_cast<std::size_t>(j)], parity_coef(i, j, k));
+    }
+  }
+}
+
+void decode(std::span<const std::span<const std::uint8_t>> data,
+            std::span<const ParityRow> parity, std::span<const int> missing,
+            std::span<const std::span<std::uint8_t>> out) {
+  const int k = static_cast<int>(data.size());
+  const int m = static_cast<int>(missing.size());
+  MC_EXPECTS(k >= 1);
+  MC_EXPECTS(out.size() == missing.size());
+  MC_EXPECTS_MSG(parity.size() >= missing.size(),
+                 "gf256: fewer parity rows than erasures");
+  if (m == 0) {
+    return;
+  }
+  const std::size_t len = parity[0].bytes.size();
+
+  std::array<bool, 256> is_missing{};
+  for (const int j : missing) {
+    MC_EXPECTS(j >= 0 && j < k);
+    is_missing[static_cast<std::size_t>(j)] = true;
+  }
+
+  // Syndromes: parity row minus every PRESENT chunk's contribution leaves
+  // exactly the missing chunks' combination.
+  std::vector<std::vector<std::uint8_t>> synd(static_cast<std::size_t>(m));
+  std::vector<std::vector<std::uint8_t>> a(
+      static_cast<std::size_t>(m),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(m)));
+  for (int t = 0; t < m; ++t) {
+    const ParityRow& row = parity[static_cast<std::size_t>(t)];
+    MC_EXPECTS(row.bytes.size() == len);
+    synd[static_cast<std::size_t>(t)].assign(row.bytes.begin(),
+                                             row.bytes.end());
+    for (int j = 0; j < k; ++j) {
+      if (is_missing[static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      mul_acc(synd[static_cast<std::size_t>(t)],
+              data[static_cast<std::size_t>(j)],
+              parity_coef(row.index, j, k));
+    }
+    for (int u = 0; u < m; ++u) {
+      a[static_cast<std::size_t>(t)][static_cast<std::size_t>(u)] =
+          parity_coef(row.index, missing[static_cast<std::size_t>(u)], k);
+    }
+  }
+
+  // Gauss–Jordan on the m x m erasure system (m <= r, small).  A pivot
+  // always exists: the matrix is a column-scaled Cauchy submatrix, hence
+  // nonsingular (the MDS property).
+  for (int u = 0; u < m; ++u) {
+    int pivot = u;
+    while (pivot < m &&
+           a[static_cast<std::size_t>(pivot)][static_cast<std::size_t>(u)] ==
+               0) {
+      ++pivot;
+    }
+    MC_EXPECTS_MSG(pivot < m, "gf256: singular erasure system");
+    if (pivot != u) {
+      std::swap(a[static_cast<std::size_t>(pivot)],
+                a[static_cast<std::size_t>(u)]);
+      std::swap(synd[static_cast<std::size_t>(pivot)],
+                synd[static_cast<std::size_t>(u)]);
+    }
+    const std::uint8_t norm =
+        inv(a[static_cast<std::size_t>(u)][static_cast<std::size_t>(u)]);
+    for (int c = 0; c < m; ++c) {
+      a[static_cast<std::size_t>(u)][static_cast<std::size_t>(c)] =
+          mul(a[static_cast<std::size_t>(u)][static_cast<std::size_t>(c)],
+              norm);
+    }
+    scale(synd[static_cast<std::size_t>(u)], norm);
+    for (int t = 0; t < m; ++t) {
+      if (t == u) {
+        continue;
+      }
+      const std::uint8_t f =
+          a[static_cast<std::size_t>(t)][static_cast<std::size_t>(u)];
+      if (f == 0) {
+        continue;
+      }
+      for (int c = 0; c < m; ++c) {
+        a[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] ^= mul(
+            a[static_cast<std::size_t>(u)][static_cast<std::size_t>(c)], f);
+      }
+      mul_acc(synd[static_cast<std::size_t>(t)],
+              synd[static_cast<std::size_t>(u)], f);
+    }
+  }
+
+  for (int u = 0; u < m; ++u) {
+    std::span<std::uint8_t> dst = out[static_cast<std::size_t>(u)];
+    MC_EXPECTS(dst.size() <= len);  // ragged tail: drop the zero padding
+    std::memcpy(dst.data(), synd[static_cast<std::size_t>(u)].data(),
+                dst.size());
+  }
+}
+
+bool invertible(std::vector<std::vector<std::uint8_t>> m) {
+  const std::size_t n = m.size();
+  for (const auto& row : m) {
+    MC_EXPECTS(row.size() == n);
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    std::size_t pivot = u;
+    while (pivot < n && m[pivot][u] == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return false;
+    }
+    std::swap(m[pivot], m[u]);
+    const std::uint8_t norm = inv(m[u][u]);
+    for (std::size_t c = 0; c < n; ++c) {
+      m[u][c] = mul(m[u][c], norm);
+    }
+    for (std::size_t t = u + 1; t < n; ++t) {
+      const std::uint8_t f = m[t][u];
+      if (f == 0) {
+        continue;
+      }
+      for (std::size_t c = 0; c < n; ++c) {
+        m[t][c] ^= mul(m[u][c], f);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mcmpi::coll::gf256

@@ -1,0 +1,92 @@
+#pragma once
+/// \file gf256.hpp
+/// GF(256) arithmetic and a systematic Cauchy Reed–Solomon erasure coder.
+///
+/// The field is GF(2^8) modulo the primitive polynomial 0x11D (the classic
+/// Reed–Solomon choice; x^8 + x^4 + x^3 + x^2 + 1) with generator 2.
+/// Addition is XOR; multiplication goes through a full 256x256 product
+/// table built once at startup, so the per-byte encode/decode inner loops
+/// are a single table row walk.
+///
+/// The erasure code is SYSTEMATIC: k data chunks are transmitted verbatim
+/// and r parity chunks are appended, parity row i being a linear
+/// combination of the data chunks with coefficients parity_coef(i, j).
+/// The coefficient matrix is a COLUMN-NORMALIZED CAUCHY matrix
+///
+///   C[i][j] = cauchy(i, j) / cauchy(0, j),   cauchy(i, j) = 1/(x_i + y_j)
+///
+/// with x_i = k + i and y_j = j (all distinct for k + r <= 256).  Two
+/// properties make this the right generator:
+///
+///   * MDS: every square submatrix of a Cauchy matrix is nonsingular, and
+///     column scaling preserves that, so ANY k of the k+r transmitted
+///     chunks reconstruct the data — the optimal erasure trade.
+///
+///   * XOR fast path: the normalization makes parity row 0 all-ones, so an
+///     r=1 configuration degenerates to plain XOR parity (RAID-5 style)
+///     with no field multiplications on either side; mul_acc special-cases
+///     coefficient 1 into a byte-XOR loop.
+///
+/// Everything here is a pure function of its arguments — no clocks, no
+/// randomness — so a decode is bit-identical across simulator shard
+/// counts, drivers, and backends (the same contract as the fault plane).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcmpi::coll::gf256 {
+
+/// Field product a*b modulo 0x11D.
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; asserts a != 0 (zero has no inverse).
+std::uint8_t inv(std::uint8_t a);
+
+/// acc[i] ^= coef * data[i] for i < data.size().  `data` may be SHORTER
+/// than `acc` (a ragged tail chunk is implicitly zero-padded — zero
+/// contributes nothing under XOR accumulation).  coef 0 is a no-op; coef 1
+/// is a pure XOR loop (the r=1 fast path).
+void mul_acc(std::span<std::uint8_t> acc, std::span<const std::uint8_t> data,
+             std::uint8_t coef);
+
+/// Largest parity count r for k data chunks (k + r <= 256 keeps the Cauchy
+/// node sets disjoint and distinct).
+int max_parity(int k);
+
+/// Coefficient of data chunk j (0 <= j < k) in parity row i (0 <= i <
+/// max_parity(k)) of the column-normalized Cauchy generator.
+/// parity_coef(0, j, k) == 1 for every j.
+std::uint8_t parity_coef(int i, int j, int k);
+
+/// Computes parity rows over `data` (k = data.size() chunks).  Each
+/// parity[i] is fully overwritten with parity row i; all parity spans must
+/// have equal length >= every data chunk's length (shorter data chunks are
+/// zero-padded).
+void encode_parity(std::span<const std::span<const std::uint8_t>> data,
+                   std::span<const std::span<std::uint8_t>> parity);
+
+/// A delivered parity chunk: its row index i and its bytes.
+struct ParityRow {
+  int index = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+/// Reconstructs the data chunks listed in `missing` from the delivered
+/// chunks.  `data` has k entries — present chunks carry their bytes,
+/// missing ones are ignored (pass empty spans).  `parity` lists delivered
+/// parity rows; the FIRST missing.size() of them are consumed (any subset
+/// works — MDS — but the caller passes them in ascending row order so the
+/// reconstruction is a pure function of the delivered-chunk SET).
+/// out[m] receives missing chunk missing[m]; each out span carries that
+/// chunk's true length (<= the parity length; the zero-padded tail is
+/// dropped).  Asserts parity.size() >= missing.size().
+void decode(std::span<const std::span<const std::uint8_t>> data,
+            std::span<const ParityRow> parity, std::span<const int> missing,
+            std::span<const std::span<std::uint8_t>> out);
+
+/// Gaussian-elimination nonsingularity check over GF(256) (test hook for
+/// the any-k-rows-invertible property of the stacked [I; C] generator).
+bool invertible(std::vector<std::vector<std::uint8_t>> m);
+
+}  // namespace mcmpi::coll::gf256

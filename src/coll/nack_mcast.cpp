@@ -17,6 +17,10 @@ namespace {
 
 struct NackState {
   NackMcastParams params;
+  // False until the params were pinned — by set_nack_mcast_params or by the
+  // first broadcast adopting the process-wide history default
+  // (Proc::nack_history_frames, wired from ClusterConfig / env).
+  bool params_set = false;
   // Root side: sink per (context, tag), installed by the first broadcast
   // this rank roots.  seq -> framed payload (shared refs: history and
   // retransmissions reuse the original framed allocation).
@@ -187,7 +191,9 @@ void set_nack_mcast_params(Proc& p, const Comm& comm,
   if (params.history_frames < 1) {
     throw std::invalid_argument("nack-mcast: history_frames must be >= 1");
   }
-  p.coll_state<NackState>(comm).params = params;
+  NackState& state = p.coll_state<NackState>(comm);
+  state.params = params;
+  state.params_set = true;
 }
 
 const NackMcastParams& nack_mcast_params(Proc& p, const Comm& comm) {
@@ -201,6 +207,10 @@ void bcast_nack_mcast(Proc& p, const Comm& comm, Buffer& buffer, int root) {
   }
   mpi::McastChannel& ch = p.mcast_channel(comm);
   NackState& state = p.coll_state<NackState>(comm);
+  if (!state.params_set) {
+    state.params.history_frames = p.nack_history_frames();
+    state.params_set = true;
+  }
   const NackMcastParams& params = state.params;
 
   if (comm.rank() == root) {

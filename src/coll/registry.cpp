@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "coll/ack_mcast.hpp"
+#include "coll/fec.hpp"
 #include "coll/hier.hpp"
 #include "coll/mcast.hpp"
 #include "coll/mcast_allgather.hpp"
@@ -86,6 +87,19 @@ bool fits_mcast_datagram(const mpi::Comm& comm, std::size_t payload) {
   }
   return comm.proc() == nullptr ||
          payload + kMcastFrameHeaderBytes <= comm.proc()->mcast_recv_buffer();
+}
+
+/// The FEC blast is windowed but unacked: a receiver that consumes nothing
+/// mid-blast must absorb the whole stream — data, parity at the worst-case
+/// ratio, and framing — in its multicast socket buffer.  fec_plan is the
+/// single source of truth for that geometry, so the predicate and the
+/// engine can never disagree about what fits.
+bool fits_fec_blast(const mpi::Comm& comm, std::size_t payload) {
+  if (comm.proc() == nullptr) {
+    return true;  // same convention as the socket-buffer checks above
+  }
+  const FecPlan plan = fec_plan(payload, fec_config(*comm.proc(), comm));
+  return plan.wire_bytes <= comm.proc()->mcast_recv_buffer();
 }
 
 /// ~64 KiB chunks of the segmented pipeline for an M-byte stream — the
@@ -172,6 +186,25 @@ void register_builtins(Registry& r) {
       .loss_tolerant = true,  // the point: NACK-driven retransmission
       .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
                   int root) { bcast_nack_mcast(p, comm, buffer, root); }});
+  r.add(CollAlgorithm{
+      .name = "fec-mcast",
+      .op = CollOp::kBcast,
+      .description = "FEC-coded multicast: k data + r Reed–Solomon parity "
+                     "chunks per window, any k of k+r reconstruct — zero "
+                     "recovery round trips up to r losses, NACK fallback "
+                     "beyond (adaptive parity under observed loss)",
+      .applicable = fits_fec_blast,
+      // The payload once PLUS its parity ratio (default 1/8) with no
+      // readiness handshake: strictly dearer than nack-mcast on a clean
+      // wire — by design, that is the premium for zero-RTT recovery — so
+      // kAuto only reaches it through a lossy-gated tuning rule.
+      .cost_hint = [](std::size_t bytes,
+                      int ranks [[maybe_unused]]) {
+        return 1.5 + 1.125 * frames(bytes);
+      },
+      .loss_tolerant = true,  // the point: in-window erasure recovery
+      .bcast = [](mpi::Proc& p, const mpi::Comm& comm, Buffer& buffer,
+                  int root) { bcast_fec_mcast(p, comm, buffer, root); }});
   r.add(CollAlgorithm{
       .name = "scatter-allgather",
       .op = CollOp::kBcast,

@@ -1,10 +1,12 @@
 #include "coll/segmented.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "coll/gf256.hpp"
 #include "coll/limits.hpp"
 #include "coll/mcast.hpp"
 #include "coll/mcast_scatter.hpp"
@@ -22,6 +24,13 @@ namespace {
 /// multicast header followed by the 32 B chunk sub-header.
 constexpr std::size_t kCombinedHeaderBytes =
     kMcastFrameHeaderBytes + kSegHeaderBytes;
+
+/// Top bit of SegHeader::index marks a parity frame of the FEC recovery
+/// mode; the low bits are the parity row and SegHeader::offset carries the
+/// generation index.  Data frames never set it (a stream is capped far
+/// below 2^31 chunks by the u32 count), so the pre-FEC wire format is
+/// untouched when fec_overhead == 0.
+constexpr std::uint32_t kParityIndexBit = 0x80000000u;
 
 struct SegmentedState {
   SegmentedConfig config;
@@ -166,6 +175,65 @@ void segmented_send(Proc& p, const Comm& comm, int root,
     }
   };
 
+  // FEC recovery mode: after the last FIRST transmission of a per-lane
+  // generation (`window` data chunks, or the lane's partial tail), multicast
+  // r parity frames over that generation.  Parity is fire-and-forget — it
+  // consumes lane sequence numbers (so receivers can account for the slots)
+  // but is never acked, tracked, or retransmitted: a lost parity frame
+  // costs nothing beyond falling back to the ack/timeout machinery.
+  const int fec_r = segmented_fec_parity(cfg);
+  const auto send_gen_parity = [&](std::uint32_t i) {
+    const int lane = chunks[i].lane;
+    const std::uint32_t j = i / static_cast<std::uint32_t>(cfg.lanes);
+    const std::uint32_t g = j / static_cast<std::uint32_t>(cfg.window);
+    const std::uint32_t k0 =
+        g * static_cast<std::uint32_t>(cfg.window * cfg.lanes) +
+        static_cast<std::uint32_t>(lane);
+    std::uint32_t gen_size = 0;
+    for (std::uint32_t k = k0; k <= i; k += static_cast<std::uint32_t>(cfg.lanes)) {
+      ++gen_size;
+    }
+    const std::size_t plen = chunks[k0].length;  // longest row of the gen
+    mpi::McastChannel& ch = p.mcast_channel(comm, lane);
+    for (int pr = 0; pr < fec_r; ++pr) {
+      // Parity scratch from the payload pool — one allocation per frame,
+      // recycled across generations like every other wire buffer.
+      PooledBuffer scratch = acquire_payload_buffer(plen);
+      scratch.bytes.assign(plen, 0);
+      for (std::uint32_t q = 0; q < gen_size; ++q) {
+        const std::uint8_t coef = gf256::parity_coef(
+            pr, static_cast<int>(q), static_cast<int>(gen_size));
+        const ChunkState& c =
+            chunks[k0 + q * static_cast<std::uint32_t>(cfg.lanes)];
+        parts.clear();
+        collect_chunk_parts(stream, c.offset, c.length, parts);
+        std::size_t pos = 0;
+        for (const auto& part : parts) {
+          gf256::mul_acc(std::span(scratch.bytes).subspan(pos, part.size()),
+                         part, coef);
+          pos += part.size();
+        }
+      }
+      const SegHeader h{comm.context(),
+                        comm.world_rank_of(root),
+                        ch.expected_seq(),
+                        kParityIndexBit | static_cast<std::uint32_t>(pr),
+                        n_chunks,
+                        g,
+                        plen,
+                        total};
+      const Buffer header = seg_header_bytes(h);
+      p.self().delay(p.costs().send_overhead(static_cast<std::int64_t>(plen),
+                                             mpi::CostTier::kMcastData));
+      parts.clear();
+      parts.push_back(header);
+      parts.push_back(scratch.bytes);
+      ch.send_parts(parts, net::FrameKind::kData);
+      ch.advance_seq();
+      ++counters.parity_sent;
+    }
+  };
+
   SimTime timeout = cfg.retransmit_timeout;
   int dry_timeouts = 0;  // consecutive ack-less deadlines
   const auto consume_one_ack = [&] {
@@ -226,6 +294,14 @@ void segmented_send(Proc& p, const Comm& comm, int root,
     }
     transmit(i, true);
     ++sent;
+    if (fec_r > 0) {
+      const std::uint32_t j = i / static_cast<std::uint32_t>(cfg.lanes);
+      const bool lane_tail =
+          i + static_cast<std::uint32_t>(cfg.lanes) >= n_chunks;
+      if ((j + 1) % static_cast<std::uint32_t>(cfg.window) == 0 || lane_tail) {
+        send_gen_parity(i);
+      }
+    }
     if (request == nullptr) {
       request = p.irecv(comm, mpi::kAnySource, mpi::kTagChunkAck);
     }
@@ -238,15 +314,43 @@ void segmented_send(Proc& p, const Comm& comm, int root,
 /// Receiver side: consumes chunks 0..count-1 in index order (chunk k on
 /// lane k mod lanes), hands each to `sink`, and acks it to the root over
 /// the raw path.  The stream geometry is learned from the first chunk.
+///
+/// FEC recovery mode (fec_overhead > 0): the receiver additionally keeps
+/// the CURRENT generation's consumed rows and any parity frames for it;
+/// the moment any generation-size subset of data + parity is on hand, the
+/// missing chunks are reconstructed, delivered, and acked in-window — no
+/// retransmit-timeout wait.  Parity beyond the losses is ignored, losses
+/// beyond the parity fall back to the root's ack/timeout recovery, and a
+/// decode is a pure function of the delivered-chunk set, so the output is
+/// bit-identical however the race between parity and retransmission lands.
 void segmented_recv(
     Proc& p, const Comm& comm, int root, const SegmentedConfig& cfg,
     const std::function<void(const SegHeader&, PayloadRef)>& sink) {
   std::uint32_t n_chunks = 1;  // corrected by the first header
+  const std::uint32_t lanes_u = static_cast<std::uint32_t>(cfg.lanes);
+  const std::uint32_t window_u = static_cast<std::uint32_t>(cfg.window);
+  const int fec_r = segmented_fec_parity(cfg);
+  // Receivers derive the chunk size exactly like the root (the config is
+  // communicator-uniform), so a reconstructed chunk's offset and length
+  // never depend on having seen its header.
+  const std::size_t chunk_bytes =
+      segmented_effective_chunk(cfg, p.mcast_recv_buffer());
+  bool have_geometry = false;
+  std::uint64_t stream_total = 0;
+  sim::SchedCounters& counters = p.self().shard().counters();
   // Ahead-of-sequence chunks (reordered, or resent after a dropped
   // predecessor) are stashed per lane and consumed in lane-sequence order —
   // a dropped or late frame never crashes the stream.
   std::vector<std::map<std::uint64_t, std::pair<SegHeader, PayloadRef>>>
       stash(static_cast<std::size_t>(cfg.lanes));
+  // Per-lane FEC generation state: consumed rows of the CURRENT generation
+  // (decode inputs must outlive their delivery) and its parity frames.
+  struct FecLane {
+    std::int64_t gen = -1;
+    std::vector<PayloadRef> rows;  // by generation position, consumed so far
+    std::vector<std::pair<int, PayloadRef>> parity;  // (row, bytes)
+  };
+  std::vector<FecLane> fec(static_cast<std::size_t>(cfg.lanes));
   const auto consume = [&](const SegHeader& h, PayloadRef body,
                            mpi::McastChannel& ch, std::uint32_t k) {
     MC_ASSERT_MSG(h.context == comm.context(), "context mismatch");
@@ -256,6 +360,12 @@ void segmented_recv(
     MC_ASSERT_MSG(h.count >= 1 && h.index < h.count, "bad chunk count");
     MC_ASSERT_MSG(body.size() == h.length, "chunk length mismatch");
     n_chunks = h.count;
+    stream_total = h.total;
+    have_geometry = true;
+    if (fec_r > 0) {
+      FecLane& fl = fec[static_cast<std::size_t>(ch.lane())];
+      fl.rows[(k / lanes_u) % window_u] = body;
+    }
     sink(h, std::move(body));
     ch.advance_seq();
     // Per-chunk ack over the raw path (the ORNL discipline of
@@ -266,10 +376,134 @@ void segmented_recv(
     p.send(comm, root, mpi::kTagChunkAck, ack, net::FrameKind::kControl,
            mpi::CostTier::kRaw);
   };
+  // Erasure recovery: when the chunk the cursor waits on was lost but the
+  // generation's surviving rows (consumed + stashed + parity) reach the
+  // generation size, reconstruct every missing row — the cursor's chunk is
+  // delivered immediately, later ones are planted in the stash under the
+  // lane sequences their originals carried.
+  const auto try_reconstruct =
+      [&](std::uint32_t k, int lane, mpi::McastChannel& ch,
+          std::map<std::uint64_t, std::pair<SegHeader, PayloadRef>>&
+              lane_stash) -> bool {
+    FecLane& fl = fec[static_cast<std::size_t>(lane)];
+    if (!have_geometry || fl.parity.empty()) {
+      return false;
+    }
+    const std::uint32_t j = k / lanes_u;
+    const std::uint32_t g = j / window_u;
+    const std::uint32_t gen_pos = j % window_u;
+    const std::uint32_t lane_count =
+        (n_chunks - static_cast<std::uint32_t>(lane) + lanes_u - 1) / lanes_u;
+    const std::uint32_t gen_size =
+        std::min(window_u, lane_count - g * window_u);
+    std::vector<const PayloadRef*> present(gen_size, nullptr);
+    std::uint32_t stash_rows = 0;
+    for (const auto& [seq, entry] : lane_stash) {
+      const std::uint32_t jj = entry.first.index / lanes_u;
+      if (jj / window_u != g) {
+        continue;
+      }
+      const std::uint32_t q = jj % window_u;
+      if (present[q] == nullptr) {
+        present[q] = &entry.second;
+        ++stash_rows;
+      }
+    }
+    if (gen_pos + stash_rows + fl.parity.size() < gen_size) {
+      return false;  // not enough survivors yet — keep receiving
+    }
+    std::vector<int> missing;
+    for (std::uint32_t q = gen_pos; q < gen_size; ++q) {
+      if (present[q] == nullptr) {
+        missing.push_back(static_cast<int>(q));
+      }
+    }
+    if (missing.empty()) {
+      return false;  // cursor chunk is stashed; the normal path consumes it
+    }
+    std::vector<std::span<const std::uint8_t>> dspans(gen_size);
+    for (std::uint32_t q = 0; q < gen_pos; ++q) {
+      dspans[q] = fl.rows[q].view();
+    }
+    for (std::uint32_t q = gen_pos; q < gen_size; ++q) {
+      if (present[q] != nullptr) {
+        dspans[q] = present[q]->view();
+      }
+    }
+    // Ascending row order keeps the decode a pure function of the
+    // delivered-chunk SET, not of arrival order.
+    std::sort(fl.parity.begin(), fl.parity.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<gf256::ParityRow> prows;
+    prows.reserve(missing.size());
+    for (std::size_t t = 0; t < missing.size(); ++t) {
+      prows.push_back({fl.parity[t].first, fl.parity[t].second.view()});
+      // Parity never matches the expected data slot, so it was never
+      // charged at arrival; pay for the rows the decode consumes.
+      p.self().delay(p.costs().recv_overhead(
+          static_cast<std::int64_t>(kSegHeaderBytes +
+                                    fl.parity[t].second.size()),
+          mpi::CostTier::kMcastData));
+    }
+    std::vector<Buffer> rebuilt(missing.size());
+    std::vector<std::span<std::uint8_t>> outs(missing.size());
+    for (std::size_t t = 0; t < missing.size(); ++t) {
+      const std::uint32_t kk =
+          (g * window_u + static_cast<std::uint32_t>(missing[t])) * lanes_u +
+          static_cast<std::uint32_t>(lane);
+      const std::size_t off = static_cast<std::size_t>(kk) * chunk_bytes;
+      rebuilt[t].resize(std::min(
+          chunk_bytes, static_cast<std::size_t>(stream_total) - off));
+      outs[t] = rebuilt[t];
+    }
+    gf256::decode(dspans, prows, missing, outs);
+    ++counters.fec_decodes;
+    counters.parity_used += missing.size();
+    const std::uint64_t base = ch.expected_seq();
+    bool delivered = false;
+    for (std::size_t t = 0; t < missing.size(); ++t) {
+      const std::uint32_t q = static_cast<std::uint32_t>(missing[t]);
+      const std::uint32_t kk =
+          (g * window_u + q) * lanes_u + static_cast<std::uint32_t>(lane);
+      const SegHeader hh{comm.context(),
+                         comm.world_rank_of(root),
+                         base + (q - gen_pos),
+                         kk,
+                         n_chunks,
+                         static_cast<std::uint64_t>(kk) * chunk_bytes,
+                         rebuilt[t].size(),
+                         stream_total};
+      PayloadRef body{std::move(rebuilt[t])};
+      if (q == gen_pos) {
+        consume(hh, std::move(body), ch, k);
+        delivered = true;
+      } else {
+        lane_stash.try_emplace(hh.seq, hh, std::move(body));
+      }
+    }
+    return delivered;
+  };
   for (std::uint32_t k = 0; k < n_chunks; ++k) {
-    const int lane = static_cast<int>(k % static_cast<std::uint32_t>(cfg.lanes));
+    const int lane = static_cast<int>(k % lanes_u);
     mpi::McastChannel& ch = p.mcast_channel(comm, lane);
     auto& lane_stash = stash[static_cast<std::size_t>(lane)];
+    if (fec_r > 0) {
+      const auto g = static_cast<std::int64_t>((k / lanes_u) / window_u);
+      FecLane& fl = fec[static_cast<std::size_t>(lane)];
+      if (fl.gen != g) {
+        if (fl.gen >= 0) {
+          // Entering a new generation: skip the previous one's parity
+          // slots.  Parity is fire-and-forget, so waiting on those
+          // sequences could deadlock — the frames may simply never exist.
+          for (int i = 0; i < fec_r; ++i) {
+            ch.advance_seq();
+          }
+        }
+        fl.gen = g;
+        fl.rows.assign(window_u, PayloadRef{});
+        fl.parity.clear();
+      }
+    }
     for (;;) {
       const auto stashed = lane_stash.find(ch.expected_seq());
       if (stashed != lane_stash.end()) {
@@ -281,6 +515,9 @@ void segmented_recv(
             static_cast<std::int64_t>(kSegHeaderBytes + h.length),
             mpi::CostTier::kMcastData));
         consume(h, std::move(body), ch, k);
+        break;
+      }
+      if (fec_r > 0 && try_reconstruct(k, lane, ch, lane_stash)) {
         break;
       }
       auto [d, charged] = ch.socket().recv_charged(
@@ -304,7 +541,32 @@ void segmented_recv(
         continue;  // stale duplicate (retransmission of a consumed chunk)
       }
       PayloadRef body = d.data.slice(r.position());
+      if ((h.index & kParityIndexBit) != 0) {
+        // Parity frame.  Every header carries the stream geometry, so even
+        // a parity-first arrival teaches the receiver enough to decode.
+        // Keep it only for the lane's current generation; anything else is
+        // dropped — correctness never depends on parity.
+        n_chunks = h.count;
+        stream_total = h.total;
+        have_geometry = true;
+        if (fec_r > 0) {
+          FecLane& fl = fec[static_cast<std::size_t>(lane)];
+          const int pr = static_cast<int>(h.index & ~kParityIndexBit);
+          const bool dup = std::any_of(
+              fl.parity.begin(), fl.parity.end(),
+              [pr](const auto& e) { return e.first == pr; });
+          if (static_cast<std::int64_t>(h.offset) == fl.gen && !dup) {
+            fl.parity.emplace_back(pr, std::move(body));
+          }
+        }
+        continue;
+      }
       if (h.seq > ch.expected_seq()) {
+        // Geometry rides on every header — learn it before chunk 0 lands,
+        // so an early loss is still reconstructable.
+        n_chunks = h.count;
+        stream_total = h.total;
+        have_geometry = true;
         lane_stash.try_emplace(h.seq, h, std::move(body));
         continue;
       }
@@ -315,6 +577,17 @@ void segmented_recv(
       }
       consume(h, std::move(body), ch, k);
       break;
+    }
+  }
+  if (fec_r > 0) {
+    // The k loop never crosses the final generation's parity slots; advance
+    // past them so every lane's sequence matches the root for the next
+    // collective on these channels.
+    for (std::uint32_t lane = 0; lane < lanes_u && lane < n_chunks; ++lane) {
+      mpi::McastChannel& ch = p.mcast_channel(comm, static_cast<int>(lane));
+      for (int i = 0; i < fec_r; ++i) {
+        ch.advance_seq();
+      }
     }
   }
 }
@@ -332,6 +605,15 @@ void segmented_sync(Proc& p, const Comm& comm, int root,
 
 }  // namespace
 
+int segmented_fec_parity(const SegmentedConfig& config) {
+  if (!(config.fec_overhead > 0.0)) {
+    return 0;
+  }
+  const int raw = static_cast<int>(
+      std::ceil(static_cast<double>(config.window) * config.fec_overhead));
+  return std::clamp(raw, 1, gf256::max_parity(config.window));
+}
+
 void set_segmented_config(Proc& p, const Comm& comm,
                           const SegmentedConfig& config) {
   MC_EXPECTS_MSG(config.chunk_bytes >= 1, "chunk size must be positive");
@@ -346,6 +628,10 @@ void set_segmented_config(Proc& p, const Comm& comm,
   MC_EXPECTS_MSG(config.retransmit_timeout_cap >= config.retransmit_timeout,
                  "timeout cap below the base timeout");
   MC_EXPECTS_MSG(config.max_retries >= 0, "max_retries must be >= 0");
+  MC_EXPECTS_MSG(config.fec_overhead >= 0.0 && config.fec_overhead <= 1.0,
+                 "fec_overhead must be in [0, 1]");
+  MC_EXPECTS_MSG(config.fec_overhead == 0.0 || config.window <= 128,
+                 "FEC needs window <= 128 (generation + parity in GF(256))");
   p.coll_state<SegmentedState>(comm).config = config;
 }
 
@@ -358,11 +644,13 @@ std::size_t segmented_effective_chunk(const SegmentedConfig& config,
   std::size_t chunk = config.chunk_bytes;
   // Framed chunk must clear the fragment-offset datagram ceiling…
   chunk = std::min(chunk, kMaxMcastDatagram - kCombinedHeaderBytes);
-  // …and a full window of framed chunks must fit one lane's receive
-  // buffer (the enqueue limit counts framing + payload), or the pipeline
-  // would overrun the very buffer it is pacing.
+  // …and a full window of framed chunks — plus the generation's parity
+  // frames when FEC is on, which share the same lane buffer — must fit one
+  // lane's receive buffer (the enqueue limit counts framing + payload), or
+  // the pipeline would overrun the very buffer it is pacing.
   const std::size_t window_share =
-      rcvbuf_bytes / static_cast<std::size_t>(config.window);
+      rcvbuf_bytes / static_cast<std::size_t>(config.window +
+                                              segmented_fec_parity(config));
   MC_EXPECTS_MSG(window_share > kCombinedHeaderBytes,
                  "receive buffer too small for the window");
   chunk = std::min(chunk, window_share - kCombinedHeaderBytes);

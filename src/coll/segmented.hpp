@@ -82,7 +82,22 @@ struct SegmentedConfig {
   /// forever, the historical behavior).  Exceeding the cap throws: the
   /// stream cannot make progress and silence would hang every rank.
   int max_retries = 0;
+  /// FEC recovery mode (coll/fec.hpp's erasure coder applied per window):
+  /// after every generation of `window` data chunks on a lane, the root
+  /// multicasts r = max(1, ceil(window * fec_overhead)) Reed–Solomon
+  /// parity frames for that generation.  A receiver holding any
+  /// generation-size subset of data + parity reconstructs the missing
+  /// chunks IN-WINDOW — and acks them — instead of waiting out the root's
+  /// retransmit timeout; losses beyond r still fall back to the ack/
+  /// timeout machinery.  Parity frames are fire-and-forget (never acked,
+  /// never retransmitted) and consume lane sequence numbers, so 0 keeps
+  /// the wire format byte-identical to the pre-FEC protocol.  Requires
+  /// window <= 128 when nonzero (generation + parity must fit GF(256)).
+  double fec_overhead = 0.0;
 };
+
+/// Parity frames per generation for `config` (0 when FEC is off).
+int segmented_fec_parity(const SegmentedConfig& config);
 
 /// Installs `config` for all segmented collectives on `comm` (per-rank
 /// call; keep it communicator-uniform).

@@ -10,14 +10,30 @@ namespace mcmpi::coll {
 
 namespace {
 
-CollOp parse_op(const std::string& text) {
+/// Error context of the rule being parsed: a malformed spec names the rule
+/// (1-based, with its text) and the offending field's position, not just a
+/// bare range-check failure — `MCMPI_COLL_TUNING` typos should be findable
+/// from the message alone.
+struct RuleContext {
+  std::size_t rule_number = 0;  // 1-based position in the spec
+  std::string rule_text;
+
+  std::string where(std::size_t field) const {
+    std::ostringstream os;
+    os << "tuning rule " << rule_number << " ('" << rule_text << "'), field "
+       << field;
+    return os.str();
+  }
+};
+
+CollOp parse_op(const std::string& text, const RuleContext& ctx) {
   for (CollOp op : kAllCollOps) {
     if (to_string(op) == text) {
       return op;
     }
   }
-  throw std::invalid_argument("tuning rule: unknown collective op '" + text +
-                              "'");
+  throw std::invalid_argument(ctx.where(1) + ": unknown collective op '" +
+                              text + "'");
 }
 
 std::string strip(const std::string& s) {
@@ -29,7 +45,8 @@ std::string strip(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
-std::int64_t parse_bound(const std::string& text, const char* what) {
+std::int64_t parse_bound(const std::string& text, const char* what,
+                         const RuleContext& ctx, std::size_t field) {
   if (text == "*") {
     return -1;
   }
@@ -41,8 +58,8 @@ std::int64_t parse_bound(const std::string& text, const char* what) {
     }
     return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument(std::string("tuning rule: bad ") + what +
-                                " bound '" + text + "'");
+    throw std::invalid_argument(ctx.where(field) + ": bad " + what +
+                                " bound, offending token '" + text + "'");
   }
 }
 
@@ -65,8 +82,15 @@ TuningTable TuningTable::defaults() {
   // jumbo payloads (the ~512 KiB datagram ceiling, the receive buffer),
   // and the fall-through lands on mcast-segmented instead of dropping
   // back to point-to-point — multicast now serves every payload size.
+  // The FEC rule is gated on a lossy network: clean-network schedules never
+  // see it (its parity bandwidth only pays for itself when frames drop),
+  // while under loss it pre-empts mcast-binary — which would assert on the
+  // first dropped frame — with in-window erasure recovery.  Payloads too
+  // big for fec-mcast's single-window blast fall through to the segmented
+  // pipeline, whose FEC recovery mode is a config knob, not a rule.
   return parse(
-      "bcast,*,2,mpich; bcast,1024,*,mpich; bcast,*,*,mcast-binary;"
+      "bcast,*,2,mpich; bcast,1024,*,mpich; bcast,*,*,fec-mcast,0,lossy;"
+      "bcast,*,*,mcast-binary;"
       "bcast,*,*,mcast-segmented;"
       "barrier,*,*,mcast;"
       "allreduce,*,2,mpich; allreduce,1024,*,mpich;"
@@ -106,41 +130,58 @@ TuningTable TuningTable::parse(const std::string& spec) {
   TuningTable table;
   std::stringstream rules(spec);
   std::string rule_text;
+  RuleContext ctx;
   while (std::getline(rules, rule_text, ';')) {
     rule_text = strip(rule_text);
     if (rule_text.empty()) {
       continue;
     }
+    ++ctx.rule_number;
+    ctx.rule_text = rule_text;
     std::stringstream fields(rule_text);
     std::string field;
     std::vector<std::string> parts;
     while (std::getline(fields, field, ',')) {
       parts.push_back(strip(field));
     }
-    if (parts.size() != 4 && parts.size() != 5) {
+    if (parts.size() < 4 || parts.size() > 6) {
       throw std::invalid_argument(
-          "tuning rule needs op,max_bytes,max_ranks,algo[,min_segments]: '" +
-          rule_text + "'");
+          "tuning rule " + std::to_string(ctx.rule_number) +
+          " needs op,max_bytes,max_ranks,algo[,min_segments[,lossy]], got " +
+          std::to_string(parts.size()) + " fields: '" + rule_text + "'");
     }
     TuningRule rule;
-    rule.op = parse_op(parts[0]);
-    rule.max_bytes = parse_bound(parts[1], "byte");
-    const std::int64_t ranks = parse_bound(parts[2], "rank");
+    rule.op = parse_op(parts[0], ctx);
+    rule.max_bytes = parse_bound(parts[1], "byte", ctx, 2);
+    const std::int64_t ranks = parse_bound(parts[2], "rank", ctx, 3);
     if (ranks > std::numeric_limits<int>::max()) {
-      throw std::invalid_argument("tuning rule: rank bound too large");
+      throw std::invalid_argument(ctx.where(3) + ": rank bound too large");
     }
     rule.max_ranks = static_cast<int>(ranks);
     rule.algo = parts[3];
-    if (parts.size() == 5) {
-      const std::int64_t segments = parse_bound(parts[4], "segment");
+    if (parts.size() >= 5) {
+      const std::int64_t segments = parse_bound(parts[4], "segment", ctx, 5);
       if (segments > std::numeric_limits<int>::max()) {
-        throw std::invalid_argument("tuning rule: segment bound too large");
+        throw std::invalid_argument(ctx.where(5) + ": segment bound too large");
       }
       rule.min_segments = segments < 0 ? 0 : static_cast<int>(segments);
     }
+    if (parts.size() == 6) {
+      if (parts[5] != "lossy") {
+        throw std::invalid_argument(ctx.where(6) +
+                                    ": expected the literal 'lossy', "
+                                    "offending token '" +
+                                    parts[5] + "'");
+      }
+      rule.lossy_only = true;
+    }
     // Fail at parse time, not at the first collective inside a running
     // simulation: the named algorithm must exist.
-    (void)Registry::instance().get(rule.op, rule.algo);
+    try {
+      (void)Registry::instance().get(rule.op, rule.algo);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(ctx.where(4) + ": " + e.what());
+    }
     table.rules_.push_back(std::move(rule));
   }
   return table;
@@ -164,6 +205,9 @@ std::string TuningTable::select(CollOp op, std::size_t bytes, int ranks,
       continue;
     }
     if (rule.max_ranks >= 0 && ranks > rule.max_ranks) {
+      continue;
+    }
+    if (rule.lossy_only && !lossy_net) {
       continue;
     }
     if (rule.min_segments > 0) {
@@ -227,8 +271,11 @@ std::string TuningTable::to_string() const {
       os << r.max_ranks;
     }
     os << ',' << r.algo;
-    if (r.min_segments > 0) {
+    if (r.min_segments > 0 || r.lossy_only) {
       os << ',' << r.min_segments;
+    }
+    if (r.lossy_only) {
+      os << ",lossy";
     }
   }
   return os.str();

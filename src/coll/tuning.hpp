@@ -9,13 +9,18 @@
 /// scales best for large payloads), and Fig. 13 (the multicast barrier
 /// wins at every N) — as an ordered rule list, first match wins:
 ///
-///     op,max_bytes,max_ranks,algorithm[,min_segments]
+///     op,max_bytes,max_ranks,algorithm[,min_segments[,lossy]]
 ///
 /// `*` means unbounded; rules are separated by `;` (whitespace ignored).
 /// The optional fifth field gates a rule on topology: it matches only when
 /// the communicator spans at least `min_segments` network segments — how
 /// the hierarchical algorithms (hier-mcast & co.) are tuned in without
 /// touching single-segment behavior.  Omitted (or `*`/0) means any span.
+/// The optional sixth field is the literal `lossy`: the rule matches only
+/// when the process runs over a lossy network (Proc::network_lossy(), set
+/// when a fault plane with drop/reorder is attached) — how loss-adapted
+/// algorithms like bcast:fec-mcast are tuned in without perturbing any
+/// clean-network schedule.  Use `0` for min_segments to gate on loss alone.
 /// Excerpt of the default table (TuningTable::defaults() carries the full
 /// set for all eight ops, including doubled fall-through rules for
 /// reduce/gather/scatter whose multicast variants have applicability
@@ -50,6 +55,8 @@ struct TuningRule {
   /// Rule applies when the communicator spans >= this many segments
   /// (hier_segment_span); 0 = any topology.
   int min_segments = 0;
+  /// Rule applies only when the network is lossy (Proc::network_lossy()).
+  bool lossy_only = false;
 };
 
 class TuningTable {

@@ -29,6 +29,7 @@ inline constexpr Tag kTagGatherBlock = -108;    // scout-combining gather blocks
 inline constexpr Tag kTagChunkAck = -109;       // segmented-pipeline chunk acks
 inline constexpr Tag kTagNackMcast = -110;      // nack-mcast retransmission NACKs
 inline constexpr Tag kTagHier = -111;           // hierarchical inter-leader phase
+inline constexpr Tag kTagFecNack = -112;        // fec-mcast fallback NACKs
 
 /// Returned by receive operations.
 struct Status {

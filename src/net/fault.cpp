@@ -85,7 +85,23 @@ FaultModel* LinkFaultBank::model_for(std::uint64_t link_id) {
 
 namespace {
 
-double parse_probability(const std::string& key, const std::string& value) {
+/// Where in the spec a malformed token sits: `MCMPI_FAULTS` typos should be
+/// findable from the message alone, so every parse error names the pair
+/// (1-based position plus its text) and the offending token — not just a
+/// bare range-check failure.
+struct PairContext {
+  std::size_t pair_number = 0;  // 1-based position in the spec
+  std::string pair_text;
+
+  std::string where() const {
+    std::ostringstream os;
+    os << "pair " << pair_number << " ('" << pair_text << "')";
+    return os.str();
+  }
+};
+
+double parse_probability(const std::string& key, const std::string& value,
+                         const PairContext& ctx) {
   std::size_t used = 0;
   double p = 0.0;
   try {
@@ -94,13 +110,15 @@ double parse_probability(const std::string& key, const std::string& value) {
     used = 0;
   }
   if (used != value.size() || p < 0.0 || p > 1.0) {
-    throw std::invalid_argument("MCMPI_FAULTS: bad probability for '" + key +
-                                "': '" + value + "'");
+    throw std::invalid_argument(
+        "MCMPI_FAULTS: " + ctx.where() + ": '" + key +
+        "' needs a probability in [0, 1], offending token '" + value + "'");
   }
   return p;
 }
 
-std::int64_t parse_count(const std::string& key, const std::string& value) {
+std::int64_t parse_count(const std::string& key, const std::string& value,
+                         const PairContext& ctx) {
   std::size_t used = 0;
   std::int64_t n = 0;
   try {
@@ -109,8 +127,9 @@ std::int64_t parse_count(const std::string& key, const std::string& value) {
     used = 0;
   }
   if (used != value.size() || n < 0) {
-    throw std::invalid_argument("MCMPI_FAULTS: bad count for '" + key +
-                                "': '" + value + "'");
+    throw std::invalid_argument(
+        "MCMPI_FAULTS: " + ctx.where() + ": '" + key +
+        "' needs a non-negative count, offending token '" + value + "'");
   }
   return n;
 }
@@ -121,27 +140,30 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
   FaultConfig config;
   std::stringstream pairs(spec);
   std::string pair;
+  PairContext ctx;
   while (std::getline(pairs, pair, ',')) {
     const auto first = pair.find_first_not_of(" \t");
     if (first == std::string::npos) {
       continue;
     }
     pair = pair.substr(first, pair.find_last_not_of(" \t") - first + 1);
+    ++ctx.pair_number;
+    ctx.pair_text = pair;
     const auto eq = pair.find('=');
     if (eq == std::string::npos) {
-      throw std::invalid_argument("MCMPI_FAULTS: expected key=value, got '" +
-                                  pair + "'");
+      throw std::invalid_argument("MCMPI_FAULTS: " + ctx.where() +
+                                  ": expected key=value");
     }
     const std::string key = pair.substr(0, eq);
     const std::string value = pair.substr(eq + 1);
     if (key == "loss") {
-      config.link.loss = parse_probability(key, value);
+      config.link.loss = parse_probability(key, value, ctx);
     } else if (key == "dup") {
-      config.link.duplicate = parse_probability(key, value);
+      config.link.duplicate = parse_probability(key, value, ctx);
     } else if (key == "reorder") {
-      config.link.reorder = parse_probability(key, value);
+      config.link.reorder = parse_probability(key, value, ctx);
     } else if (key == "jitter_us") {
-      config.link.reorder_jitter = microseconds(parse_count(key, value));
+      config.link.reorder_jitter = microseconds(parse_count(key, value, ctx));
     } else if (key == "burst") {
       std::stringstream fields(value);
       std::string gb;
@@ -150,28 +172,31 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
       if (!std::getline(fields, gb, ':') || !std::getline(fields, bg, ':') ||
           !std::getline(fields, bad)) {
         throw std::invalid_argument(
-            "MCMPI_FAULTS: burst needs P(g->b):P(b->g):loss, got '" + value +
+            "MCMPI_FAULTS: " + ctx.where() +
+            ": burst needs P(g->b):P(b->g):loss, offending token '" + value +
             "'");
       }
-      config.link.ge_good_to_bad = parse_probability(key, gb);
-      config.link.ge_bad_to_good = parse_probability(key, bg);
-      config.link.ge_loss_bad = parse_probability(key, bad);
+      config.link.ge_good_to_bad = parse_probability("burst g->b", gb, ctx);
+      config.link.ge_bad_to_good = parse_probability("burst b->g", bg, ctx);
+      config.link.ge_loss_bad = parse_probability("burst loss", bad, ctx);
     } else if (key == "trunk_loss") {
-      config.trunk.loss = parse_probability(key, value);
+      config.trunk.loss = parse_probability(key, value, ctx);
     } else if (key == "seed") {
-      config.seed = static_cast<std::uint64_t>(parse_count(key, value));
+      config.seed = static_cast<std::uint64_t>(parse_count(key, value, ctx));
     } else if (key == "skew") {
-      config.host_speed_skew = parse_probability(key, value);
+      config.host_speed_skew = parse_probability(key, value, ctx);
     } else if (key == "xflows") {
-      config.cross_flows = static_cast<int>(parse_count(key, value));
+      config.cross_flows = static_cast<int>(parse_count(key, value, ctx));
     } else if (key == "xframes") {
-      config.cross_frames = static_cast<int>(parse_count(key, value));
+      config.cross_frames = static_cast<int>(parse_count(key, value, ctx));
     } else if (key == "xbytes") {
-      config.cross_bytes = static_cast<std::size_t>(parse_count(key, value));
+      config.cross_bytes =
+          static_cast<std::size_t>(parse_count(key, value, ctx));
     } else if (key == "xinterval_us") {
-      config.cross_interval = microseconds(parse_count(key, value));
+      config.cross_interval = microseconds(parse_count(key, value, ctx));
     } else {
-      throw std::invalid_argument("MCMPI_FAULTS: unknown key '" + key + "'");
+      throw std::invalid_argument("MCMPI_FAULTS: " + ctx.where() +
+                                  ": unknown key '" + key + "'");
     }
   }
   return config;

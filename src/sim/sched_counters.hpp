@@ -66,6 +66,19 @@ struct SchedCounters {
   std::uint64_t nacks_suppressed = 0;
   std::uint64_t retransmits = 0;
 
+  /// FEC-coded multicast instrumentation (coll/fec.cpp + the segmented
+  /// pipeline's FEC recovery mode): parity frames multicast by roots,
+  /// parity rows actually consumed by receiver-side reconstructions,
+  /// windows reconstructed (fec_decodes), and windows that lost more than
+  /// their parity could absorb and fell back to a NACK round
+  /// (fec_fallbacks).  parity_sent - parity_used is the bandwidth the
+  /// protocol burned for nothing — the measurable cost of its zero-RTT
+  /// recovery.
+  std::uint64_t parity_sent = 0;
+  std::uint64_t parity_used = 0;
+  std::uint64_t fec_decodes = 0;
+  std::uint64_t fec_fallbacks = 0;
+
   /// Fieldwise accumulate — how the sharded simulator merges its per-shard
   /// counters into the figures the benches record.  chunk_peak_window is a
   /// high-water mark, so it merges by max, not sum.
@@ -86,6 +99,10 @@ struct SchedCounters {
     nacks_sent += other.nacks_sent;
     nacks_suppressed += other.nacks_suppressed;
     retransmits += other.retransmits;
+    parity_sent += other.parity_sent;
+    parity_used += other.parity_used;
+    fec_decodes += other.fec_decodes;
+    fec_fallbacks += other.fec_fallbacks;
     return *this;
   }
 };

@@ -448,6 +448,44 @@ TEST(TuningTable, ParseRejectsMalformedSpecs) {
   EXPECT_EQ(table.to_string(), "bcast,1024,*,mpich; bcast,*,*,mcast-binary");
 }
 
+TEST(TuningTable, ParseErrorsNameTheRuleFieldAndToken) {
+  // MCMPI_COLL_TUNING typos must be findable from the message alone: every
+  // parse error names the rule (1-based, with its text), the field, and
+  // the offending token.
+  const auto message = [](const std::string& spec) {
+    try {
+      (void)coll::TuningTable::parse(spec);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  const std::string bound = message("bcast,*,*,mpich; bcast,xyz,*,mpich");
+  EXPECT_NE(bound.find("tuning rule 2 ('bcast,xyz,*,mpich'), field 2"),
+            std::string::npos)
+      << bound;
+  EXPECT_NE(bound.find("offending token 'xyz'"), std::string::npos) << bound;
+  const std::string op = message("frobnicate,*,*,mpich");
+  EXPECT_NE(op.find("field 1"), std::string::npos) << op;
+  EXPECT_NE(op.find("unknown collective op 'frobnicate'"), std::string::npos)
+      << op;
+  const std::string count = message("bcast,*,*");
+  EXPECT_NE(count.find("tuning rule 1"), std::string::npos) << count;
+  EXPECT_NE(count.find("got 3 fields"), std::string::npos) << count;
+  const std::string gate = message("bcast,*,*,mpich,0,sloppy");
+  EXPECT_NE(gate.find("field 6"), std::string::npos) << gate;
+  EXPECT_NE(gate.find("offending token 'sloppy'"), std::string::npos) << gate;
+  const std::string algo = message("bcast,*,*,no-such-algo");
+  EXPECT_NE(algo.find("field 4"), std::string::npos) << algo;
+}
+
+TEST(TuningTable, LossyGatedRulesRoundTrip) {
+  const coll::TuningTable table = coll::TuningTable::parse(
+      "bcast,*,*,sequencer,0,lossy; bcast,*,*,mcast-binary");
+  EXPECT_EQ(table.to_string(),
+            "bcast,*,*,sequencer,0,lossy; bcast,*,*,mcast-binary");
+}
+
 TEST(TuningAuto, AutoBcastDeliversForSmallAndLarge) {
   // End-to-end through kAuto on both sides of the crossover (receivers
   // pre-size their buffers — the kAuto size rule).

@@ -62,6 +62,37 @@ TEST(FaultConfigParse, RejectsMalformedSpecs) {
   EXPECT_THROW((void)FaultConfig::parse("loss=1.5"), std::invalid_argument);
 }
 
+TEST(FaultConfigParse, ErrorsNameThePairAndOffendingToken) {
+  // MCMPI_FAULTS typos must be findable from the message alone: every
+  // parse error names the pair (1-based position + text) and the token.
+  const auto message = [](const std::string& spec) {
+    try {
+      (void)FaultConfig::parse(spec);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  const std::string bad_value = message("loss=0.1,dup=abc");
+  EXPECT_NE(bad_value.find("pair 2 ('dup=abc')"), std::string::npos)
+      << bad_value;
+  EXPECT_NE(bad_value.find("offending token 'abc'"), std::string::npos)
+      << bad_value;
+  const std::string bad_key = message("loss=0.1,bogus=1");
+  EXPECT_NE(bad_key.find("pair 2 ('bogus=1')"), std::string::npos) << bad_key;
+  EXPECT_NE(bad_key.find("unknown key 'bogus'"), std::string::npos)
+      << bad_key;
+  const std::string bad_burst = message("burst=0.1:0.2");
+  EXPECT_NE(bad_burst.find("pair 1 ('burst=0.1:0.2')"), std::string::npos)
+      << bad_burst;
+  EXPECT_NE(bad_burst.find("offending token '0.1:0.2'"), std::string::npos)
+      << bad_burst;
+  const std::string no_value = message("loss");
+  EXPECT_NE(no_value.find("pair 1 ('loss')"), std::string::npos) << no_value;
+  EXPECT_NE(no_value.find("expected key=value"), std::string::npos)
+      << no_value;
+}
+
 TEST(FaultConfigParse, DisabledByDefaultAndDupAloneIsNotLossy) {
   EXPECT_FALSE(FaultConfig{}.enabled());
   const FaultConfig dup = FaultConfig::parse("dup=0.1");
@@ -246,6 +277,96 @@ TEST(NackMcast, TotalLossIsAHardErrorNotAHang) {
         p.comm_world().coll().bcast(data, 0, "nack-mcast");
       }),
       std::runtime_error);
+}
+
+TEST(NackMcast, HistoryBoundPlumbsFromClusterConfigAndEnvironment) {
+  // Explicit ClusterConfig bound wins; the first broadcast adopts it into
+  // the communicator's protocol params.
+  {
+    ClusterConfig config = faulty_config(3, NetworkType::kSwitch, {});
+    config.nack_history_frames = 7;
+    Cluster cluster(config);
+    cluster.world().run([](mpi::Proc& p) {
+      EXPECT_EQ(p.nack_history_frames(), 7u);
+      Buffer data;
+      if (p.rank() == 0) {
+        data = pattern_payload(2, 300);
+      }
+      p.comm_world().coll().bcast(data, 0, "nack-mcast");
+      EXPECT_EQ(coll::nack_mcast_params(p, p.comm_world()).history_frames,
+                7u);
+    });
+  }
+  // Env variable fills in when the config leaves the bound at 0...
+  {
+    ::setenv("MCMPI_NACK_HISTORY", "5", 1);
+    Cluster cluster(faulty_config(2, NetworkType::kSwitch, {}));
+    ::unsetenv("MCMPI_NACK_HISTORY");
+    cluster.world().run(
+        [](mpi::Proc& p) { EXPECT_EQ(p.nack_history_frames(), 5u); });
+  }
+  // ...and an explicit config bound beats the environment.
+  {
+    ::setenv("MCMPI_NACK_HISTORY", "5", 1);
+    ClusterConfig config = faulty_config(2, NetworkType::kSwitch, {});
+    config.nack_history_frames = 9;
+    Cluster cluster(config);
+    ::unsetenv("MCMPI_NACK_HISTORY");
+    cluster.world().run(
+        [](mpi::Proc& p) { EXPECT_EQ(p.nack_history_frames(), 9u); });
+  }
+}
+
+TEST(NackMcast, RejectsMalformedHistoryEnvironment) {
+  const ClusterConfig config = faulty_config(2, NetworkType::kSwitch, {});
+  for (const char* bad : {"0", "abc", "-3"}) {
+    ::setenv("MCMPI_NACK_HISTORY", bad, 1);
+    EXPECT_THROW(Cluster{config}, std::invalid_argument) << bad;
+    ::unsetenv("MCMPI_NACK_HISTORY");
+  }
+}
+
+TEST(NackMcast, BoundedHistoryOverflowIsAHardError) {
+  // A fire-and-forget root racing three broadcasts past a one-frame
+  // retransmission history: a receiver that lost frame 0 NACKs into a
+  // history that has already evicted it, exhausts its retries, and must
+  // get the documented hard error — never a silent hang.  The same racing
+  // workload under an ample history recovers completely.
+  const auto run_once = [](std::uint64_t seed, std::size_t history,
+                           int max_retries) {
+    ClusterConfig config = faulty_config(
+        5, NetworkType::kSwitch, FaultProfile{.loss = 0.4}, seed);
+    config.nack_history_frames = history;
+    Cluster cluster(config);
+    cluster.world().run([&](mpi::Proc& p) {
+      coll::NackMcastParams params;
+      params.history_frames = p.nack_history_frames();  // the plumbed bound
+      params.nack_timeout = milliseconds(1);
+      params.timeout_cap = milliseconds(8);
+      params.max_retries = max_retries;
+      coll::set_nack_mcast_params(p, p.comm_world(), params);
+      for (int i = 0; i < 3; ++i) {
+        Buffer data;
+        if (p.rank() == 0) {
+          data = pattern_payload(40 + i, 2000);
+        }
+        p.comm_world().coll().bcast(data, 0, "nack-mcast");
+        EXPECT_TRUE(check_pattern(40 + i, data)) << "rank " << p.rank();
+      }
+    });
+  };
+  bool overflowed = false;
+  std::uint64_t bad_seed = 0;
+  for (std::uint64_t seed = 1; seed <= 24 && !overflowed; ++seed) {
+    try {
+      run_once(seed, 1, 6);
+    } catch (const std::runtime_error&) {
+      overflowed = true;
+      bad_seed = seed;
+    }
+  }
+  EXPECT_TRUE(overflowed);  // 40% loss reliably outruns a 1-frame history
+  run_once(bad_seed, 64, 50);  // ample history: same races, full recovery
 }
 
 TEST(NackMcast, RejectsOutOfRangeParams) {

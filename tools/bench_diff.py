@@ -53,6 +53,16 @@ simulated medians do not depend on the host):
   * at window 1 and the largest payload, striping must strictly help:
     sim(max lanes) < sim(1 lane), per (op, algo, network, ranks).
 
+Fault-injection records (bench/bench_loss_crossover.cpp) carry a `loss`
+field plus the injected/recovery counters (all compared exactly) and two
+deterministic sim-time rules:
+
+  * with --min-loss-advantage R, nack-mcast must be within 1/R of
+    ack-mcast at every single-segment point with >= 1% injected loss;
+  * with --min-fec-advantage R, the best fec-mcast variant must be within
+    1/R of nack-mcast at >= 5% loss on multi-segment (slow-trunk)
+    topologies — the zero-round-trip in-window recovery claim.
+
 Segmented-topology records (bench/bench_hier_scaling.cpp) carry a `segments`
 field with one deterministic sim-time rule:
 
@@ -286,6 +296,10 @@ def check_loss_records(name, fresh, min_loss_advantage, failures):
             continue  # "0" and named profiles (e.g. "bursty") are not gated
         if float(loss_label[:-1]) / 100.0 < 0.01:
             continue
+        if key[10]:
+            # The ack-vs-nack claim is the paper's single-segment one; the
+            # multi-segment (slow-trunk) sweep is gated by the FEC rule.
+            continue
         group = (key[0], key[2], key[3], key[4], loss_label)
         points.setdefault(group, {})[key[1]] = r
     for group, by_algo in sorted(points.items()):
@@ -303,6 +317,45 @@ def check_loss_records(name, fresh, min_loss_advantage, failures):
             print(f"bench_diff: {name} {group} nack-mcast "
                   f"{ack / nack:.2f}x over ack-mcast "
                   f"(>= {min_loss_advantage:.2f}x)")
+
+
+def check_fec_records(name, fresh, min_fec_advantage, failures):
+    """FEC-crossover claim over fault-injection records: at >= 5% injected
+    loss on a multi-segment (slow-trunk) topology, the best-configured
+    FEC variant's simulated median must be no worse than 1/R of the NACK
+    protocol's — zero-round-trip in-window recovery beats waiting out a
+    NACK round trip on the trunk.  Simulated medians only — deterministic,
+    never hardware-gated."""
+    if min_fec_advantage <= 0:
+        return
+    points = {}
+    for key, r in fresh.items():
+        loss_label = key[9]
+        if loss_label is None or not loss_label.endswith("%"):
+            continue
+        if float(loss_label[:-1]) / 100.0 < 0.05:
+            continue
+        if not key[10]:  # single-segment records are not gated
+            continue
+        group = (key[0], key[2], key[3], key[4], loss_label, key[10])
+        points.setdefault(group, {})[key[1]] = r
+    for group, by_algo in sorted(points.items()):
+        fec_medians = {algo: r["sim_time_us"] for algo, r in by_algo.items()
+                       if algo.startswith("fec-mcast")}
+        if "nack-mcast" not in by_algo or not fec_medians:
+            continue
+        nack = by_algo["nack-mcast"]["sim_time_us"]
+        fec_algo, fec = min(fec_medians.items(), key=lambda kv: kv[1])
+        if fec <= 0 or nack < fec * min_fec_advantage:
+            failures.append(
+                f"{name}: {group} {fec_algo} is only "
+                f"{nack / fec if fec > 0 else 0:.2f}x over nack-mcast "
+                f"(< required {min_fec_advantage:.2f}x; "
+                f"{nack:.1f} vs {fec:.1f} us)")
+        else:
+            print(f"bench_diff: {name} {group} {fec_algo} "
+                  f"{nack / fec:.2f}x over nack-mcast "
+                  f"(>= {min_fec_advantage:.2f}x)")
 
 
 def check_hier_records(name, fresh, min_hier_speedup, failures):
@@ -366,6 +419,11 @@ def main():
                         help="required simulated-median ratio of ack-mcast "
                              "over nack-mcast on fault-injection records at "
                              ">= 1%% injected loss (0 = off)")
+    parser.add_argument("--min-fec-advantage", type=float, default=0.0,
+                        help="required simulated-median ratio of nack-mcast "
+                             "over the best fec-mcast variant on "
+                             "fault-injection records at >= 5%% injected "
+                             "loss behind a multi-segment trunk (0 = off)")
     parser.add_argument("--min-pipeline-speedup", type=float, default=0.0,
                         help="required simulated-median ratio of the "
                              "lockstep (smallest window) over the pipelined "
@@ -408,6 +466,7 @@ def main():
         check_pipeline_records(name, fresh, args.min_pipeline_speedup,
                                failures)
         check_loss_records(name, fresh, args.min_loss_advantage, failures)
+        check_fec_records(name, fresh, args.min_fec_advantage, failures)
         check_hier_records(name, fresh, args.min_hier_speedup, failures)
 
         base_wall = 0.0
@@ -431,7 +490,9 @@ def main():
             # so the injected/recovery counters compare exactly too.
             for exact in ("p99_us", "collectives", "frames_dropped",
                           "frames_duplicated", "frames_reordered",
-                          "nacks_sent", "nacks_suppressed", "retransmits"):
+                          "nacks_sent", "nacks_suppressed", "retransmits",
+                          "parity_sent", "parity_used", "fec_decodes",
+                          "fec_fallbacks"):
                 if exact in b and exact in f and f[exact] != b[exact]:
                     failures.append(
                         f"{name}: {fmt_key(key)} {exact} changed "
